@@ -1,0 +1,131 @@
+//! Connected components by label propagation (HashMin) — one of the
+//! "large class of graph-based iterative algorithms" the paper's §2.2
+//! observations cover: node-keyed state, one-to-one reduce→map
+//! correspondence, one MapReduce pass per iteration.
+//!
+//! Each node's state is the smallest node id it has heard of; every
+//! iteration it propagates its label along outgoing edges and keeps the
+//! minimum. On a (weakly) connected component whose edges are
+//! symmetric, all labels converge to the component's minimum id.
+
+use imapreduce::{
+    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+};
+use imr_graph::Graph;
+use imr_mapreduce::EngineError;
+use imr_records::{ModPartitioner, Partitioner};
+use imr_simcluster::TaskClock;
+
+/// The iMapReduce HashMin label-propagation job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConCompIter;
+
+impl IterativeJob for ConCompIter {
+    type K = u32;
+    type S = u32; // current component label
+    type T = Vec<u32>; // out-neighbors
+
+    fn map(&self, k: &u32, state: StateInput<'_, u32, u32>, adj: &Vec<u32>, out: &mut Emitter<u32, u32>) {
+        let label = *state.one();
+        out.emit(*k, label);
+        for &v in adj {
+            out.emit(v, label);
+        }
+    }
+
+    fn reduce(&self, _k: &u32, values: Vec<u32>) -> u32 {
+        values.into_iter().min().expect("at least the self label")
+    }
+
+    fn distance(&self, _k: &u32, prev: &u32, cur: &u32) -> f64 {
+        f64::from(prev != cur)
+    }
+
+    fn partition(&self, key: &u32, n: usize) -> usize {
+        ModPartitioner.partition(key, n)
+    }
+}
+
+/// Runs connected components under iMapReduce, terminating when no
+/// label changes (distance threshold below one label flip).
+pub fn run_concomp_imr(
+    runner: &IterativeRunner,
+    graph: &Graph,
+    num_tasks: usize,
+    max_iterations: usize,
+) -> Result<IterOutcome<u32, u32>, EngineError> {
+    let job = ConCompIter;
+    let mut clock = TaskClock::default();
+    let state: Vec<(u32, u32)> = (0..graph.num_nodes() as u32).map(|u| (u, u)).collect();
+    load_partitioned(runner.dfs(), "/cc/state", state, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    load_partitioned(
+        runner.dfs(),
+        "/cc/static",
+        graph.adjacency_records(),
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
+    let cfg = IterConfig::new("concomp", num_tasks, max_iterations).with_distance_threshold(0.5);
+    runner.run(&job, &cfg, "/cc/state", "/cc/static", "/cc/out", &[])
+}
+
+/// Sequential reference: BFS over the *undirected* closure of the
+/// directed propagation (labels flow along out-edges each round), run
+/// to the same fixed point via synchronous rounds.
+pub fn reference_concomp(graph: &Graph, rounds: usize) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..rounds {
+        let mut next = label.clone();
+        for u in 0..n as u32 {
+            for &v in graph.neighbors(u) {
+                if label[u as usize] < next[v as usize] {
+                    next[v as usize] = label[u as usize];
+                }
+            }
+        }
+        if next == label {
+            break;
+        }
+        label = next;
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::imr_runner;
+    use imr_graph::{generate_graph, pagerank_degree_dist, Graph};
+
+    #[test]
+    fn labels_converge_to_min_reachable_ancestor() {
+        let g = generate_graph(200, 900, pagerank_degree_dist(), 15);
+        let r = imr_runner(4);
+        let out = run_concomp_imr(&r, &g, 4, 100).unwrap();
+        assert!(out.iterations < 100, "should reach a fixed point");
+        let expect = reference_concomp(&g, 200);
+        for (k, l) in &out.final_state {
+            assert_eq!(*l, expect[*k as usize], "node {k}");
+        }
+    }
+
+    #[test]
+    fn symmetric_chain_collapses_to_zero() {
+        // 0 <-> 1 <-> 2 <-> 3: one component, min label 0.
+        let g = Graph::from_adjacency(vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]);
+        let r = imr_runner(2);
+        let out = run_concomp_imr(&r, &g, 2, 20).unwrap();
+        assert!(out.final_state.iter().all(|&(_, l)| l == 0), "{:?}", out.final_state);
+    }
+
+    #[test]
+    fn disconnected_components_keep_distinct_labels() {
+        // {0,1} and {2,3} disconnected.
+        let g = Graph::from_adjacency(vec![vec![1], vec![0], vec![3], vec![2]]);
+        let r = imr_runner(2);
+        let out = run_concomp_imr(&r, &g, 2, 20).unwrap();
+        assert_eq!(out.final_state, vec![(0, 0), (1, 0), (2, 2), (3, 2)]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Matrix power computation (paper §5.2) — the two-phase-per-iteration
+//! workload. Each iteration multiplies the static matrix `M` into the
+//! iterated matrix `N` (`N ← M·N`), expressed as two chained map-reduce
+//! phases exactly as the paper describes:
+//!
+//! * Phase 1 groups `N`'s cells into rows keyed by the join index `j`;
+//! * Phase 2 joins row `j` of `N` with the static column `j` of `M`,
+//!   emits all partial products keyed `(i, k)`, and sums them.
+//!
+//! The baseline is the textbook Hadoop two-job matrix multiply [29],
+//! re-reading and re-shuffling the tagged cells of *both* matrices in
+//! every iteration.
+
+use imapreduce::{
+    load_partitioned, run_two_phase, Emitter, IterativeRunner, PhaseJob, TwoPhaseConfig,
+    TwoPhaseOutcome,
+};
+use imr_mapreduce::{EngineError, JobConfig, JobRunner, MrJob};
+use imr_records::{PairPartitioner, Partitioner};
+use imr_simcluster::{NodeId, RunReport, TaskClock, VInstant};
+
+/// A dense matrix as nested rows.
+pub type Dense = Vec<Vec<f64>>;
+
+/// Cell key: `(row, col)`.
+pub type Cell = (u32, u32);
+
+// ---------------------------------------------------------------------
+// iMapReduce implementation: two chained phases
+// ---------------------------------------------------------------------
+
+/// Phase 1: gather `N`'s cells `((j, k), v)` into rows keyed by `j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpGather;
+
+impl PhaseJob for MpGather {
+    type InK = Cell;
+    type InS = f64;
+    type MidK = u32;
+    type Mid = (u32, f64);
+    type OutS = Vec<(u32, f64)>;
+    type T = ();
+
+    fn map(&self, key: &Cell, v: &f64, _t: Option<&()>, out: &mut Emitter<u32, (u32, f64)>) {
+        out.emit(key.0, (key.1, *v));
+    }
+
+    fn reduce(&self, _j: &u32, mut values: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+        values.sort_by_key(|&(k, _)| k);
+        values
+    }
+
+    fn partition_in(&self, key: &Cell, n: usize) -> usize {
+        PairPartitioner.partition(key, n)
+    }
+}
+
+/// Phase 2: multiply static column `j` of `M` with row `j` of `N` and
+/// sum partial products per `(i, k)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpMultiply;
+
+impl PhaseJob for MpMultiply {
+    type InK = u32;
+    type InS = Vec<(u32, f64)>;
+    type MidK = Cell;
+    type Mid = f64;
+    type OutS = f64;
+    type T = Vec<(u32, f64)>; // column j of M: (i, m_ij)
+
+    fn map(
+        &self,
+        _j: &u32,
+        row: &Vec<(u32, f64)>,
+        col: Option<&Vec<(u32, f64)>>,
+        out: &mut Emitter<Cell, f64>,
+    ) {
+        let Some(col) = col else { return };
+        for &(i, mij) in col {
+            for &(k, njk) in row {
+                out.emit((i, k), mij * njk);
+            }
+        }
+    }
+
+    fn reduce(&self, _ik: &Cell, values: Vec<f64>) -> f64 {
+        values.into_iter().sum()
+    }
+
+    fn partition_mid(&self, key: &Cell, n: usize) -> usize {
+        PairPartitioner.partition(key, n)
+    }
+}
+
+/// Cells of a dense matrix.
+pub fn cells(m: &Dense) -> Vec<(Cell, f64)> {
+    m.iter()
+        .enumerate()
+        .flat_map(|(i, row)| {
+            row.iter().enumerate().map(move |(j, &v)| ((i as u32, j as u32), v))
+        })
+        .collect()
+}
+
+/// Columns of a dense matrix, keyed by column index.
+pub fn columns(m: &Dense) -> Vec<(u32, Vec<(u32, f64)>)> {
+    let n = m.len();
+    (0..n as u32)
+        .map(|j| {
+            (
+                j,
+                (0..n as u32).map(|i| (i, m[i as usize][j as usize])).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs `iterations` matrix multiplications under iMapReduce,
+/// computing `M^(iterations+1)` (the state starts at `N = M`).
+pub fn run_matpower_imr(
+    runner: &IterativeRunner,
+    m: &Dense,
+    num_tasks: usize,
+    iterations: usize,
+) -> Result<TwoPhaseOutcome<Cell, f64>, EngineError> {
+    let mut clock = TaskClock::default();
+    let p1 = MpGather;
+    let p2 = MpMultiply;
+    load_partitioned(
+        runner.dfs(),
+        "/mp/state",
+        cells(m),
+        num_tasks,
+        |k, n| p1.partition_in(k, n),
+        &mut clock,
+    )?;
+    load_partitioned(
+        runner.dfs(),
+        "/mp/cols",
+        columns(m),
+        num_tasks,
+        |k, n| p2.partition_in(k, n),
+        &mut clock,
+    )?;
+    let cfg = TwoPhaseConfig::new("matpower", num_tasks, iterations);
+    run_two_phase(runner, &p1, &p2, &cfg, "/mp/state", None, Some("/mp/cols"), "/mp/out")
+}
+
+// ---------------------------------------------------------------------
+// Baseline Hadoop implementation: two chained jobs per iteration
+// ---------------------------------------------------------------------
+
+/// Tagged cell value: `(tag, value)` where tag 0 = `M`, tag 1 = `N`.
+pub type Tagged = (u8, f64);
+
+/// Job A: route `M` cells and `N` cells to their join key `j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatJoinMr;
+
+impl MrJob for MatJoinMr {
+    type InK = Cell;
+    type InV = Tagged;
+    type MidK = u32;
+    type MidV = (u8, u32, f64);
+    type OutK = u32;
+    type OutV = Vec<(u8, u32, f64)>;
+
+    fn map(&self, key: &Cell, value: &Tagged, out: &mut Emitter<u32, (u8, u32, f64)>) {
+        let (tag, v) = *value;
+        if tag == 0 {
+            // M cell (i, j): join key j, remember i.
+            out.emit(key.1, (0, key.0, v));
+        } else {
+            // N cell (j, k): join key j, remember k.
+            out.emit(key.0, (1, key.1, v));
+        }
+    }
+
+    fn reduce(&self, j: &u32, values: Vec<(u8, u32, f64)>, out: &mut Emitter<u32, Vec<(u8, u32, f64)>>) {
+        out.emit(*j, values);
+    }
+}
+
+/// Job B: cross-multiply the joined lists and sum per `(i, k)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatMulMr;
+
+impl MrJob for MatMulMr {
+    type InK = u32;
+    type InV = Vec<(u8, u32, f64)>;
+    type MidK = Cell;
+    type MidV = f64;
+    type OutK = Cell;
+    type OutV = Tagged;
+
+    fn map(&self, _j: &u32, joined: &Vec<(u8, u32, f64)>, out: &mut Emitter<Cell, f64>) {
+        let ms: Vec<(u32, f64)> =
+            joined.iter().filter(|(t, _, _)| *t == 0).map(|&(_, i, v)| (i, v)).collect();
+        let ns: Vec<(u32, f64)> =
+            joined.iter().filter(|(t, _, _)| *t == 1).map(|&(_, k, v)| (k, v)).collect();
+        for &(i, mij) in &ms {
+            for &(k, njk) in &ns {
+                out.emit((i, k), mij * njk);
+            }
+        }
+    }
+
+    fn reduce(&self, ik: &Cell, values: Vec<f64>, out: &mut Emitter<Cell, Tagged>) {
+        // Tag 1 so the output can feed the next iteration's Job A as N.
+        out.emit(*ik, (1, values.into_iter().sum()));
+    }
+
+    fn partition(&self, key: &Cell, n: usize) -> usize {
+        PairPartitioner.partition(key, n)
+    }
+}
+
+/// Outcome of the baseline matrix-power driver.
+#[derive(Debug, Clone)]
+pub struct MatPowerMrOutcome {
+    /// Per-iteration completion timeline.
+    pub report: RunReport,
+    /// Final matrix cells, sorted by `(row, col)`.
+    pub result: Vec<(Cell, f64)>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// The baseline driver: per iteration, Job A joins the tagged cells of
+/// `M` (reloaded every time) and `N`, then Job B multiplies and sums.
+pub fn run_matpower_mr(
+    runner: &JobRunner,
+    m: &Dense,
+    num_tasks: usize,
+    iterations: usize,
+) -> Result<MatPowerMrOutcome, EngineError> {
+    let mut clock = TaskClock::default();
+    // Split each matrix into half the task count so Job A sees the
+    // same total map granularity as the iMapReduce phases.
+    let half = num_tasks.div_ceil(2);
+    let m_cells: Vec<(Cell, Tagged)> = cells(m).into_iter().map(|(k, v)| (k, (0, v))).collect();
+    let n_cells: Vec<(Cell, Tagged)> = cells(m).into_iter().map(|(k, v)| (k, (1, v))).collect();
+    runner.load_input("/mp-mr/m", m_cells, half, &mut clock)?;
+    runner.load_input("/mp-mr/n-0000", n_cells, half, &mut clock)?;
+
+    let mut now = VInstant::EPOCH;
+    let mut report = RunReport { label: "MapReduce".into(), ..RunReport::default() };
+    let mut n_dir = "/mp-mr/n-0000".to_owned();
+    for iter in 1..=iterations {
+        let join_dir = format!("/mp-mr/join-{iter:04}");
+        let res_a = runner.run_multi(
+            &MatJoinMr,
+            &JobConfig::new(format!("mat-join-{iter}"), num_tasks),
+            &["/mp-mr/m", &n_dir],
+            &join_dir,
+            now,
+        )?;
+        let next_dir = format!("/mp-mr/n-{iter:04}");
+        let res_b = runner.run(
+            &MatMulMr,
+            &JobConfig::new(format!("mat-mul-{iter}"), num_tasks),
+            &join_dir,
+            &next_dir,
+            res_a.finished,
+        )?;
+        now = res_b.finished;
+        report.iteration_done.push(now);
+        imr_mapreduce::io::delete_dir(runner.dfs(), &join_dir);
+        if n_dir != "/mp-mr/n-0000" {
+            imr_mapreduce::io::delete_dir(runner.dfs(), &n_dir);
+        }
+        n_dir = next_dir;
+    }
+
+    let mut rc = TaskClock::starting_at(now);
+    let mut result: Vec<(Cell, f64)> = imr_mapreduce::io::read_all::<Cell, Tagged>(
+        runner.dfs(),
+        &n_dir,
+        NodeId(0),
+        &mut rc,
+    )?
+    .into_iter()
+    .map(|(k, (_, v))| (k, v))
+    .collect();
+    result.sort_by_key(|&(k, _)| k);
+    report.finished = now;
+    report.metrics = runner.metrics().snapshot();
+    Ok(MatPowerMrOutcome { report, result, iterations })
+}
+
+// ---------------------------------------------------------------------
+// Sequential reference
+// ---------------------------------------------------------------------
+
+/// Dense multiply: `a · b`.
+pub fn matmul(a: &Dense, b: &Dense) -> Dense {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let aij = a[i][j];
+            if aij != 0.0 {
+                for k in 0..n {
+                    out[i][k] += aij * b[j][k];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `M^(iterations+1)` by repeated multiplication (matching the engines'
+/// starting point `N = M`).
+pub fn reference_matpower(m: &Dense, iterations: usize) -> Dense {
+    let mut n = m.clone();
+    for _ in 0..iterations {
+        n = matmul(m, &n);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{imr_runner, mr_runner};
+    use imr_graph::generate_matrix;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn imr_two_phase_matches_reference() {
+        let m = generate_matrix(12, 3);
+        let r = imr_runner(4);
+        let out = run_matpower_imr(&r, &m, 2, 3).unwrap();
+        let expect = reference_matpower(&m, 3);
+        assert_eq!(out.final_state.len(), 144);
+        for ((i, k), v) in &out.final_state {
+            assert!(
+                close(*v, expect[*i as usize][*k as usize]),
+                "({i},{k}): {v} vs {}",
+                expect[*i as usize][*k as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_two_jobs_match_reference() {
+        let m = generate_matrix(10, 4);
+        let r = mr_runner(4);
+        let out = run_matpower_mr(&r, &m, 2, 2).unwrap();
+        let expect = reference_matpower(&m, 2);
+        assert_eq!(out.result.len(), 100);
+        for ((i, k), v) in &out.result {
+            assert!(close(*v, expect[*i as usize][*k as usize]));
+        }
+    }
+
+    #[test]
+    fn engines_agree_and_imr_is_faster() {
+        let m = generate_matrix(14, 9);
+        let imr = imr_runner(4);
+        let a = run_matpower_imr(&imr, &m, 2, 2).unwrap();
+        let mr = mr_runner(4);
+        let b = run_matpower_mr(&mr, &m, 2, 2).unwrap();
+        for (x, y) in a.final_state.iter().zip(&b.result) {
+            assert_eq!(x.0, y.0);
+            assert!(close(x.1, y.1));
+        }
+        assert!(a.report.finished < b.report.finished);
+    }
+}

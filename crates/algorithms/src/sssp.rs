@@ -1,0 +1,346 @@
+//! Single-Source Shortest Path (paper §2.1.1) on both engines, plus
+//! sequential references.
+//!
+//! The iterative scheme is synchronous Bellman–Ford relaxation: in each
+//! iteration every node re-emits its current distance plus each
+//! outgoing edge weight; every node keeps the minimum it has seen.
+
+use imapreduce::{
+    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+};
+use imr_graph::Graph;
+use imr_mapreduce::{
+    run_iterative, CheckSpec, EngineError, IterativeOutcome, JobConfig, JobRunner, MrJob,
+};
+use imr_records::{ModPartitioner, Partitioner};
+use imr_simcluster::TaskClock;
+
+/// Adjacency value type: `(target, weight)` list.
+pub type Adj = Vec<(u32, f32)>;
+
+/// SSSP distance state bundled with adjacency — the baseline Hadoop
+/// value that gets reshuffled every iteration (`[d(u), W(u,*)]`).
+pub type DistAdj = (f64, Adj);
+
+// ---------------------------------------------------------------------
+// iMapReduce implementation
+// ---------------------------------------------------------------------
+
+/// The iMapReduce SSSP job: state = current shortest distance, static =
+/// outgoing weighted edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsspIter;
+
+impl IterativeJob for SsspIter {
+    type K = u32;
+    type S = f64;
+    type T = Adj;
+
+    fn map(&self, k: &u32, state: StateInput<'_, u32, f64>, adj: &Adj, out: &mut Emitter<u32, f64>) {
+        let d = *state.one();
+        // Retain own distance.
+        out.emit(*k, d);
+        if d.is_finite() {
+            for &(v, w) in adj {
+                out.emit(v, d + f64::from(w));
+            }
+        }
+    }
+
+    fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {
+        values.into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    fn distance(&self, _k: &u32, prev: &f64, cur: &f64) -> f64 {
+        match (prev.is_finite(), cur.is_finite()) {
+            (true, true) => (prev - cur).abs(),
+            (false, false) => 0.0,
+            _ => 1.0, // a node just became reachable
+        }
+    }
+
+    fn partition(&self, key: &u32, n: usize) -> usize {
+        ModPartitioner.partition(key, n)
+    }
+}
+
+/// Loads a weighted graph for the iMapReduce job: distance state parts
+/// under `state_dir` (source at 0.0, all else +∞) and adjacency parts
+/// under `static_dir`.
+pub fn load_sssp_imr(
+    runner: &IterativeRunner,
+    graph: &Graph,
+    source: u32,
+    num_tasks: usize,
+    state_dir: &str,
+    static_dir: &str,
+) -> Result<(), EngineError> {
+    let job = SsspIter;
+    let mut clock = TaskClock::default();
+    let state: Vec<(u32, f64)> = (0..graph.num_nodes() as u32)
+        .map(|u| (u, if u == source { 0.0 } else { f64::INFINITY }))
+        .collect();
+    let statics: Vec<(u32, Adj)> = graph.weighted_records();
+    load_partitioned(runner.dfs(), state_dir, state, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    load_partitioned(runner.dfs(), static_dir, statics, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    Ok(())
+}
+
+/// Runs SSSP under iMapReduce for a fixed number of iterations.
+pub fn run_sssp_imr(
+    runner: &IterativeRunner,
+    graph: &Graph,
+    source: u32,
+    cfg: &IterConfig,
+) -> Result<IterOutcome<u32, f64>, EngineError> {
+    load_sssp_imr(runner, graph, source, cfg.num_tasks, "/sssp/state", "/sssp/static")?;
+    runner.run(&SsspIter, cfg, "/sssp/state", "/sssp/static", "/sssp/out", &[])
+}
+
+// ---------------------------------------------------------------------
+// Baseline Hadoop implementation
+// ---------------------------------------------------------------------
+
+/// The baseline MapReduce SSSP job. Each record's value carries *both*
+/// the iterated distance and the static adjacency list, so the
+/// adjacency is shuffled between map and reduce in every iteration —
+/// limitation 2 of §2.2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsspMr;
+
+impl MrJob for SsspMr {
+    type InK = u32;
+    type InV = DistAdj;
+    type MidK = u32;
+    type MidV = DistAdj;
+    type OutK = u32;
+    type OutV = DistAdj;
+
+    fn map(&self, u: &u32, value: &DistAdj, out: &mut Emitter<u32, DistAdj>) {
+        let (d, adj) = value;
+        if d.is_finite() {
+            for &(v, w) in adj {
+                out.emit(v, (d + f64::from(w), Vec::new()));
+            }
+        }
+        // Carry own distance and adjacency forward.
+        out.emit(*u, (*d, adj.clone()));
+    }
+
+    fn reduce(&self, v: &u32, values: Vec<DistAdj>, out: &mut Emitter<u32, DistAdj>) {
+        let mut best = f64::INFINITY;
+        let mut adj = Vec::new();
+        for (d, a) in values {
+            if d < best {
+                best = d;
+            }
+            if !a.is_empty() {
+                adj = a;
+            }
+        }
+        out.emit(*v, (best, adj));
+    }
+
+    fn partition(&self, key: &u32, n: usize) -> usize {
+        ModPartitioner.partition(key, n)
+    }
+}
+
+/// Loads the bundled `(distance, adjacency)` records for the baseline.
+pub fn load_sssp_mr(
+    runner: &JobRunner,
+    graph: &Graph,
+    source: u32,
+    num_parts: usize,
+    input_dir: &str,
+) -> Result<(), EngineError> {
+    let mut clock = TaskClock::default();
+    let records: Vec<(u32, DistAdj)> = (0..graph.num_nodes() as u32)
+        .map(|u| {
+            let d = if u == source { 0.0 } else { f64::INFINITY };
+            (u, (d, graph.weighted_neighbors(u).collect()))
+        })
+        .collect();
+    runner.load_input(input_dir, records, num_parts, &mut clock)
+}
+
+/// Runs the baseline SSSP job chain for `iterations` iterations.
+pub fn run_sssp_mr(
+    runner: &JobRunner,
+    graph: &Graph,
+    source: u32,
+    num_tasks: usize,
+    iterations: usize,
+    check: Option<&CheckSpec<u32, DistAdj>>,
+) -> Result<IterativeOutcome, EngineError> {
+    load_sssp_mr(runner, graph, source, num_tasks, "/sssp-mr/in")?;
+    run_iterative(
+        runner,
+        &SsspMr,
+        &JobConfig::new("sssp", num_tasks),
+        "/sssp-mr/in",
+        "/sssp-mr/work",
+        iterations,
+        check,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Sequential references
+// ---------------------------------------------------------------------
+
+/// Exactly `rounds` synchronous Bellman–Ford relaxation rounds — the
+/// reference for engine outputs after a fixed iteration count.
+pub fn reference_sssp_rounds(graph: &Graph, source: u32, rounds: usize) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    for _ in 0..rounds {
+        let mut next = dist.clone();
+        for u in 0..n as u32 {
+            let d = dist[u as usize];
+            if d.is_finite() {
+                for (v, w) in graph.weighted_neighbors(u) {
+                    let cand = d + f64::from(w);
+                    if cand < next[v as usize] {
+                        next[v as usize] = cand;
+                    }
+                }
+            }
+        }
+        dist = next;
+    }
+    dist
+}
+
+/// Converged shortest distances via Dijkstra — the ground truth.
+pub fn reference_sssp(graph: &Graph, source: u32) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Cand(f64, u32);
+    impl Eq for Cand {}
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+        }
+    }
+
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse(Cand(0.0, source)));
+    while let Some(Reverse(Cand(d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.weighted_neighbors(u) {
+            let cand = d + f64::from(w);
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push(Reverse(Cand(cand, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{imr_runner, mr_runner};
+    use imr_graph::{generate_weighted_graph, sssp_degree_dist, sssp_weight_dist};
+
+    fn small_graph() -> Graph {
+        generate_weighted_graph(120, 600, sssp_degree_dist(), sssp_weight_dist(), 77)
+    }
+
+    #[test]
+    fn imr_matches_reference_rounds() {
+        let g = small_graph();
+        let r = imr_runner(4);
+        let cfg = IterConfig::new("sssp", 4, 6);
+        let out = run_sssp_imr(&r, &g, 0, &cfg).unwrap();
+        let expect = reference_sssp_rounds(&g, 0, 6);
+        assert_eq!(out.final_state.len(), g.num_nodes());
+        for (k, d) in &out.final_state {
+            let e = expect[*k as usize];
+            assert!(
+                (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                "node {k}: {d} vs {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapreduce_matches_reference_rounds() {
+        let g = small_graph();
+        let r = mr_runner(4);
+        let out = run_sssp_mr(&r, &g, 0, 4, 5, None).unwrap();
+        let expect = reference_sssp_rounds(&g, 0, 5);
+        let mut clock = TaskClock::default();
+        let got: Vec<(u32, DistAdj)> = imr_mapreduce::io::read_all(
+            r.dfs(),
+            &out.final_dir,
+            imr_simcluster::NodeId(0),
+            &mut clock,
+        )
+        .unwrap();
+        assert_eq!(got.len(), g.num_nodes());
+        for (k, (d, adj)) in &got {
+            let e = expect[*k as usize];
+            assert!(
+                (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                "node {k}: {d} vs {e}"
+            );
+            // Adjacency survives the round trips.
+            assert_eq!(adj.len(), g.out_degree(*k));
+        }
+    }
+
+    #[test]
+    fn both_engines_agree_and_imr_is_faster() {
+        let g = small_graph();
+        let iters = 6;
+
+        let imr = imr_runner(4);
+        let cfg = IterConfig::new("sssp", 4, iters);
+        let a = run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
+
+        let mr = mr_runner(4);
+        let b = run_sssp_mr(&mr, &g, 0, 4, iters, None).unwrap();
+
+        assert_eq!(a.iterations, iters);
+        assert_eq!(b.iterations, iters);
+        assert!(
+            a.report.finished < b.report.finished,
+            "iMapReduce {} not faster than MapReduce {}",
+            a.report.finished,
+            b.report.finished
+        );
+    }
+
+    #[test]
+    fn enough_rounds_reach_dijkstra_distances() {
+        let g = small_graph();
+        let r = imr_runner(4);
+        let cfg = IterConfig::new("sssp", 4, 60).with_distance_threshold(1e-12);
+        let out = run_sssp_imr(&r, &g, 0, &cfg).unwrap();
+        let truth = reference_sssp(&g, 0);
+        for (k, d) in &out.final_state {
+            let e = truth[*k as usize];
+            assert!(
+                (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                "node {k}: {d} vs {e}"
+            );
+        }
+        assert!(out.iterations < 60, "distance threshold should stop early");
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared construction helpers for tests and the bench harness.
+
+use imapreduce::IterativeRunner;
+use imr_dfs::Dfs;
+use imr_mapreduce::JobRunner;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
+use std::sync::Arc;
+
+/// Block size used by test fixtures: small enough to exercise
+/// multi-block paths on toy data.
+pub const TEST_BLOCK: u64 = 1 << 20;
+
+/// An iMapReduce runner over a fresh local cluster of `n` nodes.
+pub fn imr_runner(n: usize) -> IterativeRunner {
+    imr_runner_on(ClusterSpec::local(n))
+}
+
+/// An iMapReduce runner over an arbitrary cluster spec.
+pub fn imr_runner_on(spec: ClusterSpec) -> IterativeRunner {
+    let spec = Arc::new(spec);
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, TEST_BLOCK);
+    IterativeRunner::new(spec, dfs, metrics)
+}
+
+/// A baseline MapReduce runner over a fresh local cluster of `n` nodes.
+pub fn mr_runner(n: usize) -> JobRunner {
+    mr_runner_on(ClusterSpec::local(n))
+}
+
+/// A baseline MapReduce runner over an arbitrary cluster spec.
+pub fn mr_runner_on(spec: ClusterSpec) -> JobRunner {
+    let spec = Arc::new(spec);
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, TEST_BLOCK);
+    JobRunner::new(spec, dfs, metrics)
+}

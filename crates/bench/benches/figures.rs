@@ -1,0 +1,79 @@
+//! One criterion benchmark per paper table/figure: each runs the same
+//! harness function as the corresponding `fig*`/`table*` binary at
+//! micro scale, so `cargo bench` regenerates every experiment and
+//! tracks the *host* cost of doing so. The virtual-time results
+//! themselves land in `results/*.json` via the binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imr_bench::experiments;
+use imr_graph::Workload;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_sssp_datasets", |b| {
+        b.iter(|| black_box(experiments::table_datasets("table1", &imr_graph::sssp_datasets(), 0.001)))
+    });
+    c.bench_function("table2_pagerank_datasets", |b| {
+        b.iter(|| black_box(experiments::table_datasets("table2", &imr_graph::pagerank_datasets(), 0.001)))
+    });
+}
+
+fn bench_local_figures(c: &mut Criterion) {
+    c.bench_function("fig4_sssp_dblp", |b| {
+        b.iter(|| black_box(experiments::fig_sssp_local("fig4", "DBLP", 0.005, 4)))
+    });
+    c.bench_function("fig5_sssp_facebook", |b| {
+        b.iter(|| black_box(experiments::fig_sssp_local("fig5", "Facebook", 0.002, 4)))
+    });
+    c.bench_function("fig6_pagerank_google", |b| {
+        b.iter(|| black_box(experiments::fig_pagerank_local("fig6", "Google", 0.002, 4)))
+    });
+    c.bench_function("fig7_pagerank_berkstan", |b| {
+        b.iter(|| black_box(experiments::fig_pagerank_local("fig7", "Berk-Stan", 0.002, 4)))
+    });
+}
+
+fn bench_ec2_figures(c: &mut Criterion) {
+    c.bench_function("fig8_sssp_sizes", |b| {
+        b.iter(|| black_box(experiments::fig_synthetic_sizes("fig8", Workload::Sssp, 0.0005, 3)))
+    });
+    c.bench_function("fig9_pagerank_sizes", |b| {
+        b.iter(|| {
+            black_box(experiments::fig_synthetic_sizes("fig9", Workload::PageRank, 0.0005, 3))
+        })
+    });
+    c.bench_function("fig10_factors", |b| {
+        b.iter(|| black_box(experiments::fig_factors(0.0005, 3)))
+    });
+    c.bench_function("fig11_comm_cost", |b| {
+        b.iter(|| black_box(experiments::fig_comm_cost(0.0003, 3)))
+    });
+    c.bench_function("fig12_sssp_scaling", |b| {
+        b.iter(|| black_box(experiments::fig_scaling("fig12", Workload::Sssp, 0.0003, 3)))
+    });
+    c.bench_function("fig13_pagerank_scaling", |b| {
+        b.iter(|| black_box(experiments::fig_scaling("fig13", Workload::PageRank, 0.0003, 3)))
+    });
+    c.bench_function("fig14_parallel_efficiency", |b| {
+        b.iter(|| black_box(experiments::fig_parallel_efficiency(0.0003, 3)))
+    });
+}
+
+fn bench_extension_figures(c: &mut Criterion) {
+    c.bench_function("fig16_kmeans", |b| {
+        b.iter(|| black_box(experiments::fig_kmeans(300, 8, 5, 4)))
+    });
+    c.bench_function("fig18_matpower", |b| {
+        b.iter(|| black_box(experiments::fig_matpower(12, 2)))
+    });
+    c.bench_function("fig20_kmeans_convergence", |b| {
+        b.iter(|| black_box(experiments::fig_kmeans_convergence(200, 6, 4, 8)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_local_figures, bench_ec2_figures, bench_extension_figures
+}
+criterion_main!(figures);

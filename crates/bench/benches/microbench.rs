@@ -1,0 +1,94 @@
+//! Microbenchmarks of the substrate hot paths: record codecs, sorted
+//! merges, partitioners, and single engine iterations. These measure
+//! *host* performance of the simulator itself (the figures' virtual
+//! times are deterministic and benchmarked by the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use imapreduce::IterConfig;
+use imr_algorithms::testutil::{imr_runner, mr_runner};
+use imr_algorithms::{pagerank, sssp};
+use imr_graph::{generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist, sssp_weight_dist};
+use imr_records::{decode_pairs, encode_pairs, merge_runs, sort_run, HashPartitioner, Partitioner};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let pairs: Vec<(u32, f64)> = (0..10_000).map(|i| (i, f64::from(i) * 0.5)).collect();
+    let encoded = encode_pairs(&pairs);
+    c.bench_function("codec/encode_10k_pairs", |b| {
+        b.iter(|| black_box(encode_pairs(black_box(&pairs))))
+    });
+    c.bench_function("codec/decode_10k_pairs", |b| {
+        b.iter(|| {
+            let out: Vec<(u32, f64)> = decode_pairs(black_box(encoded.clone())).unwrap();
+            black_box(out)
+        })
+    });
+}
+
+fn bench_sorted(c: &mut Criterion) {
+    let runs: Vec<Vec<(u32, u64)>> = (0..8)
+        .map(|r| {
+            let mut run: Vec<(u32, u64)> =
+                (0..5_000).map(|i| ((i * 7 + r) % 40_000, u64::from(i))).collect();
+            sort_run(&mut run);
+            run
+        })
+        .collect();
+    c.bench_function("sorted/merge_8x5k_runs", |b| {
+        b.iter_batched(
+            || runs.clone(),
+            |r| black_box(merge_runs(r)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    c.bench_function("partition/hash_100k_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 0u32..100_000 {
+                acc += HashPartitioner.partition(&k, 20);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("graph/generate_10k_nodes", |b| {
+        b.iter(|| black_box(generate_graph(10_000, 70_000, pagerank_degree_dist(), 7)))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let g = generate_weighted_graph(2_000, 10_000, sssp_degree_dist(), sssp_weight_dist(), 3);
+    c.bench_function("engine/imapreduce_sssp_4iters", |b| {
+        b.iter(|| {
+            let r = imr_runner(4);
+            let cfg = IterConfig::new("sssp", 4, 4);
+            black_box(sssp::run_sssp_imr(&r, &g, 0, &cfg).unwrap().report.finished)
+        })
+    });
+    c.bench_function("engine/mapreduce_sssp_4iters", |b| {
+        b.iter(|| {
+            let r = mr_runner(4);
+            black_box(sssp::run_sssp_mr(&r, &g, 0, 4, 4, None).unwrap().report.finished)
+        })
+    });
+    let pg = generate_graph(2_000, 12_000, pagerank_degree_dist(), 5);
+    c.bench_function("engine/imapreduce_pagerank_4iters", |b| {
+        b.iter(|| {
+            let r = imr_runner(4);
+            let cfg = IterConfig::new("pr", 4, 4);
+            black_box(pagerank::run_pagerank_imr(&r, &pg, &cfg).unwrap().report.finished)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec, bench_sorted, bench_partition, bench_generators, bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation study over iMapReduce's design choices (the knobs
+//! DESIGN.md calls out): asynchronous vs synchronous maps, eager vs
+//! batched reduce→map hand-off, checkpoint interval, map-side Combiner,
+//! and migration-based load balancing on a heterogeneous cluster.
+//!
+//! Usage: `cargo run -p imr-bench --release --bin ablation [--scale f]`
+
+use imapreduce::{IterConfig, LoadBalance};
+use imr_algorithms::testutil::imr_runner_on;
+use imr_algorithms::{kmeans, sssp};
+use imr_bench::{BenchOpts, FigureResult};
+use imr_graph::{dataset, generate_points};
+use imr_simcluster::ClusterSpec;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = opts.scale_or(0.02);
+    let iters = opts.iters_or(12);
+    let g = dataset("DBLP").unwrap().generate(scale);
+    let mut fig = FigureResult::new(
+        "ablation",
+        format!("Design-choice ablations (DBLP-like SSSP, scale {scale}, {iters} iters)"),
+        "variant index",
+        "total time (s)",
+    );
+
+    let run = |label: &str, cfg: IterConfig, spec: ClusterSpec| {
+        let r = imr_runner_on(spec);
+        sssp::load_sssp_imr(&r, &g, 0, cfg.num_tasks, "/a/state", "/a/static").unwrap();
+        let out = r
+            .run(&sssp::SsspIter, &cfg, "/a/state", "/a/static", "/a/out", &[])
+            .unwrap();
+        (label.to_owned(), out.report.finished.as_secs_f64())
+    };
+
+    let local = || ClusterSpec::local(4).with_sample_scale(scale);
+    let mut rows = vec![
+        run("baseline (async, batched handoff, ckpt=5)", IterConfig::new("s", 4, iters), local()),
+        run("sync maps", IterConfig::new("s", 4, iters).with_sync_maps(), local()),
+        run("eager handoff", IterConfig::new("s", 4, iters).with_eager_handoff(), local()),
+        run("checkpoint every iteration", IterConfig::new("s", 4, iters).with_checkpoint_interval(1), local()),
+        run("no checkpointing", IterConfig::new("s", 4, iters).with_checkpoint_interval(0), local()),
+    ];
+
+    // Load balancing on a cluster with one crippled worker.
+    let mut hetero = ClusterSpec::local(4).with_sample_scale(scale);
+    hetero.nodes[0].speed = 0.3;
+    rows.push(run(
+        "heterogeneous, no load balancing",
+        IterConfig::new("s", 4, iters).with_checkpoint_interval(1),
+        hetero.clone(),
+    ));
+    rows.push(run(
+        "heterogeneous, load balancing on",
+        IterConfig::new("s", 4, iters)
+            .with_checkpoint_interval(1)
+            .with_load_balance(LoadBalance { deviation: 0.3, max_migrations: 2 }),
+        hetero,
+    ));
+
+    // Combiner ablation lives on the K-means side (one2all).
+    let points = generate_points((359_347.0 * scale) as usize, 24, 10, 21);
+    for (label, combiner) in [("k-means, no combiner", false), ("k-means, combiner", true)] {
+        let r = imr_runner_on(ClusterSpec::local(4).with_sample_scale(scale));
+        let cfg = IterConfig::new("km", 4, 10).with_one2all();
+        let out = kmeans::run_kmeans_imr(&r, &points, 10, &cfg, combiner).unwrap();
+        rows.push((label.to_owned(), out.report.finished.as_secs_f64()));
+    }
+
+    let points_xy: Vec<(f64, f64)> =
+        rows.iter().enumerate().map(|(i, (_, t))| ((i + 1) as f64, *t)).collect();
+    for (i, (label, t)) in rows.iter().enumerate() {
+        fig.note(format!("[{}] {label}: {t:.1}s", i + 1));
+    }
+    fig.push_series("total time", points_xy);
+    fig.emit(&opts.out_root);
+}

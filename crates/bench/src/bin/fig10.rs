@@ -1,0 +1,10 @@
+//! Fig. 10 — decomposition of the running-time reduction into one-time
+//! init, static-shuffle avoidance, and asynchronous maps (SSSP-m and
+//! PageRank-m on EC2-20).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_factors(opts.scale_or(0.004), opts.iters_or(10)).emit(&opts.out_root);
+}

@@ -1,0 +1,9 @@
+//! Fig. 11 — total communication cost on SSSP-l and PageRank-l
+//! (EC2-20).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_comm_cost(opts.scale_or(0.002), opts.iters_or(10)).emit(&opts.out_root);
+}

@@ -1,0 +1,11 @@
+//! Fig. 12 — SSSP speedup when scaling the EC2 cluster from 20 to 80
+//! instances (SSSP-l).
+
+use imr_bench::{experiments, BenchOpts};
+use imr_graph::Workload;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_scaling("fig12", Workload::Sssp, opts.scale_or(0.002), opts.iters_or(10))
+        .emit(&opts.out_root);
+}

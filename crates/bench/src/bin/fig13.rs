@@ -1,0 +1,11 @@
+//! Fig. 13 — PageRank speedup when scaling the EC2 cluster from 20 to
+//! 80 instances (PageRank-l).
+
+use imr_bench::{experiments, BenchOpts};
+use imr_graph::Workload;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_scaling("fig13", Workload::PageRank, opts.scale_or(0.002), opts.iters_or(10))
+        .emit(&opts.out_root);
+}

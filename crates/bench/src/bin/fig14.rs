@@ -1,0 +1,10 @@
+//! Fig. 14 — parallel efficiency `T*/(Tn·n)` of both engines for SSSP
+//! and PageRank on the large synthetic graphs.
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_parallel_efficiency(opts.scale_or(0.001), opts.iters_or(10))
+        .emit(&opts.out_root);
+}

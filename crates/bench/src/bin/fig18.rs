@@ -1,0 +1,12 @@
+//! Fig. 18 — matrix power computation over two chained map-reduce
+//! phases per iteration. The paper's 1000×1000 dense matrix costs
+//! Θ(n³) per iteration; the default here is 120×120 (override with
+//! `--scale` as a fraction of 1000).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let size = (1000.0 * opts.scale_or(0.12)) as usize;
+    experiments::fig_matpower(size.max(8), opts.iters_or(5)).emit(&opts.out_root);
+}

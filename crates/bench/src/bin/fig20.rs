@@ -1,0 +1,11 @@
+//! Fig. 20 — K-means with convergence detection: iMapReduce's parallel
+//! auxiliary phase vs Hadoop's extra sequential job per iteration.
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let n = (359_347.0 * opts.scale_or(0.005)) as usize;
+    experiments::fig_kmeans_convergence(n.max(100), 24, 10, opts.iters_or(12))
+        .emit(&opts.out_root);
+}

@@ -1,0 +1,10 @@
+//! Fig. 4 — SSSP running time on the DBLP author-cooperation graph
+//! (local-4 cluster, four curves).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_sssp_local("fig4", "DBLP", opts.scale_or(0.05), opts.iters_or(16))
+        .emit(&opts.out_root);
+}

@@ -1,0 +1,10 @@
+//! Fig. 5 — SSSP running time on the Facebook user-interaction graph
+//! (local-4 cluster, four curves).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_sssp_local("fig5", "Facebook", opts.scale_or(0.02), opts.iters_or(16))
+        .emit(&opts.out_root);
+}

@@ -1,0 +1,10 @@
+//! Fig. 6 — PageRank running time on the Google webgraph (local-4
+//! cluster, four curves).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_pagerank_local("fig6", "Google", opts.scale_or(0.02), opts.iters_or(20))
+        .emit(&opts.out_root);
+}

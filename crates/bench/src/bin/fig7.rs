@@ -1,0 +1,10 @@
+//! Fig. 7 — PageRank running time on the Berkeley-Stanford webgraph
+//! (local-4 cluster, four curves).
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_pagerank_local("fig7", "Berk-Stan", opts.scale_or(0.02), opts.iters_or(20))
+        .emit(&opts.out_root);
+}

@@ -1,0 +1,10 @@
+//! Fig. 8 — SSSP running time on the synthetic s/m/l graphs (EC2-20).
+
+use imr_bench::{experiments, BenchOpts};
+use imr_graph::Workload;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    experiments::fig_synthetic_sizes("fig8", Workload::Sssp, opts.scale_or(0.004), opts.iters_or(10))
+        .emit(&opts.out_root);
+}

@@ -1,0 +1,10 @@
+//! Table 1 — SSSP dataset statistics (paper vs generated stand-ins).
+//! Usage: `cargo run -p imr-bench --release --bin table1 [--scale f]`
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let fig = experiments::table_datasets("table1", &imr_graph::sssp_datasets(), opts.scale_or(0.01));
+    fig.emit(&opts.out_root);
+}

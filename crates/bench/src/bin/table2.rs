@@ -1,0 +1,12 @@
+//! Table 2 — PageRank dataset statistics (paper vs generated
+//! stand-ins).
+//! Usage: `cargo run -p imr-bench --release --bin table2 [--scale f]`
+
+use imr_bench::{experiments, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let fig =
+        experiments::table_datasets("table2", &imr_graph::pagerank_datasets(), opts.scale_or(0.01));
+    fig.emit(&opts.out_root);
+}

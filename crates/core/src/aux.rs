@@ -1,0 +1,324 @@
+//! Auxiliary map-reduce phases (paper §5.3).
+//!
+//! An auxiliary phase consumes the main phase's per-iteration output
+//! and produces auxiliary information — the paper's example is
+//! convergence detection for K-means, where a main-phase `distance()`
+//! over centroids is not expressive enough. The auxiliary phase runs
+//! *in parallel* with the main iteration ("without pausing active
+//! computation"), so its cost stays off the critical path; its
+//! termination signal takes effect when it reaches the main phase's
+//! map tasks.
+//!
+//! The baseline comparison (Fig. 20) is a Hadoop user running the same
+//! detection as an extra synchronous MapReduce job between iterations.
+
+use crate::api::{IterativeJob, Mapping, StateInput};
+use crate::config::IterConfig;
+use crate::engine::IterativeRunner;
+use bytes::Bytes;
+use imr_mapreduce::io::{num_parts, part_path, read_part};
+use imr_mapreduce::{Emitter, EngineError};
+use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
+use imr_simcluster::{RunReport, TaskClock, VInstant};
+
+/// The auxiliary phase: a distributed check over the main phase's
+/// previous and current outputs.
+///
+/// `partial` plays the role of the paper's auxiliary Map (one partial
+/// value per main reduce partition, e.g. `num_stay` per cluster);
+/// `should_terminate` plays the auxiliary Reduce collecting all
+/// partials under a single key and broadcasting the termination signal.
+pub trait AuxPhase<K, S>: Send + Sync {
+    /// Partial auxiliary value computed from one reduce partition's
+    /// previous and current outputs.
+    fn partial(&self, prev: &[(K, S)], cur: &[(K, S)]) -> f64;
+
+    /// Whether the summed partials signal termination.
+    fn should_terminate(&self, total: f64) -> bool;
+}
+
+/// Result of a run with an auxiliary phase.
+#[derive(Debug, Clone)]
+pub struct AuxOutcome<K, S> {
+    /// Virtual-time report of the main phase.
+    pub report: RunReport,
+    /// Final state (sorted).
+    pub final_state: Vec<(K, S)>,
+    /// Iterations executed by the main phase.
+    pub iterations: usize,
+    /// The auxiliary total observed after each iteration (from
+    /// iteration 2 on; iteration 1 has no previous snapshot).
+    pub aux_values: Vec<f64>,
+}
+
+/// Runs a one2all (broadcast) iterative job with an auxiliary
+/// convergence-detection phase (`job1.addAuxiliary(job2)`).
+///
+/// Restrictions match the paper's usage: the main job uses one2all
+/// mapping with synchronous maps (the K-means shape); termination comes
+/// from the auxiliary phase or the iteration cap.
+pub fn run_with_aux<J, A>(
+    runner: &IterativeRunner,
+    job: &J,
+    aux: &A,
+    cfg: &IterConfig,
+    state_dir: &str,
+    static_dir: &str,
+    output_dir: &str,
+) -> Result<AuxOutcome<J::K, J::S>, EngineError>
+where
+    J: IterativeJob,
+    A: AuxPhase<J::K, J::S>,
+{
+    assert_eq!(
+        cfg.mapping,
+        Mapping::One2All,
+        "auxiliary phases are supported for one2all (K-means-like) jobs"
+    );
+    let n = cfg.num_tasks;
+    // Main pairs plus auxiliary tasks need slots.
+    assert!(2 * n <= runner.pair_capacity(), "aux phase needs extra task slots");
+    let cost = &runner.cluster().cost;
+    let metrics = runner.metrics().clone();
+    metrics.jobs_launched.add(1);
+
+    let nodes = runner.cluster().len();
+    let assignment: Vec<imr_simcluster::NodeId> =
+        (0..n).map(|p| imr_simcluster::NodeId((p % nodes) as u32)).collect();
+
+    // ---- Init: launch persistent pairs (+ aux pairs), load data ------
+    let job_start = VInstant::EPOCH + cost.job_setup;
+    metrics.tasks_launched.add(4 * n as u64);
+    assert_eq!(num_parts(runner.dfs(), static_dir), n);
+    let state_parts = num_parts(runner.dfs(), state_dir);
+
+    let mut static_store: Vec<Vec<(J::K, J::T)>> = Vec::with_capacity(n);
+    let mut static_bytes: Vec<u64> = Vec::with_capacity(n);
+    let mut global_state: Vec<(J::K, J::S)> = Vec::new();
+    let mut state_ready: Vec<VInstant> = Vec::with_capacity(n);
+    for p in 0..n {
+        let node = assignment[p];
+        let speed = runner.cluster().speed(node);
+        let mut clock = TaskClock::starting_at(job_start + cost.task_launch);
+        let stat: Vec<(J::K, J::T)> = read_part(runner.dfs(), static_dir, p, node, &mut clock)?;
+        let sbytes = runner.dfs().len(&part_path(static_dir, p))?;
+        clock.advance(cost.serde_per_byte * sbytes);
+        clock.advance(cost.sort_time(stat.len() as u64, speed));
+        static_store.push(stat);
+        static_bytes.push(sbytes);
+        let mut all = Vec::new();
+        for i in 0..state_parts {
+            all.extend(read_part::<J::K, J::S>(runner.dfs(), state_dir, i, node, &mut clock)?);
+        }
+        sort_run(&mut all);
+        if p == 0 {
+            global_state = all;
+        }
+        state_ready.push(clock.now());
+    }
+    let state_total_bytes = encode_pairs(&global_state).len() as u64;
+    let mut state_bytes: Vec<u64> = vec![state_total_bytes; n];
+
+    let mut prev_out: Vec<Option<Vec<(J::K, J::S)>>> = vec![None; n];
+    let mut report = RunReport { label: "iMapReduce".into(), ..RunReport::default() };
+    let mut aux_values = Vec::new();
+    let mut iterations = 0usize;
+    // The auxiliary decision in flight: effective once the signal
+    // arrives at the main maps. None until iteration 2.
+    let mut stop_signal: Option<VInstant> = None;
+    let mut last_reduce_done = vec![job_start; n];
+    let mut final_out: Vec<Vec<(J::K, J::S)>> = vec![Vec::new(); n];
+
+    for iter in 1..=cfg.termination.max_iterations {
+        // ---- Map phase (synchronous, one2all) -------------------------
+        let gate = state_ready.iter().copied().max().unwrap_or(job_start);
+        let mut map_done = Vec::with_capacity(n);
+        let mut segments: Vec<Vec<Bytes>> = Vec::with_capacity(n);
+        for p in 0..n {
+            let node = assignment[p];
+            let speed = runner.cluster().speed(node);
+            let mut clock = TaskClock::starting_at(gate);
+            let mut emitter = Emitter::new();
+            for (k, t) in &static_store[p] {
+                job.map(k, StateInput::All(&global_state), t, &mut emitter);
+            }
+            metrics.map_input_records.add(static_store[p].len() as u64);
+            let emitted = emitter.len() as u64;
+            clock.advance(cost.compute_time(
+                static_store[p].len() as u64 + emitted,
+                static_bytes[p] + state_bytes[p],
+                speed,
+            ));
+            let mut partitions: Vec<Vec<(J::K, J::S)>> = (0..n).map(|_| Vec::new()).collect();
+            for (k, v) in emitter.into_pairs() {
+                let t = job.partition(&k, n);
+                partitions[t].push((k, v));
+            }
+            let mut encoded = Vec::with_capacity(n);
+            let mut spill = 0u64;
+            for part in &mut partitions {
+                sort_run(part);
+                clock.advance(cost.sort_time(part.len() as u64, speed));
+                let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
+                    let grouped = group_sorted(std::mem::take(part));
+                    let mut combined = Vec::new();
+                    for (k, vals) in grouped {
+                        let nv = vals.len() as u64;
+                        for v in job.combine(&k, vals) {
+                            combined.push((k.clone(), v));
+                        }
+                        clock.advance(cost.compute_time(nv, 0, speed));
+                    }
+                    combined
+                } else {
+                    std::mem::take(part)
+                };
+                let seg = encode_pairs(&final_part);
+                spill += seg.len() as u64;
+                encoded.push(seg);
+            }
+            clock.advance(cost.serde_per_byte * spill);
+            clock.advance(cost.disk_time(spill));
+            let busy = clock.now().duration_since(gate);
+            clock.advance(busy * cost.straggler(iter as u64, p as u64, 1));
+            map_done.push(clock.now());
+            segments.push(encoded);
+        }
+
+        // ---- Reduce phase ---------------------------------------------
+        let mut outs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+        let mut out_bytes = Vec::with_capacity(n);
+        let mut reduce_done = Vec::with_capacity(n);
+        for q in 0..n {
+            let node = assignment[q];
+            let speed = runner.cluster().speed(node);
+            let mut clock = TaskClock::default();
+            let mut arrivals = Vec::with_capacity(n);
+            let mut runs = Vec::with_capacity(n);
+            let mut fetched = 0u64;
+            for p in 0..n {
+                let seg = &segments[p][q];
+                let bytes = seg.len() as u64;
+                fetched += bytes;
+                arrivals
+                    .push(map_done[p] + runner.cluster().transfer_time(assignment[p], node, bytes));
+                if assignment[p] == node {
+                    metrics.shuffle_local_bytes.add(bytes);
+                } else {
+                    metrics.shuffle_remote_bytes.add(bytes);
+                }
+                runs.push(decode_pairs::<J::K, J::S>(seg.clone())?);
+            }
+            clock.barrier(arrivals);
+            let work_start = clock.now();
+            clock.advance(cost.serde_per_byte * fetched);
+            let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+            metrics.reduce_input_records.add(total);
+            let merged = merge_runs(runs);
+            let mut out = Vec::new();
+            for (k, vals) in group_sorted(merged) {
+                let nv = vals.len() as u64;
+                let s = job.reduce(&k, vals);
+                clock.advance(cost.compute_time(nv.div_ceil(3), 0, speed));
+                out.push((k, s));
+            }
+            let bytes = encode_pairs(&out).len() as u64;
+            clock.advance(cost.serde_per_byte * bytes);
+            let busy = clock.now().duration_since(work_start);
+            clock.advance(busy * cost.straggler(iter as u64, q as u64, 2));
+            reduce_done.push(clock.now());
+            outs.push(out);
+            out_bytes.push(bytes);
+        }
+        let iter_done = reduce_done.iter().copied().max().unwrap_or(job_start);
+        report.iteration_done.push(iter_done);
+        iterations += 1;
+        last_reduce_done.clone_from(&reduce_done);
+        final_out.clone_from(&outs);
+
+        // ---- Auxiliary phase, in parallel -----------------------------
+        // Aux map task q reads main reduce q's buffered output locally
+        // at reduce_done[q]; the single aux reducer sums the partials
+        // and broadcasts the stop signal.
+        if prev_out.iter().all(Option::is_some) {
+            let mut partial_done = Vec::with_capacity(n);
+            let mut total = 0.0;
+            for q in 0..n {
+                let speed = runner.cluster().speed(assignment[q]);
+                let mut clock = TaskClock::starting_at(reduce_done[q]);
+                let prev = prev_out[q].as_deref().unwrap_or(&[]);
+                total += aux.partial(prev, &outs[q]);
+                clock.advance(cost.compute_time(
+                    (prev.len() + outs[q].len()) as u64,
+                    out_bytes[q],
+                    speed,
+                ));
+                // Ship one float to the aux reducer (worker 0).
+                partial_done
+                    .push(clock.now() + runner.cluster().transfer_time(assignment[q], assignment[0], 16));
+            }
+            let mut aux_reduce = TaskClock::default();
+            aux_reduce.barrier(partial_done);
+            aux_reduce.advance(cost.compute_time(n as u64, 0, 1.0));
+            aux_values.push(total);
+            if aux.should_terminate(total) {
+                // Broadcast the termination signal to the main maps.
+                stop_signal = Some(aux_reduce.now() + cost.net_latency);
+            }
+        }
+
+        // ---- Broadcast hand-off for the next iteration -----------------
+        let mut next_global: Vec<(J::K, J::S)> = Vec::new();
+        for out in &outs {
+            next_global.extend(out.iter().cloned());
+        }
+        sort_run(&mut next_global);
+        let total: u64 = out_bytes.iter().sum();
+        for p in 0..n {
+            let mut gate = VInstant::EPOCH;
+            for q in 0..n {
+                let arr = reduce_done[q]
+                    + cost.handoff_flush
+                    + runner
+                        .cluster()
+                        .transfer_time(assignment[q], assignment[p], out_bytes[q]);
+                gate = gate.max(arr);
+                if assignment[q] != assignment[p] {
+                    metrics.broadcast_bytes.add(out_bytes[q]);
+                }
+            }
+            state_ready[p] = gate;
+            state_bytes[p] = total;
+        }
+        prev_out = outs.into_iter().map(Some).collect();
+        global_state = next_global;
+
+        if stop_signal.is_some() {
+            break;
+        }
+    }
+
+    // ---- Final dump ----------------------------------------------------
+    let end = stop_signal.unwrap_or_else(|| {
+        report
+            .iteration_done
+            .last()
+            .copied()
+            .unwrap_or(job_start)
+            + cost.net_latency
+    });
+    let mut finish = Vec::with_capacity(n);
+    let mut final_state: Vec<(J::K, J::S)> = Vec::new();
+    for q in 0..n {
+        let start = last_reduce_done[q].max(end);
+        let mut clock = TaskClock::starting_at(start);
+        let payload = encode_pairs(&final_out[q]);
+        runner.dfs().put(&part_path(output_dir, q), payload, assignment[q], &mut clock)?;
+        finish.push(clock.now());
+        final_state.extend(final_out[q].iter().cloned());
+    }
+    sort_run(&mut final_state);
+    report.finished = finish.into_iter().max().unwrap_or(end);
+    report.metrics = metrics.snapshot();
+    Ok(AuxOutcome { report, final_state, iterations, aux_values })
+}

@@ -1,0 +1,190 @@
+//! Job configuration: the Rust equivalent of the paper's
+//! `JobConf` parameters (`mapred.iterjob.*`).
+
+use crate::api::Mapping;
+use imr_simcluster::NodeId;
+
+/// Termination rule (paper §3.1.2): a fixed iteration cap, optionally
+/// tightened by a distance threshold between consecutive iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Termination {
+    /// `mapred.iterjob.maxiter` — hard upper bound on iterations.
+    pub max_iterations: usize,
+    /// `mapred.iterjob.disthresh` — stop once the accumulated
+    /// `distance()` between consecutive iterations drops below this.
+    pub distance_threshold: Option<f64>,
+}
+
+/// Load-balancing policy (paper §3.4.2): after each iteration the
+/// master compares per-task iteration times and migrates the slowest
+/// worker's map/reduce pair to the fastest worker when the deviation
+/// exceeds a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBalance {
+    /// Migrate when `slowest / average > 1 + deviation`.
+    pub deviation: f64,
+    /// Upper bound on total migrations (guards against the paper's
+    /// "large partition keeps moving around" pathology).
+    pub max_migrations: usize,
+}
+
+impl Default for LoadBalance {
+    fn default() -> Self {
+        LoadBalance { deviation: 0.25, max_migrations: 8 }
+    }
+}
+
+/// A scripted worker failure, used by fault-tolerance tests and the
+/// recovery experiments: `node` dies once iteration `at_iteration` has
+/// completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// The node that fails.
+    pub node: NodeId,
+    /// The iteration after which it fails (1-based).
+    pub at_iteration: usize,
+}
+
+/// Full configuration of one iMapReduce job.
+#[derive(Debug, Clone)]
+pub struct IterConfig {
+    /// Job name (used in DFS paths and reports).
+    pub name: String,
+    /// Number of persistent map/reduce task pairs. Must not exceed the
+    /// cluster's task slots (§3.1.1 requires every persistent task to
+    /// hold a slot for the whole run).
+    pub num_tasks: usize,
+    /// Termination rule.
+    pub termination: Termination,
+    /// one2one (graph algorithms) or one2all (K-means-like broadcast).
+    pub mapping: Mapping,
+    /// `mapred.iterjob.sync` — force synchronous map execution (map
+    /// tasks wait for *all* reduce tasks of the previous iteration).
+    /// Implied by one2all. The paper's "iMapReduce (sync.)" reference
+    /// curve sets this under one2one.
+    pub sync_maps: bool,
+    /// Stream the reduce output to the paired map task in buffer-sized
+    /// chunks as it is produced (§3.3's eager sending with a buffer),
+    /// letting the map's sorted join start right after the reduce's
+    /// shuffle barrier instead of after its last record. one2one only.
+    pub eager_handoff: bool,
+    /// Dump reduce-side state to DFS every this many iterations
+    /// (checkpointing, §3.4.1). 0 disables checkpointing.
+    pub checkpoint_interval: usize,
+    /// Optional migration-based load balancing.
+    pub load_balance: Option<LoadBalance>,
+}
+
+impl IterConfig {
+    /// A one2one async config with `num_tasks` pairs and a fixed
+    /// iteration count — the common graph-algorithm setup.
+    pub fn new(name: impl Into<String>, num_tasks: usize, max_iterations: usize) -> Self {
+        assert!(num_tasks > 0, "need at least one task pair");
+        assert!(max_iterations > 0, "need at least one iteration");
+        IterConfig {
+            name: name.into(),
+            num_tasks,
+            termination: Termination { max_iterations, distance_threshold: None },
+            mapping: Mapping::One2One,
+            sync_maps: false,
+            eager_handoff: false,
+            checkpoint_interval: 5,
+            load_balance: None,
+        }
+    }
+
+    /// Enables eager chunked reduce→map hand-off (§3.3 buffer).
+    pub fn with_eager_handoff(mut self) -> Self {
+        self.eager_handoff = true;
+        self
+    }
+
+    /// Sets a distance threshold (`disthresh`).
+    pub fn with_distance_threshold(mut self, eps: f64) -> Self {
+        self.termination.distance_threshold = Some(eps);
+        self
+    }
+
+    /// Switches to one2all broadcast mapping (implies synchronous maps).
+    pub fn with_one2all(mut self) -> Self {
+        self.mapping = Mapping::One2All;
+        self.sync_maps = true;
+        self
+    }
+
+    /// Forces synchronous map execution (the paper's sync. variant).
+    pub fn with_sync_maps(mut self) -> Self {
+        self.sync_maps = true;
+        self
+    }
+
+    /// Sets the checkpoint interval (0 disables).
+    pub fn with_checkpoint_interval(mut self, every: usize) -> Self {
+        self.checkpoint_interval = every;
+        self
+    }
+
+    /// Enables load balancing with the given policy.
+    pub fn with_load_balance(mut self, lb: LoadBalance) -> Self {
+        self.load_balance = Some(lb);
+        self
+    }
+
+    /// Whether maps effectively run synchronously (explicit flag or
+    /// implied by one2all).
+    pub fn effective_sync(&self) -> bool {
+        self.sync_maps || self.mapping == Mapping::One2All
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let c = IterConfig::new("pagerank", 8, 20)
+            .with_distance_threshold(0.01)
+            .with_checkpoint_interval(3)
+            .with_load_balance(LoadBalance::default());
+        assert_eq!(c.num_tasks, 8);
+        assert_eq!(c.termination.max_iterations, 20);
+        assert_eq!(c.termination.distance_threshold, Some(0.01));
+        assert_eq!(c.checkpoint_interval, 3);
+        assert!(c.load_balance.is_some());
+        assert!(!c.effective_sync());
+    }
+
+    #[test]
+    fn eager_handoff_flag() {
+        let c = IterConfig::new("sssp", 2, 3).with_eager_handoff();
+        assert!(c.eager_handoff);
+        assert!(!IterConfig::new("sssp", 2, 3).eager_handoff);
+    }
+
+    #[test]
+    fn one2all_implies_sync() {
+        let c = IterConfig::new("kmeans", 4, 10).with_one2all();
+        assert_eq!(c.mapping, Mapping::One2All);
+        assert!(c.effective_sync());
+    }
+
+    #[test]
+    fn sync_flag_alone_keeps_one2one() {
+        let c = IterConfig::new("sssp", 4, 10).with_sync_maps();
+        assert_eq!(c.mapping, Mapping::One2One);
+        assert!(c.effective_sync());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let _ = IterConfig::new("bad", 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = IterConfig::new("bad", 1, 0);
+    }
+}

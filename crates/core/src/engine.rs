@@ -1,0 +1,847 @@
+//! The iMapReduce runtime (paper §3).
+//!
+//! One job = `num_tasks` *persistent* map/reduce task pairs. Each pair
+//! is launched once, holds its static data partition locally, and loops
+//! over iterations: join state with static → map → shuffle state →
+//! reduce → hand the new state straight back to the paired map task
+//! over a local persistent connection. Map tasks activate
+//! asynchronously (as soon as *their* reduce finished) unless the job
+//! forces synchronous execution or uses one2all broadcast.
+//!
+//! The loop also implements the paper's runtime support: per-iteration
+//! termination checks merged at the master (§3.1.2), checkpoint-based
+//! fault tolerance with rollback (§3.4.1), and migration-based load
+//! balancing (§3.4.2).
+
+use crate::api::{IterativeJob, Mapping, StateInput};
+use crate::config::{FailureEvent, IterConfig};
+use bytes::Bytes;
+use imr_dfs::Dfs;
+use imr_mapreduce::io::{num_parts, part_path, read_part};
+use imr_mapreduce::{Emitter, EngineError};
+use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
+use imr_simcluster::{ClusterSpec, MetricsHandle, NodeId, RunReport, TaskClock, VInstant};
+use std::sync::Arc;
+
+/// The outcome of one iMapReduce run.
+#[derive(Debug, Clone)]
+pub struct IterOutcome<K, S> {
+    /// Virtual-time report (per-iteration completion, total, metrics).
+    pub report: RunReport,
+    /// Final state, sorted by key (also committed to the output dir).
+    pub final_state: Vec<(K, S)>,
+    /// Iterations executed (rolled-back iterations not counted twice).
+    pub iterations: usize,
+    /// Global distance measured after each iteration (`INFINITY` while
+    /// no previous snapshot exists or no threshold is set).
+    pub distances: Vec<f64>,
+    /// Task-pair migrations performed by load balancing.
+    pub migrations: u64,
+    /// Failure recoveries performed.
+    pub recoveries: u64,
+}
+
+/// Executes [`IterativeJob`]s over one simulated cluster + DFS.
+#[derive(Clone)]
+pub struct IterativeRunner {
+    cluster: Arc<ClusterSpec>,
+    dfs: Dfs,
+    metrics: MetricsHandle,
+}
+
+/// Checkpoint snapshot kept by the master for rollback.
+struct Checkpoint<K, S> {
+    iter: usize,
+    state: Vec<Vec<(K, S)>>,
+    global_state: Vec<(K, S)>,
+    prev_out: Vec<Option<Vec<(K, S)>>>,
+    dfs_dir: Option<String>,
+}
+
+impl IterativeRunner {
+    /// A runner over the given substrate handles.
+    pub fn new(cluster: Arc<ClusterSpec>, dfs: Dfs, metrics: MetricsHandle) -> Self {
+        IterativeRunner { cluster, dfs, metrics }
+    }
+
+    /// The cluster this runner schedules on.
+    pub fn cluster(&self) -> &Arc<ClusterSpec> {
+        &self.cluster
+    }
+
+    /// The DFS this runner reads and writes.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Maximum number of persistent task pairs this cluster can host
+    /// (every pair needs a map slot and a reduce slot for the whole
+    /// run, §3.1.1).
+    pub fn pair_capacity(&self) -> usize {
+        self.cluster
+            .nodes
+            .iter()
+            .map(|n| n.map_slots.min(n.reduce_slots))
+            .sum()
+    }
+
+    fn node_pair_capacity(&self, node: NodeId) -> usize {
+        let n = &self.cluster.nodes[node.index()];
+        n.map_slots.min(n.reduce_slots)
+    }
+
+    /// Runs `job` to termination.
+    ///
+    /// * `state_dir` — `mapred.iterjob.statepath`: initial state parts,
+    ///   partitioned with the job's partition function;
+    /// * `static_dir` — `mapred.iterjob.staticpath`: static data parts,
+    ///   co-partitioned with the state;
+    /// * `output_dir` — final state parts are committed here;
+    /// * `failures` — scripted worker failures to inject.
+    pub fn run<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        failures: &[FailureEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        let n = cfg.num_tasks;
+        assert!(
+            n <= self.pair_capacity(),
+            "persistent tasks need dedicated slots: {} pairs > capacity {}",
+            n,
+            self.pair_capacity()
+        );
+        assert_eq!(
+            num_parts(&self.dfs, static_dir),
+            n,
+            "static data must be pre-partitioned into num_tasks parts"
+        );
+        let cost = &self.cluster.cost;
+        let one2all = cfg.mapping == Mapping::One2All;
+        self.metrics.jobs_launched.add(1);
+
+        // ---- One-time initialization (persistent task launch + load) --
+        let job_start = VInstant::EPOCH + cost.job_setup;
+        let nodes = self.cluster.len();
+        let mut assignment: Vec<NodeId> = Vec::with_capacity(n);
+        {
+            // Round-robin over nodes, respecting per-node pair capacity.
+            let mut per_node = vec![0usize; nodes];
+            let mut node = 0usize;
+            for _ in 0..n {
+                while per_node[node] >= self.node_pair_capacity(NodeId(node as u32)) {
+                    node = (node + 1) % nodes;
+                }
+                assignment.push(NodeId(node as u32));
+                per_node[node] += 1;
+                node = (node + 1) % nodes;
+            }
+        }
+
+        let mut static_store: Vec<Vec<(J::K, J::T)>> = Vec::with_capacity(n);
+        let mut static_bytes: Vec<u64> = Vec::with_capacity(n);
+        let mut state_store: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+        let mut state_bytes: Vec<u64> = Vec::with_capacity(n);
+        let mut state_ready: Vec<VInstant> = Vec::with_capacity(n);
+        let mut global_state: Vec<(J::K, J::S)> = Vec::new();
+        let state_parts = num_parts(&self.dfs, state_dir);
+
+        for p in 0..n {
+            let node = assignment[p];
+            let speed = self.cluster.speed(node);
+            let mut clock = TaskClock::starting_at(job_start);
+            // The pair's two persistent tasks launch concurrently.
+            clock.advance(cost.task_launch);
+            self.metrics.tasks_launched.add(2);
+
+            let stat: Vec<(J::K, J::T)> = read_part(&self.dfs, static_dir, p, node, &mut clock)?;
+            let sbytes = self.dfs.len(&part_path(static_dir, p))?;
+            clock.advance(cost.serde_per_byte * sbytes);
+            clock.advance(cost.sort_time(stat.len() as u64, speed));
+            static_store.push(stat);
+            static_bytes.push(sbytes);
+
+            if one2all {
+                // Every map task loads the full (small) initial state.
+                let mut all: Vec<(J::K, J::S)> = Vec::new();
+                let mut total = 0u64;
+                for i in 0..state_parts {
+                    all.extend(read_part::<J::K, J::S>(
+                        &self.dfs, state_dir, i, node, &mut clock,
+                    )?);
+                    total += self.dfs.len(&part_path(state_dir, i))?;
+                }
+                sort_run(&mut all);
+                clock.advance(cost.serde_per_byte * total);
+                if p == 0 {
+                    global_state = all;
+                }
+                state_store.push(Vec::new());
+                state_bytes.push(total);
+            } else {
+                assert_eq!(
+                    state_parts, n,
+                    "one2one state must be pre-partitioned into num_tasks parts"
+                );
+                let st: Vec<(J::K, J::S)> = read_part(&self.dfs, state_dir, p, node, &mut clock)?;
+                let bytes = self.dfs.len(&part_path(state_dir, p))?;
+                clock.advance(cost.serde_per_byte * bytes);
+                clock.advance(cost.sort_time(st.len() as u64, speed));
+                state_store.push(st);
+                state_bytes.push(bytes);
+            }
+            state_ready.push(clock.now());
+        }
+
+        // With eager hand-off, `state_ready` is when the map may START
+        // consuming the chunked stream; `state_complete` is when the
+        // last chunk exists — the map cannot finish before it.
+        let mut state_complete: Vec<VInstant> = state_ready.clone();
+
+        // Previous reduce outputs (for distance under one2all and as
+        // the "two consecutive iterations" snapshot of §3.1.2).
+        let mut prev_out: Vec<Option<Vec<(J::K, J::S)>>> = vec![None; n];
+
+        // Checkpoint 0: the initial data (recovery with no later
+        // checkpoint restarts the iterative process from scratch).
+        let mut ckpt = Checkpoint {
+            iter: 0,
+            state: state_store.clone(),
+            global_state: global_state.clone(),
+            prev_out: prev_out.clone(),
+            dfs_dir: None,
+        };
+
+        let mut report = RunReport { label: self.label(cfg), ..RunReport::default() };
+        let mut distances: Vec<f64> = Vec::new();
+        let mut pending_failures: Vec<FailureEvent> = failures.to_vec();
+        pending_failures.sort_by_key(|f| f.at_iteration);
+        let mut migrations = 0u64;
+        let mut recoveries = 0u64;
+        let max_iters = cfg.termination.max_iterations;
+        let mut iter = 1usize;
+        let mut last_reduce_done: Vec<VInstant> = vec![job_start; n];
+        let mut decision_time = job_start;
+
+        while iter <= max_iters {
+            // Per-pair busy time this iteration (compute only, no
+            // barrier waits) — the "processing time" reduce tasks put
+            // in their §3.4.2 iteration completion reports.
+            let mut pair_busy = vec![0.0f64; n];
+            // ---- Map phase -------------------------------------------
+            let sync_gate = state_ready.iter().copied().max().unwrap_or(job_start);
+            let mut map_done: Vec<VInstant> = Vec::with_capacity(n);
+            let mut segments: Vec<Vec<Bytes>> = Vec::with_capacity(n);
+            for p in 0..n {
+                let activation = if cfg.effective_sync() { sync_gate } else { state_ready[p] };
+                let node = assignment[p];
+                let speed = self.cluster.speed(node);
+                let mut clock = TaskClock::starting_at(activation);
+
+                let mut emitter = Emitter::new();
+                let records_in: u64 = if one2all {
+                    for (k, t) in &static_store[p] {
+                        job.map(k, StateInput::All(&global_state), t, &mut emitter);
+                    }
+                    static_store[p].len() as u64
+                } else {
+                    // Eager sorted join of the state stream with the
+                    // local static store (§3.2.2). Both are key-sorted
+                    // and co-partitioned, so they zip exactly.
+                    assert_eq!(
+                        state_store[p].len(),
+                        static_store[p].len(),
+                        "state/static co-partitioning broken at pair {p}"
+                    );
+                    for ((ks, s), (kt, t)) in state_store[p].iter().zip(&static_store[p]) {
+                        assert!(ks == kt, "state/static keys diverged at pair {p}");
+                        job.map(ks, StateInput::One(s), t, &mut emitter);
+                    }
+                    state_store[p].len() as u64
+                };
+                self.metrics.map_input_records.add(records_in);
+                let in_bytes = state_bytes[p] + static_bytes[p];
+                let emitted = emitter.len() as u64;
+                clock.advance(cost.compute_time(records_in + emitted, in_bytes, speed));
+
+                // Partition, sort, optionally combine, encode.
+                let mut partitions: Vec<Vec<(J::K, J::S)>> = (0..n).map(|_| Vec::new()).collect();
+                for (k, v) in emitter.into_pairs() {
+                    let t = job.partition(&k, n);
+                    partitions[t].push((k, v));
+                }
+                let mut encoded = Vec::with_capacity(n);
+                let mut spill = 0u64;
+                for part in &mut partitions {
+                    sort_run(part);
+                    clock.advance(cost.sort_time(part.len() as u64, speed));
+                    let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
+                        let grouped = group_sorted(std::mem::take(part));
+                        let mut combined = Vec::new();
+                        for (k, vals) in grouped {
+                            let nv = vals.len() as u64;
+                            for v in job.combine(&k, vals) {
+                                combined.push((k.clone(), v));
+                            }
+                            clock.advance(cost.compute_time(nv, 0, speed));
+                        }
+                        combined
+                    } else {
+                        std::mem::take(part)
+                    };
+                    let seg = encode_pairs(&final_part);
+                    spill += seg.len() as u64;
+                    encoded.push(seg);
+                }
+                // iMapReduce keeps intermediate data in files (§6).
+                clock.advance(cost.serde_per_byte * spill);
+                clock.advance(cost.disk_time(spill));
+                // Deterministic straggler slowdown, keyed by iteration
+                // and task so sync/async variants face the same pattern.
+                let busy = clock.now().duration_since(activation);
+                clock.advance(busy * cost.straggler(iter as u64, p as u64, 1));
+                pair_busy[p] += clock.now().duration_since(activation).as_secs_f64();
+                // Pipelined consumption cannot outrun its producer.
+                map_done.push(clock.now().max(state_complete[p]));
+                segments.push(encoded);
+            }
+
+            // ---- Reduce phase ----------------------------------------
+            let mut new_states: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+            let mut new_state_bytes: Vec<u64> = Vec::with_capacity(n);
+            let mut reduce_done: Vec<VInstant> = Vec::with_capacity(n);
+            let mut reduce_work_start: Vec<VInstant> = Vec::with_capacity(n);
+            let mut iter_distance = 0.0f64;
+            let mut any_prev = false;
+
+            for q in 0..n {
+                let node = assignment[q];
+                let speed = self.cluster.speed(node);
+                let mut clock = TaskClock::default();
+                let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+                let mut fetched = 0u64;
+                let mut arrivals = Vec::with_capacity(n);
+                for p in 0..n {
+                    let seg = &segments[p][q];
+                    let bytes = seg.len() as u64;
+                    fetched += bytes;
+                    arrivals.push(
+                        map_done[p] + self.cluster.transfer_time(assignment[p], node, bytes),
+                    );
+                    if assignment[p] == node {
+                        self.metrics.shuffle_local_bytes.add(bytes);
+                    } else {
+                        self.metrics.shuffle_remote_bytes.add(bytes);
+                    }
+                    runs.push(decode_pairs(seg.clone())?);
+                }
+                clock.barrier(arrivals);
+                let work_start = clock.now();
+                reduce_work_start.push(work_start);
+                clock.advance(cost.serde_per_byte * fetched);
+                let total_rec: u64 = runs.iter().map(|r| r.len() as u64).sum();
+                self.metrics.reduce_input_records.add(total_rec);
+                let merged = merge_runs(runs);
+                if n > 1 && total_rec > 0 {
+                    let cmps = total_rec as f64 * (n as f64).log2();
+                    clock.advance(cost.sort_per_cmp * cmps.round() as u64 * (1.0 / speed));
+                }
+
+                let mut reduced: Vec<(J::K, J::S)> = Vec::new();
+                for (k, vals) in group_sorted(merged) {
+                    let nv = vals.len() as u64;
+                    let s = job.reduce(&k, vals);
+                    clock.advance(cost.compute_time(nv.div_ceil(3), 0, speed));
+                    reduced.push((k, s));
+                }
+
+                // Keys that received no value this iteration keep their
+                // previous state (one2one only; under one2all the state
+                // space is whatever the reducers produce).
+                let new_state = if one2all {
+                    reduced
+                } else {
+                    carry_forward(reduced, &state_store[q])
+                };
+
+                // Local distance vs the previous snapshot (§3.1.2).
+                if cfg.termination.distance_threshold.is_some() {
+                    let prev: Option<&[(J::K, J::S)]> = if one2all {
+                        prev_out[q].as_deref()
+                    } else {
+                        Some(&state_store[q])
+                    };
+                    if let Some(prev) = prev {
+                        any_prev = true;
+                        iter_distance += distance_sorted(job, prev, &new_state);
+                        clock.advance(cost.compute_time(new_state.len() as u64, 0, speed));
+                    }
+                }
+
+                let bytes = encode_pairs(&new_state).len() as u64;
+                clock.advance(cost.serde_per_byte * bytes);
+                let busy = clock.now().duration_since(work_start);
+                clock.advance(busy * cost.straggler(iter as u64, q as u64, 2));
+                pair_busy[q] += clock.now().duration_since(work_start).as_secs_f64();
+                reduce_done.push(clock.now());
+                new_states.push(new_state);
+                new_state_bytes.push(bytes);
+            }
+
+            let iter_done = reduce_done.iter().copied().max().unwrap_or(job_start);
+            report.iteration_done.push(iter_done);
+            last_reduce_done.clone_from(&reduce_done);
+
+            // ---- State hand-off back to the map side -----------------
+            if one2all {
+                // Broadcast: every reduce ships its output to all map
+                // tasks; each map's next activation is the barrier over
+                // all broadcasts.
+                let mut next_global: Vec<(J::K, J::S)> = Vec::new();
+                for q in 0..n {
+                    next_global.extend(new_states[q].iter().cloned());
+                }
+                sort_run(&mut next_global);
+                let total: u64 = new_state_bytes.iter().sum();
+                for p in 0..n {
+                    let mut gate = VInstant::EPOCH;
+                    for q in 0..n {
+                        let arr = reduce_done[q]
+                            + cost.handoff_flush
+                            + self
+                                .cluster
+                                .transfer_time(assignment[q], assignment[p], new_state_bytes[q]);
+                        gate = gate.max(arr);
+                        if assignment[q] != assignment[p] {
+                            self.metrics.broadcast_bytes.add(new_state_bytes[q]);
+                        }
+                    }
+                    state_ready[p] = gate;
+                    state_complete[p] = gate;
+                    state_bytes[p] = total;
+                }
+                prev_out = new_states.iter().cloned().map(Some).collect();
+                global_state = next_global;
+            } else {
+                for q in 0..n {
+                    // Persistent local socket to the paired map task.
+                    let complete = reduce_done[q]
+                        + cost.handoff_flush
+                        + cost.local_transfer_time(new_state_bytes[q]);
+                    state_complete[q] = complete;
+                    state_ready[q] = if cfg.eager_handoff {
+                        // First buffer flush: right after the reduce
+                        // cleared its shuffle barrier (§3.3's eager
+                        // sending; the buffer amortizes the context
+                        // switches, modelled by one flush charge).
+                        (reduce_work_start[q] + cost.handoff_flush).max(state_ready[q])
+                    } else {
+                        complete
+                    };
+                    self.metrics.state_handoff_bytes.add(new_state_bytes[q]);
+                    state_bytes[q] = new_state_bytes[q];
+                }
+                prev_out = state_store.iter().cloned().map(Some).collect();
+                state_store = new_states;
+            }
+
+            // ---- Master: termination check ---------------------------
+            decision_time = iter_done + cost.net_latency;
+            if cfg.termination.distance_threshold.is_some() {
+                distances.push(if any_prev { iter_distance } else { f64::INFINITY });
+            }
+            let converged = match cfg.termination.distance_threshold {
+                Some(eps) => any_prev && iter_distance < eps,
+                None => false,
+            };
+            let done = converged || iter == max_iters;
+
+            // ---- Checkpointing (parallel with computation) -----------
+            if !done && cfg.checkpoint_interval > 0 && iter.is_multiple_of(cfg.checkpoint_interval) {
+                let dir = format!("{}/_ckpt/iter-{iter:04}", output_dir.trim_end_matches('/'));
+                self.write_checkpoint::<J>(&dir, &state_store, &global_state, one2all, &assignment)?;
+                if let Some(old) = ckpt.dfs_dir.take() {
+                    imr_mapreduce::io::delete_dir(&self.dfs, &old);
+                }
+                ckpt = Checkpoint {
+                    iter,
+                    state: state_store.clone(),
+                    global_state: global_state.clone(),
+                    prev_out: prev_out.clone(),
+                    dfs_dir: Some(dir),
+                };
+            }
+            if done {
+                break;
+            }
+
+            // ---- Failure injection + recovery ------------------------
+            if let Some(pos) = pending_failures.iter().position(|f| f.at_iteration == iter) {
+                let failure = pending_failures.remove(pos);
+                recoveries += 1;
+                let recover_at = self.recover_from_failure::<J>(
+                    failure.node,
+                    decision_time,
+                    &mut assignment,
+                    &ckpt,
+                    static_dir,
+                    &mut static_store,
+                    &mut static_bytes,
+                )?;
+                state_store = ckpt.state.clone();
+                global_state = ckpt.global_state.clone();
+                prev_out = ckpt.prev_out.clone();
+                for p in 0..n {
+                    state_ready[p] = recover_at;
+                    state_complete[p] = recover_at;
+                    state_bytes[p] = encode_pairs(if one2all {
+                        &global_state
+                    } else {
+                        &state_store[p]
+                    })
+                    .len() as u64;
+                }
+                report.iteration_done.truncate(ckpt.iter);
+                distances.truncate(ckpt.iter);
+                iter = ckpt.iter + 1;
+                continue;
+            }
+
+            // ---- Load balancing (§3.4.2) -----------------------------
+            if let Some(lb) = &cfg.load_balance {
+                if migrations < lb.max_migrations as u64 && n > 1 {
+                    if let Some((slow_pair, fast_node)) =
+                        self.pick_migration(&assignment, &pair_busy, lb.deviation)
+                    {
+                        migrations += 1;
+                        self.metrics.migrations.add(1);
+                        let recover_at = self.migrate_pair::<J>(
+                            slow_pair,
+                            fast_node,
+                            decision_time,
+                            &mut assignment,
+                            static_dir,
+                            &mut static_store,
+                            &mut static_bytes,
+                        )?;
+                        // Everyone rolls back to the latest checkpoint.
+                        state_store = ckpt.state.clone();
+                        global_state = ckpt.global_state.clone();
+                        prev_out = ckpt.prev_out.clone();
+                        for p in 0..n {
+                            state_ready[p] = recover_at;
+                            state_complete[p] = recover_at;
+                            state_bytes[p] = encode_pairs(if one2all {
+                                &global_state
+                            } else {
+                                &state_store[p]
+                            })
+                            .len() as u64;
+                        }
+                        report.iteration_done.truncate(ckpt.iter);
+                        distances.truncate(ckpt.iter);
+                        iter = ckpt.iter + 1;
+                        continue;
+                    }
+                }
+            }
+
+            iter += 1;
+        }
+
+        let iterations = report.iteration_done.len();
+
+        // ---- Final output dump (once, at termination; Fig. 1b) -------
+        let mut finish_times = Vec::with_capacity(n);
+        let mut final_state: Vec<(J::K, J::S)> = Vec::new();
+        for q in 0..n {
+            let node = assignment[q];
+            let start = last_reduce_done[q].max(decision_time);
+            let mut clock = TaskClock::starting_at(start);
+            let data = if one2all { prev_out[q].clone().unwrap_or_default() } else { state_store[q].clone() };
+            let payload = encode_pairs(&data);
+            self.dfs.put(&part_path(output_dir, q), payload, node, &mut clock)?;
+            finish_times.push(clock.now());
+            final_state.extend(data);
+        }
+        sort_run(&mut final_state);
+        report.finished = finish_times.into_iter().max().unwrap_or(decision_time);
+        report.metrics = self.metrics.snapshot();
+
+        Ok(IterOutcome {
+            report,
+            final_state,
+            iterations,
+            distances,
+            migrations,
+            recoveries,
+        })
+    }
+
+    fn label(&self, cfg: &IterConfig) -> String {
+        if cfg.mapping == Mapping::One2One && cfg.sync_maps {
+            "iMapReduce (sync.)".to_owned()
+        } else {
+            "iMapReduce".to_owned()
+        }
+    }
+
+    /// Writes a checkpoint to the DFS on a throwaway clock: the paper
+    /// performs checkpointing in parallel with the iterative process,
+    /// so it costs bytes (counted) but no critical-path time.
+    fn write_checkpoint<J: IterativeJob>(
+        &self,
+        dir: &str,
+        state: &[Vec<(J::K, J::S)>],
+        global_state: &[(J::K, J::S)],
+        one2all: bool,
+        assignment: &[NodeId],
+    ) -> Result<(), EngineError> {
+        let before = self.metrics.dfs_write_bytes.get();
+        for (q, part) in state.iter().enumerate() {
+            let payload = if one2all && q == 0 {
+                encode_pairs(global_state)
+            } else {
+                encode_pairs(part)
+            };
+            let mut off_path = TaskClock::default();
+            self.dfs.put(&part_path(dir, q), payload, assignment[q], &mut off_path)?;
+        }
+        let written = self.metrics.dfs_write_bytes.get() - before;
+        self.metrics.checkpoint_bytes.add(written);
+        Ok(())
+    }
+
+    /// Handles a worker failure: marks the node dead in the DFS,
+    /// reassigns its pairs to surviving nodes with spare capacity and
+    /// charges the relaunch + static reload. Returns the instant all
+    /// tasks may resume from the checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_from_failure<J: IterativeJob>(
+        &self,
+        dead: NodeId,
+        detected_at: VInstant,
+        assignment: &mut [NodeId],
+        ckpt: &Checkpoint<J::K, J::S>,
+        static_dir: &str,
+        static_store: &mut [Vec<(J::K, J::T)>],
+        static_bytes: &mut [u64],
+    ) -> Result<VInstant, EngineError> {
+        self.dfs.fail_node(dead);
+        let n = assignment.len();
+        let mut per_node = vec![0usize; self.cluster.len()];
+        for (p, node) in assignment.iter().enumerate() {
+            if *node != dead {
+                per_node[node.index()] += 1;
+            } else {
+                let _ = p;
+            }
+        }
+        let mut resume = detected_at;
+        for p in 0..n {
+            if assignment[p] != dead {
+                // Survivors roll back: reload checkpointed state from
+                // DFS (paper §3.4.2 rollback), charged below uniformly.
+                continue;
+            }
+            // Pick the fastest surviving node with spare pair capacity.
+            let target = self
+                .cluster
+                .node_ids()
+                .filter(|&nid| nid != dead)
+                .filter(|&nid| per_node[nid.index()] < self.node_pair_capacity(nid))
+                .max_by(|a, b| {
+                    self.cluster
+                        .speed(*a)
+                        .partial_cmp(&self.cluster.speed(*b))
+                        .unwrap()
+                        .then(b.0.cmp(&a.0))
+                })
+                .expect("no surviving node has capacity for recovery");
+            per_node[target.index()] += 1;
+            assignment[p] = target;
+            self.metrics.tasks_launched.add(2);
+
+            let mut clock = TaskClock::starting_at(detected_at + self.cluster.cost.task_launch);
+            let stat: Vec<(J::K, J::T)> =
+                read_part(&self.dfs, static_dir, p, target, &mut clock)?;
+            static_bytes[p] = self.dfs.len(&part_path(static_dir, p))?;
+            static_store[p] = stat;
+            resume = resume.max(clock.now());
+        }
+        // Rolled-back tasks (all of them) reload the checkpointed state
+        // from DFS; charge the slowest reload.
+        if let Some(dir) = &ckpt.dfs_dir {
+            for p in 0..n {
+                let mut clock = TaskClock::starting_at(detected_at);
+                let _: Vec<(J::K, J::S)> = read_part(&self.dfs, dir, p, assignment[p], &mut clock)
+                    .unwrap_or_default();
+                resume = resume.max(clock.now());
+            }
+        }
+        Ok(resume)
+    }
+
+    /// Chooses the pair to migrate: the paper's rule — average the
+    /// per-worker iteration times excluding the longest and shortest,
+    /// and migrate from the slowest to the fastest worker when the
+    /// deviation exceeds the threshold.
+    fn pick_migration(
+        &self,
+        assignment: &[NodeId],
+        pair_busy: &[f64],
+        deviation: f64,
+    ) -> Option<(usize, NodeId)> {
+        let mut node_time = vec![0.0f64; self.cluster.len()];
+        let mut node_pairs: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.len()];
+        for (q, node) in assignment.iter().enumerate() {
+            node_time[node.index()] = node_time[node.index()].max(pair_busy[q]);
+            node_pairs[node.index()].push(q);
+        }
+        let mut active: Vec<(usize, f64)> = node_time
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !node_pairs[*i].is_empty())
+            .map(|(i, &t)| (i, t))
+            .collect();
+        if active.len() < 2 {
+            return None;
+        }
+        active.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let avg = if active.len() > 2 {
+            let inner = &active[1..active.len() - 1];
+            inner.iter().map(|(_, t)| t).sum::<f64>() / inner.len() as f64
+        } else {
+            active.iter().map(|(_, t)| t).sum::<f64>() / active.len() as f64
+        };
+        let (slowest_node, slowest_time) = *active.last().unwrap();
+        if avg <= 0.0 || slowest_time <= avg * (1.0 + deviation) {
+            return None;
+        }
+        // Fastest worker with spare capacity; prefer idle nodes.
+        let mut per_node = vec![0usize; self.cluster.len()];
+        for node in assignment {
+            per_node[node.index()] += 1;
+        }
+        let target = self
+            .cluster
+            .node_ids()
+            .filter(|nid| nid.index() != slowest_node)
+            .filter(|nid| per_node[nid.index()] < self.node_pair_capacity(*nid))
+            .min_by(|a, b| {
+                node_time[a.index()]
+                    .partial_cmp(&node_time[b.index()])
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            })?;
+        // Migrating onto a slower node never helps.
+        if self.cluster.speed(target) <= self.cluster.speed(NodeId(slowest_node as u32)) {
+            return None;
+        }
+        let pair = *node_pairs[slowest_node].first()?;
+        Some((pair, target))
+    }
+
+    /// Performs the three-step migration of §3.4.2: kill the pair on
+    /// the slow worker, launch a new pair on the fast worker (loading
+    /// state *and* static data from DFS), and roll everyone back.
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_pair<J: IterativeJob>(
+        &self,
+        pair: usize,
+        target: NodeId,
+        detected_at: VInstant,
+        assignment: &mut [NodeId],
+        static_dir: &str,
+        static_store: &mut [Vec<(J::K, J::T)>],
+        static_bytes: &mut [u64],
+    ) -> Result<VInstant, EngineError> {
+        assignment[pair] = target;
+        self.metrics.tasks_launched.add(2);
+        let mut clock = TaskClock::starting_at(detected_at + self.cluster.cost.task_launch);
+        let stat: Vec<(J::K, J::T)> = read_part(&self.dfs, static_dir, pair, target, &mut clock)?;
+        static_bytes[pair] = self.dfs.len(&part_path(static_dir, pair))?;
+        static_store[pair] = stat;
+        Ok(clock.now())
+    }
+}
+
+/// Merges reduce output with the carried-forward previous state: keys
+/// absent from `reduced` keep their old value. Both inputs are sorted;
+/// output is sorted.
+fn carry_forward<K: Ord + Clone, S: Clone>(
+    reduced: Vec<(K, S)>,
+    previous: &[(K, S)],
+) -> Vec<(K, S)> {
+    let mut out = Vec::with_capacity(previous.len().max(reduced.len()));
+    let mut prev = previous.iter().peekable();
+    for (k, s) in reduced {
+        while let Some((pk, ps)) = prev.peek() {
+            if *pk < k {
+                out.push((pk.clone(), ps.clone()));
+                prev.next();
+            } else {
+                break;
+            }
+        }
+        if let Some((pk, _)) = prev.peek() {
+            if *pk == k {
+                prev.next();
+            }
+        }
+        out.push((k, s));
+    }
+    for (pk, ps) in prev {
+        out.push((pk.clone(), ps.clone()));
+    }
+    out
+}
+
+/// Sums the job's per-key distance over two sorted snapshots (keys
+/// present in only one snapshot contribute nothing).
+fn distance_sorted<J: IterativeJob>(
+    job: &J,
+    prev: &[(J::K, J::S)],
+    cur: &[(J::K, J::S)],
+) -> f64 {
+    let mut total = 0.0;
+    let mut pi = 0usize;
+    for (k, s) in cur {
+        while pi < prev.len() && prev[pi].0 < *k {
+            pi += 1;
+        }
+        if pi < prev.len() && prev[pi].0 == *k {
+            total += job.distance(k, &prev[pi].1, s);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_forward_fills_gaps() {
+        let prev = vec![(1u32, 10), (2, 20), (3, 30), (5, 50)];
+        let reduced = vec![(2u32, 99), (4, 44)];
+        let merged = carry_forward(reduced, &prev);
+        assert_eq!(merged, vec![(1, 10), (2, 99), (3, 30), (4, 44), (5, 50)]);
+    }
+
+    #[test]
+    fn carry_forward_with_empty_sides() {
+        let prev = vec![(1u32, 1)];
+        assert_eq!(carry_forward(vec![], &prev), prev);
+        let merged = carry_forward(vec![(2u32, 2)], &[]);
+        assert_eq!(merged, vec![(2, 2)]);
+    }
+}

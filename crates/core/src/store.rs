@@ -1,0 +1,119 @@
+//! Partitioned data loading (paper §3.2).
+//!
+//! iMapReduce partitions the static data with the *same* partition
+//! function used for the state shuffle, so state records always arrive
+//! at the reduce task whose paired map task holds the matching static
+//! records. The loaders here write key-sorted, co-partitioned part
+//! files to the DFS; at job start each persistent map task pulls its
+//! own part onto its local store once.
+
+use imr_dfs::{Dfs, DfsError};
+use imr_mapreduce::io::{part_path, write_parts};
+use imr_records::{sort_run, Codec};
+use imr_simcluster::TaskClock;
+
+/// Partitions `pairs` into `n` key-sorted parts using `partition`.
+///
+/// Duplicate keys are rejected: iMapReduce's data model is keyed
+/// records (one state record and one static record per key), and a
+/// duplicate would silently corrupt the sorted join.
+pub fn partition_sorted<K: Ord + Clone + std::fmt::Debug, V>(
+    pairs: Vec<(K, V)>,
+    n: usize,
+    partition: impl Fn(&K, usize) -> usize,
+) -> Result<Vec<Vec<(K, V)>>, String> {
+    assert!(n > 0, "cannot partition into zero parts");
+    let mut parts: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+    for (k, v) in pairs {
+        let p = partition(&k, n);
+        assert!(p < n, "partition function returned {p} for {n} parts");
+        parts[p].push((k, v));
+    }
+    for part in &mut parts {
+        sort_run(part);
+        for w in part.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!("duplicate key {:?} in input", w[0].0));
+            }
+        }
+    }
+    Ok(parts)
+}
+
+/// Partitions `pairs` and writes them as `<dir>/part-XXXXX` files,
+/// charging `clock` for the load.
+pub fn load_partitioned<K, V>(
+    dfs: &Dfs,
+    dir: &str,
+    pairs: Vec<(K, V)>,
+    n: usize,
+    partition: impl Fn(&K, usize) -> usize,
+    clock: &mut TaskClock,
+) -> Result<(), DfsError>
+where
+    K: Codec + Ord + Clone + std::fmt::Debug,
+    V: Codec,
+{
+    let parts = partition_sorted(pairs, n, partition)
+        .map_err(DfsError::BlockLost)?;
+    write_parts(dfs, dir, &parts, clock)
+}
+
+/// Encoded size of part `i` of `dir` (for cost accounting without a
+/// transfer).
+pub fn part_len(dfs: &Dfs, dir: &str, i: usize) -> Result<u64, DfsError> {
+    dfs.len(&part_path(dir, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imr_mapreduce::io::read_part;
+    use imr_records::{is_sorted_by_key, ModPartitioner, Partitioner};
+    use imr_simcluster::{ClusterSpec, Metrics, NodeId};
+    use std::sync::Arc;
+
+    fn dfs() -> Dfs {
+        Dfs::with_block_size(
+            Arc::new(ClusterSpec::local(3)),
+            Arc::new(Metrics::default()),
+            2,
+            1 << 16,
+        )
+    }
+
+    #[test]
+    fn partitions_are_sorted_and_disjoint() {
+        let pairs: Vec<(u32, u32)> = (0..100).rev().map(|i| (i, i * 2)).collect();
+        let parts = partition_sorted(pairs, 4, |k, n| ModPartitioner.partition(k, n)).unwrap();
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        for (p, part) in parts.iter().enumerate() {
+            assert!(is_sorted_by_key(part));
+            assert!(part.iter().all(|(k, _)| (*k as usize) % 4 == p));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let pairs = vec![(1u32, 'a'), (1, 'b')];
+        assert!(partition_sorted(pairs, 2, |k, n| ModPartitioner.partition(k, n)).is_err());
+    }
+
+    #[test]
+    fn load_partitioned_round_trips_by_partition() {
+        let fs = dfs();
+        let mut clock = TaskClock::default();
+        let pairs: Vec<(u32, f64)> = (0..20).map(|i| (i, f64::from(i))).collect();
+        load_partitioned(&fs, "/static", pairs, 3, |k, n| ModPartitioner.partition(k, n), &mut clock)
+            .unwrap();
+        let mut total = 0;
+        for p in 0..3 {
+            let part: Vec<(u32, f64)> = read_part(&fs, "/static", p, NodeId(0), &mut clock).unwrap();
+            assert!(is_sorted_by_key(&part));
+            assert!(part.iter().all(|(k, _)| (*k as usize) % 3 == p));
+            total += part.len();
+            assert!(part_len(&fs, "/static", p).unwrap() > 0);
+        }
+        assert_eq!(total, 20);
+    }
+}

@@ -1,0 +1,465 @@
+//! Engine-level integration tests for the iMapReduce runtime: timing
+//! semantics (async vs sync), persistence effects, fault tolerance,
+//! load balancing, one2all broadcast, two-phase chains and the
+//! auxiliary phase.
+
+use imapreduce::{
+    load_partitioned, run_two_phase, run_with_aux, AuxPhase, Emitter, FailureEvent, IterConfig,
+    IterativeJob, IterativeRunner, LoadBalance, PhaseJob, StateInput, TwoPhaseConfig,
+};
+use imr_dfs::Dfs;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId, TaskClock};
+use std::sync::Arc;
+
+fn runner_on(spec: ClusterSpec) -> IterativeRunner {
+    let spec = Arc::new(spec);
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 2, 1 << 20);
+    IterativeRunner::new(spec, dfs, metrics)
+}
+
+/// A toy contraction: every key averages with a fixed per-key target.
+/// Converges geometrically; deterministic; exercises distance-based
+/// termination.
+struct Relax;
+impl IterativeJob for Relax {
+    type K = u32;
+    type S = f64;
+    type T = f64; // the target value (static)
+    fn map(&self, k: &u32, s: StateInput<'_, u32, f64>, t: &f64, out: &mut Emitter<u32, f64>) {
+        out.emit(*k, (s.one() + t) / 2.0);
+    }
+    fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {
+        let n = values.len() as f64;
+        values.into_iter().sum::<f64>() / n
+    }
+    fn distance(&self, _k: &u32, prev: &f64, cur: &f64) -> f64 {
+        (prev - cur).abs()
+    }
+}
+
+fn load_relax(r: &IterativeRunner, n_keys: u32, tasks: usize) {
+    let mut clock = TaskClock::default();
+    let state: Vec<(u32, f64)> = (0..n_keys).map(|k| (k, 100.0)).collect();
+    let statics: Vec<(u32, f64)> = (0..n_keys).map(|k| (k, f64::from(k))).collect();
+    let job = Relax;
+    load_partitioned(r.dfs(), "/state", state, tasks, |k, n| job.partition(k, n), &mut clock)
+        .unwrap();
+    load_partitioned(r.dfs(), "/static", statics, tasks, |k, n| job.partition(k, n), &mut clock)
+        .unwrap();
+}
+
+#[test]
+fn relax_converges_to_targets() {
+    let r = runner_on(ClusterSpec::local(4));
+    load_relax(&r, 32, 4);
+    let cfg = IterConfig::new("relax", 4, 40).with_distance_threshold(1e-6);
+    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    assert!(out.iterations < 40, "should converge before the cap");
+    for (k, v) in &out.final_state {
+        assert!((v - f64::from(*k)).abs() < 1e-4, "key {k} at {v}");
+    }
+    // Distances shrink monotonically for this contraction.
+    let finite: Vec<f64> = out.distances.iter().copied().filter(|d| d.is_finite()).collect();
+    assert!(finite.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+}
+
+#[test]
+fn async_is_no_slower_than_sync_and_both_match_results() {
+    let run = |sync: bool| {
+        // Heterogeneous speeds make per-pair finish times diverge, which
+        // is where async map activation pays off.
+        let mut spec = ClusterSpec::local(4);
+        spec.nodes[0].speed = 0.4;
+        let r = runner_on(spec);
+        load_relax(&r, 64, 4);
+        let mut cfg = IterConfig::new("relax", 4, 8);
+        if sync {
+            cfg = cfg.with_sync_maps();
+        }
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+    };
+    let async_out = run(false);
+    let sync_out = run(true);
+    assert_eq!(async_out.final_state, sync_out.final_state);
+    assert!(
+        async_out.report.finished <= sync_out.report.finished,
+        "async {} > sync {}",
+        async_out.report.finished,
+        sync_out.report.finished
+    );
+    // With a straggler node the asynchronous run must be strictly faster.
+    assert!(async_out.report.finished < sync_out.report.finished);
+}
+
+#[test]
+fn eager_handoff_pipelines_without_changing_results() {
+    let run = |eager: bool| {
+        let r = runner_on(ClusterSpec::local(4));
+        load_relax(&r, 20_000, 4);
+        let mut cfg = IterConfig::new("relax", 4, 8);
+        if eager {
+            cfg = cfg.with_eager_handoff();
+        }
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+    };
+    let plain = run(false);
+    let eager = run(true);
+    assert_eq!(plain.final_state, eager.final_state);
+    assert!(
+        eager.report.finished < plain.report.finished,
+        "eager {} not faster than batched {}",
+        eager.report.finished,
+        plain.report.finished
+    );
+    // Iterations still complete in causal order.
+    let times = &eager.report.iteration_done;
+    assert!(times.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn virtual_time_is_deterministic() {
+    let run = || {
+        let r = runner_on(ClusterSpec::ec2(8));
+        load_relax(&r, 100, 8);
+        let cfg = IterConfig::new("relax", 8, 5);
+        let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+        (out.report.finished, out.report.iteration_done, out.final_state)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn failure_recovery_reproduces_exact_results() {
+    let clean = {
+        let r = runner_on(ClusterSpec::local(4));
+        load_relax(&r, 48, 4);
+        let cfg = IterConfig::new("relax", 4, 10).with_checkpoint_interval(3);
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+    };
+    let failed = {
+        let r = runner_on(ClusterSpec::local(4));
+        load_relax(&r, 48, 4);
+        let cfg = IterConfig::new("relax", 4, 10).with_checkpoint_interval(3);
+        let failures = [FailureEvent { node: NodeId(1), at_iteration: 5 }];
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &failures).unwrap()
+    };
+    assert_eq!(failed.recoveries, 1);
+    assert_eq!(clean.final_state, failed.final_state);
+    assert_eq!(clean.iterations, failed.iterations);
+    // Recovery costs time: the failed run cannot be faster.
+    assert!(failed.report.finished >= clean.report.finished);
+}
+
+#[test]
+fn failure_without_checkpoint_restarts_from_scratch() {
+    let r = runner_on(ClusterSpec::local(4));
+    load_relax(&r, 24, 4);
+    // checkpoint_interval 0: only the implicit iteration-0 snapshot.
+    let cfg = IterConfig::new("relax", 4, 6).with_checkpoint_interval(0);
+    let failures = [FailureEvent { node: NodeId(2), at_iteration: 4 }];
+    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &failures).unwrap();
+    assert_eq!(out.recoveries, 1);
+    assert_eq!(out.iterations, 6);
+    // Results still exact.
+    let clean = {
+        let r = runner_on(ClusterSpec::local(4));
+        load_relax(&r, 24, 4);
+        let cfg = IterConfig::new("relax", 4, 6);
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+    };
+    assert_eq!(out.final_state, clean.final_state);
+}
+
+#[test]
+fn load_balancing_migrates_off_slow_workers_and_helps() {
+    let mut spec = ClusterSpec::local(3);
+    spec.nodes[0].speed = 0.15; // crippled worker
+    spec.nodes[1].speed = 1.0;
+    spec.nodes[2].speed = 1.0;
+
+    let run = |lb: Option<LoadBalance>| {
+        let r = runner_on(spec.clone());
+        // Enough records that per-record compute dominates the fixed
+        // per-iteration costs, so the slow node actually lags.
+        load_relax(&r, 30_000, 3);
+        let mut cfg = IterConfig::new("relax", 3, 12).with_checkpoint_interval(1);
+        if let Some(lb) = lb {
+            cfg = cfg.with_load_balance(lb);
+        }
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+    };
+    let plain = run(None);
+    let balanced = run(Some(LoadBalance { deviation: 0.3, max_migrations: 2 }));
+    assert!(balanced.migrations >= 1, "no migration happened");
+    assert_eq!(plain.final_state, balanced.final_state);
+    assert!(
+        balanced.report.finished < plain.report.finished,
+        "balanced {} >= plain {}",
+        balanced.report.finished,
+        plain.report.finished
+    );
+}
+
+#[test]
+fn single_pair_cluster_works() {
+    let r = runner_on(ClusterSpec::single());
+    load_relax(&r, 10, 1);
+    let cfg = IterConfig::new("relax", 1, 4);
+    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    assert_eq!(out.iterations, 4);
+    assert_eq!(out.final_state.len(), 10);
+    // Everything is local: no remote shuffle, no broadcast.
+    assert_eq!(out.report.metrics.shuffle_remote_bytes, 0);
+    assert_eq!(out.report.metrics.broadcast_bytes, 0);
+}
+
+#[test]
+fn more_pairs_than_keys_leaves_empty_partitions_harmless() {
+    let r = runner_on(ClusterSpec::local(4));
+    // 3 keys over 8 pairs: at least five partitions stay empty.
+    load_relax(&r, 3, 8);
+    let cfg = IterConfig::new("relax", 8, 3);
+    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    assert_eq!(out.final_state.len(), 3);
+    for (k, v) in &out.final_state {
+        let expect = 100.0 / 8.0 + f64::from(*k) * (1.0 - 1.0 / 8.0);
+        assert!((v - expect).abs() < 1e-9, "key {k}: {v} vs {expect}");
+    }
+}
+
+#[test]
+fn first_iteration_distance_is_infinite_under_one2all() {
+    let r = runner_on(ClusterSpec::local(4));
+    load_kmeans(&r, 4);
+    let cfg = IterConfig::new("km", 4, 3).with_one2all().with_distance_threshold(1e12);
+    // Threshold is enormous, but iteration 1 has no previous snapshot,
+    // so the run must not terminate before iteration 2.
+    let out = r.run(&MiniKmeans, &cfg, "/centroids", "/points", "/out", &[]).unwrap();
+    assert!(out.iterations >= 2);
+    assert!(out.distances[0].is_infinite());
+}
+
+#[test]
+fn report_timelines_include_every_executed_iteration() {
+    let r = runner_on(ClusterSpec::local(2));
+    load_relax(&r, 16, 2);
+    let cfg = IterConfig::new("relax", 2, 7);
+    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    assert_eq!(out.report.iterations(), 7);
+    let spans = out.report.iteration_spans();
+    assert_eq!(spans.len(), 7);
+    assert!(spans.iter().all(|s| !s.is_zero()));
+}
+
+#[test]
+fn state_handoff_stays_local_and_counted() {
+    let r = runner_on(ClusterSpec::local(2));
+    load_relax(&r, 16, 2);
+    let cfg = IterConfig::new("relax", 2, 3);
+    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    assert!(out.report.metrics.state_handoff_bytes > 0);
+    // One2one hand-off never crosses the network.
+    assert_eq!(out.report.metrics.broadcast_bytes, 0);
+}
+
+#[test]
+#[should_panic(expected = "dedicated slots")]
+fn too_many_pairs_for_the_cluster_is_rejected() {
+    let r = runner_on(ClusterSpec::local(1)); // capacity: min(2,2) = 2
+    load_relax(&r, 8, 3);
+    let cfg = IterConfig::new("relax", 3, 2);
+    let _ = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]);
+}
+
+// ---------------------------------------------------------------------
+// one2all: a miniature K-means-like job. Keys 0..k are "centroid ids";
+// static records are points; each map assigns its points to the nearest
+// centroid and the reduce averages.
+// ---------------------------------------------------------------------
+
+struct MiniKmeans;
+impl IterativeJob for MiniKmeans {
+    type K = u32; // centroid id
+    type S = f64; // centroid position (1-D)
+    type T = f64; // point position (static, keyed by point id)
+    fn map(&self, _pid: &u32, state: StateInput<'_, u32, f64>, point: &f64, out: &mut Emitter<u32, f64>) {
+        let centroids = state.all();
+        let (best, _) = centroids
+            .iter()
+            .map(|(cid, c)| (*cid, (c - point).abs()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .expect("at least one centroid");
+        out.emit(best, *point);
+    }
+    fn reduce(&self, _cid: &u32, values: Vec<f64>) -> f64 {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+    fn distance(&self, _k: &u32, prev: &f64, cur: &f64) -> f64 {
+        (prev - cur).abs()
+    }
+}
+
+fn load_kmeans(r: &IterativeRunner, tasks: usize) {
+    let mut clock = TaskClock::default();
+    // Two clear 1-D clusters around 0 and 100.
+    let mut points: Vec<(u32, f64)> = Vec::new();
+    for i in 0..20u32 {
+        points.push((i, f64::from(i % 5)));
+        points.push((100 + i, 100.0 + f64::from(i % 5)));
+    }
+    let centroids: Vec<(u32, f64)> = vec![(0, 10.0), (1, 60.0)];
+    let job = MiniKmeans;
+    load_partitioned(r.dfs(), "/points", points, tasks, |k, n| job.partition(k, n), &mut clock)
+        .unwrap();
+    load_partitioned(r.dfs(), "/centroids", centroids, 1, |_, _| 0, &mut clock).unwrap();
+}
+
+#[test]
+fn one2all_kmeans_converges_to_cluster_means() {
+    let r = runner_on(ClusterSpec::local(4));
+    load_kmeans(&r, 4);
+    let cfg = IterConfig::new("kmeans", 4, 10).with_one2all().with_distance_threshold(1e-9);
+    let out = r.run(&MiniKmeans, &cfg, "/centroids", "/points", "/out", &[]).unwrap();
+    assert!(out.iterations <= 10);
+    let mut finals = out.final_state.clone();
+    finals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    assert_eq!(finals.len(), 2);
+    assert!((finals[0].1 - 2.0).abs() < 1e-9, "{:?}", finals);
+    assert!((finals[1].1 - 102.0).abs() < 1e-9, "{:?}", finals);
+    // Broadcast traffic exists under one2all on a multi-node cluster.
+    assert!(out.report.metrics.broadcast_bytes > 0);
+}
+
+// ---------------------------------------------------------------------
+// Two-phase: iterated doubling through a two-step pipeline. Phase 1
+// regroups scalar records into per-group vectors; phase 2 scales each
+// element and re-emits scalars. One iteration doubles every value.
+// ---------------------------------------------------------------------
+
+struct Gather;
+impl PhaseJob for Gather {
+    type InK = (u32, u32); // (group, member)
+    type InS = f64;
+    type MidK = u32; // group
+    type Mid = (u32, f64);
+    type OutS = Vec<(u32, f64)>;
+    type T = ();
+    fn map(&self, key: &(u32, u32), s: &f64, _t: Option<&()>, out: &mut Emitter<u32, (u32, f64)>) {
+        out.emit(key.0, (key.1, *s));
+    }
+    fn reduce(&self, _k: &u32, mut values: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+        values.sort_by_key(|&(m, _)| m);
+        values
+    }
+}
+
+struct Scatter;
+impl PhaseJob for Scatter {
+    type InK = u32;
+    type InS = Vec<(u32, f64)>;
+    type MidK = (u32, u32);
+    type Mid = f64;
+    type OutS = f64;
+    type T = f64; // per-group multiplier (static)
+    fn map(
+        &self,
+        group: &u32,
+        members: &Vec<(u32, f64)>,
+        mult: Option<&f64>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        let m = mult.copied().unwrap_or(1.0);
+        for (member, v) in members {
+            out.emit((*group, *member), v * m);
+        }
+    }
+    fn reduce(&self, _k: &(u32, u32), values: Vec<f64>) -> f64 {
+        values.into_iter().sum()
+    }
+}
+
+#[test]
+fn two_phase_chain_doubles_values_each_iteration() {
+    let r = runner_on(ClusterSpec::local(4));
+    let mut clock = TaskClock::default();
+    let state: Vec<((u32, u32), f64)> =
+        (0..4).flat_map(|g| (0..3).map(move |m| ((g, m), 1.0))).collect();
+    let multipliers: Vec<(u32, f64)> = (0..4).map(|g| (g, 2.0)).collect();
+    let p1 = Gather;
+    let p2 = Scatter;
+    load_partitioned(r.dfs(), "/state", state, 2, |k, n| p1.partition_in(k, n), &mut clock)
+        .unwrap();
+    load_partitioned(r.dfs(), "/mult", multipliers, 2, |k, n| p2.partition_in(k, n), &mut clock)
+        .unwrap();
+
+    let cfg = TwoPhaseConfig::new("double", 2, 3);
+    let out = run_two_phase(&r, &p1, &p2, &cfg, "/state", None, Some("/mult"), "/out").unwrap();
+    assert_eq!(out.iterations, 3);
+    assert_eq!(out.final_state.len(), 12);
+    assert!(out.final_state.iter().all(|&(_, v)| v == 8.0), "{:?}", out.final_state);
+    assert_eq!(out.report.iterations(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Auxiliary phase: terminate MiniKmeans when assignments stop moving.
+// ---------------------------------------------------------------------
+
+struct StableCentroids {
+    eps: f64,
+}
+impl AuxPhase<u32, f64> for StableCentroids {
+    fn partial(&self, prev: &[(u32, f64)], cur: &[(u32, f64)]) -> f64 {
+        let mut moved = 0.0;
+        for (k, c) in cur {
+            if let Ok(i) = prev.binary_search_by(|(pk, _)| pk.cmp(k)) {
+                moved += (prev[i].1 - c).abs();
+            } else {
+                moved += 1.0;
+            }
+        }
+        moved
+    }
+    fn should_terminate(&self, total: f64) -> bool {
+        total < self.eps
+    }
+}
+
+#[test]
+fn auxiliary_phase_detects_convergence() {
+    let r = runner_on(ClusterSpec::local(4));
+    load_kmeans(&r, 4);
+    let cfg = IterConfig::new("kmeans-aux", 4, 15).with_one2all();
+    let aux = StableCentroids { eps: 1e-9 };
+    let out = run_with_aux(&r, &MiniKmeans, &aux, &cfg, "/centroids", "/points", "/out").unwrap();
+    assert!(out.iterations < 15, "aux phase should stop the run early");
+    assert!(!out.aux_values.is_empty());
+    assert!(out.aux_values.last().unwrap() < &1e-9);
+    let mut finals = out.final_state.clone();
+    finals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    assert!((finals[0].1 - 2.0).abs() < 1e-9);
+    assert!((finals[1].1 - 102.0).abs() < 1e-9);
+}
+
+#[test]
+fn aux_phase_is_cheaper_than_a_sequential_check_would_be() {
+    // The aux decision happens off the critical path: iteration k+1's
+    // maps start from the broadcast hand-off, not from the aux reducer.
+    let r = runner_on(ClusterSpec::local(4));
+    load_kmeans(&r, 4);
+    let cfg = IterConfig::new("kmeans-aux", 4, 6).with_one2all();
+    let aux = StableCentroids { eps: -1.0 }; // never terminates via aux
+    let with_aux = run_with_aux(&r, &MiniKmeans, &aux, &cfg, "/centroids", "/points", "/o1").unwrap();
+
+    let r2 = runner_on(ClusterSpec::local(4));
+    load_kmeans(&r2, 4);
+    let cfg2 = IterConfig::new("kmeans", 4, 6).with_one2all();
+    let plain = r2.run(&MiniKmeans, &cfg2, "/centroids", "/points", "/o2", &[]).unwrap();
+
+    // Same iteration count, and the aux overhead on total time is tiny
+    // (< 1% of the run) because it overlaps the main phase.
+    assert_eq!(with_aux.iterations, plain.iterations);
+    let a = with_aux.report.finished.as_secs_f64();
+    let b = plain.report.finished.as_secs_f64();
+    assert!((a - b).abs() / b < 0.01, "aux added {a} vs {b}");
+}

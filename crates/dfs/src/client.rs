@@ -1,0 +1,437 @@
+//! The DFS facade used by both engines.
+//!
+//! All operations take the caller's [`NodeId`] and [`TaskClock`] so the
+//! simulation can charge locality-correct virtual time: local reads hit
+//! disk, remote reads pay network transfer, and writes pay a
+//! replication pipeline. Payloads are real bytes held in datanode
+//! stores, so reads return exactly what was written.
+
+use crate::name::{BlockId, FileMeta, NameNode};
+use bytes::Bytes;
+use imr_simcluster::{ClusterSpec, MetricsHandle, NodeId, TaskClock, VDuration};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default block size: Hadoop's 64 MB (paper §4.1).
+pub const DEFAULT_BLOCK_SIZE: u64 = 64 * 1024 * 1024;
+
+/// Errors surfaced by DFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// No file exists at the path.
+    NotFound(String),
+    /// A file already exists at the path (files are immutable).
+    AlreadyExists(String),
+    /// Every replica of a needed block is gone.
+    BlockLost(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "dfs: no such file {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "dfs: file exists {p}"),
+            DfsError::BlockLost(p) => write!(f, "dfs: data lost for {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+struct DfsInner {
+    name: NameNode,
+    /// Per-node block stores. `stores[n][b]` is the replica of block `b`
+    /// on node `n`.
+    stores: Vec<HashMap<BlockId, Bytes>>,
+    /// Nodes currently marked failed.
+    dead: Vec<bool>,
+}
+
+/// A simulated HDFS shared by every worker in one cluster.
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<RwLock<DfsInner>>,
+    spec: Arc<ClusterSpec>,
+    metrics: MetricsHandle,
+    block_size: u64,
+}
+
+impl Dfs {
+    /// Creates a DFS over the given cluster with `replication` replicas
+    /// per block and the default 64 MB block size.
+    pub fn new(spec: Arc<ClusterSpec>, metrics: MetricsHandle, replication: usize) -> Self {
+        Self::with_block_size(spec, metrics, replication, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// As [`Dfs::new`] with an explicit block size (tests use small
+    /// blocks to exercise multi-block paths cheaply).
+    pub fn with_block_size(
+        spec: Arc<ClusterSpec>,
+        metrics: MetricsHandle,
+        replication: usize,
+        block_size: u64,
+    ) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let n = spec.len();
+        Dfs {
+            inner: Arc::new(RwLock::new(DfsInner {
+                name: NameNode::new(n, replication),
+                stores: vec![HashMap::new(); n],
+                dead: vec![false; n],
+            })),
+            spec,
+            metrics,
+            block_size,
+        }
+    }
+
+    /// The cluster this DFS spans.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Writes an immutable file, charging the writer's clock for the
+    /// local disk write plus the replication pipeline to remote
+    /// replicas. Remote replica bytes are counted as network traffic.
+    pub fn write(
+        &self,
+        path: &str,
+        data: Bytes,
+        writer: NodeId,
+        clock: &mut TaskClock,
+    ) -> Result<(), DfsError> {
+        let mut inner = self.inner.write();
+        if inner.name.file(path).is_some() {
+            return Err(DfsError::AlreadyExists(path.to_owned()));
+        }
+        let len = data.len() as u64;
+        let mut blocks = Vec::new();
+        let mut offset = 0u64;
+        // Zero-length files still commit (with no blocks).
+        while offset < len || (len == 0 && blocks.is_empty() && offset == 0) {
+            let end = (offset + self.block_size).min(len);
+            let chunk = data.slice(offset as usize..end as usize);
+            let chunk_len = chunk.len() as u64;
+            let (block, nodes) = inner.name.allocate_block(writer);
+            // Local disk write on the primary replica.
+            clock.advance(self.spec.cost.disk_time(chunk_len));
+            // Pipeline to the remaining replicas: in HDFS the pipeline
+            // is serial per block but overlapped with streaming; we
+            // charge one network hop (the pipeline's bottleneck link)
+            // plus the remote disk write in parallel across replicas.
+            let remote_count = nodes.iter().filter(|&&n| n != writer).count() as u64;
+            if remote_count > 0 {
+                clock.advance(self.spec.cost.remote_transfer_time(chunk_len));
+                self.metrics.dfs_write_bytes.add(chunk_len * remote_count);
+            }
+            for &n in &nodes {
+                inner.stores[n.index()].insert(block, chunk.clone());
+            }
+            blocks.push(block);
+            if len == 0 {
+                break;
+            }
+            offset = end;
+        }
+        inner.name.commit_file(path, FileMeta { blocks, len });
+        Ok(())
+    }
+
+    /// Reads a whole file from the replica set, preferring a replica
+    /// local to `reader`. Remote block bytes are counted as network
+    /// traffic and charged at network speed; local blocks at disk speed.
+    pub fn read(
+        &self,
+        path: &str,
+        reader: NodeId,
+        clock: &mut TaskClock,
+    ) -> Result<Bytes, DfsError> {
+        let inner = self.inner.read();
+        let meta = inner
+            .name
+            .file(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_owned()))?
+            .clone();
+        let mut out = bytes::BytesMut::with_capacity(meta.len as usize);
+        for block in &meta.blocks {
+            let replicas = inner.name.locations(*block);
+            let live: Vec<NodeId> = replicas
+                .iter()
+                .copied()
+                .filter(|n| !inner.dead[n.index()])
+                .collect();
+            let source = if live.contains(&reader) {
+                reader
+            } else {
+                *live.first().ok_or_else(|| DfsError::BlockLost(path.to_owned()))?
+            };
+            let chunk = inner.stores[source.index()]
+                .get(block)
+                .cloned()
+                .ok_or_else(|| DfsError::BlockLost(path.to_owned()))?;
+            let chunk_len = chunk.len() as u64;
+            // Source disk read, then the wire if remote.
+            clock.advance(self.spec.cost.disk_time(chunk_len));
+            if source != reader {
+                clock.advance(self.spec.cost.remote_transfer_time(chunk_len));
+                self.metrics.dfs_read_bytes.add(chunk_len);
+            } else {
+                self.metrics.dfs_local_read_bytes.add(chunk_len);
+            }
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out.freeze())
+    }
+
+    /// File length without transferring data (namenode metadata call).
+    pub fn len(&self, path: &str) -> Result<u64, DfsError> {
+        self.inner
+            .read()
+            .name
+            .file(path)
+            .map(|m| m.len)
+            .ok_or_else(|| DfsError::NotFound(path.to_owned()))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().name.file(path).is_some()
+    }
+
+    /// Paths under `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.read().name.list(prefix)
+    }
+
+    /// Deletes a file and frees its blocks. Deleting a missing file is
+    /// an error so engines notice bookkeeping bugs.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let mut inner = self.inner.write();
+        let blocks = inner
+            .name
+            .remove_file(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_owned()))?;
+        for store in &mut inner.stores {
+            for b in &blocks {
+                store.remove(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite helper: delete-if-exists then write. Iterative drivers
+    /// use this for per-iteration output paths.
+    pub fn put(
+        &self,
+        path: &str,
+        data: Bytes,
+        writer: NodeId,
+        clock: &mut TaskClock,
+    ) -> Result<(), DfsError> {
+        if self.exists(path) {
+            self.delete(path)?;
+        }
+        self.write(path, data, writer, clock)
+    }
+
+    /// Marks a node failed: its replicas become unreadable. Blocks whose
+    /// last replica lived there are lost (reads will error).
+    pub fn fail_node(&self, node: NodeId) {
+        let mut inner = self.inner.write();
+        inner.dead[node.index()] = true;
+        inner.name.fail_node(node);
+        inner.stores[node.index()].clear();
+    }
+
+    /// Brings a failed node back (empty, as after re-imaging).
+    pub fn recover_node(&self, node: NodeId) {
+        self.inner.write().dead[node.index()] = false;
+    }
+
+    /// Locality map: for each block of `path`, the nodes holding a live
+    /// replica. The baseline engine's scheduler uses this to place map
+    /// tasks near their splits.
+    pub fn block_locations(&self, path: &str) -> Result<Vec<Vec<NodeId>>, DfsError> {
+        let inner = self.inner.read();
+        let meta = inner
+            .name
+            .file(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_owned()))?;
+        Ok(meta
+            .blocks
+            .iter()
+            .map(|b| {
+                inner
+                    .name
+                    .locations(*b)
+                    .iter()
+                    .copied()
+                    .filter(|n| !inner.dead[n.index()])
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Total time the cost model charges to write `bytes` with this
+    /// DFS's replication (used by engines for estimates in reports).
+    pub fn estimated_write_time(&self, bytes: u64) -> VDuration {
+        let repl = self.inner.read().name.replication();
+        let disk = self.spec.cost.disk_time(bytes);
+        if repl > 1 {
+            disk + self.spec.cost.remote_transfer_time(bytes)
+        } else {
+            disk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imr_simcluster::Metrics;
+
+    fn dfs(n: usize, repl: usize, block: u64) -> Dfs {
+        Dfs::with_block_size(
+            Arc::new(ClusterSpec::local(n)),
+            Arc::new(Metrics::default()),
+            repl,
+            block,
+        )
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let fs = dfs(4, 3, 16);
+        let mut clock = TaskClock::default();
+        let data = Bytes::from((0..100u8).collect::<Vec<_>>());
+        fs.write("/f", data.clone(), NodeId(0), &mut clock).unwrap();
+        assert!(clock.now().since_epoch() > VDuration::ZERO);
+        assert_eq!(fs.len("/f").unwrap(), 100);
+        let mut rclock = TaskClock::default();
+        let back = fs.read("/f", NodeId(2), &mut rclock).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn local_read_is_cheaper_than_remote() {
+        let fs = dfs(4, 1, 1 << 20);
+        let mut clock = TaskClock::default();
+        let data = Bytes::from(vec![7u8; 100_000]);
+        fs.write("/f", data, NodeId(1), &mut clock).unwrap();
+        let mut local = TaskClock::default();
+        fs.read("/f", NodeId(1), &mut local).unwrap();
+        let mut remote = TaskClock::default();
+        fs.read("/f", NodeId(3), &mut remote).unwrap();
+        assert!(local.now() < remote.now());
+    }
+
+    #[test]
+    fn remote_reads_count_network_bytes() {
+        let metrics = Arc::new(Metrics::default());
+        let fs = Dfs::with_block_size(
+            Arc::new(ClusterSpec::local(2)),
+            Arc::clone(&metrics),
+            1,
+            1 << 20,
+        );
+        let mut clock = TaskClock::default();
+        fs.write("/f", Bytes::from(vec![1u8; 5_000]), NodeId(0), &mut clock).unwrap();
+        fs.read("/f", NodeId(0), &mut clock).unwrap();
+        assert_eq!(metrics.dfs_read_bytes.get(), 0, "local read crossed network");
+        fs.read("/f", NodeId(1), &mut clock).unwrap();
+        assert_eq!(metrics.dfs_read_bytes.get(), 5_000);
+    }
+
+    #[test]
+    fn replication_counts_write_traffic() {
+        let metrics = Arc::new(Metrics::default());
+        let fs = Dfs::with_block_size(
+            Arc::new(ClusterSpec::local(4)),
+            Arc::clone(&metrics),
+            3,
+            1 << 20,
+        );
+        let mut clock = TaskClock::default();
+        fs.write("/f", Bytes::from(vec![1u8; 1_000]), NodeId(0), &mut clock).unwrap();
+        // Two remote replicas of 1000 bytes each.
+        assert_eq!(metrics.dfs_write_bytes.get(), 2_000);
+    }
+
+    #[test]
+    fn files_are_immutable_but_put_overwrites() {
+        let fs = dfs(2, 1, 64);
+        let mut clock = TaskClock::default();
+        fs.write("/f", Bytes::from_static(b"one"), NodeId(0), &mut clock).unwrap();
+        assert_eq!(
+            fs.write("/f", Bytes::from_static(b"two"), NodeId(0), &mut clock),
+            Err(DfsError::AlreadyExists("/f".into()))
+        );
+        fs.put("/f", Bytes::from_static(b"two"), NodeId(0), &mut clock).unwrap();
+        assert_eq!(fs.read("/f", NodeId(0), &mut clock).unwrap(), Bytes::from_static(b"two"));
+    }
+
+    #[test]
+    fn multi_block_files_split_and_reassemble() {
+        let fs = dfs(3, 2, 10);
+        let mut clock = TaskClock::default();
+        let data = Bytes::from((0..37u8).collect::<Vec<_>>());
+        fs.write("/big", data.clone(), NodeId(0), &mut clock).unwrap();
+        let locs = fs.block_locations("/big").unwrap();
+        assert_eq!(locs.len(), 4); // ceil(37/10)
+        assert!(locs.iter().all(|l| l.len() == 2));
+        let back = fs.read("/big", NodeId(2), &mut clock).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn node_failure_falls_back_to_replicas() {
+        let fs = dfs(3, 2, 1 << 20);
+        let mut clock = TaskClock::default();
+        fs.write("/f", Bytes::from_static(b"precious"), NodeId(0), &mut clock).unwrap();
+        fs.fail_node(NodeId(0));
+        let back = fs.read("/f", NodeId(1), &mut clock).unwrap();
+        assert_eq!(back, Bytes::from_static(b"precious"));
+    }
+
+    #[test]
+    fn losing_all_replicas_is_an_error() {
+        let fs = dfs(2, 1, 1 << 20);
+        let mut clock = TaskClock::default();
+        fs.write("/f", Bytes::from_static(b"gone"), NodeId(0), &mut clock).unwrap();
+        fs.fail_node(NodeId(0));
+        assert_eq!(
+            fs.read("/f", NodeId(1), &mut clock),
+            Err(DfsError::BlockLost("/f".into()))
+        );
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let fs = dfs(2, 1, 64);
+        let mut clock = TaskClock::default();
+        fs.write("/a/1", Bytes::from_static(b"x"), NodeId(0), &mut clock).unwrap();
+        fs.write("/a/2", Bytes::from_static(b"y"), NodeId(0), &mut clock).unwrap();
+        fs.write("/b/1", Bytes::from_static(b"z"), NodeId(0), &mut clock).unwrap();
+        assert_eq!(fs.list("/a/"), vec!["/a/1".to_string(), "/a/2".to_string()]);
+        fs.delete("/a/1").unwrap();
+        assert!(!fs.exists("/a/1"));
+        assert_eq!(fs.delete("/a/1"), Err(DfsError::NotFound("/a/1".into())));
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let fs = dfs(2, 2, 64);
+        let mut clock = TaskClock::default();
+        fs.write("/empty", Bytes::new(), NodeId(0), &mut clock).unwrap();
+        assert_eq!(fs.len("/empty").unwrap(), 0);
+        let back = fs.read("/empty", NodeId(1), &mut clock).unwrap();
+        assert!(back.is_empty());
+    }
+}

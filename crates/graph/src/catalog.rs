@@ -1,0 +1,169 @@
+//! The paper's data-set catalog (Tables 1 and 2), regenerable at any
+//! scale.
+//!
+//! The real graphs (DBLP, Facebook [38], Google web [22],
+//! Berkeley–Stanford web [22], Last.fm [21]) are not redistributable
+//! here, so each is replaced by a synthetic graph drawn from the
+//! log-normal fits the paper itself extracts from them (§4.1.2), with
+//! node and edge counts matched to the table rows. `scale` shrinks the
+//! node/edge counts proportionally so experiments fit a laptop; the
+//! distribution parameters are scale-invariant.
+
+use crate::gen::{
+    generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist,
+    sssp_weight_dist, LogNormal,
+};
+use crate::types::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Whether a data set drives SSSP (weighted) or PageRank (unweighted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Weighted graphs for Single-Source Shortest Path.
+    Sssp,
+    /// Unweighted web graphs for PageRank.
+    PageRank,
+}
+
+/// One row of Table 1 or Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Data-set name as printed in the paper.
+    pub name: &'static str,
+    /// Which algorithm family uses it.
+    pub workload: Workload,
+    /// Node count in the paper.
+    pub paper_nodes: u64,
+    /// Edge count in the paper.
+    pub paper_edges: u64,
+    /// File size reported by the paper (bytes, approximate).
+    pub paper_file_size: u64,
+    /// Degree distribution used for the synthetic stand-in.
+    #[serde(skip, default = "default_dist")]
+    pub degree_dist: LogNormal,
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+fn default_dist() -> LogNormal {
+    LogNormal::new(0.0, 1.0)
+}
+
+const MB: u64 = 1024 * 1024;
+const GB: u64 = 1024 * MB;
+
+/// Table 1 — SSSP data sets.
+pub fn sssp_datasets() -> Vec<DatasetSpec> {
+    let d = sssp_degree_dist();
+    vec![
+        DatasetSpec { name: "DBLP", workload: Workload::Sssp, paper_nodes: 310_556, paper_edges: 1_518_617, paper_file_size: 16 * MB, degree_dist: d, seed: 101 },
+        DatasetSpec { name: "Facebook", workload: Workload::Sssp, paper_nodes: 1_204_004, paper_edges: 5_430_303, paper_file_size: 58 * MB, degree_dist: d, seed: 102 },
+        DatasetSpec { name: "SSSP-s", workload: Workload::Sssp, paper_nodes: 1_000_000, paper_edges: 7_868_140, paper_file_size: 87 * MB, degree_dist: d, seed: 103 },
+        DatasetSpec { name: "SSSP-m", workload: Workload::Sssp, paper_nodes: 10_000_000, paper_edges: 78_873_968, paper_file_size: 958 * MB, degree_dist: d, seed: 104 },
+        DatasetSpec { name: "SSSP-l", workload: Workload::Sssp, paper_nodes: 50_000_000, paper_edges: 369_455_293, paper_file_size: 5 * GB + 199 * MB, degree_dist: d, seed: 105 },
+    ]
+}
+
+/// Table 2 — PageRank data sets.
+pub fn pagerank_datasets() -> Vec<DatasetSpec> {
+    let d = pagerank_degree_dist();
+    vec![
+        DatasetSpec { name: "Google", workload: Workload::PageRank, paper_nodes: 916_417, paper_edges: 6_078_254, paper_file_size: 49 * MB, degree_dist: d, seed: 201 },
+        DatasetSpec { name: "Berk-Stan", workload: Workload::PageRank, paper_nodes: 685_230, paper_edges: 7_600_595, paper_file_size: 57 * MB, degree_dist: d, seed: 202 },
+        DatasetSpec { name: "PageRank-s", workload: Workload::PageRank, paper_nodes: 1_000_000, paper_edges: 7_425_360, paper_file_size: 61 * MB, degree_dist: d, seed: 203 },
+        DatasetSpec { name: "PageRank-m", workload: Workload::PageRank, paper_nodes: 10_000_000, paper_edges: 75_061_501, paper_file_size: 690 * MB, degree_dist: d, seed: 204 },
+        DatasetSpec { name: "PageRank-l", workload: Workload::PageRank, paper_nodes: 30_000_000, paper_edges: 224_493_620, paper_file_size: 2 * GB + 266 * MB, degree_dist: d, seed: 205 },
+    ]
+}
+
+/// Looks up a data set by its paper name (case-insensitive) in both
+/// tables.
+pub fn dataset(name: &str) -> Option<DatasetSpec> {
+    sssp_datasets()
+        .into_iter()
+        .chain(pagerank_datasets())
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+impl DatasetSpec {
+    /// Node count at the given scale (≥ 2 so algorithms stay sane).
+    pub fn nodes_at(&self, scale: f64) -> usize {
+        ((self.paper_nodes as f64 * scale).round() as usize).max(2)
+    }
+
+    /// Edge count at the given scale.
+    pub fn edges_at(&self, scale: f64) -> u64 {
+        ((self.paper_edges as f64 * scale).round() as u64).max(1)
+    }
+
+    /// Generates the synthetic stand-in at `scale` (1.0 = the paper's
+    /// full size). Weighted for SSSP rows, unweighted for PageRank.
+    pub fn generate(&self, scale: f64) -> Graph {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let n = self.nodes_at(scale);
+        let e = self.edges_at(scale);
+        match self.workload {
+            Workload::Sssp => {
+                generate_weighted_graph(n, e, self.degree_dist, sssp_weight_dist(), self.seed)
+            }
+            Workload::PageRank => generate_graph(n, e, self.degree_dist, self.seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_the_paper_rows() {
+        let t1 = sssp_datasets();
+        assert_eq!(t1.len(), 5);
+        assert_eq!(t1[0].name, "DBLP");
+        assert_eq!(t1[0].paper_edges, 1_518_617);
+        assert_eq!(t1[4].paper_nodes, 50_000_000);
+
+        let t2 = pagerank_datasets();
+        assert_eq!(t2.len(), 5);
+        assert_eq!(t2[1].name, "Berk-Stan");
+        assert_eq!(t2[4].paper_edges, 224_493_620);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(dataset("dblp").is_some());
+        assert!(dataset("PAGERANK-s").is_some());
+        assert!(dataset("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_generation_has_proportional_shape() {
+        let spec = dataset("DBLP").unwrap();
+        let g = spec.generate(0.01);
+        let n = g.num_nodes() as f64;
+        let e = g.num_edges() as f64;
+        assert!((n - 3_106.0).abs() <= 1.0, "nodes {n}");
+        assert!((e - 15_186.0).abs() / 15_186.0 < 0.05, "edges {e}");
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn pagerank_rows_generate_unweighted() {
+        let spec = dataset("Google").unwrap();
+        let g = spec.generate(0.005);
+        assert!(!g.is_weighted());
+        assert!(g.num_nodes() >= 4_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = dataset("SSSP-s").unwrap();
+        assert_eq!(spec.generate(0.002), spec.generate(0.002));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_is_rejected() {
+        let _ = dataset("DBLP").unwrap().generate(0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Synthetic graph generation with the paper's published distribution
+//! parameters (§4.1.2).
+//!
+//! The paper extracts log-normal fits from its real graphs and uses
+//! them to generate the synthetic SSSP-s/m/l and PageRank-s/m/l data
+//! sets:
+//!
+//! * SSSP link weights: log-normal with σ = 1.2, μ = 0.4;
+//! * SSSP out-degrees:  log-normal with σ = 1.0, μ = 1.5;
+//! * PageRank out-degrees: log-normal with σ = 2.0, μ = −0.5.
+//!
+//! `rand` provides uniform sampling only (the `rand_distr` companion is
+//! not among the sanctioned offline crates), so the log-normal sampler
+//! is implemented here via Box–Muller.
+
+use crate::types::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A log-normal distribution `exp(μ + σ·Z)`, `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Scale parameter μ (mean of the underlying normal).
+    pub mu: f64,
+    /// Shape parameter σ (std-dev of the underlying normal).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// A log-normal with the given scale and shape.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "shape must be positive");
+        LogNormal { mu, sigma }
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// The distribution's mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// The paper's SSSP link-weight distribution (σ = 1.2, μ = 0.4).
+pub fn sssp_weight_dist() -> LogNormal {
+    LogNormal::new(0.4, 1.2)
+}
+
+/// The paper's SSSP out-degree distribution (σ = 1.0, μ = 1.5).
+pub fn sssp_degree_dist() -> LogNormal {
+    LogNormal::new(1.5, 1.0)
+}
+
+/// The paper's PageRank out-degree distribution (σ = 2.0, μ = −0.5).
+pub fn pagerank_degree_dist() -> LogNormal {
+    LogNormal::new(-0.5, 2.0)
+}
+
+/// Draws an out-degree sequence for `n` nodes from `dist`, then
+/// rescales it so the total edge count lands on `target_edges` while
+/// preserving the distribution's skew (the paper's synthetic sets pin
+/// both node and edge counts).
+pub fn degree_sequence<R: Rng + ?Sized>(
+    n: usize,
+    dist: LogNormal,
+    target_edges: u64,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(n > 0);
+    let raw: Vec<f64> = (0..n).map(|_| dist.sample(rng)).collect();
+    let total: f64 = raw.iter().sum();
+    let scale = target_edges as f64 / total.max(f64::MIN_POSITIVE);
+    let mut degrees: Vec<u32> = raw
+        .iter()
+        .map(|d| {
+            let scaled = d * scale;
+            // Cap at n-1 (no multi-edges beyond the node set).
+            (scaled.round() as u64).min(n as u64 - 1) as u32
+        })
+        .collect();
+    // Fix rounding drift so the total matches the target exactly where
+    // possible, spreading the correction deterministically.
+    let mut have: i64 = degrees.iter().map(|&d| i64::from(d)).sum();
+    let want = target_edges as i64;
+    let mut i = 0usize;
+    while have != want {
+        let idx = i % n;
+        if have < want {
+            if (degrees[idx] as usize) < n - 1 {
+                degrees[idx] += 1;
+                have += 1;
+            }
+        } else if degrees[idx] > 0 {
+            degrees[idx] -= 1;
+            have -= 1;
+        }
+        i += 1;
+        if i > 64 * n {
+            break; // degenerate target; best effort
+        }
+    }
+    degrees
+}
+
+/// Generates an unweighted directed graph with `n` nodes and
+/// (approximately, exactly when feasible) `edges` edges, out-degrees
+/// drawn from `degree_dist`. Targets are uniform, excluding self-loops
+/// and duplicate edges per source.
+pub fn generate_graph(
+    n: usize,
+    edges: u64,
+    degree_dist: LogNormal,
+    seed: u64,
+) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let degrees = degree_sequence(n, degree_dist, edges, &mut rng);
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut seen: Vec<u32> = Vec::new();
+    for (u, &deg) in degrees.iter().enumerate() {
+        let mut list = Vec::with_capacity(deg as usize);
+        seen.clear();
+        // For small degrees relative to n, rejection sampling of
+        // distinct targets is cheap.
+        let mut attempts = 0u32;
+        while list.len() < deg as usize && attempts < deg.saturating_mul(20).max(64) {
+            let t = rng.gen_range(0..n as u32);
+            attempts += 1;
+            if t as usize != u && !seen.contains(&t) {
+                seen.push(t);
+                list.push(t);
+            }
+        }
+        list.sort_unstable();
+        adj.push(list);
+    }
+    Graph::from_adjacency(adj)
+}
+
+/// Generates a weighted directed graph: structure as
+/// [`generate_graph`], weights drawn from `weight_dist`.
+pub fn generate_weighted_graph(
+    n: usize,
+    edges: u64,
+    degree_dist: LogNormal,
+    weight_dist: LogNormal,
+    seed: u64,
+) -> Graph {
+    let base = generate_graph(n, edges, degree_dist, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF_F00D_u64);
+    let adj: Vec<Vec<(u32, f32)>> = (0..base.num_nodes() as u32)
+        .map(|u| {
+            base.neighbors(u)
+                .iter()
+                .map(|&t| (t, weight_dist.sample(&mut rng) as f32))
+                .collect()
+        })
+        .collect();
+    Graph::from_weighted_adjacency(adj)
+}
+
+/// Generates the Last.fm-like clustering workload for the K-means
+/// experiments (§5.1.3): `n` users, each a `dim`-dimensional preference
+/// vector drawn around one of `k_true` latent taste clusters.
+pub fn generate_points(n: usize, dim: usize, k_true: usize, seed: u64) -> Vec<(u32, Vec<f64>)> {
+    assert!(k_true > 0 && dim > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k_true)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    (0..n as u32)
+        .map(|i| {
+            let c = &centers[rng.gen_range(0..k_true)];
+            let p = c.iter().map(|x| x + rng.gen_range(-3.0..3.0)).collect();
+            (i, p)
+        })
+        .collect()
+}
+
+/// Generates a dense square matrix for the matrix-power experiment
+/// (§5.2.3): entries uniform in (0, 1), scaled by `1/size` so repeated
+/// powers stay bounded.
+pub fn generate_matrix(size: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let scale = 1.0 / size as f64;
+    (0..size)
+        .map(|_| (0..size).map(|_| rng.gen::<f64>() * scale).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_mean_is_close_to_theory() {
+        let dist = LogNormal::new(0.4, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        let theory = dist.mean();
+        assert!(
+            (mean - theory).abs() / theory < 0.05,
+            "sample mean {mean} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn degree_sequence_hits_target_total() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let degrees = degree_sequence(10_000, sssp_degree_dist(), 78_681, &mut rng);
+        let total: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+        assert_eq!(total, 78_681);
+        // Skewed: the max degree is far above the mean.
+        let max = *degrees.iter().max().unwrap() as f64;
+        let mean = total as f64 / degrees.len() as f64;
+        assert!(max > mean * 5.0, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn generated_graph_matches_requested_shape() {
+        let g = generate_graph(5_000, 39_000, sssp_degree_dist(), 42);
+        assert_eq!(g.num_nodes(), 5_000);
+        let e = g.num_edges() as f64;
+        assert!((e - 39_000.0).abs() / 39_000.0 < 0.02, "edges {e}");
+        // No self loops or duplicate targets.
+        for u in 0..5_000u32 {
+            let nbrs = g.neighbors(u);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            assert!(!nbrs.contains(&u));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_graph(1_000, 8_000, pagerank_degree_dist(), 9);
+        let b = generate_graph(1_000, 8_000, pagerank_degree_dist(), 9);
+        assert_eq!(a, b);
+        let c = generate_graph(1_000, 8_000, pagerank_degree_dist(), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weighted_graph_weights_are_positive() {
+        let g = generate_weighted_graph(2_000, 14_000, sssp_degree_dist(), sssp_weight_dist(), 3);
+        assert!(g.is_weighted());
+        for u in 0..2_000u32 {
+            for (_, w) in g.weighted_neighbors(u) {
+                assert!(w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn points_form_k_clusters() {
+        let pts = generate_points(500, 4, 3, 11);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|(_, p)| p.len() == 4));
+    }
+
+    #[test]
+    fn matrix_entries_are_scaled() {
+        let m = generate_matrix(50, 5);
+        assert_eq!(m.len(), 50);
+        assert!(m.iter().flatten().all(|&x| (0.0..0.02000001).contains(&x)));
+    }
+}

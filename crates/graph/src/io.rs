@@ -1,0 +1,190 @@
+//! Text formats for graphs — the paper's "particular formatted graphs"
+//! that iMapReduce can partition and load automatically.
+//!
+//! One line per node:
+//!
+//! * unweighted: `node<TAB>t1 t2 t3`
+//! * weighted:   `node<TAB>t1:w1 t2:w2`
+//!
+//! Nodes with no outgoing edges appear with an empty neighbor list.
+
+use crate::types::Graph;
+use std::fmt::Write as _;
+
+/// Errors from parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line had no node id field.
+    MissingNode(usize),
+    /// A numeric field failed to parse.
+    BadNumber(usize, String),
+    /// Node ids must be dense `0..n`; this line broke the order.
+    NonDense(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingNode(l) => write!(f, "line {l}: missing node id"),
+            ParseError::BadNumber(l, s) => write!(f, "line {l}: bad number {s:?}"),
+            ParseError::NonDense(l) => write!(f, "line {l}: node ids must be 0..n in order"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes an unweighted graph to the text format.
+pub fn write_text(g: &Graph) -> String {
+    let mut out = String::new();
+    for u in 0..g.num_nodes() as u32 {
+        let _ = write!(out, "{u}\t");
+        let mut first = true;
+        for &t in g.neighbors(u) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{t}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a weighted graph to the text format.
+pub fn write_weighted_text(g: &Graph) -> String {
+    let mut out = String::new();
+    for u in 0..g.num_nodes() as u32 {
+        let _ = write!(out, "{u}\t");
+        let mut first = true;
+        for (t, w) in g.weighted_neighbors(u) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{t}:{w}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the unweighted text format.
+pub fn parse_text(text: &str) -> Result<Graph, ParseError> {
+    let mut adj: Vec<Vec<u32>> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(2, '\t');
+        let node: u32 = fields
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or(ParseError::MissingNode(i + 1))?
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::BadNumber(i + 1, line.to_owned()))?;
+        if node as usize != adj.len() {
+            return Err(ParseError::NonDense(i + 1));
+        }
+        let mut list = Vec::new();
+        if let Some(rest) = fields.next() {
+            for tok in rest.split_whitespace() {
+                list.push(
+                    tok.parse()
+                        .map_err(|_| ParseError::BadNumber(i + 1, tok.to_owned()))?,
+                );
+            }
+        }
+        adj.push(list);
+    }
+    Ok(Graph::from_adjacency(adj))
+}
+
+/// Parses the weighted text format.
+pub fn parse_weighted_text(text: &str) -> Result<Graph, ParseError> {
+    let mut adj: Vec<Vec<(u32, f32)>> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(2, '\t');
+        let node: u32 = fields
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or(ParseError::MissingNode(i + 1))?
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::BadNumber(i + 1, line.to_owned()))?;
+        if node as usize != adj.len() {
+            return Err(ParseError::NonDense(i + 1));
+        }
+        let mut list = Vec::new();
+        if let Some(rest) = fields.next() {
+            for tok in rest.split_whitespace() {
+                let (t, w) = tok
+                    .split_once(':')
+                    .ok_or_else(|| ParseError::BadNumber(i + 1, tok.to_owned()))?;
+                list.push((
+                    t.parse()
+                        .map_err(|_| ParseError::BadNumber(i + 1, tok.to_owned()))?,
+                    w.parse()
+                        .map_err(|_| ParseError::BadNumber(i + 1, tok.to_owned()))?,
+                ));
+            }
+        }
+        adj.push(list);
+    }
+    Ok(Graph::from_weighted_adjacency(adj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_graph, generate_weighted_graph, sssp_degree_dist, sssp_weight_dist};
+
+    #[test]
+    fn unweighted_round_trip() {
+        let g = generate_graph(200, 900, sssp_degree_dist(), 1);
+        let text = write_text(&g);
+        let back = parse_text(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let g = generate_weighted_graph(150, 700, sssp_degree_dist(), sssp_weight_dist(), 2);
+        let text = write_weighted_text(&g);
+        let back = parse_weighted_text(&text).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        for u in 0..150u32 {
+            for ((t1, w1), (t2, w2)) in back.weighted_neighbors(u).zip(g.weighted_neighbors(u)) {
+                assert_eq!(t1, t2);
+                assert!((w1 - w2).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_neighbor_lists_survive() {
+        let g = Graph::from_adjacency(vec![vec![1], vec![]]);
+        let text = write_text(&g);
+        assert_eq!(parse_text(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        assert_eq!(parse_text("x\t1"), Err(ParseError::BadNumber(1, "x\t1".into())));
+        assert_eq!(parse_text("1\t2"), Err(ParseError::NonDense(1)));
+        assert!(matches!(parse_weighted_text("0\t1"), Err(ParseError::BadNumber(1, _))));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let g = parse_text("0\t1\n\n1\t\n").unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,576 @@
+//! Single-job execution in virtual time: the JobTracker running one
+//! MapReduce job — split computation, map wave, shuffle, reduce wave,
+//! DFS output commit.
+
+use crate::io::{num_parts, part_path, read_part, write_parts};
+use crate::job::{Emitter, JobConfig, JobCounters, MrJob};
+use crate::schedule::SlotPool;
+use bytes::Bytes;
+use imr_dfs::{Dfs, DfsError};
+use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run, CodecError};
+use imr_simcluster::{ClusterSpec, MetricsHandle, NodeId, TaskClock, VInstant};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from engine execution.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A DFS operation failed.
+    Dfs(DfsError),
+    /// A record stream failed to decode.
+    Codec(CodecError),
+    /// The job had no input parts.
+    EmptyInput(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Dfs(e) => write!(f, "engine: {e}"),
+            EngineError::Codec(e) => write!(f, "engine: {e}"),
+            EngineError::EmptyInput(d) => write!(f, "engine: input directory {d} has no parts"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DfsError> for EngineError {
+    fn from(e: DfsError) -> Self {
+        EngineError::Dfs(e)
+    }
+}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+/// The outcome of one job run.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// When the job was submitted.
+    pub submitted: VInstant,
+    /// When the last reduce output was committed to DFS.
+    pub finished: VInstant,
+    /// Aggregated job counters.
+    pub counters: JobCounters,
+    /// Number of map tasks executed.
+    pub map_tasks: usize,
+    /// Number of reduce tasks executed.
+    pub reduce_tasks: usize,
+}
+
+/// Executes MapReduce jobs over one simulated cluster + DFS.
+#[derive(Clone)]
+pub struct JobRunner {
+    cluster: Arc<ClusterSpec>,
+    dfs: Dfs,
+    metrics: MetricsHandle,
+    /// Charge job/task initialization overheads. Disabled to reproduce
+    /// the paper's "MapReduce (ex. init.)" reference curve.
+    pub charge_init: bool,
+}
+
+impl JobRunner {
+    /// A runner over the given cluster, DFS and metrics registry.
+    pub fn new(cluster: Arc<ClusterSpec>, dfs: Dfs, metrics: MetricsHandle) -> Self {
+        JobRunner { cluster, dfs, metrics, charge_init: true }
+    }
+
+    /// The cluster this runner schedules on.
+    pub fn cluster(&self) -> &Arc<ClusterSpec> {
+        &self.cluster
+    }
+
+    /// The DFS this runner reads and writes.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Runs `job` over `input_dir`, writing `conf.num_reduces` parts to
+    /// `output_dir`. Returns the job's virtual-time result.
+    pub fn run<J: MrJob>(
+        &self,
+        job: &J,
+        conf: &JobConfig,
+        input_dir: &str,
+        output_dir: &str,
+        submit: VInstant,
+    ) -> Result<JobResult, EngineError> {
+        self.run_multi(job, conf, &[input_dir], output_dir, submit)
+    }
+
+    /// As [`run`](Self::run) with several input directories (Hadoop's
+    /// `MultipleInputs`): every part of every directory becomes one map
+    /// task. The matrix-multiplication join job uses this to read the
+    /// tagged cells of both matrices.
+    pub fn run_multi<J: MrJob>(
+        &self,
+        job: &J,
+        conf: &JobConfig,
+        input_dirs: &[&str],
+        output_dir: &str,
+        submit: VInstant,
+    ) -> Result<JobResult, EngineError> {
+        let cost = &self.cluster.cost;
+        // Flatten (dir, part) pairs into the map task list.
+        let mut splits: Vec<(String, usize)> = Vec::new();
+        for dir in input_dirs {
+            for i in 0..num_parts(&self.dfs, dir) {
+                splits.push(((*dir).to_owned(), i));
+            }
+        }
+        let m = splits.len();
+        if m == 0 {
+            return Err(EngineError::EmptyInput(input_dirs.join(",")));
+        }
+        let r = conf.num_reduces;
+        self.metrics.jobs_launched.add(1);
+        // Stable job ordinal: keys the straggler pattern so that
+        // engine variants (with/without init charges) face identical
+        // stragglers and differ only structurally.
+        let job_ordinal = self.metrics.jobs_launched.get();
+        let mut counters = JobCounters::default();
+
+        // Master-side job setup.
+        let job_start = if self.charge_init { submit + cost.job_setup } else { submit };
+
+        // ---- Map wave -------------------------------------------------
+        let mut map_pool = SlotPool::new(&self.cluster, true, job_start);
+        // Per map task: the node it ran on, its completion instant, and
+        // its R encoded output partitions.
+        let mut map_nodes = Vec::with_capacity(m);
+        let mut map_done = Vec::with_capacity(m);
+        let mut map_parts: Vec<Vec<Bytes>> = Vec::with_capacity(m);
+
+        for (dir, i) in &splits {
+            let i = *i;
+            let preferred: Vec<NodeId> = self
+                .dfs
+                .block_locations(&part_path(dir, i))?
+                .first()
+                .cloned()
+                .unwrap_or_default();
+            let (node, start) = map_pool.place(job_start, &preferred);
+            let speed = self.cluster.speed(node);
+            let mut clock = TaskClock::starting_at(start);
+            if self.charge_init {
+                clock.advance(cost.task_launch);
+            }
+            self.metrics.tasks_launched.add(1);
+
+            // Side input (distributed cache), fetched from DFS.
+            if conf.side_input_bytes > 0 {
+                clock.advance(cost.disk_time(conf.side_input_bytes));
+                clock.advance(cost.remote_transfer_time(conf.side_input_bytes));
+                self.metrics.dfs_read_bytes.add(conf.side_input_bytes);
+            }
+
+            // Read + decode the split.
+            let in_bytes = self.dfs.len(&part_path(dir, i))?;
+            let input: Vec<(J::InK, J::InV)> = read_part(&self.dfs, dir, i, node, &mut clock)?;
+            clock.advance(cost.serde_per_byte * in_bytes);
+
+            // User map function over every record.
+            let mut emitter = Emitter::new();
+            for (k, v) in &input {
+                job.map(k, v, &mut emitter);
+            }
+            let records_in = input.len() as u64;
+            counters.map_input_records += records_in;
+            self.metrics.map_input_records.add(records_in);
+            let raw_out = emitter.into_pairs();
+            counters.map_output_records += raw_out.len() as u64;
+            // Map-side cost covers both consuming the input records and
+            // producing the output records (collect/partition path).
+            clock.advance(cost.compute_time(records_in + raw_out.len() as u64, in_bytes, speed));
+
+            // Partition, sort, (combine), encode, spill.
+            let mut partitions: Vec<Vec<(J::MidK, J::MidV)>> = (0..r).map(|_| Vec::new()).collect();
+            for (k, v) in raw_out {
+                let p = job.partition(&k, r);
+                partitions[p].push((k, v));
+            }
+            let mut encoded = Vec::with_capacity(r);
+            let mut spill_bytes = 0u64;
+            for part in &mut partitions {
+                let n_rec = part.len() as u64;
+                sort_run(part);
+                clock.advance(cost.sort_time(n_rec, speed));
+                let final_part: Vec<(J::MidK, J::MidV)> = if job.has_combiner() {
+                    let grouped = group_sorted(std::mem::take(part));
+                    let mut combined = Vec::new();
+                    for (k, vals) in grouped {
+                        let n_vals = vals.len() as u64;
+                        for v in job.combine(&k, vals) {
+                            combined.push((k.clone(), v));
+                        }
+                        clock.advance(cost.compute_time(n_vals, 0, speed));
+                    }
+                    combined
+                } else {
+                    std::mem::take(part)
+                };
+                counters.shuffle_records += final_part.len() as u64;
+                let seg = encode_pairs(&final_part);
+                spill_bytes += seg.len() as u64;
+                encoded.push(seg);
+            }
+            counters.shuffle_bytes += spill_bytes;
+            clock.advance(cost.serde_per_byte * spill_bytes);
+            clock.advance(cost.disk_time(spill_bytes));
+            if self.charge_init {
+                clock.advance(cost.task_cleanup);
+            }
+            // Deterministic straggler slowdown (JVM/GC/OS noise).
+            let busy = clock.now().duration_since(start);
+            clock.advance(busy * cost.straggler(job_ordinal, map_done.len() as u64, 1));
+            let mut done = clock.now();
+            map_pool.occupy(node, done);
+
+            // Speculative execution: a duplicate attempt on the next
+            // earliest slot; the earlier finisher wins. The attempt's
+            // virtual duration is re-derived for the alternate node
+            // (different speed, non-local read).
+            if conf.speculative {
+                if let Some((alt_node, alt_start)) = map_pool.place_excluding(job_start, node) {
+                    self.metrics.tasks_launched.add(1);
+                    let alt_speed = self.cluster.speed(alt_node);
+                    let mut alt = TaskClock::starting_at(alt_start);
+                    if self.charge_init {
+                        alt.advance(cost.task_launch);
+                    }
+                    alt.advance(cost.disk_time(in_bytes));
+                    alt.advance(cost.remote_transfer_time(in_bytes));
+                    alt.advance(cost.serde_per_byte * in_bytes);
+                    alt.advance(cost.compute_time(
+                        records_in + counters.shuffle_records,
+                        in_bytes,
+                        alt_speed,
+                    ));
+                    alt.advance(cost.sort_time(counters.shuffle_records, alt_speed));
+                    alt.advance(cost.disk_time(spill_bytes));
+                    if alt.now() < done {
+                        done = alt.now();
+                        map_pool.occupy(alt_node, done);
+                    }
+                }
+            }
+
+            map_nodes.push(node);
+            map_done.push(done);
+            map_parts.push(encoded);
+        }
+
+        // ---- Shuffle + reduce wave ------------------------------------
+        let mut reduce_pool = SlotPool::new(&self.cluster, false, job_start);
+        let mut output_parts: Vec<(NodeId, Vec<(J::OutK, J::OutV)>)> = Vec::with_capacity(r);
+        let mut reduce_done = Vec::with_capacity(r);
+
+        for p in 0..r {
+            let (node, start) = reduce_pool.place(job_start, &[]);
+            let speed = self.cluster.speed(node);
+            let mut clock = TaskClock::starting_at(start);
+            if self.charge_init {
+                clock.advance(cost.task_launch);
+            }
+            self.metrics.tasks_launched.add(1);
+
+            // Fetch this partition's segment from every map task.
+            let mut arrivals = Vec::with_capacity(m);
+            let mut runs: Vec<Vec<(J::MidK, J::MidV)>> = Vec::with_capacity(m);
+            let mut fetched_bytes = 0u64;
+            for i in 0..m {
+                let seg = &map_parts[i][p];
+                let bytes = seg.len() as u64;
+                fetched_bytes += bytes;
+                let arrival =
+                    map_done[i] + self.cluster.transfer_time(map_nodes[i], node, bytes);
+                if map_nodes[i] == node {
+                    self.metrics.shuffle_local_bytes.add(bytes);
+                } else {
+                    self.metrics.shuffle_remote_bytes.add(bytes);
+                }
+                arrivals.push(arrival);
+                runs.push(decode_pairs(seg.clone())?);
+            }
+            clock.barrier(arrivals);
+            let work_start = clock.now();
+            clock.advance(cost.serde_per_byte * fetched_bytes);
+
+            // Merge sorted runs and group by key.
+            let total_rec: u64 = runs.iter().map(|r| r.len() as u64).sum();
+            let merged = merge_runs(runs);
+            if m > 1 {
+                // k-way merge costs n * log2(k) comparisons.
+                let cmps = total_rec as f64 * (m as f64).log2();
+                clock.advance(cost.sort_per_cmp * cmps.round() as u64 * (1.0 / speed));
+            }
+            let groups = group_sorted(merged);
+            counters.reduce_input_groups += groups.len() as u64;
+            self.metrics.reduce_input_records.add(total_rec);
+
+            // User reduce function per group.
+            let mut emitter = Emitter::new();
+            for (k, vals) in groups {
+                let n_vals = vals.len() as u64;
+                job.reduce(&k, vals, &mut emitter);
+                // Reduce-side per-value cost is ~1/3 of a map-side
+                // record pass (iterator-based consumption).
+                clock.advance(cost.compute_time(n_vals.div_ceil(3), 0, speed));
+            }
+            let out_pairs = emitter.into_pairs();
+            counters.reduce_output_records += out_pairs.len() as u64;
+
+            // Commit output part to DFS.
+            let payload = encode_pairs(&out_pairs);
+            clock.advance(cost.serde_per_byte * payload.len() as u64);
+            self.dfs.put(&part_path(output_dir, p), payload, node, &mut clock)?;
+            if self.charge_init {
+                clock.advance(cost.task_cleanup);
+            }
+            // Deterministic straggler slowdown over the post-barrier work.
+            let busy = clock.now().duration_since(work_start);
+            clock.advance(busy * cost.straggler(job_ordinal, p as u64, 2));
+            let mut done = clock.now();
+            reduce_pool.occupy(node, done);
+
+            // Reduce-side speculative execution: a duplicate attempt on
+            // the next earliest slot. Its post-barrier work is the
+            // primary's, rescaled by the relative node speed (the
+            // straggler draw belongs to the attempt, so the duplicate
+            // gets its own).
+            if conf.speculative {
+                if let Some((alt_node, alt_start)) = reduce_pool.place_excluding(job_start, node) {
+                    self.metrics.tasks_launched.add(1);
+                    let alt_speed = self.cluster.speed(alt_node);
+                    let mut alt = TaskClock::starting_at(alt_start);
+                    if self.charge_init {
+                        alt.advance(cost.task_launch);
+                    }
+                    let alt_arrivals: Vec<VInstant> = (0..m)
+                        .map(|i| {
+                            let bytes = map_parts[i][p].len() as u64;
+                            map_done[i]
+                                + self.cluster.transfer_time(map_nodes[i], alt_node, bytes)
+                        })
+                        .collect();
+                    alt.barrier(alt_arrivals);
+                    let scaled = busy * (speed / alt_speed);
+                    alt.advance(scaled);
+                    alt.advance(scaled * cost.straggler(job_ordinal, p as u64, 3));
+                    if alt.now() < done {
+                        done = alt.now();
+                        reduce_pool.occupy(alt_node, done);
+                    }
+                }
+            }
+            reduce_done.push(done);
+            output_parts.push((node, out_pairs));
+        }
+
+        let finished = reduce_done.into_iter().max().unwrap_or(job_start);
+        Ok(JobResult {
+            submitted: submit,
+            finished,
+            counters,
+            map_tasks: m,
+            reduce_tasks: r,
+        })
+    }
+
+    /// Loads a typed dataset onto the DFS as `n_parts` parts under
+    /// `dir`, charging the load to `clock`.
+    pub fn load_input<K: imr_records::Codec, V: imr_records::Codec>(
+        &self,
+        dir: &str,
+        pairs: Vec<(K, V)>,
+        n_parts: usize,
+        clock: &mut TaskClock,
+    ) -> Result<(), EngineError> {
+        let parts = crate::io::split_contiguous(pairs, n_parts);
+        write_parts(&self.dfs, dir, &parts, clock)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imr_simcluster::Metrics;
+
+    struct WordCount;
+    impl MrJob for WordCount {
+        type InK = u32;
+        type InV = String;
+        type MidK = String;
+        type MidV = u64;
+        type OutK = String;
+        type OutV = u64;
+        fn map(&self, _k: &u32, line: &String, out: &mut Emitter<String, u64>) {
+            for w in line.split_whitespace() {
+                out.emit(w.to_owned(), 1);
+            }
+        }
+        fn reduce(&self, k: &String, values: Vec<u64>, out: &mut Emitter<String, u64>) {
+            out.emit(k.clone(), values.into_iter().sum());
+        }
+    }
+
+    fn runner(nodes: usize) -> JobRunner {
+        let spec = Arc::new(ClusterSpec::local(nodes));
+        let metrics: MetricsHandle = Arc::new(Metrics::default());
+        let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 2, 1 << 20);
+        JobRunner::new(spec, dfs, metrics)
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let r = runner(3);
+        let mut clock = TaskClock::default();
+        let input: Vec<(u32, String)> = vec![
+            (0, "the quick brown fox".into()),
+            (1, "the lazy dog".into()),
+            (2, "the fox".into()),
+        ];
+        r.load_input("/in", input, 3, &mut clock).unwrap();
+        let res = r
+            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", clock.now())
+            .unwrap();
+        assert!(res.finished > clock.now());
+        assert_eq!(res.map_tasks, 3);
+        assert_eq!(res.reduce_tasks, 2);
+        assert_eq!(res.counters.map_input_records, 3);
+        assert_eq!(res.counters.map_output_records, 9);
+
+        let mut rc = TaskClock::default();
+        let mut all: Vec<(String, u64)> =
+            crate::io::read_all(r.dfs(), "/out", NodeId(0), &mut rc).unwrap();
+        all.sort();
+        assert_eq!(
+            all,
+            vec![
+                ("brown".to_string(), 1),
+                ("dog".to_string(), 1),
+                ("fox".to_string(), 2),
+                ("lazy".to_string(), 1),
+                ("quick".to_string(), 1),
+                ("the".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn init_charges_make_jobs_slower() {
+        let with_init = runner(2);
+        let mut no_init = runner(2);
+        no_init.charge_init = false;
+
+        let input: Vec<(u32, String)> = (0..10).map(|i| (i, format!("w{i} w{i}"))).collect();
+        let mut c1 = TaskClock::default();
+        with_init.load_input("/in", input.clone(), 2, &mut c1).unwrap();
+        let mut c2 = TaskClock::default();
+        no_init.load_input("/in", input, 2, &mut c2).unwrap();
+
+        let a = with_init
+            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", c1.now())
+            .unwrap();
+        let b = no_init
+            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", c2.now())
+            .unwrap();
+        let a_span = a.finished.duration_since(a.submitted);
+        let b_span = b.finished.duration_since(b.submitted);
+        assert!(
+            a_span > b_span + with_init.cluster().cost.job_setup,
+            "init overhead missing: {a_span} vs {b_span}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let input: Vec<(u32, String)> = (0..50).map(|i| (i, format!("a b{} c", i % 7))).collect();
+        let run_once = || {
+            let r = runner(4);
+            let mut clock = TaskClock::default();
+            r.load_input("/in", input.clone(), 4, &mut clock).unwrap();
+            let res = r
+                .run(&WordCount, &JobConfig::new("wc", 3), "/in", "/out", clock.now())
+                .unwrap();
+            (res.finished, res.counters)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn empty_input_dir_is_an_error() {
+        let r = runner(2);
+        let res = r.run(&WordCount, &JobConfig::new("wc", 1), "/absent", "/out", VInstant::EPOCH);
+        assert!(matches!(res, Err(EngineError::EmptyInput(_))));
+    }
+
+    #[test]
+    fn shuffle_bytes_are_counted() {
+        let r = runner(2);
+        let mut clock = TaskClock::default();
+        let input: Vec<(u32, String)> = (0..20).map(|i| (i, "common word".to_string())).collect();
+        r.load_input("/in", input, 2, &mut clock).unwrap();
+        let res = r
+            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", clock.now())
+            .unwrap();
+        assert!(res.counters.shuffle_bytes > 0);
+        let m = r.metrics().snapshot();
+        assert!(m.shuffle_remote_bytes + m.shuffle_local_bytes >= res.counters.shuffle_bytes);
+    }
+
+    #[test]
+    fn speculative_execution_rescues_straggler_nodes() {
+        // One crippled node, one healthy node, ample slots: the task
+        // that lands on the straggler should be overtaken by its
+        // speculative duplicate on the healthy node.
+        // Two independent runners (same topology) so both runs are job
+        // #1 and face identical straggler draws: a paired comparison.
+        let make = || {
+            let mut topo = ClusterSpec::local(2);
+            topo.nodes[0].speed = 0.05;
+            topo.nodes[1].speed = 1.0;
+            let spec = Arc::new(topo);
+            let metrics: MetricsHandle = Arc::new(Metrics::default());
+            let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 2, 1 << 20);
+            let r = JobRunner::new(Arc::clone(&spec), dfs, metrics);
+            let input: Vec<(u32, String)> =
+                (0..5_000).map(|i| (i, format!("word{} x y z", i % 13))).collect();
+            let mut clock = TaskClock::default();
+            r.load_input("/in", input, 2, &mut clock).unwrap();
+            (r, clock.now())
+        };
+
+        let (r1, t1) = make();
+        let plain = r1
+            .run(&WordCount, &JobConfig::new("wc", 1), "/in", "/o", t1)
+            .unwrap();
+        let (r2, t2) = make();
+        let spec_run = r2
+            .run(&WordCount, &JobConfig::new("wc", 1).with_speculative(), "/in", "/o", t2)
+            .unwrap();
+        let plain_span = plain.finished.duration_since(plain.submitted);
+        let spec_span = spec_run.finished.duration_since(spec_run.submitted);
+        assert!(
+            spec_span < plain_span,
+            "speculation did not help: {spec_span} vs {plain_span}"
+        );
+        // Results are identical either way.
+        let mut c = TaskClock::default();
+        let mut a: Vec<(String, u64)> = crate::io::read_all(r1.dfs(), "/o", NodeId(0), &mut c).unwrap();
+        let mut b: Vec<(String, u64)> = crate::io::read_all(r2.dfs(), "/o", NodeId(0), &mut c).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

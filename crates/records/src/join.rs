@@ -1,0 +1,193 @@
+//! The sorted state/static join (paper §3.2.2).
+//!
+//! iMapReduce keeps the static data records and the state data records
+//! sorted in the natural order of their keys and joins them by reading
+//! one record from each stream in lockstep; the framework then feeds the
+//! joined `(key, state, static)` record to the user's map function.
+//!
+//! The inner join here is strict by default ([`join_sorted`]): iterative
+//! graph algorithms require exactly one static record per state record,
+//! and a mismatch indicates a partitioning bug, so it is surfaced as an
+//! error rather than silently dropped. A tolerant variant
+//! ([`join_sorted_lossy`]) is provided for workloads where state keys
+//! may appear without static data (e.g. dangling nodes added mid-run).
+
+use core::fmt;
+
+/// A mismatch found while joining state and static streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// A state key had no matching static record.
+    MissingStatic(String),
+    /// A static key had no matching state record.
+    MissingState(String),
+    /// Input stream was not sorted by key.
+    Unsorted(&'static str),
+    /// Duplicate key within one input stream.
+    Duplicate(&'static str, String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::MissingStatic(k) => write!(f, "state key {k} has no static record"),
+            JoinError::MissingState(k) => write!(f, "static key {k} has no state record"),
+            JoinError::Unsorted(which) => write!(f, "{which} stream is not key-sorted"),
+            JoinError::Duplicate(which, k) => write!(f, "{which} stream has duplicate key {k}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+fn check_sorted_unique<K: Ord + fmt::Debug, V>(
+    run: &[(K, V)],
+    which: &'static str,
+) -> Result<(), JoinError> {
+    for w in run.windows(2) {
+        match w[0].0.cmp(&w[1].0) {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => {
+                return Err(JoinError::Duplicate(which, format!("{:?}", w[0].0)))
+            }
+            std::cmp::Ordering::Greater => return Err(JoinError::Unsorted(which)),
+        }
+    }
+    Ok(())
+}
+
+/// Strict one-to-one join of two key-sorted, duplicate-free streams.
+///
+/// Returns `(key, state, static)` triples in key order. Any key present
+/// in one stream but not the other is an error.
+pub fn join_sorted<K, S, T>(
+    state: Vec<(K, S)>,
+    static_data: Vec<(K, T)>,
+) -> Result<Vec<(K, S, T)>, JoinError>
+where
+    K: Ord + fmt::Debug,
+{
+    check_sorted_unique(&state, "state")?;
+    check_sorted_unique(&static_data, "static")?;
+
+    let mut out = Vec::with_capacity(state.len());
+    let mut st = state.into_iter();
+    let mut sd = static_data.into_iter();
+    let (mut a, mut b) = (st.next(), sd.next());
+    loop {
+        match (a, b) {
+            (None, None) => return Ok(out),
+            (Some((k, _)), None) => return Err(JoinError::MissingStatic(format!("{k:?}"))),
+            (None, Some((k, _))) => return Err(JoinError::MissingState(format!("{k:?}"))),
+            (Some((ka, va)), Some((kb, vb))) => match ka.cmp(&kb) {
+                std::cmp::Ordering::Equal => {
+                    out.push((ka, va, vb));
+                    a = st.next();
+                    b = sd.next();
+                }
+                std::cmp::Ordering::Less => {
+                    return Err(JoinError::MissingStatic(format!("{ka:?}")))
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(JoinError::MissingState(format!("{kb:?}")))
+                }
+            },
+        }
+    }
+}
+
+/// Tolerant join: keys missing from either side are skipped instead of
+/// reported. Still requires both inputs sorted and duplicate-free.
+pub fn join_sorted_lossy<K, S, T>(
+    state: Vec<(K, S)>,
+    static_data: Vec<(K, T)>,
+) -> Result<Vec<(K, S, T)>, JoinError>
+where
+    K: Ord + fmt::Debug,
+{
+    check_sorted_unique(&state, "state")?;
+    check_sorted_unique(&static_data, "static")?;
+
+    let mut out = Vec::new();
+    let mut st = state.into_iter().peekable();
+    let mut sd = static_data.into_iter().peekable();
+    while let (Some((ka, _)), Some((kb, _))) = (st.peek(), sd.peek()) {
+        match ka.cmp(kb) {
+            std::cmp::Ordering::Equal => {
+                let (k, s) = st.next().expect("peeked");
+                let (_, t) = sd.next().expect("peeked");
+                out.push((k, s, t));
+            }
+            std::cmp::Ordering::Less => {
+                st.next();
+            }
+            std::cmp::Ordering::Greater => {
+                sd.next();
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_join_pairs_every_key() {
+        let state = vec![(1u32, 0.1f64), (2, 0.2), (3, 0.3)];
+        let statics = vec![(1u32, "a"), (2, "b"), (3, "c")];
+        let joined = join_sorted(state, statics).unwrap();
+        assert_eq!(joined, vec![(1, 0.1, "a"), (2, 0.2, "b"), (3, 0.3, "c")]);
+    }
+
+    #[test]
+    fn strict_join_reports_missing_static() {
+        let state = vec![(1u32, 0.1f64), (2, 0.2)];
+        let statics = vec![(1u32, "a")];
+        assert_eq!(
+            join_sorted(state, statics),
+            Err(JoinError::MissingStatic("2".into()))
+        );
+    }
+
+    #[test]
+    fn strict_join_reports_missing_state() {
+        let state = vec![(2u32, 0.2f64)];
+        let statics = vec![(1u32, "a"), (2, "b")];
+        assert_eq!(
+            join_sorted(state, statics),
+            Err(JoinError::MissingState("1".into()))
+        );
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_inputs_are_rejected() {
+        let unsorted = vec![(2u32, ()), (1, ())];
+        assert_eq!(
+            join_sorted(unsorted, vec![(1u32, ())]),
+            Err(JoinError::Unsorted("state"))
+        );
+        let dup = vec![(1u32, ()), (1, ())];
+        assert!(matches!(
+            join_sorted(vec![(1u32, ())], dup),
+            Err(JoinError::Duplicate("static", _))
+        ));
+    }
+
+    #[test]
+    fn lossy_join_skips_unmatched_keys() {
+        let state = vec![(1u32, 0.1f64), (3, 0.3), (5, 0.5)];
+        let statics = vec![(2u32, "b"), (3, "c"), (5, "e"), (7, "g")];
+        let joined = join_sorted_lossy(state, statics).unwrap();
+        assert_eq!(joined, vec![(3, 0.3, "c"), (5, 0.5, "e")]);
+    }
+
+    #[test]
+    fn empty_inputs_join_to_empty() {
+        let joined: Vec<(u32, (), ())> = join_sorted(vec![], vec![]).unwrap();
+        assert!(joined.is_empty());
+        let joined: Vec<(u32, (), ())> = join_sorted_lossy(vec![], vec![(1, ())]).unwrap();
+        assert!(joined.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! # imr-records — record model, codecs, partitioners, sorted merges
+//!
+//! The serialization and key-routing substrate shared by the baseline
+//! MapReduce engine and iMapReduce:
+//!
+//! * [`Codec`] — self-delimiting binary encoding (Hadoop `Writable`
+//!   stand-in) with varint integers, so shuffle/DFS byte counts charged
+//!   to the cost model are the real encoded sizes;
+//! * [`Partitioner`] implementations — deterministic FNV-based hash
+//!   partitioning plus the paper's modulo node-id partitioning;
+//! * sorted-run utilities ([`sort_run`], [`merge_runs`],
+//!   [`group_sorted`]) — the sort/spill/merge path between map and
+//!   reduce;
+//! * the state/static [`join_sorted`] of paper §3.2.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod join;
+mod partition;
+mod sorted;
+
+pub use codec::{decode_pairs, encode_pairs, Codec, CodecError, CodecResult, Key, Value};
+pub use join::{join_sorted, join_sorted_lossy, JoinError};
+pub use partition::{Fnv1a, HashPartitioner, ModPartitioner, PairPartitioner, Partitioner};
+pub use sorted::{group_sorted, is_sorted_by_key, merge_runs, sort_run};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Codec round-trip: any pair list survives encode/decode.
+        #[test]
+        fn pairs_round_trip(pairs in proptest::collection::vec((any::<u32>(), any::<f64>()), 0..200)) {
+            let seg = encode_pairs(&pairs);
+            let back: Vec<(u32, f64)> = decode_pairs(seg).unwrap();
+            prop_assert_eq!(back.len(), pairs.len());
+            for (a, b) in back.iter().zip(&pairs) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert!(a.1 == b.1 || (a.1.is_nan() && b.1.is_nan()));
+            }
+        }
+
+        /// Merging sorted runs yields a sorted permutation of the input.
+        #[test]
+        fn merge_is_sorted_permutation(mut runs in proptest::collection::vec(
+            proptest::collection::vec((any::<u16>(), any::<u32>()), 0..50), 0..6)) {
+            for run in &mut runs {
+                sort_run(run);
+            }
+            let mut expected: Vec<(u16, u32)> = runs.iter().flatten().copied().collect();
+            let merged = merge_runs(runs);
+            prop_assert!(is_sorted_by_key(&merged));
+            let mut got = merged.clone();
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Partitioners always return an index below n.
+        #[test]
+        fn partitions_in_bounds(key in any::<u32>(), n in 1usize..128) {
+            prop_assert!(HashPartitioner.partition(&key, n) < n);
+            prop_assert!(ModPartitioner.partition(&key, n) < n);
+        }
+
+        /// Strict join over identical key sets is total and key-ordered.
+        #[test]
+        fn strict_join_is_total(keys in proptest::collection::btree_set(any::<u32>(), 0..100)) {
+            let state: Vec<(u32, u64)> = keys.iter().map(|&k| (k, u64::from(k) * 2)).collect();
+            let statics: Vec<(u32, u64)> = keys.iter().map(|&k| (k, u64::from(k) + 1)).collect();
+            let joined = join_sorted(state, statics).unwrap();
+            prop_assert_eq!(joined.len(), keys.len());
+            for (k, s, t) in joined {
+                prop_assert_eq!(s, u64::from(k) * 2);
+                prop_assert_eq!(t, u64::from(k) + 1);
+            }
+        }
+
+        /// group_sorted preserves multiplicity.
+        #[test]
+        fn grouping_preserves_counts(mut pairs in proptest::collection::vec((any::<u8>(), any::<u32>()), 0..200)) {
+            sort_run(&mut pairs);
+            let n = pairs.len();
+            let grouped = group_sorted(pairs);
+            let total: usize = grouped.iter().map(|(_, vs)| vs.len()).sum();
+            prop_assert_eq!(total, n);
+            // Group keys strictly increase.
+            for w in grouped.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Sorted-run utilities: the sort/spill/merge machinery both engines
+//! use between map output and reduce input.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sorts key/value pairs by key (stable, so equal keys keep their
+/// arrival order, matching Hadoop's stable merge of map outputs).
+pub fn sort_run<K: Ord, V>(run: &mut [(K, V)]) {
+    run.sort_by(|a, b| a.0.cmp(&b.0));
+}
+
+/// K-way merges several key-sorted runs into one key-sorted stream.
+///
+/// Ties are broken by run index, preserving the run order — reducers in
+/// Hadoop see map outputs for the same key ordered by map task id.
+pub fn merge_runs<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    // Heap entries carry the value but compare only on (key, run index),
+    // so `V` needs no `Ord` bound.
+    struct Entry<K, V> {
+        key: K,
+        run: usize,
+        value: V,
+    }
+    impl<K: Ord, V> PartialEq for Entry<K, V> {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key && self.run == other.run
+        }
+    }
+    impl<K: Ord, V> Eq for Entry<K, V> {}
+    impl<K: Ord, V> PartialOrd for Entry<K, V> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<K: Ord, V> Ord for Entry<K, V> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.key.cmp(&other.key).then(self.run.cmp(&other.run))
+        }
+    }
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut sources: Vec<std::vec::IntoIter<(K, V)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<Entry<K, V>>> = BinaryHeap::with_capacity(sources.len());
+
+    for (idx, src) in sources.iter_mut().enumerate() {
+        if let Some((k, v)) = src.next() {
+            heap.push(Reverse(Entry { key: k, run: idx, value: v }));
+        }
+    }
+    while let Some(Reverse(entry)) = heap.pop() {
+        out.push((entry.key, entry.value));
+        if let Some((nk, nv)) = sources[entry.run].next() {
+            heap.push(Reverse(Entry { key: nk, run: entry.run, value: nv }));
+        }
+    }
+    out
+}
+
+/// Groups a key-sorted stream into `(key, values)` groups — the view a
+/// reduce function receives.
+pub fn group_sorted<K: Ord + Clone, V>(sorted: Vec<(K, V)>) -> Vec<(K, Vec<V>)> {
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in sorted {
+        match out.last_mut() {
+            Some((last_k, vals)) if *last_k == k => vals.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    }
+    out
+}
+
+/// Verifies a run is key-sorted; used by debug assertions and tests.
+pub fn is_sorted_by_key<K: Ord, V>(run: &[(K, V)]) -> bool {
+    run.windows(2).all(|w| w[0].0 <= w[1].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_run_orders_by_key_stably() {
+        let mut run = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (2, 'd')];
+        sort_run(&mut run);
+        assert_eq!(run, vec![(1, 'b'), (2, 'd'), (3, 'a'), (3, 'c')]);
+    }
+
+    #[test]
+    fn merge_runs_produces_globally_sorted_output() {
+        let runs = vec![
+            vec![(1u32, 10), (4, 40), (7, 70)],
+            vec![(2, 20), (4, 41)],
+            vec![],
+            vec![(0, 0), (9, 90)],
+        ];
+        let merged = merge_runs(runs);
+        assert!(is_sorted_by_key(&merged));
+        assert_eq!(merged.len(), 7);
+        // Tie on key 4 preserves run order (run 0 before run 1).
+        let fours: Vec<i32> = merged.iter().filter(|(k, _)| *k == 4).map(|&(_, v)| v).collect();
+        assert_eq!(fours, vec![40, 41]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged: Vec<(u32, u32)> = merge_runs(vec![]);
+        assert!(merged.is_empty());
+        let merged: Vec<(u32, u32)> = merge_runs(vec![vec![], vec![]]);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn group_sorted_collects_equal_keys() {
+        let sorted = vec![(1u32, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (3, 'e'), (3, 'f')];
+        let grouped = group_sorted(sorted);
+        assert_eq!(
+            grouped,
+            vec![(1, vec!['a', 'b']), (2, vec!['c']), (3, vec!['d', 'e', 'f'])]
+        );
+    }
+
+    #[test]
+    fn group_of_empty_is_empty() {
+        let grouped: Vec<(u32, Vec<char>)> = group_sorted(vec![]);
+        assert!(grouped.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared metrics counters.
+//!
+//! The communication-cost experiment (paper Fig. 11) and the factor
+//! decomposition (Fig. 10) are read off these counters. They are plain
+//! atomics so every task thread can charge them without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One named monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between experiment runs).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// All counters tracked by the simulation, shared via [`MetricsHandle`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Bytes moved map→reduce across the network (remote shuffle only).
+    pub shuffle_remote_bytes: Counter,
+    /// Bytes moved map→reduce on the same worker.
+    pub shuffle_local_bytes: Counter,
+    /// Bytes read remotely from the distributed file system.
+    pub dfs_read_bytes: Counter,
+    /// Bytes read from a node-local DFS replica. Still moves through
+    /// the DataNode protocol (no short-circuit reads in 2011 Hadoop),
+    /// so Fig. 11's exchanged-bytes metric includes it.
+    pub dfs_local_read_bytes: Counter,
+    /// Bytes written to the distributed file system (incl. replication).
+    pub dfs_write_bytes: Counter,
+    /// Bytes passed reduce→map over iMapReduce's persistent connections.
+    pub state_handoff_bytes: Counter,
+    /// Bytes broadcast reduce→all-maps (one2all mapping).
+    pub broadcast_bytes: Counter,
+    /// Bytes written by checkpointing.
+    pub checkpoint_bytes: Counter,
+    /// MapReduce jobs launched (every Hadoop iteration is ≥1 job).
+    pub jobs_launched: Counter,
+    /// Task attempts launched (persistent tasks count once).
+    pub tasks_launched: Counter,
+    /// Task migrations performed by load balancing.
+    pub migrations: Counter,
+    /// Records passed through user map functions.
+    pub map_input_records: Counter,
+    /// Records passed through user reduce functions.
+    pub reduce_input_records: Counter,
+}
+
+impl Metrics {
+    /// Total bytes that crossed the network for any reason.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.shuffle_remote_bytes.get()
+            + self.dfs_read_bytes.get()
+            + self.dfs_write_bytes.get()
+            + self.broadcast_bytes.get()
+            + self.checkpoint_bytes.get()
+    }
+
+    /// Total bytes exchanged between tasks and with the DFS — the
+    /// paper's Fig. 11 "total communication cost" notion: every shuffle
+    /// byte (Hadoop's shuffle serializes through disk and HTTP fetch
+    /// even on one machine), all DFS replica traffic, broadcasts,
+    /// reduce→map hand-offs and checkpoints.
+    pub fn total_exchanged_bytes(&self) -> u64 {
+        self.total_network_bytes()
+            + self.shuffle_local_bytes.get()
+            + self.state_handoff_bytes.get()
+            + self.dfs_local_read_bytes.get()
+    }
+
+    /// Clears every counter.
+    pub fn reset(&self) {
+        self.shuffle_remote_bytes.reset();
+        self.shuffle_local_bytes.reset();
+        self.dfs_read_bytes.reset();
+        self.dfs_local_read_bytes.reset();
+        self.dfs_write_bytes.reset();
+        self.state_handoff_bytes.reset();
+        self.broadcast_bytes.reset();
+        self.checkpoint_bytes.reset();
+        self.jobs_launched.reset();
+        self.tasks_launched.reset();
+        self.migrations.reset();
+        self.map_input_records.reset();
+        self.reduce_input_records.reset();
+    }
+
+    /// A point-in-time snapshot of all counters, for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shuffle_remote_bytes: self.shuffle_remote_bytes.get(),
+            shuffle_local_bytes: self.shuffle_local_bytes.get(),
+            dfs_read_bytes: self.dfs_read_bytes.get(),
+            dfs_local_read_bytes: self.dfs_local_read_bytes.get(),
+            dfs_write_bytes: self.dfs_write_bytes.get(),
+            state_handoff_bytes: self.state_handoff_bytes.get(),
+            broadcast_bytes: self.broadcast_bytes.get(),
+            checkpoint_bytes: self.checkpoint_bytes.get(),
+            jobs_launched: self.jobs_launched.get(),
+            tasks_launched: self.tasks_launched.get(),
+            migrations: self.migrations.get(),
+            map_input_records: self.map_input_records.get(),
+            reduce_input_records: self.reduce_input_records.get(),
+        }
+    }
+}
+
+/// Cheaply clonable shared handle to a [`Metrics`] registry.
+pub type MetricsHandle = Arc<Metrics>;
+
+/// Plain-data copy of the counters at one instant. Fields mirror
+/// [`Metrics`] one-to-one.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::shuffle_remote_bytes`].
+    pub shuffle_remote_bytes: u64,
+    /// See [`Metrics::shuffle_local_bytes`].
+    pub shuffle_local_bytes: u64,
+    /// See [`Metrics::dfs_read_bytes`].
+    pub dfs_read_bytes: u64,
+    /// See [`Metrics::dfs_local_read_bytes`].
+    pub dfs_local_read_bytes: u64,
+    /// See [`Metrics::dfs_write_bytes`].
+    pub dfs_write_bytes: u64,
+    /// See [`Metrics::state_handoff_bytes`].
+    pub state_handoff_bytes: u64,
+    /// See [`Metrics::broadcast_bytes`].
+    pub broadcast_bytes: u64,
+    /// See [`Metrics::checkpoint_bytes`].
+    pub checkpoint_bytes: u64,
+    /// See [`Metrics::jobs_launched`].
+    pub jobs_launched: u64,
+    /// See [`Metrics::tasks_launched`].
+    pub tasks_launched: u64,
+    /// See [`Metrics::migrations`].
+    pub migrations: u64,
+    /// See [`Metrics::map_input_records`].
+    pub map_input_records: u64,
+    /// See [`Metrics::reduce_input_records`].
+    pub reduce_input_records: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total bytes that crossed the network (see
+    /// [`Metrics::total_network_bytes`]).
+    pub fn total_network_bytes(&self) -> u64 {
+        self.shuffle_remote_bytes
+            + self.dfs_read_bytes
+            + self.dfs_write_bytes
+            + self.broadcast_bytes
+            + self.checkpoint_bytes
+    }
+
+    /// Total bytes exchanged (see [`Metrics::total_exchanged_bytes`]).
+    pub fn total_exchanged_bytes(&self) -> u64 {
+        self.total_network_bytes()
+            + self.shuffle_local_bytes
+            + self.state_handoff_bytes
+            + self.dfs_local_read_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::default();
+        m.shuffle_remote_bytes.add(10);
+        m.shuffle_remote_bytes.add(5);
+        m.dfs_read_bytes.add(7);
+        assert_eq!(m.shuffle_remote_bytes.get(), 15);
+        assert_eq!(m.total_network_bytes(), 22);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let m: MetricsHandle = Arc::new(Metrics::default());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        m.tasks_launched.add(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.tasks_launched.get(), 8_000);
+    }
+
+    #[test]
+    fn snapshot_matches_live_counters() {
+        let m = Metrics::default();
+        m.jobs_launched.add(3);
+        m.state_handoff_bytes.add(99);
+        let s = m.snapshot();
+        assert_eq!(s.jobs_launched, 3);
+        assert_eq!(s.state_handoff_bytes, 99);
+        // Handoff bytes stay off the network tally: they ride a local pipe.
+        assert_eq!(s.total_network_bytes(), 0);
+    }
+}

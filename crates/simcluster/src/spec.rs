@@ -1,0 +1,198 @@
+//! Cluster topology specification and the presets used by the paper's
+//! experiments (§4.1.1): a 4-node local cluster and Amazon EC2 clusters
+//! of 20, 50 and 80 small instances.
+
+use crate::cost::CostModel;
+use crate::time::VDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a simulated worker node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Per-node hardware description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Relative CPU speed: 1.0 is the reference core; 0.5 takes twice as
+    /// long per record. Heterogeneous presets vary this, which is what
+    /// the load-balancing experiments exercise.
+    pub speed: f64,
+    /// Map task slots available on this node (Hadoop default: 2).
+    pub map_slots: usize,
+    /// Reduce task slots available on this node (Hadoop default: 2).
+    pub reduce_slots: usize,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec { speed: 1.0, map_slots: 2, reduce_slots: 2 }
+    }
+}
+
+/// Full description of a simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable preset name, carried into experiment output.
+    pub name: String,
+    /// One entry per worker node.
+    pub nodes: Vec<NodeSpec>,
+    /// The deterministic cost parameters for this cluster.
+    pub cost: CostModel,
+}
+
+impl ClusterSpec {
+    /// A cluster of `n` identical nodes under the given cost model.
+    pub fn uniform(name: impl Into<String>, n: usize, cost: CostModel) -> Self {
+        assert!(n > 0, "a cluster needs at least one node");
+        ClusterSpec { name: name.into(), nodes: vec![NodeSpec::default(); n], cost }
+    }
+
+    /// The paper's local cluster: 4 dual-core nodes on a 1 Gbps switch.
+    pub fn local(n: usize) -> Self {
+        Self::uniform(format!("local-{n}"), n, CostModel::hadoop_era())
+    }
+
+    /// The paper's EC2 cluster of `n` small instances.
+    pub fn ec2(n: usize) -> Self {
+        let mut spec = Self::uniform(format!("ec2-{n}"), n, CostModel::ec2_small());
+        for node in &mut spec.nodes {
+            node.speed = 0.8; // EC2 small vs. reference local core
+        }
+        spec
+    }
+
+    /// A single node with no network: used to measure `T*` for the
+    /// parallel-efficiency experiment (Fig. 14).
+    pub fn single() -> Self {
+        Self::uniform("single", 1, CostModel::ec2_small())
+    }
+
+    /// A deliberately heterogeneous cluster: node speeds drawn
+    /// deterministically from `seed` in `[0.5, 1.5)`. Exercises the
+    /// paper's §3.4.2 load-balancing migration.
+    pub fn heterogeneous(n: usize, seed: u64) -> Self {
+        let mut spec = Self::uniform(format!("hetero-{n}"), n, CostModel::hadoop_era());
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for node in &mut spec.nodes {
+            // splitmix64 — tiny, deterministic, no external RNG needed.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+            node.speed = 0.5 + unit;
+        }
+        spec
+    }
+
+    /// Applies [`CostModel::scaled_for_sample`] to this cluster's cost
+    /// model: experiments run on a `scale`-sized data sample but report
+    /// full-size virtual times.
+    pub fn with_sample_scale(mut self, scale: f64) -> Self {
+        self.cost = self.cost.scaled_for_sample(scale);
+        self
+    }
+
+    /// Number of worker nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for the (disallowed) empty cluster; kept for idiomatic
+    /// pairing with [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Speed factor of `node`.
+    pub fn speed(&self, node: NodeId) -> f64 {
+        self.nodes[node.index()].speed
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.map_slots).sum()
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.reduce_slots).sum()
+    }
+
+    /// Transfer time for `bytes` from `from` to `to` under this
+    /// cluster's cost model: local transfers use loopback bandwidth,
+    /// remote transfers pay latency plus network bandwidth.
+    pub fn transfer_time(&self, from: NodeId, to: NodeId, bytes: u64) -> VDuration {
+        if from == to {
+            self.cost.local_transfer_time(bytes)
+        } else {
+            self.cost.remote_transfer_time(bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let local = ClusterSpec::local(4);
+        assert_eq!(local.len(), 4);
+        assert_eq!(local.total_map_slots(), 8);
+        assert_eq!(local.name, "local-4");
+
+        let ec2 = ClusterSpec::ec2(20);
+        assert_eq!(ec2.len(), 20);
+        assert!(ec2.nodes.iter().all(|n| (n.speed - 0.8).abs() < 1e-12));
+
+        let single = ClusterSpec::single();
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_is_deterministic_and_bounded() {
+        let a = ClusterSpec::heterogeneous(16, 42);
+        let b = ClusterSpec::heterogeneous(16, 42);
+        assert_eq!(a, b);
+        assert!(a.nodes.iter().all(|n| n.speed >= 0.5 && n.speed < 1.5));
+        let c = ClusterSpec::heterogeneous(16, 43);
+        assert_ne!(a, c);
+        // Actually heterogeneous: speeds differ across nodes.
+        let first = a.nodes[0].speed;
+        assert!(a.nodes.iter().any(|n| (n.speed - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn local_transfer_cheaper_than_remote() {
+        let spec = ClusterSpec::local(2);
+        let local = spec.transfer_time(NodeId(0), NodeId(0), 1 << 20);
+        let remote = spec.transfer_time(NodeId(0), NodeId(1), 1 << 20);
+        assert!(local < remote);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterSpec::uniform("empty", 0, CostModel::hadoop_era());
+    }
+}

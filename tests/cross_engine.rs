@@ -1,0 +1,125 @@
+//! Cross-crate integration: both engines run the paper's workloads on
+//! the same generated data and must agree with each other and with the
+//! sequential references.
+
+use imapreduce::IterConfig;
+use imr_algorithms::testutil::{imr_runner, imr_runner_on, mr_runner};
+use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
+use imr_graph::{dataset, generate_matrix, generate_points};
+use imr_simcluster::{ClusterSpec, NodeId, TaskClock};
+
+#[test]
+fn sssp_pipeline_catalog_to_engines() {
+    // End-to-end: catalog row → generator → both engines → references.
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let iters = 6;
+
+    let imr = imr_runner(4);
+    let cfg = IterConfig::new("sssp", 4, iters);
+    let a = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
+
+    let mr = mr_runner(4);
+    let b = sssp::run_sssp_mr(&mr, &g, 0, 4, iters, None).unwrap();
+
+    let expect = sssp::reference_sssp_rounds(&g, 0, iters);
+    let mut clock = TaskClock::default();
+    let mut mr_out: Vec<(u32, sssp::DistAdj)> =
+        imr_mapreduce::io::read_all(mr.dfs(), &b.final_dir, NodeId(0), &mut clock).unwrap();
+    // Baseline output is per-part sorted; order globally for the zip.
+    mr_out.sort_by_key(|&(k, _)| k);
+
+    assert_eq!(a.final_state.len(), g.num_nodes());
+    assert_eq!(mr_out.len(), g.num_nodes());
+    for ((k1, d1), (k2, (d2, _))) in a.final_state.iter().zip(&mr_out) {
+        assert_eq!(k1, k2);
+        let e = expect[*k1 as usize];
+        let ok = |d: f64| (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite());
+        assert!(ok(*d1) && ok(*d2), "node {k1}: imr={d1} mr={d2} ref={e}");
+    }
+    // The headline claim, end to end.
+    assert!(a.report.finished < b.report.finished);
+}
+
+#[test]
+fn pagerank_pipeline_on_webgraph_standin() {
+    let g = dataset("Google").unwrap().generate(0.003);
+    let iters = 8;
+    let imr = imr_runner(4);
+    let cfg = IterConfig::new("pr", 4, iters);
+    let out = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
+    let expect = pagerank::reference_pagerank(&g, 0.85, iters);
+    for (k, v) in &out.final_state {
+        assert!((v - expect[*k as usize]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn kmeans_engines_agree_on_generated_points() {
+    let points = generate_points(400, 5, 3, 77);
+    let iters = 6;
+    let imr = imr_runner(4);
+    let cfg = IterConfig::new("km", 4, iters).with_one2all();
+    let a = kmeans::run_kmeans_imr(&imr, &points, 3, &cfg, false).unwrap();
+    let mr = mr_runner(4);
+    let b = kmeans::run_kmeans_mr(&mr, &points, 3, 4, iters, false, None).unwrap();
+    assert_eq!(a.final_state.len(), b.centroids.len());
+    for ((ka, (ca, _)), (kb, (cb, _))) in a.final_state.iter().zip(&b.centroids) {
+        assert_eq!(ka, kb);
+        for (x, y) in ca.iter().zip(cb) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn matpower_engines_agree() {
+    let m = generate_matrix(12, 5);
+    let imr = imr_runner(4);
+    let a = matpower::run_matpower_imr(&imr, &m, 2, 3).unwrap();
+    let mr = mr_runner(4);
+    let b = matpower::run_matpower_mr(&mr, &m, 2, 3).unwrap();
+    let expect = matpower::reference_matpower(&m, 3);
+    for (((i, k), v), (_, w)) in a.final_state.iter().zip(&b.result) {
+        let e = expect[*i as usize][*k as usize];
+        assert!((v - e).abs() < 1e-9 * e.abs().max(1.0));
+        assert!((w - e).abs() < 1e-9 * e.abs().max(1.0));
+    }
+}
+
+#[test]
+fn jacobi_converges_on_ec2_preset() {
+    let (system, _) = jacobi::generate_system(50, 4, 5);
+    let r = imr_runner_on(ClusterSpec::ec2(8));
+    let cfg = IterConfig::new("jacobi", 8, 150)
+        .with_one2all()
+        .with_distance_threshold(1e-12);
+    let out = jacobi::run_jacobi_imr(&r, &system, &cfg).unwrap();
+    let x: Vec<f64> = out.final_state.iter().map(|&(_, v)| v).collect();
+    assert!(jacobi::residual(&system, &x) < 1e-8);
+}
+
+#[test]
+fn bigger_clusters_run_faster() {
+    // The scaling claim (Figs. 12-13) end to end: more EC2 instances,
+    // shorter virtual time, for both engines.
+    // Sample-scale compensation (as the bench harness uses) so data
+    // costs dominate the fixed per-task overheads, as at full size.
+    let scale = 0.01;
+    let g = dataset("SSSP-s").unwrap().generate(scale);
+    let mut prev_imr = f64::INFINITY;
+    let mut prev_mr = f64::INFINITY;
+    for n in [4usize, 16] {
+        let imr = imr_runner_on(ClusterSpec::ec2(n).with_sample_scale(scale));
+        let cfg = IterConfig::new("sssp", n, 4);
+        let a = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
+        let t_imr = a.report.finished.as_secs_f64();
+        assert!(t_imr < prev_imr, "iMapReduce did not scale at n={n}");
+        prev_imr = t_imr;
+
+        let mr = imr_algorithms::testutil::mr_runner_on(ClusterSpec::ec2(n).with_sample_scale(scale));
+        let b = sssp::run_sssp_mr(&mr, &g, 0, n, 4, None).unwrap();
+        let t_mr = b.report.finished.as_secs_f64();
+        assert!(t_mr < prev_mr, "MapReduce did not scale at n={n}");
+        prev_mr = t_mr;
+    }
+}

@@ -1,0 +1,69 @@
+//! Reproducibility: the virtual timeline is a pure function of the
+//! inputs — identical across repeated runs, engines included — and the
+//! metrics snapshots match exactly.
+
+use imapreduce::IterConfig;
+use imr_algorithms::testutil::{imr_runner_on, mr_runner_on};
+use imr_algorithms::{pagerank, sssp};
+use imr_graph::dataset;
+use imr_simcluster::{ClusterSpec, MetricsSnapshot, VInstant};
+
+fn imr_run() -> (VInstant, Vec<VInstant>, MetricsSnapshot) {
+    let g = dataset("Google").unwrap().generate(0.002);
+    let r = imr_runner_on(ClusterSpec::ec2(10));
+    let cfg = IterConfig::new("pr", 10, 5).with_distance_threshold(1e-7);
+    let out = pagerank::run_pagerank_imr(&r, &g, &cfg).unwrap();
+    (out.report.finished, out.report.iteration_done, out.report.metrics)
+}
+
+fn mr_run() -> (VInstant, Vec<VInstant>, MetricsSnapshot) {
+    let g = dataset("Google").unwrap().generate(0.002);
+    let r = mr_runner_on(ClusterSpec::ec2(10));
+    let out = pagerank::run_pagerank_mr(&r, &g, 10, 5, None).unwrap();
+    (out.report.finished, out.report.iteration_done, out.report.metrics)
+}
+
+#[test]
+fn imapreduce_timeline_is_bit_reproducible() {
+    assert_eq!(imr_run(), imr_run());
+}
+
+#[test]
+fn mapreduce_timeline_is_bit_reproducible() {
+    assert_eq!(mr_run(), mr_run());
+}
+
+#[test]
+fn sssp_results_do_not_depend_on_cluster_size() {
+    // Timing depends on the cluster; *data* must not.
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let mut results = Vec::new();
+    for n in [2usize, 4, 8] {
+        let r = imr_runner_on(ClusterSpec::local(n));
+        let cfg = IterConfig::new("sssp", n, 5);
+        let out = sssp::run_sssp_imr(&r, &g, 0, &cfg).unwrap();
+        results.push(out.final_state);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn sync_and_async_runs_share_straggler_patterns() {
+    // The straggler model is keyed by (iteration, task), not wall
+    // time, so the sync/async comparison is a paired experiment: the
+    // async run can never be slower than sync by more than the hand-off
+    // overhead.
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let run = |sync: bool| {
+        let r = imr_runner_on(ClusterSpec::local(4));
+        let mut cfg = IterConfig::new("sssp", 4, 8);
+        if sync {
+            cfg = cfg.with_sync_maps();
+        }
+        sssp::run_sssp_imr(&r, &g, 0, &cfg).unwrap().report.finished
+    };
+    let sync_t = run(true);
+    let async_t = run(false);
+    assert!(async_t <= sync_t, "async {async_t} slower than sync {sync_t}");
+}

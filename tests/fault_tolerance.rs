@@ -1,0 +1,86 @@
+//! Fault-tolerance integration: scripted node failures on real
+//! workloads must recover from checkpoints to bit-identical results.
+
+use imapreduce::{FailureEvent, IterConfig, LoadBalance};
+use imr_algorithms::sssp::{self, SsspIter};
+use imr_algorithms::testutil::imr_runner_on;
+use imr_graph::dataset;
+use imr_simcluster::{ClusterSpec, NodeId};
+
+fn run_with_failures(failures: &[FailureEvent], ckpt: usize) -> imapreduce::IterOutcome<u32, f64> {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let runner = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
+    let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(ckpt);
+    runner.run(&SsspIter, &cfg, "/s", "/t", "/o", failures).unwrap()
+}
+
+#[test]
+fn single_failure_recovers_exactly() {
+    let clean = run_with_failures(&[], 2);
+    let failed = run_with_failures(&[FailureEvent { node: NodeId(1), at_iteration: 4 }], 2);
+    assert_eq!(failed.recoveries, 1);
+    assert_eq!(clean.final_state, failed.final_state);
+    assert!(failed.report.finished > clean.report.finished);
+}
+
+#[test]
+fn multiple_failures_recover_exactly() {
+    let clean = run_with_failures(&[], 2);
+    let failed = run_with_failures(
+        &[
+            FailureEvent { node: NodeId(1), at_iteration: 3 },
+            FailureEvent { node: NodeId(3), at_iteration: 6 },
+        ],
+        2,
+    );
+    assert_eq!(failed.recoveries, 2);
+    assert_eq!(clean.final_state, failed.final_state);
+}
+
+#[test]
+fn failure_immediately_after_checkpoint_rolls_back_minimally() {
+    let clean = run_with_failures(&[], 4);
+    // Checkpoint at iteration 4, failure right after.
+    let failed = run_with_failures(&[FailureEvent { node: NodeId(2), at_iteration: 4 }], 4);
+    assert_eq!(clean.final_state, failed.final_state);
+    assert_eq!(clean.iterations, failed.iterations);
+}
+
+#[test]
+fn load_balancing_and_failures_compose() {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let mut spec = ClusterSpec::local(4);
+    spec.nodes[0].speed = 0.2;
+    let runner = imr_runner_on(spec);
+    sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
+    let cfg = IterConfig::new("sssp", 4, 10)
+        .with_checkpoint_interval(1)
+        .with_load_balance(LoadBalance { deviation: 0.3, max_migrations: 2 });
+    let failures = [FailureEvent { node: NodeId(3), at_iteration: 6 }];
+    let out = runner.run(&SsspIter, &cfg, "/s", "/t", "/o", &failures).unwrap();
+    assert_eq!(out.recoveries, 1);
+
+    // Results still match the reference despite migration + failure.
+    let expect = sssp::reference_sssp_rounds(&g, 0, 10);
+    for (k, d) in &out.final_state {
+        let e = expect[*k as usize];
+        assert!((d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()));
+    }
+}
+
+#[test]
+fn dfs_survives_node_loss_with_replication() {
+    // The static data is replicated on the DFS, so losing a node must
+    // not lose any partition (replication 3 over 4 nodes).
+    let g = dataset("DBLP").unwrap().generate(0.002);
+    let runner = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
+    runner.dfs().fail_node(NodeId(0));
+    for p in 0..4 {
+        let mut clock = imr_simcluster::TaskClock::default();
+        let part: Vec<(u32, sssp::Adj)> =
+            imr_mapreduce::io::read_part(runner.dfs(), "/t", p, NodeId(1), &mut clock).unwrap();
+        assert!(!part.is_empty() || g.num_nodes() < 4);
+    }
+}

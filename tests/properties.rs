@@ -1,0 +1,71 @@
+//! Workspace-level property tests: cross-crate invariants on random
+//! inputs.
+
+use imapreduce::IterConfig;
+use imr_algorithms::testutil::imr_runner;
+use imr_algorithms::{pagerank, sssp};
+use imr_graph::{
+    generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist,
+    sssp_weight_dist,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// SSSP invariants on arbitrary weighted graphs: distances never
+    /// increase across iterations, source stays 0, and every finite
+    /// distance is witnessed by an in-edge relaxation (fixed point).
+    #[test]
+    fn sssp_fixed_point_invariants(seed in any::<u64>(), n in 30usize..100) {
+        let g = generate_weighted_graph(n, n as u64 * 3, sssp_degree_dist(), sssp_weight_dist(), seed);
+        let r = imr_runner(3);
+        let cfg = IterConfig::new("sssp", 3, 64).with_distance_threshold(1e-12);
+        let out = sssp::run_sssp_imr(&r, &g, 0, &cfg).unwrap();
+        let dist: Vec<f64> = out.final_state.iter().map(|&(_, d)| d).collect();
+        prop_assert_eq!(dist[0], 0.0);
+        // Fixed point: no edge can still relax.
+        for u in 0..n as u32 {
+            if dist[u as usize].is_finite() {
+                for (v, w) in g.weighted_neighbors(u) {
+                    prop_assert!(
+                        dist[v as usize] <= dist[u as usize] + f64::from(w) + 1e-9,
+                        "edge {}->{} still relaxes", u, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// PageRank invariants: ranks positive, bounded by 1, and the total
+    /// never exceeds 1 (dangling mass only leaks out).
+    #[test]
+    fn pagerank_mass_invariants(seed in any::<u64>(), n in 30usize..100) {
+        let g = generate_graph(n, n as u64 * 3, pagerank_degree_dist(), seed);
+        let r = imr_runner(2);
+        let cfg = IterConfig::new("pr", 2, 6);
+        let out = pagerank::run_pagerank_imr(&r, &g, &cfg).unwrap();
+        let total: f64 = out.final_state.iter().map(|&(_, v)| v).sum();
+        prop_assert!(total <= 1.0 + 1e-9, "mass {total}");
+        for (k, v) in &out.final_state {
+            prop_assert!(*v > 0.0 && *v <= 1.0, "rank of {k} is {v}");
+        }
+    }
+
+    /// Virtual timelines are monotone: each iteration completes
+    /// strictly after the previous one, and the job finishes after the
+    /// last iteration.
+    #[test]
+    fn timelines_are_monotone(seed in any::<u64>(), n in 20usize..60, iters in 2usize..6) {
+        let g = generate_graph(n, n as u64 * 2, pagerank_degree_dist(), seed);
+        let r = imr_runner(2);
+        let cfg = IterConfig::new("pr", 2, iters);
+        let out = pagerank::run_pagerank_imr(&r, &g, &cfg).unwrap();
+        let times = &out.report.iteration_done;
+        prop_assert_eq!(times.len(), iters);
+        for w in times.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(out.report.finished >= *times.last().unwrap());
+    }
+}
