@@ -9,7 +9,7 @@
 //! symmetric, all labels converge to the component's minimum id.
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::EngineError;
@@ -25,7 +25,13 @@ impl IterativeJob for ConCompIter {
     type S = u32; // current component label
     type T = Vec<u32>; // out-neighbors
 
-    fn map(&self, k: &u32, state: StateInput<'_, u32, u32>, adj: &Vec<u32>, out: &mut Emitter<u32, u32>) {
+    fn map(
+        &self,
+        k: &u32,
+        state: StateInput<'_, u32, u32>,
+        adj: &Vec<u32>,
+        out: &mut Emitter<u32, u32>,
+    ) {
         let label = *state.one();
         out.emit(*k, label);
         for &v in adj {
@@ -49,7 +55,7 @@ impl IterativeJob for ConCompIter {
 /// Runs connected components under iMapReduce, terminating when no
 /// label changes (distance threshold below one label flip).
 pub fn run_concomp_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     graph: &Graph,
     num_tasks: usize,
     max_iterations: usize,
@@ -57,7 +63,14 @@ pub fn run_concomp_imr(
     let job = ConCompIter;
     let mut clock = TaskClock::default();
     let state: Vec<(u32, u32)> = (0..graph.num_nodes() as u32).map(|u| (u, u)).collect();
-    load_partitioned(runner.dfs(), "/cc/state", state, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    load_partitioned(
+        runner.dfs(),
+        "/cc/state",
+        state,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
     load_partitioned(
         runner.dfs(),
         "/cc/static",
@@ -117,7 +130,11 @@ mod tests {
         let g = Graph::from_adjacency(vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]);
         let r = imr_runner(2);
         let out = run_concomp_imr(&r, &g, 2, 20).unwrap();
-        assert!(out.final_state.iter().all(|&(_, l)| l == 0), "{:?}", out.final_state);
+        assert!(
+            out.final_state.iter().all(|&(_, l)| l == 0),
+            "{:?}",
+            out.final_state
+        );
     }
 
     #[test]

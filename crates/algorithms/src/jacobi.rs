@@ -3,7 +3,7 @@
 //! iterated vector `x`, so reduce output is broadcast to all maps.
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
 };
 use imr_mapreduce::EngineError;
 use imr_records::{ModPartitioner, Partitioner};
@@ -23,7 +23,13 @@ impl IterativeJob for JacobiIter {
     type S = f64;
     type T = Row;
 
-    fn map(&self, i: &u32, state: StateInput<'_, u32, f64>, row: &Row, out: &mut Emitter<u32, f64>) {
+    fn map(
+        &self,
+        i: &u32,
+        state: StateInput<'_, u32, f64>,
+        row: &Row,
+        out: &mut Emitter<u32, f64>,
+    ) {
         let x = state.all();
         let (off, aii, b) = row;
         let mut acc = 0.0;
@@ -75,11 +81,15 @@ pub fn generate_system(n: usize, per_row: usize, seed: u64) -> (Vec<(u32, Row)>,
 /// Loads the system and the zero initial guess, then runs Jacobi under
 /// iMapReduce.
 pub fn run_jacobi_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     system: &[(u32, Row)],
     cfg: &IterConfig,
 ) -> Result<IterOutcome<u32, f64>, EngineError> {
-    assert_eq!(cfg.mapping, imapreduce::Mapping::One2All, "Jacobi needs one2all");
+    assert_eq!(
+        cfg.mapping,
+        imapreduce::Mapping::One2All,
+        "Jacobi needs one2all"
+    );
     let mut clock = TaskClock::default();
     let job = JacobiIter;
     let state: Vec<(u32, f64)> = (0..system.len() as u32).map(|i| (i, 0.0)).collect();
@@ -155,7 +165,11 @@ mod tests {
         let out = run_jacobi_imr(&r, &system, &cfg).unwrap();
         assert!(out.iterations < 200, "diagonally dominant systems converge");
         let x: Vec<f64> = out.final_state.iter().map(|&(_, v)| v).collect();
-        assert!(residual(&system, &x) < 1e-8, "residual {}", residual(&system, &x));
+        assert!(
+            residual(&system, &x) < 1e-8,
+            "residual {}",
+            residual(&system, &x)
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! either into the new centroid mean.
 
 use imapreduce::{
-    load_partitioned, run_with_aux, AuxOutcome, AuxPhase, Emitter, IterConfig, IterOutcome,
-    IterativeJob, IterativeRunner, StateInput,
+    load_partitioned, run_with_aux, AuxOutcome, AuxPhase, Emitter, IterConfig, IterEngine,
+    IterOutcome, IterativeJob, IterativeRunner, StateInput,
 };
 use imr_mapreduce::io::num_parts;
 use imr_mapreduce::{EngineError, JobConfig, JobRunner, MrJob};
@@ -106,13 +106,15 @@ impl IterativeJob for KmeansIter {
 /// the sequential reference.
 pub fn initial_centroids(points: &[(u32, Vec<f64>)], k: usize) -> Vec<(u32, KmState)> {
     assert!(k >= 1 && k <= points.len());
-    (0..k as u32).map(|i| (i, (points[i as usize].1.clone(), 1))).collect()
+    (0..k as u32)
+        .map(|i| (i, (points[i as usize].1.clone(), 1)))
+        .collect()
 }
 
 /// Loads points (static) and initial centroids (state) for the
 /// iMapReduce job.
 pub fn load_kmeans_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     points: &[(u32, Vec<f64>)],
     k: usize,
     num_tasks: usize,
@@ -136,13 +138,17 @@ pub fn load_kmeans_imr(
 
 /// Runs K-means under iMapReduce (one2all broadcast, sync maps).
 pub fn run_kmeans_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     points: &[(u32, Vec<f64>)],
     k: usize,
     cfg: &IterConfig,
     combiner: bool,
 ) -> Result<IterOutcome<u32, KmState>, EngineError> {
-    assert_eq!(cfg.mapping, imapreduce::Mapping::One2All, "K-means needs one2all");
+    assert_eq!(
+        cfg.mapping,
+        imapreduce::Mapping::One2All,
+        "K-means needs one2all"
+    );
     load_kmeans_imr(runner, points, k, cfg.num_tasks, "/km/state", "/km/static")?;
     let job = KmeansIter { combiner };
     runner.run(&job, cfg, "/km/state", "/km/static", "/km/out", &[])
@@ -167,7 +173,13 @@ impl AuxPhase<u32, KmState> for CentroidStability {
         let mut moved = 0.0;
         for (cid, (c, _)) in cur {
             match prev.binary_search_by(|(p, _)| p.cmp(cid)) {
-                Ok(i) => moved += c.iter().zip(&prev[i].1 .0).map(|(a, b)| (a - b).abs()).sum::<f64>(),
+                Ok(i) => {
+                    moved += c
+                        .iter()
+                        .zip(&prev[i].1 .0)
+                        .map(|(a, b)| (a - b).abs())
+                        .sum::<f64>()
+                }
                 Err(_) => moved += 1.0,
             }
         }
@@ -190,7 +202,15 @@ pub fn run_kmeans_imr_aux(
     load_kmeans_imr(runner, points, k, cfg.num_tasks, "/km/state", "/km/static")?;
     let job = KmeansIter { combiner: false };
     let aux = CentroidStability { threshold };
-    run_with_aux(runner, &job, &aux, cfg, "/km/state", "/km/static", "/km/out")
+    run_with_aux(
+        runner,
+        &job,
+        &aux,
+        cfg,
+        "/km/state",
+        "/km/static",
+        "/km/out",
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -276,14 +296,20 @@ pub fn run_kmeans_mr(
     runner.load_input(points_dir, points.to_vec(), num_tasks, &mut clock)?;
     let mut centroids = initial_centroids(points, k);
     let mut now = VInstant::EPOCH;
-    let mut report = RunReport { label: "MapReduce".into(), ..RunReport::default() };
+    let mut report = RunReport {
+        label: "MapReduce".into(),
+        ..RunReport::default()
+    };
     let mut iterations = 0;
 
     for iter in 1..=max_iterations {
         let side_bytes = encode_pairs(&centroids).len() as u64;
-        let job = KmeansMr { centroids: centroids.clone(), combiner };
-        let conf = JobConfig::new(format!("kmeans-{iter}"), num_tasks)
-            .with_side_input_bytes(side_bytes);
+        let job = KmeansMr {
+            centroids: centroids.clone(),
+            combiner,
+        };
+        let conf =
+            JobConfig::new(format!("kmeans-{iter}"), num_tasks).with_side_input_bytes(side_bytes);
         let out_dir = format!("/km-mr/iter-{iter:04}");
         let res = runner.run(&job, &conf, points_dir, &out_dir, now)?;
         now = res.finished;
@@ -303,7 +329,11 @@ pub fn run_kmeans_mr(
             // overhead plus a pass over the points.
             let cost = &runner.cluster().cost;
             runner.metrics().jobs_launched.add(1);
-            let job_start = if runner.charge_init { now + cost.job_setup } else { now };
+            let job_start = if runner.charge_init {
+                now + cost.job_setup
+            } else {
+                now
+            };
             let mut done = Vec::new();
             for p in 0..num_parts(runner.dfs(), points_dir) {
                 let mut c = TaskClock::starting_at(job_start);
@@ -318,7 +348,11 @@ pub fn run_kmeans_mr(
                     .unwrap_or(0);
                 c.advance(cost.disk_time(bytes));
                 c.advance(cost.remote_transfer_time(2 * side_bytes));
-                c.advance(cost.compute_time(points.len() as u64 / num_tasks.max(1) as u64, bytes, 1.0));
+                c.advance(cost.compute_time(
+                    points.len() as u64 / num_tasks.max(1) as u64,
+                    bytes,
+                    1.0,
+                ));
                 done.push(c.now() + cost.remote_transfer_time(16));
             }
             let mut agg = TaskClock::starting_at(job_start);
@@ -337,7 +371,10 @@ pub fn run_kmeans_mr(
                         .binary_search_by(|(p, _)| p.cmp(cid))
                         .ok()
                         .map_or(1.0, |i| {
-                            c.iter().zip(&centroids[i].1 .0).map(|(a, b)| (a - b).abs()).sum()
+                            c.iter()
+                                .zip(&centroids[i].1 .0)
+                                .map(|(a, b)| (a - b).abs())
+                                .sum()
                         })
                 })
                 .sum();
@@ -352,7 +389,11 @@ pub fn run_kmeans_mr(
 
     report.finished = now;
     report.metrics = runner.metrics().snapshot();
-    Ok(KmeansMrOutcome { report, centroids, iterations })
+    Ok(KmeansMrOutcome {
+        report,
+        centroids,
+        iterations,
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -38,8 +38,10 @@ mod proptests {
     use crate::testutil::{imr_runner, mr_runner};
     use crate::{pagerank, sssp};
     use imapreduce::IterConfig;
-    use imr_graph::{generate_graph, generate_weighted_graph, pagerank_degree_dist,
-        sssp_degree_dist, sssp_weight_dist};
+    use imr_graph::{
+        generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist,
+        sssp_weight_dist,
+    };
     use proptest::prelude::*;
 
     proptest! {

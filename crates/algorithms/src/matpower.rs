@@ -97,7 +97,9 @@ pub fn cells(m: &Dense) -> Vec<(Cell, f64)> {
     m.iter()
         .enumerate()
         .flat_map(|(i, row)| {
-            row.iter().enumerate().map(move |(j, &v)| ((i as u32, j as u32), v))
+            row.iter()
+                .enumerate()
+                .map(move |(j, &v)| ((i as u32, j as u32), v))
         })
         .collect()
 }
@@ -109,7 +111,9 @@ pub fn columns(m: &Dense) -> Vec<(u32, Vec<(u32, f64)>)> {
         .map(|j| {
             (
                 j,
-                (0..n as u32).map(|i| (i, m[i as usize][j as usize])).collect(),
+                (0..n as u32)
+                    .map(|i| (i, m[i as usize][j as usize]))
+                    .collect(),
             )
         })
         .collect()
@@ -143,7 +147,16 @@ pub fn run_matpower_imr(
         &mut clock,
     )?;
     let cfg = TwoPhaseConfig::new("matpower", num_tasks, iterations);
-    run_two_phase(runner, &p1, &p2, &cfg, "/mp/state", None, Some("/mp/cols"), "/mp/out")
+    run_two_phase(
+        runner,
+        &p1,
+        &p2,
+        &cfg,
+        "/mp/state",
+        None,
+        Some("/mp/cols"),
+        "/mp/out",
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -176,7 +189,12 @@ impl MrJob for MatJoinMr {
         }
     }
 
-    fn reduce(&self, j: &u32, values: Vec<(u8, u32, f64)>, out: &mut Emitter<u32, Vec<(u8, u32, f64)>>) {
+    fn reduce(
+        &self,
+        j: &u32,
+        values: Vec<(u8, u32, f64)>,
+        out: &mut Emitter<u32, Vec<(u8, u32, f64)>>,
+    ) {
         out.emit(*j, values);
     }
 }
@@ -194,10 +212,16 @@ impl MrJob for MatMulMr {
     type OutV = Tagged;
 
     fn map(&self, _j: &u32, joined: &Vec<(u8, u32, f64)>, out: &mut Emitter<Cell, f64>) {
-        let ms: Vec<(u32, f64)> =
-            joined.iter().filter(|(t, _, _)| *t == 0).map(|&(_, i, v)| (i, v)).collect();
-        let ns: Vec<(u32, f64)> =
-            joined.iter().filter(|(t, _, _)| *t == 1).map(|&(_, k, v)| (k, v)).collect();
+        let ms: Vec<(u32, f64)> = joined
+            .iter()
+            .filter(|(t, _, _)| *t == 0)
+            .map(|&(_, i, v)| (i, v))
+            .collect();
+        let ns: Vec<(u32, f64)> = joined
+            .iter()
+            .filter(|(t, _, _)| *t == 1)
+            .map(|&(_, k, v)| (k, v))
+            .collect();
         for &(i, mij) in &ms {
             for &(k, njk) in &ns {
                 out.emit((i, k), mij * njk);
@@ -244,7 +268,10 @@ pub fn run_matpower_mr(
     runner.load_input("/mp-mr/n-0000", n_cells, half, &mut clock)?;
 
     let mut now = VInstant::EPOCH;
-    let mut report = RunReport { label: "MapReduce".into(), ..RunReport::default() };
+    let mut report = RunReport {
+        label: "MapReduce".into(),
+        ..RunReport::default()
+    };
     let mut n_dir = "/mp-mr/n-0000".to_owned();
     for iter in 1..=iterations {
         let join_dir = format!("/mp-mr/join-{iter:04}");
@@ -273,19 +300,19 @@ pub fn run_matpower_mr(
     }
 
     let mut rc = TaskClock::starting_at(now);
-    let mut result: Vec<(Cell, f64)> = imr_mapreduce::io::read_all::<Cell, Tagged>(
-        runner.dfs(),
-        &n_dir,
-        NodeId(0),
-        &mut rc,
-    )?
-    .into_iter()
-    .map(|(k, (_, v))| (k, v))
-    .collect();
+    let mut result: Vec<(Cell, f64)> =
+        imr_mapreduce::io::read_all::<Cell, Tagged>(runner.dfs(), &n_dir, NodeId(0), &mut rc)?
+            .into_iter()
+            .map(|(k, (_, v))| (k, v))
+            .collect();
     result.sort_by_key(|&(k, _)| k);
     report.finished = now;
     report.metrics = runner.metrics().snapshot();
-    Ok(MatPowerMrOutcome { report, result, iterations })
+    Ok(MatPowerMrOutcome {
+        report,
+        result,
+        iterations,
+    })
 }
 
 // ---------------------------------------------------------------------

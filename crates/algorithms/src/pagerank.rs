@@ -8,7 +8,7 @@
 //! formulation (no dangling redistribution).
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::{
@@ -37,7 +37,10 @@ pub struct PageRankIter {
 impl PageRankIter {
     /// A job with damping 0.85 over `num_nodes` pages.
     pub fn new(num_nodes: u64) -> Self {
-        PageRankIter { damping: 0.85, num_nodes }
+        PageRankIter {
+            damping: 0.85,
+            num_nodes,
+        }
     }
 }
 
@@ -46,7 +49,13 @@ impl IterativeJob for PageRankIter {
     type S = f64;
     type T = Vec<u32>;
 
-    fn map(&self, k: &u32, state: StateInput<'_, u32, f64>, adj: &Vec<u32>, out: &mut Emitter<u32, f64>) {
+    fn map(
+        &self,
+        k: &u32,
+        state: StateInput<'_, u32, f64>,
+        adj: &Vec<u32>,
+        out: &mut Emitter<u32, f64>,
+    ) {
         let r = *state.one();
         // Retained share to self (Fig. 3 line 2).
         out.emit(*k, (1.0 - self.damping) / self.num_nodes as f64);
@@ -75,7 +84,7 @@ impl IterativeJob for PageRankIter {
 /// Loads rank state (uniform `1/|V|`) and adjacency parts for the
 /// iMapReduce job.
 pub fn load_pagerank_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     graph: &Graph,
     num_tasks: usize,
     state_dir: &str,
@@ -86,14 +95,28 @@ pub fn load_pagerank_imr(
     let init = 1.0 / graph.num_nodes() as f64;
     let state: Vec<(u32, f64)> = (0..graph.num_nodes() as u32).map(|u| (u, init)).collect();
     let statics: Vec<(u32, Vec<u32>)> = graph.adjacency_records();
-    load_partitioned(runner.dfs(), state_dir, state, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
-    load_partitioned(runner.dfs(), static_dir, statics, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    load_partitioned(
+        runner.dfs(),
+        state_dir,
+        state,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
+    load_partitioned(
+        runner.dfs(),
+        static_dir,
+        statics,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
     Ok(())
 }
 
 /// Runs PageRank under iMapReduce.
 pub fn run_pagerank_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     graph: &Graph,
     cfg: &IterConfig,
 ) -> Result<IterOutcome<u32, f64>, EngineError> {
@@ -133,7 +156,10 @@ impl MrJob for PageRankMr {
             }
         }
         // Retained share plus the adjacency list, shuffled to self.
-        out.emit(*u, ((1.0 - self.damping) / self.num_nodes as f64, adj.clone()));
+        out.emit(
+            *u,
+            ((1.0 - self.damping) / self.num_nodes as f64, adj.clone()),
+        );
     }
 
     fn reduce(&self, v: &u32, values: Vec<RankAdj>, out: &mut Emitter<u32, RankAdj>) {
@@ -177,7 +203,10 @@ pub fn run_pagerank_mr(
     check: Option<&CheckSpec<u32, RankAdj>>,
 ) -> Result<IterativeOutcome, EngineError> {
     load_pagerank_mr(runner, graph, num_tasks, "/pr-mr/in")?;
-    let job = PageRankMr { damping: 0.85, num_nodes: graph.num_nodes() as u64 };
+    let job = PageRankMr {
+        damping: 0.85,
+        num_nodes: graph.num_nodes() as u64,
+    };
     run_iterative(
         runner,
         &job,
@@ -276,10 +305,8 @@ mod tests {
         assert!(a.report.finished < b.report.finished);
         // It also moves far fewer bytes in total: no adjacency
         // reshuffling, no per-iteration DFS round trips (Fig. 11).
-        let a_total = a.report.metrics.shuffle_remote_bytes
-            + a.report.metrics.shuffle_local_bytes;
-        let b_total = b.report.metrics.shuffle_remote_bytes
-            + b.report.metrics.shuffle_local_bytes;
+        let a_total = a.report.metrics.shuffle_remote_bytes + a.report.metrics.shuffle_local_bytes;
+        let b_total = b.report.metrics.shuffle_remote_bytes + b.report.metrics.shuffle_local_bytes;
         assert!(a_total < b_total, "shuffle totals: {a_total} vs {b_total}");
         assert!(
             a.report.metrics.total_network_bytes() < b.report.metrics.total_network_bytes(),

@@ -4,7 +4,7 @@
 //! returns to a single source node instead of spreading uniformly.
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::EngineError;
@@ -25,7 +25,13 @@ impl IterativeJob for RwrIter {
     type S = f64; // visiting probability
     type T = Vec<u32>; // out-neighbors
 
-    fn map(&self, k: &u32, state: StateInput<'_, u32, f64>, adj: &Vec<u32>, out: &mut Emitter<u32, f64>) {
+    fn map(
+        &self,
+        k: &u32,
+        state: StateInput<'_, u32, f64>,
+        adj: &Vec<u32>,
+        out: &mut Emitter<u32, f64>,
+    ) {
         let p = *state.one();
         // Restart mass returns to the source; ensure every key also
         // emits to itself so its record survives the iteration.
@@ -54,7 +60,7 @@ impl IterativeJob for RwrIter {
 
 /// Runs RWR from `source` under iMapReduce.
 pub fn run_rwr_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     graph: &Graph,
     source: u32,
     restart: f64,
@@ -67,7 +73,14 @@ pub fn run_rwr_imr(
     let state: Vec<(u32, f64)> = (0..graph.num_nodes() as u32)
         .map(|u| (u, if u == source { 1.0 } else { 0.0 }))
         .collect();
-    load_partitioned(runner.dfs(), "/rwr/state", state, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    load_partitioned(
+        runner.dfs(),
+        "/rwr/state",
+        state,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
     load_partitioned(
         runner.dfs(),
         "/rwr/static",
@@ -126,8 +139,8 @@ mod tests {
     fn source_dominates_the_stationary_distribution() {
         let g = generate_graph(80, 500, pagerank_degree_dist(), 29);
         let r = imr_runner(2);
-        let out = run_rwr_imr(&r, &g, 3, 0.3, 2, 200, 1e-9).unwrap();
-        assert!(out.iterations < 200, "should converge");
+        let out = run_rwr_imr(&r, &g, 3, 0.3, 2, 400, 1e-9).unwrap();
+        assert!(out.iterations < 400, "should converge");
         let source_p = out.final_state.iter().find(|(k, _)| *k == 3).unwrap().1;
         let max_other = out
             .final_state
@@ -135,7 +148,10 @@ mod tests {
             .filter(|(k, _)| *k != 3)
             .map(|&(_, v)| v)
             .fold(0.0f64, f64::max);
-        assert!(source_p > max_other, "source {source_p} vs max other {max_other}");
+        assert!(
+            source_p > max_other,
+            "source {source_p} vs max other {max_other}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! outgoing edge weight; every node keeps the minimum it has seen.
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterOutcome, IterativeJob, IterativeRunner, StateInput,
+    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::{
@@ -36,7 +36,13 @@ impl IterativeJob for SsspIter {
     type S = f64;
     type T = Adj;
 
-    fn map(&self, k: &u32, state: StateInput<'_, u32, f64>, adj: &Adj, out: &mut Emitter<u32, f64>) {
+    fn map(
+        &self,
+        k: &u32,
+        state: StateInput<'_, u32, f64>,
+        adj: &Adj,
+        out: &mut Emitter<u32, f64>,
+    ) {
         let d = *state.one();
         // Retain own distance.
         out.emit(*k, d);
@@ -68,7 +74,7 @@ impl IterativeJob for SsspIter {
 /// under `state_dir` (source at 0.0, all else +∞) and adjacency parts
 /// under `static_dir`.
 pub fn load_sssp_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     graph: &Graph,
     source: u32,
     num_tasks: usize,
@@ -81,20 +87,48 @@ pub fn load_sssp_imr(
         .map(|u| (u, if u == source { 0.0 } else { f64::INFINITY }))
         .collect();
     let statics: Vec<(u32, Adj)> = graph.weighted_records();
-    load_partitioned(runner.dfs(), state_dir, state, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
-    load_partitioned(runner.dfs(), static_dir, statics, num_tasks, |k, n| job.partition(k, n), &mut clock)?;
+    load_partitioned(
+        runner.dfs(),
+        state_dir,
+        state,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
+    load_partitioned(
+        runner.dfs(),
+        static_dir,
+        statics,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
     Ok(())
 }
 
 /// Runs SSSP under iMapReduce for a fixed number of iterations.
 pub fn run_sssp_imr(
-    runner: &IterativeRunner,
+    runner: &impl IterEngine,
     graph: &Graph,
     source: u32,
     cfg: &IterConfig,
 ) -> Result<IterOutcome<u32, f64>, EngineError> {
-    load_sssp_imr(runner, graph, source, cfg.num_tasks, "/sssp/state", "/sssp/static")?;
-    runner.run(&SsspIter, cfg, "/sssp/state", "/sssp/static", "/sssp/out", &[])
+    load_sssp_imr(
+        runner,
+        graph,
+        source,
+        cfg.num_tasks,
+        "/sssp/state",
+        "/sssp/static",
+    )?;
+    runner.run(
+        &SsspIter,
+        cfg,
+        "/sssp/state",
+        "/sssp/static",
+        "/sssp/out",
+        &[],
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -228,7 +262,10 @@ pub fn reference_sssp(graph: &Graph, source: u32) -> Vec<f64> {
     }
     impl Ord for Cand {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap()
+                .then(self.1.cmp(&other.1))
         }
     }
 

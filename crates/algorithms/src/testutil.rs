@@ -3,6 +3,7 @@
 use imapreduce::IterativeRunner;
 use imr_dfs::Dfs;
 use imr_mapreduce::JobRunner;
+use imr_native::NativeRunner;
 use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
 use std::sync::Arc;
 
@@ -21,6 +22,16 @@ pub fn imr_runner_on(spec: ClusterSpec) -> IterativeRunner {
     let metrics: MetricsHandle = Arc::new(Metrics::default());
     let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, TEST_BLOCK);
     IterativeRunner::new(spec, dfs, metrics)
+}
+
+/// A native multi-threaded runner over a fresh local `n`-node DFS. The
+/// node count only shapes DFS placement; parallelism comes from
+/// `IterConfig::num_tasks` worker threads.
+pub fn native_runner(n: usize) -> NativeRunner {
+    let spec = Arc::new(ClusterSpec::local(n));
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, TEST_BLOCK);
+    NativeRunner::new(dfs, metrics)
 }
 
 /// A baseline MapReduce runner over a fresh local cluster of `n` nodes.

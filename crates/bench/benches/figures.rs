@@ -11,10 +11,22 @@ use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     c.bench_function("table1_sssp_datasets", |b| {
-        b.iter(|| black_box(experiments::table_datasets("table1", &imr_graph::sssp_datasets(), 0.001)))
+        b.iter(|| {
+            black_box(experiments::table_datasets(
+                "table1",
+                &imr_graph::sssp_datasets(),
+                0.001,
+            ))
+        })
     });
     c.bench_function("table2_pagerank_datasets", |b| {
-        b.iter(|| black_box(experiments::table_datasets("table2", &imr_graph::pagerank_datasets(), 0.001)))
+        b.iter(|| {
+            black_box(experiments::table_datasets(
+                "table2",
+                &imr_graph::pagerank_datasets(),
+                0.001,
+            ))
+        })
     });
 }
 
@@ -29,17 +41,36 @@ fn bench_local_figures(c: &mut Criterion) {
         b.iter(|| black_box(experiments::fig_pagerank_local("fig6", "Google", 0.002, 4)))
     });
     c.bench_function("fig7_pagerank_berkstan", |b| {
-        b.iter(|| black_box(experiments::fig_pagerank_local("fig7", "Berk-Stan", 0.002, 4)))
+        b.iter(|| {
+            black_box(experiments::fig_pagerank_local(
+                "fig7",
+                "Berk-Stan",
+                0.002,
+                4,
+            ))
+        })
     });
 }
 
 fn bench_ec2_figures(c: &mut Criterion) {
     c.bench_function("fig8_sssp_sizes", |b| {
-        b.iter(|| black_box(experiments::fig_synthetic_sizes("fig8", Workload::Sssp, 0.0005, 3)))
+        b.iter(|| {
+            black_box(experiments::fig_synthetic_sizes(
+                "fig8",
+                Workload::Sssp,
+                0.0005,
+                3,
+            ))
+        })
     });
     c.bench_function("fig9_pagerank_sizes", |b| {
         b.iter(|| {
-            black_box(experiments::fig_synthetic_sizes("fig9", Workload::PageRank, 0.0005, 3))
+            black_box(experiments::fig_synthetic_sizes(
+                "fig9",
+                Workload::PageRank,
+                0.0005,
+                3,
+            ))
         })
     });
     c.bench_function("fig10_factors", |b| {
@@ -52,7 +83,14 @@ fn bench_ec2_figures(c: &mut Criterion) {
         b.iter(|| black_box(experiments::fig_scaling("fig12", Workload::Sssp, 0.0003, 3)))
     });
     c.bench_function("fig13_pagerank_scaling", |b| {
-        b.iter(|| black_box(experiments::fig_scaling("fig13", Workload::PageRank, 0.0003, 3)))
+        b.iter(|| {
+            black_box(experiments::fig_scaling(
+                "fig13",
+                Workload::PageRank,
+                0.0003,
+                3,
+            ))
+        })
     });
     c.bench_function("fig14_parallel_efficiency", |b| {
         b.iter(|| black_box(experiments::fig_parallel_efficiency(0.0003, 3)))

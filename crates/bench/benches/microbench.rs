@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use imapreduce::IterConfig;
 use imr_algorithms::testutil::{imr_runner, mr_runner};
 use imr_algorithms::{pagerank, sssp};
-use imr_graph::{generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist, sssp_weight_dist};
+use imr_graph::{
+    generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist,
+    sssp_weight_dist,
+};
 use imr_records::{decode_pairs, encode_pairs, merge_runs, sort_run, HashPartitioner, Partitioner};
 use std::hint::black_box;
 
@@ -28,8 +31,9 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_sorted(c: &mut Criterion) {
     let runs: Vec<Vec<(u32, u64)>> = (0..8)
         .map(|r| {
-            let mut run: Vec<(u32, u64)> =
-                (0..5_000).map(|i| ((i * 7 + r) % 40_000, u64::from(i))).collect();
+            let mut run: Vec<(u32, u64)> = (0..5_000)
+                .map(|i| ((i * 7 + r) % 40_000, u64::from(i)))
+                .collect();
             sort_run(&mut run);
             run
         })
@@ -73,7 +77,12 @@ fn bench_engines(c: &mut Criterion) {
     c.bench_function("engine/mapreduce_sssp_4iters", |b| {
         b.iter(|| {
             let r = mr_runner(4);
-            black_box(sssp::run_sssp_mr(&r, &g, 0, 4, 4, None).unwrap().report.finished)
+            black_box(
+                sssp::run_sssp_mr(&r, &g, 0, 4, 4, None)
+                    .unwrap()
+                    .report
+                    .finished,
+            )
         })
     });
     let pg = generate_graph(2_000, 12_000, pagerank_degree_dist(), 5);
@@ -81,7 +90,12 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             let r = imr_runner(4);
             let cfg = IterConfig::new("pr", 4, 4);
-            black_box(pagerank::run_pagerank_imr(&r, &pg, &cfg).unwrap().report.finished)
+            black_box(
+                pagerank::run_pagerank_imr(&r, &pg, &cfg)
+                    .unwrap()
+                    .report
+                    .finished,
+            )
         })
     });
 }

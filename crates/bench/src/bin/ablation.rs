@@ -28,18 +28,45 @@ fn main() {
         let r = imr_runner_on(spec);
         sssp::load_sssp_imr(&r, &g, 0, cfg.num_tasks, "/a/state", "/a/static").unwrap();
         let out = r
-            .run(&sssp::SsspIter, &cfg, "/a/state", "/a/static", "/a/out", &[])
+            .run(
+                &sssp::SsspIter,
+                &cfg,
+                "/a/state",
+                "/a/static",
+                "/a/out",
+                &[],
+            )
             .unwrap();
         (label.to_owned(), out.report.finished.as_secs_f64())
     };
 
     let local = || ClusterSpec::local(4).with_sample_scale(scale);
     let mut rows = vec![
-        run("baseline (async, batched handoff, ckpt=5)", IterConfig::new("s", 4, iters), local()),
-        run("sync maps", IterConfig::new("s", 4, iters).with_sync_maps(), local()),
-        run("eager handoff", IterConfig::new("s", 4, iters).with_eager_handoff(), local()),
-        run("checkpoint every iteration", IterConfig::new("s", 4, iters).with_checkpoint_interval(1), local()),
-        run("no checkpointing", IterConfig::new("s", 4, iters).with_checkpoint_interval(0), local()),
+        run(
+            "baseline (async, batched handoff, ckpt=5)",
+            IterConfig::new("s", 4, iters),
+            local(),
+        ),
+        run(
+            "sync maps",
+            IterConfig::new("s", 4, iters).with_sync_maps(),
+            local(),
+        ),
+        run(
+            "eager handoff",
+            IterConfig::new("s", 4, iters).with_eager_handoff(),
+            local(),
+        ),
+        run(
+            "checkpoint every iteration",
+            IterConfig::new("s", 4, iters).with_checkpoint_interval(1),
+            local(),
+        ),
+        run(
+            "no checkpointing",
+            IterConfig::new("s", 4, iters).with_checkpoint_interval(0),
+            local(),
+        ),
     ];
 
     // Load balancing on a cluster with one crippled worker.
@@ -54,7 +81,10 @@ fn main() {
         "heterogeneous, load balancing on",
         IterConfig::new("s", 4, iters)
             .with_checkpoint_interval(1)
-            .with_load_balance(LoadBalance { deviation: 0.3, max_migrations: 2 }),
+            .with_load_balance(LoadBalance {
+                deviation: 0.3,
+                max_migrations: 2,
+            }),
         hetero,
     ));
 
@@ -67,8 +97,11 @@ fn main() {
         rows.push((label.to_owned(), out.report.finished.as_secs_f64()));
     }
 
-    let points_xy: Vec<(f64, f64)> =
-        rows.iter().enumerate().map(|(i, (_, t))| ((i + 1) as f64, *t)).collect();
+    let points_xy: Vec<(f64, f64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (_, t))| ((i + 1) as f64, *t))
+        .collect();
     for (i, (label, t)) in rows.iter().enumerate() {
         fig.note(format!("[{}] {label}: {t:.1}s", i + 1));
     }

@@ -11,8 +11,12 @@ fn main() {
 
     experiments::table_datasets("table1", &imr_graph::sssp_datasets(), opts.scale_or(0.01))
         .emit(&opts.out_root);
-    experiments::table_datasets("table2", &imr_graph::pagerank_datasets(), opts.scale_or(0.01))
-        .emit(&opts.out_root);
+    experiments::table_datasets(
+        "table2",
+        &imr_graph::pagerank_datasets(),
+        opts.scale_or(0.01),
+    )
+    .emit(&opts.out_root);
     experiments::fig_sssp_local("fig4", "DBLP", opts.scale_or(0.05), opts.iters_or(16))
         .emit(&opts.out_root);
     experiments::fig_sssp_local("fig5", "Facebook", opts.scale_or(0.02), opts.iters_or(16))
@@ -21,16 +25,36 @@ fn main() {
         .emit(&opts.out_root);
     experiments::fig_pagerank_local("fig7", "Berk-Stan", opts.scale_or(0.02), opts.iters_or(20))
         .emit(&opts.out_root);
-    experiments::fig_synthetic_sizes("fig8", Workload::Sssp, opts.scale_or(0.004), opts.iters_or(10))
-        .emit(&opts.out_root);
-    experiments::fig_synthetic_sizes("fig9", Workload::PageRank, opts.scale_or(0.004), opts.iters_or(10))
-        .emit(&opts.out_root);
+    experiments::fig_synthetic_sizes(
+        "fig8",
+        Workload::Sssp,
+        opts.scale_or(0.004),
+        opts.iters_or(10),
+    )
+    .emit(&opts.out_root);
+    experiments::fig_synthetic_sizes(
+        "fig9",
+        Workload::PageRank,
+        opts.scale_or(0.004),
+        opts.iters_or(10),
+    )
+    .emit(&opts.out_root);
     experiments::fig_factors(opts.scale_or(0.004), opts.iters_or(10)).emit(&opts.out_root);
     experiments::fig_comm_cost(opts.scale_or(0.002), opts.iters_or(10)).emit(&opts.out_root);
-    experiments::fig_scaling("fig12", Workload::Sssp, opts.scale_or(0.002), opts.iters_or(10))
-        .emit(&opts.out_root);
-    experiments::fig_scaling("fig13", Workload::PageRank, opts.scale_or(0.002), opts.iters_or(10))
-        .emit(&opts.out_root);
+    experiments::fig_scaling(
+        "fig12",
+        Workload::Sssp,
+        opts.scale_or(0.002),
+        opts.iters_or(10),
+    )
+    .emit(&opts.out_root);
+    experiments::fig_scaling(
+        "fig13",
+        Workload::PageRank,
+        opts.scale_or(0.002),
+        opts.iters_or(10),
+    )
+    .emit(&opts.out_root);
     experiments::fig_parallel_efficiency(opts.scale_or(0.001), opts.iters_or(10))
         .emit(&opts.out_root);
     let km_n = (359_347.0 * opts.scale_or(0.01)) as usize;
@@ -42,5 +66,8 @@ fn main() {
         .emit(&opts.out_root);
     experiments::fig_jacobi(2_000, 8, opts.iters_or(30)).emit(&opts.out_root);
 
-    eprintln!("all experiments done in {:.1}s (host time)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "all experiments done in {:.1}s (host time)",
+        t0.elapsed().as_secs_f64()
+    );
 }

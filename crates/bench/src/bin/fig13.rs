@@ -6,6 +6,11 @@ use imr_graph::Workload;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    experiments::fig_scaling("fig13", Workload::PageRank, opts.scale_or(0.002), opts.iters_or(10))
-        .emit(&opts.out_root);
+    experiments::fig_scaling(
+        "fig13",
+        Workload::PageRank,
+        opts.scale_or(0.002),
+        opts.iters_or(10),
+    )
+    .emit(&opts.out_root);
 }

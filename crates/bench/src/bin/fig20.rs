@@ -6,6 +6,5 @@ use imr_bench::{experiments, BenchOpts};
 fn main() {
     let opts = BenchOpts::from_args();
     let n = (359_347.0 * opts.scale_or(0.005)) as usize;
-    experiments::fig_kmeans_convergence(n.max(100), 24, 10, opts.iters_or(12))
-        .emit(&opts.out_root);
+    experiments::fig_kmeans_convergence(n.max(100), 24, 10, opts.iters_or(12)).emit(&opts.out_root);
 }

@@ -5,6 +5,11 @@ use imr_graph::Workload;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    experiments::fig_synthetic_sizes("fig8", Workload::Sssp, opts.scale_or(0.004), opts.iters_or(10))
-        .emit(&opts.out_root);
+    experiments::fig_synthetic_sizes(
+        "fig8",
+        Workload::Sssp,
+        opts.scale_or(0.004),
+        opts.iters_or(10),
+    )
+    .emit(&opts.out_root);
 }

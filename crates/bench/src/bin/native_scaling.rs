@@ -1,0 +1,99 @@
+//! Wall-clock scaling of the native multi-threaded backend: PageRank
+//! and SSSP on 1, 2, 4 and 8 persistent map/reduce pairs (one OS thread
+//! each). Unlike the `figN` binaries, the y axis here is *real* seconds
+//! on the host, not virtual time — this is the one experiment the
+//! simulation cannot produce.
+//!
+//! Every thread count must yield the same final state (the native
+//! backend is deterministic under any interleaving); the binary asserts
+//! this before reporting.
+
+use imapreduce::IterConfig;
+use imr_algorithms::{pagerank, sssp};
+use imr_bench::{BenchOpts, FigureResult};
+use imr_dfs::Dfs;
+use imr_graph::dataset;
+use imr_native::NativeRunner;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn runner() -> NativeRunner {
+    let spec = Arc::new(ClusterSpec::local(1));
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 1, 1 << 26);
+    NativeRunner::new(dfs, metrics)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = opts.scale_or(0.02);
+    let iters = opts.iters_or(5);
+
+    let mut fig = FigureResult::new(
+        "native_scaling",
+        "Native backend wall-clock time vs worker threads",
+        "worker threads (persistent map/reduce pairs)",
+        "wall-clock seconds",
+    );
+    fig.note(format!(
+        "scale={scale}, iterations={iters}; host wall-clock, not virtual time"
+    ));
+
+    let pr_graph = dataset("PageRank-s").unwrap().generate(scale);
+    println!(
+        "PageRank-s @ scale {scale}: {} nodes, {} edges",
+        pr_graph.num_nodes(),
+        pr_graph.num_edges()
+    );
+    let mut points = Vec::new();
+    let mut baseline: Option<Vec<(u32, f64)>> = None;
+    for threads in THREADS {
+        let r = runner();
+        let cfg = IterConfig::new("pr-native", threads, iters);
+        let start = Instant::now();
+        let out = pagerank::run_pagerank_imr(&r, &pr_graph, &cfg).expect("pagerank run");
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "  pagerank  {threads} thread(s): {secs:.3} s ({} iterations)",
+            out.iterations
+        );
+        match &baseline {
+            None => baseline = Some(out.final_state),
+            Some(b) => {
+                let same = b.len() == out.final_state.len()
+                    && b.iter()
+                        .zip(&out.final_state)
+                        .all(|((k1, v1), (k2, v2))| k1 == k2 && (v1 - v2).abs() < 1e-12);
+                assert!(same, "thread count changed the PageRank result");
+            }
+        }
+        points.push((threads as f64, secs));
+    }
+    fig.push_series("PageRank (native)", points);
+
+    let sssp_graph = dataset("SSSP-s").unwrap().generate(scale);
+    println!(
+        "SSSP-s @ scale {scale}: {} nodes, {} edges",
+        sssp_graph.num_nodes(),
+        sssp_graph.num_edges()
+    );
+    let mut points = Vec::new();
+    for threads in THREADS {
+        let r = runner();
+        let cfg = IterConfig::new("sssp-native", threads, iters);
+        let start = Instant::now();
+        let out = sssp::run_sssp_imr(&r, &sssp_graph, 0, &cfg).expect("sssp run");
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "  sssp      {threads} thread(s): {secs:.3} s ({} iterations)",
+            out.iterations
+        );
+        points.push((threads as f64, secs));
+    }
+    fig.push_series("SSSP (native)", points);
+
+    fig.emit(&opts.out_root);
+}

@@ -5,6 +5,7 @@ use imr_bench::{experiments, BenchOpts};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let fig = experiments::table_datasets("table1", &imr_graph::sssp_datasets(), opts.scale_or(0.01));
+    let fig =
+        experiments::table_datasets("table1", &imr_graph::sssp_datasets(), opts.scale_or(0.01));
     fig.emit(&opts.out_root);
 }

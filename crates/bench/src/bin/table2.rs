@@ -6,7 +6,10 @@ use imr_bench::{experiments, BenchOpts};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let fig =
-        experiments::table_datasets("table2", &imr_graph::pagerank_datasets(), opts.scale_or(0.01));
+    let fig = experiments::table_datasets(
+        "table2",
+        &imr_graph::pagerank_datasets(),
+        opts.scale_or(0.01),
+    );
     fig.emit(&opts.out_root);
 }

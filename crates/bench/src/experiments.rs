@@ -22,7 +22,12 @@ fn curve(report: &RunReport) -> Vec<(f64, f64)> {
 }
 
 /// The four running-time curves of Figs. 4–7 for SSSP on one dataset.
-fn sssp_four_curves(g: &Graph, cluster: &ClusterSpec, tasks: usize, iters: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+fn sssp_four_curves(
+    g: &Graph,
+    cluster: &ClusterSpec,
+    tasks: usize,
+    iters: usize,
+) -> Vec<(String, Vec<(f64, f64)>)> {
     let mut out = Vec::new();
     // MapReduce.
     let mr = mr_runner_on(cluster.clone());
@@ -47,7 +52,12 @@ fn sssp_four_curves(g: &Graph, cluster: &ClusterSpec, tasks: usize, iters: usize
 }
 
 /// The four running-time curves for PageRank on one dataset.
-fn pagerank_four_curves(g: &Graph, cluster: &ClusterSpec, tasks: usize, iters: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+fn pagerank_four_curves(
+    g: &Graph,
+    cluster: &ClusterSpec,
+    tasks: usize,
+    iters: usize,
+) -> Vec<(String, Vec<(f64, f64)>)> {
     let mut out = Vec::new();
     let mr = mr_runner_on(cluster.clone());
     let r = pagerank::run_pagerank_mr(&mr, g, tasks, iters, None).unwrap();
@@ -77,10 +87,21 @@ fn iteration_figure(
     for (label, points) in curves {
         fig.push_series(label, points);
     }
-    let mr = fig.series.iter().find(|s| s.label == "MapReduce").map(|s| final_y(&s.points));
-    let imr = fig.series.iter().find(|s| s.label == "iMapReduce").map(|s| final_y(&s.points));
+    let mr = fig
+        .series
+        .iter()
+        .find(|s| s.label == "MapReduce")
+        .map(|s| final_y(&s.points));
+    let imr = fig
+        .series
+        .iter()
+        .find(|s| s.label == "iMapReduce")
+        .map(|s| final_y(&s.points));
     if let (Some(mr), Some(imr)) = (mr, imr) {
-        fig.note(format!("measured speedup iMapReduce vs MapReduce: {:.2}x", mr / imr));
+        fig.note(format!(
+            "measured speedup iMapReduce vs MapReduce: {:.2}x",
+            mr / imr
+        ));
     }
     fig.note(paper_note.to_string());
     fig
@@ -99,7 +120,11 @@ pub fn fig_sssp_local(id: &str, dataset_name: &str, scale: f64, iters: usize) ->
         curves,
         "paper: 2-3x speedup; ~20% saved by one-time init, ~15% by async maps, ~20% by no static shuffle",
     );
-    fig.note(format!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges()));
+    fig.note(format!(
+        "graph: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    ));
     fig
 }
 
@@ -115,7 +140,11 @@ pub fn fig_pagerank_local(id: &str, dataset_name: &str, scale: f64, iters: usize
         curves,
         "paper: ~2x speedup; ~10% init, ~30% static shuffle, ~10% async",
     );
-    fig.note(format!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges()));
+    fig.note(format!(
+        "graph: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    ));
     fig
 }
 
@@ -141,7 +170,12 @@ pub fn fig_synthetic_sizes(
     };
     let cluster = ClusterSpec::ec2(20).with_sample_scale(scale);
     let tasks = 20;
-    let mut fig = FigureResult::new(id, format!("{title}, scale {scale}"), "dataset (s=1, m=2, l=3)", "time (s)");
+    let mut fig = FigureResult::new(
+        id,
+        format!("{title}, scale {scale}"),
+        "dataset (s=1, m=2, l=3)",
+        "time (s)",
+    );
     let mut mr_pts = Vec::new();
     let mut imr_pts = Vec::new();
     for (i, name) in names.iter().enumerate() {
@@ -154,7 +188,10 @@ pub fn fig_synthetic_sizes(
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("sssp", tasks, iters);
                 let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
-                (a.report.finished.as_secs_f64(), b.report.finished.as_secs_f64())
+                (
+                    a.report.finished.as_secs_f64(),
+                    b.report.finished.as_secs_f64(),
+                )
             }
             imr_graph::Workload::PageRank => {
                 let mr = mr_runner_on(cluster.clone());
@@ -162,7 +199,10 @@ pub fn fig_synthetic_sizes(
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("pr", tasks, iters);
                 let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
-                (a.report.finished.as_secs_f64(), b.report.finished.as_secs_f64())
+                (
+                    a.report.finished.as_secs_f64(),
+                    b.report.finished.as_secs_f64(),
+                )
             }
         };
         mr_pts.push((x, mr_t));
@@ -259,10 +299,15 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
             let imr = imr_runner_on(cluster.clone());
             let cfg = IterConfig::new("sssp", tasks, iters);
             let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
-            (a.report.metrics.total_exchanged_bytes(), b.report.metrics.total_exchanged_bytes())
+            (
+                a.report.metrics.total_exchanged_bytes(),
+                b.report.metrics.total_exchanged_bytes(),
+            )
         } else {
             let check = imr_mapreduce::CheckSpec::new(
-                |_k: &u32, prev: &pagerank::RankAdj, cur: &pagerank::RankAdj| (prev.0 - cur.0).abs(),
+                |_k: &u32, prev: &pagerank::RankAdj, cur: &pagerank::RankAdj| {
+                    (prev.0 - cur.0).abs()
+                },
                 -1.0,
             );
             let mr = mr_runner_on(cluster.clone());
@@ -270,7 +315,10 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
             let imr = imr_runner_on(cluster.clone());
             let cfg = IterConfig::new("pr", tasks, iters);
             let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
-            (a.report.metrics.total_exchanged_bytes(), b.report.metrics.total_exchanged_bytes())
+            (
+                a.report.metrics.total_exchanged_bytes(),
+                b.report.metrics.total_exchanged_bytes(),
+            )
         };
         mr_pts.push((x, mr_bytes as f64));
         imr_pts.push((x, imr_bytes as f64));
@@ -287,10 +335,21 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
 /// Figs. 12 & 13 — scaling the EC2 cluster from 20 to 80 instances on
 /// the large synthetic graphs; the plotted quantity is the running
 /// time of both engines plus their ratio.
-pub fn fig_scaling(id: &str, workload: imr_graph::Workload, scale: f64, iters: usize) -> FigureResult {
+pub fn fig_scaling(
+    id: &str,
+    workload: imr_graph::Workload,
+    scale: f64,
+    iters: usize,
+) -> FigureResult {
     let (name, paper_note) = match workload {
-        imr_graph::Workload::Sssp => ("SSSP-l", "paper: ratio improves ~8% from 20 to 80 instances"),
-        imr_graph::Workload::PageRank => ("PageRank-l", "paper: ratio improves ~7% from 20 to 80 instances"),
+        imr_graph::Workload::Sssp => (
+            "SSSP-l",
+            "paper: ratio improves ~8% from 20 to 80 instances",
+        ),
+        imr_graph::Workload::PageRank => (
+            "PageRank-l",
+            "paper: ratio improves ~7% from 20 to 80 instances",
+        ),
     };
     let g = dataset(name).unwrap().generate(scale);
     let mut fig = FigureResult::new(
@@ -312,7 +371,10 @@ pub fn fig_scaling(id: &str, workload: imr_graph::Workload, scale: f64, iters: u
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("sssp", tasks, iters);
                 let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
-                (a.report.finished.as_secs_f64(), b.report.finished.as_secs_f64())
+                (
+                    a.report.finished.as_secs_f64(),
+                    b.report.finished.as_secs_f64(),
+                )
             }
             imr_graph::Workload::PageRank => {
                 let mr = mr_runner_on(cluster.clone());
@@ -320,7 +382,10 @@ pub fn fig_scaling(id: &str, workload: imr_graph::Workload, scale: f64, iters: u
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("pr", tasks, iters);
                 let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
-                (a.report.finished.as_secs_f64(), b.report.finished.as_secs_f64())
+                (
+                    a.report.finished.as_secs_f64(),
+                    b.report.finished.as_secs_f64(),
+                )
             }
         };
         mr_pts.push((n as f64, a));
@@ -353,19 +418,35 @@ pub fn fig_parallel_efficiency(scale: f64, iters: usize) -> FigureResult {
         let t_star_mr = {
             let mr = mr_runner_on(ClusterSpec::single().with_sample_scale(scale));
             if algo == "SSSP" {
-                sssp::run_sssp_mr(&mr, &g, 0, 1, iters, None).unwrap().report.finished.as_secs_f64()
+                sssp::run_sssp_mr(&mr, &g, 0, 1, iters, None)
+                    .unwrap()
+                    .report
+                    .finished
+                    .as_secs_f64()
             } else {
-                pagerank::run_pagerank_mr(&mr, &g, 1, iters, None).unwrap().report.finished.as_secs_f64()
+                pagerank::run_pagerank_mr(&mr, &g, 1, iters, None)
+                    .unwrap()
+                    .report
+                    .finished
+                    .as_secs_f64()
             }
         };
         let t_star_imr = {
             let imr = imr_runner_on(ClusterSpec::single().with_sample_scale(scale));
             if algo == "SSSP" {
                 let cfg = IterConfig::new("sssp", 1, iters);
-                sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap().report.finished.as_secs_f64()
+                sssp::run_sssp_imr(&imr, &g, 0, &cfg)
+                    .unwrap()
+                    .report
+                    .finished
+                    .as_secs_f64()
             } else {
                 let cfg = IterConfig::new("pr", 1, iters);
-                pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap().report.finished.as_secs_f64()
+                pagerank::run_pagerank_imr(&imr, &g, &cfg)
+                    .unwrap()
+                    .report
+                    .finished
+                    .as_secs_f64()
             }
         };
         let mut mr_pts = Vec::new();
@@ -378,14 +459,20 @@ pub fn fig_parallel_efficiency(scale: f64, iters: usize) -> FigureResult {
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("sssp", n, iters);
                 let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
-                (a.report.finished.as_secs_f64(), b.report.finished.as_secs_f64())
+                (
+                    a.report.finished.as_secs_f64(),
+                    b.report.finished.as_secs_f64(),
+                )
             } else {
                 let mr = mr_runner_on(cluster.clone());
                 let a = pagerank::run_pagerank_mr(&mr, &g, n, iters, None).unwrap();
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("pr", n, iters);
                 let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
-                (a.report.finished.as_secs_f64(), b.report.finished.as_secs_f64())
+                (
+                    a.report.finished.as_secs_f64(),
+                    b.report.finished.as_secs_f64(),
+                )
             };
             mr_pts.push((n as f64, t_star_mr / (tn_mr * n as f64)));
             imr_pts.push((n as f64, t_star_imr / (tn_imr * n as f64)));
@@ -478,13 +565,20 @@ pub fn fig_matpower(size: usize, iters: usize) -> FigureResult {
         "speedup iMapReduce vs MapReduce: {:.2}x (paper: ~10% faster; shuffle between Map2/Reduce2 dominates and is ineluctable)",
         a.report.finished.as_secs_f64() / b.report.finished.as_secs_f64()
     ));
-    fig.note(format!("substitution: {size}x{size} matrix instead of the paper's 1000x1000 (Θ(n³) host cost)"));
+    fig.note(format!(
+        "substitution: {size}x{size} matrix instead of the paper's 1000x1000 (Θ(n³) host cost)"
+    ));
     fig
 }
 
 /// Fig. 20 — K-means with convergence detection: auxiliary phase
 /// (iMapReduce) vs an extra sequential MapReduce job (Hadoop).
-pub fn fig_kmeans_convergence(points_n: usize, dim: usize, k: usize, max_iters: usize) -> FigureResult {
+pub fn fig_kmeans_convergence(
+    points_n: usize,
+    dim: usize,
+    k: usize,
+    max_iters: usize,
+) -> FigureResult {
     let points = generate_points(points_n, dim, k, 22);
     let sample = (points_n as f64 / 359_347.0).min(1.0);
     let cluster = ClusterSpec::local(4).with_sample_scale(sample);
@@ -497,7 +591,8 @@ pub fn fig_kmeans_convergence(points_n: usize, dim: usize, k: usize, max_iters: 
         "time (s)",
     );
     let mr = mr_runner_on(cluster.clone());
-    let a = kmeans::run_kmeans_mr(&mr, &points, k, tasks, max_iters, false, Some(threshold)).unwrap();
+    let a =
+        kmeans::run_kmeans_mr(&mr, &points, k, tasks, max_iters, false, Some(threshold)).unwrap();
     fig.push_series("MapReduce", curve(&a.report));
     let imr = imr_runner_on(cluster.clone());
     let cfg = IterConfig::new("km", tasks, max_iters).with_one2all();
@@ -555,6 +650,10 @@ pub fn fig_jacobi(n: usize, per_row: usize, iters: usize) -> FigureResult {
     );
     fig.push_series("iMapReduce", curve(&out.report));
     let x: Vec<f64> = out.final_state.iter().map(|&(_, v)| v).collect();
-    fig.note(format!("residual after {} iterations: {:.3e}", out.iterations, jacobi::residual(&system, &x)));
+    fig.note(format!(
+        "residual after {} iterations: {:.3e}",
+        out.iterations,
+        jacobi::residual(&system, &x)
+    ));
     fig
 }

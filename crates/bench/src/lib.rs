@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod result;
 
 pub use result::{FigureResult, Series};
@@ -32,7 +33,11 @@ pub struct BenchOpts {
 impl BenchOpts {
     /// Parses `--scale <f>` and `--iters <n>` from `std::env::args`.
     pub fn from_args() -> Self {
-        let mut opts = BenchOpts { scale: None, iters: None, out_root: PathBuf::from(".") };
+        let mut opts = BenchOpts {
+            scale: None,
+            iters: None,
+            out_root: PathBuf::from("."),
+        };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -120,7 +125,11 @@ mod tests {
             // format, so the reduction is ~17% (SSSP) and ~45%
             // (PageRank) — still a hard cut, asserted here.
             let ratio = b.1 / a.1;
-            assert!(ratio < 0.55, "communication ratio {ratio} too high at x={}", a.0);
+            assert!(
+                ratio < 0.55,
+                "communication ratio {ratio} too high at x={}",
+                a.0
+            );
         }
     }
 

@@ -1,12 +1,13 @@
 //! Experiment output: paper-style tables on stdout plus JSON artifacts
 //! under `results/`.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// One plotted series (a line in a figure or a bar group).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label, matching the paper's (e.g. "iMapReduce (sync.)").
     pub label: String,
@@ -15,7 +16,7 @@ pub struct Series {
 }
 
 /// A reproduced table or figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Identifier, e.g. "fig4" or "table1".
     pub id: String,
@@ -51,7 +52,10 @@ impl FigureResult {
 
     /// Adds a series.
     pub fn push_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
-        self.series.push(Series { label: label.into(), points });
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
     }
 
     /// Adds a note line.
@@ -85,7 +89,12 @@ impl FigureResult {
         for (row, x) in xs.iter().enumerate() {
             let _ = write!(out, "{x:>14.3}");
             for s in &self.series {
-                match s.points.iter().find(|p| (p.0 - x).abs() < 1e-9).or(s.points.get(row)) {
+                match s
+                    .points
+                    .iter()
+                    .find(|p| (p.0 - x).abs() < 1e-9)
+                    .or(s.points.get(row))
+                {
                     Some((_, y)) => {
                         let _ = write!(out, "  {y:>22.3}");
                     }
@@ -109,10 +118,84 @@ impl FigureResult {
         let dir = root.join("results");
         if std::fs::create_dir_all(&dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
-            if let Ok(json) = serde_json::to_string_pretty(self) {
-                let _ = std::fs::write(path, json);
-            }
+            let _ = std::fs::write(path, self.to_json().to_string_pretty());
         }
+    }
+
+    /// The JSON document written to `results/<id>.json`.
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".into(), Value::String(self.id.clone()));
+        obj.insert("title".into(), Value::String(self.title.clone()));
+        obj.insert("x_label".into(), Value::String(self.x_label.clone()));
+        obj.insert("y_label".into(), Value::String(self.y_label.clone()));
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut m = BTreeMap::new();
+                m.insert("label".into(), Value::String(s.label.clone()));
+                m.insert(
+                    "points".into(),
+                    Value::Array(
+                        s.points
+                            .iter()
+                            .map(|&(x, y)| Value::Array(vec![Value::Number(x), Value::Number(y)]))
+                            .collect(),
+                    ),
+                );
+                Value::Object(m)
+            })
+            .collect();
+        obj.insert("series".into(), Value::Array(series));
+        obj.insert(
+            "notes".into(),
+            Value::Array(
+                self.notes
+                    .iter()
+                    .map(|n| Value::String(n.clone()))
+                    .collect(),
+            ),
+        );
+        Value::Object(obj)
+    }
+
+    /// Reads back a `results/<id>.json` artifact.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = json::from_str(text).map_err(|e| e.to_string())?;
+        let field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let mut result = FigureResult::new(
+            field("id")?,
+            field("title")?,
+            field("x_label")?,
+            field("y_label")?,
+        );
+        for s in doc.get("series").and_then(Value::as_array).unwrap_or(&[]) {
+            let label = s
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or("series without label")?;
+            let mut points = Vec::new();
+            for p in s.get("points").and_then(Value::as_array).unwrap_or(&[]) {
+                match p.as_array() {
+                    Some([x, y]) => points.push((
+                        x.as_f64().ok_or("non-numeric x")?,
+                        y.as_f64().ok_or("non-numeric y")?,
+                    )),
+                    _ => return Err("point is not an [x, y] pair".into()),
+                }
+            }
+            result.push_series(label, points);
+        }
+        for n in doc.get("notes").and_then(Value::as_array).unwrap_or(&[]) {
+            result.note(n.as_str().ok_or("non-string note")?);
+        }
+        Ok(result)
     }
 }
 
@@ -139,15 +222,17 @@ mod tests {
     }
 
     #[test]
-    fn emit_writes_json(){
+    fn emit_writes_json() {
         let dir = std::env::temp_dir().join(format!("imr-bench-test-{}", std::process::id()));
         let mut f = FigureResult::new("figY", "T", "x", "y");
         f.push_series("only", vec![(1.0, 1.0)]);
         f.emit(&dir);
         let path = dir.join("results/figY.json");
         let text = std::fs::read_to_string(&path).unwrap();
-        let back: FigureResult = serde_json::from_str(&text).unwrap();
+        let back = FigureResult::from_json_str(&text).unwrap();
         assert_eq!(back.id, "figY");
+        assert_eq!(back.series.len(), 1);
+        assert_eq!(back.series[0].points, vec![(1.0, 1.0)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -124,7 +124,13 @@ mod tests {
         type K = u32;
         type S = f64;
         type T = u32;
-        fn map(&self, k: &u32, state: StateInput<'_, u32, f64>, _t: &u32, out: &mut Emitter<u32, f64>) {
+        fn map(
+            &self,
+            k: &u32,
+            state: StateInput<'_, u32, f64>,
+            _t: &u32,
+            out: &mut Emitter<u32, f64>,
+        ) {
             out.emit(*k, *state.one());
         }
         fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {

@@ -77,14 +77,18 @@ where
     );
     let n = cfg.num_tasks;
     // Main pairs plus auxiliary tasks need slots.
-    assert!(2 * n <= runner.pair_capacity(), "aux phase needs extra task slots");
+    assert!(
+        2 * n <= runner.pair_capacity(),
+        "aux phase needs extra task slots"
+    );
     let cost = &runner.cluster().cost;
     let metrics = runner.metrics().clone();
     metrics.jobs_launched.add(1);
 
     let nodes = runner.cluster().len();
-    let assignment: Vec<imr_simcluster::NodeId> =
-        (0..n).map(|p| imr_simcluster::NodeId((p % nodes) as u32)).collect();
+    let assignment: Vec<imr_simcluster::NodeId> = (0..n)
+        .map(|p| imr_simcluster::NodeId((p % nodes) as u32))
+        .collect();
 
     // ---- Init: launch persistent pairs (+ aux pairs), load data ------
     let job_start = VInstant::EPOCH + cost.job_setup;
@@ -108,7 +112,13 @@ where
         static_bytes.push(sbytes);
         let mut all = Vec::new();
         for i in 0..state_parts {
-            all.extend(read_part::<J::K, J::S>(runner.dfs(), state_dir, i, node, &mut clock)?);
+            all.extend(read_part::<J::K, J::S>(
+                runner.dfs(),
+                state_dir,
+                i,
+                node,
+                &mut clock,
+            )?);
         }
         sort_run(&mut all);
         if p == 0 {
@@ -120,7 +130,10 @@ where
     let mut state_bytes: Vec<u64> = vec![state_total_bytes; n];
 
     let mut prev_out: Vec<Option<Vec<(J::K, J::S)>>> = vec![None; n];
-    let mut report = RunReport { label: "iMapReduce".into(), ..RunReport::default() };
+    let mut report = RunReport {
+        label: "iMapReduce".into(),
+        ..RunReport::default()
+    };
     let mut aux_values = Vec::new();
     let mut iterations = 0usize;
     // The auxiliary decision in flight: effective once the signal
@@ -254,8 +267,12 @@ where
                     speed,
                 ));
                 // Ship one float to the aux reducer (worker 0).
-                partial_done
-                    .push(clock.now() + runner.cluster().transfer_time(assignment[q], assignment[0], 16));
+                partial_done.push(
+                    clock.now()
+                        + runner
+                            .cluster()
+                            .transfer_time(assignment[q], assignment[0], 16),
+                );
             }
             let mut aux_reduce = TaskClock::default();
             aux_reduce.barrier(partial_done);
@@ -300,12 +317,7 @@ where
 
     // ---- Final dump ----------------------------------------------------
     let end = stop_signal.unwrap_or_else(|| {
-        report
-            .iteration_done
-            .last()
-            .copied()
-            .unwrap_or(job_start)
-            + cost.net_latency
+        report.iteration_done.last().copied().unwrap_or(job_start) + cost.net_latency
     });
     let mut finish = Vec::with_capacity(n);
     let mut final_state: Vec<(J::K, J::S)> = Vec::new();
@@ -313,12 +325,22 @@ where
         let start = last_reduce_done[q].max(end);
         let mut clock = TaskClock::starting_at(start);
         let payload = encode_pairs(&final_out[q]);
-        runner.dfs().put(&part_path(output_dir, q), payload, assignment[q], &mut clock)?;
+        runner.dfs().put(
+            &part_path(output_dir, q),
+            payload,
+            assignment[q],
+            &mut clock,
+        )?;
         finish.push(clock.now());
         final_state.extend(final_out[q].iter().cloned());
     }
     sort_run(&mut final_state);
     report.finished = finish.into_iter().max().unwrap_or(end);
     report.metrics = metrics.snapshot();
-    Ok(AuxOutcome { report, final_state, iterations, aux_values })
+    Ok(AuxOutcome {
+        report,
+        final_state,
+        iterations,
+        aux_values,
+    })
 }

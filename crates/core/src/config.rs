@@ -30,7 +30,10 @@ pub struct LoadBalance {
 
 impl Default for LoadBalance {
     fn default() -> Self {
-        LoadBalance { deviation: 0.25, max_migrations: 8 }
+        LoadBalance {
+            deviation: 0.25,
+            max_migrations: 8,
+        }
     }
 }
 
@@ -84,7 +87,10 @@ impl IterConfig {
         IterConfig {
             name: name.into(),
             num_tasks,
-            termination: Termination { max_iterations, distance_threshold: None },
+            termination: Termination {
+                max_iterations,
+                distance_threshold: None,
+            },
             mapping: Mapping::One2One,
             sync_maps: false,
             eager_handoff: false,

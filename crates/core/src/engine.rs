@@ -61,7 +61,11 @@ struct Checkpoint<K, S> {
 impl IterativeRunner {
     /// A runner over the given substrate handles.
     pub fn new(cluster: Arc<ClusterSpec>, dfs: Dfs, metrics: MetricsHandle) -> Self {
-        IterativeRunner { cluster, dfs, metrics }
+        IterativeRunner {
+            cluster,
+            dfs,
+            metrics,
+        }
     }
 
     /// The cluster this runner schedules on.
@@ -220,7 +224,10 @@ impl IterativeRunner {
             dfs_dir: None,
         };
 
-        let mut report = RunReport { label: self.label(cfg), ..RunReport::default() };
+        let mut report = RunReport {
+            label: self.label(cfg),
+            ..RunReport::default()
+        };
         let mut distances: Vec<f64> = Vec::new();
         let mut pending_failures: Vec<FailureEvent> = failures.to_vec();
         pending_failures.sort_by_key(|f| f.at_iteration);
@@ -241,7 +248,11 @@ impl IterativeRunner {
             let mut map_done: Vec<VInstant> = Vec::with_capacity(n);
             let mut segments: Vec<Vec<Bytes>> = Vec::with_capacity(n);
             for p in 0..n {
-                let activation = if cfg.effective_sync() { sync_gate } else { state_ready[p] };
+                let activation = if cfg.effective_sync() {
+                    sync_gate
+                } else {
+                    state_ready[p]
+                };
                 let node = assignment[p];
                 let speed = self.cluster.speed(node);
                 let mut clock = TaskClock::starting_at(activation);
@@ -333,9 +344,8 @@ impl IterativeRunner {
                     let seg = &segments[p][q];
                     let bytes = seg.len() as u64;
                     fetched += bytes;
-                    arrivals.push(
-                        map_done[p] + self.cluster.transfer_time(assignment[p], node, bytes),
-                    );
+                    arrivals
+                        .push(map_done[p] + self.cluster.transfer_time(assignment[p], node, bytes));
                     if assignment[p] == node {
                         self.metrics.shuffle_local_bytes.add(bytes);
                     } else {
@@ -416,9 +426,11 @@ impl IterativeRunner {
                     for q in 0..n {
                         let arr = reduce_done[q]
                             + cost.handoff_flush
-                            + self
-                                .cluster
-                                .transfer_time(assignment[q], assignment[p], new_state_bytes[q]);
+                            + self.cluster.transfer_time(
+                                assignment[q],
+                                assignment[p],
+                                new_state_bytes[q],
+                            );
                         gate = gate.max(arr);
                         if assignment[q] != assignment[p] {
                             self.metrics.broadcast_bytes.add(new_state_bytes[q]);
@@ -456,7 +468,11 @@ impl IterativeRunner {
             // ---- Master: termination check ---------------------------
             decision_time = iter_done + cost.net_latency;
             if cfg.termination.distance_threshold.is_some() {
-                distances.push(if any_prev { iter_distance } else { f64::INFINITY });
+                distances.push(if any_prev {
+                    iter_distance
+                } else {
+                    f64::INFINITY
+                });
             }
             let converged = match cfg.termination.distance_threshold {
                 Some(eps) => any_prev && iter_distance < eps,
@@ -465,9 +481,16 @@ impl IterativeRunner {
             let done = converged || iter == max_iters;
 
             // ---- Checkpointing (parallel with computation) -----------
-            if !done && cfg.checkpoint_interval > 0 && iter.is_multiple_of(cfg.checkpoint_interval) {
+            if !done && cfg.checkpoint_interval > 0 && iter.is_multiple_of(cfg.checkpoint_interval)
+            {
                 let dir = format!("{}/_ckpt/iter-{iter:04}", output_dir.trim_end_matches('/'));
-                self.write_checkpoint::<J>(&dir, &state_store, &global_state, one2all, &assignment)?;
+                self.write_checkpoint::<J>(
+                    &dir,
+                    &state_store,
+                    &global_state,
+                    one2all,
+                    &assignment,
+                )?;
                 if let Some(old) = ckpt.dfs_dir.take() {
                     imr_mapreduce::io::delete_dir(&self.dfs, &old);
                 }
@@ -566,9 +589,14 @@ impl IterativeRunner {
             let node = assignment[q];
             let start = last_reduce_done[q].max(decision_time);
             let mut clock = TaskClock::starting_at(start);
-            let data = if one2all { prev_out[q].clone().unwrap_or_default() } else { state_store[q].clone() };
+            let data = if one2all {
+                prev_out[q].clone().unwrap_or_default()
+            } else {
+                state_store[q].clone()
+            };
             let payload = encode_pairs(&data);
-            self.dfs.put(&part_path(output_dir, q), payload, node, &mut clock)?;
+            self.dfs
+                .put(&part_path(output_dir, q), payload, node, &mut clock)?;
             finish_times.push(clock.now());
             final_state.extend(data);
         }
@@ -613,7 +641,8 @@ impl IterativeRunner {
                 encode_pairs(part)
             };
             let mut off_path = TaskClock::default();
-            self.dfs.put(&part_path(dir, q), payload, assignment[q], &mut off_path)?;
+            self.dfs
+                .put(&part_path(dir, q), payload, assignment[q], &mut off_path)?;
         }
         let written = self.metrics.dfs_write_bytes.get() - before;
         self.metrics.checkpoint_bytes.add(written);
@@ -671,8 +700,7 @@ impl IterativeRunner {
             self.metrics.tasks_launched.add(2);
 
             let mut clock = TaskClock::starting_at(detected_at + self.cluster.cost.task_launch);
-            let stat: Vec<(J::K, J::T)> =
-                read_part(&self.dfs, static_dir, p, target, &mut clock)?;
+            let stat: Vec<(J::K, J::T)> = read_part(&self.dfs, static_dir, p, target, &mut clock)?;
             static_bytes[p] = self.dfs.len(&part_path(static_dir, p))?;
             static_store[p] = stat;
             resume = resume.max(clock.now());
@@ -682,8 +710,8 @@ impl IterativeRunner {
         if let Some(dir) = &ckpt.dfs_dir {
             for p in 0..n {
                 let mut clock = TaskClock::starting_at(detected_at);
-                let _: Vec<(J::K, J::S)> = read_part(&self.dfs, dir, p, assignment[p], &mut clock)
-                    .unwrap_or_default();
+                let _: Vec<(J::K, J::S)> =
+                    read_part(&self.dfs, dir, p, assignment[p], &mut clock).unwrap_or_default();
                 resume = resume.max(clock.now());
             }
         }
@@ -777,7 +805,10 @@ impl IterativeRunner {
 /// Merges reduce output with the carried-forward previous state: keys
 /// absent from `reduced` keep their old value. Both inputs are sorted;
 /// output is sorted.
-fn carry_forward<K: Ord + Clone, S: Clone>(
+///
+/// Shared by every backend: the native engine must apply the exact same
+/// merge (including tie-breaking) for cross-engine equality to hold.
+pub fn carry_forward<K: Ord + Clone, S: Clone>(
     reduced: Vec<(K, S)>,
     previous: &[(K, S)],
 ) -> Vec<(K, S)> {
@@ -807,7 +838,10 @@ fn carry_forward<K: Ord + Clone, S: Clone>(
 
 /// Sums the job's per-key distance over two sorted snapshots (keys
 /// present in only one snapshot contribute nothing).
-fn distance_sorted<J: IterativeJob>(
+///
+/// Shared by every backend; summation order is key order, which keeps
+/// floating-point accumulation identical across engines.
+pub fn distance_sorted<J: IterativeJob>(
     job: &J,
     prev: &[(J::K, J::S)],
     cur: &[(J::K, J::S)],

@@ -1,0 +1,66 @@
+//! The execution-backend abstraction shared by the virtual-time
+//! simulation engine and the native multi-threaded engine.
+//!
+//! An [`IterEngine`] executes [`IterativeJob`]s: same programming model
+//! (persistent map/reduce pairs, state/static separation, one2one or
+//! one2all state routing, distance-based termination), different
+//! substrate. [`IterativeRunner`] interprets the job on a simulated
+//! cluster under a deterministic cost model; `imr-native`'s
+//! `NativeRunner` executes it on real OS threads in wall-clock time.
+//! Both consume the same partitioned DFS inputs and, for the same job
+//! and configuration, produce identical `final_state`, `iterations`
+//! and `distances` — a property the cross-engine tests pin down.
+
+use crate::api::IterativeJob;
+use crate::config::{FailureEvent, IterConfig};
+use crate::engine::{IterOutcome, IterativeRunner};
+use imr_dfs::Dfs;
+use imr_mapreduce::EngineError;
+
+/// A backend that can run iterative jobs end to end.
+///
+/// Algorithms are written once against this trait (see
+/// `imr-algorithms`): they load partitioned state/static data through
+/// [`dfs`](IterEngine::dfs) and call [`run`](IterEngine::run), which
+/// makes every algorithm portable across backends without changes.
+pub trait IterEngine {
+    /// The DFS holding initial state, static data and job output.
+    fn dfs(&self) -> &Dfs;
+
+    /// Runs `job` to termination.
+    ///
+    /// * `state_dir` — initial state parts, partitioned with the job's
+    ///   partition function;
+    /// * `static_dir` — static data parts, co-partitioned with the
+    ///   state;
+    /// * `output_dir` — final state parts are committed here;
+    /// * `failures` — scripted worker failures (backends without fault
+    ///   injection reject a non-empty list).
+    fn run<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        failures: &[FailureEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError>;
+}
+
+impl IterEngine for IterativeRunner {
+    fn dfs(&self) -> &Dfs {
+        IterativeRunner::dfs(self)
+    }
+
+    fn run<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        failures: &[FailureEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        IterativeRunner::run(self, job, cfg, state_dir, static_dir, output_dir, failures)
+    }
+}

@@ -69,13 +69,15 @@ mod api;
 mod aux;
 mod config;
 mod engine;
+mod iter_engine;
 mod multiphase;
 mod store;
 
 pub use api::{Emitter, IterativeJob, Mapping, StateInput};
 pub use aux::{run_with_aux, AuxOutcome, AuxPhase};
 pub use config::{FailureEvent, IterConfig, LoadBalance, Termination};
-pub use engine::{IterOutcome, IterativeRunner};
+pub use engine::{carry_forward, distance_sorted, IterOutcome, IterativeRunner};
+pub use iter_engine::IterEngine;
 pub use multiphase::{run_two_phase, PhaseJob, TwoPhaseConfig, TwoPhaseOutcome};
 pub use store::{load_partitioned, part_len, partition_sorted};
 

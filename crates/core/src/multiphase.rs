@@ -17,9 +17,7 @@ use bytes::Bytes;
 use imr_dfs::Dfs;
 use imr_mapreduce::io::{num_parts, part_path, read_part};
 use imr_mapreduce::EngineError;
-use imr_records::{
-    decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run, Key, Value,
-};
+use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run, Key, Value};
 use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VInstant};
 
 use crate::engine::IterativeRunner;
@@ -88,7 +86,12 @@ impl TwoPhaseConfig {
     /// A two-phase config with async maps.
     pub fn new(name: impl Into<String>, num_tasks: usize, max_iterations: usize) -> Self {
         assert!(num_tasks > 0 && max_iterations > 0);
-        TwoPhaseConfig { name: name.into(), num_tasks, max_iterations, sync_maps: false }
+        TwoPhaseConfig {
+            name: name.into(),
+            num_tasks,
+            max_iterations,
+            sync_maps: false,
+        }
     }
 }
 
@@ -115,7 +118,11 @@ fn load_static<K: Key, T: Value>(
     let Some(dir) = dir else {
         return Ok(vec![Vec::new(); n]);
     };
-    assert_eq!(num_parts(dfs, dir), n, "static data must have num_tasks parts");
+    assert_eq!(
+        num_parts(dfs, dir),
+        n,
+        "static data must have num_tasks parts"
+    );
     let mut out = Vec::with_capacity(n);
     for p in 0..n {
         let part: Vec<(K, T)> = read_part(dfs, dir, p, assignment[p], &mut clocks[p])?;
@@ -273,11 +280,16 @@ where
 
     // ---- One-time init: launch 2n pairs, load state + statics --------
     let job_start = VInstant::EPOCH + cost.job_setup;
-    let mut clocks: Vec<TaskClock> =
-        (0..n).map(|_| TaskClock::starting_at(job_start + cost.task_launch)).collect();
+    let mut clocks: Vec<TaskClock> = (0..n)
+        .map(|_| TaskClock::starting_at(job_start + cost.task_launch))
+        .collect();
     metrics.tasks_launched.add(4 * n as u64);
 
-    assert_eq!(num_parts(runner.dfs(), state_dir), n, "state must have num_tasks parts");
+    assert_eq!(
+        num_parts(runner.dfs(), state_dir),
+        n,
+        "state must have num_tasks parts"
+    );
     let mut state1: Vec<Vec<(P1::InK, P1::InS)>> = Vec::with_capacity(n);
     for p in 0..n {
         let part: Vec<(P1::InK, P1::InS)> =
@@ -292,7 +304,10 @@ where
         load_static(runner.dfs(), static2_dir, n, &assignment, &mut clocks)?;
     let mut activations: Vec<VInstant> = clocks.iter().map(|c| c.now()).collect();
 
-    let mut report = RunReport { label: "iMapReduce".into(), ..RunReport::default() };
+    let mut report = RunReport {
+        label: "iMapReduce".into(),
+        ..RunReport::default()
+    };
     let mut iterations = 0;
 
     for iter in 1..=cfg.max_iterations {
@@ -348,12 +363,21 @@ where
     for q in 0..n {
         let mut clock = TaskClock::starting_at(activations[q]);
         let payload = encode_pairs(&state1[q]);
-        runner.dfs().put(&part_path(output_dir, q), payload, assignment[q], &mut clock)?;
+        runner.dfs().put(
+            &part_path(output_dir, q),
+            payload,
+            assignment[q],
+            &mut clock,
+        )?;
         finish.push(clock.now());
         final_state.extend(state1[q].iter().cloned());
     }
     sort_run(&mut final_state);
     report.finished = finish.into_iter().max().unwrap_or(job_start);
     report.metrics = metrics.snapshot();
-    Ok(TwoPhaseOutcome { report, final_state, iterations })
+    Ok(TwoPhaseOutcome {
+        report,
+        final_state,
+        iterations,
+    })
 }

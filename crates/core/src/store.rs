@@ -54,8 +54,7 @@ where
     K: Codec + Ord + Clone + std::fmt::Debug,
     V: Codec,
 {
-    let parts = partition_sorted(pairs, n, partition)
-        .map_err(DfsError::BlockLost)?;
+    let parts = partition_sorted(pairs, n, partition).map_err(DfsError::BlockLost)?;
     write_parts(dfs, dir, &parts, clock)
 }
 
@@ -104,11 +103,19 @@ mod tests {
         let fs = dfs();
         let mut clock = TaskClock::default();
         let pairs: Vec<(u32, f64)> = (0..20).map(|i| (i, f64::from(i))).collect();
-        load_partitioned(&fs, "/static", pairs, 3, |k, n| ModPartitioner.partition(k, n), &mut clock)
-            .unwrap();
+        load_partitioned(
+            &fs,
+            "/static",
+            pairs,
+            3,
+            |k, n| ModPartitioner.partition(k, n),
+            &mut clock,
+        )
+        .unwrap();
         let mut total = 0;
         for p in 0..3 {
-            let part: Vec<(u32, f64)> = read_part(&fs, "/static", p, NodeId(0), &mut clock).unwrap();
+            let part: Vec<(u32, f64)> =
+                read_part(&fs, "/static", p, NodeId(0), &mut clock).unwrap();
             assert!(is_sorted_by_key(&part));
             assert!(part.iter().all(|(k, _)| (*k as usize) % 3 == p));
             total += part.len();

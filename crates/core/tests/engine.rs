@@ -43,10 +43,24 @@ fn load_relax(r: &IterativeRunner, n_keys: u32, tasks: usize) {
     let state: Vec<(u32, f64)> = (0..n_keys).map(|k| (k, 100.0)).collect();
     let statics: Vec<(u32, f64)> = (0..n_keys).map(|k| (k, f64::from(k))).collect();
     let job = Relax;
-    load_partitioned(r.dfs(), "/state", state, tasks, |k, n| job.partition(k, n), &mut clock)
-        .unwrap();
-    load_partitioned(r.dfs(), "/static", statics, tasks, |k, n| job.partition(k, n), &mut clock)
-        .unwrap();
+    load_partitioned(
+        r.dfs(),
+        "/state",
+        state,
+        tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )
+    .unwrap();
+    load_partitioned(
+        r.dfs(),
+        "/static",
+        statics,
+        tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )
+    .unwrap();
 }
 
 #[test]
@@ -54,13 +68,20 @@ fn relax_converges_to_targets() {
     let r = runner_on(ClusterSpec::local(4));
     load_relax(&r, 32, 4);
     let cfg = IterConfig::new("relax", 4, 40).with_distance_threshold(1e-6);
-    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    let out = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+        .unwrap();
     assert!(out.iterations < 40, "should converge before the cap");
     for (k, v) in &out.final_state {
         assert!((v - f64::from(*k)).abs() < 1e-4, "key {k} at {v}");
     }
     // Distances shrink monotonically for this contraction.
-    let finite: Vec<f64> = out.distances.iter().copied().filter(|d| d.is_finite()).collect();
+    let finite: Vec<f64> = out
+        .distances
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .collect();
     assert!(finite.windows(2).all(|w| w[1] <= w[0] + 1e-12));
 }
 
@@ -77,7 +98,8 @@ fn async_is_no_slower_than_sync_and_both_match_results() {
         if sync {
             cfg = cfg.with_sync_maps();
         }
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[])
+            .unwrap()
     };
     let async_out = run(false);
     let sync_out = run(true);
@@ -101,7 +123,8 @@ fn eager_handoff_pipelines_without_changing_results() {
         if eager {
             cfg = cfg.with_eager_handoff();
         }
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[])
+            .unwrap()
     };
     let plain = run(false);
     let eager = run(true);
@@ -123,8 +146,14 @@ fn virtual_time_is_deterministic() {
         let r = runner_on(ClusterSpec::ec2(8));
         load_relax(&r, 100, 8);
         let cfg = IterConfig::new("relax", 8, 5);
-        let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
-        (out.report.finished, out.report.iteration_done, out.final_state)
+        let out = r
+            .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        (
+            out.report.finished,
+            out.report.iteration_done,
+            out.final_state,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -135,14 +164,19 @@ fn failure_recovery_reproduces_exact_results() {
         let r = runner_on(ClusterSpec::local(4));
         load_relax(&r, 48, 4);
         let cfg = IterConfig::new("relax", 4, 10).with_checkpoint_interval(3);
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[])
+            .unwrap()
     };
     let failed = {
         let r = runner_on(ClusterSpec::local(4));
         load_relax(&r, 48, 4);
         let cfg = IterConfig::new("relax", 4, 10).with_checkpoint_interval(3);
-        let failures = [FailureEvent { node: NodeId(1), at_iteration: 5 }];
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &failures).unwrap()
+        let failures = [FailureEvent {
+            node: NodeId(1),
+            at_iteration: 5,
+        }];
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &failures)
+            .unwrap()
     };
     assert_eq!(failed.recoveries, 1);
     assert_eq!(clean.final_state, failed.final_state);
@@ -157,8 +191,13 @@ fn failure_without_checkpoint_restarts_from_scratch() {
     load_relax(&r, 24, 4);
     // checkpoint_interval 0: only the implicit iteration-0 snapshot.
     let cfg = IterConfig::new("relax", 4, 6).with_checkpoint_interval(0);
-    let failures = [FailureEvent { node: NodeId(2), at_iteration: 4 }];
-    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &failures).unwrap();
+    let failures = [FailureEvent {
+        node: NodeId(2),
+        at_iteration: 4,
+    }];
+    let out = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &failures)
+        .unwrap();
     assert_eq!(out.recoveries, 1);
     assert_eq!(out.iterations, 6);
     // Results still exact.
@@ -166,7 +205,8 @@ fn failure_without_checkpoint_restarts_from_scratch() {
         let r = runner_on(ClusterSpec::local(4));
         load_relax(&r, 24, 4);
         let cfg = IterConfig::new("relax", 4, 6);
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[])
+            .unwrap()
     };
     assert_eq!(out.final_state, clean.final_state);
 }
@@ -187,10 +227,14 @@ fn load_balancing_migrates_off_slow_workers_and_helps() {
         if let Some(lb) = lb {
             cfg = cfg.with_load_balance(lb);
         }
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap()
+        r.run(&Relax, &cfg, "/state", "/static", "/out", &[])
+            .unwrap()
     };
     let plain = run(None);
-    let balanced = run(Some(LoadBalance { deviation: 0.3, max_migrations: 2 }));
+    let balanced = run(Some(LoadBalance {
+        deviation: 0.3,
+        max_migrations: 2,
+    }));
     assert!(balanced.migrations >= 1, "no migration happened");
     assert_eq!(plain.final_state, balanced.final_state);
     assert!(
@@ -206,7 +250,9 @@ fn single_pair_cluster_works() {
     let r = runner_on(ClusterSpec::single());
     load_relax(&r, 10, 1);
     let cfg = IterConfig::new("relax", 1, 4);
-    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    let out = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+        .unwrap();
     assert_eq!(out.iterations, 4);
     assert_eq!(out.final_state.len(), 10);
     // Everything is local: no remote shuffle, no broadcast.
@@ -220,7 +266,9 @@ fn more_pairs_than_keys_leaves_empty_partitions_harmless() {
     // 3 keys over 8 pairs: at least five partitions stay empty.
     load_relax(&r, 3, 8);
     let cfg = IterConfig::new("relax", 8, 3);
-    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    let out = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+        .unwrap();
     assert_eq!(out.final_state.len(), 3);
     for (k, v) in &out.final_state {
         let expect = 100.0 / 8.0 + f64::from(*k) * (1.0 - 1.0 / 8.0);
@@ -232,10 +280,14 @@ fn more_pairs_than_keys_leaves_empty_partitions_harmless() {
 fn first_iteration_distance_is_infinite_under_one2all() {
     let r = runner_on(ClusterSpec::local(4));
     load_kmeans(&r, 4);
-    let cfg = IterConfig::new("km", 4, 3).with_one2all().with_distance_threshold(1e12);
+    let cfg = IterConfig::new("km", 4, 3)
+        .with_one2all()
+        .with_distance_threshold(1e12);
     // Threshold is enormous, but iteration 1 has no previous snapshot,
     // so the run must not terminate before iteration 2.
-    let out = r.run(&MiniKmeans, &cfg, "/centroids", "/points", "/out", &[]).unwrap();
+    let out = r
+        .run(&MiniKmeans, &cfg, "/centroids", "/points", "/out", &[])
+        .unwrap();
     assert!(out.iterations >= 2);
     assert!(out.distances[0].is_infinite());
 }
@@ -245,7 +297,9 @@ fn report_timelines_include_every_executed_iteration() {
     let r = runner_on(ClusterSpec::local(2));
     load_relax(&r, 16, 2);
     let cfg = IterConfig::new("relax", 2, 7);
-    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    let out = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+        .unwrap();
     assert_eq!(out.report.iterations(), 7);
     let spans = out.report.iteration_spans();
     assert_eq!(spans.len(), 7);
@@ -257,7 +311,9 @@ fn state_handoff_stays_local_and_counted() {
     let r = runner_on(ClusterSpec::local(2));
     load_relax(&r, 16, 2);
     let cfg = IterConfig::new("relax", 2, 3);
-    let out = r.run(&Relax, &cfg, "/state", "/static", "/out", &[]).unwrap();
+    let out = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+        .unwrap();
     assert!(out.report.metrics.state_handoff_bytes > 0);
     // One2one hand-off never crosses the network.
     assert_eq!(out.report.metrics.broadcast_bytes, 0);
@@ -283,7 +339,13 @@ impl IterativeJob for MiniKmeans {
     type K = u32; // centroid id
     type S = f64; // centroid position (1-D)
     type T = f64; // point position (static, keyed by point id)
-    fn map(&self, _pid: &u32, state: StateInput<'_, u32, f64>, point: &f64, out: &mut Emitter<u32, f64>) {
+    fn map(
+        &self,
+        _pid: &u32,
+        state: StateInput<'_, u32, f64>,
+        point: &f64,
+        out: &mut Emitter<u32, f64>,
+    ) {
         let centroids = state.all();
         let (best, _) = centroids
             .iter()
@@ -310,8 +372,15 @@ fn load_kmeans(r: &IterativeRunner, tasks: usize) {
     }
     let centroids: Vec<(u32, f64)> = vec![(0, 10.0), (1, 60.0)];
     let job = MiniKmeans;
-    load_partitioned(r.dfs(), "/points", points, tasks, |k, n| job.partition(k, n), &mut clock)
-        .unwrap();
+    load_partitioned(
+        r.dfs(),
+        "/points",
+        points,
+        tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )
+    .unwrap();
     load_partitioned(r.dfs(), "/centroids", centroids, 1, |_, _| 0, &mut clock).unwrap();
 }
 
@@ -319,8 +388,12 @@ fn load_kmeans(r: &IterativeRunner, tasks: usize) {
 fn one2all_kmeans_converges_to_cluster_means() {
     let r = runner_on(ClusterSpec::local(4));
     load_kmeans(&r, 4);
-    let cfg = IterConfig::new("kmeans", 4, 10).with_one2all().with_distance_threshold(1e-9);
-    let out = r.run(&MiniKmeans, &cfg, "/centroids", "/points", "/out", &[]).unwrap();
+    let cfg = IterConfig::new("kmeans", 4, 10)
+        .with_one2all()
+        .with_distance_threshold(1e-9);
+    let out = r
+        .run(&MiniKmeans, &cfg, "/centroids", "/points", "/out", &[])
+        .unwrap();
     assert!(out.iterations <= 10);
     let mut finals = out.final_state.clone();
     finals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -383,21 +456,40 @@ impl PhaseJob for Scatter {
 fn two_phase_chain_doubles_values_each_iteration() {
     let r = runner_on(ClusterSpec::local(4));
     let mut clock = TaskClock::default();
-    let state: Vec<((u32, u32), f64)> =
-        (0..4).flat_map(|g| (0..3).map(move |m| ((g, m), 1.0))).collect();
+    let state: Vec<((u32, u32), f64)> = (0..4)
+        .flat_map(|g| (0..3).map(move |m| ((g, m), 1.0)))
+        .collect();
     let multipliers: Vec<(u32, f64)> = (0..4).map(|g| (g, 2.0)).collect();
     let p1 = Gather;
     let p2 = Scatter;
-    load_partitioned(r.dfs(), "/state", state, 2, |k, n| p1.partition_in(k, n), &mut clock)
-        .unwrap();
-    load_partitioned(r.dfs(), "/mult", multipliers, 2, |k, n| p2.partition_in(k, n), &mut clock)
-        .unwrap();
+    load_partitioned(
+        r.dfs(),
+        "/state",
+        state,
+        2,
+        |k, n| p1.partition_in(k, n),
+        &mut clock,
+    )
+    .unwrap();
+    load_partitioned(
+        r.dfs(),
+        "/mult",
+        multipliers,
+        2,
+        |k, n| p2.partition_in(k, n),
+        &mut clock,
+    )
+    .unwrap();
 
     let cfg = TwoPhaseConfig::new("double", 2, 3);
     let out = run_two_phase(&r, &p1, &p2, &cfg, "/state", None, Some("/mult"), "/out").unwrap();
     assert_eq!(out.iterations, 3);
     assert_eq!(out.final_state.len(), 12);
-    assert!(out.final_state.iter().all(|&(_, v)| v == 8.0), "{:?}", out.final_state);
+    assert!(
+        out.final_state.iter().all(|&(_, v)| v == 8.0),
+        "{:?}",
+        out.final_state
+    );
     assert_eq!(out.report.iterations(), 3);
 }
 
@@ -449,12 +541,15 @@ fn aux_phase_is_cheaper_than_a_sequential_check_would_be() {
     load_kmeans(&r, 4);
     let cfg = IterConfig::new("kmeans-aux", 4, 6).with_one2all();
     let aux = StableCentroids { eps: -1.0 }; // never terminates via aux
-    let with_aux = run_with_aux(&r, &MiniKmeans, &aux, &cfg, "/centroids", "/points", "/o1").unwrap();
+    let with_aux =
+        run_with_aux(&r, &MiniKmeans, &aux, &cfg, "/centroids", "/points", "/o1").unwrap();
 
     let r2 = runner_on(ClusterSpec::local(4));
     load_kmeans(&r2, 4);
     let cfg2 = IterConfig::new("kmeans", 4, 6).with_one2all();
-    let plain = r2.run(&MiniKmeans, &cfg2, "/centroids", "/points", "/o2", &[]).unwrap();
+    let plain = r2
+        .run(&MiniKmeans, &cfg2, "/centroids", "/points", "/o2", &[])
+        .unwrap();
 
     // Same iteration count, and the aux overhead on total time is tiny
     // (< 1% of the run) because it overlaps the main phase.

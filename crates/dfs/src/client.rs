@@ -170,7 +170,9 @@ impl Dfs {
             let source = if live.contains(&reader) {
                 reader
             } else {
-                *live.first().ok_or_else(|| DfsError::BlockLost(path.to_owned()))?
+                *live
+                    .first()
+                    .ok_or_else(|| DfsError::BlockLost(path.to_owned()))?
             };
             let chunk = inner.stores[source.index()]
                 .get(block)
@@ -342,9 +344,14 @@ mod tests {
             1 << 20,
         );
         let mut clock = TaskClock::default();
-        fs.write("/f", Bytes::from(vec![1u8; 5_000]), NodeId(0), &mut clock).unwrap();
+        fs.write("/f", Bytes::from(vec![1u8; 5_000]), NodeId(0), &mut clock)
+            .unwrap();
         fs.read("/f", NodeId(0), &mut clock).unwrap();
-        assert_eq!(metrics.dfs_read_bytes.get(), 0, "local read crossed network");
+        assert_eq!(
+            metrics.dfs_read_bytes.get(),
+            0,
+            "local read crossed network"
+        );
         fs.read("/f", NodeId(1), &mut clock).unwrap();
         assert_eq!(metrics.dfs_read_bytes.get(), 5_000);
     }
@@ -359,7 +366,8 @@ mod tests {
             1 << 20,
         );
         let mut clock = TaskClock::default();
-        fs.write("/f", Bytes::from(vec![1u8; 1_000]), NodeId(0), &mut clock).unwrap();
+        fs.write("/f", Bytes::from(vec![1u8; 1_000]), NodeId(0), &mut clock)
+            .unwrap();
         // Two remote replicas of 1000 bytes each.
         assert_eq!(metrics.dfs_write_bytes.get(), 2_000);
     }
@@ -368,13 +376,18 @@ mod tests {
     fn files_are_immutable_but_put_overwrites() {
         let fs = dfs(2, 1, 64);
         let mut clock = TaskClock::default();
-        fs.write("/f", Bytes::from_static(b"one"), NodeId(0), &mut clock).unwrap();
+        fs.write("/f", Bytes::from_static(b"one"), NodeId(0), &mut clock)
+            .unwrap();
         assert_eq!(
             fs.write("/f", Bytes::from_static(b"two"), NodeId(0), &mut clock),
             Err(DfsError::AlreadyExists("/f".into()))
         );
-        fs.put("/f", Bytes::from_static(b"two"), NodeId(0), &mut clock).unwrap();
-        assert_eq!(fs.read("/f", NodeId(0), &mut clock).unwrap(), Bytes::from_static(b"two"));
+        fs.put("/f", Bytes::from_static(b"two"), NodeId(0), &mut clock)
+            .unwrap();
+        assert_eq!(
+            fs.read("/f", NodeId(0), &mut clock).unwrap(),
+            Bytes::from_static(b"two")
+        );
     }
 
     #[test]
@@ -382,7 +395,8 @@ mod tests {
         let fs = dfs(3, 2, 10);
         let mut clock = TaskClock::default();
         let data = Bytes::from((0..37u8).collect::<Vec<_>>());
-        fs.write("/big", data.clone(), NodeId(0), &mut clock).unwrap();
+        fs.write("/big", data.clone(), NodeId(0), &mut clock)
+            .unwrap();
         let locs = fs.block_locations("/big").unwrap();
         assert_eq!(locs.len(), 4); // ceil(37/10)
         assert!(locs.iter().all(|l| l.len() == 2));
@@ -394,7 +408,8 @@ mod tests {
     fn node_failure_falls_back_to_replicas() {
         let fs = dfs(3, 2, 1 << 20);
         let mut clock = TaskClock::default();
-        fs.write("/f", Bytes::from_static(b"precious"), NodeId(0), &mut clock).unwrap();
+        fs.write("/f", Bytes::from_static(b"precious"), NodeId(0), &mut clock)
+            .unwrap();
         fs.fail_node(NodeId(0));
         let back = fs.read("/f", NodeId(1), &mut clock).unwrap();
         assert_eq!(back, Bytes::from_static(b"precious"));
@@ -404,7 +419,8 @@ mod tests {
     fn losing_all_replicas_is_an_error() {
         let fs = dfs(2, 1, 1 << 20);
         let mut clock = TaskClock::default();
-        fs.write("/f", Bytes::from_static(b"gone"), NodeId(0), &mut clock).unwrap();
+        fs.write("/f", Bytes::from_static(b"gone"), NodeId(0), &mut clock)
+            .unwrap();
         fs.fail_node(NodeId(0));
         assert_eq!(
             fs.read("/f", NodeId(1), &mut clock),
@@ -416,9 +432,12 @@ mod tests {
     fn delete_and_list() {
         let fs = dfs(2, 1, 64);
         let mut clock = TaskClock::default();
-        fs.write("/a/1", Bytes::from_static(b"x"), NodeId(0), &mut clock).unwrap();
-        fs.write("/a/2", Bytes::from_static(b"y"), NodeId(0), &mut clock).unwrap();
-        fs.write("/b/1", Bytes::from_static(b"z"), NodeId(0), &mut clock).unwrap();
+        fs.write("/a/1", Bytes::from_static(b"x"), NodeId(0), &mut clock)
+            .unwrap();
+        fs.write("/a/2", Bytes::from_static(b"y"), NodeId(0), &mut clock)
+            .unwrap();
+        fs.write("/b/1", Bytes::from_static(b"z"), NodeId(0), &mut clock)
+            .unwrap();
         assert_eq!(fs.list("/a/"), vec!["/a/1".to_string(), "/a/2".to_string()]);
         fs.delete("/a/1").unwrap();
         assert!(!fs.exists("/a/1"));
@@ -429,7 +448,8 @@ mod tests {
     fn empty_file_round_trips() {
         let fs = dfs(2, 2, 64);
         let mut clock = TaskClock::default();
-        fs.write("/empty", Bytes::new(), NodeId(0), &mut clock).unwrap();
+        fs.write("/empty", Bytes::new(), NodeId(0), &mut clock)
+            .unwrap();
         assert_eq!(fs.len("/empty").unwrap(), 0);
         let back = fs.read("/empty", NodeId(1), &mut clock).unwrap();
         assert!(back.is_empty());

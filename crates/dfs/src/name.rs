@@ -148,7 +148,13 @@ mod tests {
         let mut nn = NameNode::new(3, 2);
         let (b0, _) = nn.allocate_block(NodeId(0));
         let (b1, _) = nn.allocate_block(NodeId(1));
-        nn.commit_file("/data/x", FileMeta { blocks: vec![b0, b1], len: 100 });
+        nn.commit_file(
+            "/data/x",
+            FileMeta {
+                blocks: vec![b0, b1],
+                len: 100,
+            },
+        );
         assert_eq!(nn.file("/data/x").unwrap().len, 100);
         assert_eq!(nn.list("/data"), vec!["/data/x".to_string()]);
         assert_eq!(nn.list("/other"), Vec::<String>::new());

@@ -14,10 +14,9 @@ use crate::gen::{
     sssp_weight_dist, LogNormal,
 };
 use crate::types::Graph;
-use serde::{Deserialize, Serialize};
 
 /// Whether a data set drives SSSP (weighted) or PageRank (unweighted).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// Weighted graphs for Single-Source Shortest Path.
     Sssp,
@@ -26,7 +25,7 @@ pub enum Workload {
 }
 
 /// One row of Table 1 or Table 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSpec {
     /// Data-set name as printed in the paper.
     pub name: &'static str,
@@ -39,14 +38,9 @@ pub struct DatasetSpec {
     /// File size reported by the paper (bytes, approximate).
     pub paper_file_size: u64,
     /// Degree distribution used for the synthetic stand-in.
-    #[serde(skip, default = "default_dist")]
     pub degree_dist: LogNormal,
     /// Deterministic generation seed.
     pub seed: u64,
-}
-
-fn default_dist() -> LogNormal {
-    LogNormal::new(0.0, 1.0)
 }
 
 const MB: u64 = 1024 * 1024;
@@ -56,11 +50,51 @@ const GB: u64 = 1024 * MB;
 pub fn sssp_datasets() -> Vec<DatasetSpec> {
     let d = sssp_degree_dist();
     vec![
-        DatasetSpec { name: "DBLP", workload: Workload::Sssp, paper_nodes: 310_556, paper_edges: 1_518_617, paper_file_size: 16 * MB, degree_dist: d, seed: 101 },
-        DatasetSpec { name: "Facebook", workload: Workload::Sssp, paper_nodes: 1_204_004, paper_edges: 5_430_303, paper_file_size: 58 * MB, degree_dist: d, seed: 102 },
-        DatasetSpec { name: "SSSP-s", workload: Workload::Sssp, paper_nodes: 1_000_000, paper_edges: 7_868_140, paper_file_size: 87 * MB, degree_dist: d, seed: 103 },
-        DatasetSpec { name: "SSSP-m", workload: Workload::Sssp, paper_nodes: 10_000_000, paper_edges: 78_873_968, paper_file_size: 958 * MB, degree_dist: d, seed: 104 },
-        DatasetSpec { name: "SSSP-l", workload: Workload::Sssp, paper_nodes: 50_000_000, paper_edges: 369_455_293, paper_file_size: 5 * GB + 199 * MB, degree_dist: d, seed: 105 },
+        DatasetSpec {
+            name: "DBLP",
+            workload: Workload::Sssp,
+            paper_nodes: 310_556,
+            paper_edges: 1_518_617,
+            paper_file_size: 16 * MB,
+            degree_dist: d,
+            seed: 101,
+        },
+        DatasetSpec {
+            name: "Facebook",
+            workload: Workload::Sssp,
+            paper_nodes: 1_204_004,
+            paper_edges: 5_430_303,
+            paper_file_size: 58 * MB,
+            degree_dist: d,
+            seed: 102,
+        },
+        DatasetSpec {
+            name: "SSSP-s",
+            workload: Workload::Sssp,
+            paper_nodes: 1_000_000,
+            paper_edges: 7_868_140,
+            paper_file_size: 87 * MB,
+            degree_dist: d,
+            seed: 103,
+        },
+        DatasetSpec {
+            name: "SSSP-m",
+            workload: Workload::Sssp,
+            paper_nodes: 10_000_000,
+            paper_edges: 78_873_968,
+            paper_file_size: 958 * MB,
+            degree_dist: d,
+            seed: 104,
+        },
+        DatasetSpec {
+            name: "SSSP-l",
+            workload: Workload::Sssp,
+            paper_nodes: 50_000_000,
+            paper_edges: 369_455_293,
+            paper_file_size: 5 * GB + 199 * MB,
+            degree_dist: d,
+            seed: 105,
+        },
     ]
 }
 
@@ -68,11 +102,51 @@ pub fn sssp_datasets() -> Vec<DatasetSpec> {
 pub fn pagerank_datasets() -> Vec<DatasetSpec> {
     let d = pagerank_degree_dist();
     vec![
-        DatasetSpec { name: "Google", workload: Workload::PageRank, paper_nodes: 916_417, paper_edges: 6_078_254, paper_file_size: 49 * MB, degree_dist: d, seed: 201 },
-        DatasetSpec { name: "Berk-Stan", workload: Workload::PageRank, paper_nodes: 685_230, paper_edges: 7_600_595, paper_file_size: 57 * MB, degree_dist: d, seed: 202 },
-        DatasetSpec { name: "PageRank-s", workload: Workload::PageRank, paper_nodes: 1_000_000, paper_edges: 7_425_360, paper_file_size: 61 * MB, degree_dist: d, seed: 203 },
-        DatasetSpec { name: "PageRank-m", workload: Workload::PageRank, paper_nodes: 10_000_000, paper_edges: 75_061_501, paper_file_size: 690 * MB, degree_dist: d, seed: 204 },
-        DatasetSpec { name: "PageRank-l", workload: Workload::PageRank, paper_nodes: 30_000_000, paper_edges: 224_493_620, paper_file_size: 2 * GB + 266 * MB, degree_dist: d, seed: 205 },
+        DatasetSpec {
+            name: "Google",
+            workload: Workload::PageRank,
+            paper_nodes: 916_417,
+            paper_edges: 6_078_254,
+            paper_file_size: 49 * MB,
+            degree_dist: d,
+            seed: 201,
+        },
+        DatasetSpec {
+            name: "Berk-Stan",
+            workload: Workload::PageRank,
+            paper_nodes: 685_230,
+            paper_edges: 7_600_595,
+            paper_file_size: 57 * MB,
+            degree_dist: d,
+            seed: 202,
+        },
+        DatasetSpec {
+            name: "PageRank-s",
+            workload: Workload::PageRank,
+            paper_nodes: 1_000_000,
+            paper_edges: 7_425_360,
+            paper_file_size: 61 * MB,
+            degree_dist: d,
+            seed: 203,
+        },
+        DatasetSpec {
+            name: "PageRank-m",
+            workload: Workload::PageRank,
+            paper_nodes: 10_000_000,
+            paper_edges: 75_061_501,
+            paper_file_size: 690 * MB,
+            degree_dist: d,
+            seed: 204,
+        },
+        DatasetSpec {
+            name: "PageRank-l",
+            workload: Workload::PageRank,
+            paper_nodes: 30_000_000,
+            paper_edges: 224_493_620,
+            paper_file_size: 2 * GB + 266 * MB,
+            degree_dist: d,
+            seed: 205,
+        },
     ]
 }
 

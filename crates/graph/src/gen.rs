@@ -113,12 +113,7 @@ pub fn degree_sequence<R: Rng + ?Sized>(
 /// (approximately, exactly when feasible) `edges` edges, out-degrees
 /// drawn from `degree_dist`. Targets are uniform, excluding self-loops
 /// and duplicate edges per source.
-pub fn generate_graph(
-    n: usize,
-    edges: u64,
-    degree_dist: LogNormal,
-    seed: u64,
-) -> Graph {
+pub fn generate_graph(n: usize, edges: u64, degree_dist: LogNormal, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let degrees = degree_sequence(n, degree_dist, edges, &mut rng);
     let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);

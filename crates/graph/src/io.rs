@@ -176,9 +176,15 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported_with_lines() {
-        assert_eq!(parse_text("x\t1"), Err(ParseError::BadNumber(1, "x\t1".into())));
+        assert_eq!(
+            parse_text("x\t1"),
+            Err(ParseError::BadNumber(1, "x\t1".into()))
+        );
         assert_eq!(parse_text("1\t2"), Err(ParseError::NonDense(1)));
-        assert!(matches!(parse_weighted_text("0\t1"), Err(ParseError::BadNumber(1, _))));
+        assert!(matches!(
+            parse_weighted_text("0\t1"),
+            Err(ParseError::BadNumber(1, _))
+        ));
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl Graph {
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u64);
         }
-        Graph { offsets, targets, weights: None }
+        Graph {
+            offsets,
+            targets,
+            weights: None,
+        }
     }
 
     /// Builds a weighted graph from per-node `(target, weight)` lists.
@@ -38,7 +42,11 @@ impl Graph {
             }
             offsets.push(targets.len() as u64);
         }
-        Graph { offsets, targets, weights: Some(weights) }
+        Graph {
+            offsets,
+            targets,
+            weights: Some(weights),
+        }
     }
 
     /// Number of nodes.

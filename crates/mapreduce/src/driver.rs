@@ -31,7 +31,10 @@ impl<K, V> CheckSpec<K, V> {
         distance: impl Fn(&K, &V, &V) -> f64 + Send + Sync + 'static,
         threshold: f64,
     ) -> Self {
-        CheckSpec { distance: Box::new(distance), threshold }
+        CheckSpec {
+            distance: Box::new(distance),
+            threshold,
+        }
     }
 }
 
@@ -72,7 +75,11 @@ where
 {
     assert!(max_iters > 0, "need at least one iteration");
     let mut report = RunReport {
-        label: if runner.charge_init { "MapReduce".into() } else { "MapReduce (ex. init.)".into() },
+        label: if runner.charge_init {
+            "MapReduce".into()
+        } else {
+            "MapReduce (ex. init.)".into()
+        },
         ..RunReport::default()
     };
     let mut distances = Vec::new();
@@ -114,7 +121,12 @@ where
 
     report.finished = now;
     report.metrics = runner.metrics().snapshot();
-    Ok(IterativeOutcome { report, final_dir: input_dir, iterations, distances })
+    Ok(IterativeOutcome {
+        report,
+        final_dir: input_dir,
+        iterations,
+        distances,
+    })
 }
 
 /// The per-iteration termination-check MapReduce job.
@@ -138,7 +150,11 @@ where
     let cost = &runner.cluster().cost;
     let dfs = runner.dfs();
     runner.metrics().jobs_launched.add(1);
-    let job_start = if runner.charge_init { submit + cost.job_setup } else { submit };
+    let job_start = if runner.charge_init {
+        submit + cost.job_setup
+    } else {
+        submit
+    };
 
     let parts = num_parts(dfs, cur_dir);
     let mut pool = crate::schedule::SlotPool::new(runner.cluster(), true, job_start);
@@ -246,7 +262,8 @@ mod tests {
         assert_eq!(outcome.report.iterations(), 3);
 
         let mut rc = TaskClock::default();
-        let out: Vec<(u32, f64)> = read_all(r.dfs(), &outcome.final_dir, NodeId(0), &mut rc).unwrap();
+        let out: Vec<(u32, f64)> =
+            read_all(r.dfs(), &outcome.final_dir, NodeId(0), &mut rc).unwrap();
         assert_eq!(out.len(), 8);
         assert!(out.iter().all(|&(_, v)| (v - 8.0).abs() < 1e-12));
     }
@@ -255,7 +272,8 @@ mod tests {
     fn iteration_times_strictly_increase() {
         let r = runner(2);
         let mut clock = TaskClock::default();
-        r.load_input("/init", vec![(0u32, 1.0f64), (1, 2.0)], 1, &mut clock).unwrap();
+        r.load_input("/init", vec![(0u32, 1.0f64), (1, 2.0)], 1, &mut clock)
+            .unwrap();
         let outcome =
             run_iterative(&r, &Halver, &JobConfig::new("h", 1), "/init", "/w", 4, None).unwrap();
         let times = outcome.report.iteration_done;
@@ -293,12 +311,14 @@ mod tests {
     fn intermediate_directories_are_cleaned() {
         let r = runner(2);
         let mut clock = TaskClock::default();
-        r.load_input("/init", vec![(0u32, 4.0f64)], 1, &mut clock).unwrap();
+        r.load_input("/init", vec![(0u32, 4.0f64)], 1, &mut clock)
+            .unwrap();
         let outcome =
             run_iterative(&r, &Halver, &JobConfig::new("h", 1), "/init", "/w", 5, None).unwrap();
         // Only the final (and possibly penultimate) outputs survive.
         let survivors = r.dfs().list("/w/");
-        assert!(survivors.iter().all(|p| p.starts_with(&outcome.final_dir)
-            || p.starts_with("/w/iter-0004")));
+        assert!(survivors
+            .iter()
+            .all(|p| p.starts_with(&outcome.final_dir) || p.starts_with("/w/iter-0004")));
     }
 }

@@ -35,7 +35,12 @@ pub fn write_parts<K: Codec, V: Codec>(
     for (i, part) in parts.iter().enumerate() {
         let node = NodeId((i % n) as u32);
         let payload = encode_pairs(part);
-        dfs.write(&part_path(dir, i), payload, node, &mut node_clocks[node.index()])?;
+        dfs.write(
+            &part_path(dir, i),
+            payload,
+            node,
+            &mut node_clocks[node.index()],
+        )?;
     }
     clock.barrier(node_clocks.iter().map(|c| c.now()));
     Ok(())
@@ -113,11 +118,7 @@ mod tests {
     fn parts_round_trip() {
         let fs = dfs();
         let mut clock = TaskClock::default();
-        let parts: Vec<Vec<(u32, f64)>> = vec![
-            vec![(1, 1.0), (2, 2.0)],
-            vec![(3, 3.0)],
-            vec![],
-        ];
+        let parts: Vec<Vec<(u32, f64)>> = vec![vec![(1, 1.0), (2, 2.0)], vec![(3, 3.0)], vec![]];
         write_parts(&fs, "/data/in", &parts, &mut clock).unwrap();
         assert_eq!(num_parts(&fs, "/data/in"), 3);
         let mut rc = TaskClock::default();

@@ -21,6 +21,9 @@ pub enum EngineError {
     Codec(CodecError),
     /// The job had no input parts.
     EmptyInput(String),
+    /// A native worker thread failed or lost its peers (its channels
+    /// disconnected because another worker aborted first).
+    Worker(String),
 }
 
 impl fmt::Display for EngineError {
@@ -29,6 +32,7 @@ impl fmt::Display for EngineError {
             EngineError::Dfs(e) => write!(f, "engine: {e}"),
             EngineError::Codec(e) => write!(f, "engine: {e}"),
             EngineError::EmptyInput(d) => write!(f, "engine: input directory {d} has no parts"),
+            EngineError::Worker(msg) => write!(f, "engine: worker thread: {msg}"),
         }
     }
 }
@@ -76,7 +80,12 @@ pub struct JobRunner {
 impl JobRunner {
     /// A runner over the given cluster, DFS and metrics registry.
     pub fn new(cluster: Arc<ClusterSpec>, dfs: Dfs, metrics: MetricsHandle) -> Self {
-        JobRunner { cluster, dfs, metrics, charge_init: true }
+        JobRunner {
+            cluster,
+            dfs,
+            metrics,
+            charge_init: true,
+        }
     }
 
     /// The cluster this runner schedules on.
@@ -140,7 +149,11 @@ impl JobRunner {
         let mut counters = JobCounters::default();
 
         // Master-side job setup.
-        let job_start = if self.charge_init { submit + cost.job_setup } else { submit };
+        let job_start = if self.charge_init {
+            submit + cost.job_setup
+        } else {
+            submit
+        };
 
         // ---- Map wave -------------------------------------------------
         let mut map_pool = SlotPool::new(&self.cluster, true, job_start);
@@ -291,8 +304,7 @@ impl JobRunner {
                 let seg = &map_parts[i][p];
                 let bytes = seg.len() as u64;
                 fetched_bytes += bytes;
-                let arrival =
-                    map_done[i] + self.cluster.transfer_time(map_nodes[i], node, bytes);
+                let arrival = map_done[i] + self.cluster.transfer_time(map_nodes[i], node, bytes);
                 if map_nodes[i] == node {
                     self.metrics.shuffle_local_bytes.add(bytes);
                 } else {
@@ -332,7 +344,8 @@ impl JobRunner {
             // Commit output part to DFS.
             let payload = encode_pairs(&out_pairs);
             clock.advance(cost.serde_per_byte * payload.len() as u64);
-            self.dfs.put(&part_path(output_dir, p), payload, node, &mut clock)?;
+            self.dfs
+                .put(&part_path(output_dir, p), payload, node, &mut clock)?;
             if self.charge_init {
                 clock.advance(cost.task_cleanup);
             }
@@ -358,8 +371,7 @@ impl JobRunner {
                     let alt_arrivals: Vec<VInstant> = (0..m)
                         .map(|i| {
                             let bytes = map_parts[i][p].len() as u64;
-                            map_done[i]
-                                + self.cluster.transfer_time(map_nodes[i], alt_node, bytes)
+                            map_done[i] + self.cluster.transfer_time(map_nodes[i], alt_node, bytes)
                         })
                         .collect();
                     alt.barrier(alt_arrivals);
@@ -442,7 +454,13 @@ mod tests {
         ];
         r.load_input("/in", input, 3, &mut clock).unwrap();
         let res = r
-            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", clock.now())
+            .run(
+                &WordCount,
+                &JobConfig::new("wc", 2),
+                "/in",
+                "/out",
+                clock.now(),
+            )
             .unwrap();
         assert!(res.finished > clock.now());
         assert_eq!(res.map_tasks, 3);
@@ -475,15 +493,29 @@ mod tests {
 
         let input: Vec<(u32, String)> = (0..10).map(|i| (i, format!("w{i} w{i}"))).collect();
         let mut c1 = TaskClock::default();
-        with_init.load_input("/in", input.clone(), 2, &mut c1).unwrap();
+        with_init
+            .load_input("/in", input.clone(), 2, &mut c1)
+            .unwrap();
         let mut c2 = TaskClock::default();
         no_init.load_input("/in", input, 2, &mut c2).unwrap();
 
         let a = with_init
-            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", c1.now())
+            .run(
+                &WordCount,
+                &JobConfig::new("wc", 2),
+                "/in",
+                "/out",
+                c1.now(),
+            )
             .unwrap();
         let b = no_init
-            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", c2.now())
+            .run(
+                &WordCount,
+                &JobConfig::new("wc", 2),
+                "/in",
+                "/out",
+                c2.now(),
+            )
             .unwrap();
         let a_span = a.finished.duration_since(a.submitted);
         let b_span = b.finished.duration_since(b.submitted);
@@ -501,7 +533,13 @@ mod tests {
             let mut clock = TaskClock::default();
             r.load_input("/in", input.clone(), 4, &mut clock).unwrap();
             let res = r
-                .run(&WordCount, &JobConfig::new("wc", 3), "/in", "/out", clock.now())
+                .run(
+                    &WordCount,
+                    &JobConfig::new("wc", 3),
+                    "/in",
+                    "/out",
+                    clock.now(),
+                )
                 .unwrap();
             (res.finished, res.counters)
         };
@@ -511,7 +549,13 @@ mod tests {
     #[test]
     fn empty_input_dir_is_an_error() {
         let r = runner(2);
-        let res = r.run(&WordCount, &JobConfig::new("wc", 1), "/absent", "/out", VInstant::EPOCH);
+        let res = r.run(
+            &WordCount,
+            &JobConfig::new("wc", 1),
+            "/absent",
+            "/out",
+            VInstant::EPOCH,
+        );
         assert!(matches!(res, Err(EngineError::EmptyInput(_))));
     }
 
@@ -522,7 +566,13 @@ mod tests {
         let input: Vec<(u32, String)> = (0..20).map(|i| (i, "common word".to_string())).collect();
         r.load_input("/in", input, 2, &mut clock).unwrap();
         let res = r
-            .run(&WordCount, &JobConfig::new("wc", 2), "/in", "/out", clock.now())
+            .run(
+                &WordCount,
+                &JobConfig::new("wc", 2),
+                "/in",
+                "/out",
+                clock.now(),
+            )
             .unwrap();
         assert!(res.counters.shuffle_bytes > 0);
         let m = r.metrics().snapshot();
@@ -544,8 +594,9 @@ mod tests {
             let metrics: MetricsHandle = Arc::new(Metrics::default());
             let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 2, 1 << 20);
             let r = JobRunner::new(Arc::clone(&spec), dfs, metrics);
-            let input: Vec<(u32, String)> =
-                (0..5_000).map(|i| (i, format!("word{} x y z", i % 13))).collect();
+            let input: Vec<(u32, String)> = (0..5_000)
+                .map(|i| (i, format!("word{} x y z", i % 13)))
+                .collect();
             let mut clock = TaskClock::default();
             r.load_input("/in", input, 2, &mut clock).unwrap();
             (r, clock.now())
@@ -557,7 +608,13 @@ mod tests {
             .unwrap();
         let (r2, t2) = make();
         let spec_run = r2
-            .run(&WordCount, &JobConfig::new("wc", 1).with_speculative(), "/in", "/o", t2)
+            .run(
+                &WordCount,
+                &JobConfig::new("wc", 1).with_speculative(),
+                "/in",
+                "/o",
+                t2,
+            )
             .unwrap();
         let plain_span = plain.finished.duration_since(plain.submitted);
         let spec_span = spec_run.finished.duration_since(spec_run.submitted);
@@ -567,8 +624,10 @@ mod tests {
         );
         // Results are identical either way.
         let mut c = TaskClock::default();
-        let mut a: Vec<(String, u64)> = crate::io::read_all(r1.dfs(), "/o", NodeId(0), &mut c).unwrap();
-        let mut b: Vec<(String, u64)> = crate::io::read_all(r2.dfs(), "/o", NodeId(0), &mut c).unwrap();
+        let mut a: Vec<(String, u64)> =
+            crate::io::read_all(r1.dfs(), "/o", NodeId(0), &mut c).unwrap();
+        let mut b: Vec<(String, u64)> =
+            crate::io::read_all(r2.dfs(), "/o", NodeId(0), &mut c).unwrap();
         a.sort();
         b.sort();
         assert_eq!(a, b);

@@ -35,7 +35,9 @@ impl SlotPool {
     pub fn place(&self, ready: VInstant, preferred: &[NodeId]) -> (NodeId, VInstant) {
         let mut best: Option<(VInstant, bool, NodeId)> = None;
         for (n, slots) in self.free.iter().enumerate() {
-            let Some(&slot_free) = slots.iter().min() else { continue };
+            let Some(&slot_free) = slots.iter().min() else {
+                continue;
+            };
             let node = NodeId(n as u32);
             let start = slot_free.max(ready);
             let local = preferred.contains(&node);
@@ -65,7 +67,9 @@ impl SlotPool {
             if node == exclude {
                 continue;
             }
-            let Some(&slot_free) = slots.iter().min() else { continue };
+            let Some(&slot_free) = slots.iter().min() else {
+                continue;
+            };
             let start = slot_free.max(ready);
             let better = match &best {
                 None => true,

@@ -1,0 +1,681 @@
+//! # imr-native — the wall-clock multi-threaded iMapReduce backend
+//!
+//! Executes the same [`IterativeJob`] API as the virtual-time
+//! simulation engine, but on real OS threads: one thread per persistent
+//! map/reduce task pair (paper §3.1), living for the whole job. The
+//! paper's mechanisms map onto native primitives:
+//!
+//! * **Persistent reduce→map connections** (§3.3) — one bounded
+//!   [`crossbeam_channel`] per (map *p* → reduce *q*) link, created once
+//!   and reused every iteration; the pair's self-loop channel is the
+//!   paper's persistent local socket. The bound models §3.3's buffered
+//!   hand-off: a task can run at most [`HANDOFF_BUFFER`] segments ahead
+//!   of a slow consumer before back-pressure stalls it.
+//! * **Asynchronous map execution** (§3.3) — by default a pair starts
+//!   its next map as soon as *its own* reduce finished; no global
+//!   barrier. `IterConfig::with_sync_maps` inserts a
+//!   [`parking_lot::Barrier`] before every map phase instead (the
+//!   paper's "iMapReduce (sync.)" variant).
+//! * **one2all broadcast** (§5.1) — reduce outputs meet in shared
+//!   slots under a barrier; every map rebuilds the global state list in
+//!   task order, so the broadcast state is byte-identical on all pairs.
+//! * **Termination** (§3.1.2) — per-pair distances meet in shared
+//!   slots; every pair evaluates the same threshold verdict over the
+//!   same task-ordered float sum, so all pairs stop at the same
+//!   iteration without a master round-trip.
+//!
+//! Determinism: every data-path step (partition fill order, stable
+//! sorts, run merging in task order, carry-forward, task-ordered float
+//! accumulation) matches the simulation engine exactly, so for the same
+//! job, inputs and configuration the two backends produce identical
+//! `final_state`, `iterations` and `distances` — only the `report`
+//! timeline differs (wall-clock here, virtual time there). The
+//! cross-engine test suite pins this down per algorithm.
+//!
+//! Not supported natively: scripted failure injection, checkpoint
+//! rollback and migration-based load balancing — those model cluster
+//! behaviour and live in the simulation engine (native checkpointing is
+//! tracked as a roadmap item). `checkpoint_interval` and
+//! `eager_handoff` are accepted and ignored: both only shape the
+//! virtual-time cost model, never the data path.
+
+#![forbid(unsafe_code)]
+// The channel matrix is built by (p, q) index on purpose — the indices
+// are the link topology. Worker signatures carry the full generic
+// shared-state types, as in the core engine.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use imapreduce::{
+    carry_forward, distance_sorted, Emitter, FailureEvent, IterConfig, IterEngine, IterOutcome,
+    IterativeJob, Mapping, StateInput,
+};
+use imr_dfs::Dfs;
+use imr_mapreduce::io::{num_parts, part_path, read_part};
+use imr_mapreduce::EngineError;
+use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
+use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
+use parking_lot::{Barrier, Mutex};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How many shuffle segments a reduce→map channel buffers before the
+/// sender blocks (§3.3's bounded hand-off buffer). One segment per link
+/// per iteration means a fast pair can run at most this many iterations
+/// ahead of the slowest consumer of its output.
+pub const HANDOFF_BUFFER: usize = 1;
+
+/// Executes [`IterativeJob`]s on OS threads in wall-clock time.
+///
+/// Data enters and leaves through the same [`Dfs`] the simulation
+/// engine uses (its virtual clocks are bookkeeping only here), so
+/// loaders written for one backend feed the other unchanged.
+#[derive(Clone)]
+pub struct NativeRunner {
+    dfs: Dfs,
+    metrics: MetricsHandle,
+}
+
+/// What one worker thread hands back to the coordinator.
+struct WorkerOut<K, S> {
+    /// The pair's final state partition (sorted by key).
+    final_data: Vec<(K, S)>,
+    /// Per-iteration `(local_distance, had_previous_snapshot)`.
+    local_dist: Vec<(f64, bool)>,
+    /// Wall-clock offset of each iteration's reduce completion.
+    iter_done: Vec<Duration>,
+    /// Iterations this worker executed.
+    iterations: usize,
+}
+
+impl NativeRunner {
+    /// A runner executing jobs against the given DFS and metrics.
+    pub fn new(dfs: Dfs, metrics: MetricsHandle) -> Self {
+        NativeRunner { dfs, metrics }
+    }
+
+    /// The DFS this runner reads and writes.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Runs `job` to termination on `cfg.num_tasks` worker threads.
+    /// Arguments mirror [`IterativeRunner::run`]; `failures` must be
+    /// empty (failure injection is a simulation-engine feature).
+    ///
+    /// [`IterativeRunner::run`]: imapreduce::IterativeRunner::run
+    pub fn run<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        failures: &[FailureEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        assert!(
+            failures.is_empty(),
+            "scripted failure injection is only supported by the simulation engine"
+        );
+        let n = cfg.num_tasks;
+        let one2all = cfg.mapping == Mapping::One2All;
+        assert_eq!(
+            num_parts(&self.dfs, static_dir),
+            n,
+            "static data must be pre-partitioned into num_tasks parts"
+        );
+        if !one2all {
+            assert_eq!(
+                num_parts(&self.dfs, state_dir),
+                n,
+                "one2one state must be pre-partitioned into num_tasks parts"
+            );
+        }
+        self.metrics.jobs_launched.add(1);
+
+        // One persistent channel per (map p → reduce q) link; the self-
+        // loop channel is the paper's persistent local socket. Receivers
+        // are arranged so worker q drains peers in task order 0..n,
+        // which fixes the run order fed to merge_runs.
+        let mut senders: Vec<Vec<Sender<Bytes>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut receivers: Vec<Vec<Receiver<Bytes>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for p in 0..n {
+            for q in 0..n {
+                let (tx, rx) = bounded(HANDOFF_BUFFER);
+                senders[p].push(tx);
+                receivers[q].push(rx);
+            }
+        }
+
+        let slots: Arc<Vec<Mutex<Option<Vec<(J::K, J::S)>>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let dist_slots: Arc<Vec<Mutex<(f64, bool)>>> =
+            Arc::new((0..n).map(|_| Mutex::new((0.0, false))).collect());
+        let barrier = Arc::new(Barrier::new(n));
+        let started = Instant::now();
+
+        let results: Vec<Result<WorkerOut<J::K, J::S>, EngineError>> = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for ((q, sends), recvs) in senders.into_iter().enumerate().zip(receivers) {
+                let dfs = self.dfs.clone();
+                let metrics = Arc::clone(&self.metrics);
+                let slots = Arc::clone(&slots);
+                let dist_slots = Arc::clone(&dist_slots);
+                let barrier = Arc::clone(&barrier);
+                handles.push(scope.spawn(move || {
+                    worker::<J>(
+                        q,
+                        n,
+                        job,
+                        cfg,
+                        &dfs,
+                        &metrics,
+                        state_dir,
+                        static_dir,
+                        sends,
+                        recvs,
+                        &slots,
+                        &dist_slots,
+                        &barrier,
+                        started,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+
+        // Surface the root-cause error: a worker that lost its channels
+        // (Worker variant) only failed because some peer failed first.
+        let mut outs: Vec<WorkerOut<J::K, J::S>> = Vec::with_capacity(n);
+        let mut first_err: Option<EngineError> = None;
+        for r in results {
+            match r {
+                Ok(o) => outs.push(o),
+                Err(e) => match (&first_err, matches!(e, EngineError::Worker(_))) {
+                    (None, _) | (Some(EngineError::Worker(_)), false) => first_err = Some(e),
+                    _ => {}
+                },
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        let iterations = outs[0].iterations;
+        assert!(
+            outs.iter().all(|o| o.iterations == iterations),
+            "workers disagreed on the termination iteration"
+        );
+
+        // Global per-iteration distance: the same task-ordered float
+        // sum the simulation engine's master computes.
+        let mut distances = Vec::new();
+        if cfg.termination.distance_threshold.is_some() {
+            for i in 0..iterations {
+                let mut total = 0.0f64;
+                let mut any_prev = false;
+                for o in &outs {
+                    let (d, has_prev) = o.local_dist[i];
+                    if has_prev {
+                        any_prev = true;
+                        total += d;
+                    }
+                }
+                distances.push(if any_prev { total } else { f64::INFINITY });
+            }
+        }
+
+        // Final output dump (once, at termination).
+        let mut final_state: Vec<(J::K, J::S)> = Vec::new();
+        for (q, out) in outs.iter().enumerate() {
+            let payload = encode_pairs(&out.final_data);
+            let mut clock = TaskClock::default();
+            self.dfs
+                .put(&part_path(output_dir, q), payload, NodeId(0), &mut clock)?;
+            final_state.extend(out.final_data.iter().cloned());
+        }
+        sort_run(&mut final_state);
+
+        let mut report = RunReport {
+            label: self.label(cfg),
+            ..RunReport::default()
+        };
+        for i in 0..iterations {
+            let done = outs
+                .iter()
+                .map(|o| o.iter_done[i])
+                .max()
+                .unwrap_or_default();
+            report
+                .iteration_done
+                .push(VInstant::EPOCH + VDuration::from_secs_f64(done.as_secs_f64()));
+        }
+        report.finished =
+            VInstant::EPOCH + VDuration::from_secs_f64(started.elapsed().as_secs_f64());
+        report.metrics = self.metrics.snapshot();
+
+        Ok(IterOutcome {
+            report,
+            final_state,
+            iterations,
+            distances,
+            migrations: 0,
+            recoveries: 0,
+        })
+    }
+
+    fn label(&self, cfg: &IterConfig) -> String {
+        if cfg.mapping == Mapping::One2One && cfg.sync_maps {
+            "iMapReduce native (sync.)".to_owned()
+        } else {
+            "iMapReduce native".to_owned()
+        }
+    }
+}
+
+impl IterEngine for NativeRunner {
+    fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    fn run<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        failures: &[FailureEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        NativeRunner::run(self, job, cfg, state_dir, static_dir, output_dir, failures)
+    }
+}
+
+fn peer_gone(q: usize) -> EngineError {
+    EngineError::Worker(format!("pair {q}: peer channel disconnected"))
+}
+
+/// One persistent map/reduce pair, pinned to one thread for the whole
+/// job. The body is a line-for-line data-path port of the simulation
+/// engine's per-iteration loop with the virtual clocks removed.
+#[allow(clippy::too_many_arguments)]
+fn worker<J: IterativeJob>(
+    q: usize,
+    n: usize,
+    job: &J,
+    cfg: &IterConfig,
+    dfs: &Dfs,
+    metrics: &MetricsHandle,
+    state_dir: &str,
+    static_dir: &str,
+    sends: Vec<Sender<Bytes>>,
+    recvs: Vec<Receiver<Bytes>>,
+    slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
+    dist_slots: &[Mutex<(f64, bool)>],
+    barrier: &Barrier,
+    started: Instant,
+) -> Result<WorkerOut<J::K, J::S>, EngineError> {
+    let one2all = cfg.mapping == Mapping::One2All;
+    let sync = cfg.effective_sync();
+    let threshold = cfg.termination.distance_threshold;
+    let max_iters = cfg.termination.max_iterations;
+    metrics.tasks_launched.add(2);
+
+    // ---- One-time load: the pair's static partition + initial state --
+    let mut clock = TaskClock::default();
+    let stat: Vec<(J::K, J::T)> = read_part(dfs, static_dir, q, NodeId(0), &mut clock)?;
+    let mut state: Vec<(J::K, J::S)> = Vec::new();
+    let mut global: Vec<(J::K, J::S)> = Vec::new();
+    if one2all {
+        // Every map task holds the full (small) broadcast state.
+        for i in 0..num_parts(dfs, state_dir) {
+            global.extend(read_part::<J::K, J::S>(
+                dfs,
+                state_dir,
+                i,
+                NodeId(0),
+                &mut clock,
+            )?);
+        }
+        sort_run(&mut global);
+    } else {
+        state = read_part(dfs, state_dir, q, NodeId(0), &mut clock)?;
+    }
+
+    let mut prev_out: Option<Vec<(J::K, J::S)>> = None;
+    let mut local_dist: Vec<(f64, bool)> = Vec::new();
+    let mut iter_done: Vec<Duration> = Vec::new();
+    let mut iterations = 0usize;
+
+    for _iter in 1..=max_iters {
+        if sync {
+            barrier.wait();
+        }
+
+        // ---- Map phase -----------------------------------------------
+        let mut emitter = Emitter::new();
+        let records_in: u64 = if one2all {
+            for (k, t) in &stat {
+                job.map(k, StateInput::All(&global), t, &mut emitter);
+            }
+            stat.len() as u64
+        } else {
+            assert_eq!(
+                state.len(),
+                stat.len(),
+                "state/static co-partitioning broken at pair {q}"
+            );
+            for ((ks, s), (kt, t)) in state.iter().zip(&stat) {
+                assert!(ks == kt, "state/static keys diverged at pair {q}");
+                job.map(ks, StateInput::One(s), t, &mut emitter);
+            }
+            state.len() as u64
+        };
+        metrics.map_input_records.add(records_in);
+
+        let mut partitions: Vec<Vec<(J::K, J::S)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, v) in emitter.into_pairs() {
+            let t = job.partition(&k, n);
+            partitions[t].push((k, v));
+        }
+        for (dest, mut part) in partitions.into_iter().enumerate() {
+            sort_run(&mut part);
+            let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
+                let mut combined = Vec::new();
+                for (k, vals) in group_sorted(part) {
+                    for v in job.combine(&k, vals) {
+                        combined.push((k.clone(), v));
+                    }
+                }
+                combined
+            } else {
+                part
+            };
+            let seg = encode_pairs(&final_part);
+            metrics.shuffle_local_bytes.add(seg.len() as u64);
+            sends[dest].send(seg).map_err(|_| peer_gone(q))?;
+        }
+
+        // ---- Reduce phase --------------------------------------------
+        // Drain peers in task order: merge_runs breaks key ties by run
+        // index, so the run order must match the simulation engine's.
+        let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+        let mut total_rec = 0u64;
+        for rx in &recvs {
+            let run: Vec<(J::K, J::S)> = decode_pairs(rx.recv().map_err(|_| peer_gone(q))?)?;
+            total_rec += run.len() as u64;
+            runs.push(run);
+        }
+        metrics.reduce_input_records.add(total_rec);
+        let merged = merge_runs(runs);
+        let mut reduced: Vec<(J::K, J::S)> = Vec::new();
+        for (k, vals) in group_sorted(merged) {
+            let s = job.reduce(&k, vals);
+            reduced.push((k, s));
+        }
+        let new_state = if one2all {
+            reduced
+        } else {
+            carry_forward(reduced, &state)
+        };
+
+        // Local distance vs the previous snapshot (§3.1.2).
+        let mut d = 0.0f64;
+        let mut has_prev = false;
+        if threshold.is_some() {
+            let prev: Option<&[(J::K, J::S)]> = if one2all {
+                prev_out.as_deref()
+            } else {
+                Some(&state)
+            };
+            if let Some(prev) = prev {
+                has_prev = true;
+                d = distance_sorted(job, prev, &new_state);
+            }
+        }
+        local_dist.push((d, has_prev));
+
+        // ---- State hand-off back to the map side ---------------------
+        if one2all {
+            let bytes = encode_pairs(&new_state).len() as u64;
+            metrics.broadcast_bytes.add(bytes * (n as u64 - 1));
+            *slots[q].lock() = Some(new_state.clone());
+            barrier.wait();
+            // Task-ordered concatenation + stable sort: identical to
+            // the simulation engine's broadcast reassembly.
+            let mut next_global: Vec<(J::K, J::S)> = Vec::new();
+            for slot in slots {
+                next_global.extend(
+                    slot.lock()
+                        .as_ref()
+                        .expect("broadcast slot filled")
+                        .iter()
+                        .cloned(),
+                );
+            }
+            sort_run(&mut next_global);
+            // Second barrier: nobody may overwrite a slot until every
+            // pair has read all of them.
+            barrier.wait();
+            prev_out = Some(new_state);
+            global = next_global;
+        } else {
+            metrics
+                .state_handoff_bytes
+                .add(encode_pairs(&new_state).len() as u64);
+            state = new_state;
+        }
+        iterations = _iter;
+        iter_done.push(started.elapsed());
+
+        // ---- Termination check (§3.1.2) ------------------------------
+        // Every pair computes the same verdict from the same slots, so
+        // all pairs stop at the same iteration without a master.
+        if let Some(eps) = threshold {
+            *dist_slots[q].lock() = (d, has_prev);
+            barrier.wait();
+            let mut total = 0.0f64;
+            let mut any_prev = false;
+            for slot in dist_slots {
+                let (ds, hs) = *slot.lock();
+                if hs {
+                    any_prev = true;
+                    total += ds;
+                }
+            }
+            barrier.wait();
+            if any_prev && total < eps {
+                break;
+            }
+        }
+    }
+
+    Ok(WorkerOut {
+        final_data: if one2all {
+            prev_out.unwrap_or_default()
+        } else {
+            state
+        },
+        local_dist,
+        iter_done,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imapreduce::{load_partitioned, IterativeRunner};
+    use imr_simcluster::{ClusterSpec, Metrics};
+
+    /// Each key's state is halved every iteration (same as the core
+    /// crate's doc example).
+    struct Halve;
+    impl IterativeJob for Halve {
+        type K = u32;
+        type S = f64;
+        type T = ();
+        fn map(&self, k: &u32, s: StateInput<'_, u32, f64>, _t: &(), out: &mut Emitter<u32, f64>) {
+            out.emit(*k, s.one() / 2.0);
+        }
+        fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {
+            values.into_iter().sum()
+        }
+        fn distance(&self, _k: &u32, prev: &f64, cur: &f64) -> f64 {
+            (prev - cur).abs()
+        }
+    }
+
+    /// one2all job: every key proposes `mean(all states) + 1`; the
+    /// reducers keep the state space at `num_tasks` keys.
+    struct MeanPlus;
+    impl IterativeJob for MeanPlus {
+        type K = u32;
+        type S = f64;
+        type T = ();
+        fn map(&self, k: &u32, s: StateInput<'_, u32, f64>, _t: &(), out: &mut Emitter<u32, f64>) {
+            let all = s.all();
+            let mean: f64 = all.iter().map(|&(_, v)| v).sum::<f64>() / all.len() as f64;
+            out.emit(*k % 4, mean + 1.0);
+        }
+        fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    fn fixtures(nodes: usize) -> (NativeRunner, IterativeRunner) {
+        let spec = Arc::new(ClusterSpec::local(nodes));
+        let metrics: MetricsHandle = Arc::new(Metrics::default());
+        let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, 1 << 20);
+        let native = NativeRunner::new(dfs, Arc::clone(&metrics));
+        let sim_spec = Arc::new(ClusterSpec::local(nodes));
+        let sim_metrics: MetricsHandle = Arc::new(Metrics::default());
+        let sim_dfs =
+            Dfs::with_block_size(Arc::clone(&sim_spec), Arc::clone(&sim_metrics), 3, 1 << 20);
+        let sim = IterativeRunner::new(sim_spec, sim_dfs, sim_metrics);
+        (native, sim)
+    }
+
+    fn load_halve(dfs: &Dfs, n: usize) {
+        let job = Halve;
+        let mut clock = TaskClock::default();
+        let data: Vec<(u32, f64)> = (0..64).map(|k| (k, 1024.0)).collect();
+        let statics: Vec<(u32, ())> = (0..64).map(|k| (k, ())).collect();
+        load_partitioned(
+            dfs,
+            "/state",
+            data,
+            n,
+            |k, m| job.partition(k, m),
+            &mut clock,
+        )
+        .unwrap();
+        load_partitioned(
+            dfs,
+            "/static",
+            statics,
+            n,
+            |k, m| job.partition(k, m),
+            &mut clock,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn async_one2one_runs_to_max_iterations() {
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 3);
+        let cfg = IterConfig::new("halve", 3, 3);
+        let out = native
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.final_state.len(), 64);
+        assert!(out.final_state.iter().all(|&(_, v)| v == 128.0));
+        assert_eq!(out.report.iteration_done.len(), 3);
+    }
+
+    #[test]
+    fn native_matches_simulation_exactly() {
+        for &(tasks, sync) in &[(1usize, false), (4, false), (4, true)] {
+            let (native, sim) = fixtures(4);
+            load_halve(native.dfs(), tasks);
+            load_halve(sim.dfs(), tasks);
+            let mut cfg = IterConfig::new("halve", tasks, 5).with_distance_threshold(1e-9);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let a = native
+                .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+                .unwrap();
+            let b = sim
+                .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+                .unwrap();
+            assert_eq!(a.final_state, b.final_state);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.distances, b.distances);
+        }
+    }
+
+    #[test]
+    fn one2all_broadcast_matches_simulation() {
+        let (native, sim) = fixtures(2);
+        for runner_dfs in [native.dfs(), sim.dfs()] {
+            let job = MeanPlus;
+            let mut clock = TaskClock::default();
+            let state: Vec<(u32, f64)> = (0..4u32).map(|k| (k, f64::from(k))).collect();
+            let statics: Vec<(u32, ())> = (0..32u32).map(|k| (k, ())).collect();
+            load_partitioned(runner_dfs, "/state", state, 1, |_, _| 0, &mut clock).unwrap();
+            load_partitioned(
+                runner_dfs,
+                "/static",
+                statics,
+                2,
+                |k, m| job.partition(k, m),
+                &mut clock,
+            )
+            .unwrap();
+        }
+        let cfg = IterConfig::new("mean", 2, 4).with_one2all();
+        let a = native
+            .run(&MeanPlus, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        let b = sim
+            .run(&MeanPlus, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        assert_eq!(a.final_state, b.final_state);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.iterations, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation engine")]
+    fn failure_injection_is_rejected() {
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 2);
+        let cfg = IterConfig::new("halve", 2, 2);
+        let _ = native.run(
+            &Halve,
+            &cfg,
+            "/state",
+            "/static",
+            "/out",
+            &[FailureEvent {
+                node: NodeId(0),
+                at_iteration: 1,
+            }],
+        );
+    }
+}

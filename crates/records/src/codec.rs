@@ -330,7 +330,10 @@ impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
 
 /// Encodes a slice of key/value pairs into one contiguous segment.
 pub fn encode_pairs<K: Codec, V: Codec>(pairs: &[(K, V)]) -> Bytes {
-    let total: usize = pairs.iter().map(|(k, v)| k.encoded_len() + v.encoded_len()).sum();
+    let total: usize = pairs
+        .iter()
+        .map(|(k, v)| k.encoded_len() + v.encoded_len())
+        .sum();
     let mut buf = BytesMut::with_capacity(total);
     for (k, v) in pairs {
         k.encode(&mut buf);
@@ -356,7 +359,11 @@ mod tests {
 
     fn round_trip<T: Codec + PartialEq + core::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
-        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len mismatch for {v:?}");
+        assert_eq!(
+            bytes.len(),
+            v.encoded_len(),
+            "encoded_len mismatch for {v:?}"
+        );
         let mut buf = bytes;
         let back = T::decode(&mut buf).expect("decode");
         assert_eq!(back, v);
@@ -401,7 +408,7 @@ mod tests {
         assert_eq!(127u64.encoded_len(), 1);
         assert_eq!(128u64.encoded_len(), 2);
         assert_eq!((-1i64).encoded_len(), 1); // zigzag
-        // u32 is IntWritable-style fixed width.
+                                              // u32 is IntWritable-style fixed width.
         assert_eq!(0u32.encoded_len(), 4);
         assert_eq!(u32::MAX.encoded_len(), 4);
     }
@@ -418,7 +425,10 @@ mod tests {
     #[test]
     fn corrupt_bool_and_option_discriminants_are_errors() {
         let mut buf = Bytes::from_static(&[2]);
-        assert_eq!(bool::decode(&mut buf), Err(CodecError::Corrupt("bool discriminant")));
+        assert_eq!(
+            bool::decode(&mut buf),
+            Err(CodecError::Corrupt("bool discriminant"))
+        );
         let mut buf = Bytes::from_static(&[9, 1]);
         assert!(Option::<u32>::decode(&mut buf).is_err());
     }

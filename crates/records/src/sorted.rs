@@ -47,13 +47,21 @@ pub fn merge_runs<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
 
     for (idx, src) in sources.iter_mut().enumerate() {
         if let Some((k, v)) = src.next() {
-            heap.push(Reverse(Entry { key: k, run: idx, value: v }));
+            heap.push(Reverse(Entry {
+                key: k,
+                run: idx,
+                value: v,
+            }));
         }
     }
     while let Some(Reverse(entry)) = heap.pop() {
         out.push((entry.key, entry.value));
         if let Some((nk, nv)) = sources[entry.run].next() {
-            heap.push(Reverse(Entry { key: nk, run: entry.run, value: nv }));
+            heap.push(Reverse(Entry {
+                key: nk,
+                run: entry.run,
+                value: nv,
+            }));
         }
     }
     out
@@ -100,7 +108,11 @@ mod tests {
         assert!(is_sorted_by_key(&merged));
         assert_eq!(merged.len(), 7);
         // Tie on key 4 preserves run order (run 0 before run 1).
-        let fours: Vec<i32> = merged.iter().filter(|(k, _)| *k == 4).map(|&(_, v)| v).collect();
+        let fours: Vec<i32> = merged
+            .iter()
+            .filter(|(k, _)| *k == 4)
+            .map(|&(_, v)| v)
+            .collect();
         assert_eq!(fours, vec![40, 41]);
     }
 
@@ -114,11 +126,22 @@ mod tests {
 
     #[test]
     fn group_sorted_collects_equal_keys() {
-        let sorted = vec![(1u32, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (3, 'e'), (3, 'f')];
+        let sorted = vec![
+            (1u32, 'a'),
+            (1, 'b'),
+            (2, 'c'),
+            (3, 'd'),
+            (3, 'e'),
+            (3, 'f'),
+        ];
         let grouped = group_sorted(sorted);
         assert_eq!(
             grouped,
-            vec![(1, vec!['a', 'b']), (2, vec!['c']), (3, vec!['d', 'e', 'f'])]
+            vec![
+                (1, vec!['a', 'b']),
+                (2, vec!['c']),
+                (3, vec!['d', 'e', 'f'])
+            ]
         );
     }
 

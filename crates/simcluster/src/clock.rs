@@ -71,7 +71,10 @@ impl<T> Stamped<T> {
 
     /// Maps the payload, preserving the timestamp.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Stamped<U> {
-        Stamped { arrival: self.arrival, payload: f(self.payload) }
+        Stamped {
+            arrival: self.arrival,
+            payload: f(self.payload),
+        }
     }
 }
 

@@ -8,14 +8,13 @@
 //! versus pipelined task activation (DESIGN.md §5).
 
 use crate::time::VDuration;
-use serde::{Deserialize, Serialize};
 
 /// Deterministic cost parameters for one simulated cluster.
 ///
 /// The defaults in [`CostModel::hadoop_era`] are calibrated against the
 /// paper's 2011-era testbed: dual-core 2.66 GHz nodes, 1 Gbps switch,
 /// Hadoop job/task start-up latencies in seconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Master-side overhead to set up (or clean up) one MapReduce job:
     /// job submission, split computation, scheduling state.
@@ -137,7 +136,10 @@ impl CostModel {
     /// reports seconds comparable to the paper's cluster runs, keeping
     /// the init/compute/communication *proportions* scale-invariant.
     pub fn scaled_for_sample(mut self, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "sample scale must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "sample scale must be in (0, 1]"
+        );
         let inv = 1.0 / scale;
         self.cpu_per_record = self.cpu_per_record * inv;
         self.cpu_per_byte = self.cpu_per_byte * inv;
@@ -284,7 +286,10 @@ mod tests {
         let small = draws.iter().filter(|&&d| d < 0.1 * m.jitter_amp).count();
         let large = draws.iter().filter(|&&d| d > 0.5 * m.jitter_amp).count();
         assert!(small > 5_000, "tail not light at the bottom: {small}");
-        assert!(large > 1_000 && large < 2_500, "tail wrong at the top: {large}");
+        assert!(
+            large > 1_000 && large < 2_500,
+            "tail wrong at the top: {large}"
+        );
     }
 
     #[test]

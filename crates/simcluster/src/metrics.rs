@@ -83,21 +83,39 @@ impl Metrics {
             + self.dfs_local_read_bytes.get()
     }
 
-    /// Clears every counter.
+    /// Every counter in declaration order. Whole-registry operations go
+    /// through this list so a newly added counter cannot be forgotten
+    /// by one of them.
+    fn counters(&self) -> [&Counter; 13] {
+        [
+            &self.shuffle_remote_bytes,
+            &self.shuffle_local_bytes,
+            &self.dfs_read_bytes,
+            &self.dfs_local_read_bytes,
+            &self.dfs_write_bytes,
+            &self.state_handoff_bytes,
+            &self.broadcast_bytes,
+            &self.checkpoint_bytes,
+            &self.jobs_launched,
+            &self.tasks_launched,
+            &self.migrations,
+            &self.map_input_records,
+            &self.reduce_input_records,
+        ]
+    }
+
+    /// Clears every counter (between experiment runs or between the
+    /// jobs of a multi-run comparison on one shared registry).
+    pub fn reset_all(&self) {
+        for counter in self.counters() {
+            counter.reset();
+        }
+    }
+
+    /// Clears every counter. Alias of [`Metrics::reset_all`], retained
+    /// for existing call sites.
     pub fn reset(&self) {
-        self.shuffle_remote_bytes.reset();
-        self.shuffle_local_bytes.reset();
-        self.dfs_read_bytes.reset();
-        self.dfs_local_read_bytes.reset();
-        self.dfs_write_bytes.reset();
-        self.state_handoff_bytes.reset();
-        self.broadcast_bytes.reset();
-        self.checkpoint_bytes.reset();
-        self.jobs_launched.reset();
-        self.tasks_launched.reset();
-        self.migrations.reset();
-        self.map_input_records.reset();
-        self.reduce_input_records.reset();
+        self.reset_all();
     }
 
     /// A point-in-time snapshot of all counters, for reporting.
@@ -209,6 +227,17 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(m.tasks_launched.get(), 8_000);
+    }
+
+    #[test]
+    fn reset_all_clears_every_counter() {
+        let m = Metrics::default();
+        for counter in m.counters() {
+            counter.add(1);
+        }
+        assert_ne!(m.snapshot(), MetricsSnapshot::default());
+        m.reset_all();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -4,10 +4,9 @@
 
 use crate::cost::CostModel;
 use crate::time::VDuration;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a simulated worker node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -24,7 +23,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Per-node hardware description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Relative CPU speed: 1.0 is the reference core; 0.5 takes twice as
     /// long per record. Heterogeneous presets vary this, which is what
@@ -38,12 +37,16 @@ pub struct NodeSpec {
 
 impl Default for NodeSpec {
     fn default() -> Self {
-        NodeSpec { speed: 1.0, map_slots: 2, reduce_slots: 2 }
+        NodeSpec {
+            speed: 1.0,
+            map_slots: 2,
+            reduce_slots: 2,
+        }
     }
 }
 
 /// Full description of a simulated cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Human-readable preset name, carried into experiment output.
     pub name: String,
@@ -57,7 +60,11 @@ impl ClusterSpec {
     /// A cluster of `n` identical nodes under the given cost model.
     pub fn uniform(name: impl Into<String>, n: usize, cost: CostModel) -> Self {
         assert!(n > 0, "a cluster needs at least one node");
-        ClusterSpec { name: name.into(), nodes: vec![NodeSpec::default(); n], cost }
+        ClusterSpec {
+            name: name.into(),
+            nodes: vec![NodeSpec::default(); n],
+            cost,
+        }
     }
 
     /// The paper's local cluster: 4 dual-core nodes on a 1 Gbps switch.

@@ -10,14 +10,13 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub};
-use serde::{Deserialize, Serialize};
 
 /// A span of virtual time, stored as integer nanoseconds.
 ///
 /// Nanosecond integer resolution keeps arithmetic exact and ordering
 /// total, which in turn keeps the whole simulation deterministic: two
 /// runs with the same inputs produce bit-identical timelines.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VDuration(u64);
 
 impl VDuration {
@@ -85,7 +84,11 @@ impl VDuration {
 impl Add for VDuration {
     type Output = VDuration;
     fn add(self, rhs: VDuration) -> VDuration {
-        VDuration(self.0.checked_add(rhs.0).expect("virtual duration overflow"))
+        VDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual duration overflow"),
+        )
     }
 }
 
@@ -98,7 +101,11 @@ impl AddAssign for VDuration {
 impl Sub for VDuration {
     type Output = VDuration;
     fn sub(self, rhs: VDuration) -> VDuration {
-        VDuration(self.0.checked_sub(rhs.0).expect("virtual duration underflow"))
+        VDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual duration underflow"),
+        )
     }
 }
 
@@ -137,7 +144,7 @@ impl fmt::Display for VDuration {
 
 /// An instant on the virtual timeline, measured from the start of the
 /// simulated computation.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VInstant(u64);
 
 impl VInstant {

@@ -3,10 +3,9 @@
 
 use crate::metrics::MetricsSnapshot;
 use crate::time::{VDuration, VInstant};
-use serde::{Deserialize, Serialize};
 
 /// The outcome of one iterative run on one engine, in virtual time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Engine/variant label, e.g. `"MapReduce"` or `"iMapReduce (sync.)"`.
     pub label: String,
@@ -16,7 +15,6 @@ pub struct RunReport {
     /// Virtual instant the whole run finished (final output on DFS).
     pub finished: VInstant,
     /// Metric counters accumulated during the run.
-    #[serde(skip)]
     pub metrics: MetricsSnapshot,
 }
 

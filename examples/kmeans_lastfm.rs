@@ -37,12 +37,9 @@ fn main() {
     println!(
         "combiner:  10 iterations in {} (shuffled {} bytes, {:.0}% time saved)",
         combined.report.finished,
-        combined.report.metrics.shuffle_remote_bytes
-            + combined.report.metrics.shuffle_local_bytes,
+        combined.report.metrics.shuffle_remote_bytes + combined.report.metrics.shuffle_local_bytes,
         100.0
-            * (1.0
-                - combined.report.finished.as_secs_f64()
-                    / plain.report.finished.as_secs_f64())
+            * (1.0 - combined.report.finished.as_secs_f64() / plain.report.finished.as_secs_f64())
     );
 
     // Identical centroids either way.

@@ -18,13 +18,19 @@ fn main() {
     // iMapReduce: two persistent phases per pair, local hand-offs.
     let imr = imr_runner_on(ClusterSpec::local(4));
     let a = matpower::run_matpower_imr(&imr, &m, 2, iterations).expect("imr");
-    println!("iMapReduce: {} iterations in {}", a.iterations, a.report.finished);
+    println!(
+        "iMapReduce: {} iterations in {}",
+        a.iterations, a.report.finished
+    );
 
     // Baseline: two chained Hadoop jobs per iteration, M reloaded and
     // reshuffled every time.
     let mr = mr_runner_on(ClusterSpec::local(4));
     let b = matpower::run_matpower_mr(&mr, &m, 2, iterations).expect("mr");
-    println!("MapReduce:  {} iterations in {}", b.iterations, b.report.finished);
+    println!(
+        "MapReduce:  {} iterations in {}",
+        b.iterations, b.report.finished
+    );
     println!(
         "speedup: {:.2}x (paper: ~10% — the Map2/Reduce2 shuffle dominates)",
         b.report.finished.as_secs_f64() / a.report.finished.as_secs_f64()

@@ -27,7 +27,13 @@ impl IterativeJob for PageRank {
     type S = f64; // ranking score (state data)
     type T = Vec<u32>; // outbound neighbors (static data)
 
-    fn map(&self, k: &u32, state: StateInput<'_, u32, f64>, adj: &Vec<u32>, out: &mut Emitter<u32, f64>) {
+    fn map(
+        &self,
+        k: &u32,
+        state: StateInput<'_, u32, f64>,
+        adj: &Vec<u32>,
+        out: &mut Emitter<u32, f64>,
+    ) {
         // Retain (1-d)/N, spread d*R(u)/|N+(u)| to the neighbors.
         out.emit(*k, (1.0 - self.damping) / self.n as f64);
         if !adj.is_empty() {
@@ -63,8 +69,15 @@ fn main() {
     // statepath / staticpath, co-partitioned over 4 task pairs.
     let mut clock = TaskClock::default();
     let ranks: Vec<(u32, f64)> = (0..n as u32).map(|u| (u, 1.0 / n as f64)).collect();
-    load_partitioned(runner.dfs(), "/pr/state", ranks, 4, |k, t| job.partition(k, t), &mut clock)
-        .expect("load state");
+    load_partitioned(
+        runner.dfs(),
+        "/pr/state",
+        ranks,
+        4,
+        |k, t| job.partition(k, t),
+        &mut clock,
+    )
+    .expect("load state");
     load_partitioned(
         runner.dfs(),
         "/pr/static",
@@ -83,8 +96,7 @@ fn main() {
 
     println!(
         "PageRank converged after {} iterations ({} of virtual time)",
-        out.iterations,
-        out.report.finished
+        out.iterations, out.report.finished
     );
 
     // Cross-check against a sequential power iteration.

@@ -40,17 +40,34 @@ fn main() {
     // Same computation, but node 2 dies after iteration 5.
     let runner2 = imr_runner_on(ClusterSpec::local(4));
     sssp::load_sssp_imr(&runner2, &graph, 0, 4, "/s/state", "/s/static").expect("load");
-    let failures = [FailureEvent { node: NodeId(2), at_iteration: 5 }];
+    let failures = [FailureEvent {
+        node: NodeId(2),
+        at_iteration: 5,
+    }];
     let failed = runner2
-        .run(&SsspIter, &cfg, "/s/state", "/s/static", "/s/out", &failures)
+        .run(
+            &SsspIter,
+            &cfg,
+            "/s/state",
+            "/s/static",
+            "/s/out",
+            &failures,
+        )
         .expect("failure run");
     println!(
         "failed run: {} iterations, {} recovery, finished at {}",
         failed.iterations, failed.recoveries, failed.report.finished
     );
 
-    assert_eq!(clean.final_state, failed.final_state, "recovery must be exact");
-    let reachable = clean.final_state.iter().filter(|(_, d)| d.is_finite()).count();
+    assert_eq!(
+        clean.final_state, failed.final_state,
+        "recovery must be exact"
+    );
+    let reachable = clean
+        .final_state
+        .iter()
+        .filter(|(_, d)| d.is_finite())
+        .count();
     println!(
         "distances identical; {} of {} users reachable from the seed",
         reachable,

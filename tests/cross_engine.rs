@@ -3,7 +3,7 @@
 //! sequential references.
 
 use imapreduce::IterConfig;
-use imr_algorithms::testutil::{imr_runner, imr_runner_on, mr_runner};
+use imr_algorithms::testutil::{imr_runner, imr_runner_on, mr_runner, native_runner};
 use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
 use imr_graph::{dataset, generate_matrix, generate_points};
 use imr_simcluster::{ClusterSpec, NodeId, TaskClock};
@@ -98,6 +98,96 @@ fn jacobi_converges_on_ec2_preset() {
     assert!(jacobi::residual(&system, &x) < 1e-8);
 }
 
+/// SSSP on the native thread-per-pair backend: bit-identical to the
+/// virtual-time engine and the sequential reference, across thread
+/// counts and both triggering modes.
+#[test]
+fn native_sssp_matches_sim_and_reference() {
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let iters = 6;
+    let expect = sssp::reference_sssp_rounds(&g, 0, iters);
+    for tasks in [1usize, 4] {
+        for sync in [false, true] {
+            let mut cfg = IterConfig::new("sssp", tasks, iters);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let sim = imr_runner(4);
+            let a = sssp::run_sssp_imr(&sim, &g, 0, &cfg).unwrap();
+            let nat = native_runner(4);
+            let b = sssp::run_sssp_imr(&nat, &g, 0, &cfg).unwrap();
+            assert_eq!(a.final_state, b.final_state, "tasks={tasks} sync={sync}");
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.distances, b.distances);
+            for (k, d) in &b.final_state {
+                let e = expect[*k as usize];
+                assert!(
+                    (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                    "node {k}: native={d} ref={e}"
+                );
+            }
+        }
+    }
+}
+
+/// PageRank: native equals the simulation engine exactly and the
+/// sequential reference to floating-point noise.
+#[test]
+fn native_pagerank_matches_sim_and_reference() {
+    let g = dataset("Google").unwrap().generate(0.003);
+    let iters = 8;
+    let expect = pagerank::reference_pagerank(&g, 0.85, iters);
+    for tasks in [1usize, 4] {
+        for sync in [false, true] {
+            let mut cfg = IterConfig::new("pr", tasks, iters);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let sim = imr_runner(4);
+            let a = pagerank::run_pagerank_imr(&sim, &g, &cfg).unwrap();
+            let nat = native_runner(4);
+            let b = pagerank::run_pagerank_imr(&nat, &g, &cfg).unwrap();
+            assert_eq!(a.final_state, b.final_state, "tasks={tasks} sync={sync}");
+            assert_eq!(a.iterations, b.iterations);
+            for (k, v) in &b.final_state {
+                assert!((v - expect[*k as usize]).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+/// K-means (one2all broadcast): native equals the simulation engine
+/// exactly at every thread count.
+#[test]
+fn native_kmeans_matches_sim() {
+    let points = generate_points(400, 5, 3, 77);
+    for tasks in [1usize, 4] {
+        let cfg = IterConfig::new("km", tasks, 6).with_one2all();
+        let sim = imr_runner(4);
+        let a = kmeans::run_kmeans_imr(&sim, &points, 3, &cfg, false).unwrap();
+        let nat = native_runner(4);
+        let b = kmeans::run_kmeans_imr(&nat, &points, 3, &cfg, false).unwrap();
+        assert_eq!(a.final_state, b.final_state, "tasks={tasks}");
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+/// Distance-threshold termination agrees across backends: both stop at
+/// the same iteration with the same distance trace.
+#[test]
+fn native_termination_matches_sim() {
+    let g = dataset("DBLP").unwrap().generate(0.004);
+    let cfg = IterConfig::new("sssp", 3, 64).with_distance_threshold(1e-12);
+    let sim = imr_runner(3);
+    let a = sssp::run_sssp_imr(&sim, &g, 0, &cfg).unwrap();
+    let nat = native_runner(3);
+    let b = sssp::run_sssp_imr(&nat, &g, 0, &cfg).unwrap();
+    assert!(a.iterations < 64, "converged before the cap");
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.distances, b.distances);
+    assert_eq!(a.final_state, b.final_state);
+}
+
 #[test]
 fn bigger_clusters_run_faster() {
     // The scaling claim (Figs. 12-13) end to end: more EC2 instances,
@@ -116,7 +206,8 @@ fn bigger_clusters_run_faster() {
         assert!(t_imr < prev_imr, "iMapReduce did not scale at n={n}");
         prev_imr = t_imr;
 
-        let mr = imr_algorithms::testutil::mr_runner_on(ClusterSpec::ec2(n).with_sample_scale(scale));
+        let mr =
+            imr_algorithms::testutil::mr_runner_on(ClusterSpec::ec2(n).with_sample_scale(scale));
         let b = sssp::run_sssp_mr(&mr, &g, 0, n, 4, None).unwrap();
         let t_mr = b.report.finished.as_secs_f64();
         assert!(t_mr < prev_mr, "MapReduce did not scale at n={n}");

@@ -13,14 +13,22 @@ fn imr_run() -> (VInstant, Vec<VInstant>, MetricsSnapshot) {
     let r = imr_runner_on(ClusterSpec::ec2(10));
     let cfg = IterConfig::new("pr", 10, 5).with_distance_threshold(1e-7);
     let out = pagerank::run_pagerank_imr(&r, &g, &cfg).unwrap();
-    (out.report.finished, out.report.iteration_done, out.report.metrics)
+    (
+        out.report.finished,
+        out.report.iteration_done,
+        out.report.metrics,
+    )
 }
 
 fn mr_run() -> (VInstant, Vec<VInstant>, MetricsSnapshot) {
     let g = dataset("Google").unwrap().generate(0.002);
     let r = mr_runner_on(ClusterSpec::ec2(10));
     let out = pagerank::run_pagerank_mr(&r, &g, 10, 5, None).unwrap();
-    (out.report.finished, out.report.iteration_done, out.report.metrics)
+    (
+        out.report.finished,
+        out.report.iteration_done,
+        out.report.metrics,
+    )
 }
 
 #[test]
@@ -65,5 +73,8 @@ fn sync_and_async_runs_share_straggler_patterns() {
     };
     let sync_t = run(true);
     let async_t = run(false);
-    assert!(async_t <= sync_t, "async {async_t} slower than sync {sync_t}");
+    assert!(
+        async_t <= sync_t,
+        "async {async_t} slower than sync {sync_t}"
+    );
 }

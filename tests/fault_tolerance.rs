@@ -12,13 +12,21 @@ fn run_with_failures(failures: &[FailureEvent], ckpt: usize) -> imapreduce::Iter
     let runner = imr_runner_on(ClusterSpec::local(4));
     sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
     let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(ckpt);
-    runner.run(&SsspIter, &cfg, "/s", "/t", "/o", failures).unwrap()
+    runner
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", failures)
+        .unwrap()
 }
 
 #[test]
 fn single_failure_recovers_exactly() {
     let clean = run_with_failures(&[], 2);
-    let failed = run_with_failures(&[FailureEvent { node: NodeId(1), at_iteration: 4 }], 2);
+    let failed = run_with_failures(
+        &[FailureEvent {
+            node: NodeId(1),
+            at_iteration: 4,
+        }],
+        2,
+    );
     assert_eq!(failed.recoveries, 1);
     assert_eq!(clean.final_state, failed.final_state);
     assert!(failed.report.finished > clean.report.finished);
@@ -29,8 +37,14 @@ fn multiple_failures_recover_exactly() {
     let clean = run_with_failures(&[], 2);
     let failed = run_with_failures(
         &[
-            FailureEvent { node: NodeId(1), at_iteration: 3 },
-            FailureEvent { node: NodeId(3), at_iteration: 6 },
+            FailureEvent {
+                node: NodeId(1),
+                at_iteration: 3,
+            },
+            FailureEvent {
+                node: NodeId(3),
+                at_iteration: 6,
+            },
         ],
         2,
     );
@@ -42,7 +56,13 @@ fn multiple_failures_recover_exactly() {
 fn failure_immediately_after_checkpoint_rolls_back_minimally() {
     let clean = run_with_failures(&[], 4);
     // Checkpoint at iteration 4, failure right after.
-    let failed = run_with_failures(&[FailureEvent { node: NodeId(2), at_iteration: 4 }], 4);
+    let failed = run_with_failures(
+        &[FailureEvent {
+            node: NodeId(2),
+            at_iteration: 4,
+        }],
+        4,
+    );
     assert_eq!(clean.final_state, failed.final_state);
     assert_eq!(clean.iterations, failed.iterations);
 }
@@ -56,9 +76,17 @@ fn load_balancing_and_failures_compose() {
     sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
     let cfg = IterConfig::new("sssp", 4, 10)
         .with_checkpoint_interval(1)
-        .with_load_balance(LoadBalance { deviation: 0.3, max_migrations: 2 });
-    let failures = [FailureEvent { node: NodeId(3), at_iteration: 6 }];
-    let out = runner.run(&SsspIter, &cfg, "/s", "/t", "/o", &failures).unwrap();
+        .with_load_balance(LoadBalance {
+            deviation: 0.3,
+            max_migrations: 2,
+        });
+    let failures = [FailureEvent {
+        node: NodeId(3),
+        at_iteration: 6,
+    }];
+    let out = runner
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", &failures)
+        .unwrap();
     assert_eq!(out.recoveries, 1);
 
     // Results still match the reference despite migration + failure.

@@ -2,7 +2,7 @@
 //! inputs.
 
 use imapreduce::IterConfig;
-use imr_algorithms::testutil::imr_runner;
+use imr_algorithms::testutil::{imr_runner, native_runner};
 use imr_algorithms::{pagerank, sssp};
 use imr_graph::{
     generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist,
@@ -67,5 +67,40 @@ proptest! {
             prop_assert!(w[0] < w[1]);
         }
         prop_assert!(out.report.finished >= *times.last().unwrap());
+    }
+
+    /// The native multi-threaded backend, running asynchronously on
+    /// several worker threads, reproduces the sequential SSSP reference
+    /// bit for bit on arbitrary graphs (min-relaxation is
+    /// order-independent, so thread interleaving must not show).
+    #[test]
+    fn native_async_matches_sequential_reference(seed in any::<u64>(), n in 20usize..80) {
+        let g = generate_weighted_graph(n, n as u64 * 3, sssp_degree_dist(), sssp_weight_dist(), seed);
+        let iters = 8;
+        let r = native_runner(3);
+        let cfg = IterConfig::new("sssp", 3, iters);
+        let out = sssp::run_sssp_imr(&r, &g, 0, &cfg).unwrap();
+        let expect = sssp::reference_sssp_rounds(&g, 0, iters);
+        prop_assert_eq!(out.final_state.len(), n);
+        for (k, d) in &out.final_state {
+            let e = expect[*k as usize];
+            prop_assert!(
+                *d == e || (d.is_infinite() && e.is_infinite()),
+                "node {}: native={} ref={}", k, d, e
+            );
+        }
+    }
+
+    /// Sync-mode native runs are deterministic: two runs over the same
+    /// inputs produce identical states, distances and iteration counts.
+    #[test]
+    fn native_sync_is_deterministic(seed in any::<u64>(), n in 20usize..60) {
+        let g = generate_graph(n, n as u64 * 3, pagerank_degree_dist(), seed);
+        let cfg = IterConfig::new("pr", 4, 5).with_sync_maps().with_distance_threshold(1e-9);
+        let a = pagerank::run_pagerank_imr(&native_runner(2), &g, &cfg).unwrap();
+        let b = pagerank::run_pagerank_imr(&native_runner(2), &g, &cfg).unwrap();
+        prop_assert_eq!(a.final_state, b.final_state);
+        prop_assert_eq!(a.distances, b.distances);
+        prop_assert_eq!(a.iterations, b.iterations);
     }
 }

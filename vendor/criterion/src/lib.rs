@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's bench targets use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the
+//! `name = ...; config = ...; targets = ...` form and the simple form).
+//! Each benchmark runs `sample_size` timed samples and prints the
+//! median per-iteration wall-clock time — no statistics engine, plots,
+//! or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility, all
+/// variants behave the same here (one input per routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        // Calibration pass: grow iteration count until one sample takes
+        // a measurable slice of time, so cheap routines aren't lost in
+        // timer noise.
+        loop {
+            bencher.samples.clear();
+            f(&mut bencher);
+            let total: Duration = bencher.samples.iter().sum();
+            if total >= Duration::from_millis(1) || bencher.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            bencher.iters_per_sample *= 8;
+        }
+        for _ in 1..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{id:<40} median {} ({} samples)",
+            format_time(median),
+            per_iter.len()
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing: the whole call is measured.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.samples.push(elapsed);
+    }
+}
+
+/// Declares a group function running each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `fn main()` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| std::hint::black_box(2u64) + 2));
+        c.bench_function("batched_sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = bench_group;
+        config = Criterion::default().sample_size(3);
+        targets = trivial,
+    }
+
+    #[test]
+    fn harness_runs_groups() {
+        bench_group();
+    }
+
+    #[test]
+    fn simple_group_form_compiles() {
+        criterion_group!(simple, trivial);
+        simple();
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! Multi-producer multi-consumer FIFO channels, bounded or unbounded,
+//! built on `std::sync::{Mutex, Condvar}`. Semantics match the real
+//! crate for the subset the workspace uses:
+//!
+//! * [`bounded(cap)`](bounded) blocks senders when the queue holds
+//!   `cap` messages — the back-pressure the native iMapReduce runtime
+//!   relies on to model the paper's buffered reduce→map hand-off;
+//! * dropping all [`Sender`]s disconnects the channel: receivers drain
+//!   the queue and then see [`RecvError`];
+//! * dropping all [`Receiver`]s makes further sends fail with
+//!   [`SendError`], returning the rejected message.
+//!
+//! Performance is adequate for coarse-grained segment hand-offs (one
+//! message per task per iteration); no lock-free fast path is needed.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    /// Signalled when a message is pushed or all senders leave.
+    not_empty: Condvar,
+    /// Signalled when a message is popped or all receivers leave.
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone;
+/// carries the unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => write!(f, "receiving on a disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half of a channel. Clonable; the channel disconnects
+/// when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Clonable (MPMC); each message is
+/// delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `cap` queued messages. A `send` on
+/// a full channel blocks until a receiver makes room.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+/// Creates a channel with no capacity bound: `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            buf: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while the channel is full. Fails only
+    /// when every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut state = shared.queue.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match shared.cap {
+                Some(cap) if state.buf.len() >= cap.max(1) => {
+                    state = shared.not_full.wait(state).unwrap();
+                }
+                _ => break,
+            }
+        }
+        state.buf.push_back(msg);
+        drop(state);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    /// Fails once the channel is empty and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut state = shared.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = state.buf.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut state = shared.queue.lock().unwrap();
+        if let Some(msg) = state.buf.pop_front() {
+            drop(state);
+            shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// A blocking iterator draining the channel until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_per_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = thread::spawn(move || {
+            // This send must block until the main thread receives.
+            tx.send(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(9u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(5u8), Err(SendError(5)));
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1_000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1_000);
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Thin wrappers over `std::sync` primitives exposing `parking_lot`'s
+//! poison-free API shape: `lock()`/`read()`/`write()` return guards
+//! directly instead of `Result`s. A poisoned std lock means a thread
+//! panicked while holding it; these wrappers propagate the inner data
+//! anyway (matching `parking_lot`, which has no poisoning at all).
+//! Only the subset this workspace uses is provided — `Mutex`, `RwLock`
+//! and `Barrier`; code needing a condition variable pairs
+//! `std::sync::Condvar` with std locks directly.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{self, PoisonError};
+
+/// Exclusive guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Shared-read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock without poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock without poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reusable cyclic barrier.
+#[derive(Debug)]
+pub struct Barrier {
+    inner: sync::Barrier,
+}
+
+impl Barrier {
+    /// A barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        Barrier {
+            inner: sync::Barrier::new(n),
+        }
+    }
+
+    /// Blocks until `n` threads have called `wait`. Returns a result
+    /// whose `is_leader()` is true for exactly one thread per
+    /// generation.
+    pub fn wait(&self) -> BarrierWaitResult {
+        BarrierWaitResult(self.inner.wait().is_leader())
+    }
+}
+
+/// Result of a barrier wait.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierWaitResult(bool);
+
+impl BarrierWaitResult {
+    /// True for the single leader thread of this generation.
+    pub fn is_leader(&self) -> bool {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4_000);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+        drop((a, b));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn barrier_elects_one_leader_per_generation() {
+        let b = Arc::new(Barrier::new(3));
+        for _ in 0..2 {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    thread::spawn(move || b.wait().is_leader())
+                })
+                .collect();
+            let leaders = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&is_leader| is_leader)
+                .count();
+            assert_eq!(leaders, 1);
+        }
+    }
+}

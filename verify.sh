@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local verification: format, lints, release build, tests.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q --workspace
+echo "verify: all checks passed"
