@@ -1,0 +1,107 @@
+//! Recovery overhead on the native multi-threaded backend, in the
+//! spirit of the paper's Fig. 20: PageRank on 4 worker threads, wall
+//! clock for (a) a failure-free run at each checkpoint interval and
+//! (b) the same run with one scripted worker failure mid-job, which the
+//! supervisor rolls back to the last snapshot and replays.
+//!
+//! Smaller intervals checkpoint more often (higher failure-free
+//! overhead) but replay less on failure; the two series expose that
+//! trade-off in real seconds. A no-checkpoint baseline is printed for
+//! reference. Every configuration must produce the same final ranks —
+//! recovery is invisible in results — and the binary asserts this.
+
+use imapreduce::{FailureEvent, IterConfig};
+use imr_algorithms::pagerank::{self, PageRankIter};
+use imr_bench::{BenchOpts, FigureResult};
+use imr_dfs::Dfs;
+use imr_graph::{dataset, Graph};
+use imr_native::NativeRunner;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: usize = 4;
+const INTERVALS: [usize; 3] = [1, 2, 4];
+
+fn runner() -> NativeRunner {
+    // local(4), not local(1): failure events name nodes, and each pair
+    // must map to a real node for the scripted kill to find it.
+    let spec = Arc::new(ClusterSpec::local(THREADS));
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 1, 1 << 26);
+    NativeRunner::new(dfs, metrics)
+}
+
+fn run_once(
+    g: &Graph,
+    iters: usize,
+    interval: usize,
+    failures: &[FailureEvent],
+) -> (f64, Vec<(u32, f64)>) {
+    let r = runner();
+    pagerank::load_pagerank_imr(&r, g, THREADS, "/pr/state", "/pr/static").expect("load");
+    let job = PageRankIter::new(g.num_nodes() as u64);
+    let cfg = IterConfig::new("pr-recovery", THREADS, iters).with_checkpoint_interval(interval);
+    let start = Instant::now();
+    let out = r
+        .run(&job, &cfg, "/pr/state", "/pr/static", "/pr/out", failures)
+        .expect("pagerank run");
+    (start.elapsed().as_secs_f64(), out.final_state)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = opts.scale_or(0.02);
+    let iters = opts.iters_or(8);
+    let fail_at = (iters / 2).max(1);
+
+    let mut fig = FigureResult::new(
+        "native_recovery",
+        "Native checkpoint/rollback recovery overhead (PageRank, 4 threads)",
+        "checkpoint interval (iterations)",
+        "wall-clock seconds",
+    );
+    fig.note(format!(
+        "scale={scale}, iterations={iters}; one scripted failure after iteration {fail_at}; \
+         host wall-clock, not virtual time"
+    ));
+
+    let g = dataset("PageRank-s").unwrap().generate(scale);
+    println!(
+        "PageRank-s @ scale {scale}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let (base_secs, baseline) = run_once(&g, iters, 0, &[]);
+    println!("  no checkpointing, no failure: {base_secs:.3} s");
+    fig.note(format!(
+        "no-checkpoint failure-free baseline: {base_secs:.3} s"
+    ));
+
+    let failure = [FailureEvent {
+        node: NodeId(1),
+        at_iteration: fail_at,
+    }];
+    let mut clean_pts = Vec::new();
+    let mut failed_pts = Vec::new();
+    for interval in INTERVALS {
+        let (clean_secs, clean_state) = run_once(&g, iters, interval, &[]);
+        let (failed_secs, failed_state) = run_once(&g, iters, interval, &failure);
+        println!("  interval {interval}: clean {clean_secs:.3} s, with failure {failed_secs:.3} s");
+        assert_eq!(
+            clean_state, baseline,
+            "checkpointing changed the PageRank result"
+        );
+        assert_eq!(
+            failed_state, baseline,
+            "recovery changed the PageRank result"
+        );
+        clean_pts.push((interval as f64, clean_secs));
+        failed_pts.push((interval as f64, failed_secs));
+    }
+    fig.push_series("no failure", clean_pts);
+    fig.push_series(format!("failure after iteration {fail_at}"), failed_pts);
+
+    fig.emit(&opts.out_root);
+}

@@ -40,6 +40,11 @@ impl Default for LoadBalance {
 /// A scripted worker failure, used by fault-tolerance tests and the
 /// recovery experiments: `node` dies once iteration `at_iteration` has
 /// completed.
+///
+/// Both engines place pair `p` on `ClusterSpec::assign_pairs(n)[p]`, so
+/// an event naming a node kills the same task pairs everywhere. On the
+/// native backend the pairs hosted by `node` exit at that exact point
+/// and the supervisor replays from the last complete checkpoint epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureEvent {
     /// The node that fails.

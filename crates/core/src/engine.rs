@@ -87,16 +87,11 @@ impl IterativeRunner {
     /// (every pair needs a map slot and a reduce slot for the whole
     /// run, §3.1.1).
     pub fn pair_capacity(&self) -> usize {
-        self.cluster
-            .nodes
-            .iter()
-            .map(|n| n.map_slots.min(n.reduce_slots))
-            .sum()
+        self.cluster.pair_capacity()
     }
 
     fn node_pair_capacity(&self, node: NodeId) -> usize {
-        let n = &self.cluster.nodes[node.index()];
-        n.map_slots.min(n.reduce_slots)
+        self.cluster.node_pair_capacity(node)
     }
 
     /// Runs `job` to termination.
@@ -134,21 +129,9 @@ impl IterativeRunner {
 
         // ---- One-time initialization (persistent task launch + load) --
         let job_start = VInstant::EPOCH + cost.job_setup;
-        let nodes = self.cluster.len();
-        let mut assignment: Vec<NodeId> = Vec::with_capacity(n);
-        {
-            // Round-robin over nodes, respecting per-node pair capacity.
-            let mut per_node = vec![0usize; nodes];
-            let mut node = 0usize;
-            for _ in 0..n {
-                while per_node[node] >= self.node_pair_capacity(NodeId(node as u32)) {
-                    node = (node + 1) % nodes;
-                }
-                assignment.push(NodeId(node as u32));
-                per_node[node] += 1;
-                node = (node + 1) % nodes;
-            }
-        }
+        // Round-robin placement over nodes, shared with the native
+        // backend so failure events name the same pairs in both engines.
+        let mut assignment: Vec<NodeId> = self.cluster.assign_pairs(n);
 
         let mut static_store: Vec<Vec<(J::K, J::T)>> = Vec::with_capacity(n);
         let mut static_bytes: Vec<u64> = Vec::with_capacity(n);
@@ -483,7 +466,7 @@ impl IterativeRunner {
             // ---- Checkpointing (parallel with computation) -----------
             if !done && cfg.checkpoint_interval > 0 && iter.is_multiple_of(cfg.checkpoint_interval)
             {
-                let dir = format!("{}/_ckpt/iter-{iter:04}", output_dir.trim_end_matches('/'));
+                let dir = imr_dfs::snapshot_dir(output_dir, iter);
                 self.write_checkpoint::<J>(
                     &dir,
                     &state_store,
@@ -642,7 +625,7 @@ impl IterativeRunner {
             };
             let mut off_path = TaskClock::default();
             self.dfs
-                .put(&part_path(dir, q), payload, assignment[q], &mut off_path)?;
+                .put_atomic(&part_path(dir, q), payload, assignment[q], &mut off_path)?;
         }
         let written = self.metrics.dfs_write_bytes.get() - before;
         self.metrics.checkpoint_bytes.add(written);

@@ -34,8 +34,13 @@ pub trait IterEngine {
     /// * `static_dir` — static data parts, co-partitioned with the
     ///   state;
     /// * `output_dir` — final state parts are committed here;
-    /// * `failures` — scripted worker failures (backends without fault
-    ///   injection reject a non-empty list).
+    /// * `failures` — scripted worker failures. Both backends inject
+    ///   them deterministically and recover from checkpoints (§3.4.1);
+    ///   a run with failures must produce the same `final_state`,
+    ///   `iterations` and `distances` as a failure-free run. The native
+    ///   backend requires `checkpoint_interval > 0` when `failures` is
+    ///   non-empty (it has no in-memory iteration-0 snapshot to fall
+    ///   back on) and returns a configuration error otherwise.
     fn run<J: IterativeJob>(
         &self,
         job: &J,

@@ -243,6 +243,50 @@ impl Dfs {
         self.write(path, data, writer, clock)
     }
 
+    /// Atomically renames `from` to `to`, replacing any existing file at
+    /// `to` (POSIX rename semantics). Blocks do not move; this is a
+    /// namenode metadata operation, so readers never observe a partially
+    /// written file at `to`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), DfsError> {
+        let mut inner = self.inner.write();
+        if inner.name.file(from).is_none() {
+            return Err(DfsError::NotFound(from.to_owned()));
+        }
+        if let Some(blocks) = inner.name.remove_file(to) {
+            for store in &mut inner.stores {
+                for b in &blocks {
+                    store.remove(b);
+                }
+            }
+        }
+        let renamed = inner.name.rename_file(from, to);
+        debug_assert!(renamed, "rename target still busy after removal");
+        Ok(())
+    }
+
+    /// Crash-safe overwrite: writes to a hidden temporary file in the
+    /// same directory, then renames over `path`. A reader (or a
+    /// recovering worker) either sees the complete old file or the
+    /// complete new one, never a torn write — which is what checkpoint
+    /// snapshots require.
+    pub fn put_atomic(
+        &self,
+        path: &str,
+        data: Bytes,
+        writer: NodeId,
+        clock: &mut TaskClock,
+    ) -> Result<(), DfsError> {
+        let (dir, name) = path.rsplit_once('/').unwrap_or(("", path));
+        // Hidden name: never matches the `part-` prefix listings used
+        // for dataset enumeration.
+        let tmp = format!("{dir}/.{name}.tmp");
+        if self.exists(&tmp) {
+            self.delete(&tmp)?;
+        }
+        self.write(&tmp, data, writer, clock)?;
+        self.rename(&tmp, path)
+    }
+
     /// Marks a node failed: its replicas become unreadable. Blocks whose
     /// last replica lived there are lost (reads will error).
     pub fn fail_node(&self, node: NodeId) {
@@ -442,6 +486,53 @@ mod tests {
         fs.delete("/a/1").unwrap();
         assert!(!fs.exists("/a/1"));
         assert_eq!(fs.delete("/a/1"), Err(DfsError::NotFound("/a/1".into())));
+    }
+
+    #[test]
+    fn rename_moves_metadata_and_overwrites() {
+        let fs = dfs(3, 2, 64);
+        let mut clock = TaskClock::default();
+        fs.write("/d/a", Bytes::from_static(b"new"), NodeId(0), &mut clock)
+            .unwrap();
+        fs.write("/d/b", Bytes::from_static(b"old"), NodeId(1), &mut clock)
+            .unwrap();
+        fs.rename("/d/a", "/d/b").unwrap();
+        assert!(!fs.exists("/d/a"));
+        assert_eq!(
+            fs.read("/d/b", NodeId(2), &mut clock).unwrap(),
+            Bytes::from_static(b"new")
+        );
+        assert_eq!(
+            fs.rename("/d/a", "/d/c"),
+            Err(DfsError::NotFound("/d/a".into()))
+        );
+    }
+
+    #[test]
+    fn put_atomic_overwrites_and_leaves_no_tmp() {
+        let fs = dfs(3, 2, 64);
+        let mut clock = TaskClock::default();
+        fs.put_atomic(
+            "/ck/part-00000",
+            Bytes::from_static(b"v1"),
+            NodeId(0),
+            &mut clock,
+        )
+        .unwrap();
+        fs.put_atomic(
+            "/ck/part-00000",
+            Bytes::from_static(b"v2"),
+            NodeId(1),
+            &mut clock,
+        )
+        .unwrap();
+        assert_eq!(
+            fs.read("/ck/part-00000", NodeId(2), &mut clock).unwrap(),
+            Bytes::from_static(b"v2")
+        );
+        // The temporary is hidden from `part-` listings and cleaned up.
+        assert_eq!(fs.list("/ck/part-"), vec!["/ck/part-00000".to_string()]);
+        assert_eq!(fs.list("/ck/."), Vec::<String>::new());
     }
 
     #[test]

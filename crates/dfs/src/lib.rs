@@ -12,9 +12,11 @@
 
 mod client;
 mod name;
+mod snapshot;
 
 pub use client::{Dfs, DfsError, DEFAULT_BLOCK_SIZE};
 pub use name::{BlockId, FileMeta, NameNode};
+pub use snapshot::{snapshot_dir, snapshot_epochs};
 
 #[cfg(test)]
 mod proptests {

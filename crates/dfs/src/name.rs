@@ -94,6 +94,22 @@ impl NameNode {
         Some(meta.blocks)
     }
 
+    /// Renames a file, moving metadata only (blocks stay where they
+    /// are). Returns `false` if the source is missing or the target
+    /// already exists.
+    pub fn rename_file(&mut self, from: &str, to: &str) -> bool {
+        if self.files.contains_key(to) {
+            return false;
+        }
+        match self.files.remove(from) {
+            Some(meta) => {
+                self.files.insert(to.to_owned(), meta);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drops every replica hosted on `node` (node failure). Returns the
     /// blocks that lost their last replica.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<BlockId> {

@@ -1,0 +1,72 @@
+//! Checkpoint snapshot naming shared by both engines (paper §3.4.1).
+//!
+//! A snapshot of iteration `i` for a job writing to `output_dir` lives
+//! in `<output_dir>/_ckpt/iter-<i:04>/part-<q:05>`, one part per
+//! persistent task pair. Both engines use this layout, so a recovery
+//! test can inspect exactly which epochs a run left behind.
+
+use crate::Dfs;
+
+/// The DFS directory holding the snapshot of iteration `iter`.
+pub fn snapshot_dir(output_dir: &str, iter: usize) -> String {
+    format!("{}/_ckpt/iter-{iter:04}", output_dir.trim_end_matches('/'))
+}
+
+/// The snapshot epochs present under `output_dir`, sorted ascending.
+/// An epoch is listed if at least one of its part files exists; callers
+/// that need a *complete* epoch must check every part.
+pub fn snapshot_epochs(dfs: &Dfs, output_dir: &str) -> Vec<usize> {
+    let prefix = format!("{}/_ckpt/iter-", output_dir.trim_end_matches('/'));
+    let mut epochs: Vec<usize> = dfs
+        .list(&prefix)
+        .iter()
+        .filter_map(|path| {
+            let rest = &path[prefix.len()..];
+            let digits = rest.split('/').next()?;
+            digits.parse().ok()
+        })
+        .collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    epochs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use imr_simcluster::{ClusterSpec, Metrics, NodeId, TaskClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn naming_is_zero_padded_and_slash_insensitive() {
+        assert_eq!(snapshot_dir("/o", 3), "/o/_ckpt/iter-0003");
+        assert_eq!(snapshot_dir("/o/", 12), "/o/_ckpt/iter-0012");
+        assert!(snapshot_dir("/o", 2) < snapshot_dir("/o", 10));
+    }
+
+    #[test]
+    fn epochs_parse_from_listing() {
+        let fs = Dfs::with_block_size(
+            Arc::new(ClusterSpec::local(2)),
+            Arc::new(Metrics::default()),
+            1,
+            64,
+        );
+        let mut clock = TaskClock::default();
+        for iter in [2usize, 10, 4] {
+            let dir = snapshot_dir("/o", iter);
+            for part in 0..2 {
+                fs.write(
+                    &format!("{dir}/part-{part:05}"),
+                    Bytes::from_static(b"x"),
+                    NodeId(0),
+                    &mut clock,
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(snapshot_epochs(&fs, "/o"), vec![2, 4, 10]);
+        assert_eq!(snapshot_epochs(&fs, "/other"), Vec::<usize>::new());
+    }
+}

@@ -24,6 +24,9 @@ pub enum EngineError {
     /// A native worker thread failed or lost its peers (its channels
     /// disconnected because another worker aborted first).
     Worker(String),
+    /// The run configuration is inconsistent with what was requested
+    /// (e.g. fault injection without checkpointing enabled).
+    Config(String),
 }
 
 impl fmt::Display for EngineError {
@@ -33,6 +36,7 @@ impl fmt::Display for EngineError {
             EngineError::Codec(e) => write!(f, "engine: {e}"),
             EngineError::EmptyInput(d) => write!(f, "engine: input directory {d} has no parts"),
             EngineError::Worker(msg) => write!(f, "engine: worker thread: {msg}"),
+            EngineError::Config(msg) => write!(f, "engine: invalid configuration: {msg}"),
         }
     }
 }

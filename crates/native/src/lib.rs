@@ -13,9 +13,9 @@
 //!   of a slow consumer before back-pressure stalls it.
 //! * **Asynchronous map execution** (§3.3) — by default a pair starts
 //!   its next map as soon as *its own* reduce finished; no global
-//!   barrier. `IterConfig::with_sync_maps` inserts a
-//!   [`parking_lot::Barrier`] before every map phase instead (the
-//!   paper's "iMapReduce (sync.)" variant).
+//!   barrier. `IterConfig::with_sync_maps` inserts a barrier before
+//!   every map phase instead (the paper's "iMapReduce (sync.)"
+//!   variant).
 //! * **one2all broadcast** (§5.1) — reduce outputs meet in shared
 //!   slots under a barrier; every map rebuilds the global state list in
 //!   task order, so the broadcast state is byte-identical on all pairs.
@@ -23,6 +23,20 @@
 //!   slots; every pair evaluates the same threshold verdict over the
 //!   same task-ordered float sum, so all pairs stop at the same
 //!   iteration without a master round-trip.
+//! * **Checkpointing and rollback** (§3.4.1) — every
+//!   `cfg.checkpoint_interval` iterations each pair atomically snapshots
+//!   its reduce-side state to the DFS (`<out>/_ckpt/iter-NNNN/part-*`).
+//!   Scripted [`FailureEvent`]s make the pairs hosted on the named node
+//!   exit at the exact scripted iteration; the supervisor in
+//!   [`NativeRunner::run`] detects the dead generation, rolls every pair
+//!   back to the last checkpoint epoch completed by *all* pairs, and
+//!   respawns the whole group from that snapshot. Async peers blocked on
+//!   a dead pair's channels or barriers unwind via channel disconnects
+//!   and a poisonable [`fault::FaultBarrier`], discard their uncommitted
+//!   iterations, and replay — the same roll-everyone-back semantics the
+//!   simulation engine models. Because replay is deterministic, a run
+//!   with injected failures produces the same `final_state`,
+//!   `iterations` and `distances` as a failure-free run.
 //!
 //! Determinism: every data-path step (partition fill order, stable
 //! sorts, run merging in task order, carry-forward, task-ordered float
@@ -30,14 +44,17 @@
 //! job, inputs and configuration the two backends produce identical
 //! `final_state`, `iterations` and `distances` — only the `report`
 //! timeline differs (wall-clock here, virtual time there). The
-//! cross-engine test suite pins this down per algorithm.
+//! cross-engine test suite pins this down per algorithm, with and
+//! without injected failures.
 //!
-//! Not supported natively: scripted failure injection, checkpoint
-//! rollback and migration-based load balancing — those model cluster
-//! behaviour and live in the simulation engine (native checkpointing is
-//! tracked as a roadmap item). `checkpoint_interval` and
-//! `eager_handoff` are accepted and ignored: both only shape the
-//! virtual-time cost model, never the data path.
+//! Not supported natively: migration-based load balancing — it models
+//! cluster heterogeneity and lives in the simulation engine.
+//! `eager_handoff` is accepted and ignored: it only shapes the
+//! virtual-time cost model, never the data path. Unlike the simulation
+//! engine (which snapshots iteration 0 in master memory), recovery here
+//! needs a DFS snapshot to reload, so a non-empty `failures` list with
+//! `checkpoint_interval == 0` is rejected up front with a configuration
+//! error instead of hanging or silently ignoring the script.
 
 #![forbid(unsafe_code)]
 // The channel matrix is built by (p, q) index on purpose — the indices
@@ -46,18 +63,22 @@
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 #![warn(missing_docs)]
 
+pub mod fault;
+
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
+use fault::FaultBarrier;
 use imapreduce::{
     carry_forward, distance_sorted, Emitter, FailureEvent, IterConfig, IterEngine, IterOutcome,
     IterativeJob, Mapping, StateInput,
 };
-use imr_dfs::Dfs;
-use imr_mapreduce::io::{num_parts, part_path, read_part};
+use imr_dfs::{snapshot_dir, snapshot_epochs, Dfs};
+use imr_mapreduce::io::{delete_dir, num_parts, part_path, read_part};
 use imr_mapreduce::EngineError;
 use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
 use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
-use parking_lot::{Barrier, Mutex};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -79,16 +100,38 @@ pub struct NativeRunner {
     metrics: MetricsHandle,
 }
 
-/// What one worker thread hands back to the coordinator.
-struct WorkerOut<K, S> {
-    /// The pair's final state partition (sorted by key).
-    final_data: Vec<(K, S)>,
-    /// Per-iteration `(local_distance, had_previous_snapshot)`.
+/// How one worker thread's generation ended.
+enum WorkerOutcome<K, S> {
+    /// Ran to termination; carries the pair's final partition (sorted)
+    /// and the absolute iteration the job stopped at.
+    Finished {
+        final_data: Vec<(K, S)>,
+        iterations: usize,
+    },
+    /// A scripted [`FailureEvent`] fired: the pair exited right after
+    /// completing this absolute iteration.
+    Induced { at_iteration: usize },
+    /// A peer died first: a channel disconnected or a barrier was
+    /// poisoned. The supervisor decides whether this is a recovery
+    /// (some peer's exit was scripted) or an error.
+    Aborted,
+    /// A real failure: DFS, codec, or a panic inside job code.
+    Error(EngineError),
+}
+
+/// Everything one worker thread hands back to the supervisor for one
+/// generation (the span between two rollbacks).
+struct WorkerRun<K, S> {
+    /// Per-iteration `(local_distance, had_previous_snapshot)`, one
+    /// entry per iteration the worker *completed* this generation.
     local_dist: Vec<(f64, bool)>,
-    /// Wall-clock offset of each iteration's reduce completion.
+    /// Wall-clock offset of each completed iteration's reduce, from job
+    /// start (monotone across generations).
     iter_done: Vec<Duration>,
-    /// Iterations this worker executed.
-    iterations: usize,
+    /// The last iteration whose snapshot this worker fully wrote to the
+    /// DFS (the generation's start epoch if it wrote none).
+    last_ckpt: usize,
+    outcome: WorkerOutcome<K, S>,
 }
 
 impl NativeRunner {
@@ -108,8 +151,10 @@ impl NativeRunner {
     }
 
     /// Runs `job` to termination on `cfg.num_tasks` worker threads.
-    /// Arguments mirror [`IterativeRunner::run`]; `failures` must be
-    /// empty (failure injection is a simulation-engine feature).
+    /// Arguments mirror [`IterativeRunner::run`]. Scripted `failures`
+    /// are injected deterministically (see [`FailureEvent`]) and
+    /// recovered from DFS checkpoints; they require
+    /// `cfg.checkpoint_interval > 0`.
     ///
     /// [`IterativeRunner::run`]: imapreduce::IterativeRunner::run
     pub fn run<J: IterativeJob>(
@@ -121,12 +166,16 @@ impl NativeRunner {
         output_dir: &str,
         failures: &[FailureEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
-        assert!(
-            failures.is_empty(),
-            "scripted failure injection is only supported by the simulation engine"
-        );
         let n = cfg.num_tasks;
         let one2all = cfg.mapping == Mapping::One2All;
+        if !failures.is_empty() && cfg.checkpoint_interval == 0 {
+            return Err(EngineError::Config(format!(
+                "native fault injection requires checkpoint_interval > 0: \
+                 {} scripted failure(s) but checkpointing is disabled, \
+                 so there is no snapshot to roll back to",
+                failures.len()
+            )));
+        }
         assert_eq!(
             num_parts(&self.dfs, static_dir),
             n,
@@ -141,83 +190,211 @@ impl NativeRunner {
         }
         self.metrics.jobs_launched.add(1);
 
-        // One persistent channel per (map p → reduce q) link; the self-
-        // loop channel is the paper's persistent local socket. Receivers
-        // are arranged so worker q drains peers in task order 0..n,
-        // which fixes the run order fed to merge_runs.
-        let mut senders: Vec<Vec<Sender<Bytes>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut receivers: Vec<Vec<Receiver<Bytes>>> =
-            (0..n).map(|_| Vec::with_capacity(n)).collect();
-        for p in 0..n {
-            for q in 0..n {
-                let (tx, rx) = bounded(HANDOFF_BUFFER);
-                senders[p].push(tx);
-                receivers[q].push(rx);
-            }
-        }
+        // The shared pair→node placement: a FailureEvent names a node,
+        // and both engines kill the pairs that placement puts there.
+        let mut pending: Vec<FailureEvent> = failures.to_vec();
+        pending.sort_by_key(|f| f.at_iteration);
+        let assignment: Vec<NodeId> = if pending.is_empty() {
+            Vec::new() // clean runs need no slots accounting
+        } else {
+            self.dfs.cluster().assign_pairs(n)
+        };
 
-        let slots: Arc<Vec<Mutex<Option<Vec<(J::K, J::S)>>>>> =
-            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
-        let dist_slots: Arc<Vec<Mutex<(f64, bool)>>> =
-            Arc::new((0..n).map(|_| Mutex::new((0.0, false))).collect());
-        let barrier = Arc::new(Barrier::new(n));
         let started = Instant::now();
+        // Rollback epoch: iteration 0 is the initial input; epoch e > 0
+        // is the DFS snapshot written at the end of iteration e. All
+        // iterations up to the epoch are committed; everything after is
+        // discarded on rollback and replayed.
+        let mut epoch = 0usize;
+        let mut committed_dist: Vec<Vec<(f64, bool)>> = vec![Vec::new(); n];
+        let mut committed_done: Vec<Vec<Duration>> = vec![Vec::new(); n];
+        let mut recoveries = 0u64;
 
-        let results: Vec<Result<WorkerOut<J::K, J::S>, EngineError>> = thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for ((q, sends), recvs) in senders.into_iter().enumerate().zip(receivers) {
-                let dfs = self.dfs.clone();
-                let metrics = Arc::clone(&self.metrics);
-                let slots = Arc::clone(&slots);
-                let dist_slots = Arc::clone(&dist_slots);
-                let barrier = Arc::clone(&barrier);
-                handles.push(scope.spawn(move || {
-                    worker::<J>(
-                        q,
-                        n,
-                        job,
-                        cfg,
-                        &dfs,
-                        &metrics,
-                        state_dir,
-                        static_dir,
-                        sends,
-                        recvs,
-                        &slots,
-                        &dist_slots,
-                        &barrier,
-                        started,
-                    )
-                }));
+        // ---- Generation loop: run until a generation survives --------
+        let final_runs: Vec<WorkerRun<J::K, J::S>> = loop {
+            // This generation's failure script, resolved per pair.
+            let fail_iters: Vec<Vec<usize>> = (0..n)
+                .map(|p| {
+                    pending
+                        .iter()
+                        .filter(|f| assignment.get(p) == Some(&f.node))
+                        .map(|f| f.at_iteration)
+                        .collect()
+                })
+                .collect();
+
+            // Fresh links and rally points: the previous generation's
+            // channels are disconnected and its barrier poisoned.
+            let mut senders: Vec<Vec<Sender<Bytes>>> =
+                (0..n).map(|_| Vec::with_capacity(n)).collect();
+            let mut receivers: Vec<Vec<Receiver<Bytes>>> =
+                (0..n).map(|_| Vec::with_capacity(n)).collect();
+            for p in 0..n {
+                for q in 0..n {
+                    let (tx, rx) = bounded(HANDOFF_BUFFER);
+                    senders[p].push(tx);
+                    receivers[q].push(rx);
+                }
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        });
+            let slots: Arc<Vec<Mutex<Option<Vec<(J::K, J::S)>>>>> =
+                Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+            let dist_slots: Arc<Vec<Mutex<(f64, bool)>>> =
+                Arc::new((0..n).map(|_| Mutex::new((0.0, false))).collect());
+            let barrier = Arc::new(FaultBarrier::new(n));
 
-        // Surface the root-cause error: a worker that lost its channels
-        // (Worker variant) only failed because some peer failed first.
-        let mut outs: Vec<WorkerOut<J::K, J::S>> = Vec::with_capacity(n);
-        let mut first_err: Option<EngineError> = None;
-        for r in results {
-            match r {
-                Ok(o) => outs.push(o),
-                Err(e) => match (&first_err, matches!(e, EngineError::Worker(_))) {
-                    (None, _) | (Some(EngineError::Worker(_)), false) => first_err = Some(e),
-                    _ => {}
-                },
+            let runs: Vec<WorkerRun<J::K, J::S>> = thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for ((q, sends), recvs) in senders.into_iter().enumerate().zip(receivers) {
+                    let dfs = self.dfs.clone();
+                    let metrics = Arc::clone(&self.metrics);
+                    let slots = Arc::clone(&slots);
+                    let dist_slots = Arc::clone(&dist_slots);
+                    let barrier = Arc::clone(&barrier);
+                    let my_fails = fail_iters[q].clone();
+                    handles.push(scope.spawn(move || {
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            worker::<J>(
+                                q,
+                                n,
+                                job,
+                                cfg,
+                                &dfs,
+                                &metrics,
+                                state_dir,
+                                static_dir,
+                                output_dir,
+                                epoch,
+                                &my_fails,
+                                sends,
+                                recvs,
+                                &slots,
+                                &dist_slots,
+                                &barrier,
+                                started,
+                            )
+                        }));
+                        let run = run.unwrap_or_else(|payload| {
+                            // A panic in job code: surface it as an
+                            // engine error instead of hanging peers.
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_owned())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "panicked".to_owned());
+                            WorkerRun {
+                                local_dist: Vec::new(),
+                                iter_done: Vec::new(),
+                                last_ckpt: epoch,
+                                outcome: WorkerOutcome::Error(EngineError::Worker(format!(
+                                    "pair {q} panicked: {msg}"
+                                ))),
+                            }
+                        });
+                        if !matches!(run.outcome, WorkerOutcome::Finished { .. }) {
+                            // Wake any peer rallying at the barrier; the
+                            // channel drops above already woke the rest.
+                            barrier.poison();
+                        }
+                        run
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            });
+
+            // ---- Triage ------------------------------------------------
+            let fired: Vec<(usize, usize)> = runs
+                .iter()
+                .enumerate()
+                .filter_map(|(q, r)| match r.outcome {
+                    WorkerOutcome::Induced { at_iteration } => Some((q, at_iteration)),
+                    _ => None,
+                })
+                .collect();
+            // Real errors abort the run even when a failure also fired:
+            // replaying a DFS or codec failure would only repeat it.
+            if runs
+                .iter()
+                .any(|r| matches!(r.outcome, WorkerOutcome::Error(_)))
+            {
+                for r in runs {
+                    if let WorkerOutcome::Error(e) = r.outcome {
+                        return Err(e);
+                    }
+                }
+                unreachable!("error outcome vanished");
+            }
+            if fired.is_empty() {
+                if runs
+                    .iter()
+                    .any(|r| matches!(r.outcome, WorkerOutcome::Aborted))
+                {
+                    return Err(EngineError::Worker(
+                        "a worker aborted with no scripted failure and no error".into(),
+                    ));
+                }
+                break runs; // every pair finished: the run is done
+            }
+
+            // ---- Recovery (§3.4.1) -------------------------------------
+            // Consume each scripted event that fired (a node-level event
+            // hosting several pairs fires once per event, as in the
+            // simulation engine's one-recovery-per-event accounting).
+            for &(q, at) in &fired {
+                if let Some(pos) = pending
+                    .iter()
+                    .position(|f| f.node == assignment[q] && f.at_iteration == at)
+                {
+                    pending.remove(pos);
+                    recoveries += 1;
+                }
+            }
+            // Roll back to the last epoch whose snapshot every pair
+            // completed: async skew means a fast pair may have
+            // checkpointed an iteration its slowest peer never reached.
+            let new_epoch = runs.iter().map(|r| r.last_ckpt).min().unwrap_or(epoch);
+            let keep = new_epoch - epoch;
+            for (q, r) in runs.into_iter().enumerate() {
+                committed_dist[q].extend(r.local_dist.into_iter().take(keep));
+                committed_done[q].extend(r.iter_done.into_iter().take(keep));
+            }
+            // Snapshots past the rollback epoch are now stale; the next
+            // generation rewrites them deterministically.
+            for e in snapshot_epochs(&self.dfs, output_dir) {
+                if e != new_epoch {
+                    delete_dir(&self.dfs, &snapshot_dir(output_dir, e));
+                }
+            }
+            epoch = new_epoch;
+        };
+
+        // ---- Stitch the surviving generation onto committed history --
+        let mut iterations = 0usize;
+        let mut final_parts: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+        for (q, r) in final_runs.into_iter().enumerate() {
+            match r.outcome {
+                WorkerOutcome::Finished {
+                    final_data,
+                    iterations: it,
+                } => {
+                    if q == 0 {
+                        iterations = it;
+                    } else {
+                        assert_eq!(
+                            iterations, it,
+                            "workers disagreed on the termination iteration"
+                        );
+                    }
+                    final_parts.push(final_data);
+                    committed_dist[q].extend(r.local_dist);
+                    committed_done[q].extend(r.iter_done);
+                }
+                _ => unreachable!("non-finished run survived triage"),
             }
         }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-
-        let iterations = outs[0].iterations;
-        assert!(
-            outs.iter().all(|o| o.iterations == iterations),
-            "workers disagreed on the termination iteration"
-        );
+        debug_assert!(committed_dist.iter().all(|v| v.len() == iterations));
 
         // Global per-iteration distance: the same task-ordered float
         // sum the simulation engine's master computes.
@@ -226,8 +403,8 @@ impl NativeRunner {
             for i in 0..iterations {
                 let mut total = 0.0f64;
                 let mut any_prev = false;
-                for o in &outs {
-                    let (d, has_prev) = o.local_dist[i];
+                for q in 0..n {
+                    let (d, has_prev) = committed_dist[q][i];
                     if has_prev {
                         any_prev = true;
                         total += d;
@@ -237,14 +414,23 @@ impl NativeRunner {
             }
         }
 
+        // Keep only the newest snapshot (the simulation engine likewise
+        // deletes each checkpoint when the next one lands).
+        let epochs = snapshot_epochs(&self.dfs, output_dir);
+        if let Some((_last, stale)) = epochs.split_last() {
+            for e in stale {
+                delete_dir(&self.dfs, &snapshot_dir(output_dir, *e));
+            }
+        }
+
         // Final output dump (once, at termination).
         let mut final_state: Vec<(J::K, J::S)> = Vec::new();
-        for (q, out) in outs.iter().enumerate() {
-            let payload = encode_pairs(&out.final_data);
+        for (q, data) in final_parts.iter().enumerate() {
+            let payload = encode_pairs(data);
             let mut clock = TaskClock::default();
             self.dfs
                 .put(&part_path(output_dir, q), payload, NodeId(0), &mut clock)?;
-            final_state.extend(out.final_data.iter().cloned());
+            final_state.extend(data.iter().cloned());
         }
         sort_run(&mut final_state);
 
@@ -253,9 +439,8 @@ impl NativeRunner {
             ..RunReport::default()
         };
         for i in 0..iterations {
-            let done = outs
-                .iter()
-                .map(|o| o.iter_done[i])
+            let done = (0..n)
+                .map(|q| committed_done[q][i])
                 .max()
                 .unwrap_or_default();
             report
@@ -272,7 +457,7 @@ impl NativeRunner {
             iterations,
             distances,
             migrations: 0,
-            recoveries: 0,
+            recoveries,
         })
     }
 
@@ -303,13 +488,10 @@ impl IterEngine for NativeRunner {
     }
 }
 
-fn peer_gone(q: usize) -> EngineError {
-    EngineError::Worker(format!("pair {q}: peer channel disconnected"))
-}
-
-/// One persistent map/reduce pair, pinned to one thread for the whole
-/// job. The body is a line-for-line data-path port of the simulation
-/// engine's per-iteration loop with the virtual clocks removed.
+/// One persistent map/reduce pair for one generation, pinned to one
+/// thread. The body is a line-for-line data-path port of the simulation
+/// engine's per-iteration loop with the virtual clocks removed, plus
+/// §3.4.1 checkpointing and the scripted-failure exit point.
 #[allow(clippy::too_many_arguments)]
 fn worker<J: IterativeJob>(
     q: usize,
@@ -320,48 +502,127 @@ fn worker<J: IterativeJob>(
     metrics: &MetricsHandle,
     state_dir: &str,
     static_dir: &str,
+    output_dir: &str,
+    epoch: usize,
+    fail_iters: &[usize],
     sends: Vec<Sender<Bytes>>,
     recvs: Vec<Receiver<Bytes>>,
     slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
     dist_slots: &[Mutex<(f64, bool)>],
-    barrier: &Barrier,
+    barrier: &FaultBarrier,
     started: Instant,
-) -> Result<WorkerOut<J::K, J::S>, EngineError> {
+) -> WorkerRun<J::K, J::S> {
+    let mut local_dist: Vec<(f64, bool)> = Vec::new();
+    let mut iter_done: Vec<Duration> = Vec::new();
+    let mut last_ckpt = epoch;
+    let outcome = worker_loop::<J>(
+        q,
+        n,
+        job,
+        cfg,
+        dfs,
+        metrics,
+        state_dir,
+        static_dir,
+        output_dir,
+        epoch,
+        fail_iters,
+        sends,
+        recvs,
+        slots,
+        dist_slots,
+        barrier,
+        started,
+        &mut local_dist,
+        &mut iter_done,
+        &mut last_ckpt,
+    )
+    .unwrap_or_else(WorkerOutcome::Error);
+    WorkerRun {
+        local_dist,
+        iter_done,
+        last_ckpt,
+        outcome,
+    }
+}
+
+/// The per-iteration loop. `Err` carries real failures (DFS, codec);
+/// scripted exits and peer-death unwinds come back as `Ok` outcomes.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<J: IterativeJob>(
+    q: usize,
+    n: usize,
+    job: &J,
+    cfg: &IterConfig,
+    dfs: &Dfs,
+    metrics: &MetricsHandle,
+    state_dir: &str,
+    static_dir: &str,
+    output_dir: &str,
+    epoch: usize,
+    fail_iters: &[usize],
+    sends: Vec<Sender<Bytes>>,
+    recvs: Vec<Receiver<Bytes>>,
+    slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
+    dist_slots: &[Mutex<(f64, bool)>],
+    barrier: &FaultBarrier,
+    started: Instant,
+    local_dist: &mut Vec<(f64, bool)>,
+    iter_done: &mut Vec<Duration>,
+    last_ckpt: &mut usize,
+) -> Result<WorkerOutcome<J::K, J::S>, EngineError> {
     let one2all = cfg.mapping == Mapping::One2All;
     let sync = cfg.effective_sync();
     let threshold = cfg.termination.distance_threshold;
     let max_iters = cfg.termination.max_iterations;
     metrics.tasks_launched.add(2);
 
-    // ---- One-time load: the pair's static partition + initial state --
+    // ---- One-time load: static partition + state at this epoch -------
+    // Epoch 0 is the job's initial input; epoch e > 0 is the snapshot
+    // the pairs wrote at the end of iteration e (one part per pair).
     let mut clock = TaskClock::default();
     let stat: Vec<(J::K, J::T)> = read_part(dfs, static_dir, q, NodeId(0), &mut clock)?;
     let mut state: Vec<(J::K, J::S)> = Vec::new();
     let mut global: Vec<(J::K, J::S)> = Vec::new();
-    if one2all {
-        // Every map task holds the full (small) broadcast state.
-        for i in 0..num_parts(dfs, state_dir) {
-            global.extend(read_part::<J::K, J::S>(
-                dfs,
-                state_dir,
-                i,
-                NodeId(0),
-                &mut clock,
-            )?);
+    let mut prev_out: Option<Vec<(J::K, J::S)>> = None;
+    if epoch == 0 {
+        if one2all {
+            // Every map task holds the full (small) broadcast state.
+            for i in 0..num_parts(dfs, state_dir) {
+                global.extend(read_part::<J::K, J::S>(
+                    dfs,
+                    state_dir,
+                    i,
+                    NodeId(0),
+                    &mut clock,
+                )?);
+            }
+            sort_run(&mut global);
+        } else {
+            state = read_part(dfs, state_dir, q, NodeId(0), &mut clock)?;
         }
-        sort_run(&mut global);
     } else {
-        state = read_part(dfs, state_dir, q, NodeId(0), &mut clock)?;
+        let snap = snapshot_dir(output_dir, epoch);
+        if one2all {
+            // Part i is pair i's reduce output at the epoch iteration;
+            // the broadcast state is their task-ordered concatenation,
+            // exactly as the live hand-off rebuilds it.
+            for i in 0..n {
+                let part: Vec<(J::K, J::S)> = read_part(dfs, &snap, i, NodeId(0), &mut clock)?;
+                if i == q {
+                    prev_out = Some(part.clone());
+                }
+                global.extend(part);
+            }
+            sort_run(&mut global);
+        } else {
+            state = read_part(dfs, &snap, q, NodeId(0), &mut clock)?;
+        }
     }
 
-    let mut prev_out: Option<Vec<(J::K, J::S)>> = None;
-    let mut local_dist: Vec<(f64, bool)> = Vec::new();
-    let mut iter_done: Vec<Duration> = Vec::new();
-    let mut iterations = 0usize;
-
-    for _iter in 1..=max_iters {
-        if sync {
-            barrier.wait();
+    for it in (epoch + 1)..=max_iters {
+        if sync && barrier.wait().is_err() {
+            return Ok(WorkerOutcome::Aborted);
         }
 
         // ---- Map phase -----------------------------------------------
@@ -405,7 +666,9 @@ fn worker<J: IterativeJob>(
             };
             let seg = encode_pairs(&final_part);
             metrics.shuffle_local_bytes.add(seg.len() as u64);
-            sends[dest].send(seg).map_err(|_| peer_gone(q))?;
+            if sends[dest].send(seg).is_err() {
+                return Ok(WorkerOutcome::Aborted);
+            }
         }
 
         // ---- Reduce phase --------------------------------------------
@@ -414,7 +677,11 @@ fn worker<J: IterativeJob>(
         let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
         let mut total_rec = 0u64;
         for rx in &recvs {
-            let run: Vec<(J::K, J::S)> = decode_pairs(rx.recv().map_err(|_| peer_gone(q))?)?;
+            let seg = match rx.recv() {
+                Ok(seg) => seg,
+                Err(_) => return Ok(WorkerOutcome::Aborted),
+            };
+            let run: Vec<(J::K, J::S)> = decode_pairs(seg)?;
             total_rec += run.len() as u64;
             runs.push(run);
         }
@@ -452,7 +719,9 @@ fn worker<J: IterativeJob>(
             let bytes = encode_pairs(&new_state).len() as u64;
             metrics.broadcast_bytes.add(bytes * (n as u64 - 1));
             *slots[q].lock() = Some(new_state.clone());
-            barrier.wait();
+            if barrier.wait().is_err() {
+                return Ok(WorkerOutcome::Aborted);
+            }
             // Task-ordered concatenation + stable sort: identical to
             // the simulation engine's broadcast reassembly.
             let mut next_global: Vec<(J::K, J::S)> = Vec::new();
@@ -468,7 +737,9 @@ fn worker<J: IterativeJob>(
             sort_run(&mut next_global);
             // Second barrier: nobody may overwrite a slot until every
             // pair has read all of them.
-            barrier.wait();
+            if barrier.wait().is_err() {
+                return Ok(WorkerOutcome::Aborted);
+            }
             prev_out = Some(new_state);
             global = next_global;
         } else {
@@ -477,15 +748,17 @@ fn worker<J: IterativeJob>(
                 .add(encode_pairs(&new_state).len() as u64);
             state = new_state;
         }
-        iterations = _iter;
         iter_done.push(started.elapsed());
 
         // ---- Termination check (§3.1.2) ------------------------------
         // Every pair computes the same verdict from the same slots, so
         // all pairs stop at the same iteration without a master.
+        let mut converged = false;
         if let Some(eps) = threshold {
             *dist_slots[q].lock() = (d, has_prev);
-            barrier.wait();
+            if barrier.wait().is_err() {
+                return Ok(WorkerOutcome::Aborted);
+            }
             let mut total = 0.0f64;
             let mut any_prev = false;
             for slot in dist_slots {
@@ -495,23 +768,62 @@ fn worker<J: IterativeJob>(
                     total += ds;
                 }
             }
-            barrier.wait();
-            if any_prev && total < eps {
-                break;
+            if barrier.wait().is_err() {
+                return Ok(WorkerOutcome::Aborted);
             }
+            converged = any_prev && total < eps;
+        }
+        let done = converged || it == max_iters;
+
+        // ---- Checkpointing (§3.4.1) ----------------------------------
+        // The pair's snapshot is its reduce-side state at the end of
+        // iteration `it`: the carried-forward partition under one2one,
+        // the pair's own reduce output under one2all (the broadcast
+        // state is reassembled from all parts on reload). Written
+        // atomically, so a crash mid-checkpoint leaves the previous
+        // epoch intact. Same gating as the simulation engine: never on
+        // the final iteration.
+        if !done && cfg.checkpoint_interval > 0 && it.is_multiple_of(cfg.checkpoint_interval) {
+            let snapshot: &[(J::K, J::S)] = if one2all {
+                prev_out.as_deref().expect("one2all snapshot exists")
+            } else {
+                &state
+            };
+            let payload = encode_pairs(snapshot);
+            metrics.checkpoint_bytes.add(payload.len() as u64);
+            let mut ck = TaskClock::default();
+            dfs.put_atomic(
+                &part_path(&snapshot_dir(output_dir, it), q),
+                payload,
+                NodeId(0),
+                &mut ck,
+            )?;
+            *last_ckpt = it;
+        }
+        if done {
+            return Ok(WorkerOutcome::Finished {
+                final_data: if one2all {
+                    prev_out.unwrap_or_default()
+                } else {
+                    state
+                },
+                iterations: it,
+            });
+        }
+
+        // ---- Scripted failure (fault injection) ----------------------
+        // Same decision point as the simulation engine: a pair dies
+        // right after completing iteration `it`, never on the final
+        // iteration (the done-check above fires first).
+        if fail_iters.contains(&it) {
+            return Ok(WorkerOutcome::Induced { at_iteration: it });
         }
     }
 
-    Ok(WorkerOut {
-        final_data: if one2all {
-            prev_out.unwrap_or_default()
-        } else {
-            state
-        },
-        local_dist,
-        iter_done,
-        iterations,
-    })
+    // Only reachable when the epoch already sits at max_iters (a
+    // failure scripted for the final iteration never fires, so the
+    // loop above always terminates through the done-check).
+    unreachable!("pair {q} left the iteration loop without finishing");
 }
 
 #[cfg(test)]
@@ -593,6 +905,23 @@ mod tests {
         .unwrap();
     }
 
+    fn load_meanplus(dfs: &Dfs) {
+        let job = MeanPlus;
+        let mut clock = TaskClock::default();
+        let state: Vec<(u32, f64)> = (0..4u32).map(|k| (k, f64::from(k))).collect();
+        let statics: Vec<(u32, ())> = (0..32u32).map(|k| (k, ())).collect();
+        load_partitioned(dfs, "/state", state, 1, |_, _| 0, &mut clock).unwrap();
+        load_partitioned(
+            dfs,
+            "/static",
+            statics,
+            2,
+            |k, m| job.partition(k, m),
+            &mut clock,
+        )
+        .unwrap();
+    }
+
     #[test]
     fn async_one2one_runs_to_max_iterations() {
         let (native, _) = fixtures(2);
@@ -632,22 +961,8 @@ mod tests {
     #[test]
     fn one2all_broadcast_matches_simulation() {
         let (native, sim) = fixtures(2);
-        for runner_dfs in [native.dfs(), sim.dfs()] {
-            let job = MeanPlus;
-            let mut clock = TaskClock::default();
-            let state: Vec<(u32, f64)> = (0..4u32).map(|k| (k, f64::from(k))).collect();
-            let statics: Vec<(u32, ())> = (0..32u32).map(|k| (k, ())).collect();
-            load_partitioned(runner_dfs, "/state", state, 1, |_, _| 0, &mut clock).unwrap();
-            load_partitioned(
-                runner_dfs,
-                "/static",
-                statics,
-                2,
-                |k, m| job.partition(k, m),
-                &mut clock,
-            )
-            .unwrap();
-        }
+        load_meanplus(native.dfs());
+        load_meanplus(sim.dfs());
         let cfg = IterConfig::new("mean", 2, 4).with_one2all();
         let a = native
             .run(&MeanPlus, &cfg, "/state", "/static", "/out", &[])
@@ -661,21 +976,219 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "simulation engine")]
-    fn failure_injection_is_rejected() {
+    fn one2one_recovery_matches_clean_run() {
+        for &(tasks, sync) in &[(1usize, false), (3, false), (3, true)] {
+            let (clean_rt, _) = fixtures(4);
+            load_halve(clean_rt.dfs(), tasks);
+            let mut cfg = IterConfig::new("halve", tasks, 6).with_checkpoint_interval(2);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let clean = clean_rt
+                .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+                .unwrap();
+
+            let (failed_rt, _) = fixtures(4);
+            load_halve(failed_rt.dfs(), tasks);
+            let failed = failed_rt
+                .run(
+                    &Halve,
+                    &cfg,
+                    "/state",
+                    "/static",
+                    "/out",
+                    &[FailureEvent {
+                        node: NodeId(0),
+                        at_iteration: 3,
+                    }],
+                )
+                .unwrap();
+            assert_eq!(failed.recoveries, 1, "tasks={tasks} sync={sync}");
+            assert_eq!(failed.final_state, clean.final_state);
+            assert_eq!(failed.iterations, clean.iterations);
+            assert_eq!(failed.distances, clean.distances);
+        }
+    }
+
+    #[test]
+    fn one2all_recovery_matches_clean_run() {
+        let cfg = IterConfig::new("mean", 2, 6)
+            .with_one2all()
+            .with_checkpoint_interval(2);
+        let (clean_rt, _) = fixtures(2);
+        load_meanplus(clean_rt.dfs());
+        let clean = clean_rt
+            .run(&MeanPlus, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+
+        let (failed_rt, _) = fixtures(2);
+        load_meanplus(failed_rt.dfs());
+        let failed = failed_rt
+            .run(
+                &MeanPlus,
+                &cfg,
+                "/state",
+                "/static",
+                "/out",
+                &[FailureEvent {
+                    node: NodeId(1),
+                    at_iteration: 3,
+                }],
+            )
+            .unwrap();
+        assert_eq!(failed.recoveries, 1);
+        assert_eq!(failed.final_state, clean.final_state);
+        assert_eq!(failed.iterations, clean.iterations);
+    }
+
+    #[test]
+    fn failures_without_checkpointing_error_instead_of_hanging() {
         let (native, _) = fixtures(2);
         load_halve(native.dfs(), 2);
-        let cfg = IterConfig::new("halve", 2, 2);
-        let _ = native.run(
-            &Halve,
-            &cfg,
-            "/state",
-            "/static",
-            "/out",
-            &[FailureEvent {
-                node: NodeId(0),
-                at_iteration: 1,
-            }],
+        let cfg = IterConfig::new("halve", 2, 4).with_checkpoint_interval(0);
+        let err = native
+            .run(
+                &Halve,
+                &cfg,
+                "/state",
+                "/static",
+                "/out",
+                &[FailureEvent {
+                    node: NodeId(0),
+                    at_iteration: 1,
+                }],
+            )
+            .unwrap_err();
+        match err {
+            EngineError::Config(msg) => {
+                assert!(msg.contains("checkpoint_interval"), "{msg}");
+            }
+            other => panic!("expected a configuration error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_interval_disables_snapshotting() {
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 2);
+        let cfg = IterConfig::new("halve", 2, 6).with_checkpoint_interval(0);
+        let out = native
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        assert_eq!(out.iterations, 6);
+        assert!(
+            native.dfs().list("/out/_ckpt").is_empty(),
+            "interval 0 must write no snapshots"
         );
+        assert!(snapshot_epochs(native.dfs(), "/out").is_empty());
+    }
+
+    #[test]
+    fn checkpoints_land_atomically_on_the_dfs() {
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 2);
+        let cfg = IterConfig::new("halve", 2, 5).with_checkpoint_interval(2);
+        native
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        // Only the newest epoch survives, with one part per pair and no
+        // leftover temporaries.
+        assert_eq!(snapshot_epochs(native.dfs(), "/out"), vec![4]);
+        let dir = snapshot_dir("/out", 4);
+        assert_eq!(num_parts(native.dfs(), &dir), 2);
+        assert!(native.dfs().list(&format!("{dir}/.")).is_empty());
+        assert!(native.metrics().checkpoint_bytes.get() > 0);
+    }
+
+    #[test]
+    fn back_to_back_failures_recover() {
+        let (clean_rt, _) = fixtures(4);
+        load_halve(clean_rt.dfs(), 4);
+        let cfg = IterConfig::new("halve", 4, 8).with_checkpoint_interval(2);
+        let clean = clean_rt
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+
+        let (failed_rt, _) = fixtures(4);
+        load_halve(failed_rt.dfs(), 4);
+        // Two failures at the same iteration on different nodes plus a
+        // later one, including one on the checkpoint iteration itself.
+        let failures = [
+            FailureEvent {
+                node: NodeId(0),
+                at_iteration: 2,
+            },
+            FailureEvent {
+                node: NodeId(1),
+                at_iteration: 2,
+            },
+            FailureEvent {
+                node: NodeId(2),
+                at_iteration: 4,
+            },
+        ];
+        let failed = failed_rt
+            .run(&Halve, &cfg, "/state", "/static", "/out", &failures)
+            .unwrap();
+        assert_eq!(failed.recoveries, 3);
+        assert_eq!(failed.final_state, clean.final_state);
+        assert_eq!(failed.iterations, clean.iterations);
+    }
+
+    #[test]
+    fn failure_at_final_iteration_never_fires() {
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 2);
+        let cfg = IterConfig::new("halve", 2, 4).with_checkpoint_interval(2);
+        let out = native
+            .run(
+                &Halve,
+                &cfg,
+                "/state",
+                "/static",
+                "/out",
+                &[FailureEvent {
+                    node: NodeId(0),
+                    at_iteration: 4,
+                }],
+            )
+            .unwrap();
+        // Same rule as the simulation engine: the done-check precedes
+        // the failure point, so a final-iteration event is inert.
+        assert_eq!(out.recoveries, 0);
+        assert_eq!(out.iterations, 4);
+    }
+
+    #[test]
+    fn panic_in_job_code_surfaces_as_error_not_hang() {
+        struct Bomb;
+        impl IterativeJob for Bomb {
+            type K = u32;
+            type S = f64;
+            type T = ();
+            fn map(
+                &self,
+                k: &u32,
+                s: StateInput<'_, u32, f64>,
+                _t: &(),
+                out: &mut Emitter<u32, f64>,
+            ) {
+                out.emit(*k, *s.one());
+            }
+            fn reduce(&self, k: &u32, values: Vec<f64>) -> f64 {
+                assert!(*k != 7, "bomb triggered");
+                values.into_iter().sum()
+            }
+        }
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 3);
+        let cfg = IterConfig::new("bomb", 3, 3).with_sync_maps();
+        let err = native
+            .run(&Bomb, &cfg, "/state", "/static", "/out", &[])
+            .unwrap_err();
+        match err {
+            EngineError::Worker(msg) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected a worker error, got {other}"),
+        }
     }
 }

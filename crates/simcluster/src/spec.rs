@@ -145,6 +145,45 @@ impl ClusterSpec {
         self.nodes.iter().map(|n| n.reduce_slots).sum()
     }
 
+    /// How many persistent map/reduce *pairs* `node` can host: a pair
+    /// occupies one map slot and one reduce slot for the whole job
+    /// (§3.2), so the node's capacity is the smaller of the two.
+    pub fn node_pair_capacity(&self, node: NodeId) -> usize {
+        let spec = &self.nodes[node.index()];
+        spec.map_slots.min(spec.reduce_slots)
+    }
+
+    /// Total persistent-pair capacity of the cluster.
+    pub fn pair_capacity(&self) -> usize {
+        self.node_ids().map(|n| self.node_pair_capacity(n)).sum()
+    }
+
+    /// Deterministic placement of `n` persistent pairs onto nodes:
+    /// round-robin over the nodes, skipping nodes whose slots are full.
+    /// Both engines use this map, so a `FailureEvent` naming a node
+    /// kills the same pairs everywhere.
+    pub fn assign_pairs(&self, n: usize) -> Vec<NodeId> {
+        assert!(
+            n <= self.pair_capacity(),
+            "cannot place {n} persistent pairs on {} slots",
+            self.pair_capacity()
+        );
+        let mut remaining: Vec<usize> = self
+            .node_ids()
+            .map(|id| self.node_pair_capacity(id))
+            .collect();
+        let mut assignment = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        while assignment.len() < n {
+            if remaining[cursor] > 0 {
+                remaining[cursor] -= 1;
+                assignment.push(NodeId(cursor as u32));
+            }
+            cursor = (cursor + 1) % self.nodes.len();
+        }
+        assignment
+    }
+
     /// Transfer time for `bytes` from `from` to `to` under this
     /// cluster's cost model: local transfers use loopback bandwidth,
     /// remote transfers pay latency plus network bandwidth.

@@ -2,10 +2,13 @@
 //! the same generated data and must agree with each other and with the
 //! sequential references.
 
-use imapreduce::IterConfig;
+use imapreduce::{FailureEvent, IterConfig, IterEngine, IterOutcome};
+use imr_algorithms::kmeans::{KmState, KmeansIter};
+use imr_algorithms::pagerank::PageRankIter;
+use imr_algorithms::sssp::SsspIter;
 use imr_algorithms::testutil::{imr_runner, imr_runner_on, mr_runner, native_runner};
 use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
-use imr_graph::{dataset, generate_matrix, generate_points};
+use imr_graph::{dataset, generate_matrix, generate_points, Graph};
 use imr_simcluster::{ClusterSpec, NodeId, TaskClock};
 
 #[test]
@@ -186,6 +189,147 @@ fn native_termination_matches_sim() {
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(a.distances, b.distances);
     assert_eq!(a.final_state, b.final_state);
+}
+
+fn sssp_run(
+    runner: &impl IterEngine,
+    g: &Graph,
+    cfg: &IterConfig,
+    failures: &[FailureEvent],
+) -> IterOutcome<u32, f64> {
+    sssp::load_sssp_imr(runner, g, 0, cfg.num_tasks, "/s", "/t").unwrap();
+    runner
+        .run(&SsspIter, cfg, "/s", "/t", "/o", failures)
+        .unwrap()
+}
+
+fn pagerank_run(
+    runner: &impl IterEngine,
+    g: &Graph,
+    cfg: &IterConfig,
+    failures: &[FailureEvent],
+) -> IterOutcome<u32, f64> {
+    pagerank::load_pagerank_imr(runner, g, cfg.num_tasks, "/s", "/t").unwrap();
+    let job = PageRankIter::new(g.num_nodes() as u64);
+    runner.run(&job, cfg, "/s", "/t", "/o", failures).unwrap()
+}
+
+fn kmeans_run(
+    runner: &impl IterEngine,
+    points: &[(u32, Vec<f64>)],
+    cfg: &IterConfig,
+    failures: &[FailureEvent],
+) -> IterOutcome<u32, KmState> {
+    kmeans::load_kmeans_imr(runner, points, 3, cfg.num_tasks, "/s", "/t").unwrap();
+    let job = KmeansIter { combiner: false };
+    runner.run(&job, cfg, "/s", "/t", "/o", failures).unwrap()
+}
+
+/// SSSP under scripted failures (§3.4.1): on both engines, at every
+/// thread count and triggering mode, an injected failure recovers to a
+/// result bit-identical to the failure-free run — and the engines
+/// agree with each other.
+#[test]
+fn sssp_failure_runs_match_clean_runs_on_both_engines() {
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let failures = [FailureEvent {
+        node: NodeId(0),
+        at_iteration: 3,
+    }];
+    for tasks in [1usize, 4] {
+        for sync in [false, true] {
+            let mut cfg = IterConfig::new("sssp", tasks, 6).with_checkpoint_interval(2);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let sim_clean = sssp_run(&imr_runner(4), &g, &cfg, &[]);
+            let sim_fail = sssp_run(&imr_runner(4), &g, &cfg, &failures);
+            let nat_clean = sssp_run(&native_runner(4), &g, &cfg, &[]);
+            let nat_fail = sssp_run(&native_runner(4), &g, &cfg, &failures);
+            assert_eq!(sim_fail.recoveries, 1, "tasks={tasks} sync={sync}");
+            assert_eq!(nat_fail.recoveries, 1, "tasks={tasks} sync={sync}");
+            for (label, clean, fail) in [
+                ("sim", &sim_clean, &sim_fail),
+                ("native", &nat_clean, &nat_fail),
+            ] {
+                assert_eq!(
+                    clean.final_state, fail.final_state,
+                    "{label} tasks={tasks} sync={sync}"
+                );
+                assert_eq!(clean.iterations, fail.iterations);
+                assert_eq!(clean.distances, fail.distances);
+            }
+            assert_eq!(sim_fail.final_state, nat_fail.final_state);
+            assert_eq!(sim_fail.iterations, nat_fail.iterations);
+        }
+    }
+}
+
+/// PageRank under scripted failures: same bit-identity contract as
+/// SSSP, on both engines, across thread counts and triggering modes.
+#[test]
+fn pagerank_failure_runs_match_clean_runs_on_both_engines() {
+    let g = dataset("Google").unwrap().generate(0.002);
+    let failures = [FailureEvent {
+        node: NodeId(0),
+        at_iteration: 3,
+    }];
+    for tasks in [1usize, 4] {
+        for sync in [false, true] {
+            let mut cfg = IterConfig::new("pr", tasks, 6).with_checkpoint_interval(2);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let sim_clean = pagerank_run(&imr_runner(4), &g, &cfg, &[]);
+            let sim_fail = pagerank_run(&imr_runner(4), &g, &cfg, &failures);
+            let nat_clean = pagerank_run(&native_runner(4), &g, &cfg, &[]);
+            let nat_fail = pagerank_run(&native_runner(4), &g, &cfg, &failures);
+            assert_eq!(sim_fail.recoveries, 1, "tasks={tasks} sync={sync}");
+            assert_eq!(nat_fail.recoveries, 1, "tasks={tasks} sync={sync}");
+            for (label, clean, fail) in [
+                ("sim", &sim_clean, &sim_fail),
+                ("native", &nat_clean, &nat_fail),
+            ] {
+                assert_eq!(
+                    clean.final_state, fail.final_state,
+                    "{label} tasks={tasks} sync={sync}"
+                );
+                assert_eq!(clean.iterations, fail.iterations);
+            }
+            assert_eq!(sim_fail.final_state, nat_fail.final_state);
+        }
+    }
+}
+
+/// K-means (one2all broadcast, inherently synchronous) under scripted
+/// failures: the broadcast global state is restored from the snapshot
+/// parts and the failed run stays bit-identical to the clean one.
+#[test]
+fn kmeans_failure_runs_match_clean_runs_on_both_engines() {
+    let points = generate_points(400, 5, 3, 77);
+    let failures = [FailureEvent {
+        node: NodeId(0),
+        at_iteration: 3,
+    }];
+    for tasks in [1usize, 4] {
+        let cfg = IterConfig::new("km", tasks, 6)
+            .with_one2all()
+            .with_checkpoint_interval(2);
+        let sim_clean = kmeans_run(&imr_runner(4), &points, &cfg, &[]);
+        let sim_fail = kmeans_run(&imr_runner(4), &points, &cfg, &failures);
+        let nat_clean = kmeans_run(&native_runner(4), &points, &cfg, &[]);
+        let nat_fail = kmeans_run(&native_runner(4), &points, &cfg, &failures);
+        assert_eq!(sim_fail.recoveries, 1, "tasks={tasks}");
+        assert_eq!(nat_fail.recoveries, 1, "tasks={tasks}");
+        for (label, clean, fail) in [
+            ("sim", &sim_clean, &sim_fail),
+            ("native", &nat_clean, &nat_fail),
+        ] {
+            assert_eq!(clean.final_state, fail.final_state, "{label} tasks={tasks}");
+            assert_eq!(clean.iterations, fail.iterations);
+        }
+        assert_eq!(sim_fail.final_state, nat_fail.final_state);
+    }
 }
 
 #[test]

@@ -1,15 +1,34 @@
 //! Fault-tolerance integration: scripted node failures on real
-//! workloads must recover from checkpoints to bit-identical results.
+//! workloads must recover from checkpoints to bit-identical results —
+//! on the simulation engine *and* on the native threaded backend, which
+//! injects the same `FailureEvent` scripts into real worker threads.
 
 use imapreduce::{FailureEvent, IterConfig, LoadBalance};
 use imr_algorithms::sssp::{self, SsspIter};
-use imr_algorithms::testutil::imr_runner_on;
+use imr_algorithms::testutil::{imr_runner_on, native_runner};
 use imr_graph::dataset;
+use imr_mapreduce::EngineError;
 use imr_simcluster::{ClusterSpec, NodeId};
 
 fn run_with_failures(failures: &[FailureEvent], ckpt: usize) -> imapreduce::IterOutcome<u32, f64> {
     let g = dataset("DBLP").unwrap().generate(0.003);
     let runner = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
+    let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(ckpt);
+    runner
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", failures)
+        .unwrap()
+}
+
+/// The same SSSP scenario on the native threaded backend: a fresh
+/// runner per run, real worker threads, scripted failures injected at
+/// exact (pair, iteration) points.
+fn run_native_with_failures(
+    failures: &[FailureEvent],
+    ckpt: usize,
+) -> imapreduce::IterOutcome<u32, f64> {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let runner = native_runner(4);
     sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
     let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(ckpt);
     runner
@@ -94,6 +113,99 @@ fn load_balancing_and_failures_compose() {
     for (k, d) in &out.final_state {
         let e = expect[*k as usize];
         assert!((d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()));
+    }
+}
+
+#[test]
+fn native_single_failure_recovers_exactly() {
+    let clean = run_native_with_failures(&[], 2);
+    let failed = run_native_with_failures(
+        &[FailureEvent {
+            node: NodeId(1),
+            at_iteration: 4,
+        }],
+        2,
+    );
+    assert_eq!(failed.recoveries, 1);
+    assert_eq!(clean.final_state, failed.final_state);
+    assert_eq!(clean.iterations, failed.iterations);
+}
+
+#[test]
+fn native_multiple_failures_recover_exactly() {
+    let clean = run_native_with_failures(&[], 2);
+    let failed = run_native_with_failures(
+        &[
+            FailureEvent {
+                node: NodeId(1),
+                at_iteration: 3,
+            },
+            FailureEvent {
+                node: NodeId(3),
+                at_iteration: 6,
+            },
+        ],
+        2,
+    );
+    assert_eq!(failed.recoveries, 2);
+    assert_eq!(clean.final_state, failed.final_state);
+}
+
+#[test]
+fn native_failure_on_checkpoint_iteration_recovers() {
+    // The snapshot for iteration 4 is written before the scripted exit
+    // fires, so the rollback replays from 4, not 0.
+    let clean = run_native_with_failures(&[], 4);
+    let failed = run_native_with_failures(
+        &[FailureEvent {
+            node: NodeId(2),
+            at_iteration: 4,
+        }],
+        4,
+    );
+    assert_eq!(failed.recoveries, 1);
+    assert_eq!(clean.final_state, failed.final_state);
+    assert_eq!(clean.iterations, failed.iterations);
+}
+
+#[test]
+fn both_engines_agree_under_failures() {
+    let failures = [
+        FailureEvent {
+            node: NodeId(0),
+            at_iteration: 2,
+        },
+        FailureEvent {
+            node: NodeId(2),
+            at_iteration: 5,
+        },
+    ];
+    let sim = run_with_failures(&failures, 2);
+    let native = run_native_with_failures(&failures, 2);
+    assert_eq!(sim.recoveries, 2);
+    assert_eq!(native.recoveries, 2);
+    assert_eq!(sim.final_state, native.final_state);
+    assert_eq!(sim.iterations, native.iterations);
+}
+
+#[test]
+fn native_failure_without_checkpointing_is_a_clear_error() {
+    // With checkpointing disabled there is no snapshot to roll back to;
+    // the native backend must refuse up front instead of hanging.
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let runner = native_runner(4);
+    sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
+    let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(0);
+    let failures = [FailureEvent {
+        node: NodeId(1),
+        at_iteration: 4,
+    }];
+    let err = runner
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", &failures)
+        .unwrap_err();
+    match err {
+        EngineError::Config(msg) => assert!(msg.contains("checkpoint_interval")),
+        other => panic!("expected a configuration error, got {other}"),
     }
 }
 

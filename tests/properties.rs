@@ -1,13 +1,15 @@
 //! Workspace-level property tests: cross-crate invariants on random
 //! inputs.
 
-use imapreduce::IterConfig;
+use imapreduce::{FailureEvent, IterConfig};
+use imr_algorithms::sssp::SsspIter;
 use imr_algorithms::testutil::{imr_runner, native_runner};
 use imr_algorithms::{pagerank, sssp};
 use imr_graph::{
     generate_graph, generate_weighted_graph, pagerank_degree_dist, sssp_degree_dist,
     sssp_weight_dist,
 };
+use imr_simcluster::NodeId;
 use proptest::prelude::*;
 
 proptest! {
@@ -87,6 +89,57 @@ proptest! {
             prop_assert!(
                 *d == e || (d.is_infinite() && e.is_infinite()),
                 "node {}: native={} ref={}", k, d, e
+            );
+        }
+    }
+
+    /// Native checkpoint/rollback recovery under random failure
+    /// schedules: whatever the (node, iteration) script — including
+    /// back-to-back failures and a failure on the checkpoint iteration
+    /// itself, both forced below — the recovered run is bit-identical
+    /// to a failure-free run and matches the sequential reference.
+    #[test]
+    fn native_recovery_is_invisible_under_random_schedules(
+        seed in any::<u64>(),
+        n in 20usize..60,
+        interval in 1usize..4,
+        schedule in proptest::collection::vec((0u32..4, 1usize..7), 0..4),
+    ) {
+        let g = generate_weighted_graph(n, n as u64 * 3, sssp_degree_dist(), sssp_weight_dist(), seed);
+        let iters = 8;
+        let mut failures: Vec<FailureEvent> = schedule
+            .iter()
+            .map(|&(node, at)| FailureEvent { node: NodeId(node), at_iteration: at })
+            .collect();
+        // Always cover the two nastiest cases: a failure on the very
+        // iteration that checkpoints, and the same failure again back
+        // to back. (Events the replay never reaches again — e.g. a
+        // duplicate behind an already-committed checkpoint — stay
+        // pending and are simply never consumed.)
+        failures.push(FailureEvent { node: NodeId(0), at_iteration: interval });
+        failures.push(FailureEvent { node: NodeId(0), at_iteration: interval });
+
+        let cfg = IterConfig::new("sssp", 4, iters).with_checkpoint_interval(interval);
+        let failed = {
+            let r = native_runner(4);
+            sssp::load_sssp_imr(&r, &g, 0, 4, "/s", "/t").unwrap();
+            r.run(&SsspIter, &cfg, "/s", "/t", "/o", &failures).unwrap()
+        };
+        let clean = {
+            let r = native_runner(4);
+            sssp::load_sssp_imr(&r, &g, 0, 4, "/s", "/t").unwrap();
+            r.run(&SsspIter, &cfg, "/s", "/t", "/o", &[]).unwrap()
+        };
+        prop_assert!(failed.recoveries >= 1, "forced failure never fired");
+        prop_assert_eq!(&failed.final_state, &clean.final_state);
+        prop_assert_eq!(failed.iterations, clean.iterations);
+        prop_assert_eq!(&failed.distances, &clean.distances);
+        let expect = sssp::reference_sssp_rounds(&g, 0, iters);
+        for (k, d) in &failed.final_state {
+            let e = expect[*k as usize];
+            prop_assert!(
+                *d == e || (d.is_infinite() && e.is_infinite()),
+                "node {}: recovered={} ref={}", k, d, e
             );
         }
     }

@@ -7,4 +7,8 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
+# Fault-tolerance scenarios spawn real worker threads and recover from
+# injected failures; run them serially under a timeout so a recovery
+# regression shows up as a clean failure, never a hung CI job.
+timeout 600 cargo test -q --test fault_tolerance -- --test-threads=1
 echo "verify: all checks passed"
