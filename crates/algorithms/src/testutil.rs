@@ -28,7 +28,14 @@ pub fn imr_runner_on(spec: ClusterSpec) -> IterativeRunner {
 /// node count only shapes DFS placement; parallelism comes from
 /// `IterConfig::num_tasks` worker threads.
 pub fn native_runner(n: usize) -> NativeRunner {
-    let spec = Arc::new(ClusterSpec::local(n));
+    native_runner_on(ClusterSpec::local(n))
+}
+
+/// A native multi-threaded runner over an arbitrary cluster spec: node
+/// speeds below 1.0 are emulated by stretching hosted pairs' compute,
+/// which is what the load-balancing tests exercise.
+pub fn native_runner_on(spec: ClusterSpec) -> NativeRunner {
+    let spec = Arc::new(spec);
     let metrics: MetricsHandle = Arc::new(Metrics::default());
     let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, TEST_BLOCK);
     NativeRunner::new(dfs, metrics)

@@ -1,0 +1,116 @@
+//! §3.4.2 migration-based load balancing on the native backend:
+//! PageRank on 4 worker threads where one pair is pinned to an emulated
+//! slow node (4x the per-iteration compute time). The unbalanced run
+//! pays the straggler every iteration; the balanced run lets the
+//! monitor migrate the slow pair to the spare idle node at a checkpoint
+//! epoch and finishes faster. Both runs must produce identical ranks —
+//! migration is rollback under a new placement — and the binary asserts
+//! this along with at least one observed migration.
+
+use imapreduce::{IterConfig, LoadBalance, WatchdogConfig};
+use imr_algorithms::pagerank::{self, PageRankIter};
+use imr_bench::{BenchOpts, FigureResult};
+use imr_dfs::Dfs;
+use imr_graph::{dataset, Graph};
+use imr_native::NativeRunner;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 4;
+/// Node 0 runs at a quarter speed: its pair's compute stretches 4x.
+const SLOW_SPEED: f64 = 0.25;
+
+fn runner() -> NativeRunner {
+    // One more node than pairs: the spare is the migration target the
+    // balancer moves the straggling pair onto.
+    let mut spec = ClusterSpec::local(THREADS + 1);
+    spec.nodes[0].speed = SLOW_SPEED;
+    let spec = Arc::new(spec);
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 1, 1 << 26);
+    NativeRunner::new(dfs, metrics)
+}
+
+fn run_once(g: &Graph, iters: usize, balance: bool) -> (f64, Vec<(u32, f64)>, u64, MetricsHandle) {
+    let r = runner();
+    pagerank::load_pagerank_imr(&r, g, THREADS, "/pr/state", "/pr/static").expect("load");
+    let job = PageRankIter::new(g.num_nodes() as u64);
+    let mut cfg = IterConfig::new("pr-balance", THREADS, iters)
+        .with_checkpoint_interval(1)
+        .with_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall_timeout: Duration::from_secs(10),
+        });
+    if balance {
+        cfg = cfg.with_load_balance(LoadBalance {
+            deviation: 0.3,
+            max_migrations: 4,
+        });
+    }
+    let start = Instant::now();
+    let out = r
+        .run(&job, &cfg, "/pr/state", "/pr/static", "/pr/out", &[])
+        .expect("pagerank run");
+    let metrics = Arc::clone(r.metrics());
+    (
+        start.elapsed().as_secs_f64(),
+        out.final_state,
+        out.migrations,
+        metrics,
+    )
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = opts.scale_or(0.02);
+    let iters = opts.iters_or(12);
+
+    let mut fig = FigureResult::new(
+        "native_balance",
+        "Native migration-based load balancing (PageRank, 4 threads, one 4x-slow node)",
+        "configuration",
+        "wall-clock seconds",
+    );
+    fig.note(format!(
+        "scale={scale}, iterations={iters}; node 0 at speed {SLOW_SPEED}; \
+         host wall-clock, not virtual time"
+    ));
+
+    let g = dataset("PageRank-s").unwrap().generate(scale);
+    println!(
+        "PageRank-s @ scale {scale}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let (skewed_secs, skewed_state, skewed_migrations, _) = run_once(&g, iters, false);
+    println!("  no balancing:   {skewed_secs:.3} s (migrations={skewed_migrations})");
+    assert_eq!(skewed_migrations, 0, "no balancer, no migrations");
+
+    let (balanced_secs, balanced_state, balanced_migrations, metrics) = run_once(&g, iters, true);
+    println!(
+        "  with balancing: {balanced_secs:.3} s (migrations={balanced_migrations}, \
+         stalls_detected={}, recoveries={})",
+        metrics.stalls_detected.get(),
+        metrics.recoveries.get(),
+    );
+    println!("  speedup: {:.2}x", skewed_secs / balanced_secs);
+
+    assert!(
+        balanced_migrations >= 1,
+        "the 4x-slower node must trigger at least one migration"
+    );
+    assert_eq!(
+        balanced_state, skewed_state,
+        "migration changed the PageRank result"
+    );
+
+    fig.note(format!(
+        "migrations={balanced_migrations}; speedup {:.2}x over the unbalanced run",
+        skewed_secs / balanced_secs
+    ));
+    fig.push_series("no balancing", vec![(0.0, skewed_secs)]);
+    fig.push_series("with balancing", vec![(1.0, balanced_secs)]);
+    fig.emit(&opts.out_root);
+}

@@ -37,7 +37,7 @@ fn run_once(
     iters: usize,
     interval: usize,
     failures: &[FailureEvent],
-) -> (f64, Vec<(u32, f64)>) {
+) -> (f64, Vec<(u32, f64)>, u64) {
     let r = runner();
     pagerank::load_pagerank_imr(&r, g, THREADS, "/pr/state", "/pr/static").expect("load");
     let job = PageRankIter::new(g.num_nodes() as u64);
@@ -46,7 +46,11 @@ fn run_once(
     let out = r
         .run(&job, &cfg, "/pr/state", "/pr/static", "/pr/out", failures)
         .expect("pagerank run");
-    (start.elapsed().as_secs_f64(), out.final_state)
+    (
+        start.elapsed().as_secs_f64(),
+        out.final_state,
+        out.recoveries,
+    )
 }
 
 fn main() {
@@ -73,7 +77,7 @@ fn main() {
         g.num_edges()
     );
 
-    let (base_secs, baseline) = run_once(&g, iters, 0, &[]);
+    let (base_secs, baseline, _) = run_once(&g, iters, 0, &[]);
     println!("  no checkpointing, no failure: {base_secs:.3} s");
     fig.note(format!(
         "no-checkpoint failure-free baseline: {base_secs:.3} s"
@@ -86,9 +90,12 @@ fn main() {
     let mut clean_pts = Vec::new();
     let mut failed_pts = Vec::new();
     for interval in INTERVALS {
-        let (clean_secs, clean_state) = run_once(&g, iters, interval, &[]);
-        let (failed_secs, failed_state) = run_once(&g, iters, interval, &failure);
-        println!("  interval {interval}: clean {clean_secs:.3} s, with failure {failed_secs:.3} s");
+        let (clean_secs, clean_state, _) = run_once(&g, iters, interval, &[]);
+        let (failed_secs, failed_state, recoveries) = run_once(&g, iters, interval, &failure);
+        println!(
+            "  interval {interval}: clean {clean_secs:.3} s, \
+             with failure {failed_secs:.3} s (recoveries={recoveries})"
+        );
         assert_eq!(
             clean_state, baseline,
             "checkpointing changed the PageRank result"

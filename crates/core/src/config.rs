@@ -2,7 +2,9 @@
 //! `JobConf` parameters (`mapred.iterjob.*`).
 
 use crate::api::Mapping;
+use imr_mapreduce::EngineError;
 use imr_simcluster::NodeId;
+use std::time::Duration;
 
 /// Termination rule (paper §3.1.2): a fixed iteration cap, optionally
 /// tightened by a distance threshold between consecutive iterations.
@@ -53,6 +55,102 @@ pub struct FailureEvent {
     pub at_iteration: usize,
 }
 
+/// A scripted runtime fault. Generalizes [`FailureEvent`] (a kill) with
+/// the two degraded-but-alive modes a watchdog must distinguish: a
+/// bounded slowdown ([`FaultEvent::Delay`], which healthy recovery must
+/// *not* react to) and an indefinite stall ([`FaultEvent::Hang`], which
+/// only stall detection can turn back into a recoverable failure).
+///
+/// All three fire deterministically: the named node misbehaves once
+/// iteration `at_iteration` has completed on its pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The node crashes (exactly [`FailureEvent`] semantics).
+    Kill {
+        /// The node that fails.
+        node: NodeId,
+        /// The iteration after which it fails (1-based).
+        at_iteration: usize,
+    },
+    /// The node's pairs lose `millis` of processing time during this
+    /// iteration but keep making progress. A correctly tuned watchdog
+    /// leaves delays alone; delays are therefore *not* consumed on
+    /// recovery and re-apply identically on replay.
+    Delay {
+        /// The node that slows down.
+        node: NodeId,
+        /// The iteration during which it is slow (1-based).
+        at_iteration: usize,
+        /// Extra busy time per hosted pair, in milliseconds.
+        millis: u64,
+    },
+    /// The node's pairs stop responding after the iteration completes,
+    /// without exiting. Nothing but the watchdog's stall detection can
+    /// recover the job, so [`IterConfig::validate`] requires a watchdog
+    /// whenever a hang is scripted.
+    Hang {
+        /// The node that hangs.
+        node: NodeId,
+        /// The iteration after which it hangs (1-based).
+        at_iteration: usize,
+    },
+}
+
+impl FaultEvent {
+    /// The node this fault targets.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FaultEvent::Kill { node, .. }
+            | FaultEvent::Delay { node, .. }
+            | FaultEvent::Hang { node, .. } => node,
+        }
+    }
+
+    /// The 1-based iteration at which this fault fires.
+    pub fn at_iteration(&self) -> usize {
+        match *self {
+            FaultEvent::Kill { at_iteration, .. }
+            | FaultEvent::Delay { at_iteration, .. }
+            | FaultEvent::Hang { at_iteration, .. } => at_iteration,
+        }
+    }
+}
+
+impl From<FailureEvent> for FaultEvent {
+    fn from(f: FailureEvent) -> Self {
+        FaultEvent::Kill {
+            node: f.node,
+            at_iteration: f.at_iteration,
+        }
+    }
+}
+
+/// Supervisor watchdog policy: how unscripted stalls are detected.
+///
+/// Workers publish a heartbeat after every completed iteration; the
+/// supervisor polls the heartbeats every `poll` and declares a pair
+/// failed when *no* active pair has progressed for `stall_timeout`
+/// (a pair that is merely slow keeps the run alive because the others
+/// block on it at the iteration barrier and their own heartbeats stop
+/// advancing too — only a global freeze marks a genuine stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How often the supervisor samples worker heartbeats.
+    pub poll: Duration,
+    /// No heartbeat for this long ⇒ the least-advanced pair is
+    /// declared failed and recovery starts.
+    pub stall_timeout: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            poll: Duration::from_millis(25),
+            stall_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
 /// Full configuration of one iMapReduce job.
 #[derive(Debug, Clone)]
 pub struct IterConfig {
@@ -81,6 +179,8 @@ pub struct IterConfig {
     pub checkpoint_interval: usize,
     /// Optional migration-based load balancing.
     pub load_balance: Option<LoadBalance>,
+    /// Optional supervisor watchdog for unscripted-stall detection.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl IterConfig {
@@ -101,6 +201,7 @@ impl IterConfig {
             eager_handoff: false,
             checkpoint_interval: 5,
             load_balance: None,
+            watchdog: None,
         }
     }
 
@@ -141,10 +242,73 @@ impl IterConfig {
         self
     }
 
+    /// Enables the supervisor watchdog with the given policy.
+    pub fn with_watchdog(mut self, wd: WatchdogConfig) -> Self {
+        self.watchdog = Some(wd);
+        self
+    }
+
     /// Whether maps effectively run synchronously (explicit flag or
     /// implied by one2all).
     pub fn effective_sync(&self) -> bool {
         self.sync_maps || self.mapping == Mapping::One2All
+    }
+
+    /// Checks this configuration against a fault schedule. Both engines
+    /// call this before starting, so a bad combination is the same
+    /// [`EngineError::Config`] everywhere instead of an engine-specific
+    /// panic, deadlock, or silent fallback:
+    ///
+    /// * kills and hangs need `checkpoint_interval > 0` — recovery
+    ///   replays from a checkpoint epoch;
+    /// * load balancing needs `checkpoint_interval > 0` — migration
+    ///   happens by rolling back to a checkpoint under a new placement;
+    /// * a scripted hang needs a watchdog — nothing else can detect it;
+    /// * thresholds and timeouts must be positive and finite.
+    ///
+    /// Delay faults alone are fine without checkpoints: a delayed pair
+    /// still completes.
+    pub fn validate(&self, faults: &[FaultEvent]) -> Result<(), EngineError> {
+        let needs_recovery = faults
+            .iter()
+            .any(|f| !matches!(f, FaultEvent::Delay { .. }));
+        if needs_recovery && self.checkpoint_interval == 0 {
+            return Err(EngineError::Config(
+                "kill/hang fault injection requires checkpoint_interval > 0 \
+                 (recovery replays from a checkpoint epoch)"
+                    .into(),
+            ));
+        }
+        if let Some(lb) = &self.load_balance {
+            if self.checkpoint_interval == 0 {
+                return Err(EngineError::Config(
+                    "load balancing requires checkpoint_interval > 0 \
+                     (migration rolls back to a checkpoint epoch)"
+                        .into(),
+                ));
+            }
+            if !lb.deviation.is_finite() || lb.deviation <= 0.0 {
+                return Err(EngineError::Config(format!(
+                    "load-balance deviation must be positive and finite, got {}",
+                    lb.deviation
+                )));
+            }
+        }
+        if let Some(wd) = &self.watchdog {
+            if wd.poll.is_zero() || wd.stall_timeout.is_zero() {
+                return Err(EngineError::Config(
+                    "watchdog poll and stall_timeout must be non-zero".into(),
+                ));
+            }
+        }
+        if faults.iter().any(|f| matches!(f, FaultEvent::Hang { .. })) && self.watchdog.is_none() {
+            return Err(EngineError::Config(
+                "hang fault injection requires a watchdog (with_watchdog): \
+                 a hung pair never exits, so only stall detection recovers it"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -185,6 +349,89 @@ mod tests {
         let c = IterConfig::new("sssp", 4, 10).with_sync_maps();
         assert_eq!(c.mapping, Mapping::One2One);
         assert!(c.effective_sync());
+    }
+
+    fn is_config_err<T>(r: Result<T, EngineError>, needle: &str) -> bool {
+        matches!(r, Err(EngineError::Config(msg)) if msg.contains(needle))
+    }
+
+    #[test]
+    fn validate_accepts_clean_and_delay_only_runs_without_checkpoints() {
+        let c = IterConfig::new("sssp", 2, 3).with_checkpoint_interval(0);
+        assert!(c.validate(&[]).is_ok());
+        let delay = FaultEvent::Delay {
+            node: NodeId(0),
+            at_iteration: 1,
+            millis: 5,
+        };
+        assert!(c.validate(&[delay]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_kill_or_hang_without_checkpoints() {
+        let c = IterConfig::new("sssp", 2, 3)
+            .with_checkpoint_interval(0)
+            .with_watchdog(WatchdogConfig::default());
+        let kill = FaultEvent::Kill {
+            node: NodeId(0),
+            at_iteration: 1,
+        };
+        let hang = FaultEvent::Hang {
+            node: NodeId(0),
+            at_iteration: 1,
+        };
+        assert!(is_config_err(c.validate(&[kill]), "checkpoint_interval"));
+        assert!(is_config_err(c.validate(&[hang]), "checkpoint_interval"));
+    }
+
+    #[test]
+    fn validate_rejects_load_balance_without_checkpoints() {
+        let c = IterConfig::new("sssp", 2, 3)
+            .with_checkpoint_interval(0)
+            .with_load_balance(LoadBalance::default());
+        assert!(is_config_err(c.validate(&[]), "checkpoint_interval"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_deviation_and_zero_watchdog_timeouts() {
+        let bad_dev = IterConfig::new("sssp", 2, 3).with_load_balance(LoadBalance {
+            deviation: 0.0,
+            max_migrations: 1,
+        });
+        assert!(is_config_err(bad_dev.validate(&[]), "deviation"));
+        let bad_wd = IterConfig::new("sssp", 2, 3).with_watchdog(WatchdogConfig {
+            poll: Duration::ZERO,
+            stall_timeout: Duration::from_secs(1),
+        });
+        assert!(is_config_err(bad_wd.validate(&[]), "watchdog"));
+    }
+
+    #[test]
+    fn validate_rejects_hang_without_watchdog() {
+        let c = IterConfig::new("sssp", 2, 3);
+        let hang = FaultEvent::Hang {
+            node: NodeId(0),
+            at_iteration: 1,
+        };
+        assert!(is_config_err(c.validate(&[hang]), "watchdog"));
+    }
+
+    #[test]
+    fn fault_event_accessors_and_kill_conversion() {
+        let f: FaultEvent = FailureEvent {
+            node: NodeId(3),
+            at_iteration: 7,
+        }
+        .into();
+        assert_eq!(
+            f,
+            FaultEvent::Kill {
+                node: NodeId(3),
+                at_iteration: 7
+            }
+        );
+        assert_eq!(f.node(), NodeId(3));
+        assert_eq!(f.at_iteration(), 7);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! balancing (§3.4.2).
 
 use crate::api::{IterativeJob, Mapping, StateInput};
-use crate::config::{FailureEvent, IterConfig};
+use crate::config::{FailureEvent, FaultEvent, IterConfig};
 use bytes::Bytes;
 use imr_dfs::Dfs;
 use imr_mapreduce::io::{num_parts, part_path, read_part};
 use imr_mapreduce::{Emitter, EngineError};
 use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
-use imr_simcluster::{ClusterSpec, MetricsHandle, NodeId, RunReport, TaskClock, VInstant};
+use imr_simcluster::{
+    ClusterSpec, MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant,
+};
 use std::sync::Arc;
 
 /// The outcome of one iMapReduce run.
@@ -101,7 +103,8 @@ impl IterativeRunner {
     /// * `static_dir` — `mapred.iterjob.staticpath`: static data parts,
     ///   co-partitioned with the state;
     /// * `output_dir` — final state parts are committed here;
-    /// * `failures` — scripted worker failures to inject.
+    /// * `failures` — scripted worker failures (kills) to inject. For
+    ///   delay/hang faults use [`IterativeRunner::run_faults`].
     pub fn run<J: IterativeJob>(
         &self,
         job: &J,
@@ -111,6 +114,27 @@ impl IterativeRunner {
         output_dir: &str,
         failures: &[FailureEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        let faults: Vec<FaultEvent> = failures.iter().map(|&f| f.into()).collect();
+        self.run_faults(job, cfg, state_dir, static_dir, output_dir, &faults)
+    }
+
+    /// Runs `job` to termination under a generalized fault schedule
+    /// ([`FaultEvent`]): kills recover through checkpoint rollback as in
+    /// [`IterativeRunner::run`], delays charge lost processing time on
+    /// the affected node's pairs, and hangs model watchdog detection —
+    /// the stalled pair is declared failed only after the configured
+    /// `stall_timeout` of virtual-time silence, then recovered the same
+    /// way a kill is.
+    pub fn run_faults<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        cfg.validate(faults)?;
         let n = cfg.num_tasks;
         assert!(
             n <= self.pair_capacity(),
@@ -212,8 +236,20 @@ impl IterativeRunner {
             ..RunReport::default()
         };
         let mut distances: Vec<f64> = Vec::new();
-        let mut pending_failures: Vec<FailureEvent> = failures.to_vec();
-        pending_failures.sort_by_key(|f| f.at_iteration);
+        // Kills and hangs are consumed once recovery handles them;
+        // delays stay scripted for the whole run so a rolled-back
+        // iteration replays them identically (determinism).
+        let mut pending_failures: Vec<FaultEvent> = faults
+            .iter()
+            .filter(|f| !matches!(f, FaultEvent::Delay { .. }))
+            .copied()
+            .collect();
+        pending_failures.sort_by_key(|f| f.at_iteration());
+        let delays: Vec<FaultEvent> = faults
+            .iter()
+            .filter(|f| matches!(f, FaultEvent::Delay { .. }))
+            .copied()
+            .collect();
         let mut migrations = 0u64;
         let mut recoveries = 0u64;
         let max_iters = cfg.termination.max_iterations;
@@ -384,6 +420,23 @@ impl IterativeRunner {
                 let busy = clock.now().duration_since(work_start);
                 clock.advance(busy * cost.straggler(iter as u64, q as u64, 2));
                 pair_busy[q] += clock.now().duration_since(work_start).as_secs_f64();
+                // Scripted slowdown (FaultEvent::Delay): the node loses
+                // processing time but keeps progressing, so it shows up
+                // in the §3.4.2 completion reports without any recovery.
+                for d in &delays {
+                    if let FaultEvent::Delay {
+                        node: slow,
+                        at_iteration,
+                        millis,
+                    } = *d
+                    {
+                        if at_iteration == iter && slow == node {
+                            let extra = VDuration::from_millis(millis);
+                            clock.advance(extra);
+                            pair_busy[q] += extra.as_secs_f64();
+                        }
+                    }
+                }
                 reduce_done.push(clock.now());
                 new_states.push(new_state);
                 new_state_bytes.push(bytes);
@@ -490,12 +543,29 @@ impl IterativeRunner {
             }
 
             // ---- Failure injection + recovery ------------------------
-            if let Some(pos) = pending_failures.iter().position(|f| f.at_iteration == iter) {
-                let failure = pending_failures.remove(pos);
+            if let Some(pos) = pending_failures
+                .iter()
+                .position(|f| f.at_iteration() == iter)
+            {
+                let fault = pending_failures.remove(pos);
+                let detected_at = match fault {
+                    // A crash is noticed at the master's next decision
+                    // point (lost heartbeat / closed socket).
+                    FaultEvent::Kill { .. } => decision_time,
+                    // A hung pair never exits: the watchdog declares it
+                    // failed only after `stall_timeout` of silence.
+                    FaultEvent::Hang { .. } => {
+                        self.metrics.stalls_detected.add(1);
+                        let wd = cfg.watchdog.expect("validate: hang requires watchdog");
+                        decision_time + VDuration::from_secs_f64(wd.stall_timeout.as_secs_f64())
+                    }
+                    FaultEvent::Delay { .. } => unreachable!("delays never pend"),
+                };
                 recoveries += 1;
+                self.metrics.recoveries.add(1);
                 let recover_at = self.recover_from_failure::<J>(
-                    failure.node,
-                    decision_time,
+                    fault.node(),
+                    detected_at,
                     &mut assignment,
                     &ckpt,
                     static_dir,
@@ -525,10 +595,21 @@ impl IterativeRunner {
             if let Some(lb) = &cfg.load_balance {
                 if migrations < lb.max_migrations as u64 && n > 1 {
                     if let Some((slow_pair, fast_node)) =
-                        self.pick_migration(&assignment, &pair_busy, lb.deviation)
+                        self.cluster
+                            .pick_migration(&assignment, &pair_busy, lb.deviation)
                     {
                         migrations += 1;
                         self.metrics.migrations.add(1);
+                        // Record the migration epoch next to the
+                        // snapshots (post-mortem parity with native).
+                        let marker = imr_dfs::migration_marker(output_dir, migrations, ckpt.iter);
+                        let mut off_path = TaskClock::default();
+                        self.dfs.put_atomic(
+                            &marker,
+                            Bytes::from_static(b"migrated"),
+                            fast_node,
+                            &mut off_path,
+                        )?;
                         let recover_at = self.migrate_pair::<J>(
                             slow_pair,
                             fast_node,
@@ -699,66 +780,6 @@ impl IterativeRunner {
             }
         }
         Ok(resume)
-    }
-
-    /// Chooses the pair to migrate: the paper's rule — average the
-    /// per-worker iteration times excluding the longest and shortest,
-    /// and migrate from the slowest to the fastest worker when the
-    /// deviation exceeds the threshold.
-    fn pick_migration(
-        &self,
-        assignment: &[NodeId],
-        pair_busy: &[f64],
-        deviation: f64,
-    ) -> Option<(usize, NodeId)> {
-        let mut node_time = vec![0.0f64; self.cluster.len()];
-        let mut node_pairs: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.len()];
-        for (q, node) in assignment.iter().enumerate() {
-            node_time[node.index()] = node_time[node.index()].max(pair_busy[q]);
-            node_pairs[node.index()].push(q);
-        }
-        let mut active: Vec<(usize, f64)> = node_time
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !node_pairs[*i].is_empty())
-            .map(|(i, &t)| (i, t))
-            .collect();
-        if active.len() < 2 {
-            return None;
-        }
-        active.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let avg = if active.len() > 2 {
-            let inner = &active[1..active.len() - 1];
-            inner.iter().map(|(_, t)| t).sum::<f64>() / inner.len() as f64
-        } else {
-            active.iter().map(|(_, t)| t).sum::<f64>() / active.len() as f64
-        };
-        let (slowest_node, slowest_time) = *active.last().unwrap();
-        if avg <= 0.0 || slowest_time <= avg * (1.0 + deviation) {
-            return None;
-        }
-        // Fastest worker with spare capacity; prefer idle nodes.
-        let mut per_node = vec![0usize; self.cluster.len()];
-        for node in assignment {
-            per_node[node.index()] += 1;
-        }
-        let target = self
-            .cluster
-            .node_ids()
-            .filter(|nid| nid.index() != slowest_node)
-            .filter(|nid| per_node[nid.index()] < self.node_pair_capacity(*nid))
-            .min_by(|a, b| {
-                node_time[a.index()]
-                    .partial_cmp(&node_time[b.index()])
-                    .unwrap()
-                    .then(a.0.cmp(&b.0))
-            })?;
-        // Migrating onto a slower node never helps.
-        if self.cluster.speed(target) <= self.cluster.speed(NodeId(slowest_node as u32)) {
-            return None;
-        }
-        let pair = *node_pairs[slowest_node].first()?;
-        Some((pair, target))
     }
 
     /// Performs the three-step migration of §3.4.2: kill the pair on

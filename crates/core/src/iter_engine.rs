@@ -12,7 +12,7 @@
 //! and `distances` — a property the cross-engine tests pin down.
 
 use crate::api::IterativeJob;
-use crate::config::{FailureEvent, IterConfig};
+use crate::config::{FailureEvent, FaultEvent, IterConfig};
 use crate::engine::{IterOutcome, IterativeRunner};
 use imr_dfs::Dfs;
 use imr_mapreduce::EngineError;
@@ -21,42 +21,43 @@ use imr_mapreduce::EngineError;
 ///
 /// Algorithms are written once against this trait (see
 /// `imr-algorithms`): they load partitioned state/static data through
-/// [`dfs`](IterEngine::dfs) and call [`run`](IterEngine::run), which
-/// makes every algorithm portable across backends without changes.
+/// [`dfs`](IterEngine::dfs) and call [`run`](IterEngine::run) or
+/// [`run_faults`](IterEngine::run_faults), which makes every algorithm
+/// portable across backends without changes.
 pub trait IterEngine {
     /// The DFS holding initial state, static data and job output.
     fn dfs(&self) -> &Dfs;
 
-    /// Runs `job` to termination.
+    /// Runs `job` to termination under a generalized fault schedule.
     ///
     /// * `state_dir` — initial state parts, partitioned with the job's
     ///   partition function;
     /// * `static_dir` — static data parts, co-partitioned with the
     ///   state;
     /// * `output_dir` — final state parts are committed here;
-    /// * `failures` — scripted worker failures. Both backends inject
-    ///   them deterministically and recover from checkpoints (§3.4.1);
-    ///   a run with failures must produce the same `final_state`,
-    ///   `iterations` and `distances` as a failure-free run. The native
-    ///   backend requires `checkpoint_interval > 0` when `failures` is
-    ///   non-empty (it has no in-memory iteration-0 snapshot to fall
-    ///   back on) and returns a configuration error otherwise.
-    fn run<J: IterativeJob>(
+    /// * `faults` — scripted faults ([`FaultEvent`]): kills, bounded
+    ///   delays and indefinite hangs. Both backends inject them
+    ///   deterministically; kills and watchdog-detected hangs recover
+    ///   from checkpoints (§3.4.1), delays merely slow the affected
+    ///   node. A faulted run must produce the same `final_state`,
+    ///   `iterations` and `distances` as a fault-free run. Invalid
+    ///   combinations (kill/hang or load balancing with
+    ///   `checkpoint_interval == 0`, a hang without a watchdog) are the
+    ///   same [`EngineError::Config`] on every backend — see
+    ///   [`IterConfig::validate`].
+    fn run_faults<J: IterativeJob>(
         &self,
         job: &J,
         cfg: &IterConfig,
         state_dir: &str,
         static_dir: &str,
         output_dir: &str,
-        failures: &[FailureEvent],
+        faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError>;
-}
 
-impl IterEngine for IterativeRunner {
-    fn dfs(&self) -> &Dfs {
-        IterativeRunner::dfs(self)
-    }
-
+    /// Runs `job` to termination with scripted kills only (the
+    /// historical surface; each [`FailureEvent`] is a
+    /// [`FaultEvent::Kill`]).
     fn run<J: IterativeJob>(
         &self,
         job: &J,
@@ -66,6 +67,25 @@ impl IterEngine for IterativeRunner {
         output_dir: &str,
         failures: &[FailureEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
-        IterativeRunner::run(self, job, cfg, state_dir, static_dir, output_dir, failures)
+        let faults: Vec<FaultEvent> = failures.iter().map(|&f| f.into()).collect();
+        self.run_faults(job, cfg, state_dir, static_dir, output_dir, &faults)
+    }
+}
+
+impl IterEngine for IterativeRunner {
+    fn dfs(&self) -> &Dfs {
+        IterativeRunner::dfs(self)
+    }
+
+    fn run_faults<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        IterativeRunner::run_faults(self, job, cfg, state_dir, static_dir, output_dir, faults)
     }
 }

@@ -4,8 +4,8 @@
 //! auxiliary phase.
 
 use imapreduce::{
-    load_partitioned, run_two_phase, run_with_aux, AuxPhase, Emitter, FailureEvent, IterConfig,
-    IterativeJob, IterativeRunner, LoadBalance, PhaseJob, StateInput, TwoPhaseConfig,
+    load_partitioned, run_two_phase, run_with_aux, AuxPhase, Emitter, EngineError, FailureEvent,
+    IterConfig, IterativeJob, IterativeRunner, LoadBalance, PhaseJob, StateInput, TwoPhaseConfig,
 };
 use imr_dfs::Dfs;
 use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId, TaskClock};
@@ -186,29 +186,41 @@ fn failure_recovery_reproduces_exact_results() {
 }
 
 #[test]
-fn failure_without_checkpoint_restarts_from_scratch() {
+fn failure_without_checkpoint_is_a_config_error() {
+    // Unified validation across engines: recovery replays from a
+    // checkpoint epoch, so injecting a kill with checkpointing disabled
+    // is rejected up front (the sim used to fall back silently to an
+    // in-memory iteration-0 snapshot the native backend doesn't have).
     let r = runner_on(ClusterSpec::local(4));
     load_relax(&r, 24, 4);
-    // checkpoint_interval 0: only the implicit iteration-0 snapshot.
     let cfg = IterConfig::new("relax", 4, 6).with_checkpoint_interval(0);
     let failures = [FailureEvent {
         node: NodeId(2),
         at_iteration: 4,
     }];
-    let out = r
+    let err = r
         .run(&Relax, &cfg, "/state", "/static", "/out", &failures)
-        .unwrap();
-    assert_eq!(out.recoveries, 1);
-    assert_eq!(out.iterations, 6);
-    // Results still exact.
-    let clean = {
-        let r = runner_on(ClusterSpec::local(4));
-        load_relax(&r, 24, 4);
-        let cfg = IterConfig::new("relax", 4, 6);
-        r.run(&Relax, &cfg, "/state", "/static", "/out", &[])
-            .unwrap()
-    };
-    assert_eq!(out.final_state, clean.final_state);
+        .unwrap_err();
+    assert!(
+        matches!(&err, EngineError::Config(msg) if msg.contains("checkpoint_interval")),
+        "unexpected error: {err:?}"
+    );
+}
+
+#[test]
+fn load_balance_without_checkpoint_is_a_config_error() {
+    let r = runner_on(ClusterSpec::local(4));
+    load_relax(&r, 24, 4);
+    let cfg = IterConfig::new("relax", 4, 6)
+        .with_checkpoint_interval(0)
+        .with_load_balance(LoadBalance::default());
+    let err = r
+        .run(&Relax, &cfg, "/state", "/static", "/out", &[])
+        .unwrap_err();
+    assert!(
+        matches!(&err, EngineError::Config(msg) if msg.contains("checkpoint_interval")),
+        "unexpected error: {err:?}"
+    );
 }
 
 #[test]

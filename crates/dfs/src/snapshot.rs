@@ -31,6 +31,35 @@ pub fn snapshot_epochs(dfs: &Dfs, output_dir: &str) -> Vec<usize> {
     epochs
 }
 
+/// The DFS path of the marker recording a §3.4.2 migration decided at
+/// checkpoint epoch `epoch` (sequence number `seq` orders multiple
+/// migrations in one run). The marker lives next to the snapshots so a
+/// post-mortem can reconstruct exactly which epochs the supervisor
+/// rolled back to for load balancing, separately from failure rollback.
+pub fn migration_marker(output_dir: &str, seq: u64, epoch: usize) -> String {
+    format!(
+        "{}/_ckpt/migrate-{seq:02}-at-{epoch:04}",
+        output_dir.trim_end_matches('/')
+    )
+}
+
+/// The checkpoint epochs at which migrations were performed under
+/// `output_dir`, in the order they happened (sequence-number order).
+pub fn migration_epochs(dfs: &Dfs, output_dir: &str) -> Vec<usize> {
+    let prefix = format!("{}/_ckpt/migrate-", output_dir.trim_end_matches('/'));
+    let mut tagged: Vec<(u64, usize)> = dfs
+        .list(&prefix)
+        .iter()
+        .filter_map(|path| {
+            let rest = &path[prefix.len()..];
+            let (seq, epoch) = rest.split_once("-at-")?;
+            Some((seq.parse().ok()?, epoch.parse().ok()?))
+        })
+        .collect();
+    tagged.sort_unstable();
+    tagged.into_iter().map(|(_, e)| e).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,18 @@ impl FaultBarrier {
     pub fn is_poisoned(&self) -> bool {
         self.lock().poisoned
     }
+
+    /// Blocks until the barrier is poisoned, without participating in
+    /// any round. Used by a worker emulating a hung pair
+    /// (`FaultEvent::Hang`): it stops responding entirely until the
+    /// supervisor's watchdog declares it failed and tears the
+    /// generation down.
+    pub fn block_until_poisoned(&self) {
+        let mut s = self.lock();
+        while !s.poisoned {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +157,54 @@ mod tests {
         barrier.poison();
         barrier.poison(); // idempotent
         assert_eq!(barrier.wait(), Err(Poisoned));
+    }
+
+    #[test]
+    fn concurrent_double_poison_in_one_generation_wakes_everyone() {
+        // Two pairs die at the same iteration (a double failure inside
+        // one generation): both race to poison while the remaining
+        // participants are blocked mid-round. Every waiter must wake
+        // with `Poisoned`, and the double poison must stay idempotent.
+        for _ in 0..50 {
+            let barrier = Arc::new(FaultBarrier::new(4));
+            let poisoned_seen = Arc::new(AtomicUsize::new(0));
+            thread::scope(|scope| {
+                for _ in 0..2 {
+                    let barrier = Arc::clone(&barrier);
+                    let poisoned_seen = Arc::clone(&poisoned_seen);
+                    scope.spawn(move || {
+                        if barrier.wait() == Err(Poisoned) {
+                            poisoned_seen.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || barrier.poison());
+                }
+            });
+            assert!(barrier.is_poisoned());
+            assert_eq!(poisoned_seen.load(Ordering::SeqCst), 2);
+            assert_eq!(barrier.wait(), Err(Poisoned));
+        }
+    }
+
+    #[test]
+    fn block_until_poisoned_sleeps_through_rounds_then_wakes() {
+        let barrier = Arc::new(FaultBarrier::new(1));
+        thread::scope(|scope| {
+            let hung = {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || barrier.block_until_poisoned())
+            };
+            // Rounds completing around the hung thread must not wake it.
+            barrier.wait().unwrap();
+            barrier.wait().unwrap();
+            thread::sleep(Duration::from_millis(20));
+            assert!(!hung.is_finished());
+            barrier.poison();
+            hung.join().unwrap();
+        });
     }
 
     #[test]

@@ -26,17 +26,38 @@
 //! * **Checkpointing and rollback** (§3.4.1) — every
 //!   `cfg.checkpoint_interval` iterations each pair atomically snapshots
 //!   its reduce-side state to the DFS (`<out>/_ckpt/iter-NNNN/part-*`).
-//!   Scripted [`FailureEvent`]s make the pairs hosted on the named node
-//!   exit at the exact scripted iteration; the supervisor in
-//!   [`NativeRunner::run`] detects the dead generation, rolls every pair
-//!   back to the last checkpoint epoch completed by *all* pairs, and
-//!   respawns the whole group from that snapshot. Async peers blocked on
-//!   a dead pair's channels or barriers unwind via channel disconnects
-//!   and a poisonable [`fault::FaultBarrier`], discard their uncommitted
-//!   iterations, and replay — the same roll-everyone-back semantics the
-//!   simulation engine models. Because replay is deterministic, a run
-//!   with injected failures produces the same `final_state`,
-//!   `iterations` and `distances` as a failure-free run.
+//!   Scripted kill faults make the pairs hosted on the named node exit
+//!   at the exact scripted iteration; the supervisor in
+//!   [`NativeRunner::run_faults`] detects the dead generation, rolls
+//!   every pair back to the last checkpoint epoch completed by *all*
+//!   pairs, and respawns the whole group from that snapshot. Async peers
+//!   blocked on a dead pair's channels or barriers unwind via channel
+//!   disconnects and a poisonable [`fault::FaultBarrier`], discard their
+//!   uncommitted iterations, and replay — the same roll-everyone-back
+//!   semantics the simulation engine models. Because replay is
+//!   deterministic, a run with injected faults produces the same
+//!   `final_state`, `iterations` and `distances` as a fault-free run.
+//! * **Watchdog stall detection** — with `IterConfig::with_watchdog`, a
+//!   monitor thread polls per-pair heartbeats (atomic iteration
+//!   counters and timestamps) and, when *no* active pair has progressed for
+//!   `stall_timeout`, declares the least-advanced pair failed, poisons
+//!   the barrier and reuses the checkpoint/rollback path — recovery no
+//!   longer needs a scripted event. `FaultEvent::Hang` injects a
+//!   deterministic wedge (the pair goes silent holding its channels
+//!   open) to exercise exactly this path; `FaultEvent::Delay` injects a
+//!   bounded slowdown the watchdog must ride out.
+//! * **Migration-based load balancing** (§3.4.2) — pairs are placed on
+//!   the cluster spec's nodes (`ClusterSpec::assign_pairs`), and a node
+//!   speed below 1.0 is emulated by sleeping each hosted pair
+//!   proportionally to its measured busy time. Workers publish a busy
+//!   EWMA per iteration; once every pair has checkpointed past the
+//!   generation's start epoch, the monitor feeds the EWMAs to the same
+//!   `ClusterSpec::pick_migration` policy the simulation engine uses
+//!   and, on a hit, re-places the slow pair on the least-loaded faster
+//!   node and rolls the generation back — migration is rollback under a
+//!   new placement, capped by `LoadBalance::max_migrations`. Rolled-back
+//!   replay is deterministic, so a migrated run is bit-identical to the
+//!   never-migrated run.
 //!
 //! Determinism: every data-path step (partition fill order, stable
 //! sorts, run merging in task order, carry-forward, task-ordered float
@@ -45,16 +66,19 @@
 //! `final_state`, `iterations` and `distances` — only the `report`
 //! timeline differs (wall-clock here, virtual time there). The
 //! cross-engine test suite pins this down per algorithm, with and
-//! without injected failures.
+//! without injected faults and migrations.
 //!
-//! Not supported natively: migration-based load balancing — it models
-//! cluster heterogeneity and lives in the simulation engine.
 //! `eager_handoff` is accepted and ignored: it only shapes the
-//! virtual-time cost model, never the data path. Unlike the simulation
-//! engine (which snapshots iteration 0 in master memory), recovery here
-//! needs a DFS snapshot to reload, so a non-empty `failures` list with
-//! `checkpoint_interval == 0` is rejected up front with a configuration
-//! error instead of hanging or silently ignoring the script.
+//! virtual-time cost model, never the data path. Recovery here needs a
+//! DFS snapshot to reload (there is no in-memory iteration-0 snapshot),
+//! so kill/hang faults or load balancing with `checkpoint_interval == 0`
+//! are rejected up front by the shared `IterConfig::validate` with the
+//! same configuration error the simulation engine returns. A scripted
+//! hang emulates a wedged-but-alive worker thread: the watchdog can
+//! declare it failed and unwind it through the poisoned barrier. (A
+//! worker busy-looping inside job code would be *detected* the same way
+//! but cannot be preempted from safe Rust — real deployments isolate
+//! workers in processes for that.)
 
 #![forbid(unsafe_code)]
 // The channel matrix is built by (p, q) index on purpose — the indices
@@ -64,21 +88,24 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+mod monitor;
 
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use fault::FaultBarrier;
 use imapreduce::{
-    carry_forward, distance_sorted, Emitter, FailureEvent, IterConfig, IterEngine, IterOutcome,
-    IterativeJob, Mapping, StateInput,
+    carry_forward, distance_sorted, Emitter, FailureEvent, FaultEvent, IterConfig, IterEngine,
+    IterOutcome, IterativeJob, Mapping, StateInput,
 };
-use imr_dfs::{snapshot_dir, snapshot_epochs, Dfs};
+use imr_dfs::{migration_marker, snapshot_dir, snapshot_epochs, Dfs};
 use imr_mapreduce::io::{delete_dir, num_parts, part_path, read_part};
 use imr_mapreduce::EngineError;
 use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
 use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
+use monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -108,15 +135,35 @@ enum WorkerOutcome<K, S> {
         final_data: Vec<(K, S)>,
         iterations: usize,
     },
-    /// A scripted [`FailureEvent`] fired: the pair exited right after
-    /// completing this absolute iteration.
+    /// A scripted kill fired: the pair exited right after completing
+    /// this absolute iteration.
     Induced { at_iteration: usize },
+    /// A scripted [`FaultEvent::Hang`] fired after this iteration: the
+    /// pair went silent until the watchdog poisoned the generation.
+    Stalled { at_iteration: usize },
     /// A peer died first: a channel disconnected or a barrier was
     /// poisoned. The supervisor decides whether this is a recovery
-    /// (some peer's exit was scripted) or an error.
+    /// (some peer's exit was scripted), a monitor intervention
+    /// (watchdog stall or migration), or an error.
     Aborted,
     /// A real failure: DFS, codec, or a panic inside job code.
     Error(EngineError),
+}
+
+/// One pair's resolved fault script and emulated node speed for one
+/// generation, derived from the pending [`FaultEvent`]s and the pair's
+/// current placement.
+#[derive(Clone)]
+struct PairPlan {
+    /// Iterations after which this pair crashes (scripted kills).
+    kills: Vec<usize>,
+    /// Iterations after which this pair hangs until poisoned.
+    hangs: Vec<usize>,
+    /// `(iteration, millis)` scripted slowdowns during that iteration.
+    delays: Vec<(usize, u64)>,
+    /// Relative speed of the hosting node; below 1.0 the pair sleeps
+    /// `busy · (1/speed − 1)` per iteration to emulate slow hardware.
+    speed: f64,
 }
 
 /// Everything one worker thread hands back to the supervisor for one
@@ -154,7 +201,8 @@ impl NativeRunner {
     /// Arguments mirror [`IterativeRunner::run`]. Scripted `failures`
     /// are injected deterministically (see [`FailureEvent`]) and
     /// recovered from DFS checkpoints; they require
-    /// `cfg.checkpoint_interval > 0`.
+    /// `cfg.checkpoint_interval > 0`. For delay/hang faults use
+    /// [`NativeRunner::run_faults`].
     ///
     /// [`IterativeRunner::run`]: imapreduce::IterativeRunner::run
     pub fn run<J: IterativeJob>(
@@ -166,16 +214,31 @@ impl NativeRunner {
         output_dir: &str,
         failures: &[FailureEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        let faults: Vec<FaultEvent> = failures.iter().map(|&f| f.into()).collect();
+        self.run_faults(job, cfg, state_dir, static_dir, output_dir, &faults)
+    }
+
+    /// Runs `job` to termination under a generalized fault schedule
+    /// ([`FaultEvent`]) with the full self-healing runtime active:
+    /// scripted kills exit their pairs, scripted delays slow them,
+    /// scripted hangs wedge them for the watchdog
+    /// (`IterConfig::with_watchdog`) to detect, and §3.4.2 load
+    /// balancing (`IterConfig::with_load_balance`) migrates pairs off
+    /// emulated slow nodes at checkpoint epochs. All recovery and
+    /// migration is rollback-and-respawn from DFS snapshots, so the
+    /// result is bit-identical to an undisturbed run.
+    pub fn run_faults<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         let n = cfg.num_tasks;
         let one2all = cfg.mapping == Mapping::One2All;
-        if !failures.is_empty() && cfg.checkpoint_interval == 0 {
-            return Err(EngineError::Config(format!(
-                "native fault injection requires checkpoint_interval > 0: \
-                 {} scripted failure(s) but checkpointing is disabled, \
-                 so there is no snapshot to roll back to",
-                failures.len()
-            )));
-        }
+        cfg.validate(faults)?;
         assert_eq!(
             num_parts(&self.dfs, static_dir),
             n,
@@ -190,14 +253,42 @@ impl NativeRunner {
         }
         self.metrics.jobs_launched.add(1);
 
-        // The shared pair→node placement: a FailureEvent names a node,
-        // and both engines kill the pairs that placement puts there.
-        let mut pending: Vec<FailureEvent> = failures.to_vec();
-        pending.sort_by_key(|f| f.at_iteration);
-        let assignment: Vec<NodeId> = if pending.is_empty() {
-            Vec::new() // clean runs need no slots accounting
+        // Kills and hangs are consumed once recovery handles them;
+        // delays stay scripted for the whole run so a rolled-back
+        // iteration replays them identically (determinism).
+        let mut pending: Vec<FaultEvent> = faults
+            .iter()
+            .filter(|f| !matches!(f, FaultEvent::Delay { .. }))
+            .copied()
+            .collect();
+        pending.sort_by_key(|f| f.at_iteration());
+        let delays: Vec<FaultEvent> = faults
+            .iter()
+            .filter(|f| matches!(f, FaultEvent::Delay { .. }))
+            .copied()
+            .collect();
+
+        // The shared pair→node placement: a fault names a node, and
+        // both engines hit the pairs that placement puts there; the
+        // balancer migrates pairs between these nodes; node speeds are
+        // emulated per pair. Oversubscribed clean runs (more pairs than
+        // the spec has slots, e.g. the thread-scaling bench on a
+        // single-node spec) fall back to modulo placement.
+        let cluster = self.dfs.cluster();
+        let needs_placement =
+            !pending.is_empty() || !delays.is_empty() || cfg.load_balance.is_some();
+        let mut assignment: Vec<NodeId> = if n <= cluster.pair_capacity() {
+            cluster.assign_pairs(n)
         } else {
-            self.dfs.cluster().assign_pairs(n)
+            if needs_placement {
+                return Err(EngineError::Config(format!(
+                    "{n} pairs exceed the cluster's pair capacity {}: fault \
+                     injection and load balancing need every pair on a real slot",
+                    cluster.pair_capacity()
+                )));
+            }
+            let ids: Vec<NodeId> = cluster.node_ids().collect();
+            (0..n).map(|p| ids[p % ids.len()]).collect()
         };
 
         let started = Instant::now();
@@ -209,17 +300,45 @@ impl NativeRunner {
         let mut committed_dist: Vec<Vec<(f64, bool)>> = vec![Vec::new(); n];
         let mut committed_done: Vec<Vec<Duration>> = vec![Vec::new(); n];
         let mut recoveries = 0u64;
+        let mut migrations = 0u64;
+        // Consecutive watchdog stalls with no scripted cause and no
+        // checkpoint progress — the backstop against retrying a
+        // persistent unscripted stall forever.
+        let mut stall_retries = 0u32;
+        let monitor_enabled = cfg.watchdog.is_some() || cfg.load_balance.is_some();
 
         // ---- Generation loop: run until a generation survives --------
         let final_runs: Vec<WorkerRun<J::K, J::S>> = loop {
-            // This generation's failure script, resolved per pair.
-            let fail_iters: Vec<Vec<usize>> = (0..n)
+            // This generation's fault script + emulated speed, resolved
+            // per pair from its current placement.
+            let plans: Vec<PairPlan> = (0..n)
                 .map(|p| {
-                    pending
-                        .iter()
-                        .filter(|f| assignment.get(p) == Some(&f.node))
-                        .map(|f| f.at_iteration)
-                        .collect()
+                    let node = assignment[p];
+                    PairPlan {
+                        kills: pending
+                            .iter()
+                            .filter(|f| matches!(f, FaultEvent::Kill { .. }) && f.node() == node)
+                            .map(|f| f.at_iteration())
+                            .collect(),
+                        hangs: pending
+                            .iter()
+                            .filter(|f| matches!(f, FaultEvent::Hang { .. }) && f.node() == node)
+                            .map(|f| f.at_iteration())
+                            .collect(),
+                        delays: delays
+                            .iter()
+                            .filter(|f| f.node() == node)
+                            .map(|f| match *f {
+                                FaultEvent::Delay {
+                                    at_iteration,
+                                    millis,
+                                    ..
+                                } => (at_iteration, millis),
+                                _ => unreachable!("delays hold only Delay events"),
+                            })
+                            .collect(),
+                        speed: cluster.speed(node),
+                    }
                 })
                 .collect();
 
@@ -241,75 +360,125 @@ impl NativeRunner {
             let dist_slots: Arc<Vec<Mutex<(f64, bool)>>> =
                 Arc::new((0..n).map(|_| Mutex::new((0.0, false))).collect());
             let barrier = Arc::new(FaultBarrier::new(n));
+            let board = Arc::new(ProgressBoard::new(n, epoch));
+            let workers_done = Arc::new(AtomicBool::new(false));
 
-            let runs: Vec<WorkerRun<J::K, J::S>> = thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n);
-                for ((q, sends), recvs) in senders.into_iter().enumerate().zip(receivers) {
-                    let dfs = self.dfs.clone();
-                    let metrics = Arc::clone(&self.metrics);
-                    let slots = Arc::clone(&slots);
-                    let dist_slots = Arc::clone(&dist_slots);
-                    let barrier = Arc::clone(&barrier);
-                    let my_fails = fail_iters[q].clone();
-                    handles.push(scope.spawn(move || {
-                        let run = catch_unwind(AssertUnwindSafe(|| {
-                            worker::<J>(
-                                q,
-                                n,
-                                job,
-                                cfg,
-                                &dfs,
-                                &metrics,
-                                state_dir,
-                                static_dir,
-                                output_dir,
-                                epoch,
-                                &my_fails,
-                                sends,
-                                recvs,
-                                &slots,
-                                &dist_slots,
+            let (runs, intervention): (Vec<WorkerRun<J::K, J::S>>, Option<Intervention>) =
+                thread::scope(|scope| {
+                    // The monitor shares the generation's scope: it
+                    // watches the board and kills the generation through
+                    // the same barrier the workers rally on.
+                    let monitor_handle = if monitor_enabled {
+                        let board = Arc::clone(&board);
+                        let barrier = Arc::clone(&barrier);
+                        let workers_done = Arc::clone(&workers_done);
+                        let metrics = Arc::clone(&self.metrics);
+                        let watchdog = cfg.watchdog;
+                        let lb = cfg.load_balance;
+                        let assignment = &assignment;
+                        Some(scope.spawn(move || {
+                            let balance = lb.map(|lb| BalancePlan {
+                                cluster,
+                                assignment,
+                                deviation: lb.deviation,
+                                remaining: (lb.max_migrations as u64).saturating_sub(migrations)
+                                    as usize,
+                            });
+                            monitor_loop(
+                                &board,
                                 &barrier,
-                                started,
+                                &workers_done,
+                                watchdog,
+                                balance,
+                                &metrics,
                             )
-                        }));
-                        let run = run.unwrap_or_else(|payload| {
-                            // A panic in job code: surface it as an
-                            // engine error instead of hanging peers.
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_owned())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "panicked".to_owned());
-                            WorkerRun {
-                                local_dist: Vec::new(),
-                                iter_done: Vec::new(),
-                                last_ckpt: epoch,
-                                outcome: WorkerOutcome::Error(EngineError::Worker(format!(
-                                    "pair {q} panicked: {msg}"
-                                ))),
+                        }))
+                    } else {
+                        None
+                    };
+
+                    let mut handles = Vec::with_capacity(n);
+                    for ((q, sends), recvs) in senders.into_iter().enumerate().zip(receivers) {
+                        let dfs = self.dfs.clone();
+                        let metrics = Arc::clone(&self.metrics);
+                        let slots = Arc::clone(&slots);
+                        let dist_slots = Arc::clone(&dist_slots);
+                        let barrier = Arc::clone(&barrier);
+                        let board = Arc::clone(&board);
+                        let plan = plans[q].clone();
+                        handles.push(scope.spawn(move || {
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                worker::<J>(
+                                    q,
+                                    n,
+                                    job,
+                                    cfg,
+                                    &dfs,
+                                    &metrics,
+                                    state_dir,
+                                    static_dir,
+                                    output_dir,
+                                    epoch,
+                                    &plan,
+                                    sends,
+                                    recvs,
+                                    &slots,
+                                    &dist_slots,
+                                    &barrier,
+                                    &board,
+                                    started,
+                                )
+                            }));
+                            let run = run.unwrap_or_else(|payload| {
+                                // A panic in job code: surface it as an
+                                // engine error instead of hanging peers.
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_owned())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "panicked".to_owned());
+                                WorkerRun {
+                                    local_dist: Vec::new(),
+                                    iter_done: Vec::new(),
+                                    last_ckpt: epoch,
+                                    outcome: WorkerOutcome::Error(EngineError::Worker(format!(
+                                        "pair {q} panicked: {msg}"
+                                    ))),
+                                }
+                            });
+                            board.mark_exited(q);
+                            if !matches!(run.outcome, WorkerOutcome::Finished { .. }) {
+                                // Wake any peer rallying at the barrier; the
+                                // channel drops above already woke the rest.
+                                barrier.poison();
                             }
-                        });
-                        if !matches!(run.outcome, WorkerOutcome::Finished { .. }) {
-                            // Wake any peer rallying at the barrier; the
-                            // channel drops above already woke the rest.
-                            barrier.poison();
-                        }
-                        run
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                    .collect()
-            });
+                            run
+                        }));
+                    }
+                    let runs: Vec<WorkerRun<J::K, J::S>> = handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                        .collect();
+                    workers_done.store(true, Ordering::Release);
+                    let intervention = monitor_handle
+                        .and_then(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+                    (runs, intervention)
+                });
 
             // ---- Triage ------------------------------------------------
-            let fired: Vec<(usize, usize)> = runs
+            let fired_kills: Vec<(usize, usize)> = runs
                 .iter()
                 .enumerate()
                 .filter_map(|(q, r)| match r.outcome {
                     WorkerOutcome::Induced { at_iteration } => Some((q, at_iteration)),
+                    _ => None,
+                })
+                .collect();
+            let fired_hangs: Vec<(usize, usize)> = runs
+                .iter()
+                .enumerate()
+                .filter_map(|(q, r)| match r.outcome {
+                    WorkerOutcome::Stalled { at_iteration } => Some((q, at_iteration)),
                     _ => None,
                 })
                 .collect();
@@ -326,35 +495,97 @@ impl NativeRunner {
                 }
                 unreachable!("error outcome vanished");
             }
-            if fired.is_empty() {
-                if runs
-                    .iter()
-                    .any(|r| matches!(r.outcome, WorkerOutcome::Aborted))
-                {
-                    return Err(EngineError::Worker(
-                        "a worker aborted with no scripted failure and no error".into(),
-                    ));
-                }
-                break runs; // every pair finished: the run is done
+            let any_aborted = runs
+                .iter()
+                .any(|r| matches!(r.outcome, WorkerOutcome::Aborted));
+            let scripted_fired = !fired_kills.is_empty() || !fired_hangs.is_empty();
+            if !scripted_fired && !any_aborted {
+                // Every pair finished. A monitor intervention that lost
+                // the race against termination is ignored: the job is
+                // done, there is nothing to roll back.
+                break runs;
+            }
+            if !scripted_fired && intervention.is_none() {
+                return Err(EngineError::Worker(
+                    "a worker aborted with no scripted failure and no error".into(),
+                ));
             }
 
             // ---- Recovery (§3.4.1) -------------------------------------
             // Consume each scripted event that fired (a node-level event
             // hosting several pairs fires once per event, as in the
             // simulation engine's one-recovery-per-event accounting).
-            for &(q, at) in &fired {
-                if let Some(pos) = pending
-                    .iter()
-                    .position(|f| f.node == assignment[q] && f.at_iteration == at)
-                {
+            for &(q, at) in &fired_kills {
+                if let Some(pos) = pending.iter().position(|f| {
+                    matches!(f, FaultEvent::Kill { .. })
+                        && f.node() == assignment[q]
+                        && f.at_iteration() == at
+                }) {
                     pending.remove(pos);
                     recoveries += 1;
+                    self.metrics.recoveries.add(1);
+                }
+            }
+            for &(q, at) in &fired_hangs {
+                if let Some(pos) = pending.iter().position(|f| {
+                    matches!(f, FaultEvent::Hang { .. })
+                        && f.node() == assignment[q]
+                        && f.at_iteration() == at
+                }) {
+                    pending.remove(pos);
+                    recoveries += 1;
+                    self.metrics.recoveries.add(1);
                 }
             }
             // Roll back to the last epoch whose snapshot every pair
             // completed: async skew means a fast pair may have
             // checkpointed an iteration its slowest peer never reached.
             let new_epoch = runs.iter().map(|r| r.last_ckpt).min().unwrap_or(epoch);
+
+            if scripted_fired {
+                stall_retries = 0;
+            } else {
+                match intervention {
+                    Some(Intervention::Migrate { pair, to }) => {
+                        // §3.4.2: migration is a rollback under a new
+                        // placement. The monitor only fires once every
+                        // pair checkpointed past `epoch`, so `new_epoch`
+                        // strictly advances and repeated migrations
+                        // cannot livelock the job.
+                        migrations += 1;
+                        self.metrics.migrations.add(1);
+                        assignment[pair] = to;
+                        let mut ck = TaskClock::default();
+                        self.dfs.put_atomic(
+                            &migration_marker(output_dir, migrations, new_epoch),
+                            Bytes::from_static(b"migrated"),
+                            to,
+                            &mut ck,
+                        )?;
+                        stall_retries = 0;
+                    }
+                    Some(Intervention::Stall { pair }) => {
+                        // An unscripted stall: retry from the last
+                        // checkpoint, but give up if it persists with no
+                        // progress (a wedged pair would stall every
+                        // generation at the same epoch forever).
+                        if new_epoch > epoch {
+                            stall_retries = 0;
+                        } else {
+                            stall_retries += 1;
+                            if stall_retries >= 2 {
+                                return Err(EngineError::Worker(format!(
+                                    "watchdog declared pair {pair} stalled twice \
+                                     with no checkpoint progress; giving up"
+                                )));
+                            }
+                        }
+                        recoveries += 1;
+                        self.metrics.recoveries.add(1);
+                    }
+                    None => unreachable!("aborts without intervention were triaged above"),
+                }
+            }
             let keep = new_epoch - epoch;
             for (q, r) in runs.into_iter().enumerate() {
                 committed_dist[q].extend(r.local_dist.into_iter().take(keep));
@@ -456,7 +687,7 @@ impl NativeRunner {
             final_state,
             iterations,
             distances,
-            migrations: 0,
+            migrations,
             recoveries,
         })
     }
@@ -475,23 +706,24 @@ impl IterEngine for NativeRunner {
         &self.dfs
     }
 
-    fn run<J: IterativeJob>(
+    fn run_faults<J: IterativeJob>(
         &self,
         job: &J,
         cfg: &IterConfig,
         state_dir: &str,
         static_dir: &str,
         output_dir: &str,
-        failures: &[FailureEvent],
+        faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
-        NativeRunner::run(self, job, cfg, state_dir, static_dir, output_dir, failures)
+        NativeRunner::run_faults(self, job, cfg, state_dir, static_dir, output_dir, faults)
     }
 }
 
 /// One persistent map/reduce pair for one generation, pinned to one
 /// thread. The body is a line-for-line data-path port of the simulation
 /// engine's per-iteration loop with the virtual clocks removed, plus
-/// §3.4.1 checkpointing and the scripted-failure exit point.
+/// §3.4.1 checkpointing, heartbeat publication for the watchdog, and
+/// the scripted-fault exit points.
 #[allow(clippy::too_many_arguments)]
 fn worker<J: IterativeJob>(
     q: usize,
@@ -504,12 +736,13 @@ fn worker<J: IterativeJob>(
     static_dir: &str,
     output_dir: &str,
     epoch: usize,
-    fail_iters: &[usize],
+    plan: &PairPlan,
     sends: Vec<Sender<Bytes>>,
     recvs: Vec<Receiver<Bytes>>,
     slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
     dist_slots: &[Mutex<(f64, bool)>],
     barrier: &FaultBarrier,
+    board: &ProgressBoard,
     started: Instant,
 ) -> WorkerRun<J::K, J::S> {
     let mut local_dist: Vec<(f64, bool)> = Vec::new();
@@ -526,12 +759,13 @@ fn worker<J: IterativeJob>(
         static_dir,
         output_dir,
         epoch,
-        fail_iters,
+        plan,
         sends,
         recvs,
         slots,
         dist_slots,
         barrier,
+        board,
         started,
         &mut local_dist,
         &mut iter_done,
@@ -560,12 +794,13 @@ fn worker_loop<J: IterativeJob>(
     static_dir: &str,
     output_dir: &str,
     epoch: usize,
-    fail_iters: &[usize],
+    plan: &PairPlan,
     sends: Vec<Sender<Bytes>>,
     recvs: Vec<Receiver<Bytes>>,
     slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
     dist_slots: &[Mutex<(f64, bool)>],
     barrier: &FaultBarrier,
+    board: &ProgressBoard,
     started: Instant,
     local_dist: &mut Vec<(f64, bool)>,
     iter_done: &mut Vec<Duration>,
@@ -621,9 +856,21 @@ fn worker_loop<J: IterativeJob>(
     }
 
     for it in (epoch + 1)..=max_iters {
+        // A poisoned barrier means the generation is being torn down
+        // (peer death or a monitor intervention). In async mode no
+        // barrier wait may be reached before the next blocking channel
+        // op, so check explicitly: the unwind must cascade even when
+        // this pair's own channels are still healthy.
+        if barrier.is_poisoned() {
+            return Ok(WorkerOutcome::Aborted);
+        }
         if sync && barrier.wait().is_err() {
             return Ok(WorkerOutcome::Aborted);
         }
+        // Busy time = compute only (map + reduce spans), excluding
+        // channel blocking — the load signal §3.4.2's balancer keys on.
+        let mut busy = Duration::ZERO;
+        let map_start = Instant::now();
 
         // ---- Map phase -----------------------------------------------
         let mut emitter = Emitter::new();
@@ -651,20 +898,28 @@ fn worker_loop<J: IterativeJob>(
             let t = job.partition(&k, n);
             partitions[t].push((k, v));
         }
-        for (dest, mut part) in partitions.into_iter().enumerate() {
-            sort_run(&mut part);
-            let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
-                let mut combined = Vec::new();
-                for (k, vals) in group_sorted(part) {
-                    for v in job.combine(&k, vals) {
-                        combined.push((k.clone(), v));
+        let segs: Vec<Bytes> = partitions
+            .into_iter()
+            .map(|mut part| {
+                sort_run(&mut part);
+                let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
+                    let mut combined = Vec::new();
+                    for (k, vals) in group_sorted(part) {
+                        for v in job.combine(&k, vals) {
+                            combined.push((k.clone(), v));
+                        }
                     }
-                }
-                combined
-            } else {
-                part
-            };
-            let seg = encode_pairs(&final_part);
+                    combined
+                } else {
+                    part
+                };
+                encode_pairs(&final_part)
+            })
+            .collect();
+        busy += map_start.elapsed();
+        // Sends sit outside the busy span: a blocked send is
+        // back-pressure from a slow consumer, not this pair's load.
+        for (dest, seg) in segs.into_iter().enumerate() {
             metrics.shuffle_local_bytes.add(seg.len() as u64);
             if sends[dest].send(seg).is_err() {
                 return Ok(WorkerOutcome::Aborted);
@@ -674,13 +929,18 @@ fn worker_loop<J: IterativeJob>(
         // ---- Reduce phase --------------------------------------------
         // Drain peers in task order: merge_runs breaks key ties by run
         // index, so the run order must match the simulation engine's.
+        // Blocking receives stay outside the busy span.
+        let mut raw_segs: Vec<Bytes> = Vec::with_capacity(n);
+        for rx in &recvs {
+            match rx.recv() {
+                Ok(seg) => raw_segs.push(seg),
+                Err(_) => return Ok(WorkerOutcome::Aborted),
+            }
+        }
+        let reduce_start = Instant::now();
         let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
         let mut total_rec = 0u64;
-        for rx in &recvs {
-            let seg = match rx.recv() {
-                Ok(seg) => seg,
-                Err(_) => return Ok(WorkerOutcome::Aborted),
-            };
+        for seg in raw_segs {
             let run: Vec<(J::K, J::S)> = decode_pairs(seg)?;
             total_rec += run.len() as u64;
             runs.push(run);
@@ -713,6 +973,26 @@ fn worker_loop<J: IterativeJob>(
             }
         }
         local_dist.push((d, has_prev));
+        busy += reduce_start.elapsed();
+
+        // ---- Emulated slowdowns --------------------------------------
+        // A node speed below 1.0 stretches this pair's compute time
+        // proportionally (heterogeneous hardware); a scripted Delay adds
+        // a fixed pause at its iteration. Both feed the heartbeat's busy
+        // figure so the balancer and watchdog see the stretched load.
+        let mut effective_busy = busy.as_secs_f64();
+        if plan.speed < 1.0 {
+            let extra = busy.as_secs_f64() * (1.0 / plan.speed - 1.0);
+            thread::sleep(Duration::from_secs_f64(extra));
+            effective_busy += extra;
+        }
+        for &(at, millis) in &plan.delays {
+            if at == it {
+                let pause = Duration::from_millis(millis);
+                thread::sleep(pause);
+                effective_busy += pause.as_secs_f64();
+            }
+        }
 
         // ---- State hand-off back to the map side ---------------------
         if one2all {
@@ -749,6 +1029,7 @@ fn worker_loop<J: IterativeJob>(
             state = new_state;
         }
         iter_done.push(started.elapsed());
+        board.beat(q, it, effective_busy);
 
         // ---- Termination check (§3.1.2) ------------------------------
         // Every pair computes the same verdict from the same slots, so
@@ -799,6 +1080,7 @@ fn worker_loop<J: IterativeJob>(
                 &mut ck,
             )?;
             *last_ckpt = it;
+            board.mark_ckpt(q, it);
         }
         if done {
             return Ok(WorkerOutcome::Finished {
@@ -811,12 +1093,18 @@ fn worker_loop<J: IterativeJob>(
             });
         }
 
-        // ---- Scripted failure (fault injection) ----------------------
+        // ---- Scripted faults (fault injection) -----------------------
         // Same decision point as the simulation engine: a pair dies
         // right after completing iteration `it`, never on the final
-        // iteration (the done-check above fires first).
-        if fail_iters.contains(&it) {
+        // iteration (the done-check above fires first). A kill exits
+        // immediately; a hang goes silent — channels held open, no
+        // heartbeats — until the watchdog poisons the generation.
+        if plan.kills.contains(&it) {
             return Ok(WorkerOutcome::Induced { at_iteration: it });
+        }
+        if plan.hangs.contains(&it) {
+            barrier.block_until_poisoned();
+            return Ok(WorkerOutcome::Stalled { at_iteration: it });
         }
     }
 
@@ -829,7 +1117,7 @@ fn worker_loop<J: IterativeJob>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imapreduce::{load_partitioned, IterativeRunner};
+    use imapreduce::{load_partitioned, IterativeRunner, LoadBalance, WatchdogConfig};
     use imr_simcluster::{ClusterSpec, Metrics};
 
     /// Each key's state is halved every iteration (same as the core
@@ -1157,6 +1445,154 @@ mod tests {
         // the failure point, so a final-iteration event is inert.
         assert_eq!(out.recoveries, 0);
         assert_eq!(out.iterations, 4);
+    }
+
+    #[test]
+    fn hang_recovery_via_watchdog_matches_clean_run() {
+        let wd = WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall_timeout: Duration::from_millis(150),
+        };
+        let cfg = IterConfig::new("halve", 3, 6)
+            .with_checkpoint_interval(2)
+            .with_watchdog(wd);
+        let (clean_rt, _) = fixtures(4);
+        load_halve(clean_rt.dfs(), 3);
+        let clean = clean_rt
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+
+        // No scripted kill anywhere: only the watchdog can turn the
+        // hang back into a recoverable failure.
+        let (hung_rt, _) = fixtures(4);
+        load_halve(hung_rt.dfs(), 3);
+        let hung = hung_rt
+            .run_faults(
+                &Halve,
+                &cfg,
+                "/state",
+                "/static",
+                "/out",
+                &[FaultEvent::Hang {
+                    node: NodeId(0),
+                    at_iteration: 3,
+                }],
+            )
+            .unwrap();
+        assert_eq!(hung.recoveries, 1);
+        assert_eq!(hung_rt.metrics().stalls_detected.get(), 1);
+        assert_eq!(hung.final_state, clean.final_state);
+        assert_eq!(hung.iterations, clean.iterations);
+        assert_eq!(hung.distances, clean.distances);
+    }
+
+    #[test]
+    fn watchdog_rides_out_scripted_delays() {
+        // A slow-but-progressing pair must not be declared stalled:
+        // the delays here are well under the stall timeout, so the run
+        // completes with zero interventions (and, being delay-only, it
+        // does not even need checkpoints).
+        let wd = WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall_timeout: Duration::from_millis(400),
+        };
+        let cfg = IterConfig::new("halve", 2, 5).with_watchdog(wd);
+        let (clean_rt, _) = fixtures(2);
+        load_halve(clean_rt.dfs(), 2);
+        let clean = clean_rt
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+
+        let (slow_rt, _) = fixtures(2);
+        load_halve(slow_rt.dfs(), 2);
+        let slow = slow_rt
+            .run_faults(
+                &Halve,
+                &cfg,
+                "/state",
+                "/static",
+                "/out",
+                &[
+                    FaultEvent::Delay {
+                        node: NodeId(0),
+                        at_iteration: 2,
+                        millis: 60,
+                    },
+                    FaultEvent::Delay {
+                        node: NodeId(1),
+                        at_iteration: 3,
+                        millis: 60,
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(slow.recoveries, 0);
+        assert_eq!(slow_rt.metrics().stalls_detected.get(), 0);
+        assert_eq!(slow.final_state, clean.final_state);
+        assert_eq!(slow.iterations, clean.iterations);
+    }
+
+    /// CPU-heavy variant of Halve: each map burns measurable compute so
+    /// the per-pair busy EWMA clearly separates an emulated slow node.
+    struct Grind;
+    impl IterativeJob for Grind {
+        type K = u32;
+        type S = f64;
+        type T = ();
+        fn map(&self, k: &u32, s: StateInput<'_, u32, f64>, _t: &(), out: &mut Emitter<u32, f64>) {
+            let mut x = s.one() / 2.0;
+            for _ in 0..40_000 {
+                x = std::hint::black_box(x);
+            }
+            out.emit(*k, x);
+        }
+        fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {
+            values.into_iter().sum()
+        }
+    }
+
+    fn skewed_runner() -> NativeRunner {
+        let mut spec = ClusterSpec::local(5);
+        spec.nodes[0].speed = 0.2;
+        let spec = Arc::new(spec);
+        let metrics: MetricsHandle = Arc::new(Metrics::default());
+        let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, 1 << 20);
+        NativeRunner::new(dfs, metrics)
+    }
+
+    #[test]
+    fn skewed_cluster_migrates_and_matches_the_unbalanced_run() {
+        let base = IterConfig::new("grind", 4, 8)
+            .with_checkpoint_interval(1)
+            .with_watchdog(WatchdogConfig {
+                poll: Duration::from_millis(2),
+                stall_timeout: Duration::from_secs(5),
+            });
+        let plain_rt = skewed_runner();
+        load_halve(plain_rt.dfs(), 4);
+        let plain = plain_rt
+            .run(&Grind, &base, "/state", "/static", "/out", &[])
+            .unwrap();
+        assert_eq!(plain.migrations, 0);
+
+        let lb_rt = skewed_runner();
+        load_halve(lb_rt.dfs(), 4);
+        let cfg = base.clone().with_load_balance(LoadBalance {
+            deviation: 0.5,
+            max_migrations: 4,
+        });
+        let balanced = lb_rt
+            .run(&Grind, &cfg, "/state", "/static", "/out", &[])
+            .unwrap();
+        assert!(
+            balanced.migrations >= 1,
+            "the 5x-slower node must trigger at least one migration"
+        );
+        assert_eq!(lb_rt.metrics().migrations.get(), balanced.migrations);
+        assert!(!imr_dfs::migration_epochs(lb_rt.dfs(), "/out").is_empty());
+        // Migration is rollback under a new placement: bit-identical.
+        assert_eq!(balanced.final_state, plain.final_state);
+        assert_eq!(balanced.iterations, plain.iterations);
     }
 
     #[test]

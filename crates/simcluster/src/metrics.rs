@@ -55,6 +55,11 @@ pub struct Metrics {
     pub tasks_launched: Counter,
     /// Task migrations performed by load balancing.
     pub migrations: Counter,
+    /// Stalled workers declared failed by the watchdog (hang faults on
+    /// the native backend, modelled stall detection on the simulator).
+    pub stalls_detected: Counter,
+    /// Failure recoveries performed (checkpoint rollback + respawn).
+    pub recoveries: Counter,
     /// Records passed through user map functions.
     pub map_input_records: Counter,
     /// Records passed through user reduce functions.
@@ -86,7 +91,7 @@ impl Metrics {
     /// Every counter in declaration order. Whole-registry operations go
     /// through this list so a newly added counter cannot be forgotten
     /// by one of them.
-    fn counters(&self) -> [&Counter; 13] {
+    fn counters(&self) -> [&Counter; 15] {
         [
             &self.shuffle_remote_bytes,
             &self.shuffle_local_bytes,
@@ -99,6 +104,8 @@ impl Metrics {
             &self.jobs_launched,
             &self.tasks_launched,
             &self.migrations,
+            &self.stalls_detected,
+            &self.recoveries,
             &self.map_input_records,
             &self.reduce_input_records,
         ]
@@ -132,6 +139,8 @@ impl Metrics {
             jobs_launched: self.jobs_launched.get(),
             tasks_launched: self.tasks_launched.get(),
             migrations: self.migrations.get(),
+            stalls_detected: self.stalls_detected.get(),
+            recoveries: self.recoveries.get(),
             map_input_records: self.map_input_records.get(),
             reduce_input_records: self.reduce_input_records.get(),
         }
@@ -167,6 +176,10 @@ pub struct MetricsSnapshot {
     pub tasks_launched: u64,
     /// See [`Metrics::migrations`].
     pub migrations: u64,
+    /// See [`Metrics::stalls_detected`].
+    pub stalls_detected: u64,
+    /// See [`Metrics::recoveries`].
+    pub recoveries: u64,
     /// See [`Metrics::map_input_records`].
     pub map_input_records: u64,
     /// See [`Metrics::reduce_input_records`].

@@ -184,6 +184,73 @@ impl ClusterSpec {
         assignment
     }
 
+    /// The paper's §3.4.2 migration rule, shared by both engines:
+    /// per-node load is the worst per-pair busy time hosted there;
+    /// average the node loads excluding the longest and shortest, and
+    /// when the slowest node exceeds that average by more than
+    /// `deviation`, migrate one of its pairs to the fastest node with
+    /// spare capacity. Returns `(pair, target_node)` or `None` when the
+    /// cluster is balanced (or no profitable target exists — migrating
+    /// onto an equally slow or slower node never helps).
+    ///
+    /// `pair_busy[q]` is pair `q`'s per-iteration busy time: virtual
+    /// seconds on the simulation engine, a wall-clock EWMA on the
+    /// native backend. The rule itself is substrate-agnostic.
+    pub fn pick_migration(
+        &self,
+        assignment: &[NodeId],
+        pair_busy: &[f64],
+        deviation: f64,
+    ) -> Option<(usize, NodeId)> {
+        let mut node_time = vec![0.0f64; self.len()];
+        let mut node_pairs: Vec<Vec<usize>> = vec![Vec::new(); self.len()];
+        for (q, node) in assignment.iter().enumerate() {
+            node_time[node.index()] = node_time[node.index()].max(pair_busy[q]);
+            node_pairs[node.index()].push(q);
+        }
+        let mut active: Vec<(usize, f64)> = node_time
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !node_pairs[*i].is_empty())
+            .map(|(i, &t)| (i, t))
+            .collect();
+        if active.len() < 2 {
+            return None;
+        }
+        active.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let avg = if active.len() > 2 {
+            let inner = &active[1..active.len() - 1];
+            inner.iter().map(|(_, t)| t).sum::<f64>() / inner.len() as f64
+        } else {
+            active.iter().map(|(_, t)| t).sum::<f64>() / active.len() as f64
+        };
+        let (slowest_node, slowest_time) = *active.last().unwrap();
+        if avg <= 0.0 || slowest_time <= avg * (1.0 + deviation) {
+            return None;
+        }
+        // Fastest worker with spare capacity; prefer idle nodes.
+        let mut per_node = vec![0usize; self.len()];
+        for node in assignment {
+            per_node[node.index()] += 1;
+        }
+        let target = self
+            .node_ids()
+            .filter(|nid| nid.index() != slowest_node)
+            .filter(|nid| per_node[nid.index()] < self.node_pair_capacity(*nid))
+            .min_by(|a, b| {
+                node_time[a.index()]
+                    .partial_cmp(&node_time[b.index()])
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            })?;
+        // Migrating onto a slower node never helps.
+        if self.speed(target) <= self.speed(NodeId(slowest_node as u32)) {
+            return None;
+        }
+        let pair = *node_pairs[slowest_node].first()?;
+        Some((pair, target))
+    }
+
     /// Transfer time for `bytes` from `from` to `to` under this
     /// cluster's cost model: local transfers use loopback bandwidth,
     /// remote transfers pay latency plus network bandwidth.
@@ -240,5 +307,39 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_rejected() {
         let _ = ClusterSpec::uniform("empty", 0, CostModel::hadoop_era());
+    }
+
+    #[test]
+    fn pick_migration_moves_off_the_slow_node() {
+        let mut spec = ClusterSpec::local(4);
+        spec.nodes[0].speed = 0.2;
+        // Pairs 0..3 on nodes 0..3; pair 0 is ~5x slower than the rest.
+        let assignment: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let busy = [5.0, 1.0, 1.0, 1.1];
+        let (pair, target) = spec
+            .pick_migration(&assignment, &busy, 0.3)
+            .expect("imbalance above threshold must migrate");
+        assert_eq!(pair, 0);
+        // Least-loaded faster node (node1, load 1.0).
+        assert_eq!(target, NodeId(1));
+    }
+
+    #[test]
+    fn pick_migration_respects_deviation_threshold() {
+        let spec = ClusterSpec::local(4);
+        let assignment: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // 10% over the trimmed mean: below a 25% deviation threshold.
+        let busy = [1.1, 1.0, 1.0, 1.0];
+        assert_eq!(spec.pick_migration(&assignment, &busy, 0.25), None);
+    }
+
+    #[test]
+    fn pick_migration_never_targets_a_slower_node() {
+        let mut spec = ClusterSpec::local(2);
+        spec.nodes[0].speed = 0.5;
+        spec.nodes[1].speed = 0.4; // even slower than the straggler
+        let assignment = vec![NodeId(0), NodeId(1)];
+        let busy = [10.0, 1.0];
+        assert_eq!(spec.pick_migration(&assignment, &busy, 0.1), None);
     }
 }

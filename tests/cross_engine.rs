@@ -2,14 +2,18 @@
 //! the same generated data and must agree with each other and with the
 //! sequential references.
 
-use imapreduce::{FailureEvent, IterConfig, IterEngine, IterOutcome};
+use imapreduce::{FailureEvent, IterConfig, IterEngine, IterOutcome, LoadBalance, WatchdogConfig};
 use imr_algorithms::kmeans::{KmState, KmeansIter};
 use imr_algorithms::pagerank::PageRankIter;
 use imr_algorithms::sssp::SsspIter;
-use imr_algorithms::testutil::{imr_runner, imr_runner_on, mr_runner, native_runner};
+use imr_algorithms::testutil::{
+    imr_runner, imr_runner_on, mr_runner, native_runner, native_runner_on,
+};
 use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
 use imr_graph::{dataset, generate_matrix, generate_points, Graph};
+use imr_native::NativeRunner;
 use imr_simcluster::{ClusterSpec, NodeId, TaskClock};
+use std::time::Duration;
 
 #[test]
 fn sssp_pipeline_catalog_to_engines() {
@@ -330,6 +334,86 @@ fn kmeans_failure_runs_match_clean_runs_on_both_engines() {
         }
         assert_eq!(sim_fail.final_state, nat_fail.final_state);
     }
+}
+
+/// A native runner on a 5-node cluster whose node 0 is emulated 10x
+/// slower, with a spare fast node for the balancer to migrate onto.
+fn skewed_native() -> NativeRunner {
+    let mut spec = ClusterSpec::local(5);
+    spec.nodes[0].speed = 0.1;
+    native_runner_on(spec)
+}
+
+/// Checkpoint-every-iteration + a fast-polling monitor: the base
+/// configuration both the migration-free and migration-enabled runs
+/// share, so the only difference is the balancer.
+fn skew_cfg(name: &str, iters: usize) -> IterConfig {
+    IterConfig::new(name, 4, iters)
+        .with_checkpoint_interval(1)
+        .with_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(2),
+            stall_timeout: Duration::from_secs(10),
+        })
+}
+
+fn with_balance(cfg: IterConfig) -> IterConfig {
+    cfg.with_load_balance(LoadBalance {
+        deviation: 0.3,
+        max_migrations: 4,
+    })
+}
+
+/// §3.4.2 on the native backend, per algorithm: a run that migrates the
+/// straggling pair off the slow node must be bit-identical to the run
+/// that never migrates — migration is rollback under a new placement,
+/// invisible in results.
+#[test]
+fn native_sssp_migration_is_bit_identical_to_migration_free() {
+    let g = dataset("DBLP").unwrap().generate(0.01);
+    let plain_rt = skewed_native();
+    let plain = sssp_run(&plain_rt, &g, &skew_cfg("sssp", 10), &[]);
+    assert_eq!(plain.migrations, 0);
+
+    let lb_rt = skewed_native();
+    let balanced = sssp_run(&lb_rt, &g, &with_balance(skew_cfg("sssp", 10)), &[]);
+    assert!(balanced.migrations >= 1, "slow node must trigger migration");
+    assert_eq!(lb_rt.metrics().migrations.get(), balanced.migrations);
+    assert_eq!(balanced.final_state, plain.final_state);
+    assert_eq!(balanced.iterations, plain.iterations);
+    assert_eq!(balanced.distances, plain.distances);
+}
+
+#[test]
+fn native_pagerank_migration_is_bit_identical_to_migration_free() {
+    let g = dataset("Google").unwrap().generate(0.01);
+    let plain_rt = skewed_native();
+    let plain = pagerank_run(&plain_rt, &g, &skew_cfg("pr", 10), &[]);
+    assert_eq!(plain.migrations, 0);
+
+    let lb_rt = skewed_native();
+    let balanced = pagerank_run(&lb_rt, &g, &with_balance(skew_cfg("pr", 10)), &[]);
+    assert!(balanced.migrations >= 1, "slow node must trigger migration");
+    assert_eq!(lb_rt.metrics().migrations.get(), balanced.migrations);
+    assert_eq!(balanced.final_state, plain.final_state);
+    assert_eq!(balanced.iterations, plain.iterations);
+}
+
+#[test]
+fn native_kmeans_migration_is_bit_identical_to_migration_free() {
+    // Enough points that a k-means iteration has measurable compute for
+    // the busy EWMA to separate the slow node.
+    let points = generate_points(20_000, 16, 8, 77);
+    let base = skew_cfg("km", 8).with_one2all();
+    let plain_rt = skewed_native();
+    let plain = kmeans_run(&plain_rt, &points, &base, &[]);
+    assert_eq!(plain.migrations, 0);
+
+    let lb_rt = skewed_native();
+    let balanced = kmeans_run(&lb_rt, &points, &with_balance(base), &[]);
+    assert!(balanced.migrations >= 1, "slow node must trigger migration");
+    assert_eq!(lb_rt.metrics().migrations.get(), balanced.migrations);
+    assert_eq!(balanced.final_state, plain.final_state);
+    assert_eq!(balanced.iterations, plain.iterations);
 }
 
 #[test]

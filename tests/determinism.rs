@@ -2,11 +2,12 @@
 //! inputs — identical across repeated runs, engines included — and the
 //! metrics snapshots match exactly.
 
-use imapreduce::IterConfig;
+use imapreduce::{FaultEvent, IterConfig, WatchdogConfig};
+use imr_algorithms::pagerank::PageRankIter;
 use imr_algorithms::testutil::{imr_runner_on, mr_runner_on};
 use imr_algorithms::{pagerank, sssp};
 use imr_graph::dataset;
-use imr_simcluster::{ClusterSpec, MetricsSnapshot, VInstant};
+use imr_simcluster::{ClusterSpec, MetricsSnapshot, NodeId, VInstant};
 
 fn imr_run() -> (VInstant, Vec<VInstant>, MetricsSnapshot) {
     let g = dataset("Google").unwrap().generate(0.002);
@@ -39,6 +40,49 @@ fn imapreduce_timeline_is_bit_reproducible() {
 #[test]
 fn mapreduce_timeline_is_bit_reproducible() {
     assert_eq!(mr_run(), mr_run());
+}
+
+/// The fault timeline is part of the pure function: a schedule mixing a
+/// delay, a watchdog-detected hang and a kill shifts virtual time in a
+/// bit-reproducible way — and strictly costs more virtual time than the
+/// undisturbed run.
+#[test]
+fn faulted_timeline_is_bit_reproducible() {
+    fn faulted_run(faults: &[FaultEvent]) -> (VInstant, Vec<VInstant>, MetricsSnapshot) {
+        let g = dataset("Google").unwrap().generate(0.002);
+        let r = imr_runner_on(ClusterSpec::ec2(10));
+        let cfg = IterConfig::new("pr", 10, 6)
+            .with_checkpoint_interval(2)
+            .with_watchdog(WatchdogConfig::default());
+        pagerank::load_pagerank_imr(&r, &g, 10, "/s", "/t").unwrap();
+        let job = PageRankIter::new(g.num_nodes() as u64);
+        let out = r.run_faults(&job, &cfg, "/s", "/t", "/o", faults).unwrap();
+        (
+            out.report.finished,
+            out.report.iteration_done,
+            out.report.metrics,
+        )
+    }
+    let faults = [
+        FaultEvent::Delay {
+            node: NodeId(2),
+            at_iteration: 2,
+            millis: 40,
+        },
+        FaultEvent::Hang {
+            node: NodeId(5),
+            at_iteration: 3,
+        },
+        FaultEvent::Kill {
+            node: NodeId(1),
+            at_iteration: 5,
+        },
+    ];
+    let a = faulted_run(&faults);
+    let b = faulted_run(&faults);
+    assert_eq!(a, b);
+    let clean = faulted_run(&[]);
+    assert!(a.0 > clean.0, "faults must cost virtual time");
 }
 
 #[test]

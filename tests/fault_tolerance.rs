@@ -3,12 +3,13 @@
 //! on the simulation engine *and* on the native threaded backend, which
 //! injects the same `FailureEvent` scripts into real worker threads.
 
-use imapreduce::{FailureEvent, IterConfig, LoadBalance};
+use imapreduce::{FailureEvent, FaultEvent, IterConfig, LoadBalance, WatchdogConfig};
 use imr_algorithms::sssp::{self, SsspIter};
 use imr_algorithms::testutil::{imr_runner_on, native_runner};
 use imr_graph::dataset;
 use imr_mapreduce::EngineError;
 use imr_simcluster::{ClusterSpec, NodeId};
+use std::time::Duration;
 
 fn run_with_failures(failures: &[FailureEvent], ckpt: usize) -> imapreduce::IterOutcome<u32, f64> {
     let g = dataset("DBLP").unwrap().generate(0.003);
@@ -207,6 +208,142 @@ fn native_failure_without_checkpointing_is_a_clear_error() {
         EngineError::Config(msg) => assert!(msg.contains("checkpoint_interval")),
         other => panic!("expected a configuration error, got {other}"),
     }
+}
+
+/// The self-healing acceptance path: a pair wedges mid-job with *no*
+/// scripted kill anywhere, and only the supervisor watchdog can notice
+/// the stall, declare the pair failed, and drive checkpoint rollback.
+/// The result must still be bit-identical to a clean run.
+#[test]
+fn native_hang_recovers_via_watchdog_bit_identically() {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let cfg = IterConfig::new("sssp", 4, 8)
+        .with_checkpoint_interval(2)
+        .with_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall_timeout: Duration::from_millis(300),
+        });
+
+    let clean_rt = native_runner(4);
+    sssp::load_sssp_imr(&clean_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let clean = clean_rt
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", &[])
+        .unwrap();
+
+    let hung_rt = native_runner(4);
+    sssp::load_sssp_imr(&hung_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let hung = hung_rt
+        .run_faults(
+            &SsspIter,
+            &cfg,
+            "/s",
+            "/t",
+            "/o",
+            &[FaultEvent::Hang {
+                node: NodeId(2),
+                at_iteration: 4,
+            }],
+        )
+        .unwrap();
+    assert_eq!(hung.recoveries, 1);
+    assert_eq!(hung_rt.metrics().stalls_detected.get(), 1);
+    assert_eq!(clean.final_state, hung.final_state);
+    assert_eq!(clean.iterations, hung.iterations);
+}
+
+/// The simulation engine models the same watchdog: a hang is detected
+/// only after `stall_timeout` of virtual-time silence, so it costs more
+/// virtual time than an equivalent kill but recovers identically.
+#[test]
+fn sim_hang_recovery_counts_a_stall_and_costs_the_timeout() {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let cfg = IterConfig::new("sssp", 4, 8)
+        .with_checkpoint_interval(2)
+        .with_watchdog(WatchdogConfig::default());
+
+    let clean_rt = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&clean_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let clean = clean_rt
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", &[])
+        .unwrap();
+
+    let hang = [FaultEvent::Hang {
+        node: NodeId(1),
+        at_iteration: 4,
+    }];
+    let hung_rt = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&hung_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let hung = hung_rt
+        .run_faults(&SsspIter, &cfg, "/s", "/t", "/o", &hang)
+        .unwrap();
+    assert_eq!(hung.recoveries, 1);
+    assert_eq!(hung_rt.metrics().stalls_detected.get(), 1);
+    assert_eq!(clean.final_state, hung.final_state);
+    assert_eq!(clean.iterations, hung.iterations);
+    assert!(hung.report.finished > clean.report.finished);
+
+    // A kill at the same point is detected immediately, so the hang's
+    // watchdog timeout is visible as extra virtual recovery time.
+    let kill = [FaultEvent::Kill {
+        node: NodeId(1),
+        at_iteration: 4,
+    }];
+    let killed_rt = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&killed_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let killed = killed_rt
+        .run_faults(&SsspIter, &cfg, "/s", "/t", "/o", &kill)
+        .unwrap();
+    assert_eq!(killed.final_state, hung.final_state);
+    assert!(hung.report.finished > killed.report.finished);
+}
+
+/// Delays are degradation, not death: a slow-but-progressing node must
+/// ride under the watchdog without triggering a single stall, on both
+/// engines, and leave results untouched.
+#[test]
+fn delays_do_not_trip_the_watchdog_on_either_engine() {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let cfg = IterConfig::new("sssp", 4, 8).with_watchdog(WatchdogConfig {
+        poll: Duration::from_millis(5),
+        stall_timeout: Duration::from_millis(500),
+    });
+    let delays = [
+        FaultEvent::Delay {
+            node: NodeId(0),
+            at_iteration: 2,
+            millis: 60,
+        },
+        FaultEvent::Delay {
+            node: NodeId(2),
+            at_iteration: 5,
+            millis: 60,
+        },
+    ];
+
+    let sim_clean_rt = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&sim_clean_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let sim_clean = sim_clean_rt
+        .run(&SsspIter, &cfg, "/s", "/t", "/o", &[])
+        .unwrap();
+    let sim_rt = imr_runner_on(ClusterSpec::local(4));
+    sssp::load_sssp_imr(&sim_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let sim = sim_rt
+        .run_faults(&SsspIter, &cfg, "/s", "/t", "/o", &delays)
+        .unwrap();
+    assert_eq!(sim.recoveries, 0);
+    assert_eq!(sim_rt.metrics().stalls_detected.get(), 0);
+    assert_eq!(sim.final_state, sim_clean.final_state);
+    assert!(sim.report.finished > sim_clean.report.finished);
+
+    let nat_rt = native_runner(4);
+    sssp::load_sssp_imr(&nat_rt, &g, 0, 4, "/s", "/t").unwrap();
+    let nat = nat_rt
+        .run_faults(&SsspIter, &cfg, "/s", "/t", "/o", &delays)
+        .unwrap();
+    assert_eq!(nat.recoveries, 0);
+    assert_eq!(nat_rt.metrics().stalls_detected.get(), 0);
+    assert_eq!(nat.final_state, sim.final_state);
+    assert_eq!(nat.iterations, sim.iterations);
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Workspace-level property tests: cross-crate invariants on random
 //! inputs.
 
-use imapreduce::{FailureEvent, IterConfig};
+use imapreduce::{FailureEvent, FaultEvent, IterConfig, WatchdogConfig};
 use imr_algorithms::sssp::SsspIter;
 use imr_algorithms::testutil::{imr_runner, native_runner};
 use imr_algorithms::{pagerank, sssp};
@@ -11,6 +11,7 @@ use imr_graph::{
 };
 use imr_simcluster::NodeId;
 use proptest::prelude::*;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -142,6 +143,52 @@ proptest! {
                 "node {}: recovered={} ref={}", k, d, e
             );
         }
+    }
+
+    /// Mixed kill/hang schedules on the native backend: killed pairs
+    /// are detected instantly, hung pairs only through the watchdog's
+    /// stall timeout — and recovery from either (including both in the
+    /// same generation) leaves the run bit-identical to a clean one.
+    #[test]
+    fn native_mixed_kill_hang_schedules_are_invisible(
+        seed in any::<u64>(),
+        n in 20usize..60,
+        schedule in proptest::collection::vec((0u32..4, 1usize..7, any::<bool>()), 0..3),
+    ) {
+        let g = generate_weighted_graph(n, n as u64 * 3, sssp_degree_dist(), sssp_weight_dist(), seed);
+        let iters = 8;
+        let mut faults: Vec<FaultEvent> = schedule
+            .iter()
+            .map(|&(node, at, hang)| if hang {
+                FaultEvent::Hang { node: NodeId(node), at_iteration: at }
+            } else {
+                FaultEvent::Kill { node: NodeId(node), at_iteration: at }
+            })
+            .collect();
+        // Always include one guaranteed hang so every case exercises
+        // the watchdog path at least once.
+        faults.push(FaultEvent::Hang { node: NodeId(1), at_iteration: 3 });
+
+        let cfg = IterConfig::new("sssp", 4, iters)
+            .with_checkpoint_interval(2)
+            .with_watchdog(WatchdogConfig {
+                poll: Duration::from_millis(5),
+                stall_timeout: Duration::from_millis(150),
+            });
+        let failed = {
+            let r = native_runner(4);
+            sssp::load_sssp_imr(&r, &g, 0, 4, "/s", "/t").unwrap();
+            r.run_faults(&SsspIter, &cfg, "/s", "/t", "/o", &faults).unwrap()
+        };
+        let clean = {
+            let r = native_runner(4);
+            sssp::load_sssp_imr(&r, &g, 0, 4, "/s", "/t").unwrap();
+            r.run(&SsspIter, &cfg, "/s", "/t", "/o", &[]).unwrap()
+        };
+        prop_assert!(failed.recoveries >= 1, "forced hang never fired");
+        prop_assert_eq!(&failed.final_state, &clean.final_state);
+        prop_assert_eq!(failed.iterations, clean.iterations);
+        prop_assert_eq!(&failed.distances, &clean.distances);
     }
 
     /// Sync-mode native runs are deterministic: two runs over the same

@@ -9,6 +9,9 @@ cargo build --release
 cargo test -q --workspace
 # Fault-tolerance scenarios spawn real worker threads and recover from
 # injected failures; run them serially under a timeout so a recovery
-# regression shows up as a clean failure, never a hung CI job.
+# regression shows up as a clean failure, never a hung CI job. The
+# native crate's own suite covers the watchdog/migration monitor the
+# same way.
 timeout 600 cargo test -q --test fault_tolerance -- --test-threads=1
+timeout 600 cargo test -q -p imr-native -- --test-threads=1
 echo "verify: all checks passed"
