@@ -1,0 +1,116 @@
+//! Transport overhead of the native backend: the same SSSP job on the
+//! in-process channel fabric vs genuinely separate worker OS processes
+//! connected over localhost TCP (`NativeRunner::run_remote`).
+//!
+//! Both transports present the identical `Transport` contract to the
+//! pair loop, so the final states must match bit-for-bit — the binary
+//! asserts this before reporting. The y axis is real host seconds; the
+//! TCP rows include process spawn + connect, which is the honest price
+//! of the multi-process deployment shape.
+//!
+//! The worker binary is resolved from `IMR_WORKER_BIN` or, by default,
+//! as the `imr-worker` sibling of this executable in the same target
+//! directory.
+
+use imapreduce::IterConfig;
+use imr_algorithms::sssp::{self, SsspIter};
+use imr_bench::{BenchOpts, FigureResult};
+use imr_dfs::Dfs;
+use imr_graph::dataset;
+use imr_native::{NativeRunner, WorkerSpec};
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TASKS: [usize; 3] = [1, 2, 4];
+
+fn runner() -> NativeRunner {
+    let spec = Arc::new(ClusterSpec::local(1));
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 1, 1 << 26);
+    NativeRunner::new(dfs, metrics)
+}
+
+fn worker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("IMR_WORKER_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("imr-worker");
+    p
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = opts.scale_or(0.02);
+    let iters = opts.iters_or(5);
+    let bin = worker_bin();
+    assert!(
+        bin.exists(),
+        "worker binary not found at {} — build the whole workspace first \
+         (cargo build --release) or point IMR_WORKER_BIN at imr-worker",
+        bin.display()
+    );
+
+    let mut fig = FigureResult::new(
+        "native_transport",
+        "Native backend transport overhead: in-process channels vs TCP worker processes",
+        "worker pairs (persistent map/reduce pairs)",
+        "wall-clock seconds",
+    );
+    fig.note(format!(
+        "scale={scale}, iterations={iters}; SSSP, same job and data, only the transport swapped"
+    ));
+    fig.note(
+        "tcp rows include worker process spawn + connect; both transports \
+         must produce bit-identical final states (asserted)",
+    );
+
+    let g = dataset("SSSP-s").unwrap().generate(scale);
+    println!(
+        "SSSP-s @ scale {scale}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let mut chan_points = Vec::new();
+    let mut tcp_points = Vec::new();
+    for tasks in TASKS {
+        let cfg = IterConfig::new("sssp-transport", tasks, iters);
+
+        let chan_rt = runner();
+        sssp::load_sssp_imr(&chan_rt, &g, 0, tasks, "/s", "/t").expect("load");
+        let t0 = Instant::now();
+        let a = chan_rt
+            .run(&SsspIter, &cfg, "/s", "/t", "/o", &[])
+            .expect("channel run");
+        let chan_secs = t0.elapsed().as_secs_f64();
+
+        let tcp_rt = runner();
+        sssp::load_sssp_imr(&tcp_rt, &g, 0, tasks, "/s", "/t").expect("load");
+        let spec = WorkerSpec::new(bin.clone(), vec!["sssp".to_owned()]);
+        let tcp_cfg = cfg.clone().with_tcp_transport();
+        let t1 = Instant::now();
+        let b = tcp_rt
+            .run_remote(&SsspIter, &spec, &tcp_cfg, "/s", "/t", "/o", &[])
+            .expect("tcp run");
+        let tcp_secs = t1.elapsed().as_secs_f64();
+
+        assert_eq!(
+            a.final_state, b.final_state,
+            "transports disagreed at {tasks} pairs"
+        );
+        println!(
+            "  {tasks} pair(s): channel {chan_secs:.3} s, tcp {tcp_secs:.3} s \
+             (+{:.2} ms/iteration)",
+            (tcp_secs - chan_secs) * 1e3 / iters as f64
+        );
+        chan_points.push((tasks as f64, chan_secs));
+        tcp_points.push((tasks as f64, tcp_secs));
+    }
+    fig.push_series("channel (in-process threads)", chan_points);
+    fig.push_series("tcp (worker processes)", tcp_points);
+    fig.emit(&opts.out_root);
+}

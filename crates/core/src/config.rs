@@ -151,6 +151,24 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Which shuffle fabric the native backend runs the reduce→map
+/// connections over (paper §3.2's persistent socket connections).
+///
+/// Both transports present the same `Transport` contract — per-link
+/// FIFO order and a bounded number of in-flight segments — so a job
+/// produces bit-identical results on either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process bounded channels between worker threads (default).
+    #[default]
+    Channel,
+    /// Length-prefixed frames over persistent localhost TCP
+    /// connections, with each pair in its own OS process and the
+    /// supervisor acting as coordinator. Requires the multi-process
+    /// entry point (`NativeRunner::run_remote`).
+    Tcp,
+}
+
 /// Full configuration of one iMapReduce job.
 #[derive(Debug, Clone)]
 pub struct IterConfig {
@@ -181,6 +199,9 @@ pub struct IterConfig {
     pub load_balance: Option<LoadBalance>,
     /// Optional supervisor watchdog for unscripted-stall detection.
     pub watchdog: Option<WatchdogConfig>,
+    /// Shuffle fabric for the native backend (ignored by the
+    /// simulation engine, which models its own network).
+    pub transport: TransportKind,
 }
 
 impl IterConfig {
@@ -202,6 +223,7 @@ impl IterConfig {
             checkpoint_interval: 5,
             load_balance: None,
             watchdog: None,
+            transport: TransportKind::Channel,
         }
     }
 
@@ -245,6 +267,12 @@ impl IterConfig {
     /// Enables the supervisor watchdog with the given policy.
     pub fn with_watchdog(mut self, wd: WatchdogConfig) -> Self {
         self.watchdog = Some(wd);
+        self
+    }
+
+    /// Selects the TCP multi-process shuffle fabric.
+    pub fn with_tcp_transport(mut self) -> Self {
+        self.transport = TransportKind::Tcp;
         self
     }
 
@@ -328,6 +356,15 @@ mod tests {
         assert_eq!(c.checkpoint_interval, 3);
         assert!(c.load_balance.is_some());
         assert!(!c.effective_sync());
+    }
+
+    #[test]
+    fn transport_defaults_to_channel() {
+        let c = IterConfig::new("sssp", 2, 3);
+        assert_eq!(c.transport, TransportKind::Channel);
+        assert_eq!(TransportKind::default(), TransportKind::Channel);
+        let t = c.with_tcp_transport();
+        assert_eq!(t.transport, TransportKind::Tcp);
     }
 
     #[test]

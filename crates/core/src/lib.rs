@@ -75,7 +75,9 @@ mod store;
 
 pub use api::{Emitter, IterativeJob, Mapping, StateInput};
 pub use aux::{run_with_aux, AuxOutcome, AuxPhase};
-pub use config::{FailureEvent, FaultEvent, IterConfig, LoadBalance, Termination, WatchdogConfig};
+pub use config::{
+    FailureEvent, FaultEvent, IterConfig, LoadBalance, Termination, TransportKind, WatchdogConfig,
+};
 pub use engine::{carry_forward, distance_sorted, IterOutcome, IterativeRunner};
 pub use iter_engine::IterEngine;
 pub use multiphase::{run_two_phase, PhaseJob, TwoPhaseConfig, TwoPhaseOutcome};

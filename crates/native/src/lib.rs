@@ -1,51 +1,61 @@
-//! # imr-native — the wall-clock multi-threaded iMapReduce backend
+//! # imr-native — the wall-clock iMapReduce backend
 //!
 //! Executes the same [`IterativeJob`] API as the virtual-time
-//! simulation engine, but on real OS threads: one thread per persistent
-//! map/reduce task pair (paper §3.1), living for the whole job. The
-//! paper's mechanisms map onto native primitives:
+//! simulation engine, but in real time: one persistent map/reduce task
+//! pair (paper §3.1) per worker, living for the whole job. Workers run
+//! either as threads in this process (the default
+//! [`TransportKind::Channel`] fabric) or as separate OS processes
+//! connected to a coordinator over localhost TCP
+//! ([`TransportKind::Tcp`], via [`NativeRunner::run_remote`] — see the
+//! [`remote`] module). The paper's mechanisms map onto native
+//! primitives:
 //!
-//! * **Persistent reduce→map connections** (§3.3) — one bounded
-//!   [`crossbeam_channel`] per (map *p* → reduce *q*) link, created once
-//!   and reused every iteration; the pair's self-loop channel is the
-//!   paper's persistent local socket. The bound models §3.3's buffered
-//!   hand-off: a task can run at most [`HANDOFF_BUFFER`] segments ahead
-//!   of a slow consumer before back-pressure stalls it.
+//! * **Persistent reduce→map connections** (§3.3) — the
+//!   `imr_net::Transport` trait: one bounded FIFO link per
+//!   (map *p* → reduce *q*) pair, created once and reused every
+//!   iteration; the pair's self-loop link is the paper's persistent
+//!   local socket. The in-process fabric is a matrix of bounded
+//!   crossbeam channels; the TCP fabric is length-prefixed frames over
+//!   persistent connections with credit-based flow control. Both bound
+//!   in-flight segments to [`HANDOFF_BUFFER`], so a task can run at
+//!   most that many segments ahead of a slow consumer before
+//!   back-pressure stalls it.
 //! * **Asynchronous map execution** (§3.3) — by default a pair starts
 //!   its next map as soon as *its own* reduce finished; no global
 //!   barrier. `IterConfig::with_sync_maps` inserts a barrier before
 //!   every map phase instead (the paper's "iMapReduce (sync.)"
 //!   variant).
-//! * **one2all broadcast** (§5.1) — reduce outputs meet in shared
-//!   slots under a barrier; every map rebuilds the global state list in
-//!   task order, so the broadcast state is byte-identical on all pairs.
-//! * **Termination** (§3.1.2) — per-pair distances meet in shared
-//!   slots; every pair evaluates the same threshold verdict over the
-//!   same task-ordered float sum, so all pairs stop at the same
+//! * **one2all broadcast** (§5.1) — reduce outputs meet in a barriered
+//!   collective (shared slots in-process, a coordinator gather over
+//!   TCP); every map rebuilds the global state list in task order, so
+//!   the broadcast state is byte-identical on all pairs.
+//! * **Termination** (§3.1.2) — per-pair distances meet in the same
+//!   collective; every pair evaluates the same threshold verdict over
+//!   the same task-ordered float sum, so all pairs stop at the same
 //!   iteration without a master round-trip.
 //! * **Checkpointing and rollback** (§3.4.1) — every
 //!   `cfg.checkpoint_interval` iterations each pair atomically snapshots
 //!   its reduce-side state to the DFS (`<out>/_ckpt/iter-NNNN/part-*`).
 //!   Scripted kill faults make the pairs hosted on the named node exit
-//!   at the exact scripted iteration; the supervisor in
-//!   [`NativeRunner::run_faults`] detects the dead generation, rolls
-//!   every pair back to the last checkpoint epoch completed by *all*
-//!   pairs, and respawns the whole group from that snapshot. Async peers
-//!   blocked on a dead pair's channels or barriers unwind via channel
-//!   disconnects and a poisonable [`fault::FaultBarrier`], discard their
-//!   uncommitted iterations, and replay — the same roll-everyone-back
-//!   semantics the simulation engine models. Because replay is
-//!   deterministic, a run with injected faults produces the same
-//!   `final_state`, `iterations` and `distances` as a fault-free run.
+//!   at the exact scripted iteration; the generation supervisor detects
+//!   the dead generation, rolls every pair back to the last checkpoint
+//!   epoch completed by *all* pairs, and respawns the whole group from
+//!   that snapshot. Async peers blocked on a dead pair's links or
+//!   barriers unwind via transport closure and a poisonable
+//!   [`fault::FaultBarrier`], discard their uncommitted iterations, and
+//!   replay — the same roll-everyone-back semantics the simulation
+//!   engine models. Because replay is deterministic, a run with
+//!   injected faults produces the same `final_state`, `iterations` and
+//!   `distances` as a fault-free run.
 //! * **Watchdog stall detection** — with `IterConfig::with_watchdog`, a
 //!   monitor thread polls per-pair heartbeats (atomic iteration
-//!   counters and timestamps) and, when *no* active pair has progressed for
-//!   `stall_timeout`, declares the least-advanced pair failed, poisons
-//!   the barrier and reuses the checkpoint/rollback path — recovery no
-//!   longer needs a scripted event. `FaultEvent::Hang` injects a
-//!   deterministic wedge (the pair goes silent holding its channels
-//!   open) to exercise exactly this path; `FaultEvent::Delay` injects a
-//!   bounded slowdown the watchdog must ride out.
+//!   counters and timestamps) and, when *no* active pair has progressed
+//!   for `stall_timeout`, declares the least-advanced pair failed,
+//!   poisons the generation and reuses the checkpoint/rollback path —
+//!   recovery no longer needs a scripted event. `FaultEvent::Hang`
+//!   injects a deterministic wedge (the pair goes silent holding its
+//!   links open) to exercise exactly this path; `FaultEvent::Delay`
+//!   injects a bounded slowdown the watchdog must ride out.
 //! * **Migration-based load balancing** (§3.4.2) — pairs are placed on
 //!   the cluster spec's nodes (`ClusterSpec::assign_pairs`), and a node
 //!   speed below 1.0 is emulated by sleeping each hosted pair
@@ -62,11 +72,11 @@
 //! Determinism: every data-path step (partition fill order, stable
 //! sorts, run merging in task order, carry-forward, task-ordered float
 //! accumulation) matches the simulation engine exactly, so for the same
-//! job, inputs and configuration the two backends produce identical
+//! job, inputs and configuration the backends produce identical
 //! `final_state`, `iterations` and `distances` — only the `report`
 //! timeline differs (wall-clock here, virtual time there). The
-//! cross-engine test suite pins this down per algorithm, with and
-//! without injected faults and migrations.
+//! cross-engine test suite pins this down per algorithm, per transport,
+//! with and without injected faults and migrations.
 //!
 //! `eager_handoff` is accepted and ignored: it only shapes the
 //! virtual-time cost model, never the data path. Recovery here needs a
@@ -74,11 +84,11 @@
 //! so kill/hang faults or load balancing with `checkpoint_interval == 0`
 //! are rejected up front by the shared `IterConfig::validate` with the
 //! same configuration error the simulation engine returns. A scripted
-//! hang emulates a wedged-but-alive worker thread: the watchdog can
-//! declare it failed and unwind it through the poisoned barrier. (A
-//! worker busy-looping inside job code would be *detected* the same way
-//! but cannot be preempted from safe Rust — real deployments isolate
-//! workers in processes for that.)
+//! hang emulates a wedged-but-alive worker: the watchdog can declare it
+//! failed and unwind it through the poisoned generation. (A worker
+//! busy-looping inside job code would be *detected* the same way but
+//! cannot be preempted from safe Rust in-process — the TCP backend's
+//! separate processes exist precisely so a wedged worker can be killed.)
 
 #![forbid(unsafe_code)]
 // The channel matrix is built by (p, q) index on purpose — the indices
@@ -89,34 +99,41 @@
 
 pub mod fault;
 mod monitor;
+mod pair;
+pub mod remote;
+mod supervisor;
 
 use bytes::Bytes;
-use crossbeam_channel::{bounded, Receiver, Sender};
 use fault::FaultBarrier;
 use imapreduce::{
-    carry_forward, distance_sorted, Emitter, FailureEvent, FaultEvent, IterConfig, IterEngine,
-    IterOutcome, IterativeJob, Mapping, StateInput,
+    FailureEvent, FaultEvent, IterConfig, IterEngine, IterOutcome, IterativeJob, Mapping,
+    TransportKind,
 };
-use imr_dfs::{migration_marker, snapshot_dir, snapshot_epochs, Dfs};
-use imr_mapreduce::io::{delete_dir, num_parts, part_path, read_part};
+use imr_dfs::{snapshot_dir, Dfs};
+use imr_mapreduce::io::{num_parts, part_path};
 use imr_mapreduce::EngineError;
-use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
-use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
+use imr_net::{ChannelLink, ChannelMesh, Closed, Transport};
+use imr_simcluster::{MetricsHandle, NodeId, TaskClock};
 use monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
+use pair::{pair_loop, EnvFail, PairCfg, PairDirs, PairEnv};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use supervisor::{assert_partitioning, supervise, GenInput, PairRun, RunOutcome};
 
-/// How many shuffle segments a reduce→map channel buffers before the
+pub use remote::{serve_worker, WorkerSpec};
+
+/// How many shuffle segments a reduce→map link buffers before the
 /// sender blocks (§3.3's bounded hand-off buffer). One segment per link
 /// per iteration means a fast pair can run at most this many iterations
-/// ahead of the slowest consumer of its output.
+/// ahead of the slowest consumer of its output. The TCP transport
+/// enforces the same bound with per-link send credits.
 pub const HANDOFF_BUFFER: usize = 1;
 
-/// Executes [`IterativeJob`]s on OS threads in wall-clock time.
+/// Executes [`IterativeJob`]s on OS threads (or, via
+/// [`NativeRunner::run_remote`], OS processes) in wall-clock time.
 ///
 /// Data enters and leaves through the same [`Dfs`] the simulation
 /// engine uses (its virtual clocks are bookkeeping only here), so
@@ -125,60 +142,6 @@ pub const HANDOFF_BUFFER: usize = 1;
 pub struct NativeRunner {
     dfs: Dfs,
     metrics: MetricsHandle,
-}
-
-/// How one worker thread's generation ended.
-enum WorkerOutcome<K, S> {
-    /// Ran to termination; carries the pair's final partition (sorted)
-    /// and the absolute iteration the job stopped at.
-    Finished {
-        final_data: Vec<(K, S)>,
-        iterations: usize,
-    },
-    /// A scripted kill fired: the pair exited right after completing
-    /// this absolute iteration.
-    Induced { at_iteration: usize },
-    /// A scripted [`FaultEvent::Hang`] fired after this iteration: the
-    /// pair went silent until the watchdog poisoned the generation.
-    Stalled { at_iteration: usize },
-    /// A peer died first: a channel disconnected or a barrier was
-    /// poisoned. The supervisor decides whether this is a recovery
-    /// (some peer's exit was scripted), a monitor intervention
-    /// (watchdog stall or migration), or an error.
-    Aborted,
-    /// A real failure: DFS, codec, or a panic inside job code.
-    Error(EngineError),
-}
-
-/// One pair's resolved fault script and emulated node speed for one
-/// generation, derived from the pending [`FaultEvent`]s and the pair's
-/// current placement.
-#[derive(Clone)]
-struct PairPlan {
-    /// Iterations after which this pair crashes (scripted kills).
-    kills: Vec<usize>,
-    /// Iterations after which this pair hangs until poisoned.
-    hangs: Vec<usize>,
-    /// `(iteration, millis)` scripted slowdowns during that iteration.
-    delays: Vec<(usize, u64)>,
-    /// Relative speed of the hosting node; below 1.0 the pair sleeps
-    /// `busy · (1/speed − 1)` per iteration to emulate slow hardware.
-    speed: f64,
-}
-
-/// Everything one worker thread hands back to the supervisor for one
-/// generation (the span between two rollbacks).
-struct WorkerRun<K, S> {
-    /// Per-iteration `(local_distance, had_previous_snapshot)`, one
-    /// entry per iteration the worker *completed* this generation.
-    local_dist: Vec<(f64, bool)>,
-    /// Wall-clock offset of each completed iteration's reduce, from job
-    /// start (monotone across generations).
-    iter_done: Vec<Duration>,
-    /// The last iteration whose snapshot this worker fully wrote to the
-    /// DFS (the generation's start epoch if it wrote none).
-    last_ckpt: usize,
-    outcome: WorkerOutcome<K, S>,
 }
 
 impl NativeRunner {
@@ -236,226 +199,147 @@ impl NativeRunner {
         output_dir: &str,
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
-        let n = cfg.num_tasks;
-        let one2all = cfg.mapping == Mapping::One2All;
         cfg.validate(faults)?;
-        assert_eq!(
-            num_parts(&self.dfs, static_dir),
-            n,
-            "static data must be pre-partitioned into num_tasks parts"
-        );
-        if !one2all {
-            assert_eq!(
-                num_parts(&self.dfs, state_dir),
-                n,
-                "one2one state must be pre-partitioned into num_tasks parts"
-            );
+        if cfg.transport == TransportKind::Tcp {
+            return Err(EngineError::Config(
+                "transport Tcp needs worker processes: use NativeRunner::run_remote \
+                 with a worker binary"
+                    .into(),
+            ));
         }
-        self.metrics.jobs_launched.add(1);
-
-        // Kills and hangs are consumed once recovery handles them;
-        // delays stay scripted for the whole run so a rolled-back
-        // iteration replays them identically (determinism).
-        let mut pending: Vec<FaultEvent> = faults
-            .iter()
-            .filter(|f| !matches!(f, FaultEvent::Delay { .. }))
-            .copied()
-            .collect();
-        pending.sort_by_key(|f| f.at_iteration());
-        let delays: Vec<FaultEvent> = faults
-            .iter()
-            .filter(|f| matches!(f, FaultEvent::Delay { .. }))
-            .copied()
-            .collect();
-
-        // The shared pair→node placement: a fault names a node, and
-        // both engines hit the pairs that placement puts there; the
-        // balancer migrates pairs between these nodes; node speeds are
-        // emulated per pair. Oversubscribed clean runs (more pairs than
-        // the spec has slots, e.g. the thread-scaling bench on a
-        // single-node spec) fall back to modulo placement.
-        let cluster = self.dfs.cluster();
-        let needs_placement =
-            !pending.is_empty() || !delays.is_empty() || cfg.load_balance.is_some();
-        let mut assignment: Vec<NodeId> = if n <= cluster.pair_capacity() {
-            cluster.assign_pairs(n)
-        } else {
-            if needs_placement {
-                return Err(EngineError::Config(format!(
-                    "{n} pairs exceed the cluster's pair capacity {}: fault \
-                     injection and load balancing need every pair on a real slot",
-                    cluster.pair_capacity()
-                )));
-            }
-            let ids: Vec<NodeId> = cluster.node_ids().collect();
-            (0..n).map(|p| ids[p % ids.len()]).collect()
+        assert_partitioning(&self.dfs, cfg, state_dir, static_dir);
+        let n = cfg.num_tasks;
+        let num_state_parts = num_parts(&self.dfs, state_dir);
+        let pair_cfg = PairCfg::from_config(cfg, num_state_parts);
+        let dirs = PairDirs {
+            state_dir: state_dir.to_owned(),
+            static_dir: static_dir.to_owned(),
+            output_dir: output_dir.to_owned(),
         };
-
-        let started = Instant::now();
-        // Rollback epoch: iteration 0 is the initial input; epoch e > 0
-        // is the DFS snapshot written at the end of iteration e. All
-        // iterations up to the epoch are committed; everything after is
-        // discarded on rollback and replayed.
-        let mut epoch = 0usize;
-        let mut committed_dist: Vec<Vec<(f64, bool)>> = vec![Vec::new(); n];
-        let mut committed_done: Vec<Vec<Duration>> = vec![Vec::new(); n];
-        let mut recoveries = 0u64;
-        let mut migrations = 0u64;
-        // Consecutive watchdog stalls with no scripted cause and no
-        // checkpoint progress — the backstop against retrying a
-        // persistent unscripted stall forever.
-        let mut stall_retries = 0u32;
         let monitor_enabled = cfg.watchdog.is_some() || cfg.load_balance.is_some();
+        let cluster = self.dfs.cluster();
 
-        // ---- Generation loop: run until a generation survives --------
-        let final_runs: Vec<WorkerRun<J::K, J::S>> = loop {
-            // This generation's fault script + emulated speed, resolved
-            // per pair from its current placement.
-            let plans: Vec<PairPlan> = (0..n)
-                .map(|p| {
-                    let node = assignment[p];
-                    PairPlan {
-                        kills: pending
-                            .iter()
-                            .filter(|f| matches!(f, FaultEvent::Kill { .. }) && f.node() == node)
-                            .map(|f| f.at_iteration())
-                            .collect(),
-                        hangs: pending
-                            .iter()
-                            .filter(|f| matches!(f, FaultEvent::Hang { .. }) && f.node() == node)
-                            .map(|f| f.at_iteration())
-                            .collect(),
-                        delays: delays
-                            .iter()
-                            .filter(|f| f.node() == node)
-                            .map(|f| match *f {
-                                FaultEvent::Delay {
-                                    at_iteration,
-                                    millis,
-                                    ..
-                                } => (at_iteration, millis),
-                                _ => unreachable!("delays hold only Delay events"),
-                            })
-                            .collect(),
-                        speed: cluster.speed(node),
-                    }
-                })
-                .collect();
+        let mut run_gen =
+            |gen: GenInput<'_>| -> Result<(Vec<PairRun>, Option<Intervention>), EngineError> {
+                let GenInput {
+                    epoch,
+                    plans,
+                    assignment,
+                    migrations_done,
+                    started,
+                } = gen;
+                // Fresh links and rally points: the previous generation's
+                // links are disconnected and its barrier poisoned.
+                let links = ChannelMesh::links(n, HANDOFF_BUFFER);
+                let slots: Vec<Mutex<Option<Bytes>>> = (0..n).map(|_| Mutex::new(None)).collect();
+                let dist_slots: Vec<Mutex<(f64, bool)>> =
+                    (0..n).map(|_| Mutex::new((0.0, false))).collect();
+                let barrier = FaultBarrier::new(n);
+                let board = ProgressBoard::new(n, epoch);
+                let workers_done = AtomicBool::new(false);
 
-            // Fresh links and rally points: the previous generation's
-            // channels are disconnected and its barrier poisoned.
-            let mut senders: Vec<Vec<Sender<Bytes>>> =
-                (0..n).map(|_| Vec::with_capacity(n)).collect();
-            let mut receivers: Vec<Vec<Receiver<Bytes>>> =
-                (0..n).map(|_| Vec::with_capacity(n)).collect();
-            for p in 0..n {
-                for q in 0..n {
-                    let (tx, rx) = bounded(HANDOFF_BUFFER);
-                    senders[p].push(tx);
-                    receivers[q].push(rx);
-                }
-            }
-            let slots: Arc<Vec<Mutex<Option<Vec<(J::K, J::S)>>>>> =
-                Arc::new((0..n).map(|_| Mutex::new(None)).collect());
-            let dist_slots: Arc<Vec<Mutex<(f64, bool)>>> =
-                Arc::new((0..n).map(|_| Mutex::new((0.0, false))).collect());
-            let barrier = Arc::new(FaultBarrier::new(n));
-            let board = Arc::new(ProgressBoard::new(n, epoch));
-            let workers_done = Arc::new(AtomicBool::new(false));
-
-            let (runs, intervention): (Vec<WorkerRun<J::K, J::S>>, Option<Intervention>) =
-                thread::scope(|scope| {
-                    // The monitor shares the generation's scope: it
-                    // watches the board and kills the generation through
-                    // the same barrier the workers rally on.
+                let (runs, intervention) = thread::scope(|scope| {
+                    // The monitor shares the generation's scope: it watches
+                    // the board and kills the generation through the same
+                    // barrier the workers rally on.
                     let monitor_handle = if monitor_enabled {
-                        let board = Arc::clone(&board);
-                        let barrier = Arc::clone(&barrier);
-                        let workers_done = Arc::clone(&workers_done);
-                        let metrics = Arc::clone(&self.metrics);
+                        let board = &board;
+                        let barrier = &barrier;
+                        let workers_done = &workers_done;
+                        let metrics = &self.metrics;
                         let watchdog = cfg.watchdog;
                         let lb = cfg.load_balance;
-                        let assignment = &assignment;
                         Some(scope.spawn(move || {
                             let balance = lb.map(|lb| BalancePlan {
                                 cluster,
                                 assignment,
                                 deviation: lb.deviation,
-                                remaining: (lb.max_migrations as u64).saturating_sub(migrations)
+                                remaining: (lb.max_migrations as u64)
+                                    .saturating_sub(migrations_done)
                                     as usize,
                             });
-                            monitor_loop(
-                                &board,
-                                &barrier,
-                                &workers_done,
-                                watchdog,
-                                balance,
-                                &metrics,
-                            )
+                            monitor_loop(board, barrier, workers_done, watchdog, balance, metrics)
                         }))
                     } else {
                         None
                     };
 
                     let mut handles = Vec::with_capacity(n);
-                    for ((q, sends), recvs) in senders.into_iter().enumerate().zip(receivers) {
-                        let dfs = self.dfs.clone();
-                        let metrics = Arc::clone(&self.metrics);
-                        let slots = Arc::clone(&slots);
-                        let dist_slots = Arc::clone(&dist_slots);
-                        let barrier = Arc::clone(&barrier);
-                        let board = Arc::clone(&board);
-                        let plan = plans[q].clone();
+                    for (q, link) in links.into_iter().enumerate() {
+                        let plan = &plans[q];
+                        let slots = &slots;
+                        let dist_slots = &dist_slots;
+                        let barrier = &barrier;
+                        let board = &board;
+                        let dfs = &self.dfs;
+                        let metrics = &self.metrics;
+                        let pair_cfg = &pair_cfg;
+                        let dirs = &dirs;
                         handles.push(scope.spawn(move || {
-                            let run = catch_unwind(AssertUnwindSafe(|| {
-                                worker::<J>(
+                            let mut local_dist: Vec<(f64, bool)> = Vec::new();
+                            let mut iter_done: Vec<Duration> = Vec::new();
+                            let mut last_ckpt = epoch;
+                            let mut env = ThreadEnv {
+                                q,
+                                dfs,
+                                link,
+                                slots,
+                                dist_slots,
+                                barrier,
+                                board,
+                                output_dir: &dirs.output_dir,
+                            };
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                pair_loop::<J, _>(
                                     q,
-                                    n,
                                     job,
-                                    cfg,
-                                    &dfs,
-                                    &metrics,
-                                    state_dir,
-                                    static_dir,
-                                    output_dir,
+                                    pair_cfg,
+                                    dirs,
+                                    plan,
                                     epoch,
-                                    &plan,
-                                    sends,
-                                    recvs,
-                                    &slots,
-                                    &dist_slots,
-                                    &barrier,
-                                    &board,
+                                    metrics,
+                                    &mut env,
                                     started,
+                                    &mut local_dist,
+                                    &mut iter_done,
+                                    &mut last_ckpt,
                                 )
                             }));
-                            let run = run.unwrap_or_else(|payload| {
-                                // A panic in job code: surface it as an
-                                // engine error instead of hanging peers.
-                                let msg = payload
-                                    .downcast_ref::<&str>()
-                                    .map(|s| (*s).to_owned())
-                                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "panicked".to_owned());
-                                WorkerRun {
-                                    local_dist: Vec::new(),
-                                    iter_done: Vec::new(),
-                                    last_ckpt: epoch,
-                                    outcome: WorkerOutcome::Error(EngineError::Worker(format!(
+                            // Disconnect this pair's links first so blocked
+                            // peers unwind, exactly as the old inline worker
+                            // did by returning (dropping its channels).
+                            drop(env);
+                            let outcome = match result {
+                                Ok(Ok(outcome)) => RunOutcome::from(outcome),
+                                Ok(Err(e)) => RunOutcome::Error(e),
+                                Err(payload) => {
+                                    // A panic in job code: surface it as an
+                                    // engine error instead of hanging peers.
+                                    let msg = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| (*s).to_owned())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "panicked".to_owned());
+                                    RunOutcome::Error(EngineError::Worker(format!(
                                         "pair {q} panicked: {msg}"
-                                    ))),
+                                    )))
                                 }
-                            });
+                            };
                             board.mark_exited(q);
-                            if !matches!(run.outcome, WorkerOutcome::Finished { .. }) {
+                            if !matches!(outcome, RunOutcome::Finished { .. }) {
                                 // Wake any peer rallying at the barrier; the
-                                // channel drops above already woke the rest.
+                                // link drops above already woke the rest.
                                 barrier.poison();
                             }
-                            run
+                            PairRun {
+                                local_dist,
+                                iter_done,
+                                last_ckpt,
+                                outcome,
+                            }
                         }));
                     }
-                    let runs: Vec<WorkerRun<J::K, J::S>> = handles
+                    let runs: Vec<PairRun> = handles
                         .into_iter()
                         .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                         .collect();
@@ -464,232 +348,19 @@ impl NativeRunner {
                         .and_then(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
                     (runs, intervention)
                 });
+                Ok((runs, intervention))
+            };
 
-            // ---- Triage ------------------------------------------------
-            let fired_kills: Vec<(usize, usize)> = runs
-                .iter()
-                .enumerate()
-                .filter_map(|(q, r)| match r.outcome {
-                    WorkerOutcome::Induced { at_iteration } => Some((q, at_iteration)),
-                    _ => None,
-                })
-                .collect();
-            let fired_hangs: Vec<(usize, usize)> = runs
-                .iter()
-                .enumerate()
-                .filter_map(|(q, r)| match r.outcome {
-                    WorkerOutcome::Stalled { at_iteration } => Some((q, at_iteration)),
-                    _ => None,
-                })
-                .collect();
-            // Real errors abort the run even when a failure also fired:
-            // replaying a DFS or codec failure would only repeat it.
-            if runs
-                .iter()
-                .any(|r| matches!(r.outcome, WorkerOutcome::Error(_)))
-            {
-                for r in runs {
-                    if let WorkerOutcome::Error(e) = r.outcome {
-                        return Err(e);
-                    }
-                }
-                unreachable!("error outcome vanished");
-            }
-            let any_aborted = runs
-                .iter()
-                .any(|r| matches!(r.outcome, WorkerOutcome::Aborted));
-            let scripted_fired = !fired_kills.is_empty() || !fired_hangs.is_empty();
-            if !scripted_fired && !any_aborted {
-                // Every pair finished. A monitor intervention that lost
-                // the race against termination is ignored: the job is
-                // done, there is nothing to roll back.
-                break runs;
-            }
-            if !scripted_fired && intervention.is_none() {
-                return Err(EngineError::Worker(
-                    "a worker aborted with no scripted failure and no error".into(),
-                ));
-            }
-
-            // ---- Recovery (§3.4.1) -------------------------------------
-            // Consume each scripted event that fired (a node-level event
-            // hosting several pairs fires once per event, as in the
-            // simulation engine's one-recovery-per-event accounting).
-            for &(q, at) in &fired_kills {
-                if let Some(pos) = pending.iter().position(|f| {
-                    matches!(f, FaultEvent::Kill { .. })
-                        && f.node() == assignment[q]
-                        && f.at_iteration() == at
-                }) {
-                    pending.remove(pos);
-                    recoveries += 1;
-                    self.metrics.recoveries.add(1);
-                }
-            }
-            for &(q, at) in &fired_hangs {
-                if let Some(pos) = pending.iter().position(|f| {
-                    matches!(f, FaultEvent::Hang { .. })
-                        && f.node() == assignment[q]
-                        && f.at_iteration() == at
-                }) {
-                    pending.remove(pos);
-                    recoveries += 1;
-                    self.metrics.recoveries.add(1);
-                }
-            }
-            // Roll back to the last epoch whose snapshot every pair
-            // completed: async skew means a fast pair may have
-            // checkpointed an iteration its slowest peer never reached.
-            let new_epoch = runs.iter().map(|r| r.last_ckpt).min().unwrap_or(epoch);
-
-            if scripted_fired {
-                stall_retries = 0;
-            } else {
-                match intervention {
-                    Some(Intervention::Migrate { pair, to }) => {
-                        // §3.4.2: migration is a rollback under a new
-                        // placement. The monitor only fires once every
-                        // pair checkpointed past `epoch`, so `new_epoch`
-                        // strictly advances and repeated migrations
-                        // cannot livelock the job.
-                        migrations += 1;
-                        self.metrics.migrations.add(1);
-                        assignment[pair] = to;
-                        let mut ck = TaskClock::default();
-                        self.dfs.put_atomic(
-                            &migration_marker(output_dir, migrations, new_epoch),
-                            Bytes::from_static(b"migrated"),
-                            to,
-                            &mut ck,
-                        )?;
-                        stall_retries = 0;
-                    }
-                    Some(Intervention::Stall { pair }) => {
-                        // An unscripted stall: retry from the last
-                        // checkpoint, but give up if it persists with no
-                        // progress (a wedged pair would stall every
-                        // generation at the same epoch forever).
-                        if new_epoch > epoch {
-                            stall_retries = 0;
-                        } else {
-                            stall_retries += 1;
-                            if stall_retries >= 2 {
-                                return Err(EngineError::Worker(format!(
-                                    "watchdog declared pair {pair} stalled twice \
-                                     with no checkpoint progress; giving up"
-                                )));
-                            }
-                        }
-                        recoveries += 1;
-                        self.metrics.recoveries.add(1);
-                    }
-                    None => unreachable!("aborts without intervention were triaged above"),
-                }
-            }
-            let keep = new_epoch - epoch;
-            for (q, r) in runs.into_iter().enumerate() {
-                committed_dist[q].extend(r.local_dist.into_iter().take(keep));
-                committed_done[q].extend(r.iter_done.into_iter().take(keep));
-            }
-            // Snapshots past the rollback epoch are now stale; the next
-            // generation rewrites them deterministically.
-            for e in snapshot_epochs(&self.dfs, output_dir) {
-                if e != new_epoch {
-                    delete_dir(&self.dfs, &snapshot_dir(output_dir, e));
-                }
-            }
-            epoch = new_epoch;
-        };
-
-        // ---- Stitch the surviving generation onto committed history --
-        let mut iterations = 0usize;
-        let mut final_parts: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
-        for (q, r) in final_runs.into_iter().enumerate() {
-            match r.outcome {
-                WorkerOutcome::Finished {
-                    final_data,
-                    iterations: it,
-                } => {
-                    if q == 0 {
-                        iterations = it;
-                    } else {
-                        assert_eq!(
-                            iterations, it,
-                            "workers disagreed on the termination iteration"
-                        );
-                    }
-                    final_parts.push(final_data);
-                    committed_dist[q].extend(r.local_dist);
-                    committed_done[q].extend(r.iter_done);
-                }
-                _ => unreachable!("non-finished run survived triage"),
-            }
-        }
-        debug_assert!(committed_dist.iter().all(|v| v.len() == iterations));
-
-        // Global per-iteration distance: the same task-ordered float
-        // sum the simulation engine's master computes.
-        let mut distances = Vec::new();
-        if cfg.termination.distance_threshold.is_some() {
-            for i in 0..iterations {
-                let mut total = 0.0f64;
-                let mut any_prev = false;
-                for q in 0..n {
-                    let (d, has_prev) = committed_dist[q][i];
-                    if has_prev {
-                        any_prev = true;
-                        total += d;
-                    }
-                }
-                distances.push(if any_prev { total } else { f64::INFINITY });
-            }
-        }
-
-        // Keep only the newest snapshot (the simulation engine likewise
-        // deletes each checkpoint when the next one lands).
-        let epochs = snapshot_epochs(&self.dfs, output_dir);
-        if let Some((_last, stale)) = epochs.split_last() {
-            for e in stale {
-                delete_dir(&self.dfs, &snapshot_dir(output_dir, *e));
-            }
-        }
-
-        // Final output dump (once, at termination).
-        let mut final_state: Vec<(J::K, J::S)> = Vec::new();
-        for (q, data) in final_parts.iter().enumerate() {
-            let payload = encode_pairs(data);
-            let mut clock = TaskClock::default();
-            self.dfs
-                .put(&part_path(output_dir, q), payload, NodeId(0), &mut clock)?;
-            final_state.extend(data.iter().cloned());
-        }
-        sort_run(&mut final_state);
-
-        let mut report = RunReport {
-            label: self.label(cfg),
-            ..RunReport::default()
-        };
-        for i in 0..iterations {
-            let done = (0..n)
-                .map(|q| committed_done[q][i])
-                .max()
-                .unwrap_or_default();
-            report
-                .iteration_done
-                .push(VInstant::EPOCH + VDuration::from_secs_f64(done.as_secs_f64()));
-        }
-        report.finished =
-            VInstant::EPOCH + VDuration::from_secs_f64(started.elapsed().as_secs_f64());
-        report.metrics = self.metrics.snapshot();
-
-        Ok(IterOutcome {
-            report,
-            final_state,
-            iterations,
-            distances,
-            migrations,
-            recoveries,
-        })
+        supervise::<J>(
+            &self.dfs,
+            &self.metrics,
+            cfg,
+            output_dir,
+            faults,
+            self.label(cfg),
+            false,
+            &mut run_gen,
+        )
     }
 
     fn label(&self, cfg: &IterConfig) -> String {
@@ -719,406 +390,108 @@ impl IterEngine for NativeRunner {
     }
 }
 
-/// One persistent map/reduce pair for one generation, pinned to one
-/// thread. The body is a line-for-line data-path port of the simulation
-/// engine's per-iteration loop with the virtual clocks removed, plus
-/// §3.4.1 checkpointing, heartbeat publication for the watchdog, and
-/// the scripted-fault exit points.
-#[allow(clippy::too_many_arguments)]
-fn worker<J: IterativeJob>(
+/// The in-process environment: channels for the shuffle, shared slots
+/// under the fault barrier for the collectives, direct DFS access for
+/// loads and checkpoints, and the generation's progress board for
+/// heartbeats.
+struct ThreadEnv<'a> {
     q: usize,
-    n: usize,
-    job: &J,
-    cfg: &IterConfig,
-    dfs: &Dfs,
-    metrics: &MetricsHandle,
-    state_dir: &str,
-    static_dir: &str,
-    output_dir: &str,
-    epoch: usize,
-    plan: &PairPlan,
-    sends: Vec<Sender<Bytes>>,
-    recvs: Vec<Receiver<Bytes>>,
-    slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
-    dist_slots: &[Mutex<(f64, bool)>],
-    barrier: &FaultBarrier,
-    board: &ProgressBoard,
-    started: Instant,
-) -> WorkerRun<J::K, J::S> {
-    let mut local_dist: Vec<(f64, bool)> = Vec::new();
-    let mut iter_done: Vec<Duration> = Vec::new();
-    let mut last_ckpt = epoch;
-    let outcome = worker_loop::<J>(
-        q,
-        n,
-        job,
-        cfg,
-        dfs,
-        metrics,
-        state_dir,
-        static_dir,
-        output_dir,
-        epoch,
-        plan,
-        sends,
-        recvs,
-        slots,
-        dist_slots,
-        barrier,
-        board,
-        started,
-        &mut local_dist,
-        &mut iter_done,
-        &mut last_ckpt,
-    )
-    .unwrap_or_else(WorkerOutcome::Error);
-    WorkerRun {
-        local_dist,
-        iter_done,
-        last_ckpt,
-        outcome,
+    dfs: &'a Dfs,
+    link: ChannelLink,
+    slots: &'a [Mutex<Option<Bytes>>],
+    dist_slots: &'a [Mutex<(f64, bool)>],
+    barrier: &'a FaultBarrier,
+    board: &'a ProgressBoard,
+    output_dir: &'a str,
+}
+
+impl Transport for ThreadEnv<'_> {
+    fn send(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
+        self.link.send(dest, seg)
+    }
+    fn recv(&mut self, src: usize) -> Result<Bytes, Closed> {
+        self.link.recv(src)
     }
 }
 
-/// The per-iteration loop. `Err` carries real failures (DFS, codec);
-/// scripted exits and peer-death unwinds come back as `Ok` outcomes.
-#[allow(clippy::too_many_arguments)]
-fn worker_loop<J: IterativeJob>(
-    q: usize,
-    n: usize,
-    job: &J,
-    cfg: &IterConfig,
-    dfs: &Dfs,
-    metrics: &MetricsHandle,
-    state_dir: &str,
-    static_dir: &str,
-    output_dir: &str,
-    epoch: usize,
-    plan: &PairPlan,
-    sends: Vec<Sender<Bytes>>,
-    recvs: Vec<Receiver<Bytes>>,
-    slots: &[Mutex<Option<Vec<(J::K, J::S)>>>],
-    dist_slots: &[Mutex<(f64, bool)>],
-    barrier: &FaultBarrier,
-    board: &ProgressBoard,
-    started: Instant,
-    local_dist: &mut Vec<(f64, bool)>,
-    iter_done: &mut Vec<Duration>,
-    last_ckpt: &mut usize,
-) -> Result<WorkerOutcome<J::K, J::S>, EngineError> {
-    let one2all = cfg.mapping == Mapping::One2All;
-    let sync = cfg.effective_sync();
-    let threshold = cfg.termination.distance_threshold;
-    let max_iters = cfg.termination.max_iterations;
-    metrics.tasks_launched.add(2);
-
-    // ---- One-time load: static partition + state at this epoch -------
-    // Epoch 0 is the job's initial input; epoch e > 0 is the snapshot
-    // the pairs wrote at the end of iteration e (one part per pair).
-    let mut clock = TaskClock::default();
-    let stat: Vec<(J::K, J::T)> = read_part(dfs, static_dir, q, NodeId(0), &mut clock)?;
-    let mut state: Vec<(J::K, J::S)> = Vec::new();
-    let mut global: Vec<(J::K, J::S)> = Vec::new();
-    let mut prev_out: Option<Vec<(J::K, J::S)>> = None;
-    if epoch == 0 {
-        if one2all {
-            // Every map task holds the full (small) broadcast state.
-            for i in 0..num_parts(dfs, state_dir) {
-                global.extend(read_part::<J::K, J::S>(
-                    dfs,
-                    state_dir,
-                    i,
-                    NodeId(0),
-                    &mut clock,
-                )?);
-            }
-            sort_run(&mut global);
-        } else {
-            state = read_part(dfs, state_dir, q, NodeId(0), &mut clock)?;
-        }
-    } else {
-        let snap = snapshot_dir(output_dir, epoch);
-        if one2all {
-            // Part i is pair i's reduce output at the epoch iteration;
-            // the broadcast state is their task-ordered concatenation,
-            // exactly as the live hand-off rebuilds it.
-            for i in 0..n {
-                let part: Vec<(J::K, J::S)> = read_part(dfs, &snap, i, NodeId(0), &mut clock)?;
-                if i == q {
-                    prev_out = Some(part.clone());
-                }
-                global.extend(part);
-            }
-            sort_run(&mut global);
-        } else {
-            state = read_part(dfs, &snap, q, NodeId(0), &mut clock)?;
-        }
+impl PairEnv for ThreadEnv<'_> {
+    fn is_poisoned(&self) -> bool {
+        self.barrier.is_poisoned()
     }
 
-    for it in (epoch + 1)..=max_iters {
-        // A poisoned barrier means the generation is being torn down
-        // (peer death or a monitor intervention). In async mode no
-        // barrier wait may be reached before the next blocking channel
-        // op, so check explicitly: the unwind must cascade even when
-        // this pair's own channels are still healthy.
-        if barrier.is_poisoned() {
-            return Ok(WorkerOutcome::Aborted);
-        }
-        if sync && barrier.wait().is_err() {
-            return Ok(WorkerOutcome::Aborted);
-        }
-        // Busy time = compute only (map + reduce spans), excluding
-        // channel blocking — the load signal §3.4.2's balancer keys on.
-        let mut busy = Duration::ZERO;
-        let map_start = Instant::now();
+    fn barrier_wait(&mut self) -> Result<(), Closed> {
+        self.barrier.wait().map_err(|_| Closed)
+    }
 
-        // ---- Map phase -----------------------------------------------
-        let mut emitter = Emitter::new();
-        let records_in: u64 = if one2all {
-            for (k, t) in &stat {
-                job.map(k, StateInput::All(&global), t, &mut emitter);
-            }
-            stat.len() as u64
-        } else {
-            assert_eq!(
-                state.len(),
-                stat.len(),
-                "state/static co-partitioning broken at pair {q}"
-            );
-            for ((ks, s), (kt, t)) in state.iter().zip(&stat) {
-                assert!(ks == kt, "state/static keys diverged at pair {q}");
-                job.map(ks, StateInput::One(s), t, &mut emitter);
-            }
-            state.len() as u64
-        };
-        metrics.map_input_records.add(records_in);
-
-        let mut partitions: Vec<Vec<(J::K, J::S)>> = (0..n).map(|_| Vec::new()).collect();
-        for (k, v) in emitter.into_pairs() {
-            let t = job.partition(&k, n);
-            partitions[t].push((k, v));
-        }
-        let segs: Vec<Bytes> = partitions
-            .into_iter()
-            .map(|mut part| {
-                sort_run(&mut part);
-                let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
-                    let mut combined = Vec::new();
-                    for (k, vals) in group_sorted(part) {
-                        for v in job.combine(&k, vals) {
-                            combined.push((k.clone(), v));
-                        }
-                    }
-                    combined
-                } else {
-                    part
-                };
-                encode_pairs(&final_part)
-            })
+    fn exchange_broadcast(&mut self, mine: Bytes) -> Result<Vec<Bytes>, Closed> {
+        *self.slots[self.q].lock() = Some(mine);
+        self.barrier.wait().map_err(|_| Closed)?;
+        let parts: Vec<Bytes> = self
+            .slots
+            .iter()
+            .map(|slot| slot.lock().clone().expect("broadcast slot filled"))
             .collect();
-        busy += map_start.elapsed();
-        // Sends sit outside the busy span: a blocked send is
-        // back-pressure from a slow consumer, not this pair's load.
-        for (dest, seg) in segs.into_iter().enumerate() {
-            metrics.shuffle_local_bytes.add(seg.len() as u64);
-            if sends[dest].send(seg).is_err() {
-                return Ok(WorkerOutcome::Aborted);
-            }
-        }
-
-        // ---- Reduce phase --------------------------------------------
-        // Drain peers in task order: merge_runs breaks key ties by run
-        // index, so the run order must match the simulation engine's.
-        // Blocking receives stay outside the busy span.
-        let mut raw_segs: Vec<Bytes> = Vec::with_capacity(n);
-        for rx in &recvs {
-            match rx.recv() {
-                Ok(seg) => raw_segs.push(seg),
-                Err(_) => return Ok(WorkerOutcome::Aborted),
-            }
-        }
-        let reduce_start = Instant::now();
-        let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
-        let mut total_rec = 0u64;
-        for seg in raw_segs {
-            let run: Vec<(J::K, J::S)> = decode_pairs(seg)?;
-            total_rec += run.len() as u64;
-            runs.push(run);
-        }
-        metrics.reduce_input_records.add(total_rec);
-        let merged = merge_runs(runs);
-        let mut reduced: Vec<(J::K, J::S)> = Vec::new();
-        for (k, vals) in group_sorted(merged) {
-            let s = job.reduce(&k, vals);
-            reduced.push((k, s));
-        }
-        let new_state = if one2all {
-            reduced
-        } else {
-            carry_forward(reduced, &state)
-        };
-
-        // Local distance vs the previous snapshot (§3.1.2).
-        let mut d = 0.0f64;
-        let mut has_prev = false;
-        if threshold.is_some() {
-            let prev: Option<&[(J::K, J::S)]> = if one2all {
-                prev_out.as_deref()
-            } else {
-                Some(&state)
-            };
-            if let Some(prev) = prev {
-                has_prev = true;
-                d = distance_sorted(job, prev, &new_state);
-            }
-        }
-        local_dist.push((d, has_prev));
-        busy += reduce_start.elapsed();
-
-        // ---- Emulated slowdowns --------------------------------------
-        // A node speed below 1.0 stretches this pair's compute time
-        // proportionally (heterogeneous hardware); a scripted Delay adds
-        // a fixed pause at its iteration. Both feed the heartbeat's busy
-        // figure so the balancer and watchdog see the stretched load.
-        let mut effective_busy = busy.as_secs_f64();
-        if plan.speed < 1.0 {
-            let extra = busy.as_secs_f64() * (1.0 / plan.speed - 1.0);
-            thread::sleep(Duration::from_secs_f64(extra));
-            effective_busy += extra;
-        }
-        for &(at, millis) in &plan.delays {
-            if at == it {
-                let pause = Duration::from_millis(millis);
-                thread::sleep(pause);
-                effective_busy += pause.as_secs_f64();
-            }
-        }
-
-        // ---- State hand-off back to the map side ---------------------
-        if one2all {
-            let bytes = encode_pairs(&new_state).len() as u64;
-            metrics.broadcast_bytes.add(bytes * (n as u64 - 1));
-            *slots[q].lock() = Some(new_state.clone());
-            if barrier.wait().is_err() {
-                return Ok(WorkerOutcome::Aborted);
-            }
-            // Task-ordered concatenation + stable sort: identical to
-            // the simulation engine's broadcast reassembly.
-            let mut next_global: Vec<(J::K, J::S)> = Vec::new();
-            for slot in slots {
-                next_global.extend(
-                    slot.lock()
-                        .as_ref()
-                        .expect("broadcast slot filled")
-                        .iter()
-                        .cloned(),
-                );
-            }
-            sort_run(&mut next_global);
-            // Second barrier: nobody may overwrite a slot until every
-            // pair has read all of them.
-            if barrier.wait().is_err() {
-                return Ok(WorkerOutcome::Aborted);
-            }
-            prev_out = Some(new_state);
-            global = next_global;
-        } else {
-            metrics
-                .state_handoff_bytes
-                .add(encode_pairs(&new_state).len() as u64);
-            state = new_state;
-        }
-        iter_done.push(started.elapsed());
-        board.beat(q, it, effective_busy);
-
-        // ---- Termination check (§3.1.2) ------------------------------
-        // Every pair computes the same verdict from the same slots, so
-        // all pairs stop at the same iteration without a master.
-        let mut converged = false;
-        if let Some(eps) = threshold {
-            *dist_slots[q].lock() = (d, has_prev);
-            if barrier.wait().is_err() {
-                return Ok(WorkerOutcome::Aborted);
-            }
-            let mut total = 0.0f64;
-            let mut any_prev = false;
-            for slot in dist_slots {
-                let (ds, hs) = *slot.lock();
-                if hs {
-                    any_prev = true;
-                    total += ds;
-                }
-            }
-            if barrier.wait().is_err() {
-                return Ok(WorkerOutcome::Aborted);
-            }
-            converged = any_prev && total < eps;
-        }
-        let done = converged || it == max_iters;
-
-        // ---- Checkpointing (§3.4.1) ----------------------------------
-        // The pair's snapshot is its reduce-side state at the end of
-        // iteration `it`: the carried-forward partition under one2one,
-        // the pair's own reduce output under one2all (the broadcast
-        // state is reassembled from all parts on reload). Written
-        // atomically, so a crash mid-checkpoint leaves the previous
-        // epoch intact. Same gating as the simulation engine: never on
-        // the final iteration.
-        if !done && cfg.checkpoint_interval > 0 && it.is_multiple_of(cfg.checkpoint_interval) {
-            let snapshot: &[(J::K, J::S)] = if one2all {
-                prev_out.as_deref().expect("one2all snapshot exists")
-            } else {
-                &state
-            };
-            let payload = encode_pairs(snapshot);
-            metrics.checkpoint_bytes.add(payload.len() as u64);
-            let mut ck = TaskClock::default();
-            dfs.put_atomic(
-                &part_path(&snapshot_dir(output_dir, it), q),
-                payload,
-                NodeId(0),
-                &mut ck,
-            )?;
-            *last_ckpt = it;
-            board.mark_ckpt(q, it);
-        }
-        if done {
-            return Ok(WorkerOutcome::Finished {
-                final_data: if one2all {
-                    prev_out.unwrap_or_default()
-                } else {
-                    state
-                },
-                iterations: it,
-            });
-        }
-
-        // ---- Scripted faults (fault injection) -----------------------
-        // Same decision point as the simulation engine: a pair dies
-        // right after completing iteration `it`, never on the final
-        // iteration (the done-check above fires first). A kill exits
-        // immediately; a hang goes silent — channels held open, no
-        // heartbeats — until the watchdog poisons the generation.
-        if plan.kills.contains(&it) {
-            return Ok(WorkerOutcome::Induced { at_iteration: it });
-        }
-        if plan.hangs.contains(&it) {
-            barrier.block_until_poisoned();
-            return Ok(WorkerOutcome::Stalled { at_iteration: it });
-        }
+        // Second barrier: nobody may overwrite a slot until every pair
+        // has read all of them.
+        self.barrier.wait().map_err(|_| Closed)?;
+        Ok(parts)
     }
 
-    // Only reachable when the epoch already sits at max_iters (a
-    // failure scripted for the final iteration never fires, so the
-    // loop above always terminates through the done-check).
-    unreachable!("pair {q} left the iteration loop without finishing");
+    fn exchange_distance(&mut self, d: f64, has_prev: bool) -> Result<(f64, bool), Closed> {
+        *self.dist_slots[self.q].lock() = (d, has_prev);
+        self.barrier.wait().map_err(|_| Closed)?;
+        let mut total = 0.0f64;
+        let mut any_prev = false;
+        for slot in self.dist_slots {
+            let (ds, hs) = *slot.lock();
+            if hs {
+                any_prev = true;
+                total += ds;
+            }
+        }
+        self.barrier.wait().map_err(|_| Closed)?;
+        Ok((total, any_prev))
+    }
+
+    fn read_part(&mut self, dir: &str, part: usize) -> Result<Bytes, EnvFail> {
+        let mut clock = TaskClock::default();
+        self.dfs
+            .read(&part_path(dir, part), NodeId(0), &mut clock)
+            .map_err(EnvFail::from)
+    }
+
+    fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), EnvFail> {
+        let mut ck = TaskClock::default();
+        self.dfs.put_atomic(
+            &part_path(&snapshot_dir(self.output_dir, iteration), self.q),
+            payload,
+            NodeId(0),
+            &mut ck,
+        )?;
+        self.board.mark_ckpt(self.q, iteration);
+        Ok(())
+    }
+
+    fn beat(&mut self, iteration: usize, busy_secs: f64, _d: f64, _has_prev: bool) {
+        // The thread backend reads the worker's distance vectors
+        // directly; only the heartbeat matters here.
+        self.board.beat(self.q, iteration, busy_secs);
+    }
+
+    fn hang(&mut self) {
+        self.barrier.block_until_poisoned();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imapreduce::{load_partitioned, IterativeRunner, LoadBalance, WatchdogConfig};
+    use imapreduce::{
+        load_partitioned, Emitter, IterativeRunner, LoadBalance, StateInput, WatchdogConfig,
+    };
+    use imr_dfs::snapshot_epochs;
     use imr_simcluster::{ClusterSpec, Metrics};
+    use std::sync::Arc;
 
     /// Each key's state is halved every iteration (same as the core
     /// crate's doc example).
@@ -1351,6 +724,20 @@ mod tests {
             EngineError::Config(msg) => {
                 assert!(msg.contains("checkpoint_interval"), "{msg}");
             }
+            other => panic!("expected a configuration error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tcp_transport_rejected_on_the_thread_entry_point() {
+        let (native, _) = fixtures(2);
+        load_halve(native.dfs(), 2);
+        let cfg = IterConfig::new("halve", 2, 4).with_tcp_transport();
+        let err = native
+            .run(&Halve, &cfg, "/state", "/static", "/out", &[])
+            .unwrap_err();
+        match err {
+            EngineError::Config(msg) => assert!(msg.contains("run_remote"), "{msg}"),
             other => panic!("expected a configuration error, got {other}"),
         }
     }

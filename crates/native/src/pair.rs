@@ -1,0 +1,478 @@
+//! The per-iteration loop of one persistent map/reduce pair, shared by
+//! the in-process thread backend and the multi-process TCP backend.
+//!
+//! The loop is a line-for-line data-path port of the simulation
+//! engine's per-iteration loop with the virtual clocks removed. All
+//! interaction with the rest of the job — the shuffle fabric, the
+//! barrier, the one2all broadcast, termination voting, DFS access for
+//! loads and checkpoints, heartbeats and the hang primitive — goes
+//! through the [`PairEnv`] trait, so the exact same loop runs on a
+//! thread over channels and shared slots, or in a separate OS process
+//! over a TCP connection to the coordinator.
+//!
+//! Determinism note: collective payloads cross [`PairEnv`] as
+//! `encode_pairs` bytes. The workspace codec is lossless (f64 travels
+//! as its full 8-byte pattern), so decode∘encode is the identity and
+//! the broadcast state both backends reassemble is bit-identical to
+//! the old typed shared-slot hand-off.
+
+use bytes::Bytes;
+use imapreduce::{
+    carry_forward, distance_sorted, Emitter, IterConfig, IterativeJob, Mapping, StateInput,
+};
+use imr_dfs::snapshot_dir;
+use imr_mapreduce::EngineError;
+use imr_net::{Closed, Transport};
+use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
+use imr_simcluster::MetricsHandle;
+use std::time::{Duration, Instant};
+
+/// The per-pair slice of the job configuration, identical across
+/// backends (the TCP backend ships it in the setup frame).
+pub(crate) struct PairCfg {
+    pub n: usize,
+    pub one2all: bool,
+    pub sync: bool,
+    pub threshold: Option<f64>,
+    pub max_iters: usize,
+    pub checkpoint_interval: usize,
+    /// Number of `part-*` files under the state directory (one2all
+    /// epoch-0 loads read them all).
+    pub num_state_parts: usize,
+}
+
+impl PairCfg {
+    pub(crate) fn from_config(cfg: &IterConfig, num_state_parts: usize) -> Self {
+        PairCfg {
+            n: cfg.num_tasks,
+            one2all: cfg.mapping == Mapping::One2All,
+            sync: cfg.effective_sync(),
+            threshold: cfg.termination.distance_threshold,
+            max_iters: cfg.termination.max_iterations,
+            checkpoint_interval: cfg.checkpoint_interval,
+            num_state_parts,
+        }
+    }
+}
+
+/// The DFS directory layout a pair reads from and writes to.
+pub(crate) struct PairDirs {
+    pub state_dir: String,
+    pub static_dir: String,
+    pub output_dir: String,
+}
+
+/// One pair's resolved fault script and emulated node speed for one
+/// generation, derived from the pending fault events and the pair's
+/// current placement.
+#[derive(Clone)]
+pub(crate) struct PairPlan {
+    /// Iterations after which this pair crashes (scripted kills).
+    pub kills: Vec<usize>,
+    /// Iterations after which this pair hangs until poisoned.
+    pub hangs: Vec<usize>,
+    /// `(iteration, millis)` scripted slowdowns during that iteration.
+    pub delays: Vec<(usize, u64)>,
+    /// Relative speed of the hosting node; below 1.0 the pair sleeps
+    /// `busy · (1/speed − 1)` per iteration to emulate slow hardware.
+    pub speed: f64,
+    /// Test hook (TCP backend): vanish — exit the process abruptly with
+    /// no outcome report — right after this iteration, emulating an
+    /// unscripted worker crash / dropped connection.
+    pub crash_after: Option<usize>,
+}
+
+/// How one pair's generation ended. `Finished` carries the pair's
+/// final partition already encoded, so the variant crosses the process
+/// boundary unchanged.
+pub(crate) enum PairOutcome {
+    /// Ran to termination; carries the encoded final partition (sorted)
+    /// and the absolute iteration the job stopped at.
+    Finished {
+        final_data: Bytes,
+        iterations: usize,
+    },
+    /// A scripted kill fired right after completing this iteration.
+    Induced { at_iteration: usize },
+    /// A scripted hang fired after this iteration; the pair went silent
+    /// until the generation was poisoned.
+    Stalled { at_iteration: usize },
+    /// A peer died first: the transport closed or the generation was
+    /// poisoned under us.
+    Aborted,
+    /// The crash hook fired: the caller must terminate the process
+    /// abruptly, without reporting any outcome.
+    Vanish,
+}
+
+/// Environment-side failure for DFS-backed operations: either the
+/// generation is being torn down (recoverable; the pair aborts), or a
+/// real storage/codec failure (fatal; the run errors out).
+pub(crate) enum EnvFail {
+    Closed,
+    Error(EngineError),
+}
+
+impl From<EngineError> for EnvFail {
+    fn from(e: EngineError) -> Self {
+        EnvFail::Error(e)
+    }
+}
+
+impl From<imr_dfs::DfsError> for EnvFail {
+    fn from(e: imr_dfs::DfsError) -> Self {
+        EnvFail::Error(e.into())
+    }
+}
+
+/// Everything a pair needs from the outside world, beyond the shuffle
+/// [`Transport`] it inherits.
+pub(crate) trait PairEnv: Transport {
+    /// Has the generation been poisoned for teardown?
+    fn is_poisoned(&self) -> bool;
+    /// One round of the global synchronization barrier.
+    fn barrier_wait(&mut self) -> Result<(), Closed>;
+    /// Contribute our encoded reduce output; receive every pair's
+    /// contribution in task order (one2all state exchange, two rallies
+    /// in the thread backend, one collective on the coordinator).
+    fn exchange_broadcast(&mut self, mine: Bytes) -> Result<Vec<Bytes>, Closed>;
+    /// Contribute our local distance; receive the task-ordered global
+    /// sum and whether any pair had a previous snapshot.
+    fn exchange_distance(&mut self, d: f64, has_prev: bool) -> Result<(f64, bool), Closed>;
+    /// Read the raw bytes of `<dir>/part-<part>`.
+    fn read_part(&mut self, dir: &str, part: usize) -> Result<Bytes, EnvFail>;
+    /// Persist the encoded snapshot of `iteration` atomically.
+    fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), EnvFail>;
+    /// Publish a heartbeat for the watchdog/balancer after completing
+    /// `iteration`. Carries the iteration's local distance sample so
+    /// the coordinator side can rebuild per-iteration records for pairs
+    /// whose process dies before reporting (the thread backend ignores
+    /// those fields — it reads the worker's vectors directly).
+    fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool);
+    /// Go silent until the generation is poisoned (scripted hang).
+    fn hang(&mut self);
+}
+
+/// The per-iteration loop. `Err` carries real failures (DFS, codec);
+/// scripted exits and peer-death unwinds come back as `Ok` outcomes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
+    q: usize,
+    job: &J,
+    cfg: &PairCfg,
+    dirs: &PairDirs,
+    plan: &PairPlan,
+    epoch: usize,
+    metrics: &MetricsHandle,
+    env: &mut E,
+    started: Instant,
+    local_dist: &mut Vec<(f64, bool)>,
+    iter_done: &mut Vec<Duration>,
+    last_ckpt: &mut usize,
+) -> Result<PairOutcome, EngineError> {
+    let n = cfg.n;
+    let one2all = cfg.one2all;
+    metrics.tasks_launched.add(2);
+
+    // ---- One-time load: static partition + state at this epoch -------
+    // Epoch 0 is the job's initial input; epoch e > 0 is the snapshot
+    // the pairs wrote at the end of iteration e (one part per pair).
+    let stat: Vec<(J::K, J::T)> = match env.read_part(&dirs.static_dir, q) {
+        Ok(raw) => decode_pairs(raw)?,
+        Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+        Err(EnvFail::Error(e)) => return Err(e),
+    };
+    let load_part =
+        |env: &mut E, dir: &str, i: usize| -> Result<Option<Vec<(J::K, J::S)>>, EngineError> {
+            match env.read_part(dir, i) {
+                Ok(raw) => Ok(Some(decode_pairs(raw)?)),
+                Err(EnvFail::Closed) => Ok(None),
+                Err(EnvFail::Error(e)) => Err(e),
+            }
+        };
+    let mut state: Vec<(J::K, J::S)> = Vec::new();
+    let mut global: Vec<(J::K, J::S)> = Vec::new();
+    let mut prev_out: Option<Vec<(J::K, J::S)>> = None;
+    if epoch == 0 {
+        if one2all {
+            // Every map task holds the full (small) broadcast state.
+            for i in 0..cfg.num_state_parts {
+                match load_part(env, &dirs.state_dir, i)? {
+                    Some(part) => global.extend(part),
+                    None => return Ok(PairOutcome::Aborted),
+                }
+            }
+            sort_run(&mut global);
+        } else {
+            state = match load_part(env, &dirs.state_dir, q)? {
+                Some(part) => part,
+                None => return Ok(PairOutcome::Aborted),
+            };
+        }
+    } else {
+        let snap = snapshot_dir(&dirs.output_dir, epoch);
+        if one2all {
+            // Part i is pair i's reduce output at the epoch iteration;
+            // the broadcast state is their task-ordered concatenation,
+            // exactly as the live hand-off rebuilds it.
+            for i in 0..n {
+                let part = match load_part(env, &snap, i)? {
+                    Some(part) => part,
+                    None => return Ok(PairOutcome::Aborted),
+                };
+                if i == q {
+                    prev_out = Some(part.clone());
+                }
+                global.extend(part);
+            }
+            sort_run(&mut global);
+        } else {
+            state = match load_part(env, &snap, q)? {
+                Some(part) => part,
+                None => return Ok(PairOutcome::Aborted),
+            };
+        }
+    }
+
+    for it in (epoch + 1)..=cfg.max_iters {
+        // A poisoned environment means the generation is being torn
+        // down (peer death or a monitor intervention). In async mode no
+        // barrier wait may be reached before the next blocking shuffle
+        // op, so check explicitly: the unwind must cascade even when
+        // this pair's own links are still healthy.
+        if env.is_poisoned() {
+            return Ok(PairOutcome::Aborted);
+        }
+        if cfg.sync && env.barrier_wait().is_err() {
+            return Ok(PairOutcome::Aborted);
+        }
+        // Busy time = compute only (map + reduce spans), excluding
+        // shuffle blocking — the load signal §3.4.2's balancer keys on.
+        let mut busy = Duration::ZERO;
+        let map_start = Instant::now();
+
+        // ---- Map phase -----------------------------------------------
+        let mut emitter = Emitter::new();
+        let records_in: u64 = if one2all {
+            for (k, t) in &stat {
+                job.map(k, StateInput::All(&global), t, &mut emitter);
+            }
+            stat.len() as u64
+        } else {
+            assert_eq!(
+                state.len(),
+                stat.len(),
+                "state/static co-partitioning broken at pair {q}"
+            );
+            for ((ks, s), (kt, t)) in state.iter().zip(&stat) {
+                assert!(ks == kt, "state/static keys diverged at pair {q}");
+                job.map(ks, StateInput::One(s), t, &mut emitter);
+            }
+            state.len() as u64
+        };
+        metrics.map_input_records.add(records_in);
+
+        let mut partitions: Vec<Vec<(J::K, J::S)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, v) in emitter.into_pairs() {
+            let t = job.partition(&k, n);
+            partitions[t].push((k, v));
+        }
+        let segs: Vec<Bytes> = partitions
+            .into_iter()
+            .map(|mut part| {
+                sort_run(&mut part);
+                let final_part: Vec<(J::K, J::S)> = if job.has_combiner() {
+                    let mut combined = Vec::new();
+                    for (k, vals) in group_sorted(part) {
+                        for v in job.combine(&k, vals) {
+                            combined.push((k.clone(), v));
+                        }
+                    }
+                    combined
+                } else {
+                    part
+                };
+                encode_pairs(&final_part)
+            })
+            .collect();
+        busy += map_start.elapsed();
+        // Sends sit outside the busy span: a blocked send is
+        // back-pressure from a slow consumer, not this pair's load.
+        for (dest, seg) in segs.into_iter().enumerate() {
+            metrics.shuffle_local_bytes.add(seg.len() as u64);
+            if env.send(dest, seg).is_err() {
+                return Ok(PairOutcome::Aborted);
+            }
+        }
+
+        // ---- Reduce phase --------------------------------------------
+        // Drain peers in task order: merge_runs breaks key ties by run
+        // index, so the run order must match the simulation engine's.
+        // Blocking receives stay outside the busy span.
+        let mut raw_segs: Vec<Bytes> = Vec::with_capacity(n);
+        for src in 0..n {
+            match env.recv(src) {
+                Ok(seg) => raw_segs.push(seg),
+                Err(Closed) => return Ok(PairOutcome::Aborted),
+            }
+        }
+        let reduce_start = Instant::now();
+        let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+        let mut total_rec = 0u64;
+        for seg in raw_segs {
+            let run: Vec<(J::K, J::S)> = decode_pairs(seg)?;
+            total_rec += run.len() as u64;
+            runs.push(run);
+        }
+        metrics.reduce_input_records.add(total_rec);
+        let merged = merge_runs(runs);
+        let mut reduced: Vec<(J::K, J::S)> = Vec::new();
+        for (k, vals) in group_sorted(merged) {
+            let s = job.reduce(&k, vals);
+            reduced.push((k, s));
+        }
+        let new_state = if one2all {
+            reduced
+        } else {
+            carry_forward(reduced, &state)
+        };
+
+        // Local distance vs the previous snapshot (§3.1.2).
+        let mut d = 0.0f64;
+        let mut has_prev = false;
+        if cfg.threshold.is_some() {
+            let prev: Option<&[(J::K, J::S)]> = if one2all {
+                prev_out.as_deref()
+            } else {
+                Some(&state)
+            };
+            if let Some(prev) = prev {
+                has_prev = true;
+                d = distance_sorted(job, prev, &new_state);
+            }
+        }
+        local_dist.push((d, has_prev));
+        busy += reduce_start.elapsed();
+
+        // ---- Emulated slowdowns --------------------------------------
+        // A node speed below 1.0 stretches this pair's compute time
+        // proportionally (heterogeneous hardware); a scripted Delay adds
+        // a fixed pause at its iteration. Both feed the heartbeat's busy
+        // figure so the balancer and watchdog see the stretched load.
+        let mut effective_busy = busy.as_secs_f64();
+        if plan.speed < 1.0 {
+            let extra = busy.as_secs_f64() * (1.0 / plan.speed - 1.0);
+            std::thread::sleep(Duration::from_secs_f64(extra));
+            effective_busy += extra;
+        }
+        for &(at, millis) in &plan.delays {
+            if at == it {
+                let pause = Duration::from_millis(millis);
+                std::thread::sleep(pause);
+                effective_busy += pause.as_secs_f64();
+            }
+        }
+
+        // ---- State hand-off back to the map side ---------------------
+        if one2all {
+            let payload = encode_pairs(&new_state);
+            metrics
+                .broadcast_bytes
+                .add(payload.len() as u64 * (n as u64 - 1));
+            let parts = match env.exchange_broadcast(payload) {
+                Ok(parts) => parts,
+                Err(Closed) => return Ok(PairOutcome::Aborted),
+            };
+            // Task-ordered concatenation + stable sort: identical to
+            // the simulation engine's broadcast reassembly.
+            let mut next_global: Vec<(J::K, J::S)> = Vec::new();
+            for part in parts {
+                next_global.extend(decode_pairs::<J::K, J::S>(part)?);
+            }
+            sort_run(&mut next_global);
+            prev_out = Some(new_state);
+            global = next_global;
+        } else {
+            metrics
+                .state_handoff_bytes
+                .add(encode_pairs(&new_state).len() as u64);
+            state = new_state;
+        }
+        iter_done.push(started.elapsed());
+        env.beat(it, effective_busy, d, has_prev);
+
+        // ---- Termination check (§3.1.2) ------------------------------
+        // Every pair evaluates the same verdict over the same
+        // task-ordered float sum, so all pairs stop at the same
+        // iteration without a master round-trip.
+        let mut converged = false;
+        if let Some(eps) = cfg.threshold {
+            let (total, any_prev) = match env.exchange_distance(d, has_prev) {
+                Ok(v) => v,
+                Err(Closed) => return Ok(PairOutcome::Aborted),
+            };
+            converged = any_prev && total < eps;
+        }
+        let done = converged || it == cfg.max_iters;
+
+        // ---- Checkpointing (§3.4.1) ----------------------------------
+        // The pair's snapshot is its reduce-side state at the end of
+        // iteration `it`: the carried-forward partition under one2one,
+        // the pair's own reduce output under one2all (the broadcast
+        // state is reassembled from all parts on reload). Written
+        // atomically, so a crash mid-checkpoint leaves the previous
+        // epoch intact. Same gating as the simulation engine: never on
+        // the final iteration.
+        if !done && cfg.checkpoint_interval > 0 && it.is_multiple_of(cfg.checkpoint_interval) {
+            let snapshot: &[(J::K, J::S)] = if one2all {
+                prev_out.as_deref().expect("one2all snapshot exists")
+            } else {
+                &state
+            };
+            let payload = encode_pairs(snapshot);
+            metrics.checkpoint_bytes.add(payload.len() as u64);
+            match env.write_checkpoint(it, payload) {
+                Ok(()) => {
+                    *last_ckpt = it;
+                }
+                Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+                Err(EnvFail::Error(e)) => return Err(e),
+            }
+        }
+        if done {
+            let final_pairs = if one2all {
+                prev_out.unwrap_or_default()
+            } else {
+                state
+            };
+            return Ok(PairOutcome::Finished {
+                final_data: encode_pairs(&final_pairs),
+                iterations: it,
+            });
+        }
+
+        // ---- Scripted faults (fault injection) -----------------------
+        // Same decision point as the simulation engine: a pair dies
+        // right after completing iteration `it`, never on the final
+        // iteration (the done-check above fires first). A kill exits
+        // immediately; a crash hook exits *abruptly* (no outcome report
+        // — the caller terminates the process); a hang goes silent —
+        // links held open, no heartbeats — until the watchdog poisons
+        // the generation.
+        if plan.kills.contains(&it) {
+            return Ok(PairOutcome::Induced { at_iteration: it });
+        }
+        if plan.crash_after == Some(it) {
+            return Ok(PairOutcome::Vanish);
+        }
+        if plan.hangs.contains(&it) {
+            env.hang();
+            return Ok(PairOutcome::Stalled { at_iteration: it });
+        }
+    }
+
+    // Only reachable when the epoch already sits at max_iters (a
+    // failure scripted for the final iteration never fires, so the
+    // loop above always terminates through the done-check).
+    unreachable!("pair {q} left the iteration loop without finishing");
+}

@@ -1,0 +1,893 @@
+//! Multi-process execution over TCP: each map/reduce pair in its own
+//! OS process, wired to an in-supervisor coordinator.
+//!
+//! The paper's workers are separate JVM processes holding persistent
+//! socket connections (§3.2); this module is the equivalent deployment
+//! shape for the native backend. [`NativeRunner::run_remote`] plays the
+//! master: it binds a localhost listener, spawns one worker process per
+//! pair from a [`WorkerSpec`], and serves as the hub of a star topology
+//! — every worker holds exactly one persistent connection to the
+//! coordinator for its whole generation, and shuffle segments, credits,
+//! barrier/broadcast/distance collectives, heartbeats, checkpoint
+//! bodies and DFS reads all travel over that single framed connection
+//! (see `imr_net::proto`).
+//!
+//! Key properties:
+//!
+//! * **Same loop, different env**: workers run the exact
+//!   [`pair_loop`] the thread backend runs, through a [`PairEnv`] that
+//!   speaks the wire protocol. TCP preserves per-connection FIFO order
+//!   and the coordinator performs every order-sensitive step (segment
+//!   routing per link, task-ordered distance sums, task-ordered
+//!   broadcast assembly) exactly like the in-process fabric, so results
+//!   are bit-identical across transports.
+//! * **Credit-based backpressure**: a worker may only send a segment
+//!   while it holds a credit for the destination link; the consumer
+//!   returns the credit through the coordinator when it pops the
+//!   segment. Credits start at [`HANDOFF_BUFFER`], giving the same
+//!   bounded hand-off as the bounded channels.
+//! * **Reconnect-with-replay recovery**: a generation that dies (a
+//!   scripted kill, a watchdog-detected hang, a vanished process, a
+//!   migration) is torn down — poison frames, a teardown grace, then
+//!   SIGKILL — and the shared supervisor respawns fresh processes that
+//!   reconnect and replay from the last checkpoint epoch. The
+//!   coordinator's record of checkpoint progress is authoritative:
+//!   checkpoint frames are delivered in-order before the worker's EOF,
+//!   so a worker that dies right after checkpointing never loses it.
+//! * **The DFS stays in the supervisor**: the in-memory DFS cannot be
+//!   shared across processes, so workers load partitions via `ReadPart`
+//!   RPCs and ship checkpoint bodies for the coordinator to persist.
+
+use crate::fault::FaultBarrier;
+use crate::monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
+use crate::pair::{pair_loop, EnvFail, PairCfg, PairDirs, PairEnv, PairOutcome, PairPlan};
+use crate::supervisor::{assert_partitioning, supervise, GenInput, PairRun, RunOutcome};
+use crate::{NativeRunner, HANDOFF_BUFFER};
+use bytes::Bytes;
+use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping, TransportKind};
+use imr_dfs::snapshot_dir;
+use imr_mapreduce::io::{num_parts, part_path};
+use imr_mapreduce::EngineError;
+use imr_net::frame::{read_frame, write_frame};
+use imr_net::proto::{OutcomeKind, ToCoord, ToWorker, WireOutcome, WorkerSetup};
+use imr_net::{Closed, NetError, Transport, WorkerConn};
+use imr_records::Codec;
+use imr_simcluster::{Metrics, MetricsHandle, NodeId, TaskClock};
+use parking_lot::Mutex;
+use std::io::{BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long workers connecting at generation start may take before the
+/// coordinator declares the spawn failed.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+/// After poisoning a generation, how long workers get to abort and
+/// report before they are killed outright.
+const TEARDOWN_GRACE: Duration = Duration::from_secs(5);
+/// Coordinator main-loop poll interval.
+const TICK: Duration = Duration::from_millis(2);
+
+/// How to launch worker processes for [`NativeRunner::run_remote`].
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Path to the worker binary (typically `imr-worker`, or the test
+    /// binary itself re-exec'd in worker mode). The binary must call
+    /// [`serve_worker`] with a job equal to the coordinator's.
+    pub bin: PathBuf,
+    /// Extra argv passed to every worker after the transport arguments
+    /// (`<addr> <pair> <generation>`); the worker uses them to pick and
+    /// parameterize the job.
+    pub job_args: Vec<String>,
+    /// Test hook: make `(pair, iteration)` exit abruptly — no outcome
+    /// frame, connection simply drops — right after that iteration of
+    /// the first generation it is armed in, simulating an unscripted
+    /// worker crash. Consumed when armed, so the respawned generation
+    /// replays cleanly.
+    pub crash: Option<(usize, usize)>,
+}
+
+impl WorkerSpec {
+    /// A spec launching `bin` with the given job arguments.
+    pub fn new(bin: impl Into<PathBuf>, job_args: Vec<String>) -> Self {
+        WorkerSpec {
+            bin: bin.into(),
+            job_args,
+            crash: None,
+        }
+    }
+
+    /// Arms the crash test hook (see [`WorkerSpec::crash`]).
+    pub fn with_crash(mut self, pair: usize, after_iteration: usize) -> Self {
+        self.crash = Some((pair, after_iteration));
+        self
+    }
+}
+
+impl NativeRunner {
+    /// Runs `job` to termination with every map/reduce pair in its own
+    /// OS process, connected to this supervisor over localhost TCP.
+    /// Requires `cfg.transport == TransportKind::Tcp`
+    /// (`IterConfig::with_tcp_transport`). `job` must describe the same
+    /// computation the worker binary resolves from `spec.job_args` —
+    /// the coordinator uses it only to decode the final output.
+    ///
+    /// Fault semantics, recovery, migration and determinism match
+    /// [`NativeRunner::run_faults`] exactly; additionally a worker
+    /// process that dies *without* a scripted cause (crash, kill -9,
+    /// dropped connection) is detected as a recoverable fault and the
+    /// job replays from the last checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_remote<J: IterativeJob>(
+        &self,
+        _job: &J,
+        spec: &WorkerSpec,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        cfg.validate(faults)?;
+        if cfg.transport != TransportKind::Tcp {
+            return Err(EngineError::Config(
+                "run_remote needs cfg.with_tcp_transport(); for the in-process \
+                 channel fabric use run_faults"
+                    .into(),
+            ));
+        }
+        assert_partitioning(&self.dfs, cfg, state_dir, static_dir);
+        let num_state_parts = num_parts(&self.dfs, state_dir);
+        let dirs = PairDirs {
+            state_dir: state_dir.to_owned(),
+            static_dir: static_dir.to_owned(),
+            output_dir: output_dir.to_owned(),
+        };
+
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .and_then(|l| l.set_nonblocking(true).map(|()| l))
+            .map_err(|e| EngineError::Worker(format!("coordinator bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| EngineError::Worker(format!("coordinator bind failed: {e}")))?
+            .to_string();
+
+        let mut generation_no: u64 = 0;
+        let mut crash_pending = spec.crash;
+        let mut run_gen =
+            |gen: GenInput<'_>| -> Result<(Vec<PairRun>, Option<Intervention>), EngineError> {
+                generation_no += 1;
+                // Arm the crash hook once; the respawn replays cleanly.
+                let mut plans: Vec<PairPlan> = gen.plans.to_vec();
+                if let Some((pair, after)) = crash_pending.take() {
+                    plans[pair].crash_after = Some(after);
+                }
+                run_generation(
+                    self,
+                    cfg,
+                    spec,
+                    &dirs,
+                    num_state_parts,
+                    &listener,
+                    &addr,
+                    generation_no,
+                    &plans,
+                    gen,
+                )
+            };
+
+        supervise::<J>(
+            &self.dfs,
+            &self.metrics,
+            cfg,
+            output_dir,
+            faults,
+            format!("{} [tcp]", self.label(cfg)),
+            true,
+            &mut run_gen,
+        )
+    }
+}
+
+/// Shared coordinator state for one generation.
+struct CoordState {
+    /// Barrier arrivals in the current round.
+    arrivals: usize,
+    /// Pending one2all contributions, one slot per pair.
+    bcast: Vec<Option<Bytes>>,
+    /// Pending distance contributions, one slot per pair.
+    dists: Vec<Option<(f64, bool)>>,
+    /// First terminal outcome recorded per pair (never overwritten).
+    outcomes: Vec<Option<RunOutcome>>,
+    /// The pair's connection reached EOF — nothing more will arrive.
+    settled: Vec<bool>,
+    /// Per-iteration distance samples rebuilt from heartbeats.
+    local_dist: Vec<Vec<(f64, bool)>>,
+    /// Per-iteration completion offsets rebuilt from heartbeats.
+    iter_done: Vec<Vec<Duration>>,
+    /// Authoritative checkpoint progress (frames arrive before EOF).
+    last_ckpt: Vec<usize>,
+    poisoned: bool,
+}
+
+struct Coordinator<'a> {
+    n: usize,
+    state: Mutex<CoordState>,
+    writers: Vec<Mutex<BufWriter<TcpStream>>>,
+    board: ProgressBoard,
+    /// One-participant poison latch shared with the monitor thread: it
+    /// plays the role the generation barrier plays in-process.
+    latch: FaultBarrier,
+    runner: &'a NativeRunner,
+    output_dir: &'a str,
+    started: Instant,
+}
+
+impl Coordinator<'_> {
+    /// Best-effort framed send; a dead peer surfaces as its reader's
+    /// EOF, so write errors are ignored here.
+    fn send_to(&self, q: usize, msg: &ToWorker) {
+        let mut writer = self.writers[q].lock();
+        let _ = write_frame(&mut *writer, &msg.to_bytes()).and_then(|()| Ok(writer.flush()?));
+    }
+
+    /// Poisons the generation (idempotent): latch for the monitor,
+    /// state flag for the main loop's teardown clock, poison frames so
+    /// every worker aborts at its next blocking operation. Lock order
+    /// is always state → writer.
+    fn poison_locked(&self, state: &mut CoordState) {
+        if !state.poisoned {
+            state.poisoned = true;
+            self.latch.poison();
+            for q in 0..self.n {
+                self.send_to(q, &ToWorker::Poison);
+            }
+        }
+    }
+}
+
+fn wire_to_outcome(wire: WireOutcome) -> RunOutcome {
+    match wire.kind {
+        OutcomeKind::Finished => RunOutcome::Finished {
+            final_data: wire.payload,
+            iterations: wire.at_iteration,
+        },
+        OutcomeKind::Induced => RunOutcome::Induced {
+            at_iteration: wire.at_iteration,
+        },
+        OutcomeKind::Stalled => RunOutcome::Stalled {
+            at_iteration: wire.at_iteration,
+        },
+        OutcomeKind::Aborted => RunOutcome::Aborted,
+        OutcomeKind::Error => RunOutcome::Error(EngineError::Worker(wire.message)),
+    }
+}
+
+/// One generation: spawn processes, run the hub, reap, hand the
+/// per-pair runs to the shared supervisor.
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    runner: &NativeRunner,
+    cfg: &IterConfig,
+    spec: &WorkerSpec,
+    dirs: &PairDirs,
+    num_state_parts: usize,
+    listener: &TcpListener,
+    addr: &str,
+    generation: u64,
+    plans: &[PairPlan],
+    gen: GenInput<'_>,
+) -> Result<(Vec<PairRun>, Option<Intervention>), EngineError> {
+    let n = plans.len();
+    let epoch = gen.epoch;
+    runner.metrics.tasks_launched.add(2 * n as u64);
+
+    // ---- Spawn + connect -------------------------------------------
+    let mut children: Vec<ChildGuard> = (0..n)
+        .map(|q| ChildGuard::spawn(spec, addr, q, generation))
+        .collect::<Result<_, _>>()?;
+    let streams = accept_workers(listener, n, generation, &mut children)?;
+
+    let writers: Vec<Mutex<BufWriter<TcpStream>>> = streams
+        .iter()
+        .map(|s| {
+            s.try_clone()
+                .map(|w| Mutex::new(BufWriter::new(w)))
+                .map_err(|e| EngineError::Worker(format!("socket clone failed: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let co = Coordinator {
+        n,
+        state: Mutex::new(CoordState {
+            arrivals: 0,
+            bcast: vec![None; n],
+            dists: vec![None; n],
+            outcomes: (0..n).map(|_| None).collect(),
+            settled: vec![false; n],
+            local_dist: vec![Vec::new(); n],
+            iter_done: vec![Vec::new(); n],
+            last_ckpt: vec![epoch; n],
+            poisoned: false,
+        }),
+        writers,
+        board: ProgressBoard::new(n, epoch),
+        latch: FaultBarrier::new(1),
+        runner,
+        output_dir: &dirs.output_dir,
+        started: gen.started,
+    };
+
+    // First frame on every connection: the job/generation parameters.
+    for (q, plan) in plans.iter().enumerate() {
+        co.send_to(
+            q,
+            &ToWorker::Setup(WorkerSetup {
+                num_tasks: n,
+                epoch,
+                one2all: cfg.mapping == Mapping::One2All,
+                sync: cfg.effective_sync(),
+                distance_threshold: cfg.termination.distance_threshold,
+                max_iterations: cfg.termination.max_iterations,
+                checkpoint_interval: cfg.checkpoint_interval,
+                num_state_parts,
+                state_dir: dirs.state_dir.clone(),
+                static_dir: dirs.static_dir.clone(),
+                output_dir: dirs.output_dir.clone(),
+                kills: plan.kills.clone(),
+                hangs: plan.hangs.clone(),
+                delays: plan.delays.clone(),
+                speed: plan.speed,
+                crash_after: plan.crash_after,
+            }),
+        );
+    }
+
+    let monitor_enabled = cfg.watchdog.is_some() || cfg.load_balance.is_some();
+    let workers_done = AtomicBool::new(false);
+
+    // ---- Hub: readers + monitor + teardown clock -------------------
+    let intervention = thread::scope(|scope| {
+        for (q, stream) in streams.into_iter().enumerate() {
+            let co = &co;
+            scope.spawn(move || reader_loop(co, q, stream));
+        }
+        let monitor_handle = if monitor_enabled {
+            let co = &co;
+            let workers_done = &workers_done;
+            let watchdog = cfg.watchdog;
+            let lb = cfg.load_balance;
+            let cluster = runner.dfs.cluster();
+            let assignment = gen.assignment;
+            let migrations_done = gen.migrations_done;
+            Some(scope.spawn(move || {
+                let balance = lb.map(|lb| BalancePlan {
+                    cluster,
+                    assignment,
+                    deviation: lb.deviation,
+                    remaining: (lb.max_migrations as u64).saturating_sub(migrations_done) as usize,
+                });
+                monitor_loop(
+                    &co.board,
+                    &co.latch,
+                    workers_done,
+                    watchdog,
+                    balance,
+                    &runner.metrics,
+                )
+            }))
+        } else {
+            None
+        };
+
+        let mut poisoned_at: Option<Instant> = None;
+        let mut killed = false;
+        loop {
+            {
+                let mut st = co.state.lock();
+                if st.settled.iter().all(|&s| s) {
+                    break;
+                }
+                // Monitor interventions poison only the latch; the main
+                // loop propagates them onto the wire.
+                if co.latch.is_poisoned() && !st.poisoned {
+                    co.poison_locked(&mut st);
+                }
+                if st.poisoned && poisoned_at.is_none() {
+                    poisoned_at = Some(Instant::now());
+                }
+            }
+            if let Some(at) = poisoned_at {
+                if !killed && at.elapsed() > TEARDOWN_GRACE {
+                    // Workers that ignored the poison frame (wedged in
+                    // job code, killed transport) get the hard way.
+                    killed = true;
+                    for child in children.iter_mut() {
+                        child.kill_now();
+                    }
+                }
+            }
+            thread::sleep(TICK);
+        }
+        workers_done.store(true, Ordering::Release);
+        monitor_handle.and_then(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+    });
+
+    for child in children.iter_mut() {
+        child.reap(TEARDOWN_GRACE);
+    }
+
+    let state = co.state.into_inner();
+    let runs: Vec<PairRun> = state
+        .outcomes
+        .into_iter()
+        .zip(state.local_dist)
+        .zip(state.iter_done)
+        .zip(state.last_ckpt)
+        .map(|(((outcome, local_dist), iter_done), last_ckpt)| PairRun {
+            local_dist,
+            iter_done,
+            last_ckpt,
+            outcome: outcome.expect("settled worker has an outcome"),
+        })
+        .collect();
+    Ok((runs, intervention))
+}
+
+/// Per-connection coordinator reader: demultiplexes one worker's
+/// frames until EOF. EOF with no recorded outcome means the process
+/// vanished — synthesized as a recoverable abort.
+fn reader_loop(co: &Coordinator<'_>, q: usize, mut stream: TcpStream) {
+    while let Ok(msg) = read_frame(&mut stream).and_then(|mut b| Ok(ToCoord::decode(&mut b)?)) {
+        match msg {
+            ToCoord::Segment { dest, payload } => {
+                // Routed without the state lock: per-link order is the
+                // per-connection FIFO order, and flow control is the
+                // sender's credit, not a queue here.
+                if dest < co.n {
+                    co.runner
+                        .metrics
+                        .shuffle_local_bytes
+                        .add(payload.len() as u64);
+                    co.send_to(dest, &ToWorker::Segment { src: q, payload });
+                }
+            }
+            ToCoord::Credit { src } => {
+                if src < co.n {
+                    co.send_to(src, &ToWorker::Credit { dest: q });
+                }
+            }
+            ToCoord::BarrierArrive => {
+                let mut st = co.state.lock();
+                st.arrivals += 1;
+                if st.arrivals == co.n {
+                    st.arrivals = 0;
+                    for p in 0..co.n {
+                        co.send_to(p, &ToWorker::BarrierRelease);
+                    }
+                }
+            }
+            ToCoord::Broadcast { payload } => {
+                let mut st = co.state.lock();
+                co.runner
+                    .metrics
+                    .broadcast_bytes
+                    .add(payload.len() as u64 * (co.n as u64 - 1));
+                st.bcast[q] = Some(payload);
+                if st.bcast.iter().all(Option::is_some) {
+                    // Task order: slot p holds pair p's part.
+                    let parts: Vec<Bytes> = st
+                        .bcast
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("all broadcast parts present"))
+                        .collect();
+                    for p in 0..co.n {
+                        co.send_to(
+                            p,
+                            &ToWorker::BroadcastAll {
+                                parts: parts.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            ToCoord::Distance { d, has_prev } => {
+                let mut st = co.state.lock();
+                st.dists[q] = Some((d, has_prev));
+                if st.dists.iter().all(Option::is_some) {
+                    // The same task-ordered float sum every thread
+                    // computes in-process: q = 0..n, so the result is
+                    // bit-identical.
+                    let mut total = 0.0f64;
+                    let mut any_prev = false;
+                    for slot in st.dists.iter_mut() {
+                        let (ds, hs) = slot.take().expect("all distances present");
+                        if hs {
+                            any_prev = true;
+                            total += ds;
+                        }
+                    }
+                    for p in 0..co.n {
+                        co.send_to(p, &ToWorker::DistanceTotal { total, any_prev });
+                    }
+                }
+            }
+            ToCoord::Beat {
+                iteration,
+                busy_secs,
+                d,
+                has_prev,
+            } => {
+                co.board.beat(q, iteration, busy_secs);
+                let mut st = co.state.lock();
+                st.local_dist[q].push((d, has_prev));
+                st.iter_done[q].push(co.started.elapsed());
+            }
+            ToCoord::Ckpt { iteration, payload } => {
+                co.runner.metrics.checkpoint_bytes.add(payload.len() as u64);
+                let mut ck = TaskClock::default();
+                let res = co.runner.dfs.put_atomic(
+                    &part_path(&snapshot_dir(co.output_dir, iteration), q),
+                    payload,
+                    NodeId(0),
+                    &mut ck,
+                );
+                let mut st = co.state.lock();
+                match res {
+                    Ok(()) => {
+                        st.last_ckpt[q] = iteration;
+                        co.board.mark_ckpt(q, iteration);
+                    }
+                    Err(e) => {
+                        // A storage failure is fatal, exactly as it is
+                        // for an in-process checkpoint write.
+                        if st.outcomes[q].is_none() {
+                            st.outcomes[q] = Some(RunOutcome::Error(e.into()));
+                        }
+                        co.poison_locked(&mut st);
+                    }
+                }
+            }
+            ToCoord::ReadPart { dir, part } => {
+                let mut clock = TaskClock::default();
+                match co
+                    .runner
+                    .dfs
+                    .read(&part_path(&dir, part), NodeId(0), &mut clock)
+                {
+                    Ok(payload) => co.send_to(q, &ToWorker::PartData { payload }),
+                    Err(e) => co.send_to(
+                        q,
+                        &ToWorker::PartErr {
+                            message: e.to_string(),
+                        },
+                    ),
+                }
+            }
+            ToCoord::Outcome(wire) => {
+                let outcome = wire_to_outcome(wire);
+                let finished = matches!(outcome, RunOutcome::Finished { .. });
+                co.board.mark_exited(q);
+                let mut st = co.state.lock();
+                if st.outcomes[q].is_none() {
+                    st.outcomes[q] = Some(outcome);
+                }
+                if !finished {
+                    co.poison_locked(&mut st);
+                }
+            }
+            ToCoord::Hello { .. } => {} // consumed during accept
+        }
+    }
+    co.board.mark_exited(q);
+    let mut st = co.state.lock();
+    st.settled[q] = true;
+    if st.outcomes[q].is_none() {
+        // The connection dropped with no outcome frame: the process
+        // vanished. Recoverable — the supervisor replays from the last
+        // checkpoint (with a no-progress backstop).
+        st.outcomes[q] = Some(RunOutcome::Aborted);
+        co.poison_locked(&mut st);
+    }
+}
+
+/// Accepts and validates `n` worker connections for `generation`.
+/// Non-matching hellos (stale generation, bad pair, garbage) are
+/// dropped and accepting continues; a worker that exits before
+/// connecting fails the generation fast.
+fn accept_workers(
+    listener: &TcpListener,
+    n: usize,
+    generation: u64,
+    children: &mut [ChildGuard],
+) -> Result<Vec<TcpStream>, EngineError> {
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut connected = 0;
+    while connected < n {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking; the accepted socket must
+                // not be (platform-dependent inheritance).
+                let mut stream = stream;
+                let hello = stream
+                    .set_nonblocking(false)
+                    .and_then(|()| stream.set_nodelay(true))
+                    .and_then(|()| stream.set_read_timeout(Some(Duration::from_secs(10))))
+                    .map_err(NetError::from)
+                    .and_then(|()| read_frame(&mut stream))
+                    .and_then(|mut b| Ok(ToCoord::decode(&mut b)?));
+                match hello {
+                    Ok(ToCoord::Hello {
+                        pair,
+                        generation: g,
+                    }) if g == generation && pair < n && conns[pair].is_none() => {
+                        let _ = stream.set_read_timeout(None);
+                        conns[pair] = Some(stream);
+                        connected += 1;
+                    }
+                    _ => drop(stream),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                for (q, child) in children.iter_mut().enumerate() {
+                    if conns[q].is_none() {
+                        if let Some(status) = child.try_status() {
+                            return Err(EngineError::Worker(format!(
+                                "worker {q} exited during startup: {status}"
+                            )));
+                        }
+                    }
+                }
+                if Instant::now() > deadline {
+                    return Err(EngineError::Worker(
+                        "timed out waiting for worker processes to connect".into(),
+                    ));
+                }
+                thread::sleep(TICK);
+            }
+            Err(e) => return Err(EngineError::Worker(format!("accept failed: {e}"))),
+        }
+    }
+    Ok(conns.into_iter().map(Option::unwrap).collect())
+}
+
+/// A spawned worker process, killed on drop so no generation leaks
+/// children past the supervisor.
+struct ChildGuard {
+    child: Option<Child>,
+}
+
+impl ChildGuard {
+    fn spawn(
+        spec: &WorkerSpec,
+        addr: &str,
+        pair: usize,
+        generation: u64,
+    ) -> Result<Self, EngineError> {
+        let child = Command::new(&spec.bin)
+            .arg(addr)
+            .arg(pair.to_string())
+            .arg(generation.to_string())
+            .args(&spec.job_args)
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                EngineError::Worker(format!(
+                    "failed to spawn worker {pair} ({}): {e}",
+                    spec.bin.display()
+                ))
+            })?;
+        Ok(ChildGuard { child: Some(child) })
+    }
+
+    fn try_status(&mut self) -> Option<ExitStatus> {
+        self.child
+            .as_mut()
+            .and_then(|c| c.try_wait().ok().flatten())
+    }
+
+    fn kill_now(&mut self) {
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+        }
+    }
+
+    /// Waits up to `grace` for a clean exit, then kills.
+    fn reap(&mut self, grace: Duration) {
+        if let Some(mut child) = self.child.take() {
+            let deadline = Instant::now() + grace;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => return,
+                    Ok(None) if Instant::now() < deadline => thread::sleep(TICK),
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The worker-process environment: everything rides the one persistent
+/// coordinator connection.
+struct RemoteEnv {
+    conn: WorkerConn,
+}
+
+impl Transport for RemoteEnv {
+    fn send(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
+        self.conn.send(dest, seg)
+    }
+    fn recv(&mut self, src: usize) -> Result<Bytes, Closed> {
+        self.conn.recv(src)
+    }
+}
+
+impl PairEnv for RemoteEnv {
+    fn is_poisoned(&self) -> bool {
+        self.conn.is_poisoned()
+    }
+    fn barrier_wait(&mut self) -> Result<(), Closed> {
+        self.conn.barrier_wait()
+    }
+    fn exchange_broadcast(&mut self, mine: Bytes) -> Result<Vec<Bytes>, Closed> {
+        self.conn.exchange_broadcast(mine)
+    }
+    fn exchange_distance(&mut self, d: f64, has_prev: bool) -> Result<(f64, bool), Closed> {
+        self.conn.exchange_distance(d, has_prev)
+    }
+    fn read_part(&mut self, dir: &str, part: usize) -> Result<Bytes, EnvFail> {
+        self.conn.read_part(dir, part).map_err(|e| match e {
+            NetError::Closed => EnvFail::Closed,
+            other => EnvFail::Error(other.into()),
+        })
+    }
+    fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), EnvFail> {
+        self.conn
+            .write_checkpoint(iteration, payload)
+            .map_err(|_| EnvFail::Closed)
+    }
+    fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool) {
+        self.conn.beat(iteration, busy_secs, d, has_prev);
+    }
+    fn hang(&mut self) {
+        self.conn.block_until_poisoned();
+    }
+}
+
+/// Entry point for a worker process: connect to the coordinator at
+/// `addr`, run `job` as `pair` of `generation` to a terminal outcome,
+/// report it, exit. The worker binary's `main` parses
+/// `<addr> <pair> <generation> <job...>` from argv, resolves `job`
+/// from the job arguments, and calls this.
+///
+/// Never returns an error after the handshake: post-handshake failures
+/// are reported to the coordinator as outcome frames. A scripted crash
+/// hook terminates the process abruptly instead (no outcome, no EOF
+/// courtesy — exactly the unscripted-loss shape it simulates).
+pub fn serve_worker<J: IterativeJob>(
+    job: &J,
+    addr: &str,
+    pair: usize,
+    generation: u64,
+) -> Result<(), String> {
+    let (conn, setup) = WorkerConn::connect(addr, pair, generation, HANDOFF_BUFFER)
+        .map_err(|e| format!("pair {pair}: connect/handshake failed: {e}"))?;
+    let cfg = PairCfg {
+        n: setup.num_tasks,
+        one2all: setup.one2all,
+        sync: setup.sync,
+        threshold: setup.distance_threshold,
+        max_iters: setup.max_iterations,
+        checkpoint_interval: setup.checkpoint_interval,
+        num_state_parts: setup.num_state_parts,
+    };
+    let dirs = PairDirs {
+        state_dir: setup.state_dir.clone(),
+        static_dir: setup.static_dir.clone(),
+        output_dir: setup.output_dir.clone(),
+    };
+    let plan = PairPlan {
+        kills: setup.kills.clone(),
+        hangs: setup.hangs.clone(),
+        delays: setup.delays.clone(),
+        speed: setup.speed,
+        crash_after: setup.crash_after,
+    };
+    // Data-path metrics are counted by the coordinator; the worker's
+    // local registry is a sink.
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let started = Instant::now();
+    let mut env = RemoteEnv { conn };
+    let mut local_dist: Vec<(f64, bool)> = Vec::new();
+    let mut iter_done: Vec<Duration> = Vec::new();
+    let mut last_ckpt = setup.epoch;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pair_loop::<J, _>(
+            pair,
+            job,
+            &cfg,
+            &dirs,
+            &plan,
+            setup.epoch,
+            &metrics,
+            &mut env,
+            started,
+            &mut local_dist,
+            &mut iter_done,
+            &mut last_ckpt,
+        )
+    }));
+    let wire = match result {
+        Ok(Ok(PairOutcome::Vanish)) => std::process::exit(0),
+        Ok(Ok(PairOutcome::Finished {
+            final_data,
+            iterations,
+        })) => WireOutcome {
+            kind: OutcomeKind::Finished,
+            at_iteration: iterations,
+            message: String::new(),
+            payload: final_data,
+        },
+        Ok(Ok(PairOutcome::Induced { at_iteration })) => WireOutcome {
+            kind: OutcomeKind::Induced,
+            at_iteration,
+            message: String::new(),
+            payload: Bytes::new(),
+        },
+        Ok(Ok(PairOutcome::Stalled { at_iteration })) => WireOutcome {
+            kind: OutcomeKind::Stalled,
+            at_iteration,
+            message: String::new(),
+            payload: Bytes::new(),
+        },
+        Ok(Ok(PairOutcome::Aborted)) => WireOutcome {
+            kind: OutcomeKind::Aborted,
+            at_iteration: 0,
+            message: String::new(),
+            payload: Bytes::new(),
+        },
+        Ok(Err(e)) => WireOutcome {
+            kind: OutcomeKind::Error,
+            at_iteration: 0,
+            message: e.to_string(),
+            payload: Bytes::new(),
+        },
+        Err(payload) => {
+            // Same panic surfacing as the thread backend.
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panicked".to_owned());
+            WireOutcome {
+                kind: OutcomeKind::Error,
+                at_iteration: 0,
+                message: format!("pair {pair} panicked: {msg}"),
+                payload: Bytes::new(),
+            }
+        }
+    };
+    env.conn.send_outcome(wire);
+    // Dropping the connection flushes and shuts the socket down: the
+    // coordinator sees the outcome frame, then EOF.
+    Ok(())
+}

@@ -1,0 +1,482 @@
+//! The generation supervisor shared by the thread and TCP backends.
+//!
+//! A *generation* is the span between two rollbacks: the supervisor
+//! resolves each pair's fault script from its current placement, asks
+//! the backend to execute the generation (threads over channels, or OS
+//! processes over TCP — the `run_gen` callback), triages the per-pair
+//! outcomes, and either stitches the surviving generation onto the
+//! committed history or rolls everything back to the last checkpoint
+//! epoch completed by all pairs and goes again (§3.4.1), re-placing
+//! pairs first when the monitor asked for a migration (§3.4.2).
+
+use crate::monitor::Intervention;
+use crate::pair::{PairOutcome, PairPlan};
+use bytes::Bytes;
+use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping};
+use imr_dfs::{migration_marker, snapshot_dir, snapshot_epochs, Dfs};
+use imr_mapreduce::io::{delete_dir, part_path};
+use imr_mapreduce::EngineError;
+use imr_records::{decode_pairs, sort_run};
+use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
+use std::time::{Duration, Instant};
+
+/// Supervisor-level view of how one pair's generation ended: the
+/// backend-neutral [`PairOutcome`] plus the errors a backend synthesizes
+/// itself (worker panics, process-level failures).
+pub(crate) enum RunOutcome {
+    /// See [`PairOutcome::Finished`]; `final_data` is still encoded.
+    Finished {
+        final_data: Bytes,
+        iterations: usize,
+    },
+    /// A scripted kill fired after this iteration.
+    Induced { at_iteration: usize },
+    /// A scripted hang fired after this iteration.
+    Stalled { at_iteration: usize },
+    /// The pair aborted because a peer died or the generation was
+    /// poisoned — including a worker process that vanished without
+    /// reporting (connection drop), which the TCP backend treats as an
+    /// unscripted-but-recoverable fault.
+    Aborted,
+    /// A real failure: DFS, codec, or a panic inside job code.
+    Error(EngineError),
+}
+
+impl From<PairOutcome> for RunOutcome {
+    fn from(outcome: PairOutcome) -> Self {
+        match outcome {
+            PairOutcome::Finished {
+                final_data,
+                iterations,
+            } => RunOutcome::Finished {
+                final_data,
+                iterations,
+            },
+            PairOutcome::Induced { at_iteration } => RunOutcome::Induced { at_iteration },
+            PairOutcome::Stalled { at_iteration } => RunOutcome::Stalled { at_iteration },
+            PairOutcome::Aborted => RunOutcome::Aborted,
+            // The crash hook is translated to an abrupt process exit by
+            // the worker binary; inside a backend that keeps the pair
+            // in-process it would be a scripting error.
+            PairOutcome::Vanish => RunOutcome::Error(EngineError::Worker(
+                "crash hook fired on an in-process backend".into(),
+            )),
+        }
+    }
+}
+
+/// Everything one pair hands back to the supervisor for one generation.
+pub(crate) struct PairRun {
+    /// Per-iteration `(local_distance, had_previous_snapshot)`, one
+    /// entry per iteration the pair *completed* this generation.
+    pub local_dist: Vec<(f64, bool)>,
+    /// Wall-clock offset of each completed iteration's reduce, from job
+    /// start (monotone across generations).
+    pub iter_done: Vec<Duration>,
+    /// The last iteration whose snapshot this pair fully wrote to the
+    /// DFS (the generation's start epoch if it wrote none).
+    pub last_ckpt: usize,
+    pub outcome: RunOutcome,
+}
+
+/// What the supervisor hands the backend to execute one generation.
+pub(crate) struct GenInput<'a> {
+    /// Checkpoint epoch this generation resumes from.
+    pub epoch: usize,
+    /// Per-pair fault script + emulated speed under the current
+    /// placement.
+    pub plans: &'a [PairPlan],
+    /// Current pair→node placement.
+    pub assignment: &'a [NodeId],
+    /// Migrations already performed (bounds the balancer's budget).
+    pub migrations_done: u64,
+    /// Job start instant; per-iteration completion offsets are measured
+    /// against it so the report timeline is monotone across
+    /// generations.
+    pub started: Instant,
+}
+
+/// Runs the generation loop to completion. `recovers_unscripted` is the
+/// backend's policy for a pair that aborted with no scripted cause and
+/// no monitor intervention: the thread backend treats it as a bug (a
+/// thread cannot vanish silently), while the TCP backend treats it as a
+/// genuine worker loss (process crash / dropped connection) and retries
+/// from the last checkpoint — with the same no-progress backstop the
+/// watchdog path uses, so a worker that dies every generation at the
+/// same epoch fails the run instead of looping forever.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn supervise<J: IterativeJob>(
+    dfs: &Dfs,
+    metrics: &MetricsHandle,
+    cfg: &IterConfig,
+    output_dir: &str,
+    faults: &[FaultEvent],
+    label: String,
+    recovers_unscripted: bool,
+    run_gen: &mut dyn FnMut(
+        GenInput<'_>,
+    ) -> Result<(Vec<PairRun>, Option<Intervention>), EngineError>,
+) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+    let n = cfg.num_tasks;
+    metrics.jobs_launched.add(1);
+
+    // Kills and hangs are consumed once recovery handles them;
+    // delays stay scripted for the whole run so a rolled-back
+    // iteration replays them identically (determinism).
+    let mut pending: Vec<FaultEvent> = faults
+        .iter()
+        .filter(|f| !matches!(f, FaultEvent::Delay { .. }))
+        .copied()
+        .collect();
+    pending.sort_by_key(|f| f.at_iteration());
+    let delays: Vec<FaultEvent> = faults
+        .iter()
+        .filter(|f| matches!(f, FaultEvent::Delay { .. }))
+        .copied()
+        .collect();
+
+    // The shared pair→node placement: a fault names a node, and
+    // both engines hit the pairs that placement puts there; the
+    // balancer migrates pairs between these nodes; node speeds are
+    // emulated per pair. Oversubscribed clean runs (more pairs than
+    // the spec has slots, e.g. the thread-scaling bench on a
+    // single-node spec) fall back to modulo placement.
+    let cluster = dfs.cluster();
+    let needs_placement = !pending.is_empty() || !delays.is_empty() || cfg.load_balance.is_some();
+    let mut assignment: Vec<NodeId> = if n <= cluster.pair_capacity() {
+        cluster.assign_pairs(n)
+    } else {
+        if needs_placement {
+            return Err(EngineError::Config(format!(
+                "{n} pairs exceed the cluster's pair capacity {}: fault \
+                 injection and load balancing need every pair on a real slot",
+                cluster.pair_capacity()
+            )));
+        }
+        let ids: Vec<NodeId> = cluster.node_ids().collect();
+        (0..n).map(|p| ids[p % ids.len()]).collect()
+    };
+
+    let started = Instant::now();
+    // Rollback epoch: iteration 0 is the initial input; epoch e > 0
+    // is the DFS snapshot written at the end of iteration e. All
+    // iterations up to the epoch are committed; everything after is
+    // discarded on rollback and replayed.
+    let mut epoch = 0usize;
+    let mut committed_dist: Vec<Vec<(f64, bool)>> = vec![Vec::new(); n];
+    let mut committed_done: Vec<Vec<Duration>> = vec![Vec::new(); n];
+    let mut recoveries = 0u64;
+    let mut migrations = 0u64;
+    // Consecutive unscripted recoveries (watchdog stalls or vanished
+    // workers) with no checkpoint progress — the backstop against
+    // retrying a persistent failure forever.
+    let mut stall_retries = 0u32;
+
+    // ---- Generation loop: run until a generation survives --------
+    let final_runs: Vec<PairRun> = loop {
+        // This generation's fault script + emulated speed, resolved
+        // per pair from its current placement.
+        let plans: Vec<PairPlan> = (0..n)
+            .map(|p| {
+                let node = assignment[p];
+                PairPlan {
+                    kills: pending
+                        .iter()
+                        .filter(|f| matches!(f, FaultEvent::Kill { .. }) && f.node() == node)
+                        .map(|f| f.at_iteration())
+                        .collect(),
+                    hangs: pending
+                        .iter()
+                        .filter(|f| matches!(f, FaultEvent::Hang { .. }) && f.node() == node)
+                        .map(|f| f.at_iteration())
+                        .collect(),
+                    delays: delays
+                        .iter()
+                        .filter(|f| f.node() == node)
+                        .map(|f| match *f {
+                            FaultEvent::Delay {
+                                at_iteration,
+                                millis,
+                                ..
+                            } => (at_iteration, millis),
+                            _ => unreachable!("delays hold only Delay events"),
+                        })
+                        .collect(),
+                    speed: cluster.speed(node),
+                    crash_after: None,
+                }
+            })
+            .collect();
+
+        let (runs, intervention) = run_gen(GenInput {
+            epoch,
+            plans: &plans,
+            assignment: &assignment,
+            migrations_done: migrations,
+            started,
+        })?;
+        assert_eq!(runs.len(), n, "backend returned a partial generation");
+
+        // ---- Triage ------------------------------------------------
+        let fired_kills: Vec<(usize, usize)> = runs
+            .iter()
+            .enumerate()
+            .filter_map(|(q, r)| match r.outcome {
+                RunOutcome::Induced { at_iteration } => Some((q, at_iteration)),
+                _ => None,
+            })
+            .collect();
+        let fired_hangs: Vec<(usize, usize)> = runs
+            .iter()
+            .enumerate()
+            .filter_map(|(q, r)| match r.outcome {
+                RunOutcome::Stalled { at_iteration } => Some((q, at_iteration)),
+                _ => None,
+            })
+            .collect();
+        // Real errors abort the run even when a failure also fired:
+        // replaying a DFS or codec failure would only repeat it.
+        if runs
+            .iter()
+            .any(|r| matches!(r.outcome, RunOutcome::Error(_)))
+        {
+            for r in runs {
+                if let RunOutcome::Error(e) = r.outcome {
+                    return Err(e);
+                }
+            }
+            unreachable!("error outcome vanished");
+        }
+        let any_aborted = runs
+            .iter()
+            .any(|r| matches!(r.outcome, RunOutcome::Aborted));
+        let scripted_fired = !fired_kills.is_empty() || !fired_hangs.is_empty();
+        if !scripted_fired && !any_aborted {
+            // Every pair finished. A monitor intervention that lost
+            // the race against termination is ignored: the job is
+            // done, there is nothing to roll back.
+            break runs;
+        }
+        if !scripted_fired && intervention.is_none() && !recovers_unscripted {
+            return Err(EngineError::Worker(
+                "a worker aborted with no scripted failure and no error".into(),
+            ));
+        }
+
+        // ---- Recovery (§3.4.1) -------------------------------------
+        // Consume each scripted event that fired (a node-level event
+        // hosting several pairs fires once per event, as in the
+        // simulation engine's one-recovery-per-event accounting).
+        for &(q, at) in &fired_kills {
+            if let Some(pos) = pending.iter().position(|f| {
+                matches!(f, FaultEvent::Kill { .. })
+                    && f.node() == assignment[q]
+                    && f.at_iteration() == at
+            }) {
+                pending.remove(pos);
+                recoveries += 1;
+                metrics.recoveries.add(1);
+            }
+        }
+        for &(q, at) in &fired_hangs {
+            if let Some(pos) = pending.iter().position(|f| {
+                matches!(f, FaultEvent::Hang { .. })
+                    && f.node() == assignment[q]
+                    && f.at_iteration() == at
+            }) {
+                pending.remove(pos);
+                recoveries += 1;
+                metrics.recoveries.add(1);
+            }
+        }
+        // Roll back to the last epoch whose snapshot every pair
+        // completed: async skew means a fast pair may have
+        // checkpointed an iteration its slowest peer never reached.
+        let new_epoch = runs.iter().map(|r| r.last_ckpt).min().unwrap_or(epoch);
+
+        if scripted_fired {
+            stall_retries = 0;
+        } else {
+            match intervention {
+                Some(Intervention::Migrate { pair, to }) => {
+                    // §3.4.2: migration is a rollback under a new
+                    // placement. The monitor only fires once every
+                    // pair checkpointed past `epoch`, so `new_epoch`
+                    // strictly advances and repeated migrations
+                    // cannot livelock the job.
+                    migrations += 1;
+                    metrics.migrations.add(1);
+                    assignment[pair] = to;
+                    let mut ck = TaskClock::default();
+                    dfs.put_atomic(
+                        &migration_marker(output_dir, migrations, new_epoch),
+                        Bytes::from_static(b"migrated"),
+                        to,
+                        &mut ck,
+                    )?;
+                    stall_retries = 0;
+                }
+                Some(Intervention::Stall { pair }) => {
+                    // An unscripted stall: retry from the last
+                    // checkpoint, but give up if it persists with no
+                    // progress (a wedged pair would stall every
+                    // generation at the same epoch forever).
+                    if new_epoch > epoch {
+                        stall_retries = 0;
+                    } else {
+                        stall_retries += 1;
+                        if stall_retries >= 2 {
+                            return Err(EngineError::Worker(format!(
+                                "watchdog declared pair {pair} stalled twice \
+                                 with no checkpoint progress; giving up"
+                            )));
+                        }
+                    }
+                    recoveries += 1;
+                    metrics.recoveries.add(1);
+                }
+                None => {
+                    // Only reachable with `recovers_unscripted`: a
+                    // worker process vanished (crash or dropped
+                    // connection) with nothing scripted. Same retry +
+                    // no-progress backstop as a watchdog stall.
+                    if new_epoch > epoch {
+                        stall_retries = 0;
+                    } else {
+                        stall_retries += 1;
+                        if stall_retries >= 2 {
+                            return Err(EngineError::Worker(
+                                "workers kept vanishing with no checkpoint \
+                                 progress; giving up"
+                                    .into(),
+                            ));
+                        }
+                    }
+                    recoveries += 1;
+                    metrics.recoveries.add(1);
+                }
+            }
+        }
+        let keep = new_epoch - epoch;
+        for (q, r) in runs.into_iter().enumerate() {
+            committed_dist[q].extend(r.local_dist.into_iter().take(keep));
+            committed_done[q].extend(r.iter_done.into_iter().take(keep));
+        }
+        // Snapshots past the rollback epoch are now stale; the next
+        // generation rewrites them deterministically.
+        for e in snapshot_epochs(dfs, output_dir) {
+            if e != new_epoch {
+                delete_dir(dfs, &snapshot_dir(output_dir, e));
+            }
+        }
+        epoch = new_epoch;
+    };
+
+    // ---- Stitch the surviving generation onto committed history --
+    let mut iterations = 0usize;
+    let mut final_parts: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
+    for (q, r) in final_runs.into_iter().enumerate() {
+        match r.outcome {
+            RunOutcome::Finished {
+                final_data,
+                iterations: it,
+            } => {
+                if q == 0 {
+                    iterations = it;
+                } else {
+                    assert_eq!(
+                        iterations, it,
+                        "workers disagreed on the termination iteration"
+                    );
+                }
+                final_parts.push(decode_pairs(final_data)?);
+                committed_dist[q].extend(r.local_dist);
+                committed_done[q].extend(r.iter_done);
+            }
+            _ => unreachable!("non-finished run survived triage"),
+        }
+    }
+    debug_assert!(committed_dist.iter().all(|v| v.len() == iterations));
+
+    // Global per-iteration distance: the same task-ordered float
+    // sum the simulation engine's master computes.
+    let mut distances = Vec::new();
+    if cfg.termination.distance_threshold.is_some() {
+        for i in 0..iterations {
+            let mut total = 0.0f64;
+            let mut any_prev = false;
+            for q in 0..n {
+                let (d, has_prev) = committed_dist[q][i];
+                if has_prev {
+                    any_prev = true;
+                    total += d;
+                }
+            }
+            distances.push(if any_prev { total } else { f64::INFINITY });
+        }
+    }
+
+    // Keep only the newest snapshot (the simulation engine likewise
+    // deletes each checkpoint when the next one lands).
+    let epochs = snapshot_epochs(dfs, output_dir);
+    if let Some((_last, stale)) = epochs.split_last() {
+        for e in stale {
+            delete_dir(dfs, &snapshot_dir(output_dir, *e));
+        }
+    }
+
+    // Final output dump (once, at termination).
+    let mut final_state: Vec<(J::K, J::S)> = Vec::new();
+    for (q, data) in final_parts.iter().enumerate() {
+        let payload = imr_records::encode_pairs(data);
+        let mut clock = TaskClock::default();
+        dfs.put(&part_path(output_dir, q), payload, NodeId(0), &mut clock)?;
+        final_state.extend(data.iter().cloned());
+    }
+    sort_run(&mut final_state);
+
+    let mut report = RunReport {
+        label,
+        ..RunReport::default()
+    };
+    for i in 0..iterations {
+        let done = (0..n)
+            .map(|q| committed_done[q][i])
+            .max()
+            .unwrap_or_default();
+        report
+            .iteration_done
+            .push(VInstant::EPOCH + VDuration::from_secs_f64(done.as_secs_f64()));
+    }
+    report.finished = VInstant::EPOCH + VDuration::from_secs_f64(started.elapsed().as_secs_f64());
+    report.metrics = metrics.snapshot();
+
+    Ok(IterOutcome {
+        report,
+        final_state,
+        iterations,
+        distances,
+        migrations,
+        recoveries,
+    })
+}
+
+/// Validates part counts shared by both backends (panics like the
+/// original in-line asserts: these are caller-contract violations, not
+/// recoverable configuration errors).
+pub(crate) fn assert_partitioning(dfs: &Dfs, cfg: &IterConfig, state_dir: &str, static_dir: &str) {
+    use imr_mapreduce::io::num_parts;
+    let n = cfg.num_tasks;
+    assert_eq!(
+        num_parts(dfs, static_dir),
+        n,
+        "static data must be pre-partitioned into num_tasks parts"
+    );
+    if cfg.mapping != Mapping::One2All {
+        assert_eq!(
+            num_parts(dfs, state_dir),
+            n,
+            "one2one state must be pre-partitioned into num_tasks parts"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Worker-process side of the TCP transport.
+//!
+//! Each worker process holds exactly one persistent connection to the
+//! coordinator for the lifetime of its generation. A dedicated reader
+//! thread demultiplexes incoming frames into shared state (per-source
+//! segment queues, credit counters, barrier releases, collective
+//! results); the pair's single compute thread writes frames directly —
+//! no writer lock is needed because nothing else writes.
+//!
+//! Backpressure: a segment may only be sent while the sender holds a
+//! credit for the destination link. Credits start at the channel
+//! backend's buffer size and are returned by the consumer (via the
+//! coordinator) when it pops a segment, so the number of unconsumed
+//! in-flight segments per link is bounded exactly like the bounded
+//! crossbeam channel it replaces.
+//!
+//! Any reader-side error (EOF, truncation, a `Poison` frame) marks the
+//! connection poisoned and wakes every waiter; blocked operations then
+//! fail with [`Closed`], which the pair loop surfaces as an aborted
+//! generation — the same cascade the thread backend gets from
+//! channel disconnects and the poisoned barrier.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{ToCoord, ToWorker, WireOutcome, WorkerSetup};
+use crate::transport::{Closed, Transport};
+use crate::NetError;
+use bytes::Bytes;
+use imr_records::Codec;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct ConnState {
+    /// Per-source queues of received shuffle segments.
+    queues: Vec<VecDeque<Bytes>>,
+    /// Send credits per destination link.
+    credits: Vec<usize>,
+    /// Count of barrier releases seen (workers strictly alternate
+    /// arrive/release, so a running count is sufficient).
+    releases: u64,
+    broadcast: Option<Vec<Bytes>>,
+    distance: Option<(f64, bool)>,
+    part: Option<Result<Bytes, String>>,
+    poisoned: bool,
+}
+
+struct ConnShared {
+    state: Mutex<ConnState>,
+    cv: Condvar,
+}
+
+/// A worker's persistent connection to the coordinator.
+pub struct WorkerConn {
+    stream: TcpStream,
+    writer: BufWriter<TcpStream>,
+    shared: Arc<ConnShared>,
+    reader: Option<JoinHandle<()>>,
+    consumed_releases: u64,
+}
+
+impl WorkerConn {
+    /// Connect to the coordinator, introduce ourselves as `pair` of
+    /// `generation`, and wait for the [`WorkerSetup`] frame. `buffer`
+    /// is the per-link credit allowance (the channel backend's buffer
+    /// size).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        pair: usize,
+        generation: u64,
+        buffer: usize,
+    ) -> Result<(WorkerConn, WorkerSetup), NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let hello = ToCoord::Hello { pair, generation };
+        write_frame(&mut writer, &hello.to_bytes())?;
+        writer.flush()?;
+
+        // The setup frame always comes first; guard the handshake with
+        // a timeout so a wedged coordinator cannot hang us forever.
+        let mut read_half = stream.try_clone()?;
+        read_half.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut first = read_frame(&mut read_half)?;
+        read_half.set_read_timeout(None)?;
+        let setup = match ToWorker::decode(&mut first)? {
+            ToWorker::Setup(setup) => setup,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected setup frame, got {other:?}"
+                )))
+            }
+        };
+
+        let n = setup.num_tasks;
+        let shared = Arc::new(ConnShared {
+            state: Mutex::new(ConnState {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                credits: vec![buffer; n],
+                releases: 0,
+                broadcast: None,
+                distance: None,
+                part: None,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::spawn(move || reader_loop(read_half, reader_shared));
+        Ok((
+            WorkerConn {
+                stream,
+                writer,
+                shared,
+                reader: Some(reader),
+                consumed_releases: 0,
+            },
+            setup,
+        ))
+    }
+
+    fn write(&mut self, msg: &ToCoord) -> Result<(), Closed> {
+        write_frame(&mut self.writer, &msg.to_bytes())
+            .and_then(|()| self.writer.flush().map_err(NetError::from))
+            .map_err(|_| Closed)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ConnState> {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Block until `f` yields a value; fail with [`Closed`] if the
+    /// connection is poisoned and `f` still has nothing (so already
+    /// delivered data is always drained first).
+    fn wait_until<T>(&self, mut f: impl FnMut(&mut ConnState) -> Option<T>) -> Result<T, Closed> {
+        let mut state = self.lock();
+        loop {
+            if let Some(value) = f(&mut state) {
+                return Ok(value);
+            }
+            if state.poisoned {
+                return Err(Closed);
+            }
+            state = self
+                .shared
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+
+    /// Has the coordinator poisoned or dropped the connection?
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+
+    /// Park until the connection is poisoned (scripted hang).
+    pub fn block_until_poisoned(&self) {
+        let _ = self.wait_until(|_| None::<()>);
+    }
+
+    /// One round of the global synchronization barrier. Like the
+    /// thread backend's `FaultBarrier`, a release that was already won
+    /// still counts even if poison lands afterwards.
+    pub fn barrier_wait(&mut self) -> Result<(), Closed> {
+        self.write(&ToCoord::BarrierArrive)?;
+        let target = self.consumed_releases + 1;
+        self.wait_until(|s| (s.releases >= target).then_some(()))?;
+        self.consumed_releases = target;
+        Ok(())
+    }
+
+    /// Contribute our encoded state part and receive all pairs' parts
+    /// in task order (one2all state exchange).
+    pub fn exchange_broadcast(&mut self, mine: Bytes) -> Result<Vec<Bytes>, Closed> {
+        self.write(&ToCoord::Broadcast { payload: mine })?;
+        self.wait_until(|s| s.broadcast.take())
+    }
+
+    /// Contribute our local distance and receive the task-order total.
+    pub fn exchange_distance(&mut self, d: f64, has_prev: bool) -> Result<(f64, bool), Closed> {
+        self.write(&ToCoord::Distance { d, has_prev })?;
+        self.wait_until(|s| s.distance.take())
+    }
+
+    /// Read DFS file `<dir>/part-<part>` through the coordinator.
+    pub fn read_part(&mut self, dir: &str, part: usize) -> Result<Bytes, NetError> {
+        self.write(&ToCoord::ReadPart {
+            dir: dir.to_string(),
+            part,
+        })
+        .map_err(|_| NetError::Closed)?;
+        match self.wait_until(|s| s.part.take()) {
+            Ok(Ok(payload)) => Ok(payload),
+            Ok(Err(message)) => Err(NetError::Protocol(message)),
+            Err(Closed) => Err(NetError::Closed),
+        }
+    }
+
+    /// Ship a checkpoint body; the coordinator persists it atomically.
+    /// Fire-and-forget: in-order delivery means the coordinator sees it
+    /// before our EOF, so its record of our checkpoint progress is
+    /// authoritative even if we die right after sending.
+    pub fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), Closed> {
+        self.write(&ToCoord::Ckpt { iteration, payload })
+    }
+
+    /// Publish a heartbeat for the coordinator-side progress board.
+    pub fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool) {
+        let _ = self.write(&ToCoord::Beat {
+            iteration,
+            busy_secs,
+            d,
+            has_prev,
+        });
+    }
+
+    /// Report our terminal status. Best-effort once poisoned.
+    pub fn send_outcome(&mut self, outcome: WireOutcome) {
+        let _ = self.write(&ToCoord::Outcome(outcome));
+    }
+}
+
+impl Transport for WorkerConn {
+    fn send(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
+        self.wait_until(|s| {
+            if s.credits[dest] > 0 {
+                s.credits[dest] -= 1;
+                Some(())
+            } else {
+                None
+            }
+        })?;
+        self.write(&ToCoord::Segment { dest, payload: seg })
+    }
+
+    fn recv(&mut self, src: usize) -> Result<Bytes, Closed> {
+        let seg = self.wait_until(|s| s.queues[src].pop_front())?;
+        // Tell the producer (via the coordinator) that a buffer slot
+        // freed up.
+        self.write(&ToCoord::Credit { src })?;
+        Ok(seg)
+    }
+}
+
+impl Drop for WorkerConn {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
+    while let Ok(msg) = read_frame(&mut stream).and_then(|mut b| Ok(ToWorker::decode(&mut b)?)) {
+        let mut state = shared
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        match msg {
+            ToWorker::Segment { src, payload } => {
+                if src < state.queues.len() {
+                    state.queues[src].push_back(payload);
+                }
+            }
+            ToWorker::Credit { dest } => {
+                if dest < state.credits.len() {
+                    state.credits[dest] += 1;
+                }
+            }
+            ToWorker::BarrierRelease => state.releases += 1,
+            ToWorker::BroadcastAll { parts } => state.broadcast = Some(parts),
+            ToWorker::DistanceTotal { total, any_prev } => state.distance = Some((total, any_prev)),
+            ToWorker::PartData { payload } => state.part = Some(Ok(payload)),
+            ToWorker::PartErr { message } => state.part = Some(Err(message)),
+            ToWorker::Poison => {
+                state.poisoned = true;
+                // Keep reading so the coordinator's writes never block
+                // on a full socket buffer during teardown.
+            }
+            ToWorker::Setup(_) => {}
+        }
+        drop(state);
+        shared.cv.notify_all();
+    }
+    let mut state = shared
+        .state
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    state.poisoned = true;
+    drop(state);
+    shared.cv.notify_all();
+}

@@ -1,0 +1,146 @@
+//! Length-prefixed binary framing over any byte stream.
+//!
+//! Wire format: `[u32 big-endian payload length][payload bytes]`. A
+//! frame length above [`MAX_FRAME`] is rejected before any allocation,
+//! so a corrupt prefix cannot balloon memory. EOF exactly at a frame
+//! boundary is a clean [`NetError::Closed`]; EOF inside the prefix or
+//! body is reported as truncation.
+
+use crate::NetError;
+use bytes::Bytes;
+use std::io::{ErrorKind, Read, Write};
+
+/// Maximum payload size accepted on the wire (64 MiB).
+pub const MAX_FRAME: usize = 1 << 26;
+
+/// Write one length-prefixed frame. The caller flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() > MAX_FRAME {
+        return Err(NetError::FrameTooLarge(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame, blocking until it is complete.
+pub fn read_frame(r: &mut impl Read) -> Result<Bytes, NetError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(NetError::Closed),
+            Ok(0) => {
+                return Err(NetError::Io(
+                    "connection truncated inside frame length".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            NetError::Io("connection truncated inside frame body".into())
+        } else {
+            NetError::Io(e.to_string())
+        }
+    })?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_slice(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().as_slice(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().as_slice(), &[0xAB; 1000][..]);
+        assert!(matches!(read_frame(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r) {
+            Err(NetError::FrameTooLarge(len)) => assert_eq!(len, u32::MAX as usize),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_inside_prefix_is_not_clean_close() {
+        let mut r = Cursor::new(vec![0u8, 0]);
+        match read_frame(&mut r) {
+            Err(NetError::Io(msg)) => assert!(msg.contains("frame length")),
+            other => panic!("expected Io truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_inside_body_is_not_clean_close() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r) {
+            Err(NetError::Io(msg)) => assert!(msg.contains("frame body")),
+            other => panic!("expected Io truncation, got {other:?}"),
+        }
+    }
+
+    /// A reader that dribbles one byte per call, exercising the
+    /// partial-read path for both the prefix and the body.
+    struct OneByte<R: Read>(R);
+    impl<R: Read> Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let take = buf.len().min(1);
+            self.0.read(&mut buf[..take])
+        }
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"fragmented payload").unwrap();
+        let mut r = OneByte(Cursor::new(buf));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_slice(),
+            b"fragmented payload"
+        );
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        struct NullSink;
+        impl Write for NullSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(
+            write_frame(&mut NullSink, &huge),
+            Err(NetError::FrameTooLarge(_))
+        ));
+    }
+}

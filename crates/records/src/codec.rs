@@ -278,6 +278,27 @@ impl<T: Codec> Codec for Vec<T> {
     }
 }
 
+// `Bytes` — an opaque, already-encoded payload embedded inside a
+// larger message (shuffle segments, checkpoint bodies and broadcast
+// parts carried inside transport frames). Length-prefixed so it stays
+// self-delimiting; decoding is zero-copy (a sub-view of the source
+// buffer).
+impl Codec for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        encode_varint(self.len() as u64, buf);
+        buf.put_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> CodecResult<Self> {
+        let len = usize::try_from(decode_varint(buf)?)
+            .map_err(|_| CodecError::Corrupt("bytes length out of range"))?;
+        need(buf, len)?;
+        Ok(buf.split_to(len))
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
 impl<T: Codec> Codec for Option<T> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {

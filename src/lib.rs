@@ -7,5 +7,9 @@ pub use imr_algorithms as algorithms;
 pub use imr_dfs as dfs;
 pub use imr_graph as graph;
 pub use imr_mapreduce as mapreduce;
+pub use imr_native as native;
+pub use imr_net as net;
 pub use imr_records as records;
 pub use imr_simcluster as simcluster;
+
+pub mod worker;

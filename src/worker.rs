@@ -1,0 +1,76 @@
+//! The worker-process job catalog for the TCP multi-process backend.
+//!
+//! [`imr_native::NativeRunner::run_remote`] spawns one OS process per
+//! map/reduce pair; each process must resolve the *same* job the
+//! coordinator is running from its argv and call
+//! [`imr_native::serve_worker`]. This module is that resolution step,
+//! shared by the `imr-worker` binary, the integration tests and the
+//! transport bench so they all speak the same catalog.
+//!
+//! Worker argv: `<addr> <pair> <generation> <job> [params...]` where
+//! `<job>` is one of:
+//!
+//! * `halve` — the [`Halve`] micro-job (one2one, no static data)
+//! * `sssp` — single-source shortest path (one2one, async-friendly)
+//! * `pagerank <num_nodes>` — PageRank over `num_nodes` nodes
+//! * `kmeans <0|1>` — K-means, with (`1`) or without (`0`) the combiner
+
+use imapreduce::{Emitter, IterativeJob, StateInput};
+use imr_algorithms::kmeans::KmeansIter;
+use imr_algorithms::pagerank::PageRankIter;
+use imr_algorithms::sssp::SsspIter;
+use imr_native::serve_worker;
+
+/// Each key's state is halved every iteration; the distance is the
+/// summed absolute change. A minimal deterministic job for exercising
+/// the transports themselves.
+pub struct Halve;
+
+impl IterativeJob for Halve {
+    type K = u32;
+    type S = f64;
+    type T = ();
+
+    fn map(&self, k: &u32, s: StateInput<'_, u32, f64>, _t: &(), out: &mut Emitter<u32, f64>) {
+        out.emit(*k, s.one() / 2.0);
+    }
+
+    fn reduce(&self, _k: &u32, values: Vec<f64>) -> f64 {
+        values.into_iter().sum()
+    }
+
+    fn distance(&self, _k: &u32, prev: &f64, cur: &f64) -> f64 {
+        (prev - cur).abs()
+    }
+}
+
+/// Parses worker argv (`<addr> <pair> <generation> <job> [params...]`),
+/// resolves the job from the catalog and serves it to completion.
+pub fn serve_from_args(args: &[String]) -> Result<(), String> {
+    if args.len() < 4 {
+        return Err("usage: imr-worker <addr> <pair> <generation> <job> [params...]".into());
+    }
+    let addr = &args[0];
+    let pair: usize = args[1].parse().map_err(|e| format!("bad pair: {e}"))?;
+    let generation: u64 = args[2]
+        .parse()
+        .map_err(|e| format!("bad generation: {e}"))?;
+    let params = &args[4..];
+    match args[3].as_str() {
+        "halve" => serve_worker(&Halve, addr, pair, generation),
+        "sssp" => serve_worker(&SsspIter, addr, pair, generation),
+        "pagerank" => {
+            let n: u64 = params
+                .first()
+                .ok_or("pagerank needs <num_nodes>")?
+                .parse()
+                .map_err(|e| format!("bad num_nodes: {e}"))?;
+            serve_worker(&PageRankIter::new(n), addr, pair, generation)
+        }
+        "kmeans" => {
+            let combiner = params.first().is_some_and(|p| p == "1");
+            serve_worker(&KmeansIter { combiner }, addr, pair, generation)
+        }
+        other => Err(format!("unknown worker job '{other}'")),
+    }
+}

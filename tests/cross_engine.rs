@@ -11,7 +11,8 @@ use imr_algorithms::testutil::{
 };
 use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
 use imr_graph::{dataset, generate_matrix, generate_points, Graph};
-use imr_native::NativeRunner;
+use imr_mapreduce::EngineError;
+use imr_native::{NativeRunner, WorkerSpec};
 use imr_simcluster::{ClusterSpec, NodeId, TaskClock};
 use std::time::Duration;
 
@@ -414,6 +415,188 @@ fn native_kmeans_migration_is_bit_identical_to_migration_free() {
     assert_eq!(lb_rt.metrics().migrations.get(), balanced.migrations);
     assert_eq!(balanced.final_state, plain.final_state);
     assert_eq!(balanced.iterations, plain.iterations);
+}
+
+/// A spec launching this package's `imr-worker` binary with `job_args`
+/// (the job catalog lives in `imapreduce_suite::worker`).
+fn worker_spec(job_args: &[&str]) -> WorkerSpec {
+    WorkerSpec::new(
+        env!("CARGO_BIN_EXE_imr-worker"),
+        job_args.iter().map(|s| (*s).to_owned()).collect(),
+    )
+}
+
+/// SSSP over genuinely separate worker OS processes (TCP transport):
+/// bit-identical to the in-process channel fabric, the virtual-time
+/// engine, and the sequential reference, across task counts and both
+/// triggering modes.
+#[test]
+fn tcp_sssp_matches_channel_sim_and_reference() {
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let iters = 6;
+    let expect = sssp::reference_sssp_rounds(&g, 0, iters);
+    for tasks in [1usize, 4] {
+        for sync in [false, true] {
+            let mut cfg = IterConfig::new("sssp", tasks, iters);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let sim = imr_runner(4);
+            let a = sssp::run_sssp_imr(&sim, &g, 0, &cfg).unwrap();
+            let nat = native_runner(4);
+            let b = sssp::run_sssp_imr(&nat, &g, 0, &cfg).unwrap();
+            let tcp_rt = native_runner(4);
+            sssp::load_sssp_imr(&tcp_rt, &g, 0, tasks, "/s", "/t").unwrap();
+            let c = tcp_rt
+                .run_remote(
+                    &SsspIter,
+                    &worker_spec(&["sssp"]),
+                    &cfg.clone().with_tcp_transport(),
+                    "/s",
+                    "/t",
+                    "/o",
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(a.final_state, c.final_state, "tasks={tasks} sync={sync}");
+            assert_eq!(b.final_state, c.final_state, "tasks={tasks} sync={sync}");
+            assert_eq!(a.iterations, c.iterations);
+            assert_eq!(a.distances, c.distances);
+            for (k, d) in &c.final_state {
+                let e = expect[*k as usize];
+                assert!(
+                    (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                    "node {k}: tcp={d} ref={e}"
+                );
+            }
+        }
+    }
+}
+
+/// PageRank across processes: exact agreement with both in-process
+/// engines and float-noise agreement with the reference.
+#[test]
+fn tcp_pagerank_matches_channel_and_sim() {
+    let g = dataset("Google").unwrap().generate(0.003);
+    let iters = 8;
+    let nodes = g.num_nodes().to_string();
+    let expect = pagerank::reference_pagerank(&g, 0.85, iters);
+    for tasks in [1usize, 4] {
+        for sync in [false, true] {
+            let mut cfg = IterConfig::new("pr", tasks, iters);
+            if sync {
+                cfg = cfg.with_sync_maps();
+            }
+            let sim = imr_runner(4);
+            let a = pagerank::run_pagerank_imr(&sim, &g, &cfg).unwrap();
+            let nat = native_runner(4);
+            let b = pagerank::run_pagerank_imr(&nat, &g, &cfg).unwrap();
+            let tcp_rt = native_runner(4);
+            pagerank::load_pagerank_imr(&tcp_rt, &g, tasks, "/s", "/t").unwrap();
+            let c = tcp_rt
+                .run_remote(
+                    &PageRankIter::new(g.num_nodes() as u64),
+                    &worker_spec(&["pagerank", &nodes]),
+                    &cfg.clone().with_tcp_transport(),
+                    "/s",
+                    "/t",
+                    "/o",
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(a.final_state, c.final_state, "tasks={tasks} sync={sync}");
+            assert_eq!(b.final_state, c.final_state, "tasks={tasks} sync={sync}");
+            assert_eq!(a.iterations, c.iterations);
+            for (k, v) in &c.final_state {
+                assert!((v - expect[*k as usize]).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+/// K-means (one2all broadcast, inherently synchronous) across
+/// processes: the coordinator-assembled broadcast is bit-identical to
+/// the shared-slot broadcast of the in-process backends.
+#[test]
+fn tcp_kmeans_matches_channel_and_sim() {
+    let points = generate_points(400, 5, 3, 77);
+    for tasks in [1usize, 4] {
+        let cfg = IterConfig::new("km", tasks, 6).with_one2all();
+        let sim = imr_runner(4);
+        let a = kmeans::run_kmeans_imr(&sim, &points, 3, &cfg, false).unwrap();
+        let nat = native_runner(4);
+        let b = kmeans::run_kmeans_imr(&nat, &points, 3, &cfg, false).unwrap();
+        let tcp_rt = native_runner(4);
+        kmeans::load_kmeans_imr(&tcp_rt, &points, 3, tasks, "/s", "/t").unwrap();
+        let c = tcp_rt
+            .run_remote(
+                &KmeansIter { combiner: false },
+                &worker_spec(&["kmeans", "0"]),
+                &cfg.clone().with_tcp_transport(),
+                "/s",
+                "/t",
+                "/o",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(a.final_state, c.final_state, "tasks={tasks}");
+        assert_eq!(b.final_state, c.final_state, "tasks={tasks}");
+        assert_eq!(a.iterations, c.iterations);
+    }
+}
+
+/// Distance-threshold termination is a coordinator collective on the
+/// TCP path; it must stop at the same iteration with the same distance
+/// trace as the in-process backends.
+#[test]
+fn tcp_termination_matches_channel_and_sim() {
+    let g = dataset("DBLP").unwrap().generate(0.004);
+    let cfg = IterConfig::new("sssp", 3, 64).with_distance_threshold(1e-12);
+    let sim = imr_runner(3);
+    let a = sssp::run_sssp_imr(&sim, &g, 0, &cfg).unwrap();
+    let tcp_rt = native_runner(3);
+    sssp::load_sssp_imr(&tcp_rt, &g, 0, 3, "/s", "/t").unwrap();
+    let b = tcp_rt
+        .run_remote(
+            &SsspIter,
+            &worker_spec(&["sssp"]),
+            &cfg.clone().with_tcp_transport(),
+            "/s",
+            "/t",
+            "/o",
+            &[],
+        )
+        .unwrap();
+    assert!(a.iterations < 64, "converged before the cap");
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.distances, b.distances);
+    assert_eq!(a.final_state, b.final_state);
+}
+
+/// The transport flag is validated on both entry points: run_remote
+/// refuses a channel-transport config (and run_faults refuses a TCP
+/// one, covered in the native crate's tests).
+#[test]
+fn run_remote_rejects_channel_transport_config() {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let rt = native_runner(4);
+    sssp::load_sssp_imr(&rt, &g, 0, 2, "/s", "/t").unwrap();
+    let cfg = IterConfig::new("sssp", 2, 2);
+    let err = rt
+        .run_remote(
+            &SsspIter,
+            &worker_spec(&["sssp"]),
+            &cfg,
+            "/s",
+            "/t",
+            "/o",
+            &[],
+        )
+        .unwrap_err();
+    match err {
+        EngineError::Config(msg) => assert!(msg.contains("with_tcp_transport"), "{msg}"),
+        other => panic!("expected a configuration error, got {other}"),
+    }
 }
 
 #[test]

@@ -8,6 +8,7 @@ use imr_algorithms::sssp::{self, SsspIter};
 use imr_algorithms::testutil::{imr_runner_on, native_runner};
 use imr_graph::dataset;
 use imr_mapreduce::EngineError;
+use imr_native::{NativeRunner, WorkerSpec};
 use imr_simcluster::{ClusterSpec, NodeId};
 use std::time::Duration;
 
@@ -344,6 +345,112 @@ fn delays_do_not_trip_the_watchdog_on_either_engine() {
     assert_eq!(nat_rt.metrics().stalls_detected.get(), 0);
     assert_eq!(nat.final_state, sim.final_state);
     assert_eq!(nat.iterations, sim.iterations);
+}
+
+/// A spec launching the `imr-worker` binary on the SSSP job.
+fn sssp_worker() -> WorkerSpec {
+    WorkerSpec::new(env!("CARGO_BIN_EXE_imr-worker"), vec!["sssp".to_owned()])
+}
+
+/// A fresh native runner with the DBLP SSSP fixture loaded for 4 tasks.
+fn tcp_fixture() -> NativeRunner {
+    let g = dataset("DBLP").unwrap().generate(0.003);
+    let runner = native_runner(4);
+    sssp::load_sssp_imr(&runner, &g, 0, 4, "/s", "/t").unwrap();
+    runner
+}
+
+fn run_tcp(
+    runner: &NativeRunner,
+    spec: &WorkerSpec,
+    cfg: &IterConfig,
+    faults: &[FaultEvent],
+) -> imapreduce::IterOutcome<u32, f64> {
+    runner
+        .run_remote(
+            &SsspIter,
+            spec,
+            &cfg.clone().with_tcp_transport(),
+            "/s",
+            "/t",
+            "/o",
+            faults,
+        )
+        .unwrap()
+}
+
+/// A scripted kill on the multi-process TCP backend: the killed worker
+/// process reports the induced exit and dies; the coordinator tears the
+/// generation down, respawns fresh processes, and the replayed job is
+/// bit-identical to both the clean TCP run and the channel-transport
+/// run under the same script.
+#[test]
+fn tcp_kill_recovers_bit_identically_to_clean_and_channel() {
+    let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(2);
+    let kill = [FaultEvent::Kill {
+        node: NodeId(1),
+        at_iteration: 4,
+    }];
+    let clean = run_tcp(&tcp_fixture(), &sssp_worker(), &cfg, &[]);
+    let killed = run_tcp(&tcp_fixture(), &sssp_worker(), &cfg, &kill);
+    let channel = run_native_with_failures(
+        &[FailureEvent {
+            node: NodeId(1),
+            at_iteration: 4,
+        }],
+        2,
+    );
+    assert_eq!(killed.recoveries, 1);
+    assert_eq!(clean.final_state, killed.final_state);
+    assert_eq!(clean.iterations, killed.iterations);
+    assert_eq!(clean.distances, killed.distances);
+    assert_eq!(channel.final_state, killed.final_state);
+    assert_eq!(channel.iterations, killed.iterations);
+}
+
+/// A hang in a worker *process* is invisible except through silence:
+/// the coordinator's watchdog (fed by wire heartbeats) must detect the
+/// stall, poison the generation over TCP, and recover bit-identically.
+#[test]
+fn tcp_hang_recovers_via_watchdog_bit_identically() {
+    // The stall timeout needs headroom over process spawn + connect,
+    // which is real wall-clock on the TCP backend.
+    let cfg = IterConfig::new("sssp", 4, 8)
+        .with_checkpoint_interval(2)
+        .with_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall_timeout: Duration::from_secs(2),
+        });
+    let clean = run_tcp(&tcp_fixture(), &sssp_worker(), &cfg, &[]);
+    let hung_rt = tcp_fixture();
+    let hung = run_tcp(
+        &hung_rt,
+        &sssp_worker(),
+        &cfg,
+        &[FaultEvent::Hang {
+            node: NodeId(2),
+            at_iteration: 4,
+        }],
+    );
+    assert_eq!(hung.recoveries, 1);
+    assert_eq!(hung_rt.metrics().stalls_detected.get(), 1);
+    assert_eq!(clean.final_state, hung.final_state);
+    assert_eq!(clean.iterations, hung.iterations);
+}
+
+/// An *unscripted* worker loss: the process exits abruptly mid-job (no
+/// outcome frame — the connection just drops). The coordinator must
+/// surface this as a recoverable fault, not a hang, and the replayed
+/// result must match the clean run exactly.
+#[test]
+fn tcp_unscripted_worker_crash_recovers_exactly() {
+    let cfg = IterConfig::new("sssp", 4, 8).with_checkpoint_interval(2);
+    let clean = run_tcp(&tcp_fixture(), &sssp_worker(), &cfg, &[]);
+    let crashed = run_tcp(&tcp_fixture(), &sssp_worker().with_crash(1, 4), &cfg, &[]);
+    assert_eq!(crashed.recoveries, 1);
+    assert_eq!(clean.final_state, crashed.final_state);
+    assert_eq!(clean.iterations, crashed.iterations);
+    assert_eq!(clean.distances, crashed.distances);
 }
 
 #[test]

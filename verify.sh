@@ -1,17 +1,103 @@
 #!/usr/bin/env bash
-# Full local verification: format, lints, release build, tests.
+# Local verification, shared verbatim by CI: every job in
+# .github/workflows/ci.yml invokes exactly one subcommand of this
+# script, so the pipeline can never drift from what `./verify.sh`
+# checks on a developer machine.
+#
+#   ./verify.sh            # everything (fmt lint build test faults bench)
+#   ./verify.sh fmt        # rustfmt check
+#   ./verify.sh lint       # clippy, warnings denied
+#   ./verify.sh build      # release build of the whole workspace
+#   ./verify.sh test       # debug test suite + release cross-engine suite
+#   ./verify.sh faults     # fault-injection suites, serial, under timeout
+#   ./verify.sh bench      # smoke-run every experiment binary at tiny size
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo fmt --all --check
-cargo clippy --workspace --all-targets -- -D warnings
-cargo build --release
-cargo test -q --workspace
-# Fault-tolerance scenarios spawn real worker threads and recover from
-# injected failures; run them serially under a timeout so a recovery
-# regression shows up as a clean failure, never a hung CI job. The
-# native crate's own suite covers the watchdog/migration monitor the
-# same way.
-timeout 600 cargo test -q --test fault_tolerance -- --test-threads=1
-timeout 600 cargo test -q -p imr-native -- --test-threads=1
-echo "verify: all checks passed"
+cmd_fmt() {
+  cargo fmt --all --check
+}
+
+cmd_lint() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
+
+cmd_build() {
+  cargo build --release
+}
+
+cmd_test() {
+  cargo test -q --workspace
+  # The cross-engine exactness suite again under -O: the TCP
+  # multi-process transport and the channel fabric must stay
+  # bit-identical to the simulation engine with optimized codegen and
+  # release-build worker binaries too.
+  cargo test -q --release --test cross_engine
+}
+
+cmd_faults() {
+  # Fault-tolerance scenarios spawn real worker threads and real worker
+  # OS processes, then recover from injected kills/hangs/crashes; run
+  # them serially under a timeout so a recovery regression shows up as
+  # a clean failure, never a hung CI job. The native crate's own suite
+  # covers the watchdog/migration monitor the same way.
+  timeout 600 cargo test -q --test fault_tolerance -- --test-threads=1
+  timeout 600 cargo test -q -p imr-native -- --test-threads=1
+}
+
+# Smoke-run each experiment binary at tiny scale into a scratch
+# directory, then check every emitted results/*.json carries the keys
+# the plotting/readme tooling relies on.
+cmd_bench() {
+  cargo build --release
+  local out
+  out=$(mktemp -d)
+  # The RETURN trap would fire again for the caller's return (where the
+  # local is gone), so it removes itself after cleaning up.
+  trap 'rm -rf "${out:-}"; trap - RETURN' RETURN
+  local bins=(
+    table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+    fig13 fig14 fig16 fig18 fig20 ablation
+    native_scaling native_recovery native_balance native_transport
+  )
+  for bin in "${bins[@]}"; do
+    echo "bench-smoke: $bin"
+    case "$bin" in
+      # The balancer asserts an observed migration, which needs enough
+      # compute per iteration to register on the busy EWMA; run it at
+      # its default size instead of the tiny smoke size.
+      native_balance) flags=(--scale 0.02 --iters 12) ;;
+      *) flags=(--scale 0.002 --iters 2) ;;
+    esac
+    timeout 600 "target/release/$bin" "${flags[@]}" --out "$out" > /dev/null
+  done
+  local n=0
+  for json in "$out"/results/*.json; do
+    n=$((n + 1))
+    for key in '"id"' '"title"' '"x_label"' '"y_label"' '"series"' '"notes"'; do
+      grep -q "$key" "$json" \
+        || { echo "bench-smoke: $json is missing $key" >&2; exit 1; }
+    done
+  done
+  [ "$n" -ge "${#bins[@]}" ] \
+    || { echo "bench-smoke: expected >=${#bins[@]} artifacts, got $n" >&2; exit 1; }
+  echo "bench-smoke: $n artifacts, all keys present"
+}
+
+cmd_all() {
+  cmd_fmt
+  cmd_lint
+  cmd_build
+  cmd_test
+  cmd_faults
+  cmd_bench
+}
+
+case "${1:-all}" in
+  fmt | lint | build | test | faults | bench | all) "cmd_${1:-all}" ;;
+  *)
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|all]" >&2
+    exit 2
+    ;;
+esac
+echo "verify: ${1:-all} passed"
