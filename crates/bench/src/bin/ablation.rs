@@ -8,7 +8,7 @@
 use imapreduce::{IterConfig, LoadBalance};
 use imr_algorithms::testutil::imr_runner_on;
 use imr_algorithms::{kmeans, sssp};
-use imr_bench::{BenchOpts, FigureResult};
+use imr_bench::{report_metrics, BenchOpts, FigureResult};
 use imr_graph::{dataset, generate_points};
 use imr_simcluster::ClusterSpec;
 
@@ -37,7 +37,11 @@ fn main() {
                 &[],
             )
             .unwrap();
-        (label.to_owned(), out.report.finished.as_secs_f64())
+        (
+            label.to_owned(),
+            out.report.finished.as_secs_f64(),
+            out.report.metrics,
+        )
     };
 
     let local = || ClusterSpec::local(4).with_sample_scale(scale);
@@ -94,16 +98,26 @@ fn main() {
         let r = imr_runner_on(ClusterSpec::local(4).with_sample_scale(scale));
         let cfg = IterConfig::new("km", 4, 10).with_one2all();
         let out = kmeans::run_kmeans_imr(&r, &points, 10, &cfg, combiner).unwrap();
-        rows.push((label.to_owned(), out.report.finished.as_secs_f64()));
+        rows.push((
+            label.to_owned(),
+            out.report.finished.as_secs_f64(),
+            out.report.metrics,
+        ));
     }
 
     let points_xy: Vec<(f64, f64)> = rows
         .iter()
         .enumerate()
-        .map(|(i, (_, t))| ((i + 1) as f64, *t))
+        .map(|(i, (_, t, _))| ((i + 1) as f64, *t))
         .collect();
-    for (i, (label, t)) in rows.iter().enumerate() {
+    for (i, (label, t, _)) in rows.iter().enumerate() {
         fig.note(format!("[{}] {label}: {t:.1}s", i + 1));
+    }
+    if let Some((label, _, m)) = rows
+        .iter()
+        .find(|(label, _, _)| label.contains("load balancing on"))
+    {
+        report_metrics(&mut fig, label, m);
     }
     fig.push_series("total time", points_xy);
     fig.emit(&opts.out_root);

@@ -9,7 +9,7 @@
 
 use imapreduce::{IterConfig, LoadBalance, WatchdogConfig};
 use imr_algorithms::pagerank::{self, PageRankIter};
-use imr_bench::{BenchOpts, FigureResult};
+use imr_bench::{report_metrics, BenchOpts, FigureResult};
 use imr_dfs::Dfs;
 use imr_graph::{dataset, Graph};
 use imr_native::NativeRunner;
@@ -110,6 +110,7 @@ fn main() {
         "migrations={balanced_migrations}; speedup {:.2}x over the unbalanced run",
         skewed_secs / balanced_secs
     ));
+    report_metrics(&mut fig, "with balancing", &metrics.snapshot());
     fig.push_series("no balancing", vec![(0.0, skewed_secs)]);
     fig.push_series("with balancing", vec![(1.0, balanced_secs)]);
     fig.emit(&opts.out_root);

@@ -9,14 +9,22 @@
 //! trade-off in real seconds. A no-checkpoint baseline is printed for
 //! reference. Every configuration must produce the same final ranks —
 //! recovery is invisible in results — and the binary asserts this.
+//!
+//! All repetitions share one runner and one metrics registry (the
+//! long-lived daemon shape): `Metrics::reset_all` runs before each
+//! repetition so the per-repetition counters — and the fault-counter
+//! note in the JSON artifact — describe exactly one run instead of
+//! accumulating across the sweep. Each repetition also gets its own
+//! DFS directory so state never collides.
 
 use imapreduce::{FailureEvent, IterConfig};
 use imr_algorithms::pagerank::{self, PageRankIter};
-use imr_bench::{BenchOpts, FigureResult};
+use imr_bench::{report_metrics, BenchOpts, FigureResult};
 use imr_dfs::Dfs;
-use imr_graph::{dataset, Graph};
+use imr_graph::dataset;
+use imr_graph::Graph;
 use imr_native::NativeRunner;
-use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId};
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, MetricsSnapshot, NodeId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,23 +41,37 @@ fn runner() -> NativeRunner {
 }
 
 fn run_once(
+    r: &NativeRunner,
     g: &Graph,
+    rep: usize,
     iters: usize,
     interval: usize,
     failures: &[FailureEvent],
-) -> (f64, Vec<(u32, f64)>, u64) {
-    let r = runner();
-    pagerank::load_pagerank_imr(&r, g, THREADS, "/pr/state", "/pr/static").expect("load");
+) -> (f64, Vec<(u32, f64)>, u64, MetricsSnapshot) {
+    // Shared registry, per-repetition counters: reset before the run so
+    // the snapshot taken after it covers this repetition alone.
+    r.metrics().reset_all();
+    let state = format!("/pr{rep}/state");
+    let stat = format!("/pr{rep}/static");
+    let out_dir = format!("/pr{rep}/out");
+    pagerank::load_pagerank_imr(r, g, THREADS, &state, &stat).expect("load");
     let job = PageRankIter::new(g.num_nodes() as u64);
     let cfg = IterConfig::new("pr-recovery", THREADS, iters).with_checkpoint_interval(interval);
     let start = Instant::now();
     let out = r
-        .run(&job, &cfg, "/pr/state", "/pr/static", "/pr/out", failures)
+        .run(&job, &cfg, &state, &stat, &out_dir, failures)
         .expect("pagerank run");
+    let snapshot = r.metrics().snapshot();
+    assert_eq!(
+        snapshot.recoveries, out.recoveries,
+        "reset_all between repetitions must keep the registry in step \
+         with the run's own recovery count"
+    );
     (
         start.elapsed().as_secs_f64(),
         out.final_state,
         out.recoveries,
+        snapshot,
     )
 }
 
@@ -77,7 +99,14 @@ fn main() {
         g.num_edges()
     );
 
-    let (base_secs, baseline, _) = run_once(&g, iters, 0, &[]);
+    let r = runner();
+    let mut rep = 0;
+    let mut next_rep = || {
+        rep += 1;
+        rep
+    };
+
+    let (base_secs, baseline, _, _) = run_once(&r, &g, next_rep(), iters, 0, &[]);
     println!("  no checkpointing, no failure: {base_secs:.3} s");
     fig.note(format!(
         "no-checkpoint failure-free baseline: {base_secs:.3} s"
@@ -89,9 +118,12 @@ fn main() {
     }];
     let mut clean_pts = Vec::new();
     let mut failed_pts = Vec::new();
+    let mut last_failed = MetricsSnapshot::default();
     for interval in INTERVALS {
-        let (clean_secs, clean_state, _) = run_once(&g, iters, interval, &[]);
-        let (failed_secs, failed_state, recoveries) = run_once(&g, iters, interval, &failure);
+        let (clean_secs, clean_state, _, clean_m) =
+            run_once(&r, &g, next_rep(), iters, interval, &[]);
+        let (failed_secs, failed_state, recoveries, failed_m) =
+            run_once(&r, &g, next_rep(), iters, interval, &failure);
         println!(
             "  interval {interval}: clean {clean_secs:.3} s, \
              with failure {failed_secs:.3} s (recoveries={recoveries})"
@@ -104,11 +136,19 @@ fn main() {
             failed_state, baseline,
             "recovery changed the PageRank result"
         );
+        assert_eq!(clean_m.recoveries, 0, "failure-free run recovered");
+        assert_eq!(failed_m.recoveries, 1, "scripted failure recovers once");
         clean_pts.push((interval as f64, clean_secs));
         failed_pts.push((interval as f64, failed_secs));
+        last_failed = failed_m;
     }
     fig.push_series("no failure", clean_pts);
     fig.push_series(format!("failure after iteration {fail_at}"), failed_pts);
+    report_metrics(
+        &mut fig,
+        &format!("failure run, interval {}", INTERVALS[INTERVALS.len() - 1]),
+        &last_failed,
+    );
 
     fig.emit(&opts.out_root);
 }

@@ -10,7 +10,7 @@
 
 use imapreduce::IterConfig;
 use imr_algorithms::{pagerank, sssp};
-use imr_bench::{BenchOpts, FigureResult};
+use imr_bench::{report_metrics, BenchOpts, FigureResult};
 use imr_dfs::Dfs;
 use imr_graph::dataset;
 use imr_native::NativeRunner;
@@ -81,6 +81,7 @@ fn main() {
         sssp_graph.num_edges()
     );
     let mut points = Vec::new();
+    let mut last_metrics = None;
     for threads in THREADS {
         let r = runner();
         let cfg = IterConfig::new("sssp-native", threads, iters);
@@ -92,8 +93,14 @@ fn main() {
             out.iterations
         );
         points.push((threads as f64, secs));
+        last_metrics = Some(r.metrics().snapshot());
     }
     fig.push_series("SSSP (native)", points);
+    report_metrics(
+        &mut fig,
+        "SSSP (8 threads)",
+        &last_metrics.unwrap_or_default(),
+    );
 
     fig.emit(&opts.out_root);
 }

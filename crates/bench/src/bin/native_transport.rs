@@ -14,7 +14,7 @@
 
 use imapreduce::IterConfig;
 use imr_algorithms::sssp::{self, SsspIter};
-use imr_bench::{BenchOpts, FigureResult};
+use imr_bench::{report_metrics, BenchOpts, FigureResult};
 use imr_dfs::Dfs;
 use imr_graph::dataset;
 use imr_native::{NativeRunner, WorkerSpec};
@@ -77,6 +77,7 @@ fn main() {
 
     let mut chan_points = Vec::new();
     let mut tcp_points = Vec::new();
+    let mut last_metrics = None;
     for tasks in TASKS {
         let cfg = IterConfig::new("sssp-transport", tasks, iters);
 
@@ -109,8 +110,10 @@ fn main() {
         );
         chan_points.push((tasks as f64, chan_secs));
         tcp_points.push((tasks as f64, tcp_secs));
+        last_metrics = Some(tcp_rt.metrics().snapshot());
     }
     fig.push_series("channel (in-process threads)", chan_points);
     fig.push_series("tcp (worker processes)", tcp_points);
+    report_metrics(&mut fig, "tcp (4 pairs)", &last_metrics.unwrap_or_default());
     fig.emit(&opts.out_root);
 }

@@ -3,12 +3,15 @@
 //! engines, and returns a [`FigureResult`] with the same series the
 //! paper plots.
 
-use crate::result::{final_y, FigureResult};
+use crate::result::{final_y, report_metrics, FigureResult};
 use imapreduce::IterConfig;
 use imr_algorithms::testutil::{imr_runner_on, mr_runner_on};
 use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
 use imr_graph::{dataset, generate_matrix, generate_points, DatasetSpec, Graph};
-use imr_simcluster::{ClusterSpec, RunReport};
+use imr_simcluster::{ClusterSpec, MetricsSnapshot, RunReport};
+
+/// Named running-time curves, one per engine variant.
+type Curves = Vec<(String, Vec<(f64, f64)>)>;
 
 /// Converts a report's per-iteration completion instants to cumulative
 /// `(iteration, seconds)` points.
@@ -27,7 +30,7 @@ fn sssp_four_curves(
     cluster: &ClusterSpec,
     tasks: usize,
     iters: usize,
-) -> Vec<(String, Vec<(f64, f64)>)> {
+) -> (Curves, MetricsSnapshot) {
     let mut out = Vec::new();
     // MapReduce.
     let mr = mr_runner_on(cluster.clone());
@@ -48,7 +51,7 @@ fn sssp_four_curves(
     let cfg = IterConfig::new("sssp", tasks, iters);
     let r = sssp::run_sssp_imr(&imr, g, 0, &cfg).unwrap();
     out.push(("iMapReduce".to_string(), curve(&r.report)));
-    out
+    (out, r.report.metrics)
 }
 
 /// The four running-time curves for PageRank on one dataset.
@@ -57,7 +60,7 @@ fn pagerank_four_curves(
     cluster: &ClusterSpec,
     tasks: usize,
     iters: usize,
-) -> Vec<(String, Vec<(f64, f64)>)> {
+) -> (Curves, MetricsSnapshot) {
     let mut out = Vec::new();
     let mr = mr_runner_on(cluster.clone());
     let r = pagerank::run_pagerank_mr(&mr, g, tasks, iters, None).unwrap();
@@ -74,7 +77,7 @@ fn pagerank_four_curves(
     let cfg = IterConfig::new("pr", tasks, iters);
     let r = pagerank::run_pagerank_imr(&imr, g, &cfg).unwrap();
     out.push(("iMapReduce".to_string(), curve(&r.report)));
-    out
+    (out, r.report.metrics)
 }
 
 fn iteration_figure(
@@ -113,7 +116,7 @@ pub fn fig_sssp_local(id: &str, dataset_name: &str, scale: f64, iters: usize) ->
     let ds = dataset(dataset_name).expect("dataset");
     let g = ds.generate(scale);
     let cluster = ClusterSpec::local(4).with_sample_scale(scale);
-    let curves = sssp_four_curves(&g, &cluster, 4, iters);
+    let (curves, metrics) = sssp_four_curves(&g, &cluster, 4, iters);
     let mut fig = iteration_figure(
         id,
         &format!("SSSP on {dataset_name}-like graph (local-4, scale {scale})"),
@@ -125,6 +128,7 @@ pub fn fig_sssp_local(id: &str, dataset_name: &str, scale: f64, iters: usize) ->
         g.num_nodes(),
         g.num_edges()
     ));
+    report_metrics(&mut fig, "iMapReduce", &metrics);
     fig
 }
 
@@ -133,7 +137,7 @@ pub fn fig_pagerank_local(id: &str, dataset_name: &str, scale: f64, iters: usize
     let ds = dataset(dataset_name).expect("dataset");
     let g = ds.generate(scale);
     let cluster = ClusterSpec::local(4).with_sample_scale(scale);
-    let curves = pagerank_four_curves(&g, &cluster, 4, iters);
+    let (curves, metrics) = pagerank_four_curves(&g, &cluster, 4, iters);
     let mut fig = iteration_figure(
         id,
         &format!("PageRank on {dataset_name}-like webgraph (local-4, scale {scale})"),
@@ -145,6 +149,7 @@ pub fn fig_pagerank_local(id: &str, dataset_name: &str, scale: f64, iters: usize
         g.num_nodes(),
         g.num_edges()
     ));
+    report_metrics(&mut fig, "iMapReduce", &metrics);
     fig
 }
 
@@ -178,6 +183,7 @@ pub fn fig_synthetic_sizes(
     );
     let mut mr_pts = Vec::new();
     let mut imr_pts = Vec::new();
+    let mut metrics = MetricsSnapshot::default();
     for (i, name) in names.iter().enumerate() {
         let g = dataset(name).unwrap().generate(scale);
         let x = (i + 1) as f64;
@@ -188,6 +194,7 @@ pub fn fig_synthetic_sizes(
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("sssp", tasks, iters);
                 let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
+                metrics = b.report.metrics;
                 (
                     a.report.finished.as_secs_f64(),
                     b.report.finished.as_secs_f64(),
@@ -199,6 +206,7 @@ pub fn fig_synthetic_sizes(
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("pr", tasks, iters);
                 let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
+                metrics = b.report.metrics;
                 (
                     a.report.finished.as_secs_f64(),
                     b.report.finished.as_secs_f64(),
@@ -217,6 +225,7 @@ pub fn fig_synthetic_sizes(
     }
     fig.push_series("MapReduce", mr_pts);
     fig.push_series("iMapReduce", imr_pts);
+    report_metrics(&mut fig, "iMapReduce (largest dataset)", &metrics);
     fig
 }
 
@@ -237,10 +246,11 @@ pub fn fig_factors(scale: f64, iters: usize) -> FigureResult {
     for (i, name) in ["SSSP-m", "PageRank-m"].iter().enumerate() {
         let g = dataset(name).unwrap().generate(scale);
         let x = (i + 1) as f64;
-        let curves = match i {
+        let (curves, metrics) = match i {
             0 => sssp_four_curves(&g, &cluster, tasks, iters),
             _ => pagerank_four_curves(&g, &cluster, tasks, iters),
         };
+        report_metrics(&mut fig, &format!("iMapReduce {name}"), &metrics);
         let total: std::collections::HashMap<&str, f64> = curves
             .iter()
             .map(|(label, pts)| (label.as_str(), final_y(pts)))
@@ -289,7 +299,7 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
         // The Hadoop user needs a per-iteration termination-check job
         // (iMapReduce's check is built in), so the baseline pays for it
         // in communication too.
-        let (mr_bytes, imr_bytes) = if i == 0 {
+        let (mr_bytes, imr_bytes, metrics) = if i == 0 {
             let check = imr_mapreduce::CheckSpec::new(
                 |_k: &u32, prev: &sssp::DistAdj, cur: &sssp::DistAdj| (prev.0 - cur.0).abs(),
                 -1.0,
@@ -302,6 +312,7 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
             (
                 a.report.metrics.total_exchanged_bytes(),
                 b.report.metrics.total_exchanged_bytes(),
+                b.report.metrics,
             )
         } else {
             let check = imr_mapreduce::CheckSpec::new(
@@ -318,6 +329,7 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
             (
                 a.report.metrics.total_exchanged_bytes(),
                 b.report.metrics.total_exchanged_bytes(),
+                b.report.metrics,
             )
         };
         mr_pts.push((x, mr_bytes as f64));
@@ -326,6 +338,7 @@ pub fn fig_comm_cost(scale: f64, iters: usize) -> FigureResult {
             "{name}: iMapReduce exchanges {:.1}% of MapReduce's bytes (paper: ~12%)",
             100.0 * imr_bytes as f64 / mr_bytes as f64
         ));
+        report_metrics(&mut fig, &format!("iMapReduce {name}"), &metrics);
     }
     fig.push_series("MapReduce", mr_pts);
     fig.push_series("iMapReduce", imr_pts);
@@ -361,6 +374,7 @@ pub fn fig_scaling(
     let mut mr_pts = Vec::new();
     let mut imr_pts = Vec::new();
     let mut ratio_pts = Vec::new();
+    let mut metrics = MetricsSnapshot::default();
     for n in [20usize, 50, 80] {
         let cluster = ClusterSpec::ec2(n).with_sample_scale(scale);
         let tasks = n;
@@ -371,6 +385,7 @@ pub fn fig_scaling(
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("sssp", tasks, iters);
                 let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
+                metrics = b.report.metrics;
                 (
                     a.report.finished.as_secs_f64(),
                     b.report.finished.as_secs_f64(),
@@ -382,6 +397,7 @@ pub fn fig_scaling(
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("pr", tasks, iters);
                 let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
+                metrics = b.report.metrics;
                 (
                     a.report.finished.as_secs_f64(),
                     b.report.finished.as_secs_f64(),
@@ -392,6 +408,7 @@ pub fn fig_scaling(
         imr_pts.push((n as f64, b));
         ratio_pts.push((n as f64, b / a));
     }
+    report_metrics(&mut fig, "iMapReduce (80 instances)", &metrics);
     fig.note(format!(
         "time ratio iMapReduce/MapReduce: 20→{:.3}, 50→{:.3}, 80→{:.3}",
         ratio_pts[0].1, ratio_pts[1].1, ratio_pts[2].1
@@ -451,6 +468,7 @@ pub fn fig_parallel_efficiency(scale: f64, iters: usize) -> FigureResult {
         };
         let mut mr_pts = Vec::new();
         let mut imr_pts = Vec::new();
+        let mut metrics = MetricsSnapshot::default();
         for n in [20usize, 50, 80] {
             let cluster = ClusterSpec::ec2(n).with_sample_scale(scale);
             let (tn_mr, tn_imr) = if algo == "SSSP" {
@@ -459,6 +477,7 @@ pub fn fig_parallel_efficiency(scale: f64, iters: usize) -> FigureResult {
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("sssp", n, iters);
                 let b = sssp::run_sssp_imr(&imr, &g, 0, &cfg).unwrap();
+                metrics = b.report.metrics;
                 (
                     a.report.finished.as_secs_f64(),
                     b.report.finished.as_secs_f64(),
@@ -469,6 +488,7 @@ pub fn fig_parallel_efficiency(scale: f64, iters: usize) -> FigureResult {
                 let imr = imr_runner_on(cluster.clone());
                 let cfg = IterConfig::new("pr", n, iters);
                 let b = pagerank::run_pagerank_imr(&imr, &g, &cfg).unwrap();
+                metrics = b.report.metrics;
                 (
                     a.report.finished.as_secs_f64(),
                     b.report.finished.as_secs_f64(),
@@ -477,6 +497,11 @@ pub fn fig_parallel_efficiency(scale: f64, iters: usize) -> FigureResult {
             mr_pts.push((n as f64, t_star_mr / (tn_mr * n as f64)));
             imr_pts.push((n as f64, t_star_imr / (tn_imr * n as f64)));
         }
+        report_metrics(
+            &mut fig,
+            &format!("iMapReduce {algo} (80 instances)"),
+            &metrics,
+        );
         fig.note(format!(
             "{algo}: efficiency at 80 instances — MapReduce {:.3}, iMapReduce {:.3} (paper: iMapReduce consistently higher; SSSP slowdown ~60% MR vs ~43% iMR)",
             final_y(&mr_pts),
@@ -516,6 +541,7 @@ pub fn fig_kmeans(points_n: usize, dim: usize, k: usize, iters: usize) -> Figure
         "speedup iMapReduce vs MapReduce: {:.2}x (paper: ~1.2x)",
         t_mr / t_imr
     ));
+    report_metrics(&mut fig, "iMapReduce", &b.report.metrics);
 
     // Combiner variants (paper text: Hadoop 2881s→2226s = 23% less,
     // iMapReduce 2338s→1733s = 26% less).
@@ -568,6 +594,7 @@ pub fn fig_matpower(size: usize, iters: usize) -> FigureResult {
     fig.note(format!(
         "substitution: {size}x{size} matrix instead of the paper's 1000x1000 (Θ(n³) host cost)"
     ));
+    report_metrics(&mut fig, "iMapReduce", &b.report.metrics);
     fig
 }
 
@@ -604,6 +631,7 @@ pub fn fig_kmeans_convergence(
         b.iterations,
         100.0 * (1.0 - b.report.finished.as_secs_f64() / a.report.finished.as_secs_f64())
     ));
+    report_metrics(&mut fig, "iMapReduce", &b.report.metrics);
     fig
 }
 
@@ -632,6 +660,8 @@ pub fn table_datasets(id: &str, specs: &[DatasetSpec], scale: f64) -> FigureResu
         ));
     }
     fig.push_series("generated edges", pts);
+    // Tables run no engines; the uniform counter note records zeros.
+    report_metrics(&mut fig, "no runs", &MetricsSnapshot::default());
     fig
 }
 
@@ -655,5 +685,6 @@ pub fn fig_jacobi(n: usize, per_row: usize, iters: usize) -> FigureResult {
         out.iterations,
         jacobi::residual(&system, &x)
     ));
+    report_metrics(&mut fig, "iMapReduce", &out.report.metrics);
     fig
 }

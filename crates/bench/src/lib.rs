@@ -15,7 +15,7 @@ pub mod experiments;
 pub mod json;
 pub mod result;
 
-pub use result::{FigureResult, Series};
+pub use result::{report_metrics, FigureResult, Series};
 
 use std::path::PathBuf;
 
@@ -159,7 +159,24 @@ mod tests {
     #[test]
     fn tables_render_rows() {
         let fig = experiments::table_datasets("table1", &imr_graph::sssp_datasets(), 0.0005);
-        assert_eq!(fig.notes.len(), 5);
+        assert_eq!(fig.notes.len(), 6);
         assert!(fig.notes[0].contains("DBLP"));
+        assert!(fig.notes[5].contains("fault counters"));
+    }
+
+    /// Every figure artifact carries the uniform fault-counter note
+    /// (migrations / stalls_detected / recoveries), satellite of the
+    /// tracing work: the note must survive the JSON round-trip.
+    #[test]
+    fn figures_carry_fault_counter_note() {
+        let fig = experiments::fig_matpower(8, 2);
+        let note = fig
+            .notes
+            .iter()
+            .find(|n| n.contains("fault counters"))
+            .expect("fault counter note");
+        assert!(note.contains("migrations=") && note.contains("recoveries="));
+        let back = crate::FigureResult::from_json_str(&fig.to_json().to_string_pretty()).unwrap();
+        assert!(back.notes.iter().any(|n| n.contains("stalls_detected=")));
     }
 }

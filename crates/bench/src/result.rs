@@ -204,6 +204,19 @@ pub fn final_y(points: &[(f64, f64)]) -> f64 {
     points.last().map(|p| p.1).unwrap_or(f64::NAN)
 }
 
+/// Appends the uniform fault-counter note every experiment binary
+/// carries in its JSON artifact: migrations, stall detections, and
+/// recoveries observed by the run labelled `label`. Figures whose runs
+/// share a metrics registry should pass a
+/// [`MetricsSnapshot::delta`](imr_simcluster::MetricsSnapshot::delta)
+/// so each label counts only its own run.
+pub fn report_metrics(fig: &mut FigureResult, label: &str, m: &imr_simcluster::MetricsSnapshot) {
+    fig.note(format!(
+        "fault counters [{label}]: migrations={}, stalls_detected={}, recoveries={}",
+        m.migrations, m.stalls_detected, m.recoveries
+    ));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,77 @@
+//! Repetition hygiene for shared metrics registries (regression for
+//! the `native_recovery` binary, which reuses one runner across its
+//! whole sweep): without `Metrics::reset_all` between repetitions the
+//! fault counters accumulate and every repetition after the first
+//! reports inflated numbers.
+
+use imapreduce::{FailureEvent, IterConfig};
+use imr_algorithms::pagerank::{self, PageRankIter};
+use imr_dfs::Dfs;
+use imr_graph::dataset;
+use imr_native::NativeRunner;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, MetricsSnapshot, NodeId};
+use std::sync::Arc;
+
+fn shared_runner() -> NativeRunner {
+    let spec = Arc::new(ClusterSpec::local(4));
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 1, 1 << 26);
+    NativeRunner::new(dfs, metrics)
+}
+
+/// One PageRank repetition with a scripted failure (one recovery) on
+/// per-repetition DFS directories, as the bench binary runs them.
+fn run_rep(r: &NativeRunner, rep: usize) {
+    let g = dataset("PageRank-s").unwrap().generate(0.002);
+    let state = format!("/pr{rep}/state");
+    let stat = format!("/pr{rep}/static");
+    let out = format!("/pr{rep}/out");
+    pagerank::load_pagerank_imr(r, &g, 4, &state, &stat).expect("load");
+    let cfg = IterConfig::new("pr-reset", 4, 4).with_checkpoint_interval(2);
+    let failure = [FailureEvent {
+        node: NodeId(1),
+        at_iteration: 2,
+    }];
+    let job = PageRankIter::new(g.num_nodes() as u64);
+    r.run(&job, &cfg, &state, &stat, &out, &failure)
+        .expect("pagerank run");
+}
+
+#[test]
+fn counters_accumulate_without_reset_and_delta_isolates() {
+    let r = shared_runner();
+    run_rep(&r, 0);
+    let s1 = r.metrics().snapshot();
+    assert_eq!(s1.recoveries, 1, "scripted failure recovers once");
+
+    // Second repetition without reset: the registry keeps counting —
+    // this is the inflation the bench binary used to report.
+    run_rep(&r, 1);
+    let s2 = r.metrics().snapshot();
+    assert_eq!(s2.recoveries, 2, "shared registry accumulates");
+    assert_eq!(
+        s2.delta(&s1).recoveries,
+        1,
+        "delta recovers the per-repetition count"
+    );
+}
+
+#[test]
+fn reset_all_between_repetitions_isolates_counters() {
+    let r = shared_runner();
+    run_rep(&r, 0);
+    assert_eq!(r.metrics().snapshot().recoveries, 1);
+
+    // The fix the bench binary applies: reset between repetitions.
+    r.metrics().reset_all();
+    assert_eq!(
+        r.metrics().snapshot(),
+        MetricsSnapshot::default(),
+        "reset_all clears every counter"
+    );
+    run_rep(&r, 1);
+    let s = r.metrics().snapshot();
+    assert_eq!(s.recoveries, 1, "per-repetition counters after reset");
+    assert_eq!(s.stalls_detected, 0);
+    assert_eq!(s.migrations, 0);
+}

@@ -202,6 +202,10 @@ pub struct IterConfig {
     /// Shuffle fabric for the native backend (ignored by the
     /// simulation engine, which models its own network).
     pub transport: TransportKind,
+    /// How many trailing trace events the flight recorder dumps to a
+    /// DFS artifact when a rollback or migration fires (only relevant
+    /// when the runner carries a trace buffer).
+    pub flight_window: usize,
 }
 
 impl IterConfig {
@@ -224,7 +228,14 @@ impl IterConfig {
             load_balance: None,
             watchdog: None,
             transport: TransportKind::Channel,
+            flight_window: 64,
         }
+    }
+
+    /// Sets the flight-recorder window (trailing events per dump).
+    pub fn with_flight_window(mut self, events: usize) -> Self {
+        self.flight_window = events;
+        self
     }
 
     /// Enables eager chunked reduce→map hand-off (§3.3 buffer).
@@ -356,6 +367,13 @@ mod tests {
         assert_eq!(c.checkpoint_interval, 3);
         assert!(c.load_balance.is_some());
         assert!(!c.effective_sync());
+    }
+
+    #[test]
+    fn flight_window_defaults_and_overrides() {
+        assert_eq!(IterConfig::new("sssp", 2, 3).flight_window, 64);
+        let c = IterConfig::new("sssp", 2, 3).with_flight_window(256);
+        assert_eq!(c.flight_window, 256);
     }
 
     #[test]

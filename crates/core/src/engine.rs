@@ -23,6 +23,7 @@ use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run
 use imr_simcluster::{
     ClusterSpec, MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant,
 };
+use imr_trace::{TraceEvent, TraceHandle, TraceKind, COORD};
 use std::sync::Arc;
 
 /// The outcome of one iMapReduce run.
@@ -49,6 +50,7 @@ pub struct IterativeRunner {
     cluster: Arc<ClusterSpec>,
     dfs: Dfs,
     metrics: MetricsHandle,
+    trace: Option<TraceHandle>,
 }
 
 /// Checkpoint snapshot kept by the master for rollback.
@@ -67,7 +69,50 @@ impl IterativeRunner {
             cluster,
             dfs,
             metrics,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace ring: subsequent runs record per-task iteration
+    /// spans (virtual-time timestamps) and fault-path events into it,
+    /// and fault recovery dumps a flight-recorder artifact to the DFS.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace ring, if any.
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
+    fn record(&self, event: TraceEvent) {
+        if let Some(trace) = &self.trace {
+            trace.record(event);
+        }
+    }
+
+    /// Dump the trailing `window` events to the DFS flight-recorder
+    /// artifact `seq` for this run (no-op without a trace ring).
+    fn flight_dump(
+        &self,
+        output_dir: &str,
+        seq: usize,
+        window: usize,
+        node: NodeId,
+    ) -> Result<(), EngineError> {
+        let Some(trace) = &self.trace else {
+            return Ok(());
+        };
+        let lines = imr_trace::flight_lines(&trace.tail(window));
+        let mut off_path = TaskClock::default();
+        self.dfs.put_atomic(
+            &imr_trace::flight_path(output_dir, seq),
+            Bytes::from(lines.into_bytes()),
+            node,
+            &mut off_path,
+        )?;
+        Ok(())
     }
 
     /// The cluster this runner schedules on.
@@ -256,6 +301,11 @@ impl IterativeRunner {
         let mut iter = 1usize;
         let mut last_reduce_done: Vec<VInstant> = vec![job_start; n];
         let mut decision_time = job_start;
+        // Trace coordinates: the generation bumps on every rollback
+        // (failure recovery or migration); flight-recorder dumps are
+        // numbered per run.
+        let mut generation = 0u32;
+        let mut flight_seq = 0usize;
 
         while iter <= max_iters {
             // Per-pair busy time this iteration (compute only, no
@@ -342,6 +392,16 @@ impl IterativeRunner {
                 // Pipelined consumption cannot outrun its producer.
                 map_done.push(clock.now().max(state_complete[p]));
                 segments.push(encoded);
+                self.record(
+                    TraceEvent::new(TraceKind::IterStart)
+                        .at(activation.as_nanos())
+                        .tagged(node.index() as u32, p as u32, iter as u32, generation),
+                );
+                self.record(
+                    TraceEvent::new(TraceKind::MapPhase)
+                        .spanning(activation.as_nanos(), map_done[p].as_nanos())
+                        .tagged(node.index() as u32, p as u32, iter as u32, generation),
+                );
             }
 
             // ---- Reduce phase ----------------------------------------
@@ -440,6 +500,11 @@ impl IterativeRunner {
                 reduce_done.push(clock.now());
                 new_states.push(new_state);
                 new_state_bytes.push(bytes);
+                self.record(
+                    TraceEvent::new(TraceKind::ReducePhase)
+                        .spanning(work_start.as_nanos(), clock.now().as_nanos())
+                        .tagged(node.index() as u32, q as u32, iter as u32, generation),
+                );
             }
 
             let iter_done = reduce_done.iter().copied().max().unwrap_or(job_start);
@@ -476,6 +541,22 @@ impl IterativeRunner {
                     state_complete[p] = gate;
                     state_bytes[p] = total;
                 }
+                for q in 0..n {
+                    let at = (reduce_done[q] + cost.handoff_flush).as_nanos();
+                    let tags = (assignment[q].index() as u32, q as u32, iter as u32);
+                    self.record(
+                        TraceEvent::new(TraceKind::Broadcast {
+                            bytes: new_state_bytes[q],
+                        })
+                        .at(at)
+                        .tagged(tags.0, tags.1, tags.2, generation),
+                    );
+                    self.record(
+                        TraceEvent::new(TraceKind::IterEnd)
+                            .at(at)
+                            .tagged(tags.0, tags.1, tags.2, generation),
+                    );
+                }
                 prev_out = new_states.iter().cloned().map(Some).collect();
                 global_state = next_global;
             } else {
@@ -496,6 +577,19 @@ impl IterativeRunner {
                     };
                     self.metrics.state_handoff_bytes.add(new_state_bytes[q]);
                     state_bytes[q] = new_state_bytes[q];
+                    let tags = (assignment[q].index() as u32, q as u32, iter as u32);
+                    self.record(
+                        TraceEvent::new(TraceKind::StateHandoff {
+                            bytes: new_state_bytes[q],
+                        })
+                        .at(complete.as_nanos())
+                        .tagged(tags.0, tags.1, tags.2, generation),
+                    );
+                    self.record(
+                        TraceEvent::new(TraceKind::IterEnd)
+                            .at(complete.as_nanos())
+                            .tagged(tags.0, tags.1, tags.2, generation),
+                    );
                 }
                 prev_out = state_store.iter().cloned().map(Some).collect();
                 state_store = new_states;
@@ -537,6 +631,18 @@ impl IterativeRunner {
                     prev_out: prev_out.clone(),
                     dfs_dir: Some(dir),
                 };
+                for q in 0..n {
+                    self.record(
+                        TraceEvent::new(TraceKind::Checkpoint { epoch: iter as u64 })
+                            .at(iter_done.as_nanos())
+                            .tagged(
+                                assignment[q].index() as u32,
+                                q as u32,
+                                iter as u32,
+                                generation,
+                            ),
+                    );
+                }
             }
             if done {
                 break;
@@ -563,6 +669,25 @@ impl IterativeRunner {
                 };
                 recoveries += 1;
                 self.metrics.recoveries.add(1);
+                if matches!(fault, FaultEvent::Hang { .. }) {
+                    self.record(
+                        TraceEvent::new(TraceKind::StallDetected)
+                            .at(decision_time.as_nanos())
+                            .tagged(fault.node().index() as u32, COORD, iter as u32, generation),
+                    );
+                }
+                self.record(
+                    TraceEvent::new(TraceKind::Rollback {
+                        epoch: ckpt.iter as u64,
+                    })
+                    .at(detected_at.as_nanos())
+                    .tagged(
+                        fault.node().index() as u32,
+                        COORD,
+                        iter as u32,
+                        generation,
+                    ),
+                );
                 let recover_at = self.recover_from_failure::<J>(
                     fault.node(),
                     detected_at,
@@ -585,6 +710,9 @@ impl IterativeRunner {
                     })
                     .len() as u64;
                 }
+                self.flight_dump(output_dir, flight_seq, cfg.flight_window, assignment[0])?;
+                flight_seq += 1;
+                generation += 1;
                 report.iteration_done.truncate(ckpt.iter);
                 distances.truncate(ckpt.iter);
                 iter = ckpt.iter + 1;
@@ -610,6 +738,19 @@ impl IterativeRunner {
                             fast_node,
                             &mut off_path,
                         )?;
+                        self.record(
+                            TraceEvent::new(TraceKind::Migration {
+                                from: assignment[slow_pair].index() as u32,
+                                to: fast_node.index() as u32,
+                            })
+                            .at(decision_time.as_nanos())
+                            .tagged(
+                                assignment[slow_pair].index() as u32,
+                                slow_pair as u32,
+                                iter as u32,
+                                generation,
+                            ),
+                        );
                         let recover_at = self.migrate_pair::<J>(
                             slow_pair,
                             fast_node,
@@ -633,6 +774,9 @@ impl IterativeRunner {
                             })
                             .len() as u64;
                         }
+                        self.flight_dump(output_dir, flight_seq, cfg.flight_window, fast_node)?;
+                        flight_seq += 1;
+                        generation += 1;
                         report.iteration_done.truncate(ckpt.iter);
                         distances.truncate(ckpt.iter);
                         iter = ckpt.iter + 1;

@@ -114,6 +114,7 @@ use imr_mapreduce::io::{num_parts, part_path};
 use imr_mapreduce::EngineError;
 use imr_net::{ChannelLink, ChannelMesh, Closed, Transport};
 use imr_simcluster::{MetricsHandle, NodeId, TaskClock};
+use imr_trace::{TraceEvent, TraceHandle};
 use monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
 use pair::{pair_loop, EnvFail, PairCfg, PairDirs, PairEnv};
 use parking_lot::Mutex;
@@ -142,12 +143,30 @@ pub const HANDOFF_BUFFER: usize = 1;
 pub struct NativeRunner {
     dfs: Dfs,
     metrics: MetricsHandle,
+    trace: Option<TraceHandle>,
 }
 
 impl NativeRunner {
     /// A runner executing jobs against the given DFS and metrics.
     pub fn new(dfs: Dfs, metrics: MetricsHandle) -> Self {
-        NativeRunner { dfs, metrics }
+        NativeRunner {
+            dfs,
+            metrics,
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace ring: workers and the supervisor record
+    /// structured span events into it, and rollbacks dump a flight
+    /// recorder artifact to the DFS (see `imr-trace`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace ring, if tracing was enabled.
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     /// The DFS this runner reads and writes.
@@ -226,6 +245,7 @@ impl NativeRunner {
                     plans,
                     assignment,
                     migrations_done,
+                    generation,
                     started,
                 } = gen;
                 // Fresh links and rally points: the previous generation's
@@ -288,6 +308,9 @@ impl NativeRunner {
                                 barrier,
                                 board,
                                 output_dir: &dirs.output_dir,
+                                node: assignment[q].index() as u32,
+                                generation,
+                                trace: self.trace.as_ref(),
                             };
                             let result = catch_unwind(AssertUnwindSafe(|| {
                                 pair_loop::<J, _>(
@@ -359,6 +382,7 @@ impl NativeRunner {
             faults,
             self.label(cfg),
             false,
+            self.trace.as_ref(),
             &mut run_gen,
         )
     }
@@ -375,6 +399,10 @@ impl NativeRunner {
 impl IterEngine for NativeRunner {
     fn dfs(&self) -> &Dfs {
         &self.dfs
+    }
+
+    fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     fn run_faults<J: IterativeJob>(
@@ -403,6 +431,12 @@ struct ThreadEnv<'a> {
     barrier: &'a FaultBarrier,
     board: &'a ProgressBoard,
     output_dir: &'a str,
+    /// Index of the node hosting this pair (trace tag).
+    node: u32,
+    /// Current generation number (trace tag).
+    generation: u32,
+    /// Shared trace ring, when tracing is enabled.
+    trace: Option<&'a TraceHandle>,
 }
 
 impl Transport for ThreadEnv<'_> {
@@ -480,6 +514,16 @@ impl PairEnv for ThreadEnv<'_> {
 
     fn hang(&mut self) {
         self.barrier.block_until_poisoned();
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(trace) = self.trace {
+            trace.record(TraceEvent {
+                node: self.node,
+                generation: self.generation,
+                ..event
+            });
+        }
     }
 }
 

@@ -25,6 +25,7 @@ use imr_mapreduce::EngineError;
 use imr_net::{Closed, Transport};
 use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
 use imr_simcluster::MetricsHandle;
+use imr_trace::{TraceEvent, TraceKind};
 use std::time::{Duration, Instant};
 
 /// The per-pair slice of the job configuration, identical across
@@ -151,6 +152,11 @@ pub(crate) trait PairEnv: Transport {
     fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool);
     /// Go silent until the generation is poisoned (scripted hang).
     fn hang(&mut self);
+    /// Record a structured trace event. The loop fills the task,
+    /// iteration and timestamps (nanoseconds since the run's `started`
+    /// instant); the environment stamps its node and generation tags
+    /// before recording, and drops the event when tracing is off.
+    fn trace(&mut self, _event: TraceEvent) {}
 }
 
 /// The per-iteration loop. `Err` carries real failures (DFS, codec);
@@ -249,6 +255,12 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
         // Busy time = compute only (map + reduce spans), excluding
         // shuffle blocking — the load signal §3.4.2's balancer keys on.
         let mut busy = Duration::ZERO;
+        let iter_start_ns = started.elapsed().as_nanos() as u64;
+        env.trace(
+            TraceEvent::new(TraceKind::IterStart)
+                .at(iter_start_ns)
+                .tagged(0, q as u32, it as u32, 0),
+        );
         let map_start = Instant::now();
 
         // ---- Map phase -----------------------------------------------
@@ -296,6 +308,11 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
             })
             .collect();
         busy += map_start.elapsed();
+        env.trace(
+            TraceEvent::new(TraceKind::MapPhase)
+                .spanning(iter_start_ns, started.elapsed().as_nanos() as u64)
+                .tagged(0, q as u32, it as u32, 0),
+        );
         // Sends sit outside the busy span: a blocked send is
         // back-pressure from a slow consumer, not this pair's load.
         for (dest, seg) in segs.into_iter().enumerate() {
@@ -316,6 +333,7 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
                 Err(Closed) => return Ok(PairOutcome::Aborted),
             }
         }
+        let reduce_start_ns = started.elapsed().as_nanos() as u64;
         let reduce_start = Instant::now();
         let mut runs: Vec<Vec<(J::K, J::S)>> = Vec::with_capacity(n);
         let mut total_rec = 0u64;
@@ -372,17 +390,29 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
                 effective_busy += pause.as_secs_f64();
             }
         }
+        // The emulated stretch is compute time on the slow node, so it
+        // lands inside the reduce span — mirroring the simulation
+        // engine, whose cost model stretches the reduce work directly.
+        env.trace(
+            TraceEvent::new(TraceKind::ReducePhase)
+                .spanning(reduce_start_ns, started.elapsed().as_nanos() as u64)
+                .tagged(0, q as u32, it as u32, 0),
+        );
 
         // ---- State hand-off back to the map side ---------------------
         if one2all {
             let payload = encode_pairs(&new_state);
-            metrics
-                .broadcast_bytes
-                .add(payload.len() as u64 * (n as u64 - 1));
+            let payload_len = payload.len() as u64;
+            metrics.broadcast_bytes.add(payload_len * (n as u64 - 1));
             let parts = match env.exchange_broadcast(payload) {
                 Ok(parts) => parts,
                 Err(Closed) => return Ok(PairOutcome::Aborted),
             };
+            env.trace(
+                TraceEvent::new(TraceKind::Broadcast { bytes: payload_len })
+                    .at(started.elapsed().as_nanos() as u64)
+                    .tagged(0, q as u32, it as u32, 0),
+            );
             // Task-ordered concatenation + stable sort: identical to
             // the simulation engine's broadcast reassembly.
             let mut next_global: Vec<(J::K, J::S)> = Vec::new();
@@ -393,12 +423,24 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
             prev_out = Some(new_state);
             global = next_global;
         } else {
-            metrics
-                .state_handoff_bytes
-                .add(encode_pairs(&new_state).len() as u64);
+            let handoff_bytes = encode_pairs(&new_state).len() as u64;
+            metrics.state_handoff_bytes.add(handoff_bytes);
             state = new_state;
+            env.trace(
+                TraceEvent::new(TraceKind::StateHandoff {
+                    bytes: handoff_bytes,
+                })
+                .at(started.elapsed().as_nanos() as u64)
+                .tagged(0, q as u32, it as u32, 0),
+            );
         }
-        iter_done.push(started.elapsed());
+        let end = started.elapsed();
+        iter_done.push(end);
+        env.trace(
+            TraceEvent::new(TraceKind::IterEnd)
+                .at(end.as_nanos() as u64)
+                .tagged(0, q as u32, it as u32, 0),
+        );
         env.beat(it, effective_busy, d, has_prev);
 
         // ---- Termination check (§3.1.2) ------------------------------
@@ -434,6 +476,11 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
             match env.write_checkpoint(it, payload) {
                 Ok(()) => {
                     *last_ckpt = it;
+                    env.trace(
+                        TraceEvent::new(TraceKind::Checkpoint { epoch: it as u64 })
+                            .at(started.elapsed().as_nanos() as u64)
+                            .tagged(0, q as u32, it as u32, 0),
+                    );
                 }
                 Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
                 Err(EnvFail::Error(e)) => return Err(e),

@@ -53,6 +53,7 @@ use imr_net::proto::{OutcomeKind, ToCoord, ToWorker, WireOutcome, WorkerSetup};
 use imr_net::{Closed, NetError, Transport, WorkerConn};
 use imr_records::Codec;
 use imr_simcluster::{Metrics, MetricsHandle, NodeId, TaskClock};
+use imr_trace::{TraceEvent, TraceKind, COORD};
 use parking_lot::Mutex;
 use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -189,6 +190,7 @@ impl NativeRunner {
             faults,
             format!("{} [tcp]", self.label(cfg)),
             true,
+            self.trace.as_ref(),
             &mut run_gen,
         )
     }
@@ -226,6 +228,14 @@ struct Coordinator<'a> {
     runner: &'a NativeRunner,
     output_dir: &'a str,
     started: Instant,
+    /// Current pair→node placement, used to retag worker trace events
+    /// with the node hosting the pair.
+    assignment: &'a [NodeId],
+    /// Nanoseconds between the job's `started` instant and this
+    /// generation's worker clocks (captured once all workers connected):
+    /// worker-relative trace timestamps are rebased by this offset onto
+    /// the coordinator's timeline.
+    trace_offset: u64,
 }
 
 impl Coordinator<'_> {
@@ -292,6 +302,17 @@ fn run_generation(
         .map(|q| ChildGuard::spawn(spec, addr, q, generation))
         .collect::<Result<_, _>>()?;
     let streams = accept_workers(listener, n, generation, &mut children)?;
+    // Worker clocks start right after their handshakes, i.e. "now".
+    let trace_offset = gen.started.elapsed().as_nanos() as u64;
+    if generation > 1 {
+        if let Some(trace) = runner.trace.as_ref() {
+            trace.record(
+                TraceEvent::new(TraceKind::Reconnect { generation })
+                    .at(trace_offset)
+                    .tagged(COORD, COORD, epoch as u32, gen.generation),
+            );
+        }
+    }
 
     let writers: Vec<Mutex<BufWriter<TcpStream>>> = streams
         .iter()
@@ -321,6 +342,8 @@ fn run_generation(
         runner,
         output_dir: &dirs.output_dir,
         started: gen.started,
+        assignment: gen.assignment,
+        trace_offset,
     };
 
     // First frame on every connection: the job/generation parameters.
@@ -581,6 +604,24 @@ fn reader_loop(co: &Coordinator<'_>, q: usize, mut stream: TcpStream) {
                     co.poison_locked(&mut st);
                 }
             }
+            ToCoord::Trace { payload } => {
+                // Merge the worker's batch into the job trace: rebase
+                // worker-relative timestamps onto the coordinator's
+                // timeline and retag the node from the pair's current
+                // placement (the worker does not know where it runs).
+                // Dropped silently when tracing is off or the batch is
+                // malformed — trace loss is never fatal.
+                if let Some(trace) = co.runner.trace.as_ref() {
+                    if let Ok(events) = imr_trace::decode_events(&payload) {
+                        for mut ev in events {
+                            ev.node = co.assignment[q].index() as u32;
+                            ev.start_nanos = ev.start_nanos.saturating_add(co.trace_offset);
+                            ev.end_nanos = ev.end_nanos.saturating_add(co.trace_offset);
+                            trace.record(ev);
+                        }
+                    }
+                }
+            }
             ToCoord::Hello { .. } => {} // consumed during accept
         }
     }
@@ -730,6 +771,27 @@ impl Drop for ChildGuard {
 /// coordinator connection.
 struct RemoteEnv {
     conn: WorkerConn,
+    /// Zero-based trace generation tag (the wire generation is
+    /// one-based).
+    generation: u32,
+    /// Trace events buffered since the last flush. The worker always
+    /// collects and streams; the coordinator drops the batches when
+    /// tracing is off.
+    events: Vec<TraceEvent>,
+}
+
+impl RemoteEnv {
+    /// Ship buffered trace events to the coordinator (best-effort).
+    /// Called once per iteration (from `beat`) and before the outcome
+    /// frame, so in-order delivery puts every batch ahead of the
+    /// worker's terminal status.
+    fn flush_trace(&mut self) {
+        if !self.events.is_empty() {
+            let batch = imr_trace::encode_events(&self.events);
+            self.events.clear();
+            self.conn.send_trace(Bytes::from(batch));
+        }
+    }
 }
 
 impl Transport for RemoteEnv {
@@ -766,10 +828,17 @@ impl PairEnv for RemoteEnv {
             .map_err(|_| EnvFail::Closed)
     }
     fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool) {
+        self.flush_trace();
         self.conn.beat(iteration, busy_secs, d, has_prev);
     }
     fn hang(&mut self) {
         self.conn.block_until_poisoned();
+    }
+    fn trace(&mut self, event: TraceEvent) {
+        self.events.push(TraceEvent {
+            generation: self.generation,
+            ..event
+        });
     }
 }
 
@@ -816,7 +885,11 @@ pub fn serve_worker<J: IterativeJob>(
     // local registry is a sink.
     let metrics: MetricsHandle = Arc::new(Metrics::default());
     let started = Instant::now();
-    let mut env = RemoteEnv { conn };
+    let mut env = RemoteEnv {
+        conn,
+        generation: generation.saturating_sub(1) as u32,
+        events: Vec::new(),
+    };
     let mut local_dist: Vec<(f64, bool)> = Vec::new();
     let mut iter_done: Vec<Duration> = Vec::new();
     let mut last_ckpt = setup.epoch;
@@ -886,6 +959,7 @@ pub fn serve_worker<J: IterativeJob>(
             }
         }
     };
+    env.flush_trace();
     env.conn.send_outcome(wire);
     // Dropping the connection flushes and shuts the socket down: the
     // coordinator sees the outcome frame, then EOF.

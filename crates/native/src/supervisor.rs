@@ -18,6 +18,7 @@ use imr_mapreduce::io::{delete_dir, part_path};
 use imr_mapreduce::EngineError;
 use imr_records::{decode_pairs, sort_run};
 use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
+use imr_trace::{TraceEvent, TraceHandle, TraceKind, COORD};
 use std::time::{Duration, Instant};
 
 /// Supervisor-level view of how one pair's generation ended: the
@@ -90,6 +91,9 @@ pub(crate) struct GenInput<'a> {
     pub assignment: &'a [NodeId],
     /// Migrations already performed (bounds the balancer's budget).
     pub migrations_done: u64,
+    /// Zero-based generation number (incremented after every rollback);
+    /// workers tag their trace events with it.
+    pub generation: u32,
     /// Job start instant; per-iteration completion offsets are measured
     /// against it so the report timeline is monotone across
     /// generations.
@@ -113,6 +117,7 @@ pub(crate) fn supervise<J: IterativeJob>(
     faults: &[FaultEvent],
     label: String,
     recovers_unscripted: bool,
+    trace: Option<&TraceHandle>,
     run_gen: &mut dyn FnMut(
         GenInput<'_>,
     ) -> Result<(Vec<PairRun>, Option<Intervention>), EngineError>,
@@ -167,6 +172,15 @@ pub(crate) fn supervise<J: IterativeJob>(
     let mut committed_done: Vec<Vec<Duration>> = vec![Vec::new(); n];
     let mut recoveries = 0u64;
     let mut migrations = 0u64;
+    // Trace generation counter and flight-recorder dump sequence; both
+    // advance on every rollback (recovery or migration).
+    let mut generation: u32 = 0;
+    let mut flight_seq = 0usize;
+    let record = |ev: TraceEvent| {
+        if let Some(t) = trace {
+            t.record(ev);
+        }
+    };
     // Consecutive unscripted recoveries (watchdog stalls or vanished
     // workers) with no checkpoint progress — the backstop against
     // retrying a persistent failure forever.
@@ -213,6 +227,7 @@ pub(crate) fn supervise<J: IterativeJob>(
             plans: &plans,
             assignment: &assignment,
             migrations_done: migrations,
+            generation,
             started,
         })?;
         assert_eq!(runs.len(), n, "backend returned a partial generation");
@@ -264,6 +279,11 @@ pub(crate) fn supervise<J: IterativeJob>(
         }
 
         // ---- Recovery (§3.4.1) -------------------------------------
+        // Roll back to the last epoch whose snapshot every pair
+        // completed: async skew means a fast pair may have
+        // checkpointed an iteration its slowest peer never reached.
+        let new_epoch = runs.iter().map(|r| r.last_ckpt).min().unwrap_or(epoch);
+        let now_ns = started.elapsed().as_nanos() as u64;
         // Consume each scripted event that fired (a node-level event
         // hosting several pairs fires once per event, as in the
         // simulation engine's one-recovery-per-event accounting).
@@ -276,6 +296,18 @@ pub(crate) fn supervise<J: IterativeJob>(
                 pending.remove(pos);
                 recoveries += 1;
                 metrics.recoveries.add(1);
+                record(
+                    TraceEvent::new(TraceKind::Rollback {
+                        epoch: new_epoch as u64,
+                    })
+                    .at(now_ns)
+                    .tagged(
+                        assignment[q].index() as u32,
+                        COORD,
+                        at as u32,
+                        generation,
+                    ),
+                );
             }
         }
         for &(q, at) in &fired_hangs {
@@ -287,12 +319,21 @@ pub(crate) fn supervise<J: IterativeJob>(
                 pending.remove(pos);
                 recoveries += 1;
                 metrics.recoveries.add(1);
+                let tag_node = assignment[q].index() as u32;
+                record(
+                    TraceEvent::new(TraceKind::StallDetected)
+                        .at(now_ns)
+                        .tagged(tag_node, COORD, at as u32, generation),
+                );
+                record(
+                    TraceEvent::new(TraceKind::Rollback {
+                        epoch: new_epoch as u64,
+                    })
+                    .at(now_ns)
+                    .tagged(tag_node, COORD, at as u32, generation),
+                );
             }
         }
-        // Roll back to the last epoch whose snapshot every pair
-        // completed: async skew means a fast pair may have
-        // checkpointed an iteration its slowest peer never reached.
-        let new_epoch = runs.iter().map(|r| r.last_ckpt).min().unwrap_or(epoch);
 
         if scripted_fired {
             stall_retries = 0;
@@ -306,6 +347,19 @@ pub(crate) fn supervise<J: IterativeJob>(
                     // cannot livelock the job.
                     migrations += 1;
                     metrics.migrations.add(1);
+                    record(
+                        TraceEvent::new(TraceKind::Migration {
+                            from: assignment[pair].index() as u32,
+                            to: to.index() as u32,
+                        })
+                        .at(now_ns)
+                        .tagged(
+                            assignment[pair].index() as u32,
+                            pair as u32,
+                            new_epoch as u32,
+                            generation,
+                        ),
+                    );
                     assignment[pair] = to;
                     let mut ck = TaskClock::default();
                     dfs.put_atomic(
@@ -334,6 +388,25 @@ pub(crate) fn supervise<J: IterativeJob>(
                     }
                     recoveries += 1;
                     metrics.recoveries.add(1);
+                    let tag_node = assignment[pair].index() as u32;
+                    record(TraceEvent::new(TraceKind::StallDetected).at(now_ns).tagged(
+                        tag_node,
+                        COORD,
+                        new_epoch as u32,
+                        generation,
+                    ));
+                    record(
+                        TraceEvent::new(TraceKind::Rollback {
+                            epoch: new_epoch as u64,
+                        })
+                        .at(now_ns)
+                        .tagged(
+                            tag_node,
+                            COORD,
+                            new_epoch as u32,
+                            generation,
+                        ),
+                    );
                 }
                 None => {
                     // Only reachable with `recovers_unscripted`: a
@@ -354,9 +427,38 @@ pub(crate) fn supervise<J: IterativeJob>(
                     }
                     recoveries += 1;
                     metrics.recoveries.add(1);
+                    record(
+                        TraceEvent::new(TraceKind::Rollback {
+                            epoch: new_epoch as u64,
+                        })
+                        .at(now_ns)
+                        .tagged(
+                            COORD,
+                            COORD,
+                            new_epoch as u32,
+                            generation,
+                        ),
+                    );
                 }
             }
         }
+        // Flight recorder: on every rollback (recovery or migration),
+        // dump the trailing trace window to a DFS artifact so the
+        // events leading up to the incident survive the respawn. The
+        // Rollback/Migration events above are recorded first, so the
+        // artifact always contains the incident itself.
+        if let Some(t) = trace {
+            let lines = imr_trace::flight_lines(&t.tail(cfg.flight_window));
+            let mut ck = TaskClock::default();
+            dfs.put_atomic(
+                &imr_trace::flight_path(output_dir, flight_seq),
+                Bytes::from(lines.into_bytes()),
+                NodeId(0),
+                &mut ck,
+            )?;
+            flight_seq += 1;
+        }
+        generation += 1;
         let keep = new_epoch - epoch;
         for (q, r) in runs.into_iter().enumerate() {
             committed_dist[q].extend(r.local_dist.into_iter().take(keep));

@@ -220,6 +220,14 @@ impl WorkerConn {
         });
     }
 
+    /// Ship a batch of encoded trace events (see
+    /// `imr_trace::encode_events`). Best-effort, like heartbeats: trace
+    /// loss on a dying connection is acceptable, and in-order delivery
+    /// means a batch sent before the outcome frame always precedes it.
+    pub fn send_trace(&mut self, payload: Bytes) {
+        let _ = self.write(&ToCoord::Trace { payload });
+    }
+
     /// Report our terminal status. Best-effort once poisoned.
     pub fn send_outcome(&mut self, outcome: WireOutcome) {
         let _ = self.write(&ToCoord::Outcome(outcome));

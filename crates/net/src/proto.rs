@@ -39,6 +39,12 @@ pub enum ToCoord {
     ReadPart { dir: String, part: usize },
     /// Terminal status of this worker process.
     Outcome(WireOutcome),
+    /// A batch of `imr_trace` events (56-byte records, see
+    /// `imr_trace::encode_events`), timestamped on the worker's clock;
+    /// the coordinator rebases them onto its own timeline and merges
+    /// them into the job trace. Best-effort: dropped when tracing is
+    /// off.
+    Trace { payload: Bytes },
 }
 
 /// Messages sent from the coordinator to a worker process.
@@ -276,6 +282,10 @@ impl Codec for ToCoord {
                 9u8.encode(buf);
                 outcome.encode(buf);
             }
+            ToCoord::Trace { payload } => {
+                10u8.encode(buf);
+                payload.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
@@ -314,6 +324,9 @@ impl Codec for ToCoord {
                 part: usize::decode(buf)?,
             },
             9 => ToCoord::Outcome(WireOutcome::decode(buf)?),
+            10 => ToCoord::Trace {
+                payload: Bytes::decode(buf)?,
+            },
             _ => return Err(CodecError::Corrupt("unknown ToCoord tag")),
         })
     }
@@ -339,6 +352,7 @@ impl Codec for ToCoord {
             ToCoord::Ckpt { iteration, payload } => iteration.encoded_len() + payload.encoded_len(),
             ToCoord::ReadPart { dir, part } => dir.encoded_len() + part.encoded_len(),
             ToCoord::Outcome(outcome) => outcome.encoded_len(),
+            ToCoord::Trace { payload } => payload.encoded_len(),
         }
     }
 }
@@ -498,6 +512,9 @@ mod tests {
             message: "pair 1 panicked: boom".into(),
             payload: Bytes::new(),
         }));
+        round_trip(ToCoord::Trace {
+            payload: Bytes::from(vec![7; 56]),
+        });
     }
 
     #[test]

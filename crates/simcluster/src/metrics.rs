@@ -204,6 +204,43 @@ impl MetricsSnapshot {
             + self.state_handoff_bytes
             + self.dfs_local_read_bytes
     }
+
+    /// Field-wise `self - earlier` (saturating): the counters one run
+    /// added on a shared registry, given snapshots taken before and
+    /// after it.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shuffle_remote_bytes: self
+                .shuffle_remote_bytes
+                .saturating_sub(earlier.shuffle_remote_bytes),
+            shuffle_local_bytes: self
+                .shuffle_local_bytes
+                .saturating_sub(earlier.shuffle_local_bytes),
+            dfs_read_bytes: self.dfs_read_bytes.saturating_sub(earlier.dfs_read_bytes),
+            dfs_local_read_bytes: self
+                .dfs_local_read_bytes
+                .saturating_sub(earlier.dfs_local_read_bytes),
+            dfs_write_bytes: self.dfs_write_bytes.saturating_sub(earlier.dfs_write_bytes),
+            state_handoff_bytes: self
+                .state_handoff_bytes
+                .saturating_sub(earlier.state_handoff_bytes),
+            broadcast_bytes: self.broadcast_bytes.saturating_sub(earlier.broadcast_bytes),
+            checkpoint_bytes: self
+                .checkpoint_bytes
+                .saturating_sub(earlier.checkpoint_bytes),
+            jobs_launched: self.jobs_launched.saturating_sub(earlier.jobs_launched),
+            tasks_launched: self.tasks_launched.saturating_sub(earlier.tasks_launched),
+            migrations: self.migrations.saturating_sub(earlier.migrations),
+            stalls_detected: self.stalls_detected.saturating_sub(earlier.stalls_detected),
+            recoveries: self.recoveries.saturating_sub(earlier.recoveries),
+            map_input_records: self
+                .map_input_records
+                .saturating_sub(earlier.map_input_records),
+            reduce_input_records: self
+                .reduce_input_records
+                .saturating_sub(earlier.reduce_input_records),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +288,23 @@ mod tests {
         assert_ne!(m.snapshot(), MetricsSnapshot::default());
         m.reset_all();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_isolates_one_runs_counters() {
+        let m = Metrics::default();
+        m.recoveries.add(2);
+        m.migrations.add(1);
+        let before = m.snapshot();
+        m.recoveries.add(3);
+        m.shuffle_local_bytes.add(100);
+        let d = m.snapshot().delta(&before);
+        assert_eq!(d.recoveries, 3);
+        assert_eq!(d.migrations, 0);
+        assert_eq!(d.shuffle_local_bytes, 100);
+        // Saturating: a reset between snapshots cannot underflow.
+        m.reset_all();
+        assert_eq!(m.snapshot().delta(&before), MetricsSnapshot::default());
     }
 
     #[test]

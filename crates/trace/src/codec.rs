@@ -1,0 +1,81 @@
+//! Fixed-width batch encoding for shipping events between processes.
+//!
+//! Each event is seven little-endian `u64` words (56 bytes); a batch is
+//! just their concatenation. The TCP transport carries the batch as an
+//! opaque payload so `imr-net` never needs to depend on this crate —
+//! only the coordinator, which merges worker batches, decodes.
+
+use crate::{TraceEvent, EVENT_WORDS};
+
+const EVENT_BYTES: usize = EVENT_WORDS * 8;
+
+/// Encode a batch of events into a flat byte buffer.
+pub fn encode_events(events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * EVENT_BYTES);
+    for event in events {
+        for word in event.to_words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a batch produced by [`encode_events`]. Fails on a truncated
+/// buffer or an unknown kind tag (a corrupt or newer-version frame).
+pub fn decode_events(bytes: &[u8]) -> Result<Vec<TraceEvent>, String> {
+    if !bytes.len().is_multiple_of(EVENT_BYTES) {
+        return Err(format!(
+            "trace batch length {} is not a multiple of {EVENT_BYTES}",
+            bytes.len()
+        ));
+    }
+    let mut events = Vec::with_capacity(bytes.len() / EVENT_BYTES);
+    for chunk in bytes.chunks_exact(EVENT_BYTES) {
+        let mut words = [0u64; EVENT_WORDS];
+        for (word, raw) in words.iter_mut().zip(chunk.chunks_exact(8)) {
+            *word = u64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
+        }
+        events.push(TraceEvent::from_words(words).ok_or("unknown trace event tag")?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceKind;
+
+    #[test]
+    fn batch_round_trips() {
+        let events = vec![
+            TraceEvent::new(TraceKind::MapPhase)
+                .spanning(5, 9)
+                .tagged(0, 1, 2, 0),
+            TraceEvent::new(TraceKind::StateHandoff { bytes: 321 })
+                .at(11)
+                .tagged(1, 3, 2, 0),
+            TraceEvent::new(TraceKind::Rollback { epoch: 4 }).at(20),
+        ];
+        let encoded = encode_events(&events);
+        assert_eq!(encoded.len(), events.len() * EVENT_BYTES);
+        assert_eq!(decode_events(&encoded).unwrap(), events);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        assert_eq!(decode_events(&encode_events(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_batch_rejected() {
+        let encoded = encode_events(&[TraceEvent::new(TraceKind::IterStart).at(1)]);
+        assert!(decode_events(&encoded[..EVENT_BYTES - 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let mut encoded = encode_events(&[TraceEvent::new(TraceKind::IterStart).at(1)]);
+        encoded[4 * 8] = 0xEE;
+        assert!(decode_events(&encoded).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Lock-free bounded event ring.
+//!
+//! Writers claim a monotonically increasing slot index with one
+//! `fetch_add` and then publish the event through a per-slot sequence
+//! lock: the slot's `seq` word goes *odd* while the seven event words
+//! are stored and lands on an even value that encodes the claimed
+//! index. Readers ([`TraceBuffer::snapshot`]) accept a slot only when
+//! they observe the same even sequence before and after copying the
+//! words, so a torn write (or a slot that lapped mid-read) is simply
+//! skipped — recording never blocks and never allocates.
+
+use crate::{TraceEvent, EVENT_WORDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default ring capacity (events), plenty for tens of thousands of
+/// task-iterations before wrap-around.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+struct Slot {
+    /// `2*index + 2` once the event claimed at `index` is fully
+    /// published; odd while a write is in flight; 0 when never written.
+    seq: AtomicU64,
+    words: [AtomicU64; EVENT_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: [const { AtomicU64::new(0) }; EVENT_WORDS],
+        }
+    }
+}
+
+/// A lock-free, bounded, multi-producer ring of [`TraceEvent`]s.
+///
+/// Overflow drops the *oldest* events (the ring keeps the last
+/// `capacity` records), which is exactly the flight-recorder semantics
+/// the fault paths want.
+pub struct TraceBuffer {
+    slots: Box<[Slot]>,
+    /// Total events ever claimed; `head & (capacity-1)` is the next
+    /// slot to write.
+    head: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// A ring holding the last `capacity` events (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        let cap = capacity.next_power_of_two().max(2);
+        TraceBuffer {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events the ring can retain.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including any the ring has since
+    /// overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Append an event. Wait-free for writers: one `fetch_add` plus
+    /// plain atomic stores.
+    pub fn record(&self, event: TraceEvent) {
+        let index = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[index as usize & (self.slots.len() - 1)];
+        slot.seq.store(2 * index + 1, Ordering::Release);
+        for (cell, word) in slot.words.iter().zip(event.to_words()) {
+            cell.store(word, Ordering::Release);
+        }
+        slot.seq.store(2 * index + 2, Ordering::Release);
+    }
+
+    /// Copy out the retained events, oldest first. Slots with a write
+    /// in flight (or lapped during the copy) are skipped rather than
+    /// returned torn.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let first = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - first) as usize);
+        for index in first..head {
+            let slot = &self.slots[index as usize & (self.slots.len() - 1)];
+            let before = slot.seq.load(Ordering::Acquire);
+            if before != 2 * index + 2 {
+                continue;
+            }
+            let mut words = [0u64; EVENT_WORDS];
+            for (word, cell) in words.iter_mut().zip(&slot.words) {
+                *word = cell.load(Ordering::Acquire);
+            }
+            if slot.seq.load(Ordering::Acquire) != before {
+                continue;
+            }
+            if let Some(event) = TraceEvent::from_words(words) {
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// The newest `n` retained events, oldest first — the flight
+    /// recorder's window.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut events = self.snapshot();
+        if events.len() > n {
+            events.drain(..events.len() - n);
+        }
+        events
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceKind;
+    use std::sync::Arc;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::new(TraceKind::IterStart)
+            .at(i)
+            .tagged(0, i as u32, 1, 0)
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let ring = TraceBuffer::with_capacity(8);
+        for i in 0..5 {
+            ring.record(ev(i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].start_nanos < w[1].start_nanos));
+    }
+
+    #[test]
+    fn overflow_keeps_the_newest_events() {
+        let ring = TraceBuffer::with_capacity(4);
+        for i in 0..10 {
+            ring.record(ev(i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(
+            got.iter().map(|e| e.start_nanos).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn tail_limits_the_window() {
+        let ring = TraceBuffer::with_capacity(16);
+        for i in 0..10 {
+            ring.record(ev(i));
+        }
+        let got = ring.tail(3);
+        assert_eq!(
+            got.iter().map(|e| e.start_nanos).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(TraceBuffer::with_capacity(5).capacity(), 8);
+        assert_eq!(TraceBuffer::with_capacity(0).capacity(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_events() {
+        let ring = Arc::new(TraceBuffer::with_capacity(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        // Tag node==task so a torn read is detectable.
+                        let n = (t * 1000 + i) as u32;
+                        ring.record(
+                            TraceEvent::new(TraceKind::MapPhase)
+                                .spanning(n as u64, n as u64 + 1)
+                                .tagged(n, n, 1, 0),
+                        );
+                    }
+                })
+            })
+            .collect();
+        let mut saw_partial_snapshot = false;
+        for _ in 0..50 {
+            for event in ring.snapshot() {
+                assert_eq!(event.node, event.task);
+                assert_eq!(event.end_nanos, event.start_nanos + 1);
+            }
+            saw_partial_snapshot = true;
+        }
+        for handle in threads {
+            handle.join().unwrap();
+        }
+        assert!(saw_partial_snapshot);
+        assert_eq!(ring.recorded(), 4000);
+        for event in ring.snapshot() {
+            assert_eq!(event.node, event.task);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 #   ./verify.sh test       # debug test suite + release cross-engine suite
 #   ./verify.sh faults     # fault-injection suites, serial, under timeout
 #   ./verify.sh bench      # smoke-run every experiment binary at tiny size
+#   ./verify.sh trace      # tracing suites + trace_timeline smoke-run
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -84,6 +85,29 @@ cmd_bench() {
   echo "bench-smoke: $n artifacts, all keys present"
 }
 
+# The tracing subsystem end to end: the trace crate's unit suite, the
+# cross-engine trace determinism / flight-recorder suite, and a
+# smoke-run of the trace_timeline binary whose artifacts must carry the
+# keys the timeline tooling relies on.
+cmd_trace() {
+  cargo test -q -p imr-trace
+  timeout 600 cargo test -q --test tracing -- --test-threads=1
+  cargo build --release -p imr-bench --bin trace_timeline
+  local out
+  out=$(mktemp -d)
+  trap 'rm -rf "${out:-}"; trap - RETURN' RETURN
+  timeout 600 target/release/trace_timeline --scale 0.005 --iters 4 --out "$out" > /dev/null
+  grep -q '"traceEvents"' "$out/results/trace_timeline.chrome.json" \
+    || { echo "trace-smoke: chrome trace missing traceEvents" >&2; exit 1; }
+  grep -q '"async_overlap"' "$out/results/trace_timeline.jsonl" \
+    || { echo "trace-smoke: jsonl summary missing async_overlap" >&2; exit 1; }
+  grep -q '"mode":"sync"' "$out/results/trace_timeline.jsonl" \
+    || { echo "trace-smoke: jsonl summary missing sync mode line" >&2; exit 1; }
+  grep -q 'fault counters' "$out/results/trace_timeline.json" \
+    || { echo "trace-smoke: figure artifact missing fault counters" >&2; exit 1; }
+  echo "trace-smoke: artifacts present, keys intact"
+}
+
 cmd_all() {
   cmd_fmt
   cmd_lint
@@ -91,12 +115,13 @@ cmd_all() {
   cmd_test
   cmd_faults
   cmd_bench
+  cmd_trace
 }
 
 case "${1:-all}" in
-  fmt | lint | build | test | faults | bench | all) "cmd_${1:-all}" ;;
+  fmt | lint | build | test | faults | bench | trace | all) "cmd_${1:-all}" ;;
   *)
-    echo "usage: $0 [fmt|lint|build|test|faults|bench|all]" >&2
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|all]" >&2
     exit 2
     ;;
 esac
