@@ -1,0 +1,76 @@
+//! Job-service scheduling throughput: a fixed batch of queued jobs is
+//! drained through the admission queue at increasing fleet widths, and
+//! the y axis is completed jobs per wall-clock second.
+//!
+//! This measures the multi-tenant layer itself — catalog journaling,
+//! admission, slot accounting, per-job namespace setup — on top of the
+//! thread engine, so the per-job work is kept small and uniform. The
+//! batch mixes task widths (1 and 2 slots) so the strict head-of-line
+//! admission policy is exercised, and every result is verified present
+//! before a row is reported.
+
+use imr_bench::{BenchOpts, FigureResult};
+use imr_jobs::{AlgoSpec, EngineSel, JobPhase, JobService, JobSpec, ServiceConfig};
+use std::time::Instant;
+
+const SLOTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    // --scale multiplies the batch size; --iters sets per-job iterations.
+    let jobs = ((24.0 * opts.scale_or(1.0)).round() as usize).max(4);
+    let iters = opts.iters_or(6);
+
+    let mut fig = FigureResult::new(
+        "jobs_throughput",
+        "Job-service throughput: queued batch drained at increasing fleet widths",
+        "fleet task slots",
+        "completed jobs per second",
+    );
+    fig.note(format!(
+        "{jobs} halve jobs (thread engine, scale 32, {iters} iterations each, \
+         mixed 1/2-slot widths) per row; same batch re-run per slot count"
+    ));
+    fig.note(
+        "throughput includes catalog journaling, admission queueing and \
+         per-job DFS namespace setup; all results verified before reporting",
+    );
+
+    let mut points = Vec::new();
+    for slots in SLOTS {
+        let svc = JobService::new(ServiceConfig::default().with_slots(slots));
+        let mut ids = Vec::new();
+        for i in 0..jobs as u64 {
+            let spec = JobSpec::new(
+                format!("thr-{slots}-{i}"),
+                AlgoSpec::Halve,
+                EngineSel::Threads,
+                900 + i,
+            )
+            .with_scale(32)
+            .with_tasks(1 + (i as usize % 2).min(slots.saturating_sub(1)))
+            .with_max_iters(iters);
+            ids.push(svc.submit(spec).expect("submit"));
+        }
+        let t0 = Instant::now();
+        svc.run_until_idle().expect("drain batch");
+        let secs = t0.elapsed().as_secs_f64();
+
+        for row in svc.status() {
+            assert_eq!(
+                row.phase,
+                JobPhase::Completed,
+                "job {} not completed",
+                row.id
+            );
+        }
+        for id in ids {
+            assert!(svc.result(id).expect("result read").is_some());
+        }
+        let rate = jobs as f64 / secs;
+        println!("  {slots} slot(s): {jobs} jobs in {secs:.3} s = {rate:.1} jobs/s");
+        points.push((slots as f64, rate));
+    }
+    fig.push_series("thread engine fleet", points);
+    fig.emit(&opts.out_root);
+}

@@ -206,6 +206,13 @@ pub struct IterConfig {
     /// DFS artifact when a rollback or migration fires (only relevant
     /// when the runner carries a trace buffer).
     pub flight_window: usize,
+    /// Resume a previously interrupted run from the newest complete
+    /// checkpoint snapshot under the output directory instead of
+    /// starting at iteration 0. Used by the job service to pick an
+    /// in-flight job back up after a coordinator crash; requires
+    /// `checkpoint_interval > 0` and is a no-op when no snapshot
+    /// exists yet.
+    pub resume: bool,
 }
 
 impl IterConfig {
@@ -229,6 +236,7 @@ impl IterConfig {
             watchdog: None,
             transport: TransportKind::Channel,
             flight_window: 64,
+            resume: false,
         }
     }
 
@@ -287,6 +295,13 @@ impl IterConfig {
         self
     }
 
+    /// Resumes from the newest complete snapshot under the output
+    /// directory (if any) instead of restarting at iteration 0.
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
     /// Whether maps effectively run synchronously (explicit flag or
     /// implied by one2all).
     pub fn effective_sync(&self) -> bool {
@@ -339,6 +354,13 @@ impl IterConfig {
                     "watchdog poll and stall_timeout must be non-zero".into(),
                 ));
             }
+        }
+        if self.resume && self.checkpoint_interval == 0 {
+            return Err(EngineError::Config(
+                "resume requires checkpoint_interval > 0 \
+                 (there is no snapshot to resume from otherwise)"
+                    .into(),
+            ));
         }
         if faults.iter().any(|f| matches!(f, FaultEvent::Hang { .. })) && self.watchdog.is_none() {
             return Err(EngineError::Config(
@@ -459,6 +481,18 @@ mod tests {
             stall_timeout: Duration::from_secs(1),
         });
         assert!(is_config_err(bad_wd.validate(&[]), "watchdog"));
+    }
+
+    #[test]
+    fn validate_rejects_resume_without_checkpoints() {
+        let c = IterConfig::new("sssp", 2, 3)
+            .with_checkpoint_interval(0)
+            .with_resume();
+        assert!(is_config_err(c.validate(&[]), "resume"));
+        assert!(IterConfig::new("sssp", 2, 3)
+            .with_resume()
+            .validate(&[])
+            .is_ok());
     }
 
     #[test]

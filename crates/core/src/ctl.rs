@@ -1,0 +1,62 @@
+//! Cooperative run control: a shared abort token the job service uses
+//! to stop an in-flight run without tearing down the process.
+//!
+//! A [`RunCtl`] is cloned into a runner before the run starts; any
+//! holder may call [`RunCtl::abort`]. The engines poll the flag at
+//! their existing poison-check points (the iteration barrier on the
+//! native backend, the hub loop on the TCP coordinator), so an abort
+//! unwinds through the same path as a fault — promptly, but never
+//! mid-write: checkpoints already persisted stay intact, which is
+//! exactly what a durable resume needs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe abort token for one run (or a group of
+/// runs sharing a coordinator).
+#[derive(Clone, Debug, Default)]
+pub struct RunCtl {
+    aborted: Arc<AtomicBool>,
+}
+
+impl RunCtl {
+    /// A fresh, un-aborted token.
+    pub fn new() -> Self {
+        RunCtl::default()
+    }
+
+    /// Requests that every run holding this token stop at its next
+    /// cancellation point. Idempotent.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// Whether an abort has been requested.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_is_visible_to_clones_and_idempotent() {
+        let ctl = RunCtl::new();
+        let peer = ctl.clone();
+        assert!(!ctl.is_aborted() && !peer.is_aborted());
+        peer.abort();
+        peer.abort();
+        assert!(ctl.is_aborted() && peer.is_aborted());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = RunCtl::new();
+        let b = RunCtl::new();
+        a.abort();
+        assert!(a.is_aborted());
+        assert!(!b.is_aborted());
+    }
+}

@@ -68,6 +68,7 @@
 mod api;
 mod aux;
 mod config;
+mod ctl;
 mod engine;
 mod iter_engine;
 mod multiphase;
@@ -78,6 +79,7 @@ pub use aux::{run_with_aux, AuxOutcome, AuxPhase};
 pub use config::{
     FailureEvent, FaultEvent, IterConfig, LoadBalance, Termination, TransportKind, WatchdogConfig,
 };
+pub use ctl::RunCtl;
 pub use engine::{carry_forward, distance_sorted, IterOutcome, IterativeRunner};
 pub use iter_engine::IterEngine;
 pub use multiphase::{run_two_phase, PhaseJob, TwoPhaseConfig, TwoPhaseOutcome};

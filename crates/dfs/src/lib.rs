@@ -16,7 +16,9 @@ mod snapshot;
 
 pub use client::{Dfs, DfsError, DEFAULT_BLOCK_SIZE};
 pub use name::{BlockId, FileMeta, NameNode};
-pub use snapshot::{migration_epochs, migration_marker, snapshot_dir, snapshot_epochs};
+pub use snapshot::{
+    hist_path, migration_epochs, migration_marker, resume_epoch, snapshot_dir, snapshot_epochs,
+};
 
 #[cfg(test)]
 mod proptests {

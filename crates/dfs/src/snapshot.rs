@@ -31,6 +31,32 @@ pub fn snapshot_epochs(dfs: &Dfs, output_dir: &str) -> Vec<usize> {
     epochs
 }
 
+/// The DFS path of pair `q`'s distance-history sidecar inside a
+/// snapshot directory. Written next to the `part-` files (the hidden
+/// leading underscore keeps it out of `part-` listings), it records the
+/// `(d, has_prev)` sample of every iteration up to the snapshot epoch,
+/// so a restarted coordinator can rebuild the per-iteration records a
+/// durable resume needs.
+pub fn hist_path(snap_dir: &str, q: usize) -> String {
+    format!("{}/_hist-{q:05}", snap_dir.trim_end_matches('/'))
+}
+
+/// The newest epoch under `output_dir` whose snapshot is *complete*: a
+/// `part-` file and a `_hist-` sidecar for every one of the `n` pairs.
+/// Incomplete epochs (a crash mid-checkpoint, or snapshots written
+/// before the sidecar existed) are skipped, not repaired.
+pub fn resume_epoch(dfs: &Dfs, output_dir: &str, n: usize) -> Option<usize> {
+    snapshot_epochs(dfs, output_dir)
+        .into_iter()
+        .rev()
+        .find(|&epoch| {
+            let dir = snapshot_dir(output_dir, epoch);
+            (0..n).all(|q| {
+                dfs.exists(&format!("{dir}/part-{q:05}")) && dfs.exists(&hist_path(&dir, q))
+            })
+        })
+}
+
 /// The DFS path of the marker recording a §3.4.2 migration decided at
 /// checkpoint epoch `epoch` (sequence number `seq` orders multiple
 /// migrations in one run). The marker lives next to the snapshots so a
@@ -97,5 +123,43 @@ mod tests {
         }
         assert_eq!(snapshot_epochs(&fs, "/o"), vec![2, 4, 10]);
         assert_eq!(snapshot_epochs(&fs, "/other"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn resume_epoch_requires_all_parts_and_hists() {
+        let fs = Dfs::with_block_size(
+            Arc::new(ClusterSpec::local(2)),
+            Arc::new(Metrics::default()),
+            1,
+            64,
+        );
+        let mut clock = TaskClock::default();
+        let write = |path: &str, clock: &mut TaskClock| {
+            fs.write(path, Bytes::from_static(b"x"), NodeId(0), clock)
+                .unwrap();
+        };
+        // Epoch 2: complete (both parts + both sidecars).
+        let d2 = snapshot_dir("/o", 2);
+        for q in 0..2 {
+            write(&format!("{d2}/part-{q:05}"), &mut clock);
+            write(&hist_path(&d2, q), &mut clock);
+        }
+        assert_eq!(resume_epoch(&fs, "/o", 2), Some(2));
+        // Epoch 4: parts complete but one sidecar missing — skipped.
+        let d4 = snapshot_dir("/o", 4);
+        for q in 0..2 {
+            write(&format!("{d4}/part-{q:05}"), &mut clock);
+        }
+        write(&hist_path(&d4, 0), &mut clock);
+        assert_eq!(resume_epoch(&fs, "/o", 2), Some(2));
+        // Epoch 6: only part 0 — also skipped.
+        let d6 = snapshot_dir("/o", 6);
+        write(&format!("{d6}/part-{:05}", 0), &mut clock);
+        write(&hist_path(&d6, 0), &mut clock);
+        assert_eq!(resume_epoch(&fs, "/o", 2), Some(2));
+        // Completing epoch 4 makes it the newest resumable one.
+        write(&hist_path(&d4, 1), &mut clock);
+        assert_eq!(resume_epoch(&fs, "/o", 2), Some(4));
+        assert_eq!(resume_epoch(&fs, "/none", 2), None);
     }
 }

@@ -1,0 +1,135 @@
+//! The admission queue: priority-ordered, slot-aware, starvation-free.
+//!
+//! Jobs wait here until the fleet has enough free task slots. Ordering
+//! is priority-descending with submission order breaking ties, and
+//! admission is strict head-of-line: only the head job is ever
+//! admitted, and only when its full slot footprint fits. Skipping a
+//! wide head job to admit a narrow one behind it would starve wide jobs
+//! forever under a steady trickle of narrow ones; holding the line
+//! keeps admission deterministic and fair at the cost of some
+//! transient slot idleness.
+
+use crate::catalog::JobId;
+
+/// One queued admission request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// Which job wants to run.
+    pub id: JobId,
+    /// Its spec priority (higher first).
+    pub priority: u8,
+    /// Queue-entry sequence number (earlier first within a priority).
+    pub seq: u64,
+    /// Task slots the job occupies while running.
+    pub tasks: usize,
+    /// Whether the executor should resume from the newest complete
+    /// checkpoint snapshot instead of starting fresh.
+    pub resume: bool,
+}
+
+/// Priority queue over [`Admission`]s. Not thread-safe by itself — the
+/// service guards it with its state lock.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    /// Kept sorted: best head last (so admission pops from the back).
+    items: Vec<Admission>,
+    next_seq: u64,
+}
+
+impl AdmissionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        AdmissionQueue::default()
+    }
+
+    /// Enqueues a job, assigning its sequence number.
+    pub fn push(&mut self, id: JobId, priority: u8, tasks: usize, resume: bool) {
+        let adm = Admission {
+            id,
+            priority,
+            seq: self.next_seq,
+            tasks,
+            resume,
+        };
+        self.next_seq += 1;
+        self.items.push(adm);
+        // Worst-first so the head sits at the back; `seq` is unique,
+        // making the order total and the sort stable by construction.
+        self.items
+            .sort_unstable_by_key(|a| (a.priority, std::cmp::Reverse(a.seq)));
+    }
+
+    /// The admission the scheduler would run next, if any.
+    pub fn head(&self) -> Option<&Admission> {
+        self.items.last()
+    }
+
+    /// Pops the head job iff its whole footprint fits in `free_slots`
+    /// (strict head-of-line admission).
+    pub fn pop_admissible(&mut self, free_slots: usize) -> Option<Admission> {
+        if self.head().is_some_and(|h| h.tasks <= free_slots) {
+            self.items.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Queued admissions in admission order (head first).
+    pub fn snapshot(&self) -> Vec<Admission> {
+        self.items.iter().rev().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_submission_order() {
+        let mut q = AdmissionQueue::new();
+        q.push(1, 0, 1, false);
+        q.push(2, 5, 1, false);
+        q.push(3, 5, 1, false);
+        q.push(4, 9, 1, false);
+        let order: Vec<JobId> = q.snapshot().iter().map(|a| a.id).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+        assert_eq!(q.pop_admissible(8).unwrap().id, 4);
+        assert_eq!(q.pop_admissible(8).unwrap().id, 2);
+        assert_eq!(q.pop_admissible(8).unwrap().id, 3);
+        assert_eq!(q.pop_admissible(8).unwrap().id, 1);
+        assert!(q.pop_admissible(8).is_none());
+    }
+
+    #[test]
+    fn head_of_line_blocks_narrow_followers() {
+        let mut q = AdmissionQueue::new();
+        q.push(1, 7, 4, false); // wide, high priority
+        q.push(2, 0, 1, false); // narrow, low priority
+                                // Only 2 slots free: the wide head does not fit, and the narrow
+                                // job behind it must NOT jump the line.
+        assert!(q.pop_admissible(2).is_none());
+        assert_eq!(q.len(), 2);
+        // Once the fleet frees up, the wide job goes first.
+        assert_eq!(q.pop_admissible(4).unwrap().id, 1);
+        assert_eq!(q.pop_admissible(1).unwrap().id, 2);
+    }
+
+    #[test]
+    fn requeue_preserves_resume_flag() {
+        let mut q = AdmissionQueue::new();
+        q.push(9, 3, 2, true);
+        let adm = q.pop_admissible(2).unwrap();
+        assert!(adm.resume);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,660 @@
+//! The job service: one shared fleet of task slots, many tenants.
+//!
+//! [`JobService`] owns the catalog, the admission queue and the slot
+//! ledger. [`JobService::run_until_idle`] is the fleet scheduler: it
+//! admits queued jobs head-of-line whenever their slot footprint fits,
+//! runs each attempt on its own thread (each job gets its own DFS
+//! subtree, [`RunCtl`] and trace ring), and reacts to completions —
+//! journaling results, requeueing failed attempts with the durable
+//! resume flag, and dead-lettering jobs that exhaust their retry
+//! budget, flight-recorder artifact attached.
+//!
+//! Every lifecycle transition is journaled to the DFS *before* the
+//! service acts on it, so [`JobService::recover`] can rebuild the whole
+//! machine from storage: `Completed`/`DeadLettered` jobs return as
+//! catalog history, `Queued` jobs re-enter the queue, and `Running`
+//! jobs — in flight when the coordinator died — are requeued with
+//! resume set, restarting from their newest complete checkpoint
+//! snapshot instead of iteration zero.
+
+use crate::catalog::{self, DlqEntry, JobId, JobMeta, JobPhase};
+use crate::exec::{self, ExecCtx, ResultRecord};
+use crate::queue::AdmissionQueue;
+use crate::spec::{AlgoSpec, EngineSel, JobSpec};
+use bytes::Bytes;
+use imapreduce::{EngineError, RunCtl};
+use imr_dfs::Dfs;
+use imr_records::Codec;
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId, TaskClock};
+use imr_trace::{flight_lines, TraceBuffer, TraceEvent, TraceHandle};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// Service-level configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// DFS namespace root all catalog state lives under.
+    pub ns: String,
+    /// Task slots on the shared fleet; a job occupies `spec.tasks` of
+    /// them while running.
+    pub slots: usize,
+    /// Nodes in the cluster the DFS (and simulation engine) models.
+    pub nodes: usize,
+    /// Worker binary for TCP-engine jobs.
+    pub worker_bin: Option<PathBuf>,
+    /// Capacity of each job's trace ring.
+    pub trace_capacity: usize,
+    /// Trailing trace events captured into a dead-lettered job's
+    /// flight-recorder artifact.
+    pub flight_tail: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            ns: "/svc".into(),
+            slots: 4,
+            nodes: 4,
+            worker_bin: None,
+            trace_capacity: 4096,
+            flight_tail: 96,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the fleet's task-slot count.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Sets the modeled cluster size.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the worker binary TCP-engine jobs are served by.
+    pub fn with_worker_bin(mut self, bin: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(bin.into());
+        self
+    }
+
+    /// Sets the DFS namespace root.
+    pub fn with_ns(mut self, ns: impl Into<String>) -> Self {
+        self.ns = ns.into();
+        self
+    }
+}
+
+/// One row of [`JobService::status`].
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// Catalog id.
+    pub id: JobId,
+    /// Spec name.
+    pub name: String,
+    /// Algorithm name.
+    pub algo: &'static str,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Attempts consumed so far.
+    pub attempts: u32,
+    /// Admission priority.
+    pub priority: u8,
+    /// Last failure message (empty while healthy).
+    pub reason: String,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    meta: JobMeta,
+    trace: TraceHandle,
+}
+
+#[derive(Default)]
+struct SvcState {
+    catalog: BTreeMap<JobId, JobEntry>,
+    queue: AdmissionQueue,
+    running: HashMap<JobId, RunCtl>,
+    slots_used: usize,
+    next_id: JobId,
+    completion_order: Vec<JobId>,
+}
+
+/// What the scheduler decided about one completed attempt, computed
+/// under the state lock and journaled after releasing it.
+enum Outcome {
+    Completed(JobMeta, ResultRecord),
+    Retry(JobMeta),
+    Dead(JobMeta, Vec<TraceEvent>),
+    Interrupted,
+}
+
+/// The multi-tenant job service. See the module docs.
+pub struct JobService {
+    dfs: Dfs,
+    cluster: Arc<ClusterSpec>,
+    metrics: MetricsHandle,
+    cfg: ServiceConfig,
+    state: Mutex<SvcState>,
+    killed: AtomicBool,
+}
+
+impl JobService {
+    /// A fresh service over a new in-memory cluster + DFS.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let cluster = Arc::new(ClusterSpec::local(cfg.nodes));
+        let metrics: MetricsHandle = Arc::new(Metrics::default());
+        let dfs = Dfs::new(Arc::clone(&cluster), Arc::clone(&metrics), 2);
+        Self::attach(dfs, cluster, metrics, cfg)
+    }
+
+    /// A service over existing infrastructure (empty catalog; use
+    /// [`JobService::recover`] to rebuild one from a journaled
+    /// namespace).
+    pub fn attach(
+        dfs: Dfs,
+        cluster: Arc<ClusterSpec>,
+        metrics: MetricsHandle,
+        cfg: ServiceConfig,
+    ) -> Self {
+        JobService {
+            dfs,
+            cluster,
+            metrics,
+            cfg,
+            state: Mutex::new(SvcState {
+                next_id: 1,
+                ..SvcState::default()
+            }),
+            killed: AtomicBool::new(false),
+        }
+    }
+
+    /// Rebuilds a service from the journal under `cfg.ns`: finished
+    /// jobs come back as history, queued jobs re-enter the queue, and
+    /// jobs that were running when the previous coordinator died are
+    /// requeued with durable resume set.
+    pub fn recover(
+        dfs: Dfs,
+        cluster: Arc<ClusterSpec>,
+        metrics: MetricsHandle,
+        cfg: ServiceConfig,
+    ) -> Result<Self, EngineError> {
+        let svc = Self::attach(dfs, cluster, metrics, cfg);
+        let listing = svc
+            .dfs
+            .list(&format!("{}/jobs/", svc.cfg.ns.trim_end_matches('/')));
+        let ids = catalog::scan_job_ids(&listing, &svc.cfg.ns);
+        let mut requeued = Vec::new();
+        {
+            let mut st = svc.state.lock();
+            for id in ids {
+                let spec = svc.read_decoded::<JobSpec>(&catalog::spec_path(&svc.cfg.ns, id))?;
+                let mut meta = svc.read_decoded::<JobMeta>(&catalog::meta_path(&svc.cfg.ns, id))?;
+                if meta.id != id {
+                    return Err(EngineError::Config(format!(
+                        "catalog corrupt: meta for job {id} names job {}",
+                        meta.id
+                    )));
+                }
+                if matches!(meta.phase, JobPhase::Queued | JobPhase::Running) {
+                    meta.phase = JobPhase::Queued;
+                    st.queue.push(id, spec.priority, spec.tasks, true);
+                    requeued.push(meta.clone());
+                }
+                st.next_id = st.next_id.max(id + 1);
+                st.catalog.insert(
+                    id,
+                    JobEntry {
+                        spec,
+                        meta,
+                        trace: Arc::new(TraceBuffer::with_capacity(svc.cfg.trace_capacity)),
+                    },
+                );
+            }
+        }
+        for meta in requeued {
+            svc.journal_meta(&meta)?;
+        }
+        Ok(svc)
+    }
+
+    /// The service's DFS (shared with every engine it runs).
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The modeled cluster.
+    pub fn cluster(&self) -> &Arc<ClusterSpec> {
+        &self.cluster
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Validates and enqueues a job: journals its spec and `Queued`
+    /// meta, then admits it to the queue. Returns the catalog id.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, EngineError> {
+        if spec.tasks == 0 {
+            return Err(EngineError::Config("a job needs at least one task".into()));
+        }
+        if spec.tasks > self.cfg.slots {
+            return Err(EngineError::Config(format!(
+                "job wants {} task slots but the fleet has {}",
+                spec.tasks, self.cfg.slots
+            )));
+        }
+        if spec.algo == AlgoSpec::PoisonPill && spec.engine != EngineSel::Threads {
+            return Err(EngineError::Config(
+                "poison-pill jobs run on the thread engine only".into(),
+            ));
+        }
+        if spec.engine == EngineSel::Tcp && self.cfg.worker_bin.is_none() {
+            return Err(EngineError::Config(
+                "TCP-engine jobs need a configured worker binary".into(),
+            ));
+        }
+        let (id, meta) = {
+            let mut st = self.state.lock();
+            let id = st.next_id;
+            st.next_id += 1;
+            let meta = JobMeta::queued(id);
+            st.catalog.insert(
+                id,
+                JobEntry {
+                    spec: spec.clone(),
+                    meta: meta.clone(),
+                    trace: Arc::new(TraceBuffer::with_capacity(self.cfg.trace_capacity)),
+                },
+            );
+            st.queue.push(id, spec.priority, spec.tasks, false);
+            (id, meta)
+        };
+        let mut clock = TaskClock::default();
+        self.dfs.put_atomic(
+            &catalog::spec_path(&self.cfg.ns, id),
+            spec.to_bytes(),
+            NodeId(0),
+            &mut clock,
+        )?;
+        self.journal_meta(&meta)?;
+        Ok(id)
+    }
+
+    /// The fleet scheduler. Admits and runs queued jobs until the
+    /// queue drains and every running job has reported — or, after
+    /// [`JobService::kill`], until the in-flight jobs have aborted.
+    /// Call again after submitting more jobs; the service is reusable.
+    pub fn run_until_idle(&self) -> Result<(), EngineError> {
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        loop {
+            let launches = self.admit();
+            for (adm_id, resume, meta, spec, trace, ctl) in launches {
+                self.journal_meta(&meta)?;
+                let ctx = self.exec_ctx();
+                let tx = tx.clone();
+                handles.push(thread::spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        exec::run_job(&ctx, adm_id, &spec, resume, ctl, trace)
+                    }))
+                    .unwrap_or_else(|_| Err(EngineError::Worker("job attempt panicked".into())));
+                    let _ = tx.send((adm_id, result));
+                }));
+            }
+            {
+                let st = self.state.lock();
+                let drained = st.queue.is_empty() || self.killed.load(Ordering::Acquire);
+                if st.running.is_empty() && drained {
+                    break;
+                }
+            }
+            let (id, result) = rx.recv().expect("running jobs always report");
+            self.on_complete(id, result)?;
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Coordinator shutdown: stop admitting and abort every in-flight
+    /// run at its next cancellation point. Journaled state is left
+    /// exactly as a crash would: interrupted jobs stay `Running`, which
+    /// is what tells [`JobService::recover`] to resume them.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Release);
+        let st = self.state.lock();
+        for ctl in st.running.values() {
+            ctl.abort();
+        }
+    }
+
+    /// Whether [`JobService::kill`] has been called.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Acquire)
+    }
+
+    /// Catalog snapshot, id-ordered.
+    pub fn status(&self) -> Vec<JobStatus> {
+        let st = self.state.lock();
+        st.catalog
+            .iter()
+            .map(|(&id, e)| JobStatus {
+                id,
+                name: e.spec.name.clone(),
+                algo: e.spec.algo.name(),
+                phase: e.meta.phase,
+                attempts: e.meta.attempts,
+                priority: e.spec.priority,
+                reason: e.meta.reason.clone(),
+            })
+            .collect()
+    }
+
+    /// A completed job's journaled result, if present.
+    pub fn result(&self, id: JobId) -> Result<Option<ResultRecord>, EngineError> {
+        let path = catalog::result_path(&self.cfg.ns, id);
+        if !self.dfs.exists(&path) {
+            return Ok(None);
+        }
+        Ok(Some(self.read_decoded::<ResultRecord>(&path)?))
+    }
+
+    /// Dead-letter entries journaled under the namespace, id-ordered.
+    /// Reads the DFS, so it sees dead letters from previous
+    /// incarnations of the coordinator too.
+    pub fn dlq(&self) -> Result<Vec<DlqEntry>, EngineError> {
+        let prefix = format!("{}/dlq/", self.cfg.ns.trim_end_matches('/'));
+        let mut entries = Vec::new();
+        for path in self.dfs.list(&prefix) {
+            if path.ends_with("/entry") {
+                entries.push(self.read_decoded::<DlqEntry>(&path)?);
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+        Ok(entries)
+    }
+
+    /// A dead-lettered job's flight-recorder artifact (JSONL), if any.
+    pub fn dlq_flight(&self, id: JobId) -> Result<Option<String>, EngineError> {
+        let path = catalog::dlq_flight_path(&self.cfg.ns, id);
+        if !self.dfs.exists(&path) {
+            return Ok(None);
+        }
+        let mut clock = TaskClock::default();
+        let raw = self.dfs.read(&path, NodeId(0), &mut clock)?;
+        Ok(Some(String::from_utf8_lossy(&raw).into_owned()))
+    }
+
+    /// Ids of completed jobs in the order they finished (this
+    /// incarnation only — recovery starts a fresh ledger).
+    pub fn completion_order(&self) -> Vec<JobId> {
+        self.state.lock().completion_order.clone()
+    }
+
+    /// Every job's trace stream, for
+    /// [`chrome_trace_json_jobs`](imr_trace::chrome_trace_json_jobs).
+    pub fn job_traces(&self) -> Vec<(u64, Vec<TraceEvent>)> {
+        let st = self.state.lock();
+        st.catalog
+            .iter()
+            .map(|(&id, e)| (id, e.trace.snapshot()))
+            .collect()
+    }
+
+    fn exec_ctx(&self) -> ExecCtx {
+        ExecCtx {
+            dfs: self.dfs.clone(),
+            cluster: Arc::clone(&self.cluster),
+            metrics: Arc::clone(&self.metrics),
+            ns: self.cfg.ns.clone(),
+            worker_bin: self.cfg.worker_bin.clone(),
+        }
+    }
+
+    /// Pops every admissible queued job, marks it running and reserves
+    /// its slots — all under one lock hold, so admission is atomic with
+    /// respect to [`JobService::kill`].
+    #[allow(clippy::type_complexity)]
+    fn admit(&self) -> Vec<(JobId, bool, JobMeta, JobSpec, TraceHandle, RunCtl)> {
+        let mut st = self.state.lock();
+        let mut launches = Vec::new();
+        if self.killed.load(Ordering::Acquire) {
+            return launches;
+        }
+        loop {
+            let free = self.cfg.slots - st.slots_used;
+            let Some(adm) = st.queue.pop_admissible(free) else {
+                break;
+            };
+            st.slots_used += adm.tasks;
+            let ctl = RunCtl::new();
+            st.running.insert(adm.id, ctl.clone());
+            let entry = st.catalog.get_mut(&adm.id).expect("queued job in catalog");
+            entry.meta.phase = JobPhase::Running;
+            launches.push((
+                adm.id,
+                adm.resume,
+                entry.meta.clone(),
+                entry.spec.clone(),
+                Arc::clone(&entry.trace),
+                ctl,
+            ));
+        }
+        launches
+    }
+
+    fn on_complete(
+        &self,
+        id: JobId,
+        result: Result<ResultRecord, EngineError>,
+    ) -> Result<(), EngineError> {
+        let killed = self.killed.load(Ordering::Acquire);
+        let outcome = {
+            let mut st = self.state.lock();
+            st.running.remove(&id);
+            let tasks = st
+                .catalog
+                .get(&id)
+                .expect("completed job in catalog")
+                .spec
+                .tasks;
+            st.slots_used -= tasks;
+            let entry = st.catalog.get_mut(&id).expect("completed job in catalog");
+            match result {
+                Ok(rec) => {
+                    entry.meta.attempts += 1;
+                    entry.meta.phase = JobPhase::Completed;
+                    entry.meta.reason.clear();
+                    let meta = entry.meta.clone();
+                    st.completion_order.push(id);
+                    Outcome::Completed(meta, rec)
+                }
+                // An abort during shutdown is not a failure: the
+                // journaled phase stays `Running` so recovery resumes
+                // the job from its checkpoints.
+                Err(_) if killed => Outcome::Interrupted,
+                Err(e) => {
+                    entry.meta.attempts += 1;
+                    entry.meta.reason = e.to_string();
+                    if entry.meta.attempts > entry.spec.fault.max_retries {
+                        entry.meta.phase = JobPhase::DeadLettered;
+                        let tail = entry.trace.tail(self.cfg.flight_tail);
+                        Outcome::Dead(entry.meta.clone(), tail)
+                    } else {
+                        entry.meta.phase = JobPhase::Queued;
+                        let (priority, tasks) = (entry.spec.priority, entry.spec.tasks);
+                        let meta = entry.meta.clone();
+                        st.queue.push(id, priority, tasks, true);
+                        Outcome::Retry(meta)
+                    }
+                }
+            }
+        };
+        match outcome {
+            Outcome::Completed(meta, rec) => {
+                let mut clock = TaskClock::default();
+                self.dfs.put_atomic(
+                    &catalog::result_path(&self.cfg.ns, id),
+                    rec.to_bytes(),
+                    NodeId(0),
+                    &mut clock,
+                )?;
+                self.journal_meta(&meta)
+            }
+            Outcome::Retry(meta) => self.journal_meta(&meta),
+            Outcome::Dead(meta, tail) => {
+                self.journal_meta(&meta)?;
+                let entry = DlqEntry {
+                    id,
+                    attempts: meta.attempts,
+                    reason: meta.reason.clone(),
+                };
+                let mut clock = TaskClock::default();
+                self.dfs.put_atomic(
+                    &catalog::dlq_entry_path(&self.cfg.ns, id),
+                    entry.to_bytes(),
+                    NodeId(0),
+                    &mut clock,
+                )?;
+                // The supervisor dumps flight artifacts on rollbacks;
+                // a retry-exhausted job never got that far, so the
+                // service captures the trailing window itself.
+                self.dfs.put_atomic(
+                    &catalog::dlq_flight_path(&self.cfg.ns, id),
+                    Bytes::from(flight_lines(&tail).into_bytes()),
+                    NodeId(0),
+                    &mut clock,
+                )?;
+                Ok(())
+            }
+            Outcome::Interrupted => Ok(()),
+        }
+    }
+
+    fn journal_meta(&self, meta: &JobMeta) -> Result<(), EngineError> {
+        let mut clock = TaskClock::default();
+        self.dfs.put_atomic(
+            &catalog::meta_path(&self.cfg.ns, meta.id),
+            meta.to_bytes(),
+            NodeId(0),
+            &mut clock,
+        )?;
+        Ok(())
+    }
+
+    fn read_decoded<T: Codec>(&self, path: &str) -> Result<T, EngineError> {
+        let mut clock = TaskClock::default();
+        let mut raw = self.dfs.read(path, NodeId(0), &mut clock)?;
+        Ok(T::decode(&mut raw)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(slots: usize) -> JobService {
+        JobService::new(ServiceConfig::default().with_slots(slots))
+    }
+
+    #[test]
+    fn submit_rejects_impossible_specs() {
+        let s = svc(2);
+        let wide = JobSpec::new("wide", AlgoSpec::Halve, EngineSel::Threads, 1).with_tasks(3);
+        assert!(s.submit(wide).is_err());
+        let poison_sim = JobSpec::new("p", AlgoSpec::PoisonPill, EngineSel::Sim, 1);
+        assert!(s.submit(poison_sim).is_err());
+        let tcp = JobSpec::new("t", AlgoSpec::Halve, EngineSel::Tcp, 1);
+        assert!(s.submit(tcp).is_err(), "no worker binary configured");
+    }
+
+    #[test]
+    fn sim_job_runs_to_completion_and_journals_a_result() {
+        let s = svc(4);
+        let id = s
+            .submit(
+                JobSpec::new("halve-sim", AlgoSpec::Halve, EngineSel::Sim, 7)
+                    .with_scale(16)
+                    .with_max_iters(3),
+            )
+            .unwrap();
+        s.run_until_idle().unwrap();
+        let status = s.status();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].phase, JobPhase::Completed);
+        assert_eq!(status[0].attempts, 1);
+        let rec = s.result(id).unwrap().expect("result journaled");
+        assert_eq!(rec.iterations, 3);
+        assert!(!rec.state.is_empty());
+        assert!(s.dlq().unwrap().is_empty());
+    }
+
+    #[test]
+    fn poison_job_exhausts_retries_and_lands_in_the_dlq() {
+        let s = svc(4);
+        let id = s
+            .submit(
+                JobSpec::new("poison", AlgoSpec::PoisonPill, EngineSel::Threads, 3)
+                    .with_scale(8)
+                    .with_max_retries(1),
+            )
+            .unwrap();
+        s.run_until_idle().unwrap();
+        let status = s.status();
+        assert_eq!(status[0].phase, JobPhase::DeadLettered);
+        assert_eq!(status[0].attempts, 2, "initial attempt + one retry");
+        assert!(!status[0].reason.is_empty());
+        let dlq = s.dlq().unwrap();
+        assert_eq!(dlq.len(), 1);
+        assert_eq!(dlq[0].id, id);
+        assert_eq!(dlq[0].attempts, 2);
+        assert!(
+            s.dlq_flight(id).unwrap().is_some(),
+            "flight artifact attached"
+        );
+        assert!(s.result(id).unwrap().is_none());
+    }
+
+    #[test]
+    fn mixed_batch_respects_slots_and_completes_everything() {
+        let s = svc(2);
+        let mut ids = Vec::new();
+        for seed in 0..5u64 {
+            ids.push(
+                s.submit(
+                    JobSpec::new(
+                        format!("h{seed}"),
+                        AlgoSpec::Halve,
+                        EngineSel::Threads,
+                        seed,
+                    )
+                    .with_scale(12)
+                    .with_max_iters(3)
+                    .with_tasks(2),
+                )
+                .unwrap(),
+            );
+        }
+        s.run_until_idle().unwrap();
+        for id in ids {
+            let rec = s.result(id).unwrap().expect("each job completed");
+            assert_eq!(rec.iterations, 3);
+        }
+    }
+}

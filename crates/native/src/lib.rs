@@ -106,13 +106,14 @@ mod supervisor;
 use bytes::Bytes;
 use fault::FaultBarrier;
 use imapreduce::{
-    FailureEvent, FaultEvent, IterConfig, IterEngine, IterOutcome, IterativeJob, Mapping,
+    FailureEvent, FaultEvent, IterConfig, IterEngine, IterOutcome, IterativeJob, Mapping, RunCtl,
     TransportKind,
 };
-use imr_dfs::{snapshot_dir, Dfs};
+use imr_dfs::{hist_path, snapshot_dir, Dfs};
 use imr_mapreduce::io::{num_parts, part_path};
 use imr_mapreduce::EngineError;
 use imr_net::{ChannelLink, ChannelMesh, Closed, Transport};
+use imr_records::Codec;
 use imr_simcluster::{MetricsHandle, NodeId, TaskClock};
 use imr_trace::{TraceEvent, TraceHandle};
 use monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
@@ -144,6 +145,7 @@ pub struct NativeRunner {
     dfs: Dfs,
     metrics: MetricsHandle,
     trace: Option<TraceHandle>,
+    ctl: Option<RunCtl>,
 }
 
 impl NativeRunner {
@@ -153,6 +155,7 @@ impl NativeRunner {
             dfs,
             metrics,
             trace: None,
+            ctl: None,
         }
     }
 
@@ -161,6 +164,15 @@ impl NativeRunner {
     /// recorder artifact to the DFS (see `imr-trace`).
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a cancellation token: when another thread calls
+    /// [`RunCtl::abort`], the in-flight generation is poisoned and the
+    /// run returns a worker error instead of completing. The job
+    /// service uses this to tear down jobs on coordinator shutdown.
+    pub fn with_ctl(mut self, ctl: RunCtl) -> Self {
+        self.ctl = Some(ctl);
         self
     }
 
@@ -247,6 +259,7 @@ impl NativeRunner {
                     migrations_done,
                     generation,
                     started,
+                    seed_dist,
                 } = gen;
                 // Fresh links and rally points: the previous generation's
                 // links are disconnected and its barrier poisoned.
@@ -283,6 +296,22 @@ impl NativeRunner {
                     } else {
                         None
                     };
+                    // Abort watcher: the job service's cancellation
+                    // token kills the generation through the same
+                    // poisoned barrier a watchdog stall uses.
+                    if let Some(ctl) = self.ctl.clone() {
+                        let barrier = &barrier;
+                        let workers_done = &workers_done;
+                        scope.spawn(move || {
+                            while !workers_done.load(Ordering::Acquire) {
+                                if ctl.is_aborted() {
+                                    barrier.poison();
+                                    break;
+                                }
+                                thread::sleep(Duration::from_millis(2));
+                            }
+                        });
+                    }
 
                     let mut handles = Vec::with_capacity(n);
                     for (q, link) in links.into_iter().enumerate() {
@@ -311,6 +340,7 @@ impl NativeRunner {
                                 node: assignment[q].index() as u32,
                                 generation,
                                 trace: self.trace.as_ref(),
+                                seed: &seed_dist[q],
                             };
                             let result = catch_unwind(AssertUnwindSafe(|| {
                                 pair_loop::<J, _>(
@@ -383,6 +413,7 @@ impl NativeRunner {
             self.label(cfg),
             false,
             self.trace.as_ref(),
+            self.ctl.as_ref(),
             &mut run_gen,
         )
     }
@@ -437,6 +468,10 @@ struct ThreadEnv<'a> {
     generation: u32,
     /// Shared trace ring, when tracing is enabled.
     trace: Option<&'a TraceHandle>,
+    /// This pair's committed distance history from earlier generations,
+    /// prepended to the generation-local history in every checkpoint
+    /// sidecar so the sidecar covers iterations `1..=it`.
+    seed: &'a [(f64, bool)],
 }
 
 impl Transport for ThreadEnv<'_> {
@@ -494,11 +529,20 @@ impl PairEnv for ThreadEnv<'_> {
             .map_err(EnvFail::from)
     }
 
-    fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), EnvFail> {
+    fn write_checkpoint(
+        &mut self,
+        iteration: usize,
+        payload: Bytes,
+        hist: &[(f64, bool)],
+    ) -> Result<(), EnvFail> {
+        let dir = snapshot_dir(self.output_dir, iteration);
         let mut ck = TaskClock::default();
+        self.dfs
+            .put_atomic(&part_path(&dir, self.q), payload, NodeId(0), &mut ck)?;
+        let full: Vec<(f64, bool)> = self.seed.iter().chain(hist).copied().collect();
         self.dfs.put_atomic(
-            &part_path(&snapshot_dir(self.output_dir, iteration), self.q),
-            payload,
+            &hist_path(&dir, self.q),
+            full.to_bytes(),
             NodeId(0),
             &mut ck,
         )?;

@@ -142,8 +142,17 @@ pub(crate) trait PairEnv: Transport {
     fn exchange_distance(&mut self, d: f64, has_prev: bool) -> Result<(f64, bool), Closed>;
     /// Read the raw bytes of `<dir>/part-<part>`.
     fn read_part(&mut self, dir: &str, part: usize) -> Result<Bytes, EnvFail>;
-    /// Persist the encoded snapshot of `iteration` atomically.
-    fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), EnvFail>;
+    /// Persist the encoded snapshot of `iteration` atomically, together
+    /// with this pair's generation-local distance history through
+    /// `iteration` (the environment prepends any committed prefix from
+    /// earlier generations before persisting, so a freshly restarted
+    /// coordinator can rebuild full per-iteration records on resume).
+    fn write_checkpoint(
+        &mut self,
+        iteration: usize,
+        payload: Bytes,
+        hist: &[(f64, bool)],
+    ) -> Result<(), EnvFail>;
     /// Publish a heartbeat for the watchdog/balancer after completing
     /// `iteration`. Carries the iteration's local distance sample so
     /// the coordinator side can rebuild per-iteration records for pairs
@@ -473,7 +482,7 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
             };
             let payload = encode_pairs(snapshot);
             metrics.checkpoint_bytes.add(payload.len() as u64);
-            match env.write_checkpoint(it, payload) {
+            match env.write_checkpoint(it, payload, local_dist) {
                 Ok(()) => {
                     *last_ckpt = it;
                     env.trace(

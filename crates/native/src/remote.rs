@@ -45,7 +45,7 @@ use crate::supervisor::{assert_partitioning, supervise, GenInput, PairRun, RunOu
 use crate::{NativeRunner, HANDOFF_BUFFER};
 use bytes::Bytes;
 use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping, TransportKind};
-use imr_dfs::snapshot_dir;
+use imr_dfs::{hist_path, snapshot_dir};
 use imr_mapreduce::io::{num_parts, part_path};
 use imr_mapreduce::EngineError;
 use imr_net::frame::{read_frame, write_frame};
@@ -82,9 +82,14 @@ pub struct WorkerSpec {
     /// [`serve_worker`] with a job equal to the coordinator's.
     pub bin: PathBuf,
     /// Extra argv passed to every worker after the transport arguments
-    /// (`<addr> <pair> <generation>`); the worker uses them to pick and
-    /// parameterize the job.
+    /// (`<addr> <pair> <generation> <job-id>`); the worker uses them to
+    /// pick and parameterize the job.
     pub job_args: Vec<String>,
+    /// Job identity tag (0 outside the job service): carried in the
+    /// worker argv, the hello and the setup frame, so a multi-job
+    /// coordinator rejects a stray worker from another job's fleet and
+    /// trace streams can be demultiplexed per job.
+    pub job: u64,
     /// Test hook: make `(pair, iteration)` exit abruptly — no outcome
     /// frame, connection simply drops — right after that iteration of
     /// the first generation it is armed in, simulating an unscripted
@@ -99,8 +104,16 @@ impl WorkerSpec {
         WorkerSpec {
             bin: bin.into(),
             job_args,
+            job: 0,
             crash: None,
         }
+    }
+
+    /// Tags every worker of this spec with a job identity (see
+    /// [`WorkerSpec::job`]).
+    pub fn with_job(mut self, job: u64) -> Self {
+        self.job = job;
+        self
     }
 
     /// Arms the crash test hook (see [`WorkerSpec::crash`]).
@@ -191,6 +204,7 @@ impl NativeRunner {
             format!("{} [tcp]", self.label(cfg)),
             true,
             self.trace.as_ref(),
+            self.ctl.as_ref(),
             &mut run_gen,
         )
     }
@@ -236,6 +250,11 @@ struct Coordinator<'a> {
     /// worker-relative trace timestamps are rebased by this offset onto
     /// the coordinator's timeline.
     trace_offset: u64,
+    /// Per-pair committed distance history from earlier generations,
+    /// prepended to a worker's shipped history when persisting the
+    /// checkpoint sidecar (workers only know their generation-local
+    /// entries).
+    seed_dist: &'a [Vec<(f64, bool)>],
 }
 
 impl Coordinator<'_> {
@@ -256,6 +275,20 @@ impl Coordinator<'_> {
             self.latch.poison();
             for q in 0..self.n {
                 self.send_to(q, &ToWorker::Poison);
+            }
+        }
+    }
+
+    /// Like [`Coordinator::poison_locked`] but with [`ToWorker::Drain`]
+    /// frames: workers unwind the same way, then exit successfully
+    /// instead of reporting an abort. Used for service-requested
+    /// shutdown, where the teardown is policy, not failure.
+    fn drain_locked(&self, state: &mut CoordState) {
+        if !state.poisoned {
+            state.poisoned = true;
+            self.latch.poison();
+            for q in 0..self.n {
+                self.send_to(q, &ToWorker::Drain);
             }
         }
     }
@@ -301,7 +334,7 @@ fn run_generation(
     let mut children: Vec<ChildGuard> = (0..n)
         .map(|q| ChildGuard::spawn(spec, addr, q, generation))
         .collect::<Result<_, _>>()?;
-    let streams = accept_workers(listener, n, generation, &mut children)?;
+    let streams = accept_workers(listener, n, generation, spec.job, &mut children)?;
     // Worker clocks start right after their handshakes, i.e. "now".
     let trace_offset = gen.started.elapsed().as_nanos() as u64;
     if generation > 1 {
@@ -344,6 +377,7 @@ fn run_generation(
         started: gen.started,
         assignment: gen.assignment,
         trace_offset,
+        seed_dist: gen.seed_dist,
     };
 
     // First frame on every connection: the job/generation parameters.
@@ -351,6 +385,7 @@ fn run_generation(
         co.send_to(
             q,
             &ToWorker::Setup(WorkerSetup {
+                job: spec.job,
                 num_tasks: n,
                 epoch,
                 one2all: cfg.mapping == Mapping::One2All,
@@ -415,6 +450,12 @@ fn run_generation(
                 let mut st = co.state.lock();
                 if st.settled.iter().all(|&s| s) {
                     break;
+                }
+                // A service-level abort drains the fleet: workers
+                // unwind and exit cleanly, the supervisor surfaces the
+                // aborted run as a ctl error.
+                if runner.ctl.as_ref().is_some_and(|c| c.is_aborted()) {
+                    co.drain_locked(&mut st);
                 }
                 // Monitor interventions poison only the latch; the main
                 // loop propagates them onto the wire.
@@ -551,15 +592,30 @@ fn reader_loop(co: &Coordinator<'_>, q: usize, mut stream: TcpStream) {
                 st.local_dist[q].push((d, has_prev));
                 st.iter_done[q].push(co.started.elapsed());
             }
-            ToCoord::Ckpt { iteration, payload } => {
+            ToCoord::Ckpt {
+                iteration,
+                payload,
+                hist,
+            } => {
                 co.runner.metrics.checkpoint_bytes.add(payload.len() as u64);
+                let dir = snapshot_dir(co.output_dir, iteration);
+                // The worker ships only its generation-local history;
+                // prepend the committed prefix so the sidecar covers
+                // iterations 1..=iteration, like the thread backend's.
+                let full: Vec<(f64, bool)> = co.seed_dist[q].iter().copied().chain(hist).collect();
                 let mut ck = TaskClock::default();
-                let res = co.runner.dfs.put_atomic(
-                    &part_path(&snapshot_dir(co.output_dir, iteration), q),
-                    payload,
-                    NodeId(0),
-                    &mut ck,
-                );
+                let res = co
+                    .runner
+                    .dfs
+                    .put_atomic(&part_path(&dir, q), payload, NodeId(0), &mut ck)
+                    .and_then(|()| {
+                        co.runner.dfs.put_atomic(
+                            &hist_path(&dir, q),
+                            full.to_bytes(),
+                            NodeId(0),
+                            &mut ck,
+                        )
+                    });
                 let mut st = co.state.lock();
                 match res {
                     Ok(()) => {
@@ -645,6 +701,7 @@ fn accept_workers(
     listener: &TcpListener,
     n: usize,
     generation: u64,
+    job: u64,
     children: &mut [ChildGuard],
 ) -> Result<Vec<TcpStream>, EngineError> {
     let deadline = Instant::now() + CONNECT_TIMEOUT;
@@ -667,7 +724,8 @@ fn accept_workers(
                     Ok(ToCoord::Hello {
                         pair,
                         generation: g,
-                    }) if g == generation && pair < n && conns[pair].is_none() => {
+                        job: j,
+                    }) if g == generation && j == job && pair < n && conns[pair].is_none() => {
                         let _ = stream.set_read_timeout(None);
                         conns[pair] = Some(stream);
                         connected += 1;
@@ -715,6 +773,7 @@ impl ChildGuard {
             .arg(addr)
             .arg(pair.to_string())
             .arg(generation.to_string())
+            .arg(spec.job.to_string())
             .args(&spec.job_args)
             .stdin(Stdio::null())
             .spawn()
@@ -822,9 +881,14 @@ impl PairEnv for RemoteEnv {
             other => EnvFail::Error(other.into()),
         })
     }
-    fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), EnvFail> {
+    fn write_checkpoint(
+        &mut self,
+        iteration: usize,
+        payload: Bytes,
+        hist: &[(f64, bool)],
+    ) -> Result<(), EnvFail> {
         self.conn
-            .write_checkpoint(iteration, payload)
+            .write_checkpoint(iteration, payload, hist.to_vec())
             .map_err(|_| EnvFail::Closed)
     }
     fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool) {
@@ -843,22 +907,26 @@ impl PairEnv for RemoteEnv {
 }
 
 /// Entry point for a worker process: connect to the coordinator at
-/// `addr`, run `job` as `pair` of `generation` to a terminal outcome,
-/// report it, exit. The worker binary's `main` parses
-/// `<addr> <pair> <generation> <job...>` from argv, resolves `job`
-/// from the job arguments, and calls this.
+/// `addr`, run `job` as `pair` of `generation` (tagged with `job_id`)
+/// to a terminal outcome, report it, exit. The worker binary's `main`
+/// parses `<addr> <pair> <generation> <job-id> <job...>` from argv,
+/// resolves `job` from the job arguments, and calls this.
 ///
 /// Never returns an error after the handshake: post-handshake failures
-/// are reported to the coordinator as outcome frames. A scripted crash
-/// hook terminates the process abruptly instead (no outcome, no EOF
-/// courtesy — exactly the unscripted-loss shape it simulates).
+/// are reported to the coordinator as outcome frames — except a
+/// [`ToWorker::Drain`], which unwinds the pair and returns `Ok` so the
+/// process exits cleanly (an orderly shutdown is success, not an
+/// abort). A scripted crash hook terminates the process abruptly
+/// instead (no outcome, no EOF courtesy — exactly the unscripted-loss
+/// shape it simulates).
 pub fn serve_worker<J: IterativeJob>(
     job: &J,
     addr: &str,
     pair: usize,
     generation: u64,
+    job_id: u64,
 ) -> Result<(), String> {
-    let (conn, setup) = WorkerConn::connect(addr, pair, generation, HANDOFF_BUFFER)
+    let (conn, setup) = WorkerConn::connect(addr, pair, generation, job_id, HANDOFF_BUFFER)
         .map_err(|e| format!("pair {pair}: connect/handshake failed: {e}"))?;
     let cfg = PairCfg {
         n: setup.num_tasks,
@@ -911,6 +979,10 @@ pub fn serve_worker<J: IterativeJob>(
     }));
     let wire = match result {
         Ok(Ok(PairOutcome::Vanish)) => std::process::exit(0),
+        // An orderly drain: the coordinator asked the fleet to shut
+        // down. No outcome frame — the abort is policy, and the clean
+        // exit status is the whole point of the drain protocol.
+        Ok(Ok(PairOutcome::Aborted)) if env.conn.is_drained() => return Ok(()),
         Ok(Ok(PairOutcome::Finished {
             final_data,
             iterations,

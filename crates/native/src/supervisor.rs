@@ -12,11 +12,11 @@
 use crate::monitor::Intervention;
 use crate::pair::{PairOutcome, PairPlan};
 use bytes::Bytes;
-use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping};
-use imr_dfs::{migration_marker, snapshot_dir, snapshot_epochs, Dfs};
+use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping, RunCtl};
+use imr_dfs::{hist_path, migration_marker, resume_epoch, snapshot_dir, snapshot_epochs, Dfs};
 use imr_mapreduce::io::{delete_dir, part_path};
 use imr_mapreduce::EngineError;
-use imr_records::{decode_pairs, sort_run};
+use imr_records::{decode_pairs, sort_run, Codec};
 use imr_simcluster::{MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant};
 use imr_trace::{TraceEvent, TraceHandle, TraceKind, COORD};
 use std::time::{Duration, Instant};
@@ -98,6 +98,11 @@ pub(crate) struct GenInput<'a> {
     /// against it so the report timeline is monotone across
     /// generations.
     pub started: Instant,
+    /// Per-pair committed distance history (iterations `1..=epoch`),
+    /// which the backend prepends to a pair's generation-local history
+    /// when persisting the checkpoint sidecar — so the sidecar always
+    /// holds the full history from iteration 1.
+    pub seed_dist: &'a [Vec<(f64, bool)>],
 }
 
 /// Runs the generation loop to completion. `recovers_unscripted` is the
@@ -118,6 +123,7 @@ pub(crate) fn supervise<J: IterativeJob>(
     label: String,
     recovers_unscripted: bool,
     trace: Option<&TraceHandle>,
+    ctl: Option<&RunCtl>,
     run_gen: &mut dyn FnMut(
         GenInput<'_>,
     ) -> Result<(Vec<PairRun>, Option<Intervention>), EngineError>,
@@ -170,6 +176,35 @@ pub(crate) fn supervise<J: IterativeJob>(
     let mut epoch = 0usize;
     let mut committed_dist: Vec<Vec<(f64, bool)>> = vec![Vec::new(); n];
     let mut committed_done: Vec<Vec<Duration>> = vec![Vec::new(); n];
+    // Durable resume: pick up from the newest *complete* snapshot a
+    // previous process left behind, rebuilding the committed distance
+    // history from the sidecars. Wall-clock offsets from the dead
+    // process are unknowable, so the resumed timeline restarts at zero.
+    if cfg.resume {
+        if let Some(resume_at) = resume_epoch(dfs, output_dir, n) {
+            for stale in snapshot_epochs(dfs, output_dir) {
+                if stale != resume_at {
+                    delete_dir(dfs, &snapshot_dir(output_dir, stale));
+                }
+            }
+            let dir = snapshot_dir(output_dir, resume_at);
+            for (q, committed) in committed_dist.iter_mut().enumerate() {
+                let mut clock = TaskClock::default();
+                let mut raw = dfs.read(&hist_path(&dir, q), NodeId(0), &mut clock)?;
+                let hist = Vec::<(f64, bool)>::decode(&mut raw)?;
+                if hist.len() != resume_at {
+                    return Err(EngineError::Worker(format!(
+                        "resume sidecar for pair {q} holds {} entries, \
+                         expected {resume_at}",
+                        hist.len()
+                    )));
+                }
+                *committed = hist;
+                committed_done[q] = vec![Duration::ZERO; resume_at];
+            }
+            epoch = resume_at;
+        }
+    }
     let mut recoveries = 0u64;
     let mut migrations = 0u64;
     // Trace generation counter and flight-recorder dump sequence; both
@@ -229,8 +264,15 @@ pub(crate) fn supervise<J: IterativeJob>(
             migrations_done: migrations,
             generation,
             started,
+            seed_dist: &committed_dist,
         })?;
         assert_eq!(runs.len(), n, "backend returned a partial generation");
+        // A service-level abort poisons the generation from outside;
+        // surface it as a distinct error before triage would otherwise
+        // treat the aborted pairs as vanished workers and retry.
+        if ctl.is_some_and(RunCtl::is_aborted) {
+            return Err(EngineError::Worker("run aborted by job service".into()));
+        }
 
         // ---- Triage ------------------------------------------------
         let fired_kills: Vec<(usize, usize)> = runs

@@ -45,6 +45,10 @@ struct ConnState {
     distance: Option<(f64, bool)>,
     part: Option<Result<Bytes, String>>,
     poisoned: bool,
+    /// The coordinator asked for an orderly shutdown ([`ToWorker::Drain`]).
+    /// Implies `poisoned` so every waiter unwinds, but lets the worker
+    /// exit successfully instead of reporting an abort.
+    drained: bool,
 }
 
 struct ConnShared {
@@ -63,19 +67,24 @@ pub struct WorkerConn {
 
 impl WorkerConn {
     /// Connect to the coordinator, introduce ourselves as `pair` of
-    /// `generation`, and wait for the [`WorkerSetup`] frame. `buffer`
-    /// is the per-link credit allowance (the channel backend's buffer
-    /// size).
+    /// `generation` running `job`, and wait for the [`WorkerSetup`]
+    /// frame. `buffer` is the per-link credit allowance (the channel
+    /// backend's buffer size).
     pub fn connect(
         addr: impl ToSocketAddrs,
         pair: usize,
         generation: u64,
+        job: u64,
         buffer: usize,
     ) -> Result<(WorkerConn, WorkerSetup), NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
-        let hello = ToCoord::Hello { pair, generation };
+        let hello = ToCoord::Hello {
+            pair,
+            generation,
+            job,
+        };
         write_frame(&mut writer, &hello.to_bytes())?;
         writer.flush()?;
 
@@ -104,6 +113,7 @@ impl WorkerConn {
                 distance: None,
                 part: None,
                 poisoned: false,
+                drained: false,
             }),
             cv: Condvar::new(),
         });
@@ -159,6 +169,12 @@ impl WorkerConn {
         self.lock().poisoned
     }
 
+    /// Has the coordinator asked for an orderly shutdown (a
+    /// [`ToWorker::Drain`] frame, or a clean disconnect after one)?
+    pub fn is_drained(&self) -> bool {
+        self.lock().drained
+    }
+
     /// Park until the connection is poisoned (scripted hang).
     pub fn block_until_poisoned(&self) {
         let _ = self.wait_until(|_| None::<()>);
@@ -202,12 +218,22 @@ impl WorkerConn {
         }
     }
 
-    /// Ship a checkpoint body; the coordinator persists it atomically.
+    /// Ship a checkpoint body plus the distance history through
+    /// `iteration`; the coordinator persists both atomically.
     /// Fire-and-forget: in-order delivery means the coordinator sees it
     /// before our EOF, so its record of our checkpoint progress is
     /// authoritative even if we die right after sending.
-    pub fn write_checkpoint(&mut self, iteration: usize, payload: Bytes) -> Result<(), Closed> {
-        self.write(&ToCoord::Ckpt { iteration, payload })
+    pub fn write_checkpoint(
+        &mut self,
+        iteration: usize,
+        payload: Bytes,
+        hist: Vec<(f64, bool)>,
+    ) -> Result<(), Closed> {
+        self.write(&ToCoord::Ckpt {
+            iteration,
+            payload,
+            hist,
+        })
     }
 
     /// Publish a heartbeat for the coordinator-side progress board.
@@ -292,6 +318,10 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
                 state.poisoned = true;
                 // Keep reading so the coordinator's writes never block
                 // on a full socket buffer during teardown.
+            }
+            ToWorker::Drain => {
+                state.drained = true;
+                state.poisoned = true;
             }
             ToWorker::Setup(_) => {}
         }

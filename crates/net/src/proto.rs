@@ -12,9 +12,15 @@ use imr_records::{Codec, CodecError, CodecResult};
 /// Messages sent from a worker process to the coordinator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ToCoord {
-    /// Connection handshake: which pair this process runs and which
-    /// supervisor generation spawned it (stale reconnects are refused).
-    Hello { pair: usize, generation: u64 },
+    /// Connection handshake: which pair this process runs, which
+    /// supervisor generation spawned it (stale reconnects are refused)
+    /// and which job it was spawned for (a coordinator serving many
+    /// jobs refuses a worker that dialed the wrong one).
+    Hello {
+        pair: usize,
+        generation: u64,
+        job: u64,
+    },
     /// A shuffle segment for pair `dest` (consumes one credit).
     Segment { dest: usize, payload: Bytes },
     /// The segment from `src` was consumed; grant its producer a credit.
@@ -34,7 +40,15 @@ pub enum ToCoord {
         has_prev: bool,
     },
     /// Checkpoint body for `iteration`; the coordinator persists it.
-    Ckpt { iteration: usize, payload: Bytes },
+    /// `hist` is this pair's generation-local distance history through
+    /// `iteration` (`(d, has_prev)` per completed iteration), persisted
+    /// next to the snapshot so a restarted coordinator can rebuild the
+    /// per-iteration records a durable resume needs.
+    Ckpt {
+        iteration: usize,
+        payload: Bytes,
+        hist: Vec<(f64, bool)>,
+    },
     /// Ask the coordinator to read DFS file `<dir>/part-<part>`.
     ReadPart { dir: String, part: usize },
     /// Terminal status of this worker process.
@@ -68,6 +82,11 @@ pub enum ToWorker {
     PartErr { message: String },
     /// The generation is being torn down; abort at the next check.
     Poison,
+    /// Orderly shutdown: the run is over (or the service is retiring
+    /// this worker) and the process should exit cleanly — success, not
+    /// a rollback. Distinguished from [`ToWorker::Poison`] so recovery
+    /// triage never mistakes a drained worker for a failed one.
+    Drain,
 }
 
 /// Terminal worker status carried by [`ToCoord::Outcome`].
@@ -97,6 +116,8 @@ pub enum OutcomeKind {
 /// layout the coordinator proxies reads for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerSetup {
+    /// Job tag; echoes the worker's [`ToCoord::Hello`] job id.
+    pub job: u64,
     pub num_tasks: usize,
     /// Checkpoint epoch to resume from (0 on a fresh run).
     pub epoch: usize,
@@ -172,6 +193,7 @@ impl Codec for WireOutcome {
 
 impl Codec for WorkerSetup {
     fn encode(&self, buf: &mut BytesMut) {
+        self.job.encode(buf);
         self.num_tasks.encode(buf);
         self.epoch.encode(buf);
         self.one2all.encode(buf);
@@ -191,6 +213,7 @@ impl Codec for WorkerSetup {
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
         Ok(WorkerSetup {
+            job: u64::decode(buf)?,
             num_tasks: usize::decode(buf)?,
             epoch: usize::decode(buf)?,
             one2all: bool::decode(buf)?,
@@ -210,7 +233,8 @@ impl Codec for WorkerSetup {
         })
     }
     fn encoded_len(&self) -> usize {
-        self.num_tasks.encoded_len()
+        self.job.encoded_len()
+            + self.num_tasks.encoded_len()
             + self.epoch.encoded_len()
             + self.one2all.encoded_len()
             + self.sync.encoded_len()
@@ -232,10 +256,15 @@ impl Codec for WorkerSetup {
 impl Codec for ToCoord {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            ToCoord::Hello { pair, generation } => {
+            ToCoord::Hello {
+                pair,
+                generation,
+                job,
+            } => {
                 0u8.encode(buf);
                 pair.encode(buf);
                 generation.encode(buf);
+                job.encode(buf);
             }
             ToCoord::Segment { dest, payload } => {
                 1u8.encode(buf);
@@ -268,10 +297,15 @@ impl Codec for ToCoord {
                 d.encode(buf);
                 has_prev.encode(buf);
             }
-            ToCoord::Ckpt { iteration, payload } => {
+            ToCoord::Ckpt {
+                iteration,
+                payload,
+                hist,
+            } => {
                 7u8.encode(buf);
                 iteration.encode(buf);
                 payload.encode(buf);
+                hist.encode(buf);
             }
             ToCoord::ReadPart { dir, part } => {
                 8u8.encode(buf);
@@ -293,6 +327,7 @@ impl Codec for ToCoord {
             0 => ToCoord::Hello {
                 pair: usize::decode(buf)?,
                 generation: u64::decode(buf)?,
+                job: u64::decode(buf)?,
             },
             1 => ToCoord::Segment {
                 dest: usize::decode(buf)?,
@@ -318,6 +353,7 @@ impl Codec for ToCoord {
             7 => ToCoord::Ckpt {
                 iteration: usize::decode(buf)?,
                 payload: Bytes::decode(buf)?,
+                hist: Vec::<(f64, bool)>::decode(buf)?,
             },
             8 => ToCoord::ReadPart {
                 dir: String::decode(buf)?,
@@ -332,7 +368,11 @@ impl Codec for ToCoord {
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
-            ToCoord::Hello { pair, generation } => pair.encoded_len() + generation.encoded_len(),
+            ToCoord::Hello {
+                pair,
+                generation,
+                job,
+            } => pair.encoded_len() + generation.encoded_len() + job.encoded_len(),
             ToCoord::Segment { dest, payload } => dest.encoded_len() + payload.encoded_len(),
             ToCoord::Credit { src } => src.encoded_len(),
             ToCoord::BarrierArrive => 0,
@@ -349,7 +389,11 @@ impl Codec for ToCoord {
                     + d.encoded_len()
                     + has_prev.encoded_len()
             }
-            ToCoord::Ckpt { iteration, payload } => iteration.encoded_len() + payload.encoded_len(),
+            ToCoord::Ckpt {
+                iteration,
+                payload,
+                hist,
+            } => iteration.encoded_len() + payload.encoded_len() + hist.encoded_len(),
             ToCoord::ReadPart { dir, part } => dir.encoded_len() + part.encoded_len(),
             ToCoord::Outcome(outcome) => outcome.encoded_len(),
             ToCoord::Trace { payload } => payload.encoded_len(),
@@ -392,6 +436,7 @@ impl Codec for ToWorker {
                 message.encode(buf);
             }
             ToWorker::Poison => 8u8.encode(buf),
+            ToWorker::Drain => 9u8.encode(buf),
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
@@ -419,6 +464,7 @@ impl Codec for ToWorker {
                 message: String::decode(buf)?,
             },
             8 => ToWorker::Poison,
+            9 => ToWorker::Drain,
             _ => return Err(CodecError::Corrupt("unknown ToWorker tag")),
         })
     }
@@ -435,6 +481,7 @@ impl Codec for ToWorker {
             ToWorker::PartData { payload } => payload.encoded_len(),
             ToWorker::PartErr { message } => message.encoded_len(),
             ToWorker::Poison => 0,
+            ToWorker::Drain => 0,
         }
     }
 }
@@ -454,6 +501,7 @@ mod tests {
 
     fn sample_setup() -> WorkerSetup {
         WorkerSetup {
+            job: 11,
             num_tasks: 4,
             epoch: 6,
             one2all: true,
@@ -478,6 +526,7 @@ mod tests {
         round_trip(ToCoord::Hello {
             pair: 3,
             generation: 2,
+            job: 17,
         });
         round_trip(ToCoord::Segment {
             dest: 1,
@@ -501,6 +550,7 @@ mod tests {
         round_trip(ToCoord::Ckpt {
             iteration: 10,
             payload: Bytes::from(vec![0; 128]),
+            hist: vec![(1.5, false), (0.25, true)],
         });
         round_trip(ToCoord::ReadPart {
             dir: "/job/static".into(),
@@ -540,6 +590,7 @@ mod tests {
             message: "block lost".into(),
         });
         round_trip(ToWorker::Poison);
+        round_trip(ToWorker::Drain);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Job-service driver: submit a batch of iterative jobs to an
+//! in-memory [`JobService`] session and inspect what the service does
+//! with them.
+//!
+//! The cluster, DFS and catalog live in this process (the workspace
+//! models distribution in-memory), so each invocation is one
+//! self-contained coordinator session:
+//!
+//! ```text
+//! imr-jobs submit [algo:engine[:scale] ...]   run a batch, print status
+//! imr-jobs status                             run the demo batch, print
+//!                                             status, results and DLQ
+//! imr-jobs resume                             kill the coordinator mid-
+//!                                             fleet, recover, verify the
+//!                                             resumed results are bit-
+//!                                             identical to a control run
+//! imr-jobs dlq                                dead-letter a poison job,
+//!                                             print its entry + flight
+//! ```
+//!
+//! `algo` is one of `halve|sssp|pagerank|kmeans|poison`; `engine` is
+//! `sim|threads|tcp` (`tcp` needs the `imr-worker` binary next to this
+//! one).
+
+use imr_jobs::{AlgoSpec, EngineSel, JobService, JobSpec, ResultRecord, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("status");
+    let rest = if args.is_empty() { &[][..] } else { &args[1..] };
+    let code = match cmd {
+        "submit" => cmd_submit(rest),
+        "status" => cmd_submit(&[]),
+        "resume" => cmd_resume(),
+        "dlq" => cmd_dlq(),
+        other => {
+            eprintln!("imr-jobs: unknown command '{other}'");
+            eprintln!("usage: imr-jobs <submit|status|resume|dlq> [jobs...]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// The `imr-worker` binary installed next to this one, if any.
+fn sibling_worker() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let worker = exe.parent()?.join("imr-worker");
+    worker.exists().then_some(worker)
+}
+
+fn parse_job(desc: &str, seed: u64) -> Result<JobSpec, String> {
+    let mut parts = desc.split(':');
+    let algo = match parts.next().unwrap_or("") {
+        "halve" => AlgoSpec::Halve,
+        "sssp" => AlgoSpec::Sssp,
+        "pagerank" => AlgoSpec::PageRank,
+        "kmeans" => AlgoSpec::Kmeans,
+        "poison" => AlgoSpec::PoisonPill,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let engine = match parts.next().unwrap_or("threads") {
+        "sim" => EngineSel::Sim,
+        "threads" => EngineSel::Threads,
+        "tcp" => EngineSel::Tcp,
+        other => return Err(format!("unknown engine '{other}'")),
+    };
+    let scale: usize = match parts.next() {
+        Some(s) => s.parse().map_err(|e| format!("bad scale '{s}': {e}"))?,
+        None => 48,
+    };
+    Ok(JobSpec::new(desc, algo, engine, seed).with_scale(scale))
+}
+
+fn demo_batch(worker: bool) -> Vec<String> {
+    let mut batch = vec![
+        "halve:threads".to_string(),
+        "sssp:sim".to_string(),
+        "pagerank:threads".to_string(),
+        "kmeans:sim:24".to_string(),
+    ];
+    if worker {
+        batch.push("halve:tcp:24".to_string());
+    }
+    batch
+}
+
+fn print_status(svc: &JobService) {
+    println!(
+        "{:>4}  {:<20} {:<10} {:<14} {:>8}  reason",
+        "id", "name", "algo", "phase", "attempts"
+    );
+    for row in svc.status() {
+        println!(
+            "{:>4}  {:<20} {:<10} {:<14} {:>8}  {}",
+            row.id,
+            row.name,
+            row.algo,
+            row.phase.name(),
+            row.attempts,
+            row.reason
+        );
+    }
+}
+
+fn cmd_submit(descs: &[String]) -> i32 {
+    let worker = sibling_worker();
+    let descs = if descs.is_empty() {
+        demo_batch(worker.is_some())
+    } else {
+        descs.to_vec()
+    };
+    let mut cfg = ServiceConfig::default();
+    if let Some(bin) = worker {
+        cfg = cfg.with_worker_bin(bin);
+    }
+    let svc = JobService::new(cfg);
+    for (i, desc) in descs.iter().enumerate() {
+        let spec = match parse_job(desc, 11 + i as u64) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("imr-jobs: {e}");
+                return 2;
+            }
+        };
+        match svc.submit(spec) {
+            Ok(id) => println!("submitted job {id}: {desc}"),
+            Err(e) => {
+                eprintln!("imr-jobs: submit {desc}: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Err(e) = svc.run_until_idle() {
+        eprintln!("imr-jobs: scheduler: {e}");
+        return 1;
+    }
+    println!();
+    print_status(&svc);
+    println!();
+    for (id, events) in svc.job_traces() {
+        match svc.result(id) {
+            Ok(Some(rec)) => println!(
+                "job {id}: {} iterations, {} trace events, {} result bytes",
+                rec.iterations,
+                events.len(),
+                rec.state.len()
+            ),
+            _ => println!("job {id}: no result ({} trace events)", events.len()),
+        }
+    }
+    match svc.dlq() {
+        Ok(dlq) if !dlq.is_empty() => {
+            println!();
+            for entry in dlq {
+                println!(
+                    "dead-lettered job {} after {} attempts: {}",
+                    entry.id, entry.attempts, entry.reason
+                );
+            }
+        }
+        _ => {}
+    }
+    0
+}
+
+/// Kill the coordinator with the fleet mid-flight, recover a fresh one
+/// from the journal, and verify every job's resumed result is
+/// bit-identical to an uninterrupted control run.
+fn cmd_resume() -> i32 {
+    let batch: Vec<JobSpec> = (0..6u64)
+        .map(|i| {
+            let algo = match i % 3 {
+                0 => AlgoSpec::Halve,
+                1 => AlgoSpec::Sssp,
+                _ => AlgoSpec::PageRank,
+            };
+            JobSpec::new(format!("resume-{i}"), algo, EngineSel::Threads, 100 + i)
+                .with_scale(192)
+                .with_max_iters(8)
+                .with_checkpoint_interval(2)
+        })
+        .collect();
+
+    // Control: the same batch, never interrupted.
+    let control = JobService::new(ServiceConfig::default());
+    let mut control_ids = Vec::new();
+    for spec in &batch {
+        control_ids.push(control.submit(spec.clone()).expect("control submit"));
+    }
+    control.run_until_idle().expect("control run");
+
+    // Victim: killed while the fleet is busy.
+    let victim = Arc::new(JobService::new(ServiceConfig::default()));
+    for spec in &batch {
+        victim.submit(spec.clone()).expect("victim submit");
+    }
+    let runner = {
+        let svc = Arc::clone(&victim);
+        thread::spawn(move || svc.run_until_idle())
+    };
+    thread::sleep(Duration::from_millis(10));
+    victim.kill();
+    runner.join().expect("scheduler thread").expect("drain");
+    let interrupted = victim
+        .status()
+        .iter()
+        .filter(|s| !matches!(s.phase, imr_jobs::JobPhase::Completed))
+        .count();
+    println!(
+        "killed coordinator with {interrupted} of {} jobs unfinished",
+        batch.len()
+    );
+
+    // Recover a fresh coordinator from the journaled namespace and let
+    // it finish everything from the surviving checkpoints.
+    let recovered = JobService::recover(
+        victim.dfs().clone(),
+        Arc::clone(victim.cluster()),
+        Arc::clone(victim.metrics()),
+        ServiceConfig::default(),
+    )
+    .expect("recover");
+    recovered.run_until_idle().expect("resumed run");
+    print_status(&recovered);
+
+    let mut code = 0;
+    for &id in &control_ids {
+        let want: ResultRecord = control.result(id).unwrap().expect("control result");
+        let got = recovered.result(id).unwrap();
+        let ok = got.as_ref() == Some(&want);
+        println!(
+            "job {id}: resumed result {}",
+            if ok {
+                "bit-identical to control"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if !ok {
+            code = 1;
+        }
+    }
+    code
+}
+
+/// Dead-letter a poison job while a healthy neighbour completes, then
+/// show the DLQ entry and its flight-recorder artifact.
+fn cmd_dlq() -> i32 {
+    let svc = JobService::new(ServiceConfig::default());
+    let poison = svc
+        .submit(
+            JobSpec::new("poison", AlgoSpec::PoisonPill, EngineSel::Threads, 5)
+                .with_scale(16)
+                .with_max_retries(2),
+        )
+        .expect("submit poison");
+    svc.submit(JobSpec::new("healthy", AlgoSpec::Halve, EngineSel::Threads, 6).with_scale(16))
+        .expect("submit healthy");
+    svc.run_until_idle().expect("run");
+    print_status(&svc);
+    println!();
+    for entry in svc.dlq().expect("dlq") {
+        println!(
+            "dead-lettered job {} after {} attempts: {}",
+            entry.id, entry.attempts, entry.reason
+        );
+    }
+    match svc.dlq_flight(poison).expect("flight read") {
+        Some(flight) => {
+            let lines: Vec<&str> = flight.lines().collect();
+            println!("flight artifact: {} trace lines", lines.len());
+            for line in lines.iter().take(3) {
+                println!("  {line}");
+            }
+            0
+        }
+        None => {
+            eprintln!("imr-jobs: poison job has no flight artifact");
+            1
+        }
+    }
+}

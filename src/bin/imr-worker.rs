@@ -1,8 +1,8 @@
 //! Worker-process entry point for the TCP multi-process backend.
 //!
 //! Spawned by `NativeRunner::run_remote`, one process per map/reduce
-//! pair: `imr-worker <addr> <pair> <generation> <job> [params...]`.
-//! See `imapreduce_suite::worker` for the job catalog.
+//! pair: `imr-worker <addr> <pair> <generation> <job-id> <job>
+//! [params...]`. See `imapreduce_suite::worker` for the job catalog.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -6,6 +6,7 @@ pub use imapreduce as core;
 pub use imr_algorithms as algorithms;
 pub use imr_dfs as dfs;
 pub use imr_graph as graph;
+pub use imr_jobs as jobs;
 pub use imr_mapreduce as mapreduce;
 pub use imr_native as native;
 pub use imr_net as net;

@@ -7,8 +7,9 @@
 //! shared by the `imr-worker` binary, the integration tests and the
 //! transport bench so they all speak the same catalog.
 //!
-//! Worker argv: `<addr> <pair> <generation> <job> [params...]` where
-//! `<job>` is one of:
+//! Worker argv: `<addr> <pair> <generation> <job-id> <job> [params...]`
+//! where `<job-id>` is the coordinator's numeric job tag (0 outside the
+//! job service) and `<job>` is one of:
 //!
 //! * `halve` — the [`Halve`] micro-job (one2one, no static data)
 //! * `sssp` — single-source shortest path (one2one, async-friendly)
@@ -44,32 +45,36 @@ impl IterativeJob for Halve {
     }
 }
 
-/// Parses worker argv (`<addr> <pair> <generation> <job> [params...]`),
-/// resolves the job from the catalog and serves it to completion.
+/// Parses worker argv
+/// (`<addr> <pair> <generation> <job-id> <job> [params...]`), resolves
+/// the job from the catalog and serves it to completion.
 pub fn serve_from_args(args: &[String]) -> Result<(), String> {
-    if args.len() < 4 {
-        return Err("usage: imr-worker <addr> <pair> <generation> <job> [params...]".into());
+    if args.len() < 5 {
+        return Err(
+            "usage: imr-worker <addr> <pair> <generation> <job-id> <job> [params...]".into(),
+        );
     }
     let addr = &args[0];
     let pair: usize = args[1].parse().map_err(|e| format!("bad pair: {e}"))?;
     let generation: u64 = args[2]
         .parse()
         .map_err(|e| format!("bad generation: {e}"))?;
-    let params = &args[4..];
-    match args[3].as_str() {
-        "halve" => serve_worker(&Halve, addr, pair, generation),
-        "sssp" => serve_worker(&SsspIter, addr, pair, generation),
+    let job_id: u64 = args[3].parse().map_err(|e| format!("bad job id: {e}"))?;
+    let params = &args[5..];
+    match args[4].as_str() {
+        "halve" => serve_worker(&Halve, addr, pair, generation, job_id),
+        "sssp" => serve_worker(&SsspIter, addr, pair, generation, job_id),
         "pagerank" => {
             let n: u64 = params
                 .first()
                 .ok_or("pagerank needs <num_nodes>")?
                 .parse()
                 .map_err(|e| format!("bad num_nodes: {e}"))?;
-            serve_worker(&PageRankIter::new(n), addr, pair, generation)
+            serve_worker(&PageRankIter::new(n), addr, pair, generation, job_id)
         }
         "kmeans" => {
             let combiner = params.first().is_some_and(|p| p == "1");
-            serve_worker(&KmeansIter { combiner }, addr, pair, generation)
+            serve_worker(&KmeansIter { combiner }, addr, pair, generation, job_id)
         }
         other => Err(format!("unknown worker job '{other}'")),
     }

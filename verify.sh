@@ -4,14 +4,16 @@
 # script, so the pipeline can never drift from what `./verify.sh`
 # checks on a developer machine.
 #
-#   ./verify.sh            # everything (fmt lint build test faults bench)
+#   ./verify.sh            # everything (fmt lint build test faults bench …)
 #   ./verify.sh fmt        # rustfmt check
 #   ./verify.sh lint       # clippy, warnings denied
 #   ./verify.sh build      # release build of the whole workspace
 #   ./verify.sh test       # debug test suite + release cross-engine suite
 #   ./verify.sh faults     # fault-injection suites, serial, under timeout
 #   ./verify.sh bench      # smoke-run every experiment binary at tiny size
+#   ./verify.sh bench --record   # …and record BENCH_<date>.json at repo root
 #   ./verify.sh trace      # tracing suites + trace_timeline smoke-run
+#   ./verify.sh service    # job-service suites, serial, + CLI smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,7 +26,7 @@ cmd_lint() {
 }
 
 cmd_build() {
-  cargo build --release
+  cargo build --release --workspace
 }
 
 cmd_test() {
@@ -48,9 +50,13 @@ cmd_faults() {
 
 # Smoke-run each experiment binary at tiny scale into a scratch
 # directory, then check every emitted results/*.json carries the keys
-# the plotting/readme tooling relies on.
+# the plotting/readme tooling relies on. With --record, additionally
+# write BENCH_<date>.json at the repo root: per-binary host seconds for
+# the pinned matrix plus the job-service throughput figure, so the perf
+# trajectory the ROADMAP tracks has one committed data point per run.
 cmd_bench() {
-  cargo build --release
+  local record="${1:-}"
+  cargo build --release --workspace
   local out
   out=$(mktemp -d)
   # The RETURN trap would fire again for the caller's return (where the
@@ -60,7 +66,9 @@ cmd_bench() {
     table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
     fig13 fig14 fig16 fig18 fig20 ablation
     native_scaling native_recovery native_balance native_transport
+    jobs_throughput
   )
+  local rows=()
   for bin in "${bins[@]}"; do
     echo "bench-smoke: $bin"
     case "$bin" in
@@ -70,7 +78,11 @@ cmd_bench() {
       native_balance) flags=(--scale 0.02 --iters 12) ;;
       *) flags=(--scale 0.002 --iters 2) ;;
     esac
+    local t0 t1
+    t0=$(date +%s%3N)
     timeout 600 "target/release/$bin" "${flags[@]}" --out "$out" > /dev/null
+    t1=$(date +%s%3N)
+    rows+=("    \"$bin\": $(awk "BEGIN{printf \"%.3f\", ($t1 - $t0) / 1000}")")
   done
   local n=0
   for json in "$out"/results/*.json; do
@@ -83,6 +95,29 @@ cmd_bench() {
   [ "$n" -ge "${#bins[@]}" ] \
     || { echo "bench-smoke: expected >=${#bins[@]} artifacts, got $n" >&2; exit 1; }
   echo "bench-smoke: $n artifacts, all keys present"
+  if [ "$record" = "--record" ]; then
+    local stamp rec i
+    stamp=$(date +%F)
+    rec="BENCH_${stamp}.json"
+    {
+      echo "{"
+      echo "  \"date\": \"$stamp\","
+      echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+      echo "  \"matrix\": \"smoke (--scale 0.002 --iters 2; native_balance 0.02/12)\","
+      echo "  \"host_seconds\": {"
+      for i in "${!rows[@]}"; do
+        if [ "$i" -lt $((${#rows[@]} - 1)) ]; then
+          echo "${rows[$i]},"
+        else
+          echo "${rows[$i]}"
+        fi
+      done
+      echo "  },"
+      echo "  \"jobs_throughput\": $(sed 's/^/  /' "$out/results/jobs_throughput.json" | sed '1s/^  //')"
+      echo "}"
+    } > "$rec"
+    echo "bench-record: wrote $rec"
+  fi
 }
 
 # The tracing subsystem end to end: the trace crate's unit suite, the
@@ -108,6 +143,22 @@ cmd_trace() {
   echo "trace-smoke: artifacts present, keys intact"
 }
 
+# The multi-tenant job-service layer end to end: the jobs crate's unit
+# suite, the integration suite (20-job stress, coordinator kill +
+# bit-identical resume, DLQ, priority, worker drain/disconnect) run
+# serially under a timeout because it spawns real worker processes, and
+# the CLI drivers whose exit codes assert resume fidelity and DLQ
+# capture.
+cmd_service() {
+  timeout 600 cargo test -q -p imr-jobs
+  timeout 900 cargo test -q --release --test job_service -- --test-threads=1
+  cargo build --release --bin imr-jobs --bin imr-worker
+  timeout 600 target/release/imr-jobs resume > /dev/null
+  timeout 600 target/release/imr-jobs dlq > /dev/null
+  timeout 600 target/release/imr-jobs submit > /dev/null
+  echo "service: suites + CLI smoke passed"
+}
+
 cmd_all() {
   cmd_fmt
   cmd_lint
@@ -116,12 +167,15 @@ cmd_all() {
   cmd_faults
   cmd_bench
   cmd_trace
+  cmd_service
 }
 
 case "${1:-all}" in
-  fmt | lint | build | test | faults | bench | trace | all) "cmd_${1:-all}" ;;
+  fmt | lint | build | test | faults | bench | trace | service | all)
+    "cmd_${1:-all}" "${@:2}"
+    ;;
   *)
-    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|all]" >&2
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|all] [--record]" >&2
     exit 2
     ;;
 esac
