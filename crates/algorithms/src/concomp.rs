@@ -9,7 +9,8 @@
 //! symmetric, all labels converge to the component's minimum id.
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
+    load_partitioned, Accumulative, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob,
+    StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::EngineError;
@@ -52,6 +53,70 @@ impl IterativeJob for ConCompIter {
     }
 }
 
+/// Delta-accumulative HashMin: ⊕ is `min` over labels with identity
+/// `u32::MAX`, every key starts at `(u32::MAX, own-id)`, and applying a
+/// delta forwards the improved label along the out-edges. Progress is
+/// the pending label improvement, zero exactly at the propagation
+/// fixpoint.
+impl Accumulative for ConCompIter {
+    fn identity(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn combine_delta(&self, a: &u32, b: &u32) -> u32 {
+        (*a).min(*b)
+    }
+
+    fn seed(&self, _k: &u32, loaded: &u32) -> (u32, u32) {
+        (u32::MAX, *loaded)
+    }
+
+    fn extract(&self, _k: &u32, delta: &u32, adj: &Vec<u32>, out: &mut Emitter<u32, u32>) {
+        for &v in adj {
+            out.emit(v, *delta);
+        }
+    }
+
+    fn progress(&self, _k: &u32, v: &u32, d: &u32) -> f64 {
+        if d < v {
+            f64::from(v - d)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Loads label state (each node its own id) and adjacency parts for
+/// the HashMin job under `state_dir`/`static_dir`.
+pub fn load_concomp_imr(
+    runner: &impl IterEngine,
+    graph: &Graph,
+    num_tasks: usize,
+    state_dir: &str,
+    static_dir: &str,
+) -> Result<(), EngineError> {
+    let job = ConCompIter;
+    let mut clock = TaskClock::default();
+    let state: Vec<(u32, u32)> = (0..graph.num_nodes() as u32).map(|u| (u, u)).collect();
+    load_partitioned(
+        runner.dfs(),
+        state_dir,
+        state,
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
+    load_partitioned(
+        runner.dfs(),
+        static_dir,
+        graph.adjacency_records(),
+        num_tasks,
+        |k, n| job.partition(k, n),
+        &mut clock,
+    )?;
+    Ok(())
+}
+
 /// Runs connected components under iMapReduce, terminating when no
 /// label changes (distance threshold below one label flip).
 pub fn run_concomp_imr(
@@ -60,27 +125,39 @@ pub fn run_concomp_imr(
     num_tasks: usize,
     max_iterations: usize,
 ) -> Result<IterOutcome<u32, u32>, EngineError> {
-    let job = ConCompIter;
-    let mut clock = TaskClock::default();
-    let state: Vec<(u32, u32)> = (0..graph.num_nodes() as u32).map(|u| (u, u)).collect();
-    load_partitioned(
-        runner.dfs(),
-        "/cc/state",
-        state,
-        num_tasks,
-        |k, n| job.partition(k, n),
-        &mut clock,
-    )?;
-    load_partitioned(
-        runner.dfs(),
-        "/cc/static",
-        graph.adjacency_records(),
-        num_tasks,
-        |k, n| job.partition(k, n),
-        &mut clock,
-    )?;
+    load_concomp_imr(runner, graph, num_tasks, "/cc/state", "/cc/static")?;
     let cfg = IterConfig::new("concomp", num_tasks, max_iterations).with_distance_threshold(0.5);
-    runner.run(&job, &cfg, "/cc/state", "/cc/static", "/cc/out", &[])
+    runner.run(
+        &ConCompIter,
+        &cfg,
+        "/cc/state",
+        "/cc/static",
+        "/cc/out",
+        &[],
+    )
+}
+
+/// Runs connected components in barrier-free delta-accumulative mode:
+/// labels propagate as `min` deltas and the detector stops when no
+/// pending label improvement remains anywhere.
+pub fn run_concomp_delta(
+    runner: &impl IterEngine,
+    graph: &Graph,
+    num_tasks: usize,
+    max_checks: usize,
+) -> Result<IterOutcome<u32, u32>, EngineError> {
+    load_concomp_imr(runner, graph, num_tasks, "/ccd/state", "/ccd/static")?;
+    let cfg = IterConfig::new("concomp-delta", num_tasks, max_checks)
+        .with_accumulative_mode()
+        .with_distance_threshold(0.5);
+    runner.run_accumulative(
+        &ConCompIter,
+        &cfg,
+        "/ccd/state",
+        "/ccd/static",
+        "/ccd/out",
+        &[],
+    )
 }
 
 /// Sequential reference: BFS over the *undirected* closure of the
@@ -122,6 +199,17 @@ mod tests {
         for (k, l) in &out.final_state {
             assert_eq!(*l, expect[*k as usize], "node {k}");
         }
+    }
+
+    #[test]
+    fn accumulative_labels_match_the_sync_fixpoint() {
+        let g = generate_graph(200, 900, pagerank_degree_dist(), 15);
+        let r = imr_runner(4);
+        let sync = run_concomp_imr(&r, &g, 4, 100).unwrap();
+        let rd = imr_runner(4);
+        let delta = run_concomp_delta(&rd, &g, 4, 100).unwrap();
+        assert!(delta.iterations < 100, "should reach a fixed point");
+        assert_eq!(sync.final_state, delta.final_state);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! formulation (no dangling redistribution).
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
+    load_partitioned, Accumulative, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob,
+    StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::{
@@ -81,6 +82,40 @@ impl IterativeJob for PageRankIter {
     }
 }
 
+/// Delta-accumulative PageRank (Maiter's formulation): ⊕ is `+` with
+/// identity `0`, every key starts at `(0, (1-d)/|V|)`, and applying a
+/// delta forwards `d·Δ/|N+(u)|` to each out-neighbour. The accumulated
+/// value converges to the same fixpoint as the synchronous Eq. (1)
+/// iteration — `R(v) = (1-d)/|V| · Σ_k Σ_paths (d/deg)^k` — and when
+/// the global pending-delta sum drops below `ε` the final values are
+/// within `ε · d/(1-d)` of that fixpoint in L1.
+impl Accumulative for PageRankIter {
+    fn identity(&self) -> f64 {
+        0.0
+    }
+
+    fn combine_delta(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn seed(&self, _k: &u32, _loaded: &f64) -> (f64, f64) {
+        (0.0, (1.0 - self.damping) / self.num_nodes as f64)
+    }
+
+    fn extract(&self, _k: &u32, delta: &f64, adj: &Vec<u32>, out: &mut Emitter<u32, f64>) {
+        if !adj.is_empty() {
+            let share = self.damping * delta / adj.len() as f64;
+            for &v in adj {
+                out.emit(v, share);
+            }
+        }
+    }
+
+    fn progress(&self, _k: &u32, _v: &f64, d: &f64) -> f64 {
+        d.abs()
+    }
+}
+
 /// Loads rank state (uniform `1/|V|`) and adjacency parts for the
 /// iMapReduce job.
 pub fn load_pagerank_imr(
@@ -123,6 +158,19 @@ pub fn run_pagerank_imr(
     load_pagerank_imr(runner, graph, cfg.num_tasks, "/pr/state", "/pr/static")?;
     let job = PageRankIter::new(graph.num_nodes() as u64);
     runner.run(&job, cfg, "/pr/state", "/pr/static", "/pr/out", &[])
+}
+
+/// Runs PageRank in barrier-free delta-accumulative mode
+/// (`cfg` must carry `with_accumulative_mode()` and a distance
+/// threshold).
+pub fn run_pagerank_delta(
+    runner: &impl IterEngine,
+    graph: &Graph,
+    cfg: &IterConfig,
+) -> Result<IterOutcome<u32, f64>, EngineError> {
+    load_pagerank_imr(runner, graph, cfg.num_tasks, "/prd/state", "/prd/static")?;
+    let job = PageRankIter::new(graph.num_nodes() as u64);
+    runner.run_accumulative(&job, cfg, "/prd/state", "/prd/static", "/prd/out", &[])
 }
 
 // ---------------------------------------------------------------------
@@ -314,6 +362,56 @@ mod tests {
             a.report.metrics.total_network_bytes(),
             b.report.metrics.total_network_bytes()
         );
+    }
+
+    #[test]
+    fn accumulative_reaches_the_sync_fixpoint() {
+        let g = small_graph();
+        let eps = 1e-10;
+
+        let sync = imr_runner(4);
+        let sync_cfg = IterConfig::new("pr", 4, 400).with_distance_threshold(eps);
+        let a = run_pagerank_imr(&sync, &g, &sync_cfg).unwrap();
+        assert!(a.iterations < 400);
+
+        let delta = imr_runner(4);
+        let delta_cfg = IterConfig::new("prd", 4, 400)
+            .with_accumulative_mode()
+            .with_distance_threshold(eps);
+        let b = run_pagerank_delta(&delta, &g, &delta_cfg).unwrap();
+        assert!(b.iterations < 400, "accumulative mode should terminate");
+
+        // Both runs stop within ε of the same fixpoint; the residual
+        // tails bound the gap by ~ε/(1-d) each.
+        assert_eq!(a.final_state.len(), b.final_state.len());
+        for ((k1, v1), (k2, v2)) in a.final_state.iter().zip(&b.final_state) {
+            assert_eq!(k1, k2);
+            assert!((v1 - v2).abs() < 1e-8, "node {k1}: {v1} vs {v2}");
+        }
+
+        // The detector's recorded global progress dips below ε.
+        let last = b.distances.last().unwrap();
+        assert!(*last < eps, "final pending progress {last} >= {eps}");
+    }
+
+    #[test]
+    fn accumulative_counts_deltas_and_checks() {
+        let g = small_graph();
+        let r = imr_runner(2);
+        let cfg = IterConfig::new("prd", 2, 400)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-6)
+            .with_delta_batch(32)
+            .with_check_every(2);
+        let out = run_pagerank_delta(&r, &g, &cfg).unwrap();
+        let m = &out.report.metrics;
+        assert!(m.deltas_sent > 0, "no deltas recorded");
+        assert!(
+            m.priority_preemptions > 0,
+            "batch 32 over 150 nodes must defer keys"
+        );
+        // One detector round per task per check epoch.
+        assert_eq!(m.termination_checks, 2 * out.iterations as u64);
     }
 
     #[test]

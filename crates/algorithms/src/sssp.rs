@@ -6,7 +6,8 @@
 //! outgoing edge weight; every node keeps the minimum it has seen.
 
 use imapreduce::{
-    load_partitioned, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob, StateInput,
+    load_partitioned, Accumulative, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob,
+    StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::{
@@ -70,6 +71,43 @@ impl IterativeJob for SsspIter {
     }
 }
 
+/// Cap used by the accumulative progress measure so a node switching
+/// from unreachable (+∞) to reachable contributes a large-but-finite
+/// amount (an infinite term would wedge the global detector sum at +∞
+/// forever).
+const SSSP_BIG: f64 = 1e15;
+
+/// Delta-accumulative SSSP: ⊕ is `min` with identity `+∞`, every key
+/// starts at `(+∞, d₀)` where `d₀` is the loaded initial distance (0
+/// for the source, +∞ otherwise), and applying a delta relaxes each
+/// outgoing edge. `progress` measures the pending improvement, so the
+/// detector sum reaches zero exactly at the shortest-path fixpoint.
+impl Accumulative for SsspIter {
+    fn identity(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn combine_delta(&self, a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn seed(&self, _k: &u32, loaded: &f64) -> (f64, f64) {
+        (f64::INFINITY, *loaded)
+    }
+
+    fn extract(&self, _k: &u32, delta: &f64, adj: &Adj, out: &mut Emitter<u32, f64>) {
+        if delta.is_finite() {
+            for &(v, w) in adj {
+                out.emit(v, delta + f64::from(w));
+            }
+        }
+    }
+
+    fn progress(&self, _k: &u32, v: &f64, d: &f64) -> f64 {
+        (v.min(SSSP_BIG) - v.min(*d).min(SSSP_BIG)).max(0.0)
+    }
+}
+
 /// Loads a weighted graph for the iMapReduce job: distance state parts
 /// under `state_dir` (source at 0.0, all else +∞) and adjacency parts
 /// under `static_dir`.
@@ -127,6 +165,32 @@ pub fn run_sssp_imr(
         "/sssp/state",
         "/sssp/static",
         "/sssp/out",
+        &[],
+    )
+}
+
+/// Runs SSSP in barrier-free delta-accumulative mode (`cfg` must carry
+/// `with_accumulative_mode()` and a distance threshold).
+pub fn run_sssp_delta(
+    runner: &impl IterEngine,
+    graph: &Graph,
+    source: u32,
+    cfg: &IterConfig,
+) -> Result<IterOutcome<u32, f64>, EngineError> {
+    load_sssp_imr(
+        runner,
+        graph,
+        source,
+        cfg.num_tasks,
+        "/ssspd/state",
+        "/ssspd/static",
+    )?;
+    runner.run_accumulative(
+        &SsspIter,
+        cfg,
+        "/ssspd/state",
+        "/ssspd/static",
+        "/ssspd/out",
         &[],
     )
 }
@@ -362,6 +426,26 @@ mod tests {
             a.report.finished,
             b.report.finished
         );
+    }
+
+    #[test]
+    fn accumulative_reaches_dijkstra_distances() {
+        let g = small_graph();
+        let r = imr_runner(4);
+        let cfg = IterConfig::new("ssspd", 4, 200)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-9);
+        let out = run_sssp_delta(&r, &g, 0, &cfg).unwrap();
+        assert!(out.iterations < 200);
+        let truth = reference_sssp(&g, 0);
+        assert_eq!(out.final_state.len(), g.num_nodes());
+        for (k, d) in &out.final_state {
+            let e = truth[*k as usize];
+            assert!(
+                (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                "node {k}: {d} vs {e}"
+            );
+        }
     }
 
     #[test]

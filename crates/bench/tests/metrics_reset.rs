@@ -56,6 +56,51 @@ fn counters_accumulate_without_reset_and_delta_isolates() {
     );
 }
 
+/// One delta-accumulative PageRank repetition on per-repetition DFS
+/// directories, batched so the priority scheduler defers keys.
+fn run_delta_rep(r: &NativeRunner, rep: usize) {
+    let g = dataset("PageRank-s").unwrap().generate(0.002);
+    let state = format!("/prd{rep}/state");
+    let stat = format!("/prd{rep}/static");
+    let out = format!("/prd{rep}/out");
+    pagerank::load_pagerank_imr(r, &g, 4, &state, &stat).expect("load");
+    let cfg = IterConfig::new("prd-reset", 4, 200)
+        .with_accumulative_mode()
+        .with_distance_threshold(1e-6)
+        .with_delta_batch(32)
+        .with_check_every(2);
+    let job = PageRankIter::new(g.num_nodes() as u64);
+    r.run_accumulative(&job, &cfg, &state, &stat, &out, &[])
+        .expect("delta pagerank run");
+}
+
+/// The accumulative-mode counters (`deltas_sent`,
+/// `priority_preemptions`, `termination_checks`) count per repetition
+/// and are cleared by `reset_all` like every other counter, so a bench
+/// sweep reusing one runner reports identical numbers each repetition.
+#[test]
+fn accumulative_counters_reset_between_repetitions() {
+    let r = shared_runner();
+    run_delta_rep(&r, 0);
+    let s1 = r.metrics().snapshot();
+    assert!(s1.deltas_sent > 0, "delta rounds must count sends");
+    assert!(s1.priority_preemptions > 0, "batch 32 must defer keys");
+    assert!(s1.termination_checks > 0, "detector must count checks");
+
+    r.metrics().reset_all();
+    assert_eq!(
+        r.metrics().snapshot(),
+        MetricsSnapshot::default(),
+        "reset_all clears the accumulative counters too"
+    );
+
+    run_delta_rep(&r, 1);
+    let s2 = r.metrics().snapshot();
+    assert_eq!(s2.deltas_sent, s1.deltas_sent, "repetitions are isolated");
+    assert_eq!(s2.priority_preemptions, s1.priority_preemptions);
+    assert_eq!(s2.termination_checks, s1.termination_checks);
+}
+
 #[test]
 fn reset_all_between_repetitions_isolates_counters() {
     let r = shared_runner();

@@ -213,6 +213,25 @@ pub struct IterConfig {
     /// `checkpoint_interval > 0` and is a no-op when no snapshot
     /// exists yet.
     pub resume: bool,
+    /// Barrier-free delta-accumulative execution (Maiter-style): every
+    /// task keeps a per-key `(value, delta)` store, propagates only
+    /// non-identity deltas, and schedules work by largest-pending-delta
+    /// priority. Requires an [`Accumulative`](crate::Accumulative) job
+    /// and the `run_accumulative` entry point; termination is the
+    /// accumulated-progress detector, so a `distance_threshold` is
+    /// mandatory. One2one only; incompatible with `sync_maps`,
+    /// `eager_handoff`, load balancing and `resume`.
+    pub accumulative: bool,
+    /// Accumulative mode: how many pending keys one task applies per
+    /// round, picked largest-progress-first. `0` (the default) applies
+    /// every pending key; a smaller batch defers the rest and counts
+    /// them as `priority_preemptions`.
+    pub delta_batch: usize,
+    /// Accumulative mode: rounds of delta propagation between two
+    /// global accumulated-progress termination checks. The check epoch
+    /// is the mode's unit of supervision — heartbeats, checkpoints and
+    /// `max_iterations` all count checks. Must be at least 1.
+    pub check_every: usize,
 }
 
 impl IterConfig {
@@ -237,6 +256,9 @@ impl IterConfig {
             transport: TransportKind::Channel,
             flight_window: 64,
             resume: false,
+            accumulative: false,
+            delta_batch: 0,
+            check_every: 1,
         }
     }
 
@@ -302,6 +324,29 @@ impl IterConfig {
         self
     }
 
+    /// Switches to barrier-free delta-accumulative execution
+    /// (Maiter-style). Requires an `Accumulative` job, the
+    /// `run_accumulative` entry point and a distance threshold (the
+    /// accumulated-progress termination detector).
+    pub fn with_accumulative_mode(mut self) -> Self {
+        self.accumulative = true;
+        self
+    }
+
+    /// Accumulative mode: apply at most `batch` pending keys per round,
+    /// largest-progress-first (0 = all pending keys).
+    pub fn with_delta_batch(mut self, batch: usize) -> Self {
+        self.delta_batch = batch;
+        self
+    }
+
+    /// Accumulative mode: run `rounds` delta-propagation rounds between
+    /// two global termination checks.
+    pub fn with_check_every(mut self, rounds: usize) -> Self {
+        self.check_every = rounds;
+        self
+    }
+
     /// Whether maps effectively run synchronously (explicit flag or
     /// implied by one2all).
     pub fn effective_sync(&self) -> bool {
@@ -323,6 +368,57 @@ impl IterConfig {
     /// Delay faults alone are fine without checkpoints: a delayed pair
     /// still completes.
     pub fn validate(&self, faults: &[FaultEvent]) -> Result<(), EngineError> {
+        if self.accumulative {
+            if self.mapping == Mapping::One2All {
+                return Err(EngineError::Config(
+                    "accumulative mode requires one2one mapping: one2all \
+                     broadcast has no per-key delta store"
+                        .into(),
+                ));
+            }
+            if self.sync_maps {
+                return Err(EngineError::Config(
+                    "accumulative mode is barrier-free: sync_maps would \
+                     reintroduce the per-iteration barrier it removes"
+                        .into(),
+                ));
+            }
+            if self.eager_handoff {
+                return Err(EngineError::Config(
+                    "accumulative mode has no reduce->map hand-off: \
+                     eager_handoff does not apply"
+                        .into(),
+                ));
+            }
+            if self.load_balance.is_some() {
+                return Err(EngineError::Config(
+                    "accumulative mode does not support load balancing yet: \
+                     the priority scheduler owns task placement"
+                        .into(),
+                ));
+            }
+            if self.resume {
+                return Err(EngineError::Config(
+                    "accumulative mode does not support durable resume: \
+                     delta-store snapshots are generation-local"
+                        .into(),
+                ));
+            }
+            if self.termination.distance_threshold.is_none() {
+                return Err(EngineError::Config(
+                    "accumulative mode needs a distance_threshold: \
+                     termination is the accumulated-progress detector"
+                        .into(),
+                ));
+            }
+            if self.check_every == 0 {
+                return Err(EngineError::Config(
+                    "accumulative mode needs check_every >= 1 round between \
+                     termination checks"
+                        .into(),
+                ));
+            }
+        }
         let needs_recovery = faults
             .iter()
             .any(|f| !matches!(f, FaultEvent::Delay { .. }));
@@ -521,6 +617,76 @@ mod tests {
         );
         assert_eq!(f.node(), NodeId(3));
         assert_eq!(f.at_iteration(), 7);
+    }
+
+    #[test]
+    fn accumulative_builders_set_fields() {
+        let c = IterConfig::new("pr", 4, 50)
+            .with_accumulative_mode()
+            .with_delta_batch(16)
+            .with_check_every(3)
+            .with_distance_threshold(1e-9);
+        assert!(c.accumulative);
+        assert_eq!(c.delta_batch, 16);
+        assert_eq!(c.check_every, 3);
+        assert!(c.validate(&[]).is_ok());
+        let d = IterConfig::new("pr", 4, 50);
+        assert!(!d.accumulative);
+        assert_eq!(d.delta_batch, 0);
+        assert_eq!(d.check_every, 1);
+    }
+
+    #[test]
+    fn validate_accumulative_needs_threshold() {
+        let c = IterConfig::new("pr", 2, 5).with_accumulative_mode();
+        assert!(is_config_err(c.validate(&[]), "distance_threshold"));
+    }
+
+    #[test]
+    fn validate_accumulative_rejects_unsupported_combos() {
+        let base = IterConfig::new("pr", 2, 5)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-9);
+        assert!(is_config_err(
+            base.clone().with_one2all().validate(&[]),
+            "one2one"
+        ));
+        assert!(is_config_err(
+            base.clone().with_sync_maps().validate(&[]),
+            "sync_maps"
+        ));
+        assert!(is_config_err(
+            base.clone().with_eager_handoff().validate(&[]),
+            "eager_handoff"
+        ));
+        assert!(is_config_err(
+            base.clone()
+                .with_load_balance(LoadBalance::default())
+                .validate(&[]),
+            "load balancing"
+        ));
+        assert!(is_config_err(
+            base.clone().with_resume().validate(&[]),
+            "resume"
+        ));
+        assert!(is_config_err(
+            base.clone().with_check_every(0).validate(&[]),
+            "check_every"
+        ));
+        // The shared fault rules still apply under accumulative mode.
+        let kill = FaultEvent::Kill {
+            node: NodeId(0),
+            at_iteration: 1,
+        };
+        assert!(is_config_err(
+            base.clone().with_checkpoint_interval(0).validate(&[kill]),
+            "checkpoint_interval"
+        ));
+        let hang = FaultEvent::Hang {
+            node: NodeId(0),
+            at_iteration: 1,
+        };
+        assert!(is_config_err(base.validate(&[hang]), "watchdog"));
     }
 
     #[test]

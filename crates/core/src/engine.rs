@@ -180,6 +180,13 @@ impl IterativeRunner {
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         cfg.validate(faults)?;
+        if cfg.accumulative {
+            return Err(EngineError::Config(
+                "cfg.accumulative is set: use run_accumulative for barrier-free \
+                 delta-accumulative execution"
+                    .into(),
+            ));
+        }
         let n = cfg.num_tasks;
         assert!(
             n <= self.pair_capacity(),
@@ -819,6 +826,286 @@ impl IterativeRunner {
             distances,
             migrations,
             recoveries,
+        })
+    }
+
+    /// Runs an [`Accumulative`](crate::Accumulative) job in the
+    /// barrier-free delta-accumulative mode on the simulated cluster.
+    ///
+    /// The simulator executes the mode as deterministic lock-step
+    /// rounds in virtual time: each round every task applies its
+    /// highest-priority pending deltas, exchanges exactly one (possibly
+    /// empty) delta segment with every peer, and merges received
+    /// segments in source order. That data flow is identical to the
+    /// native backends' round protocol, so `final_state`, `distances`
+    /// and the canonical trace-kind sequence match across engines, and
+    /// repeated simulated runs are bit-reproducible.
+    ///
+    /// `iterations` counts termination-check epochs (`cfg.check_every`
+    /// rounds each). Fault injection is rejected here — the mode's
+    /// recovery path is supervised re-execution, exercised on the
+    /// native backends.
+    pub fn run_accumulative<J: crate::Accumulative>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        use crate::accum::{partition_deltas, DeltaStore};
+
+        cfg.validate(faults)?;
+        if !cfg.accumulative {
+            return Err(EngineError::Config(
+                "run_accumulative needs cfg.with_accumulative_mode()".into(),
+            ));
+        }
+        if !faults.is_empty() {
+            return Err(EngineError::Config(
+                "fault injection under accumulative mode requires the native backend".into(),
+            ));
+        }
+        let n = cfg.num_tasks;
+        assert!(
+            n <= self.pair_capacity(),
+            "persistent tasks need dedicated slots: {} pairs > capacity {}",
+            n,
+            self.pair_capacity()
+        );
+        assert_eq!(
+            num_parts(&self.dfs, static_dir),
+            n,
+            "static data must be pre-partitioned into num_tasks parts"
+        );
+        assert_eq!(
+            num_parts(&self.dfs, state_dir),
+            n,
+            "one2one state must be pre-partitioned into num_tasks parts"
+        );
+        let cost = &self.cluster.cost;
+        self.metrics.jobs_launched.add(1);
+
+        // ---- One-time initialization: load + seed the delta stores ---
+        let job_start = VInstant::EPOCH + cost.job_setup;
+        let assignment: Vec<NodeId> = self.cluster.assign_pairs(n);
+        let mut static_store: Vec<Vec<(J::K, J::T)>> = Vec::with_capacity(n);
+        let mut stores: Vec<DeltaStore<J::K, J::S>> = Vec::with_capacity(n);
+        let mut now: Vec<VInstant> = Vec::with_capacity(n);
+        for p in 0..n {
+            let node = assignment[p];
+            let speed = self.cluster.speed(node);
+            let mut clock = TaskClock::starting_at(job_start);
+            clock.advance(cost.task_launch);
+            self.metrics.tasks_launched.add(2);
+            let stat: Vec<(J::K, J::T)> = read_part(&self.dfs, static_dir, p, node, &mut clock)?;
+            let sbytes = self.dfs.len(&part_path(static_dir, p))?;
+            clock.advance(cost.serde_per_byte * sbytes);
+            clock.advance(cost.sort_time(stat.len() as u64, speed));
+            let st: Vec<(J::K, J::S)> = read_part(&self.dfs, state_dir, p, node, &mut clock)?;
+            let bytes = self.dfs.len(&part_path(state_dir, p))?;
+            clock.advance(cost.serde_per_byte * bytes);
+            assert_eq!(
+                st.len(),
+                stat.len(),
+                "state/static co-partitioning broken at pair {p}"
+            );
+            stores.push(DeltaStore::seed(job, &st));
+            static_store.push(stat);
+            now.push(clock.now());
+        }
+
+        let eps = cfg
+            .termination
+            .distance_threshold
+            .expect("validate: accumulative mode needs a threshold");
+        let max_checks = cfg.termination.max_iterations;
+        let mut report = RunReport {
+            label: "iMapReduce (delta)".to_owned(),
+            ..RunReport::default()
+        };
+        let mut distances: Vec<f64> = Vec::new();
+        let mut last_snapshot: Option<String> = None;
+        let generation = 0u32;
+
+        for check in 1..=max_checks {
+            for p in 0..n {
+                self.record(
+                    TraceEvent::new(TraceKind::IterStart)
+                        .at(now[p].as_nanos())
+                        .tagged(
+                            assignment[p].index() as u32,
+                            p as u32,
+                            check as u32,
+                            generation,
+                        ),
+                );
+            }
+            for _round in 0..cfg.check_every {
+                // ---- Round phase A: select, apply, extract, send -----
+                let mut outgoing: Vec<Vec<Vec<(J::K, J::S)>>> = Vec::with_capacity(n);
+                let mut seg_bytes: Vec<Vec<u64>> = Vec::with_capacity(n);
+                let mut send_done: Vec<VInstant> = Vec::with_capacity(n);
+                for p in 0..n {
+                    let node = assignment[p];
+                    let speed = self.cluster.speed(node);
+                    let mut clock = TaskClock::starting_at(now[p]);
+                    let round_start = clock.now();
+                    let batch = stores[p].select_batch(job, &static_store[p], cfg.delta_batch);
+                    let emitted = batch.emitted.len() as u64;
+                    clock.advance(cost.compute_time(batch.applied as u64 + emitted, 0, speed));
+                    let dests = partition_deltas(job, batch.emitted, n);
+                    let sent: u64 = dests.iter().map(|d| d.len() as u64).sum();
+                    self.metrics.deltas_sent.add(sent);
+                    self.metrics.priority_preemptions.add(batch.deferred as u64);
+                    let mut bytes_row = Vec::with_capacity(n);
+                    let mut spill = 0u64;
+                    for dest in &dests {
+                        clock.advance(cost.sort_time(dest.len() as u64, speed));
+                        let b = encode_pairs(dest).len() as u64;
+                        spill += b;
+                        bytes_row.push(b);
+                    }
+                    clock.advance(cost.serde_per_byte * spill);
+                    self.record(
+                        TraceEvent::new(TraceKind::DeltaRound { deltas: sent })
+                            .spanning(round_start.as_nanos(), clock.now().as_nanos())
+                            .tagged(node.index() as u32, p as u32, check as u32, generation),
+                    );
+                    send_done.push(clock.now());
+                    outgoing.push(dests);
+                    seg_bytes.push(bytes_row);
+                }
+                // ---- Round phase B: receive from every peer, merge in
+                // source order (the only order the native round protocol
+                // guarantees) ------------------------------------------
+                for q in 0..n {
+                    let node = assignment[q];
+                    let speed = self.cluster.speed(node);
+                    let mut clock = TaskClock::default();
+                    let mut fetched = 0u64;
+                    let mut arrivals = Vec::with_capacity(n);
+                    for p in 0..n {
+                        let b = seg_bytes[p][q];
+                        fetched += b;
+                        arrivals.push(
+                            send_done[p] + self.cluster.transfer_time(assignment[p], node, b),
+                        );
+                        if assignment[p] == node {
+                            self.metrics.shuffle_local_bytes.add(b);
+                        } else {
+                            self.metrics.shuffle_remote_bytes.add(b);
+                        }
+                    }
+                    clock.barrier(arrivals);
+                    clock.advance(cost.serde_per_byte * fetched);
+                    let mut merged = 0u64;
+                    for p in 0..n {
+                        merged += stores[q].merge_segment(job, &outgoing[p][q]) as u64;
+                    }
+                    clock.advance(cost.compute_time(merged, 0, speed));
+                    now[q] = clock.now();
+                }
+            }
+
+            // ---- Global accumulated-progress termination check -------
+            let locals: Vec<f64> = stores.iter().map(|s| s.pending_progress(job)).collect();
+            let total: f64 = locals.iter().sum();
+            self.metrics.termination_checks.add(n as u64);
+            let decision = now.iter().copied().max().unwrap_or(job_start) + cost.net_latency;
+            for q in 0..n {
+                let tags = (assignment[q].index() as u32, q as u32, check as u32);
+                self.record(
+                    TraceEvent::new(TraceKind::TerminationCheck {
+                        progress_bits: locals[q].to_bits(),
+                    })
+                    .at(decision.as_nanos())
+                    .tagged(tags.0, tags.1, tags.2, generation),
+                );
+                self.record(
+                    TraceEvent::new(TraceKind::IterEnd)
+                        .at(decision.as_nanos())
+                        .tagged(tags.0, tags.1, tags.2, generation),
+                );
+                now[q] = decision;
+            }
+            report.iteration_done.push(decision);
+            distances.push(total);
+            let converged = total < eps;
+            let done = converged || check == max_checks;
+
+            // ---- Checkpointing (parallel with computation) -----------
+            if !done && cfg.checkpoint_interval > 0 && check.is_multiple_of(cfg.checkpoint_interval)
+            {
+                let dir = imr_dfs::snapshot_dir(output_dir, check);
+                let before = self.metrics.dfs_write_bytes.get();
+                for q in 0..n {
+                    let mut off_path = TaskClock::default();
+                    self.dfs.put_atomic(
+                        &part_path(&dir, q),
+                        stores[q].encode(),
+                        assignment[q],
+                        &mut off_path,
+                    )?;
+                }
+                self.metrics
+                    .checkpoint_bytes
+                    .add(self.metrics.dfs_write_bytes.get() - before);
+                if let Some(old) = last_snapshot.replace(dir) {
+                    imr_mapreduce::io::delete_dir(&self.dfs, &old);
+                }
+                for q in 0..n {
+                    self.record(
+                        TraceEvent::new(TraceKind::Checkpoint {
+                            epoch: check as u64,
+                        })
+                        .at(decision.as_nanos())
+                        .tagged(
+                            assignment[q].index() as u32,
+                            q as u32,
+                            check as u32,
+                            generation,
+                        ),
+                    );
+                }
+            }
+            if done {
+                break;
+            }
+        }
+
+        let iterations = report.iteration_done.len();
+
+        // ---- Final output dump: fold any residual (sub-threshold)
+        // pending deltas into the values so the output is the fixpoint
+        // the detector certified ----------------------------------------
+        let mut finish_times = Vec::with_capacity(n);
+        let mut final_state: Vec<(J::K, J::S)> = Vec::new();
+        for (q, store) in stores.into_iter().enumerate() {
+            let node = assignment[q];
+            let mut clock = TaskClock::starting_at(now[q]);
+            let data = store.final_values(job);
+            let payload = encode_pairs(&data);
+            self.dfs
+                .put(&part_path(output_dir, q), payload, node, &mut clock)?;
+            finish_times.push(clock.now());
+            final_state.extend(data);
+        }
+        sort_run(&mut final_state);
+        report.finished = finish_times
+            .into_iter()
+            .max()
+            .unwrap_or(now.iter().copied().max().unwrap_or(job_start));
+        report.metrics = self.metrics.snapshot();
+
+        Ok(IterOutcome {
+            report,
+            final_state,
+            iterations,
+            distances,
+            migrations: 0,
+            recoveries: 0,
         })
     }
 

@@ -11,6 +11,7 @@
 //! and configuration, produce identical `final_state`, `iterations`
 //! and `distances` — a property the cross-engine tests pin down.
 
+use crate::accum::Accumulative;
 use crate::api::IterativeJob;
 use crate::config::{FailureEvent, FaultEvent, IterConfig};
 use crate::engine::{IterOutcome, IterativeRunner};
@@ -64,6 +65,25 @@ pub trait IterEngine {
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError>;
 
+    /// Runs an [`Accumulative`] job in the barrier-free
+    /// delta-accumulative mode (`cfg.accumulative` must be set; see
+    /// [`IterConfig::with_accumulative_mode`]). Tasks keep per-key
+    /// `(value, delta)` stores, propagate only non-identity deltas,
+    /// schedule work by largest-pending-delta priority, and terminate
+    /// when the globally-summed pending progress drops below the
+    /// distance threshold. `iterations` in the outcome counts
+    /// termination-check epochs (`cfg.check_every` rounds each), and
+    /// `distances` holds the global pending-progress sum at each check.
+    fn run_accumulative<J: Accumulative>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError>;
+
     /// Runs `job` to termination with scripted kills only (the
     /// historical surface; each [`FailureEvent`] is a
     /// [`FaultEvent::Kill`]).
@@ -100,5 +120,17 @@ impl IterEngine for IterativeRunner {
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         IterativeRunner::run_faults(self, job, cfg, state_dir, static_dir, output_dir, faults)
+    }
+
+    fn run_accumulative<J: Accumulative>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        IterativeRunner::run_accumulative(self, job, cfg, state_dir, static_dir, output_dir, faults)
     }
 }

@@ -65,6 +65,7 @@
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 #![warn(missing_docs)]
 
+mod accum;
 mod api;
 mod aux;
 mod config;
@@ -74,6 +75,7 @@ mod iter_engine;
 mod multiphase;
 mod store;
 
+pub use accum::{partition_deltas, Accumulative, BatchOutcome, DeltaStore};
 pub use api::{Emitter, IterativeJob, Mapping, StateInput};
 pub use aux::{run_with_aux, AuxOutcome, AuxPhase};
 pub use config::{

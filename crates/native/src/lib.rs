@@ -117,15 +117,34 @@ use imr_records::Codec;
 use imr_simcluster::{MetricsHandle, NodeId, TaskClock};
 use imr_trace::{TraceEvent, TraceHandle};
 use monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
-use pair::{pair_loop, EnvFail, PairCfg, PairDirs, PairEnv};
+use pair::{delta_loop, pair_loop, EnvFail, PairCfg, PairDirs, PairEnv, PairOutcome, PairPlan};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use supervisor::{assert_partitioning, supervise, GenInput, PairRun, RunOutcome};
 
-pub use remote::{serve_worker, WorkerSpec};
+/// The worker-thread body `run_threaded` drives: either `pair_loop`
+/// (map/reduce iterations) or `delta_loop` (barrier-free accumulative
+/// rounds), as a higher-ranked fn pointer so one generation harness
+/// serves both modes.
+type ThreadLoop<J> = fn(
+    usize,
+    &J,
+    &PairCfg,
+    &PairDirs,
+    &PairPlan,
+    usize,
+    &MetricsHandle,
+    &mut ThreadEnv<'_>,
+    Instant,
+    &mut Vec<(f64, bool)>,
+    &mut Vec<Duration>,
+    &mut usize,
+) -> Result<PairOutcome, EngineError>;
+
+pub use remote::{serve_worker, serve_worker_accum, WorkerSpec};
 
 /// How many shuffle segments a reduce→map link buffers before the
 /// sender blocks (§3.3's bounded hand-off buffer). One segment per link
@@ -231,6 +250,13 @@ impl NativeRunner {
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         cfg.validate(faults)?;
+        if cfg.accumulative {
+            return Err(EngineError::Config(
+                "cfg.accumulative is set: use run_accumulative for barrier-free \
+                 delta-accumulative execution"
+                    .into(),
+            ));
+        }
         if cfg.transport == TransportKind::Tcp {
             return Err(EngineError::Config(
                 "transport Tcp needs worker processes: use NativeRunner::run_remote \
@@ -238,6 +264,94 @@ impl NativeRunner {
                     .into(),
             ));
         }
+        let loop_fn: ThreadLoop<J> =
+            |q, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc| {
+                pair_loop::<J, ThreadEnv<'_>>(
+                    q, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc,
+                )
+            };
+        self.run_threaded(
+            job,
+            cfg,
+            state_dir,
+            static_dir,
+            output_dir,
+            faults,
+            loop_fn,
+            self.label(cfg),
+        )
+    }
+
+    /// Runs an [`Accumulative`](imapreduce::Accumulative) job in the
+    /// barrier-free delta-accumulative mode on worker threads
+    /// (`cfg.accumulative` must be set). Tasks keep per-key
+    /// `(value, delta)` stores, propagate only non-identity deltas in
+    /// lock-step rounds, and terminate through the global
+    /// accumulated-progress detector. The full fault-tolerance runtime
+    /// applies unchanged: scripted kills/hangs and watchdog detection
+    /// recover by rolling every pair back to the last
+    /// `(key, (value, delta))` snapshot all pairs completed.
+    ///
+    /// For [`TransportKind::Tcp`] use [`NativeRunner::run_remote`] with
+    /// a worker binary that routes the job through
+    /// [`remote::serve_worker_accum`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_accumulative<J: imapreduce::Accumulative>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        cfg.validate(faults)?;
+        if !cfg.accumulative {
+            return Err(EngineError::Config(
+                "run_accumulative needs cfg.with_accumulative_mode()".into(),
+            ));
+        }
+        if cfg.transport == TransportKind::Tcp {
+            return Err(EngineError::Config(
+                "transport Tcp needs worker processes: use NativeRunner::run_remote \
+                 with a worker binary"
+                    .into(),
+            ));
+        }
+        let loop_fn: ThreadLoop<J> =
+            |q, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc| {
+                delta_loop::<J, ThreadEnv<'_>>(
+                    q, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc,
+                )
+            };
+        self.run_threaded(
+            job,
+            cfg,
+            state_dir,
+            static_dir,
+            output_dir,
+            faults,
+            loop_fn,
+            "iMapReduce native (delta)".to_owned(),
+        )
+    }
+
+    /// The shared thread-backend generation harness: spawns one worker
+    /// thread per pair running `loop_fn` over fresh links each
+    /// generation, plus the monitor/abort watchers, and hands the runs
+    /// to the supervisor for triage, rollback and final stitching.
+    #[allow(clippy::too_many_arguments)]
+    fn run_threaded<J: IterativeJob>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+        loop_fn: ThreadLoop<J>,
+        label: String,
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         assert_partitioning(&self.dfs, cfg, state_dir, static_dir);
         let n = cfg.num_tasks;
         let num_state_parts = num_parts(&self.dfs, state_dir);
@@ -343,7 +457,7 @@ impl NativeRunner {
                                 seed: &seed_dist[q],
                             };
                             let result = catch_unwind(AssertUnwindSafe(|| {
-                                pair_loop::<J, _>(
+                                loop_fn(
                                     q,
                                     job,
                                     pair_cfg,
@@ -410,7 +524,7 @@ impl NativeRunner {
             cfg,
             output_dir,
             faults,
-            self.label(cfg),
+            label,
             false,
             self.trace.as_ref(),
             self.ctl.as_ref(),
@@ -446,6 +560,18 @@ impl IterEngine for NativeRunner {
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         NativeRunner::run_faults(self, job, cfg, state_dir, static_dir, output_dir, faults)
+    }
+
+    fn run_accumulative<J: imapreduce::Accumulative>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        NativeRunner::run_accumulative(self, job, cfg, state_dir, static_dir, output_dir, faults)
     }
 }
 

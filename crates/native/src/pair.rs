@@ -40,6 +40,13 @@ pub(crate) struct PairCfg {
     /// Number of `part-*` files under the state directory (one2all
     /// epoch-0 loads read them all).
     pub num_state_parts: usize,
+    /// Barrier-free delta-accumulative mode (run via `delta_loop`
+    /// instead of `pair_loop`).
+    pub accumulative: bool,
+    /// Accumulative mode: pending keys applied per round (0 = all).
+    pub delta_batch: usize,
+    /// Accumulative mode: rounds between two termination checks.
+    pub check_every: usize,
 }
 
 impl PairCfg {
@@ -52,6 +59,9 @@ impl PairCfg {
             max_iters: cfg.termination.max_iterations,
             checkpoint_interval: cfg.checkpoint_interval,
             num_state_parts,
+            accumulative: cfg.accumulative,
+            delta_batch: cfg.delta_batch,
+            check_every: cfg.check_every,
         }
     }
 }
@@ -166,6 +176,24 @@ pub(crate) trait PairEnv: Transport {
     /// instant); the environment stamps its node and generation tags
     /// before recording, and drops the event when tracing is off.
     fn trace(&mut self, _event: TraceEvent) {}
+    /// Send one encoded delta segment to `dest` (accumulative mode).
+    /// Defaults to the shuffle transport — the two traffic classes
+    /// never coexist in one run; the TCP environment overrides this to
+    /// tag the frame as delta traffic.
+    fn send_delta(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
+        self.send(dest, seg)
+    }
+    /// Receive one delta segment from `src` (accumulative mode).
+    fn recv_delta(&mut self, src: usize) -> Result<Bytes, Closed> {
+        self.recv(src)
+    }
+    /// Forward this check's accumulative counter increments
+    /// (`deltas_sent`, `priority_preemptions`, `termination_checks`) to
+    /// the authoritative metrics registry. No-op where the loop's
+    /// `metrics` handle already is authoritative (the thread backend);
+    /// the TCP environment overrides this because its local registry is
+    /// a sink.
+    fn delta_stats(&mut self, _deltas: u64, _preemptions: u64, _checks: u64) {}
 }
 
 /// The per-iteration loop. `Err` carries real failures (DFS, codec);
@@ -531,4 +559,218 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
     // failure scripted for the final iteration never fires, so the
     // loop above always terminates through the done-check).
     unreachable!("pair {q} left the iteration loop without finishing");
+}
+
+/// The barrier-free delta-accumulative loop (Maiter-style), sharing
+/// `pair_loop`'s environment contract and supervision surface.
+///
+/// One "iteration" here is a termination-check epoch of
+/// `cfg.check_every` rounds. Each round the pair applies its
+/// highest-priority pending deltas, sends exactly one (possibly empty)
+/// ⊕-merged delta segment to EVERY peer — the same send-all/recv-all
+/// pattern the shuffle uses, so the buffered transport cannot deadlock
+/// — and merges the segments received from every peer in source order.
+/// With zero in-flight data at each round boundary and commutative ⊕,
+/// the whole mode is deterministic: every engine computes bit-identical
+/// stores.
+///
+/// The check epoch is also the unit of supervision: heartbeats,
+/// checkpoints (the encoded `(key, (value, delta))` store), scripted
+/// faults and the rollback protocol all count checks, which is what
+/// lets `supervise` drive this loop unchanged.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn delta_loop<J: imapreduce::Accumulative, E: PairEnv>(
+    q: usize,
+    job: &J,
+    cfg: &PairCfg,
+    dirs: &PairDirs,
+    plan: &PairPlan,
+    epoch: usize,
+    metrics: &MetricsHandle,
+    env: &mut E,
+    started: Instant,
+    local_dist: &mut Vec<(f64, bool)>,
+    iter_done: &mut Vec<Duration>,
+    last_ckpt: &mut usize,
+) -> Result<PairOutcome, EngineError> {
+    use imapreduce::{partition_deltas, DeltaStore};
+
+    let n = cfg.n;
+    let eps = cfg
+        .threshold
+        .expect("validate: accumulative mode needs a threshold");
+    metrics.tasks_launched.add(2);
+
+    // ---- One-time load: static partition + delta store ---------------
+    // Epoch 0 seeds the store from the initial state part; epoch e > 0
+    // restores the full `(key, (value, delta))` snapshot written at
+    // check `e`.
+    let stat: Vec<(J::K, J::T)> = match env.read_part(&dirs.static_dir, q) {
+        Ok(raw) => decode_pairs(raw)?,
+        Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+        Err(EnvFail::Error(e)) => return Err(e),
+    };
+    let mut store: DeltaStore<J::K, J::S> = if epoch == 0 {
+        match env.read_part(&dirs.state_dir, q) {
+            Ok(raw) => DeltaStore::seed(job, &decode_pairs::<J::K, J::S>(raw)?),
+            Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+            Err(EnvFail::Error(e)) => return Err(e),
+        }
+    } else {
+        let snap = snapshot_dir(&dirs.output_dir, epoch);
+        match env.read_part(&snap, q) {
+            Ok(raw) => DeltaStore::decode(raw)?,
+            Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+            Err(EnvFail::Error(e)) => return Err(e),
+        }
+    };
+    assert_eq!(
+        store.len(),
+        stat.len(),
+        "state/static co-partitioning broken at pair {q}"
+    );
+
+    for check in (epoch + 1)..=cfg.max_iters {
+        if env.is_poisoned() {
+            return Ok(PairOutcome::Aborted);
+        }
+        let mut busy = Duration::ZERO;
+        let check_start_ns = started.elapsed().as_nanos() as u64;
+        env.trace(
+            TraceEvent::new(TraceKind::IterStart)
+                .at(check_start_ns)
+                .tagged(0, q as u32, check as u32, 0),
+        );
+        let mut check_deltas = 0u64;
+        let mut check_preempt = 0u64;
+
+        for _round in 0..cfg.check_every {
+            // ---- Round phase A: select, apply, extract, send ---------
+            let round_start_ns = started.elapsed().as_nanos() as u64;
+            let work_start = Instant::now();
+            let batch = store.select_batch(job, &stat, cfg.delta_batch);
+            let dests = partition_deltas(job, batch.emitted, n);
+            let sent: u64 = dests.iter().map(|d| d.len() as u64).sum();
+            metrics.deltas_sent.add(sent);
+            metrics.priority_preemptions.add(batch.deferred as u64);
+            check_deltas += sent;
+            check_preempt += batch.deferred as u64;
+            let segs: Vec<Bytes> = dests.iter().map(|dest| encode_pairs(dest)).collect();
+            busy += work_start.elapsed();
+            env.trace(
+                TraceEvent::new(TraceKind::DeltaRound { deltas: sent })
+                    .spanning(round_start_ns, started.elapsed().as_nanos() as u64)
+                    .tagged(0, q as u32, check as u32, 0),
+            );
+            // Sends sit outside the busy span (back-pressure, not load).
+            for (dest, seg) in segs.into_iter().enumerate() {
+                metrics.shuffle_local_bytes.add(seg.len() as u64);
+                if env.send_delta(dest, seg).is_err() {
+                    return Ok(PairOutcome::Aborted);
+                }
+            }
+            // ---- Round phase B: receive from every peer, merge in
+            // source order ---------------------------------------------
+            let mut raw_segs: Vec<Bytes> = Vec::with_capacity(n);
+            for src in 0..n {
+                match env.recv_delta(src) {
+                    Ok(seg) => raw_segs.push(seg),
+                    Err(Closed) => return Ok(PairOutcome::Aborted),
+                }
+            }
+            let merge_start = Instant::now();
+            for seg in raw_segs {
+                let pairs: Vec<(J::K, J::S)> = decode_pairs(seg)?;
+                store.merge_segment(job, &pairs);
+            }
+            busy += merge_start.elapsed();
+        }
+
+        // ---- Global accumulated-progress termination check -----------
+        let local = store.pending_progress(job);
+        local_dist.push((local, true));
+
+        // ---- Emulated slowdowns (same contract as pair_loop) ---------
+        let mut effective_busy = busy.as_secs_f64();
+        if plan.speed < 1.0 {
+            let extra = busy.as_secs_f64() * (1.0 / plan.speed - 1.0);
+            std::thread::sleep(Duration::from_secs_f64(extra));
+            effective_busy += extra;
+        }
+        for &(at, millis) in &plan.delays {
+            if at == check {
+                let pause = Duration::from_millis(millis);
+                std::thread::sleep(pause);
+                effective_busy += pause.as_secs_f64();
+            }
+        }
+        env.trace(
+            TraceEvent::new(TraceKind::TerminationCheck {
+                progress_bits: local.to_bits(),
+            })
+            .at(started.elapsed().as_nanos() as u64)
+            .tagged(0, q as u32, check as u32, 0),
+        );
+        let end = started.elapsed();
+        iter_done.push(end);
+        env.trace(
+            TraceEvent::new(TraceKind::IterEnd)
+                .at(end.as_nanos() as u64)
+                .tagged(0, q as u32, check as u32, 0),
+        );
+        env.beat(check, effective_busy, local, true);
+        env.delta_stats(check_deltas, check_preempt, 1);
+        metrics.termination_checks.add(1);
+        let (total, _any_prev) = match env.exchange_distance(local, true) {
+            Ok(v) => v,
+            Err(Closed) => return Ok(PairOutcome::Aborted),
+        };
+        let converged = total < eps;
+        let done = converged || check == cfg.max_iters;
+
+        // ---- Checkpointing (§3.4.1): the full (value, delta) store ---
+        if !done && cfg.checkpoint_interval > 0 && check.is_multiple_of(cfg.checkpoint_interval) {
+            let payload = store.encode();
+            metrics.checkpoint_bytes.add(payload.len() as u64);
+            match env.write_checkpoint(check, payload, local_dist) {
+                Ok(()) => {
+                    *last_ckpt = check;
+                    env.trace(
+                        TraceEvent::new(TraceKind::Checkpoint {
+                            epoch: check as u64,
+                        })
+                        .at(started.elapsed().as_nanos() as u64)
+                        .tagged(0, q as u32, check as u32, 0),
+                    );
+                }
+                Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+                Err(EnvFail::Error(e)) => return Err(e),
+            }
+        }
+        if done {
+            let final_pairs = store.final_values(job);
+            return Ok(PairOutcome::Finished {
+                final_data: encode_pairs(&final_pairs),
+                iterations: check,
+            });
+        }
+
+        // ---- Scripted faults (same decision point as pair_loop) ------
+        if plan.kills.contains(&check) {
+            return Ok(PairOutcome::Induced {
+                at_iteration: check,
+            });
+        }
+        if plan.crash_after == Some(check) {
+            return Ok(PairOutcome::Vanish);
+        }
+        if plan.hangs.contains(&check) {
+            env.hang();
+            return Ok(PairOutcome::Stalled {
+                at_iteration: check,
+            });
+        }
+    }
+
+    unreachable!("pair {q} left the check loop without finishing");
 }

@@ -40,7 +40,9 @@
 
 use crate::fault::FaultBarrier;
 use crate::monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
-use crate::pair::{pair_loop, EnvFail, PairCfg, PairDirs, PairEnv, PairOutcome, PairPlan};
+use crate::pair::{
+    delta_loop, pair_loop, EnvFail, PairCfg, PairDirs, PairEnv, PairOutcome, PairPlan,
+};
 use crate::supervisor::{assert_partitioning, supervise, GenInput, PairRun, RunOutcome};
 use crate::{NativeRunner, HANDOFF_BUFFER};
 use bytes::Bytes;
@@ -384,7 +386,7 @@ fn run_generation(
     for (q, plan) in plans.iter().enumerate() {
         co.send_to(
             q,
-            &ToWorker::Setup(WorkerSetup {
+            &ToWorker::Setup(Box::new(WorkerSetup {
                 job: spec.job,
                 num_tasks: n,
                 epoch,
@@ -402,7 +404,10 @@ fn run_generation(
                 delays: plan.delays.clone(),
                 speed: plan.speed,
                 crash_after: plan.crash_after,
-            }),
+                accumulative: cfg.accumulative,
+                delta_batch: cfg.delta_batch,
+                check_every: cfg.check_every,
+            })),
         );
     }
 
@@ -520,6 +525,30 @@ fn reader_loop(co: &Coordinator<'_>, q: usize, mut stream: TcpStream) {
                         .add(payload.len() as u64);
                     co.send_to(dest, &ToWorker::Segment { src: q, payload });
                 }
+            }
+            ToCoord::Delta { dest, payload } => {
+                // Same lock-free routing as shuffle segments: per-link
+                // order is the connection FIFO, flow control is the
+                // sender's credit.
+                if dest < co.n {
+                    co.runner
+                        .metrics
+                        .shuffle_local_bytes
+                        .add(payload.len() as u64);
+                    co.send_to(dest, &ToWorker::Delta { src: q, payload });
+                }
+            }
+            ToCoord::DeltaStats {
+                deltas,
+                preemptions,
+                checks,
+            } => {
+                // Accumulative-mode counters are tallied worker-side and
+                // folded into the job's real registry here (the worker's
+                // local registry is a sink).
+                co.runner.metrics.deltas_sent.add(deltas);
+                co.runner.metrics.priority_preemptions.add(preemptions);
+                co.runner.metrics.termination_checks.add(checks);
             }
             ToCoord::Credit { src } => {
                 if src < co.n {
@@ -895,6 +924,15 @@ impl PairEnv for RemoteEnv {
         self.flush_trace();
         self.conn.beat(iteration, busy_secs, d, has_prev);
     }
+    fn send_delta(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
+        self.conn.send_delta(dest, seg)
+    }
+    fn recv_delta(&mut self, src: usize) -> Result<Bytes, Closed> {
+        self.conn.recv_delta(src)
+    }
+    fn delta_stats(&mut self, deltas: u64, preemptions: u64, checks: u64) {
+        self.conn.send_delta_stats(deltas, preemptions, checks);
+    }
     fn hang(&mut self) {
         self.conn.block_until_poisoned();
     }
@@ -926,6 +964,56 @@ pub fn serve_worker<J: IterativeJob>(
     generation: u64,
     job_id: u64,
 ) -> Result<(), String> {
+    serve_inner(job, addr, pair, generation, job_id, None)
+}
+
+/// Like [`serve_worker`], for jobs that also implement
+/// [`Accumulative`](imapreduce::Accumulative): when the coordinator's
+/// setup frame sets `accumulative`, the worker runs the barrier-free
+/// `delta_loop` instead of `pair_loop`. Worker binaries should route
+/// every accumulative-capable job through this entry point — it behaves
+/// exactly like [`serve_worker`] when the mode is off.
+pub fn serve_worker_accum<J: imapreduce::Accumulative>(
+    job: &J,
+    addr: &str,
+    pair: usize,
+    generation: u64,
+    job_id: u64,
+) -> Result<(), String> {
+    let accum: RemoteLoop<J> =
+        |pair, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc| {
+            delta_loop::<J, RemoteEnv>(
+                pair, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc,
+            )
+        };
+    serve_inner(job, addr, pair, generation, job_id, Some(accum))
+}
+
+/// The worker-thread body a remote worker drives, as a fn pointer so
+/// one serving routine covers both iteration modes.
+type RemoteLoop<J> = fn(
+    usize,
+    &J,
+    &PairCfg,
+    &PairDirs,
+    &PairPlan,
+    usize,
+    &MetricsHandle,
+    &mut RemoteEnv,
+    Instant,
+    &mut Vec<(f64, bool)>,
+    &mut Vec<Duration>,
+    &mut usize,
+) -> Result<PairOutcome, EngineError>;
+
+fn serve_inner<J: IterativeJob>(
+    job: &J,
+    addr: &str,
+    pair: usize,
+    generation: u64,
+    job_id: u64,
+    accum: Option<RemoteLoop<J>>,
+) -> Result<(), String> {
     let (conn, setup) = WorkerConn::connect(addr, pair, generation, job_id, HANDOFF_BUFFER)
         .map_err(|e| format!("pair {pair}: connect/handshake failed: {e}"))?;
     let cfg = PairCfg {
@@ -936,6 +1024,9 @@ pub fn serve_worker<J: IterativeJob>(
         max_iters: setup.max_iterations,
         checkpoint_interval: setup.checkpoint_interval,
         num_state_parts: setup.num_state_parts,
+        accumulative: setup.accumulative,
+        delta_batch: setup.delta_batch,
+        check_every: setup.check_every,
     };
     let dirs = PairDirs {
         state_dir: setup.state_dir.clone(),
@@ -961,8 +1052,34 @@ pub fn serve_worker<J: IterativeJob>(
     let mut local_dist: Vec<(f64, bool)> = Vec::new();
     let mut iter_done: Vec<Duration> = Vec::new();
     let mut last_ckpt = setup.epoch;
+    let loop_fn: RemoteLoop<J> = if cfg.accumulative {
+        match accum {
+            Some(f) => f,
+            None => {
+                // The coordinator asked for the delta loop but this
+                // entry point serves a plain iterative job; report the
+                // mismatch as an outcome so the supervisor fails fast.
+                env.conn.send_outcome(WireOutcome {
+                    kind: OutcomeKind::Error,
+                    at_iteration: 0,
+                    message: format!(
+                        "pair {pair}: accumulative mode requested but the worker \
+                         serves this job through serve_worker (use serve_worker_accum)"
+                    ),
+                    payload: Bytes::new(),
+                });
+                return Ok(());
+            }
+        }
+    } else {
+        |pair, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc| {
+            pair_loop::<J, RemoteEnv>(
+                pair, job, cfg, dirs, plan, epoch, metrics, env, started, ld, id, lc,
+            )
+        }
+    };
     let result = catch_unwind(AssertUnwindSafe(|| {
-        pair_loop::<J, _>(
+        loop_fn(
             pair,
             job,
             &cfg,

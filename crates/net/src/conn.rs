@@ -36,6 +36,11 @@ use std::time::Duration;
 struct ConnState {
     /// Per-source queues of received shuffle segments.
     queues: Vec<VecDeque<Bytes>>,
+    /// Per-source queues of received delta segments (barrier-free
+    /// accumulative mode). A run uses either the shuffle queues or the
+    /// delta queues, never both, so delta frames share the same credit
+    /// window.
+    delta_queues: Vec<VecDeque<Bytes>>,
     /// Send credits per destination link.
     credits: Vec<usize>,
     /// Count of barrier releases seen (workers strictly alternate
@@ -95,7 +100,7 @@ impl WorkerConn {
         let mut first = read_frame(&mut read_half)?;
         read_half.set_read_timeout(None)?;
         let setup = match ToWorker::decode(&mut first)? {
-            ToWorker::Setup(setup) => setup,
+            ToWorker::Setup(setup) => *setup,
             other => {
                 return Err(NetError::Protocol(format!(
                     "expected setup frame, got {other:?}"
@@ -107,6 +112,7 @@ impl WorkerConn {
         let shared = Arc::new(ConnShared {
             state: Mutex::new(ConnState {
                 queues: (0..n).map(|_| VecDeque::new()).collect(),
+                delta_queues: (0..n).map(|_| VecDeque::new()).collect(),
                 credits: vec![buffer; n],
                 releases: 0,
                 broadcast: None,
@@ -258,6 +264,39 @@ impl WorkerConn {
     pub fn send_outcome(&mut self, outcome: WireOutcome) {
         let _ = self.write(&ToCoord::Outcome(outcome));
     }
+
+    /// Send a delta segment to pair `dest` (barrier-free accumulative
+    /// mode). Same credit discipline as shuffle segments.
+    pub fn send_delta(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
+        self.wait_until(|s| {
+            if s.credits[dest] > 0 {
+                s.credits[dest] -= 1;
+                Some(())
+            } else {
+                None
+            }
+        })?;
+        self.write(&ToCoord::Delta { dest, payload: seg })
+    }
+
+    /// Pop the next delta segment from pair `src`, blocking until one
+    /// arrives; returns the producer's credit like [`Transport::recv`].
+    pub fn recv_delta(&mut self, src: usize) -> Result<Bytes, Closed> {
+        let seg = self.wait_until(|s| s.delta_queues[src].pop_front())?;
+        self.write(&ToCoord::Credit { src })?;
+        Ok(seg)
+    }
+
+    /// Report per-check accumulative-mode counters; the coordinator
+    /// folds them into the job's real metrics registry. Best-effort,
+    /// like heartbeats.
+    pub fn send_delta_stats(&mut self, deltas: u64, preemptions: u64, checks: u64) {
+        let _ = self.write(&ToCoord::DeltaStats {
+            deltas,
+            preemptions,
+            checks,
+        });
+    }
 }
 
 impl Transport for WorkerConn {
@@ -302,6 +341,11 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
             ToWorker::Segment { src, payload } => {
                 if src < state.queues.len() {
                     state.queues[src].push_back(payload);
+                }
+            }
+            ToWorker::Delta { src, payload } => {
+                if src < state.delta_queues.len() {
+                    state.delta_queues[src].push_back(payload);
                 }
             }
             ToWorker::Credit { dest } => {

@@ -59,13 +59,27 @@ pub enum ToCoord {
     /// them into the job trace. Best-effort: dropped when tracing is
     /// off.
     Trace { payload: Bytes },
+    /// A delta segment for pair `dest` (barrier-free accumulative
+    /// mode). Delta rounds send exactly one — possibly empty — segment
+    /// to every pair per round and consume the same credit window as
+    /// shuffle segments (a run uses either shuffle or delta frames,
+    /// never both).
+    Delta { dest: usize, payload: Bytes },
+    /// Per-check accumulative-mode counter report, folded into the
+    /// coordinator's real metrics registry (`deltas_sent`,
+    /// `priority_preemptions`, `termination_checks`).
+    DeltaStats {
+        deltas: u64,
+        preemptions: u64,
+        checks: u64,
+    },
 }
 
 /// Messages sent from the coordinator to a worker process.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ToWorker {
     /// First frame on every connection: the job/generation parameters.
-    Setup(WorkerSetup),
+    Setup(Box<WorkerSetup>),
     /// A shuffle segment produced by pair `src`.
     Segment { src: usize, payload: Bytes },
     /// Pair `dest` consumed one of our segments; restore a credit.
@@ -87,6 +101,9 @@ pub enum ToWorker {
     /// a rollback. Distinguished from [`ToWorker::Poison`] so recovery
     /// triage never mistakes a drained worker for a failed one.
     Drain,
+    /// A delta segment produced by pair `src` (barrier-free
+    /// accumulative mode; see [`ToCoord::Delta`]).
+    Delta { src: usize, payload: Bytes },
 }
 
 /// Terminal worker status carried by [`ToCoord::Outcome`].
@@ -140,6 +157,13 @@ pub struct WorkerSetup {
     /// Test hook: exit the process abruptly (no outcome frame) after
     /// this iteration, simulating an unscripted worker crash.
     pub crash_after: Option<usize>,
+    /// Run the barrier-free delta-accumulative loop instead of the
+    /// map/reduce iteration loop (requires an `Accumulative` job).
+    pub accumulative: bool,
+    /// Keys processed per delta round (0 = all pending keys).
+    pub delta_batch: usize,
+    /// Delta rounds between termination checks.
+    pub check_every: usize,
 }
 
 impl Codec for OutcomeKind {
@@ -210,6 +234,9 @@ impl Codec for WorkerSetup {
         self.delays.encode(buf);
         self.speed.encode(buf);
         self.crash_after.encode(buf);
+        self.accumulative.encode(buf);
+        self.delta_batch.encode(buf);
+        self.check_every.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
         Ok(WorkerSetup {
@@ -230,6 +257,9 @@ impl Codec for WorkerSetup {
             delays: Vec::<(usize, u64)>::decode(buf)?,
             speed: f64::decode(buf)?,
             crash_after: Option::<usize>::decode(buf)?,
+            accumulative: bool::decode(buf)?,
+            delta_batch: usize::decode(buf)?,
+            check_every: usize::decode(buf)?,
         })
     }
     fn encoded_len(&self) -> usize {
@@ -250,6 +280,9 @@ impl Codec for WorkerSetup {
             + self.delays.encoded_len()
             + self.speed.encoded_len()
             + self.crash_after.encoded_len()
+            + self.accumulative.encoded_len()
+            + self.delta_batch.encoded_len()
+            + self.check_every.encoded_len()
     }
 }
 
@@ -320,6 +353,21 @@ impl Codec for ToCoord {
                 10u8.encode(buf);
                 payload.encode(buf);
             }
+            ToCoord::Delta { dest, payload } => {
+                11u8.encode(buf);
+                dest.encode(buf);
+                payload.encode(buf);
+            }
+            ToCoord::DeltaStats {
+                deltas,
+                preemptions,
+                checks,
+            } => {
+                12u8.encode(buf);
+                deltas.encode(buf);
+                preemptions.encode(buf);
+                checks.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
@@ -363,6 +411,15 @@ impl Codec for ToCoord {
             10 => ToCoord::Trace {
                 payload: Bytes::decode(buf)?,
             },
+            11 => ToCoord::Delta {
+                dest: usize::decode(buf)?,
+                payload: Bytes::decode(buf)?,
+            },
+            12 => ToCoord::DeltaStats {
+                deltas: u64::decode(buf)?,
+                preemptions: u64::decode(buf)?,
+                checks: u64::decode(buf)?,
+            },
             _ => return Err(CodecError::Corrupt("unknown ToCoord tag")),
         })
     }
@@ -397,6 +454,12 @@ impl Codec for ToCoord {
             ToCoord::ReadPart { dir, part } => dir.encoded_len() + part.encoded_len(),
             ToCoord::Outcome(outcome) => outcome.encoded_len(),
             ToCoord::Trace { payload } => payload.encoded_len(),
+            ToCoord::Delta { dest, payload } => dest.encoded_len() + payload.encoded_len(),
+            ToCoord::DeltaStats {
+                deltas,
+                preemptions,
+                checks,
+            } => deltas.encoded_len() + preemptions.encoded_len() + checks.encoded_len(),
         }
     }
 }
@@ -437,11 +500,16 @@ impl Codec for ToWorker {
             }
             ToWorker::Poison => 8u8.encode(buf),
             ToWorker::Drain => 9u8.encode(buf),
+            ToWorker::Delta { src, payload } => {
+                10u8.encode(buf);
+                src.encode(buf);
+                payload.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
         Ok(match u8::decode(buf)? {
-            0 => ToWorker::Setup(WorkerSetup::decode(buf)?),
+            0 => ToWorker::Setup(Box::new(WorkerSetup::decode(buf)?)),
             1 => ToWorker::Segment {
                 src: usize::decode(buf)?,
                 payload: Bytes::decode(buf)?,
@@ -465,6 +533,10 @@ impl Codec for ToWorker {
             },
             8 => ToWorker::Poison,
             9 => ToWorker::Drain,
+            10 => ToWorker::Delta {
+                src: usize::decode(buf)?,
+                payload: Bytes::decode(buf)?,
+            },
             _ => return Err(CodecError::Corrupt("unknown ToWorker tag")),
         })
     }
@@ -482,6 +554,7 @@ impl Codec for ToWorker {
             ToWorker::PartErr { message } => message.encoded_len(),
             ToWorker::Poison => 0,
             ToWorker::Drain => 0,
+            ToWorker::Delta { src, payload } => src.encoded_len() + payload.encoded_len(),
         }
     }
 }
@@ -518,6 +591,9 @@ mod tests {
             delays: vec![(3, 250)],
             speed: 0.5,
             crash_after: Some(9),
+            accumulative: true,
+            delta_batch: 16,
+            check_every: 3,
         }
     }
 
@@ -565,11 +641,20 @@ mod tests {
         round_trip(ToCoord::Trace {
             payload: Bytes::from(vec![7; 56]),
         });
+        round_trip(ToCoord::Delta {
+            dest: 2,
+            payload: Bytes::from(vec![4; 24]),
+        });
+        round_trip(ToCoord::DeltaStats {
+            deltas: 120,
+            preemptions: 7,
+            checks: 1,
+        });
     }
 
     #[test]
     fn to_worker_round_trips() {
-        round_trip(ToWorker::Setup(sample_setup()));
+        round_trip(ToWorker::Setup(Box::new(sample_setup())));
         round_trip(ToWorker::Segment {
             src: 0,
             payload: Bytes::from(vec![5; 17]),
@@ -591,6 +676,10 @@ mod tests {
         });
         round_trip(ToWorker::Poison);
         round_trip(ToWorker::Drain);
+        round_trip(ToWorker::Delta {
+            src: 1,
+            payload: Bytes::new(),
+        });
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub struct Metrics {
     pub map_input_records: Counter,
     /// Records passed through user reduce functions.
     pub reduce_input_records: Counter,
+    /// Delta pairs propagated between tasks under the barrier-free
+    /// accumulative mode (Maiter-style delta shuffle).
+    pub deltas_sent: Counter,
+    /// Pending keys deferred past a full priority batch under the
+    /// accumulative mode's largest-delta-first scheduler.
+    pub priority_preemptions: Counter,
+    /// Global accumulated-progress termination checks performed under
+    /// the accumulative mode.
+    pub termination_checks: Counter,
 }
 
 impl Metrics {
@@ -91,7 +100,7 @@ impl Metrics {
     /// Every counter in declaration order. Whole-registry operations go
     /// through this list so a newly added counter cannot be forgotten
     /// by one of them.
-    fn counters(&self) -> [&Counter; 15] {
+    fn counters(&self) -> [&Counter; 18] {
         [
             &self.shuffle_remote_bytes,
             &self.shuffle_local_bytes,
@@ -108,6 +117,9 @@ impl Metrics {
             &self.recoveries,
             &self.map_input_records,
             &self.reduce_input_records,
+            &self.deltas_sent,
+            &self.priority_preemptions,
+            &self.termination_checks,
         ]
     }
 
@@ -143,6 +155,9 @@ impl Metrics {
             recoveries: self.recoveries.get(),
             map_input_records: self.map_input_records.get(),
             reduce_input_records: self.reduce_input_records.get(),
+            deltas_sent: self.deltas_sent.get(),
+            priority_preemptions: self.priority_preemptions.get(),
+            termination_checks: self.termination_checks.get(),
         }
     }
 }
@@ -184,6 +199,12 @@ pub struct MetricsSnapshot {
     pub map_input_records: u64,
     /// See [`Metrics::reduce_input_records`].
     pub reduce_input_records: u64,
+    /// See [`Metrics::deltas_sent`].
+    pub deltas_sent: u64,
+    /// See [`Metrics::priority_preemptions`].
+    pub priority_preemptions: u64,
+    /// See [`Metrics::termination_checks`].
+    pub termination_checks: u64,
 }
 
 impl MetricsSnapshot {
@@ -239,6 +260,13 @@ impl MetricsSnapshot {
             reduce_input_records: self
                 .reduce_input_records
                 .saturating_sub(earlier.reduce_input_records),
+            deltas_sent: self.deltas_sent.saturating_sub(earlier.deltas_sent),
+            priority_preemptions: self
+                .priority_preemptions
+                .saturating_sub(earlier.priority_preemptions),
+            termination_checks: self
+                .termination_checks
+                .saturating_sub(earlier.termination_checks),
         }
     }
 }

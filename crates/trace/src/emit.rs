@@ -125,6 +125,10 @@ fn data_json(kind: TraceKind) -> String {
         }
         TraceKind::Migration { from, to } => format!("{{\"from\":{from},\"to\":{to}}}"),
         TraceKind::Reconnect { generation } => format!("{{\"generation\":{generation}}}"),
+        TraceKind::DeltaRound { deltas } => format!("{{\"deltas\":{deltas}}}"),
+        TraceKind::TerminationCheck { progress_bits } => {
+            format!("{{\"progress\":{}}}", f64::from_bits(progress_bits))
+        }
         TraceKind::IterStart
         | TraceKind::IterEnd
         | TraceKind::MapPhase

@@ -88,6 +88,20 @@ pub enum TraceKind {
         /// Generation number presented in the new handshake.
         generation: u64,
     },
+    /// One barrier-free accumulative round on one task: select the
+    /// highest-priority pending deltas, apply them, propagate the
+    /// extracted deltas to peers (spans the round).
+    DeltaRound {
+        /// Delta pairs this task sent to peers during the round.
+        deltas: u64,
+    },
+    /// One global accumulated-progress termination check under the
+    /// accumulative mode.
+    TerminationCheck {
+        /// This task's local pending progress at the check, as the
+        /// `f64::to_bits` pattern (lossless across the wire codec).
+        progress_bits: u64,
+    },
 }
 
 impl TraceKind {
@@ -106,6 +120,8 @@ impl TraceKind {
             TraceKind::Migration { .. } => "Migration",
             TraceKind::StallDetected => "StallDetected",
             TraceKind::Reconnect { .. } => "Reconnect",
+            TraceKind::DeltaRound { .. } => "DeltaRound",
+            TraceKind::TerminationCheck { .. } => "TerminationCheck",
         }
     }
 
@@ -125,6 +141,8 @@ impl TraceKind {
             TraceKind::Migration { .. } => 8,
             TraceKind::StallDetected => 9,
             TraceKind::Reconnect { .. } => 10,
+            TraceKind::DeltaRound { .. } => 11,
+            TraceKind::TerminationCheck { .. } => 12,
         }
     }
 
@@ -138,6 +156,8 @@ impl TraceKind {
             TraceKind::Checkpoint { epoch } | TraceKind::Rollback { epoch } => (epoch, 0),
             TraceKind::Migration { from, to } => (from as u64, to as u64),
             TraceKind::Reconnect { generation } => (generation, 0),
+            TraceKind::DeltaRound { deltas } => (deltas, 0),
+            TraceKind::TerminationCheck { progress_bits } => (progress_bits, 0),
             TraceKind::IterStart
             | TraceKind::IterEnd
             | TraceKind::MapPhase
@@ -162,6 +182,8 @@ impl TraceKind {
             },
             9 => TraceKind::StallDetected,
             10 => TraceKind::Reconnect { generation: a },
+            11 => TraceKind::DeltaRound { deltas: a },
+            12 => TraceKind::TerminationCheck { progress_bits: a },
             _ => return None,
         })
     }
@@ -277,6 +299,10 @@ mod tests {
             TraceKind::Migration { from: 1, to: 3 },
             TraceKind::StallDetected,
             TraceKind::Reconnect { generation: 2 },
+            TraceKind::DeltaRound { deltas: 12 },
+            TraceKind::TerminationCheck {
+                progress_bits: 0.25f64.to_bits(),
+            },
         ]
     }
 

@@ -101,7 +101,9 @@ impl TraceReport {
                 TraceKind::Reconnect { .. } => report.reconnects += 1,
                 TraceKind::StateHandoff { .. }
                 | TraceKind::Broadcast { .. }
-                | TraceKind::Checkpoint { .. } => {}
+                | TraceKind::Checkpoint { .. }
+                | TraceKind::DeltaRound { .. }
+                | TraceKind::TerminationCheck { .. } => {}
             }
         }
         report.async_overlap = async_overlap_score(events);

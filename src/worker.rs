@@ -15,12 +15,19 @@
 //! * `sssp` — single-source shortest path (one2one, async-friendly)
 //! * `pagerank <num_nodes>` — PageRank over `num_nodes` nodes
 //! * `kmeans <0|1>` — K-means, with (`1`) or without (`0`) the combiner
+//! * `concomp` — connected components by HashMin label propagation
+//!
+//! Accumulative-capable jobs (`sssp`, `pagerank`, `concomp`) are served
+//! through [`imr_native::serve_worker_accum`], so the same worker binary
+//! runs them in either the map/reduce loop or the barrier-free delta
+//! loop — the coordinator's setup frame picks the mode.
 
 use imapreduce::{Emitter, IterativeJob, StateInput};
+use imr_algorithms::concomp::ConCompIter;
 use imr_algorithms::kmeans::KmeansIter;
 use imr_algorithms::pagerank::PageRankIter;
 use imr_algorithms::sssp::SsspIter;
-use imr_native::serve_worker;
+use imr_native::{serve_worker, serve_worker_accum};
 
 /// Each key's state is halved every iteration; the distance is the
 /// summed absolute change. A minimal deterministic job for exercising
@@ -63,15 +70,16 @@ pub fn serve_from_args(args: &[String]) -> Result<(), String> {
     let params = &args[5..];
     match args[4].as_str() {
         "halve" => serve_worker(&Halve, addr, pair, generation, job_id),
-        "sssp" => serve_worker(&SsspIter, addr, pair, generation, job_id),
+        "sssp" => serve_worker_accum(&SsspIter, addr, pair, generation, job_id),
         "pagerank" => {
             let n: u64 = params
                 .first()
                 .ok_or("pagerank needs <num_nodes>")?
                 .parse()
                 .map_err(|e| format!("bad num_nodes: {e}"))?;
-            serve_worker(&PageRankIter::new(n), addr, pair, generation, job_id)
+            serve_worker_accum(&PageRankIter::new(n), addr, pair, generation, job_id)
         }
+        "concomp" => serve_worker_accum(&ConCompIter, addr, pair, generation, job_id),
         "kmeans" => {
             let combiner = params.first().is_some_and(|p| p == "1");
             serve_worker(&KmeansIter { combiner }, addr, pair, generation, job_id)

@@ -3,13 +3,14 @@
 //! sequential references.
 
 use imapreduce::{FailureEvent, IterConfig, IterEngine, IterOutcome, LoadBalance, WatchdogConfig};
+use imr_algorithms::concomp::ConCompIter;
 use imr_algorithms::kmeans::{KmState, KmeansIter};
 use imr_algorithms::pagerank::PageRankIter;
 use imr_algorithms::sssp::SsspIter;
 use imr_algorithms::testutil::{
     imr_runner, imr_runner_on, mr_runner, native_runner, native_runner_on,
 };
-use imr_algorithms::{jacobi, kmeans, matpower, pagerank, sssp};
+use imr_algorithms::{concomp, jacobi, kmeans, matpower, pagerank, sssp};
 use imr_graph::{dataset, generate_matrix, generate_points, Graph};
 use imr_mapreduce::EngineError;
 use imr_native::{NativeRunner, WorkerSpec};
@@ -596,6 +597,159 @@ fn run_remote_rejects_channel_transport_config() {
     match err {
         EngineError::Config(msg) => assert!(msg.contains("with_tcp_transport"), "{msg}"),
         other => panic!("expected a configuration error, got {other}"),
+    }
+}
+
+/// Asserts two delta-mode outcomes are bit-identical: same values in
+/// the same key order, same check count, same distance trace.
+fn assert_same_outcome<S: PartialEq + std::fmt::Debug>(
+    label: &str,
+    a: &IterOutcome<u32, S>,
+    b: &IterOutcome<u32, S>,
+) {
+    assert_eq!(a.final_state, b.final_state, "{label}: states diverge");
+    assert_eq!(a.iterations, b.iterations, "{label}: check counts diverge");
+    assert_eq!(a.distances, b.distances, "{label}: progress traces diverge");
+}
+
+/// Barrier-free delta-accumulative PageRank (Maiter-style §3.3 taken to
+/// its limit): the virtual-time sim, the native channel fabric and the
+/// TCP worker processes agree bit-for-bit with each other, terminate
+/// before the check cap, and land within the detector bound of the
+/// synchronous fixpoint — at every task count.
+#[test]
+fn delta_pagerank_bounded_by_sync_fixpoint_on_all_engines() {
+    let g = dataset("Google").unwrap().generate(0.003);
+    let nodes = g.num_nodes().to_string();
+    let eps = 1e-10;
+    let sync_cfg = IterConfig::new("pr", 4, 400).with_distance_threshold(eps);
+    let sync = pagerank::run_pagerank_imr(&imr_runner(4), &g, &sync_cfg).unwrap();
+
+    for tasks in [1usize, 4] {
+        let cfg = IterConfig::new("prd", tasks, 400)
+            .with_accumulative_mode()
+            .with_distance_threshold(eps);
+        let a = pagerank::run_pagerank_delta(&imr_runner(4), &g, &cfg).unwrap();
+        let b = pagerank::run_pagerank_delta(&native_runner(4), &g, &cfg).unwrap();
+        let tcp_rt = native_runner(4);
+        pagerank::load_pagerank_imr(&tcp_rt, &g, tasks, "/s", "/t").unwrap();
+        let c = tcp_rt
+            .run_remote(
+                &PageRankIter::new(g.num_nodes() as u64),
+                &worker_spec(&["pagerank", &nodes]),
+                &cfg.clone().with_tcp_transport(),
+                "/s",
+                "/t",
+                "/o",
+                &[],
+            )
+            .unwrap();
+        assert_same_outcome(&format!("sim vs native, tasks={tasks}"), &a, &b);
+        assert_same_outcome(&format!("sim vs tcp, tasks={tasks}"), &a, &c);
+        assert!(a.iterations < 400, "detector must fire before the cap");
+        assert_eq!(a.final_state.len(), sync.final_state.len());
+        for ((k1, v1), (k2, v2)) in sync.final_state.iter().zip(&a.final_state) {
+            assert_eq!(k1, k2);
+            assert!(
+                (v1 - v2).abs() < 1e-8,
+                "node {k1}: sync={v1} delta={v2} tasks={tasks}"
+            );
+        }
+    }
+}
+
+/// Delta-accumulative SSSP (⊕ = min): all three backends agree
+/// bit-for-bit and the fixpoint equals the Dijkstra reference.
+#[test]
+fn delta_sssp_matches_dijkstra_on_all_engines() {
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let expect = sssp::reference_sssp(&g, 0);
+    for tasks in [1usize, 4] {
+        let cfg = IterConfig::new("ssspd", tasks, 400)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-9);
+        let a = sssp::run_sssp_delta(&imr_runner(4), &g, 0, &cfg).unwrap();
+        let b = sssp::run_sssp_delta(&native_runner(4), &g, 0, &cfg).unwrap();
+        let tcp_rt = native_runner(4);
+        sssp::load_sssp_imr(&tcp_rt, &g, 0, tasks, "/s", "/t").unwrap();
+        let c = tcp_rt
+            .run_remote(
+                &SsspIter,
+                &worker_spec(&["sssp"]),
+                &cfg.clone().with_tcp_transport(),
+                "/s",
+                "/t",
+                "/o",
+                &[],
+            )
+            .unwrap();
+        assert_same_outcome(&format!("sim vs native, tasks={tasks}"), &a, &b);
+        assert_same_outcome(&format!("sim vs tcp, tasks={tasks}"), &a, &c);
+        assert!(a.iterations < 400, "detector must fire before the cap");
+        for (k, d) in &a.final_state {
+            let e = expect[*k as usize];
+            assert!(
+                (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                "node {k}: delta={d} dijkstra={e} tasks={tasks}"
+            );
+        }
+    }
+}
+
+/// Delta-accumulative connected components (⊕ = min over labels): all
+/// three backends agree bit-for-bit and match the synchronous HashMin
+/// fixpoint exactly — labels are integers, so there is no float slack.
+#[test]
+fn delta_concomp_matches_sync_fixpoint_on_all_engines() {
+    let g = dataset("DBLP").unwrap().generate(0.005);
+    let sync = concomp::run_concomp_imr(&imr_runner(4), &g, 4, 200).unwrap();
+    for tasks in [1usize, 4] {
+        let a = concomp::run_concomp_delta(&imr_runner(4), &g, tasks, 200).unwrap();
+        let b = concomp::run_concomp_delta(&native_runner(4), &g, tasks, 200).unwrap();
+        let tcp_rt = native_runner(4);
+        concomp::load_concomp_imr(&tcp_rt, &g, tasks, "/s", "/t").unwrap();
+        let cfg = IterConfig::new("ccd", tasks, 200)
+            .with_accumulative_mode()
+            .with_distance_threshold(0.5)
+            .with_tcp_transport();
+        let c = tcp_rt
+            .run_remote(
+                &ConCompIter,
+                &worker_spec(&["concomp"]),
+                &cfg,
+                "/s",
+                "/t",
+                "/o",
+                &[],
+            )
+            .unwrap();
+        assert_same_outcome(&format!("sim vs native, tasks={tasks}"), &a, &b);
+        assert_same_outcome(&format!("sim vs tcp, tasks={tasks}"), &a, &c);
+        assert!(a.iterations < 200, "detector must fire before the cap");
+        assert_eq!(sync.final_state, a.final_state, "tasks={tasks}");
+    }
+}
+
+/// The sim keeps its virtual-time reproducibility contract in delta
+/// mode: two runs of the same config on fresh runners are bit-identical
+/// in values, progress traces, check counts and simulated wall-clock,
+/// including under batched priority scheduling and sparser checks.
+#[test]
+fn delta_sim_is_bit_reproducible_across_runs() {
+    let g = dataset("Google").unwrap().generate(0.003);
+    for (batch, every) in [(0usize, 1usize), (64, 2)] {
+        let cfg = IterConfig::new("prd", 4, 400)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-10)
+            .with_delta_batch(batch)
+            .with_check_every(every);
+        let a = pagerank::run_pagerank_delta(&imr_runner(4), &g, &cfg).unwrap();
+        let b = pagerank::run_pagerank_delta(&imr_runner(4), &g, &cfg).unwrap();
+        assert_same_outcome(&format!("batch={batch} every={every}"), &a, &b);
+        assert_eq!(
+            a.report.finished, b.report.finished,
+            "virtual time must be reproducible (batch={batch} every={every})"
+        );
     }
 }
 

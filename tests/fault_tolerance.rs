@@ -453,6 +453,136 @@ fn tcp_unscripted_worker_crash_recovers_exactly() {
     assert_eq!(clean.distances, crashed.distances);
 }
 
+/// Delta-mode fault fixture: PageRank in barrier-free accumulative
+/// mode converges over dozens of termination checks at this threshold,
+/// leaving plenty of mid-propagation room for a scripted fault at
+/// check 3 with checkpoints every 2 checks.
+fn delta_cfg() -> IterConfig {
+    IterConfig::new("prd", 4, 400)
+        .with_accumulative_mode()
+        .with_distance_threshold(1e-6)
+        .with_checkpoint_interval(2)
+        .with_watchdog(WatchdogConfig {
+            poll: Duration::from_millis(5),
+            stall_timeout: Duration::from_secs(2),
+        })
+}
+
+/// Runs delta-mode PageRank on a fresh native runner with `faults`,
+/// over channels (`tcp == false`) or worker processes (`tcp == true`),
+/// returning the outcome, the rollback-span count from the trace, and
+/// the flight-recorder artifact the rollback dumped into the DFS (if
+/// any).
+fn run_delta_faulted(
+    g: &imr_graph::Graph,
+    faults: &[FaultEvent],
+    tcp: bool,
+) -> (imapreduce::IterOutcome<u32, f64>, usize, Option<String>) {
+    use imr_algorithms::pagerank::{self, PageRankIter};
+    use imr_trace::{TraceBuffer, TraceKind};
+    use std::sync::Arc;
+
+    let trace = Arc::new(TraceBuffer::with_capacity(1 << 16));
+    let runner = native_runner(4).with_trace(Arc::clone(&trace));
+    pagerank::load_pagerank_imr(&runner, g, 4, "/s", "/t").unwrap();
+    let job = PageRankIter::new(g.num_nodes() as u64);
+    let out = if tcp {
+        let nodes = g.num_nodes().to_string();
+        let spec = WorkerSpec::new(
+            env!("CARGO_BIN_EXE_imr-worker"),
+            vec!["pagerank".to_owned(), nodes],
+        );
+        runner
+            .run_remote(
+                &job,
+                &spec,
+                &delta_cfg().with_tcp_transport(),
+                "/s",
+                "/t",
+                "/o",
+                faults,
+            )
+            .unwrap()
+    } else {
+        runner
+            .run_accumulative(&job, &delta_cfg(), "/s", "/t", "/o", faults)
+            .unwrap()
+    };
+    let rollbacks = trace
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Rollback { .. }))
+        .count();
+    let mut clock = imr_simcluster::TaskClock::default();
+    let flight = runner
+        .dfs()
+        .read(&imr_trace::flight_path("/o", 0), NodeId(0), &mut clock)
+        .ok()
+        .map(|b| String::from_utf8_lossy(&b).into_owned());
+    (out, rollbacks, flight)
+}
+
+/// A scripted kill mid-delta-propagation, on the channel fabric and on
+/// TCP worker processes: recovery rolls the per-key (value, delta)
+/// stores back to the last checkpointed epoch, the recovered run is
+/// bit-identical to the clean one, and the incident leaves exactly one
+/// `Rollback` trace span plus a flight-recorder artifact in the DFS.
+#[test]
+fn delta_kill_recovers_with_one_rollback_on_channel_and_tcp() {
+    let g = dataset("Google").unwrap().generate(0.002);
+    let kill = [FaultEvent::Kill {
+        node: NodeId(1),
+        at_iteration: 3,
+    }];
+    for tcp in [false, true] {
+        let label = if tcp { "tcp" } else { "channel" };
+        let (clean, clean_rollbacks, _) = run_delta_faulted(&g, &[], tcp);
+        let (killed, rollbacks, flight) = run_delta_faulted(&g, &kill, tcp);
+        assert!(clean.iterations < 400, "{label}: clean run must converge");
+        assert_eq!(clean_rollbacks, 0, "{label}: clean run must not roll back");
+        assert_eq!(killed.recoveries, 1, "{label}: one kill, one recovery");
+        assert_eq!(rollbacks, 1, "{label}: exactly one Rollback span");
+        let flight = flight.unwrap_or_else(|| panic!("{label}: flight artifact missing"));
+        assert!(
+            flight.contains("Rollback"),
+            "{label}: flight artifact must contain the Rollback event"
+        );
+        assert_eq!(clean.final_state, killed.final_state, "{label}");
+        assert_eq!(clean.iterations, killed.iterations, "{label}");
+        assert_eq!(clean.distances, killed.distances, "{label}");
+    }
+}
+
+/// A scripted hang mid-delta-propagation: only the watchdog's stall
+/// timeout can notice it (the pair goes silent between heartbeats), and
+/// recovery is identical to the kill case — one `Rollback` span, one
+/// flight artifact, bit-identical converged result — on both the
+/// channel fabric and TCP worker processes.
+#[test]
+fn delta_hang_recovers_with_one_rollback_on_channel_and_tcp() {
+    let g = dataset("Google").unwrap().generate(0.002);
+    let hang = [FaultEvent::Hang {
+        node: NodeId(2),
+        at_iteration: 3,
+    }];
+    for tcp in [false, true] {
+        let label = if tcp { "tcp" } else { "channel" };
+        let (clean, _, _) = run_delta_faulted(&g, &[], tcp);
+        let (hung, rollbacks, flight) = run_delta_faulted(&g, &hang, tcp);
+        assert_eq!(hung.recoveries, 1, "{label}: one hang, one recovery");
+        assert_eq!(rollbacks, 1, "{label}: exactly one Rollback span");
+        assert!(
+            flight
+                .unwrap_or_else(|| panic!("{label}: flight artifact missing"))
+                .contains("Rollback"),
+            "{label}: flight artifact must contain the Rollback event"
+        );
+        assert_eq!(clean.final_state, hung.final_state, "{label}");
+        assert_eq!(clean.iterations, hung.iterations, "{label}");
+        assert_eq!(clean.distances, hung.distances, "{label}");
+    }
+}
+
 #[test]
 fn dfs_survives_node_loss_with_replication() {
     // The static data is replicated on the DFS, so losing a node must

@@ -251,7 +251,11 @@ fn drained_worker_exits_cleanly_without_outcome() {
         }
         other => panic!("expected Hello, got {other:?}"),
     }
-    write_frame(&mut sock, &ToWorker::Setup(dummy_setup()).to_bytes()).unwrap();
+    write_frame(
+        &mut sock,
+        &ToWorker::Setup(Box::new(dummy_setup())).to_bytes(),
+    )
+    .unwrap();
     write_frame(&mut sock, &ToWorker::Drain.to_bytes()).unwrap();
 
     // The worker may flush frames (beats, trace) before closing, but a
@@ -286,7 +290,11 @@ fn worker_survives_coordinator_disconnect() {
         ToCoord::decode(&mut hello).unwrap(),
         ToCoord::Hello { .. }
     ));
-    write_frame(&mut sock, &ToWorker::Setup(dummy_setup()).to_bytes()).unwrap();
+    write_frame(
+        &mut sock,
+        &ToWorker::Setup(Box::new(dummy_setup())).to_bytes(),
+    )
+    .unwrap();
     drop(sock); // Coordinator dies without a word.
 
     let status = wait_with_deadline(&mut child, Duration::from_secs(20));
@@ -312,6 +320,9 @@ fn dummy_setup() -> WorkerSetup {
         delays: vec![],
         speed: 1.0,
         crash_after: None,
+        accumulative: false,
+        delta_batch: 0,
+        check_every: 1,
     }
 }
 

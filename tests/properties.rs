@@ -203,4 +203,167 @@ proptest! {
         prop_assert_eq!(a.distances, b.distances);
         prop_assert_eq!(a.iterations, b.iterations);
     }
+
+    /// Delta-accumulative SSSP under arbitrary delta arrival orders:
+    /// random batch sizes, check cadences and task counts reshuffle
+    /// which deltas travel when, but ⊕ = min is associative and
+    /// commutative, so every schedule reaches the same Dijkstra
+    /// fixpoint — and sim and native agree bit-for-bit per schedule.
+    #[test]
+    fn delta_schedules_converge_to_the_same_fixpoint(
+        seed in any::<u64>(),
+        n in 20usize..60,
+        batch in 0usize..48,
+        every in 1usize..4,
+        tasks in 1usize..5,
+    ) {
+        let g = generate_weighted_graph(n, n as u64 * 3, sssp_degree_dist(), sssp_weight_dist(), seed);
+        let cfg = IterConfig::new("ssspd", tasks, 200)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-9)
+            .with_delta_batch(batch)
+            .with_check_every(every);
+        let sim = sssp::run_sssp_delta(&imr_runner(2), &g, 0, &cfg).unwrap();
+        let nat = sssp::run_sssp_delta(&native_runner(2), &g, 0, &cfg).unwrap();
+        prop_assert_eq!(&sim.final_state, &nat.final_state);
+        prop_assert_eq!(sim.iterations, nat.iterations);
+        prop_assert_eq!(&sim.distances, &nat.distances);
+        let expect = sssp::reference_sssp(&g, 0);
+        for (k, d) in &sim.final_state {
+            let e = expect[*k as usize];
+            prop_assert!(
+                (d - e).abs() < 1e-9 || (d.is_infinite() && e.is_infinite()),
+                "node {}: delta={} dijkstra={} batch={} every={} tasks={}",
+                k, d, e, batch, every, tasks
+            );
+        }
+    }
+
+    /// Random kill/hang schedules mid-delta-propagation on the native
+    /// backend: checkpoint rollback restores the per-key (value, delta)
+    /// store, so the recovered run is bit-identical to a clean one —
+    /// same values, same check count, same progress trace.
+    #[test]
+    fn delta_fault_schedules_are_invisible(
+        seed in any::<u64>(),
+        n in 20usize..60,
+        schedule in proptest::collection::vec((0u32..4, 1usize..6, any::<bool>()), 0..3),
+    ) {
+        let g = generate_graph(n, n as u64 * 3, pagerank_degree_dist(), seed);
+        let mut faults: Vec<FaultEvent> = schedule
+            .iter()
+            .map(|&(node, at, hang)| if hang {
+                FaultEvent::Hang { node: NodeId(node), at_iteration: at }
+            } else {
+                FaultEvent::Kill { node: NodeId(node), at_iteration: at }
+            })
+            .collect();
+        // One guaranteed hang so every case recovers at least once
+        // (PageRank at this threshold always runs well past check 3).
+        faults.push(FaultEvent::Hang { node: NodeId(1), at_iteration: 3 });
+
+        let cfg = IterConfig::new("prd", 4, 400)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-6)
+            .with_checkpoint_interval(2)
+            .with_watchdog(WatchdogConfig {
+                poll: Duration::from_millis(5),
+                stall_timeout: Duration::from_millis(150),
+            });
+        let failed = {
+            let r = native_runner(4);
+            pagerank::load_pagerank_imr(&r, &g, 4, "/s", "/t").unwrap();
+            let job = pagerank::PageRankIter::new(g.num_nodes() as u64);
+            r.run_accumulative(&job, &cfg, "/s", "/t", "/o", &faults).unwrap()
+        };
+        let clean = {
+            let r = native_runner(4);
+            pagerank::load_pagerank_imr(&r, &g, 4, "/s", "/t").unwrap();
+            let job = pagerank::PageRankIter::new(g.num_nodes() as u64);
+            r.run_accumulative(&job, &cfg, "/s", "/t", "/o", &[]).unwrap()
+        };
+        prop_assert!(failed.recoveries >= 1, "forced hang never fired");
+        prop_assert_eq!(&failed.final_state, &clean.final_state);
+        prop_assert_eq!(failed.iterations, clean.iterations);
+        prop_assert_eq!(&failed.distances, &clean.distances);
+    }
+}
+
+/// Every engine rejects the unsupported accumulative combinations with
+/// a configuration error instead of running: the map/reduce entry
+/// points refuse an accumulative config, `run_accumulative` refuses a
+/// non-accumulative one, the in-process entry refuses the TCP
+/// transport, and the sim refuses fault scripts in delta mode.
+#[test]
+fn delta_validation_rejects_unsupported_combos_on_every_engine() {
+    use imapreduce::{EngineError, IterEngine};
+    use imr_algorithms::sssp::SsspIter;
+
+    let g = generate_weighted_graph(24, 72, sssp_degree_dist(), sssp_weight_dist(), 7);
+    let acc = IterConfig::new("ssspd", 2, 10)
+        .with_accumulative_mode()
+        .with_distance_threshold(1e-9);
+    let plain = IterConfig::new("sssp", 2, 10);
+    fn expect_config<T>(r: Result<T, EngineError>, needle: &str) {
+        match r {
+            Err(EngineError::Config(msg)) => assert!(msg.contains(needle), "{msg}"),
+            Err(other) => panic!("expected a Config error, got {other}"),
+            Ok(_) => panic!("expected a Config error, got success"),
+        }
+    }
+
+    let sim = imr_runner(2);
+    sssp::load_sssp_imr(&sim, &g, 0, 2, "/s", "/t").unwrap();
+    expect_config(
+        sim.run(&SsspIter, &acc, "/s", "/t", "/o", &[]),
+        "use run_accumulative",
+    );
+    expect_config(
+        IterEngine::run_accumulative(&sim, &SsspIter, &plain, "/s", "/t", "/o", &[]),
+        "with_accumulative_mode",
+    );
+    let kill = [FaultEvent::Kill {
+        node: NodeId(0),
+        at_iteration: 1,
+    }];
+    expect_config(
+        IterEngine::run_accumulative(&sim, &SsspIter, &acc, "/s", "/t", "/o", &kill),
+        "native backend",
+    );
+
+    let nat = native_runner(2);
+    sssp::load_sssp_imr(&nat, &g, 0, 2, "/s", "/t").unwrap();
+    expect_config(
+        nat.run(&SsspIter, &acc, "/s", "/t", "/o", &[]),
+        "use run_accumulative",
+    );
+    expect_config(
+        nat.run_faults(&SsspIter, &acc, "/s", "/t", "/o", &[]),
+        "use run_accumulative",
+    );
+    expect_config(
+        nat.run_accumulative(&SsspIter, &plain, "/s", "/t", "/o", &[]),
+        "with_accumulative_mode",
+    );
+    expect_config(
+        nat.run_accumulative(
+            &SsspIter,
+            &acc.clone().with_tcp_transport(),
+            "/s",
+            "/t",
+            "/o",
+            &[],
+        ),
+        "run_remote",
+    );
+
+    // Config-level combos are rejected before any engine is involved.
+    for bad in [
+        acc.clone().with_one2all(),
+        acc.clone().with_sync_maps(),
+        acc.clone().with_check_every(0),
+        IterConfig::new("ssspd", 2, 10).with_accumulative_mode(),
+    ] {
+        expect_config(bad.validate(&[]), "accumulative");
+    }
 }

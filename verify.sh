@@ -14,6 +14,7 @@
 #   ./verify.sh bench --record   # …and record BENCH_<date>.json at repo root
 #   ./verify.sh trace      # tracing suites + trace_timeline smoke-run
 #   ./verify.sh service    # job-service suites, serial, + CLI smoke
+#   ./verify.sh delta      # delta-accumulative suites, serial, under timeout
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -66,7 +67,7 @@ cmd_bench() {
     table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
     fig13 fig14 fig16 fig18 fig20 ablation
     native_scaling native_recovery native_balance native_transport
-    jobs_throughput
+    native_delta jobs_throughput
   )
   local rows=()
   for bin in "${bins[@]}"; do
@@ -159,6 +160,23 @@ cmd_service() {
   echo "service: suites + CLI smoke passed"
 }
 
+# The barrier-free delta-accumulative mode end to end (DESIGN.md §11):
+# the core delta-store/config units, the per-algorithm accumulative
+# fixpoint tests, bench counter-reset hygiene, cross-engine exactness
+# (sim / channel / TCP bit-identity, release codegen), scheduling and
+# validation properties, and kill/hang recovery mid-delta-propagation.
+# Serial under timeouts: the fault suites spawn real worker threads and
+# processes, so a regression must fail cleanly, never hang CI.
+cmd_delta() {
+  timeout 600 cargo test -q -p imapreduce accum -- --test-threads=1
+  timeout 600 cargo test -q -p imr-algorithms accumulative -- --test-threads=1
+  timeout 600 cargo test -q -p imr-bench --test metrics_reset -- --test-threads=1
+  timeout 900 cargo test -q --release --test cross_engine delta_ -- --test-threads=1
+  timeout 600 cargo test -q --test properties delta_ -- --test-threads=1
+  timeout 900 cargo test -q --test fault_tolerance delta_ -- --test-threads=1
+  echo "delta: accumulative-mode suites passed"
+}
+
 cmd_all() {
   cmd_fmt
   cmd_lint
@@ -168,14 +186,15 @@ cmd_all() {
   cmd_bench
   cmd_trace
   cmd_service
+  cmd_delta
 }
 
 case "${1:-all}" in
-  fmt | lint | build | test | faults | bench | trace | service | all)
+  fmt | lint | build | test | faults | bench | trace | service | delta | all)
     "cmd_${1:-all}" "${@:2}"
     ;;
   *)
-    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|all] [--record]" >&2
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|all] [--record]" >&2
     exit 2
     ;;
 esac
