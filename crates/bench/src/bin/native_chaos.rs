@@ -1,0 +1,147 @@
+//! Chaos-resilience of the TCP backend: the same SSSP job on a clean
+//! wire vs under seeded network-chaos schedules of increasing fault
+//! rate (frame drops, bit flips, duplicates and mid-frame resets
+//! injected by the coordinator's chaos layer).
+//!
+//! Every chaotic run must converge to the exact final state of the
+//! clean run — corruption is detected by the frame CRC, torn down, and
+//! replayed from the last checkpoint — so the binary asserts
+//! bit-identical results before reporting. The y axis is real host
+//! seconds; the gap between the clean row and a chaotic row is the
+//! honest price of the injected faults (teardowns, respawns and
+//! rollback replay).
+//!
+//! The worker binary is resolved from `IMR_WORKER_BIN` or, by default,
+//! as the `imr-worker` sibling of this executable in the same target
+//! directory.
+
+use imapreduce::{ChaosConfig, IterConfig, NetPolicy, WatchdogConfig};
+use imr_algorithms::sssp::{self, SsspIter};
+use imr_bench::{report_metrics, BenchOpts, FigureResult};
+use imr_dfs::Dfs;
+use imr_graph::dataset;
+use imr_native::{NativeRunner, WorkerSpec};
+use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Injected fault rate per frame (drop + corrupt + duplicate each get
+/// this rate; reset gets half). 0.0 is the clean baseline row.
+const RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+const TASKS: usize = 2;
+const CHAOS_SEED: u64 = 42;
+const CHAOS_BUDGET: u64 = 3;
+
+fn runner() -> NativeRunner {
+    let spec = Arc::new(ClusterSpec::local(1));
+    let metrics: MetricsHandle = Arc::new(Metrics::default());
+    let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 1, 1 << 26);
+    NativeRunner::new(dfs, metrics)
+}
+
+fn worker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("IMR_WORKER_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("imr-worker");
+    p
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = opts.scale_or(0.02);
+    let iters = opts.iters_or(5);
+    let bin = worker_bin();
+    assert!(
+        bin.exists(),
+        "worker binary not found at {} — build the whole workspace first \
+         (cargo build --release) or point IMR_WORKER_BIN at imr-worker",
+        bin.display()
+    );
+
+    let mut fig = FigureResult::new(
+        "native_chaos",
+        "TCP backend under seeded network chaos: fault rate vs wall-clock",
+        "injected fault rate per frame",
+        "wall-clock seconds",
+    );
+    fig.note(format!(
+        "scale={scale}, iterations={iters}, pairs={TASKS}; SSSP over TCP worker \
+         processes, chaos seed {CHAOS_SEED}, teardown budget {CHAOS_BUDGET}"
+    ));
+    fig.note(
+        "every chaotic run must converge to the clean run's final state \
+         bit-for-bit (asserted): CRC-detected corruption tears the link \
+         down and replays from the last checkpoint",
+    );
+
+    let g = dataset("SSSP-s").unwrap().generate(scale);
+    println!(
+        "SSSP-s @ scale {scale}: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Retry budget must outlast the chaos budget or heavy schedules
+    // exhaust the supervisor before the wire goes clean.
+    let policy = NetPolicy {
+        retry_budget: CHAOS_BUDGET as u32 + 7,
+        ..NetPolicy::default()
+    };
+
+    let mut points = Vec::new();
+    let mut clean_state = None;
+    let mut last_metrics = None;
+    for rate in RATES {
+        let mut cfg = IterConfig::new("sssp-chaos", TASKS, iters)
+            .with_tcp_transport()
+            .with_checkpoint_interval(2)
+            .with_net_policy(policy);
+        if rate > 0.0 {
+            let chaos = ChaosConfig::seeded(CHAOS_SEED)
+                .with_drop_rate(rate)
+                .with_corrupt_rate(rate)
+                .with_duplicate_rate(rate)
+                .with_reset_rate(rate / 2.0)
+                .with_budget(CHAOS_BUDGET);
+            cfg = cfg
+                .with_chaos(chaos)
+                .with_watchdog(WatchdogConfig::default());
+        }
+
+        let rt = runner();
+        sssp::load_sssp_imr(&rt, &g, 0, TASKS, "/s", "/t").expect("load");
+        let spec = WorkerSpec::new(bin.clone(), vec!["sssp".to_owned()]);
+        let t0 = Instant::now();
+        let out = rt
+            .run_remote(&SsspIter, &spec, &cfg, "/s", "/t", "/o", &[])
+            .expect("chaotic run must complete within the retry budget");
+        let secs = t0.elapsed().as_secs_f64();
+
+        match &clean_state {
+            None => clean_state = Some(out.final_state.clone()),
+            Some(clean) => assert_eq!(
+                clean, &out.final_state,
+                "chaotic run at rate {rate} diverged from the clean run"
+            ),
+        }
+        let snap = rt.metrics().snapshot();
+        println!(
+            "  rate {rate:.2}: {secs:.3} s, corrupt_frames={}, \
+             reconnect_attempts={}, chaos_injections={}",
+            snap.corrupt_frames, snap.reconnect_attempts, snap.chaos_injections
+        );
+        points.push((rate, secs));
+        last_metrics = Some(snap);
+    }
+    fig.push_series("sssp over tcp (chaos-injected)", points);
+    report_metrics(
+        &mut fig,
+        &format!("rate {:.2}", RATES[RATES.len() - 1]),
+        &last_metrics.unwrap_or_default(),
+    );
+    fig.emit(&opts.out_root);
+}

@@ -176,6 +176,9 @@ mod tests {
             .find(|n| n.contains("fault counters"))
             .expect("fault counter note");
         assert!(note.contains("migrations=") && note.contains("recoveries="));
+        assert!(note.contains("corrupt_frames=") && note.contains("reconnect_attempts="));
+        assert!(note.contains("retries_exhausted="));
+        assert!(note.contains("chaos_injections=") && note.contains("hellos_rejected="));
         let back = crate::FigureResult::from_json_str(&fig.to_json().to_string_pretty()).unwrap();
         assert!(back.notes.iter().any(|n| n.contains("stalls_detected=")));
     }

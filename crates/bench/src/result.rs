@@ -212,8 +212,17 @@ pub fn final_y(points: &[(f64, f64)]) -> f64 {
 /// so each label counts only its own run.
 pub fn report_metrics(fig: &mut FigureResult, label: &str, m: &imr_simcluster::MetricsSnapshot) {
     fig.note(format!(
-        "fault counters [{label}]: migrations={}, stalls_detected={}, recoveries={}",
-        m.migrations, m.stalls_detected, m.recoveries
+        "fault counters [{label}]: migrations={}, stalls_detected={}, recoveries={}, \
+         corrupt_frames={}, reconnect_attempts={}, retries_exhausted={}, \
+         chaos_injections={}, hellos_rejected={}",
+        m.migrations,
+        m.stalls_detected,
+        m.recoveries,
+        m.corrupt_frames,
+        m.reconnect_attempts,
+        m.retries_exhausted,
+        m.chaos_injections,
+        m.hellos_rejected
     ));
 }
 

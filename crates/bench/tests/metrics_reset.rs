@@ -101,6 +101,41 @@ fn accumulative_counters_reset_between_repetitions() {
     assert_eq!(s2.termination_checks, s1.termination_checks);
 }
 
+/// The wire-robustness counters (`corrupt_frames`,
+/// `reconnect_attempts`, `retries_exhausted`, `chaos_injections`,
+/// `hellos_rejected`) ride the same snapshot/delta/reset machinery as
+/// the fault counters, so chaos sweeps reusing one runner stay honest.
+#[test]
+fn wire_robustness_counters_snapshot_delta_and_reset() {
+    let r = shared_runner();
+    let m = r.metrics();
+    m.corrupt_frames.add(3);
+    m.reconnect_attempts.add(2);
+    m.retries_exhausted.add(1);
+    m.chaos_injections.add(7);
+    m.hellos_rejected.add(4);
+    let s1 = m.snapshot();
+    assert_eq!(s1.corrupt_frames, 3);
+    assert_eq!(s1.reconnect_attempts, 2);
+    assert_eq!(s1.retries_exhausted, 1);
+    assert_eq!(s1.chaos_injections, 7);
+    assert_eq!(s1.hellos_rejected, 4);
+
+    m.corrupt_frames.add(2);
+    m.chaos_injections.add(1);
+    let d = m.snapshot().delta(&s1);
+    assert_eq!(d.corrupt_frames, 2);
+    assert_eq!(d.chaos_injections, 1);
+    assert_eq!(d.reconnect_attempts, 0);
+
+    m.reset_all();
+    assert_eq!(
+        m.snapshot(),
+        MetricsSnapshot::default(),
+        "reset_all clears the wire-robustness counters too"
+    );
+}
+
 #[test]
 fn reset_all_between_repetitions_isolates_counters() {
     let r = shared_runner();

@@ -3,6 +3,7 @@
 
 use crate::api::Mapping;
 use imr_mapreduce::EngineError;
+use imr_net::{ChaosConfig, NetPolicy};
 use imr_simcluster::NodeId;
 use std::time::Duration;
 
@@ -232,6 +233,18 @@ pub struct IterConfig {
     /// is the mode's unit of supervision — heartbeats, checkpoints and
     /// `max_iterations` all count checks. Must be at least 1.
     pub check_every: usize,
+    /// Unified network policy for the TCP backend: connect/handshake
+    /// deadlines, teardown grace, the supervisor's no-progress retry
+    /// budget and the worker connect loop's jittered exponential
+    /// backoff. The coordinator exports it to spawned workers via
+    /// `IMR_NET_*` environment variables so the whole fleet agrees.
+    pub net: NetPolicy,
+    /// Deterministic network-chaos injection on the coordinator's TCP
+    /// links (seeded frame drops/corruption/duplicates/resets and read
+    /// stalls with a shared fault budget). `None` leaves the wire
+    /// clean. Requires the TCP transport, checkpointing and a watchdog
+    /// — see [`IterConfig::validate`].
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl IterConfig {
@@ -259,7 +272,22 @@ impl IterConfig {
             accumulative: false,
             delta_batch: 0,
             check_every: 1,
+            net: NetPolicy::default(),
+            chaos: None,
         }
+    }
+
+    /// Sets the unified network policy for the TCP backend.
+    pub fn with_net_policy(mut self, net: NetPolicy) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Enables deterministic network-chaos injection on the TCP
+    /// coordinator links.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// Sets the flight-recorder window (trailing events per dump).
@@ -464,6 +492,38 @@ impl IterConfig {
                  a hung pair never exits, so only stall detection recovers it"
                     .into(),
             ));
+        }
+        self.net
+            .validate()
+            .map_err(|msg| EngineError::Config(format!("net policy: {msg}")))?;
+        if let Some(chaos) = &self.chaos {
+            chaos
+                .validate()
+                .map_err(|msg| EngineError::Config(format!("chaos config: {msg}")))?;
+            if self.transport != TransportKind::Tcp {
+                return Err(EngineError::Config(
+                    "chaos injection targets the TCP transport \
+                     (with_tcp_transport): the channel fabric has no wire"
+                        .into(),
+                ));
+            }
+            if chaos.is_active() {
+                if self.checkpoint_interval == 0 {
+                    return Err(EngineError::Config(
+                        "chaos injection requires checkpoint_interval > 0: \
+                         a torn-down connection replays from a checkpoint epoch"
+                            .into(),
+                    ));
+                }
+                if self.watchdog.is_none() {
+                    return Err(EngineError::Config(
+                        "chaos injection requires a watchdog (with_watchdog): \
+                         a stalled or wedged connection is only recovered by \
+                         stall detection"
+                            .into(),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -687,6 +747,48 @@ mod tests {
             at_iteration: 1,
         };
         assert!(is_config_err(base.validate(&[hang]), "watchdog"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_net_policy() {
+        let mut c = IterConfig::new("sssp", 2, 3);
+        c.net.retry_budget = 0;
+        assert!(is_config_err(c.validate(&[]), "retry_budget"));
+    }
+
+    #[test]
+    fn validate_chaos_requirements() {
+        let chaos = ChaosConfig::seeded(7).with_drop_rate(0.05);
+        // Chaos off the TCP transport is rejected.
+        let on_channel = IterConfig::new("sssp", 2, 3).with_chaos(chaos);
+        assert!(is_config_err(on_channel.validate(&[]), "TCP"));
+        // Active chaos needs checkpoints and a watchdog.
+        let no_ckpt = IterConfig::new("sssp", 2, 3)
+            .with_tcp_transport()
+            .with_checkpoint_interval(0)
+            .with_watchdog(WatchdogConfig::default())
+            .with_chaos(chaos);
+        assert!(is_config_err(no_ckpt.validate(&[]), "checkpoint_interval"));
+        let no_wd = IterConfig::new("sssp", 2, 3)
+            .with_tcp_transport()
+            .with_chaos(chaos);
+        assert!(is_config_err(no_wd.validate(&[]), "watchdog"));
+        // The full combination passes, as does inert chaos (all rates 0).
+        let ok = IterConfig::new("sssp", 2, 3)
+            .with_tcp_transport()
+            .with_watchdog(WatchdogConfig::default())
+            .with_chaos(chaos);
+        assert!(ok.validate(&[]).is_ok());
+        let inert = IterConfig::new("sssp", 2, 3)
+            .with_tcp_transport()
+            .with_chaos(ChaosConfig::seeded(7));
+        assert!(inert.validate(&[]).is_ok());
+        // Over-the-maximum rates are caught here too.
+        let too_hot = IterConfig::new("sssp", 2, 3)
+            .with_tcp_transport()
+            .with_watchdog(WatchdogConfig::default())
+            .with_chaos(ChaosConfig::seeded(7).with_drop_rate(0.9));
+        assert!(is_config_err(too_hot.validate(&[]), "chaos"));
     }
 
     #[test]

@@ -89,3 +89,6 @@ pub use store::{load_partitioned, part_len, partition_sorted};
 
 // Re-export the engine error type jobs see.
 pub use imr_mapreduce::EngineError;
+
+// Re-export the network policy and chaos types carried by IterConfig.
+pub use imr_net::{ChaosConfig, NetPolicy};

@@ -12,8 +12,8 @@ use crate::catalog::{self, JobId};
 use crate::spec::{AlgoSpec, EngineSel, JobSpec};
 use bytes::{Bytes, BytesMut};
 use imapreduce::{
-    load_partitioned, Emitter, EngineError, IterConfig, IterativeJob, IterativeRunner, RunCtl,
-    StateInput,
+    load_partitioned, ChaosConfig, Emitter, EngineError, IterConfig, IterativeJob, IterativeRunner,
+    NetPolicy, RunCtl, StateInput, WatchdogConfig,
 };
 use imr_algorithms::kmeans::{load_kmeans_imr, KmeansIter};
 use imr_algorithms::pagerank::{load_pagerank_imr, PageRankIter};
@@ -47,6 +47,8 @@ pub struct ExecCtx {
     pub ns: String,
     /// Worker binary for TCP-engine jobs.
     pub worker_bin: Option<PathBuf>,
+    /// Chaos schedule applied to TCP-engine attempts (`None` = clean).
+    pub chaos: Option<ChaosConfig>,
 }
 
 /// What a completed job leaves in the catalog: enough to compare two
@@ -120,7 +122,7 @@ pub fn run_job(
     let stat = catalog::static_dir(&ctx.ns, id);
     let out = catalog::output_dir(&ctx.ns, id);
     ensure_input(ctx, spec, &state, &stat)?;
-    let cfg = build_cfg(spec, resume);
+    let cfg = build_cfg(spec, resume, ctx.chaos);
     match spec.algo {
         AlgoSpec::Halve => dispatch(ctx, id, spec, &Halve, &cfg, ctl, trace, &state, &stat, &out),
         AlgoSpec::Sssp => dispatch(
@@ -166,9 +168,10 @@ pub fn worker_args(spec: &JobSpec) -> Vec<String> {
     }
 }
 
-fn build_cfg(spec: &JobSpec, resume: bool) -> IterConfig {
+fn build_cfg(spec: &JobSpec, resume: bool, chaos: Option<ChaosConfig>) -> IterConfig {
     let mut cfg = IterConfig::new(spec.name.clone(), spec.tasks, spec.max_iters)
-        .with_checkpoint_interval(spec.checkpoint_interval);
+        .with_checkpoint_interval(spec.checkpoint_interval)
+        .with_net_policy(NetPolicy::from_env());
     if let Some(eps) = spec.distance_threshold {
         cfg = cfg.with_distance_threshold(eps);
     }
@@ -177,6 +180,14 @@ fn build_cfg(spec: &JobSpec, resume: bool) -> IterConfig {
     }
     if spec.engine == EngineSel::Tcp {
         cfg = cfg.with_tcp_transport();
+        // Chaos needs an unscripted-stall watchdog: injected faults
+        // are exactly the kind of degradation only it can recover.
+        if let Some(chaos) = chaos.filter(|c| c.is_active()) {
+            cfg = cfg.with_chaos(chaos);
+            if cfg.watchdog.is_none() {
+                cfg = cfg.with_watchdog(WatchdogConfig::default());
+            }
+        }
     }
     // The simulation engine restarts from scratch in virtual time;
     // durable resume is a native-backend capability.
@@ -321,11 +332,25 @@ mod tests {
     #[test]
     fn resume_is_dropped_without_checkpoints_and_on_sim() {
         let spec = JobSpec::new("x", AlgoSpec::Halve, EngineSel::Threads, 1);
-        assert!(build_cfg(&spec, true).resume);
+        assert!(build_cfg(&spec, true, None).resume);
         let no_ck = spec.clone().with_checkpoint_interval(0);
-        assert!(!build_cfg(&no_ck, true).resume);
+        assert!(!build_cfg(&no_ck, true, None).resume);
         let mut sim = spec;
         sim.engine = EngineSel::Sim;
-        assert!(!build_cfg(&sim, true).resume);
+        assert!(!build_cfg(&sim, true, None).resume);
+    }
+
+    #[test]
+    fn chaos_reaches_tcp_configs_only_and_brings_a_watchdog() {
+        let chaos = Some(ChaosConfig::seeded(7).with_drop_rate(0.05));
+        let threads = JobSpec::new("x", AlgoSpec::Halve, EngineSel::Threads, 1);
+        assert!(build_cfg(&threads, false, chaos).chaos.is_none());
+        let mut tcp = threads;
+        tcp.engine = EngineSel::Tcp;
+        let cfg = build_cfg(&tcp, false, chaos);
+        assert!(cfg.chaos.is_some());
+        assert!(cfg.watchdog.is_some(), "chaos implies a watchdog");
+        let inert = Some(ChaosConfig::seeded(7));
+        assert!(build_cfg(&tcp, false, inert).chaos.is_none());
     }
 }

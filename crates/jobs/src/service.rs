@@ -22,7 +22,7 @@ use crate::exec::{self, ExecCtx, ResultRecord};
 use crate::queue::AdmissionQueue;
 use crate::spec::{AlgoSpec, EngineSel, JobSpec};
 use bytes::Bytes;
-use imapreduce::{EngineError, RunCtl};
+use imapreduce::{ChaosConfig, EngineError, RunCtl};
 use imr_dfs::Dfs;
 use imr_records::Codec;
 use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId, TaskClock};
@@ -51,6 +51,9 @@ pub struct ServiceConfig {
     /// Trailing trace events captured into a dead-lettered job's
     /// flight-recorder artifact.
     pub flight_tail: usize,
+    /// Deterministic network-chaos schedule applied to every
+    /// TCP-engine job the service runs (`None` = clean wire).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +65,7 @@ impl Default for ServiceConfig {
             worker_bin: None,
             trace_capacity: 4096,
             flight_tail: 96,
+            chaos: None,
         }
     }
 }
@@ -88,6 +92,13 @@ impl ServiceConfig {
     /// Sets the DFS namespace root.
     pub fn with_ns(mut self, ns: impl Into<String>) -> Self {
         self.ns = ns.into();
+        self
+    }
+
+    /// Applies a deterministic network-chaos schedule to every
+    /// TCP-engine job the service runs.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -424,6 +435,7 @@ impl JobService {
             metrics: Arc::clone(&self.metrics),
             ns: self.cfg.ns.clone(),
             worker_bin: self.cfg.worker_bin.clone(),
+            chaos: self.cfg.chaos,
         }
     }
 

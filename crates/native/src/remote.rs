@@ -50,15 +50,16 @@ use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping, Tra
 use imr_dfs::{hist_path, snapshot_dir};
 use imr_mapreduce::io::{num_parts, part_path};
 use imr_mapreduce::EngineError;
-use imr_net::frame::{read_frame, write_frame};
+use imr_net::chaos::{ChaosDirection, ChaosState, ChaosStream, DIR_INBOUND, DIR_OUTBOUND};
+use imr_net::frame::{FrameReader, FrameWriter, HEADER_LEN};
 use imr_net::proto::{OutcomeKind, ToCoord, ToWorker, WireOutcome, WorkerSetup};
-use imr_net::{Closed, NetError, Transport, WorkerConn};
+use imr_net::{Closed, FrameAction, NetError, NetPolicy, Transport, WorkerConn};
 use imr_records::Codec;
 use imr_simcluster::{Metrics, MetricsHandle, NodeId, TaskClock};
 use imr_trace::{TraceEvent, TraceKind, COORD};
 use parking_lot::Mutex;
 use std::io::{BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitStatus, Stdio};
@@ -67,13 +68,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How long workers connecting at generation start may take before the
-/// coordinator declares the spawn failed.
-const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
-/// After poisoning a generation, how long workers get to abort and
-/// report before they are killed outright.
-const TEARDOWN_GRACE: Duration = Duration::from_secs(5);
-/// Coordinator main-loop poll interval.
+/// Coordinator main-loop poll interval. Connect/handshake/teardown
+/// deadlines live in [`NetPolicy`] (`cfg.net`).
 const TICK: Duration = Duration::from_millis(2);
 
 /// How to launch worker processes for [`NativeRunner::run_remote`].
@@ -173,6 +169,14 @@ impl NativeRunner {
             .map_err(|e| EngineError::Worker(format!("coordinator bind failed: {e}")))?
             .to_string();
 
+        // One fault budget for the whole run: chaos injections across
+        // every generation draw from it, so a seeded schedule always
+        // goes quiet and lets the job finish within its retry budget.
+        let chaos_state = cfg
+            .chaos
+            .filter(|c| c.is_active())
+            .map(|c| ChaosState::new(c.budget));
+
         let mut generation_no: u64 = 0;
         let mut crash_pending = spec.crash;
         let mut run_gen =
@@ -193,6 +197,7 @@ impl NativeRunner {
                     &addr,
                     generation_no,
                     &plans,
+                    chaos_state.as_ref(),
                     gen,
                 )
             };
@@ -233,10 +238,63 @@ struct CoordState {
     poisoned: bool,
 }
 
+/// The coordinator's write half of one worker link: the hardened frame
+/// writer, the raw socket (for chaos-injected resets) and this
+/// direction's chaos schedule.
+struct CoordLink {
+    writer: FrameWriter<BufWriter<TcpStream>>,
+    sock: TcpStream,
+    chaos: Option<ChaosDirection>,
+}
+
+impl CoordLink {
+    /// Writes one frame, letting the chaos schedule (if any, and unless
+    /// the frame is teardown control traffic) damage it first.
+    fn send(&mut self, payload: &[u8], control: bool) -> Result<(), NetError> {
+        let action = match (&mut self.chaos, control) {
+            (Some(dir), false) => dir.frame_action(HEADER_LEN + payload.len()),
+            _ => FrameAction::Deliver,
+        };
+        match action {
+            FrameAction::Deliver => {
+                self.writer.write(payload)?;
+                self.writer.get_mut().flush()?;
+            }
+            FrameAction::Drop => {
+                // Written nowhere; the receiver sees the sequence gap on
+                // the next delivered frame and fails Corrupt.
+                self.writer.skip();
+            }
+            FrameAction::Corrupt { bit } => {
+                let mut encoded = self.writer.encode_next(payload)?;
+                encoded[bit / 8] ^= 1 << (bit % 8);
+                self.writer.get_mut().write_all(&encoded)?;
+                self.writer.get_mut().flush()?;
+            }
+            FrameAction::Duplicate => {
+                let encoded = self.writer.encode_next(payload)?;
+                self.writer.get_mut().write_all(&encoded)?;
+                self.writer.get_mut().write_all(&encoded)?;
+                self.writer.get_mut().flush()?;
+            }
+            FrameAction::Reset { cut } => {
+                let encoded = self.writer.encode_next(payload)?;
+                let cut = cut.min(encoded.len().saturating_sub(1));
+                self.writer.get_mut().write_all(&encoded[..cut])?;
+                self.writer.get_mut().flush()?;
+                // Mid-frame hard reset; also tears down our read half,
+                // which surfaces as the reader's EOF.
+                let _ = self.sock.shutdown(Shutdown::Both);
+            }
+        }
+        Ok(())
+    }
+}
+
 struct Coordinator<'a> {
     n: usize,
     state: Mutex<CoordState>,
-    writers: Vec<Mutex<BufWriter<TcpStream>>>,
+    writers: Vec<Mutex<CoordLink>>,
     board: ProgressBoard,
     /// One-participant poison latch shared with the monitor thread: it
     /// plays the role the generation barrier plays in-process.
@@ -261,10 +319,17 @@ struct Coordinator<'a> {
 
 impl Coordinator<'_> {
     /// Best-effort framed send; a dead peer surfaces as its reader's
-    /// EOF, so write errors are ignored here.
+    /// EOF, so write errors are ignored here. Subject to chaos when the
+    /// link carries a schedule.
     fn send_to(&self, q: usize, msg: &ToWorker) {
-        let mut writer = self.writers[q].lock();
-        let _ = write_frame(&mut *writer, &msg.to_bytes()).and_then(|()| Ok(writer.flush()?));
+        let _ = self.writers[q].lock().send(&msg.to_bytes(), false);
+    }
+
+    /// Like [`Coordinator::send_to`] but never chaos-damaged: poison
+    /// and drain frames are the teardown path itself, so injecting
+    /// faults into them would stall the recovery they trigger.
+    fn send_ctl(&self, q: usize, msg: &ToWorker) {
+        let _ = self.writers[q].lock().send(&msg.to_bytes(), true);
     }
 
     /// Poisons the generation (idempotent): latch for the monitor,
@@ -276,7 +341,7 @@ impl Coordinator<'_> {
             state.poisoned = true;
             self.latch.poison();
             for q in 0..self.n {
-                self.send_to(q, &ToWorker::Poison);
+                self.send_ctl(q, &ToWorker::Poison);
             }
         }
     }
@@ -290,7 +355,7 @@ impl Coordinator<'_> {
             state.poisoned = true;
             self.latch.poison();
             for q in 0..self.n {
-                self.send_to(q, &ToWorker::Drain);
+                self.send_ctl(q, &ToWorker::Drain);
             }
         }
     }
@@ -326,20 +391,32 @@ fn run_generation(
     addr: &str,
     generation: u64,
     plans: &[PairPlan],
+    chaos_state: Option<&Arc<ChaosState>>,
     gen: GenInput<'_>,
 ) -> Result<(Vec<PairRun>, Option<Intervention>), EngineError> {
     let n = plans.len();
     let epoch = gen.epoch;
+    let policy = &cfg.net;
     runner.metrics.tasks_launched.add(2 * n as u64);
 
     // ---- Spawn + connect -------------------------------------------
     let mut children: Vec<ChildGuard> = (0..n)
-        .map(|q| ChildGuard::spawn(spec, addr, q, generation))
+        .map(|q| ChildGuard::spawn(spec, addr, q, generation, policy))
         .collect::<Result<_, _>>()?;
-    let streams = accept_workers(listener, n, generation, spec.job, &mut children)?;
+    let accepted = accept_workers(
+        listener,
+        n,
+        generation,
+        spec.job,
+        &mut children,
+        policy,
+        runner,
+        gen.started,
+    )?;
     // Worker clocks start right after their handshakes, i.e. "now".
     let trace_offset = gen.started.elapsed().as_nanos() as u64;
     if generation > 1 {
+        runner.metrics.reconnect_attempts.add(1);
         if let Some(trace) = runner.trace.as_ref() {
             trace.record(
                 TraceEvent::new(TraceKind::Reconnect { generation })
@@ -349,14 +426,41 @@ fn run_generation(
         }
     }
 
-    let writers: Vec<Mutex<BufWriter<TcpStream>>> = streams
-        .iter()
-        .map(|s| {
+    // Split each accepted connection into its chaos-aware halves: a
+    // CoordLink for writing (outbound schedule) and a FrameReader over
+    // a ChaosStream for reading (inbound schedule), both keyed by
+    // (generation, pair, direction) so schedules are deterministic.
+    let chaos = cfg.chaos.filter(|c| c.is_active());
+    let mut writers: Vec<Mutex<CoordLink>> = Vec::with_capacity(n);
+    let mut readers: Vec<FrameReader<ChaosStream<TcpStream>>> = Vec::with_capacity(n);
+    for (q, reader) in accepted.into_iter().enumerate() {
+        let clone = |s: &TcpStream| {
             s.try_clone()
-                .map(|w| Mutex::new(BufWriter::new(w)))
                 .map_err(|e| EngineError::Worker(format!("socket clone failed: {e}")))
-        })
-        .collect::<Result<_, _>>()?;
+        };
+        let sock = clone(reader.get_ref())?;
+        let writer = FrameWriter::new(BufWriter::new(clone(&sock)?))
+            .map_err(|e| EngineError::Worker(format!("handshake write failed: {e}")))?;
+        let out_dir = chaos
+            .as_ref()
+            .zip(chaos_state)
+            .map(|(c, state)| c.direction(state, generation, q as u64, DIR_OUTBOUND));
+        writers.push(Mutex::new(CoordLink {
+            writer,
+            sock,
+            chaos: out_dir,
+        }));
+        let in_dir = chaos
+            .as_ref()
+            .zip(chaos_state)
+            .map(|(c, state)| c.direction(state, generation, q as u64, DIR_INBOUND));
+        let (stream, seq) = reader.into_parts();
+        let wrapped = match in_dir {
+            Some(dir) => ChaosStream::chaotic(stream, dir),
+            None => ChaosStream::clean(stream),
+        };
+        readers.push(FrameReader::from_parts(wrapped, seq));
+    }
 
     let co = Coordinator {
         n,
@@ -416,9 +520,9 @@ fn run_generation(
 
     // ---- Hub: readers + monitor + teardown clock -------------------
     let intervention = thread::scope(|scope| {
-        for (q, stream) in streams.into_iter().enumerate() {
+        for (q, reader) in readers.into_iter().enumerate() {
             let co = &co;
-            scope.spawn(move || reader_loop(co, q, stream));
+            scope.spawn(move || reader_loop(co, q, reader));
         }
         let monitor_handle = if monitor_enabled {
             let co = &co;
@@ -472,7 +576,7 @@ fn run_generation(
                 }
             }
             if let Some(at) = poisoned_at {
-                if !killed && at.elapsed() > TEARDOWN_GRACE {
+                if !killed && at.elapsed() > policy.teardown_grace {
                     // Workers that ignored the poison frame (wedged in
                     // job code, killed transport) get the hard way.
                     killed = true;
@@ -488,7 +592,16 @@ fn run_generation(
     });
 
     for child in children.iter_mut() {
-        child.reap(TEARDOWN_GRACE);
+        child.reap(policy.teardown_grace);
+    }
+
+    // Fold this generation's injected faults into the run's metrics
+    // (drain: the shared state survives across generations).
+    if let Some(state) = chaos_state {
+        runner
+            .metrics
+            .chaos_injections
+            .add(state.drain_injections());
     }
 
     let state = co.state.into_inner();
@@ -510,9 +623,29 @@ fn run_generation(
 
 /// Per-connection coordinator reader: demultiplexes one worker's
 /// frames until EOF. EOF with no recorded outcome means the process
-/// vanished — synthesized as a recoverable abort.
-fn reader_loop(co: &Coordinator<'_>, q: usize, mut stream: TcpStream) {
-    while let Ok(msg) = read_frame(&mut stream).and_then(|mut b| Ok(ToCoord::decode(&mut b)?)) {
+/// vanished — synthesized as a recoverable abort. A failed integrity
+/// check ([`NetError::Corrupt`]) is counted and traced, then tears the
+/// connection down the same way — never decoded.
+fn reader_loop(co: &Coordinator<'_>, q: usize, mut reader: FrameReader<ChaosStream<TcpStream>>) {
+    loop {
+        let msg = match reader.read() {
+            Ok(mut frame) => match ToCoord::decode(&mut frame) {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+            Err(NetError::Corrupt { seq }) => {
+                co.runner.metrics.corrupt_frames.add(1);
+                if let Some(trace) = co.runner.trace.as_ref() {
+                    trace.record(
+                        TraceEvent::new(TraceKind::Corrupt { seq })
+                            .at(co.started.elapsed().as_nanos() as u64)
+                            .tagged(COORD, q as u32, 0, 0),
+                    );
+                }
+                break;
+            }
+            Err(_) => break,
+        };
         match msg {
             ToCoord::Segment { dest, payload } => {
                 // Routed without the state lock: per-link order is the
@@ -723,31 +856,40 @@ fn reader_loop(co: &Coordinator<'_>, q: usize, mut stream: TcpStream) {
 }
 
 /// Accepts and validates `n` worker connections for `generation`.
-/// Non-matching hellos (stale generation, bad pair, garbage) are
-/// dropped and accepting continues; a worker that exits before
-/// connecting fails the generation fast.
+/// Non-matching hellos (stale generation, bad pair, wrong wire
+/// version, garbage) are counted (`hellos_rejected`), traced
+/// (`RejectedHello`) and dropped, and accepting continues; a worker
+/// that exits before connecting fails the generation fast. Each
+/// returned reader has consumed the preamble and the hello frame, so
+/// its sequence counter carries into the generation's reader loop.
+#[allow(clippy::too_many_arguments)]
 fn accept_workers(
     listener: &TcpListener,
     n: usize,
     generation: u64,
     job: u64,
     children: &mut [ChildGuard],
-) -> Result<Vec<TcpStream>, EngineError> {
-    let deadline = Instant::now() + CONNECT_TIMEOUT;
-    let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    policy: &NetPolicy,
+    runner: &NativeRunner,
+    started: Instant,
+) -> Result<Vec<FrameReader<TcpStream>>, EngineError> {
+    let deadline = Instant::now() + policy.connect_timeout;
+    let mut conns: Vec<Option<FrameReader<TcpStream>>> = (0..n).map(|_| None).collect();
     let mut connected = 0;
     while connected < n {
         match listener.accept() {
             Ok((stream, _)) => {
                 // The listener is non-blocking; the accepted socket must
                 // not be (platform-dependent inheritance).
-                let mut stream = stream;
-                let hello = stream
+                let prepared = stream
                     .set_nonblocking(false)
                     .and_then(|()| stream.set_nodelay(true))
-                    .and_then(|()| stream.set_read_timeout(Some(Duration::from_secs(10))))
+                    .and_then(|()| stream.set_read_timeout(Some(policy.handshake_timeout)));
+                let mut reader = FrameReader::new(stream);
+                let hello = prepared
                     .map_err(NetError::from)
-                    .and_then(|()| read_frame(&mut stream))
+                    .and_then(|()| reader.expect_preamble())
+                    .and_then(|()| reader.read())
                     .and_then(|mut b| Ok(ToCoord::decode(&mut b)?));
                 match hello {
                     Ok(ToCoord::Hello {
@@ -755,11 +897,20 @@ fn accept_workers(
                         generation: g,
                         job: j,
                     }) if g == generation && j == job && pair < n && conns[pair].is_none() => {
-                        let _ = stream.set_read_timeout(None);
-                        conns[pair] = Some(stream);
+                        let _ = reader.get_mut().set_read_timeout(None);
+                        conns[pair] = Some(reader);
                         connected += 1;
                     }
-                    _ => drop(stream),
+                    _ => {
+                        runner.metrics.hellos_rejected.add(1);
+                        if let Some(trace) = runner.trace.as_ref() {
+                            trace.record(
+                                TraceEvent::new(TraceKind::RejectedHello)
+                                    .at(started.elapsed().as_nanos() as u64)
+                                    .tagged(COORD, COORD, 0, generation as u32),
+                            );
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -797,13 +948,18 @@ impl ChildGuard {
         addr: &str,
         pair: usize,
         generation: u64,
+        policy: &NetPolicy,
     ) -> Result<Self, EngineError> {
+        // Exporting the policy onto the child (overriding anything
+        // inherited) keeps the whole fleet on the coordinator's
+        // deadlines; the worker reads it back with NetPolicy::from_env.
         let child = Command::new(&spec.bin)
             .arg(addr)
             .arg(pair.to_string())
             .arg(generation.to_string())
             .arg(spec.job.to_string())
             .args(&spec.job_args)
+            .envs(policy.env_vars())
             .stdin(Stdio::null())
             .spawn()
             .map_err(|e| {
@@ -1014,8 +1170,10 @@ fn serve_inner<J: IterativeJob>(
     job_id: u64,
     accum: Option<RemoteLoop<J>>,
 ) -> Result<(), String> {
-    let (conn, setup) = WorkerConn::connect(addr, pair, generation, job_id, HANDOFF_BUFFER)
-        .map_err(|e| format!("pair {pair}: connect/handshake failed: {e}"))?;
+    let policy = NetPolicy::from_env();
+    let (conn, setup) =
+        WorkerConn::connect_with_policy(addr, pair, generation, job_id, HANDOFF_BUFFER, &policy)
+            .map_err(|e| format!("pair {pair}: connect/handshake failed: {e}"))?;
     let cfg = PairCfg {
         n: setup.num_tasks,
         one2all: setup.one2all,

@@ -421,15 +421,30 @@ pub(crate) fn supervise<J: IterativeJob>(
                         stall_retries = 0;
                     } else {
                         stall_retries += 1;
-                        if stall_retries >= 2 {
+                        if stall_retries >= cfg.net.retry_budget {
+                            metrics.retries_exhausted.add(1);
                             return Err(EngineError::Worker(format!(
-                                "watchdog declared pair {pair} stalled twice \
-                                 with no checkpoint progress; giving up"
+                                "watchdog declared pair {pair} stalled with no \
+                                 checkpoint progress and the retry budget \
+                                 ({}) is exhausted; giving up",
+                                cfg.net.retry_budget
                             )));
                         }
                     }
                     recoveries += 1;
                     metrics.recoveries.add(1);
+                    record(
+                        TraceEvent::new(TraceKind::Retry {
+                            attempt: stall_retries as u64,
+                        })
+                        .at(now_ns)
+                        .tagged(
+                            COORD,
+                            COORD,
+                            new_epoch as u32,
+                            generation,
+                        ),
+                    );
                     let tag_node = assignment[pair].index() as u32;
                     record(TraceEvent::new(TraceKind::StallDetected).at(now_ns).tagged(
                         tag_node,
@@ -459,16 +474,30 @@ pub(crate) fn supervise<J: IterativeJob>(
                         stall_retries = 0;
                     } else {
                         stall_retries += 1;
-                        if stall_retries >= 2 {
-                            return Err(EngineError::Worker(
+                        if stall_retries >= cfg.net.retry_budget {
+                            metrics.retries_exhausted.add(1);
+                            return Err(EngineError::Worker(format!(
                                 "workers kept vanishing with no checkpoint \
-                                 progress; giving up"
-                                    .into(),
-                            ));
+                                 progress and the retry budget ({}) is \
+                                 exhausted; giving up",
+                                cfg.net.retry_budget
+                            )));
                         }
                     }
                     recoveries += 1;
                     metrics.recoveries.add(1);
+                    record(
+                        TraceEvent::new(TraceKind::Retry {
+                            attempt: stall_retries as u64,
+                        })
+                        .at(now_ns)
+                        .tagged(
+                            COORD,
+                            COORD,
+                            new_epoch as u32,
+                            generation,
+                        ),
+                    );
                     record(
                         TraceEvent::new(TraceKind::Rollback {
                             epoch: new_epoch as u64,

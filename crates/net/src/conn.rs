@@ -20,7 +20,8 @@
 //! generation — the same cascade the thread backend gets from
 //! channel disconnects and the poisoned barrier.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{FrameReader, FrameWriter};
+use crate::policy::NetPolicy;
 use crate::proto::{ToCoord, ToWorker, WireOutcome, WorkerSetup};
 use crate::transport::{Closed, Transport};
 use crate::NetError;
@@ -31,7 +32,7 @@ use std::io::{BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::Instant;
 
 struct ConnState {
     /// Per-source queues of received shuffle segments.
@@ -64,17 +65,15 @@ struct ConnShared {
 /// A worker's persistent connection to the coordinator.
 pub struct WorkerConn {
     stream: TcpStream,
-    writer: BufWriter<TcpStream>,
+    writer: FrameWriter<BufWriter<TcpStream>>,
     shared: Arc<ConnShared>,
     reader: Option<JoinHandle<()>>,
     consumed_releases: u64,
 }
 
 impl WorkerConn {
-    /// Connect to the coordinator, introduce ourselves as `pair` of
-    /// `generation` running `job`, and wait for the [`WorkerSetup`]
-    /// frame. `buffer` is the per-link credit allowance (the channel
-    /// backend's buffer size).
+    /// [`WorkerConn::connect_with_policy`] under the default
+    /// [`NetPolicy`].
     pub fn connect(
         addr: impl ToSocketAddrs,
         pair: usize,
@@ -82,23 +81,66 @@ impl WorkerConn {
         job: u64,
         buffer: usize,
     ) -> Result<(WorkerConn, WorkerSetup), NetError> {
-        let stream = TcpStream::connect(addr)?;
+        WorkerConn::connect_with_policy(addr, pair, generation, job, buffer, &NetPolicy::default())
+    }
+
+    /// Connect to the coordinator, introduce ourselves as `pair` of
+    /// `generation` running `job`, and wait for the [`WorkerSetup`]
+    /// frame. `buffer` is the per-link credit allowance (the channel
+    /// backend's buffer size).
+    ///
+    /// The TCP connect itself is retried with the policy's jittered
+    /// exponential backoff (salted by pair and generation so a respawned
+    /// fleet de-synchronizes) until `retry_budget` retries or the
+    /// `connect_timeout` window is spent.
+    pub fn connect_with_policy(
+        addr: impl ToSocketAddrs,
+        pair: usize,
+        generation: u64,
+        job: u64,
+        buffer: usize,
+        policy: &NetPolicy,
+    ) -> Result<(WorkerConn, WorkerSetup), NetError> {
+        let salt = (pair as u64) ^ generation.rotate_left(32);
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > policy.retry_budget || started.elapsed() >= policy.connect_timeout
+                    {
+                        return Err(NetError::Io(format!(
+                            "connect retry budget ({}) exhausted: {e}",
+                            policy.retry_budget
+                        )));
+                    }
+                    std::thread::sleep(policy.backoff_delay(attempt - 1, salt));
+                }
+            }
+        };
         stream.set_nodelay(true)?;
-        let mut writer = BufWriter::new(stream.try_clone()?);
+        // The preamble goes out buffered with the hello.
+        let mut writer = FrameWriter::new(BufWriter::new(stream.try_clone()?))?;
         let hello = ToCoord::Hello {
             pair,
             generation,
             job,
         };
-        write_frame(&mut writer, &hello.to_bytes())?;
-        writer.flush()?;
+        writer.write(&hello.to_bytes())?;
+        writer.get_mut().flush()?;
 
         // The setup frame always comes first; guard the handshake with
-        // a timeout so a wedged coordinator cannot hang us forever.
-        let mut read_half = stream.try_clone()?;
-        read_half.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let mut first = read_frame(&mut read_half)?;
-        read_half.set_read_timeout(None)?;
+        // a timeout so a wedged coordinator cannot hang us forever. The
+        // setup only arrives once *all* workers have connected, so the
+        // wait shares the coordinator's accept window.
+        let read_half = stream.try_clone()?;
+        read_half.set_read_timeout(Some(policy.connect_timeout))?;
+        let mut reader = FrameReader::new(read_half);
+        reader.expect_preamble()?;
+        let mut first = reader.read()?;
+        reader.get_mut().set_read_timeout(None)?;
         let setup = match ToWorker::decode(&mut first)? {
             ToWorker::Setup(setup) => *setup,
             other => {
@@ -124,7 +166,7 @@ impl WorkerConn {
             cv: Condvar::new(),
         });
         let reader_shared = Arc::clone(&shared);
-        let reader = std::thread::spawn(move || reader_loop(read_half, reader_shared));
+        let reader = std::thread::spawn(move || reader_loop(reader, reader_shared));
         Ok((
             WorkerConn {
                 stream,
@@ -138,8 +180,9 @@ impl WorkerConn {
     }
 
     fn write(&mut self, msg: &ToCoord) -> Result<(), Closed> {
-        write_frame(&mut self.writer, &msg.to_bytes())
-            .and_then(|()| self.writer.flush().map_err(NetError::from))
+        self.writer
+            .write(&msg.to_bytes())
+            .and_then(|()| self.writer.get_mut().flush().map_err(NetError::from))
             .map_err(|_| Closed)
     }
 
@@ -323,7 +366,7 @@ impl Transport for WorkerConn {
 
 impl Drop for WorkerConn {
     fn drop(&mut self) {
-        let _ = self.writer.flush();
+        let _ = self.writer.get_mut().flush();
         let _ = self.stream.shutdown(Shutdown::Both);
         if let Some(handle) = self.reader.take() {
             let _ = handle.join();
@@ -331,8 +374,11 @@ impl Drop for WorkerConn {
     }
 }
 
-fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
-    while let Ok(msg) = read_frame(&mut stream).and_then(|mut b| Ok(ToWorker::decode(&mut b)?)) {
+fn reader_loop(mut reader: FrameReader<TcpStream>, shared: Arc<ConnShared>) {
+    while let Ok(msg) = reader
+        .read()
+        .and_then(|mut b| Ok(ToWorker::decode(&mut b)?))
+    {
         let mut state = shared
             .state
             .lock()

@@ -1,11 +1,36 @@
-//! Length-prefixed binary framing over any byte stream.
+//! Hardened length-prefixed binary framing over any byte stream
+//! (wire format v2).
 //!
-//! Wire format: `[u32 big-endian payload length][payload bytes]`. A
-//! frame length above [`MAX_FRAME`] is rejected before any allocation,
-//! so a corrupt prefix cannot balloon memory. EOF exactly at a frame
-//! boundary is a clean [`NetError::Closed`]; EOF inside the prefix or
-//! body is reported as truncation.
+//! Each direction of a connection starts with an 8-byte preamble —
+//! the magic `b"IMRW"` followed by the big-endian [`WIRE_VERSION`] —
+//! so mismatched peers fail fast and loudly instead of decoding
+//! garbage: a v2 reader facing a v1 peer sees a bad magic
+//! ([`NetError::Version`]), while a v1 reader facing a v2 peer reads
+//! the magic as an impossible frame length and rejects it before any
+//! allocation.
+//!
+//! Frames are `[u32 BE payload length][u32 BE CRC32][payload]`. The
+//! CRC covers the direction's implicit frame sequence number (a `u64`
+//! starting at 0 after the preamble, never on the wire) followed by
+//! the payload, so *any* single-frame damage is a typed, prompt
+//! failure on the receiver:
+//!
+//! * a flipped bit in CRC or payload → CRC mismatch →
+//!   [`NetError::Corrupt`];
+//! * a dropped frame → the next frame arrives with a future sequence
+//!   number → CRC mismatch → [`NetError::Corrupt`];
+//! * a duplicated frame → the second copy carries a stale sequence
+//!   number → CRC mismatch → [`NetError::Corrupt`];
+//! * a frame length above [`MAX_FRAME`] is rejected before any
+//!   allocation, so a corrupt prefix cannot balloon memory;
+//! * EOF exactly at a frame boundary is a clean [`NetError::Closed`];
+//!   EOF inside the header or body is reported as truncation.
+//!
+//! A corrupt connection is torn down by the caller and flows into the
+//! supervisor's reconnect-with-replay path; framing never resyncs
+//! in-stream.
 
+use crate::crc::Crc32;
 use crate::NetError;
 use bytes::Bytes;
 use std::io::{ErrorKind, Read, Write};
@@ -13,46 +38,208 @@ use std::io::{ErrorKind, Read, Write};
 /// Maximum payload size accepted on the wire (64 MiB).
 pub const MAX_FRAME: usize = 1 << 26;
 
-/// Write one length-prefixed frame. The caller flushes.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+/// Per-direction stream magic, sent once before any frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"IMRW";
+
+/// Wire protocol version negotiated by the preamble.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Bytes of the per-direction preamble (magic + version).
+pub const PREAMBLE_LEN: usize = 8;
+
+/// Bytes of the per-frame header (length + CRC).
+pub const HEADER_LEN: usize = 8;
+
+/// The 8-byte preamble a sender opens its direction with.
+pub fn preamble() -> [u8; PREAMBLE_LEN] {
+    let mut p = [0u8; PREAMBLE_LEN];
+    p[..4].copy_from_slice(&WIRE_MAGIC);
+    p[4..].copy_from_slice(&WIRE_VERSION.to_be_bytes());
+    p
+}
+
+/// The CRC a frame with sequence number `seq` and `payload` carries.
+pub fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    Crc32::new()
+        .update(&seq.to_be_bytes())
+        .update(payload)
+        .finish()
+}
+
+/// Encodes one complete frame (header + payload) for sequence number
+/// `seq`. The chaos injector uses this to damage an encoded frame
+/// before writing it raw; the normal path writes header and payload
+/// separately without the extra copy.
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Result<Vec<u8>, NetError> {
     if payload.len() > MAX_FRAME {
         return Err(NetError::FrameTooLarge(payload.len()));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
-    Ok(())
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&frame_crc(seq, payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
 }
 
-/// Read one length-prefixed frame, blocking until it is complete.
-pub fn read_frame(r: &mut impl Read) -> Result<Bytes, NetError> {
-    let mut prefix = [0u8; 4];
+/// The sending half of one direction: writes the preamble up front,
+/// then frames with consecutive implicit sequence numbers.
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    seq: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps `inner`, writing (not flushing) the preamble immediately.
+    pub fn new(mut inner: W) -> Result<FrameWriter<W>, NetError> {
+        inner.write_all(&preamble())?;
+        Ok(FrameWriter { inner, seq: 0 })
+    }
+
+    /// Writes one frame. The caller flushes.
+    pub fn write(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        if payload.len() > MAX_FRAME {
+            return Err(NetError::FrameTooLarge(payload.len()));
+        }
+        self.inner
+            .write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.inner
+            .write_all(&frame_crc(self.seq, payload).to_be_bytes())?;
+        self.inner.write_all(payload)?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Encodes the next frame without writing it, advancing the
+    /// sequence number as if it had been sent. The chaos injector
+    /// mangles these bytes and writes them through
+    /// [`FrameWriter::get_mut`].
+    pub fn encode_next(&mut self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let bytes = encode_frame(self.seq, payload)?;
+        self.seq += 1;
+        Ok(bytes)
+    }
+
+    /// Advances the sequence number without writing anything — a
+    /// chaos-injected silent drop. The receiver detects the gap on
+    /// the next delivered frame.
+    pub fn skip(&mut self) {
+        self.seq += 1;
+    }
+
+    /// Next frame's sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The wrapped writer (for flushing or raw chaos writes).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+/// The receiving half of one direction: checks the preamble, then
+/// reads frames and verifies each against the implicit sequence
+/// number.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    seq: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`; call [`FrameReader::expect_preamble`] before the
+    /// first [`FrameReader::read`].
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner, seq: 0 }
+    }
+
+    /// Rebuilds a reader from [`FrameReader::into_parts`], e.g. after
+    /// re-wrapping the underlying stream.
+    pub fn from_parts(inner: R, seq: u64) -> FrameReader<R> {
+        FrameReader { inner, seq }
+    }
+
+    /// The wrapped reader and the next expected sequence number.
+    pub fn into_parts(self) -> (R, u64) {
+        (self.inner, self.seq)
+    }
+
+    /// The wrapped reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// The wrapped reader, mutably (e.g. to adjust socket timeouts).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Reads and validates the peer's preamble. A wrong magic is a
+    /// [`NetError::Version`] (the peer speaks a pre-preamble protocol
+    /// or something else entirely); a right magic with a wrong
+    /// version reports both versions.
+    pub fn expect_preamble(&mut self) -> Result<(), NetError> {
+        let mut p = [0u8; PREAMBLE_LEN];
+        read_full(&mut self.inner, &mut p, "stream preamble")?;
+        if p[..4] != WIRE_MAGIC {
+            return Err(NetError::Version(format!(
+                "bad wire magic {:02x?} (expected {:02x?}): peer speaks an \
+                 incompatible or pre-v2 protocol",
+                &p[..4],
+                WIRE_MAGIC
+            )));
+        }
+        let version = u32::from_be_bytes([p[4], p[5], p[6], p[7]]);
+        if version != WIRE_VERSION {
+            return Err(NetError::Version(format!(
+                "peer speaks wire version {version}, this build speaks {WIRE_VERSION}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads one frame, blocking until it is complete, and verifies
+    /// its CRC against the expected sequence number.
+    pub fn read(&mut self) -> Result<Bytes, NetError> {
+        let mut header = [0u8; HEADER_LEN];
+        read_full(&mut self.inner, &mut header, "frame header")?;
+        let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let wire_crc = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_FRAME {
+            return Err(NetError::FrameTooLarge(len));
+        }
+        let mut payload = vec![0u8; len];
+        self.inner.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == ErrorKind::UnexpectedEof {
+                NetError::Io("connection truncated inside frame body".into())
+            } else {
+                NetError::Io(e.to_string())
+            }
+        })?;
+        let seq = self.seq;
+        if frame_crc(seq, &payload) != wire_crc {
+            return Err(NetError::Corrupt { seq });
+        }
+        self.seq += 1;
+        Ok(Bytes::from(payload))
+    }
+}
+
+/// Fills `buf` completely. EOF before the first byte is a clean
+/// [`NetError::Closed`]; EOF mid-way is truncation named after `what`.
+fn read_full(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), NetError> {
     let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut prefix[filled..]) {
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 => return Err(NetError::Closed),
             Ok(0) => {
-                return Err(NetError::Io(
-                    "connection truncated inside frame length".into(),
-                ))
+                return Err(NetError::Io(format!("connection truncated inside {what}")));
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) => return Err(e.into()),
         }
     }
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len > MAX_FRAME {
-        return Err(NetError::FrameTooLarge(len));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == ErrorKind::UnexpectedEof {
-            NetError::Io("connection truncated inside frame body".into())
-        } else {
-            NetError::Io(e.to_string())
-        }
-    })?;
-    Ok(Bytes::from(payload))
+    Ok(())
 }
 
 #[cfg(test)]
@@ -60,53 +247,119 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    /// A connected writer/reader pair over an in-memory buffer.
+    fn round_trip_setup(payloads: &[&[u8]]) -> FrameReader<Cursor<Vec<u8>>> {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        for p in payloads {
+            w.write(p).unwrap();
+        }
+        let buf = std::mem::take(w.get_mut());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        r
+    }
+
     #[test]
     fn round_trip() {
+        let mut r = round_trip_setup(&[b"hello", b"", &[0xAB; 1000]]);
+        assert_eq!(r.read().unwrap().as_slice(), b"hello");
+        assert_eq!(r.read().unwrap().as_slice(), b"");
+        assert_eq!(r.read().unwrap().as_slice(), &[0xAB; 1000][..]);
+        assert!(matches!(r.read(), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn v1_style_stream_fails_the_version_check() {
+        // A v1 peer opens with a length prefix, not the magic.
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
-        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
-        let mut r = Cursor::new(buf);
-        assert_eq!(read_frame(&mut r).unwrap().as_slice(), b"hello");
-        assert_eq!(read_frame(&mut r).unwrap().as_slice(), b"");
-        assert_eq!(read_frame(&mut r).unwrap().as_slice(), &[0xAB; 1000][..]);
-        assert!(matches!(read_frame(&mut r), Err(NetError::Closed)));
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(b"hello");
+        let mut r = FrameReader::new(Cursor::new(buf));
+        match r.expect_preamble() {
+            Err(NetError::Version(msg)) => assert!(msg.contains("magic")),
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_reports_both_versions() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC);
+        buf.extend_from_slice(&7u32.to_be_bytes());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        match r.expect_preamble() {
+            Err(NetError::Version(msg)) => {
+                assert!(msg.contains('7') && msg.contains('2'), "got: {msg}")
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_preamble_read_as_v1_length_is_rejected_before_allocation() {
+        // The other direction of the cross-version handshake: a v1
+        // reader interprets the magic as a frame length far above
+        // MAX_FRAME, so it fails fast without allocating.
+        let as_len = u32::from_be_bytes(WIRE_MAGIC) as usize;
+        assert!(as_len > MAX_FRAME);
     }
 
     #[test]
     fn oversized_prefix_rejected_before_allocation() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
-        let mut r = Cursor::new(buf);
-        match read_frame(&mut r) {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(b"x").unwrap();
+        let mut buf = std::mem::take(w.get_mut());
+        // Overwrite the first frame's length with u32::MAX.
+        buf[PREAMBLE_LEN..PREAMBLE_LEN + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        match r.read() {
             Err(NetError::FrameTooLarge(len)) => assert_eq!(len, u32::MAX as usize),
             other => panic!("expected FrameTooLarge, got {other:?}"),
         }
     }
 
     #[test]
-    fn truncation_inside_prefix_is_not_clean_close() {
-        let mut r = Cursor::new(vec![0u8, 0]);
-        match read_frame(&mut r) {
-            Err(NetError::Io(msg)) => assert!(msg.contains("frame length")),
+    fn truncation_inside_header_is_not_clean_close() {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(b"payload").unwrap();
+        let mut buf = std::mem::take(w.get_mut());
+        buf.truncate(PREAMBLE_LEN + 3);
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        match r.read() {
+            Err(NetError::Io(msg)) => assert!(msg.contains("frame header")),
             other => panic!("expected Io truncation, got {other:?}"),
         }
     }
 
     #[test]
     fn truncation_inside_body_is_not_clean_close() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&10u32.to_be_bytes());
-        buf.extend_from_slice(b"abc");
-        let mut r = Cursor::new(buf);
-        match read_frame(&mut r) {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(b"0123456789").unwrap();
+        let mut buf = std::mem::take(w.get_mut());
+        buf.truncate(buf.len() - 7);
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        match r.read() {
             Err(NetError::Io(msg)) => assert!(msg.contains("frame body")),
             other => panic!("expected Io truncation, got {other:?}"),
         }
     }
 
+    #[test]
+    fn truncated_preamble_is_reported() {
+        let mut r = FrameReader::new(Cursor::new(vec![b'I', b'M']));
+        match r.expect_preamble() {
+            Err(NetError::Io(msg)) => assert!(msg.contains("preamble")),
+            other => panic!("expected Io truncation, got {other:?}"),
+        }
+        let mut empty = FrameReader::new(Cursor::new(Vec::<u8>::new()));
+        assert!(matches!(empty.expect_preamble(), Err(NetError::Closed)));
+    }
+
     /// A reader that dribbles one byte per call, exercising the
-    /// partial-read path for both the prefix and the body.
+    /// partial-read path for the preamble, header and body.
     struct OneByte<R: Read>(R);
     impl<R: Read> Read for OneByte<R> {
         fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
@@ -117,13 +370,12 @@ mod tests {
 
     #[test]
     fn partial_reads_reassemble() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"fragmented payload").unwrap();
-        let mut r = OneByte(Cursor::new(buf));
-        assert_eq!(
-            read_frame(&mut r).unwrap().as_slice(),
-            b"fragmented payload"
-        );
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(b"fragmented payload").unwrap();
+        let buf = std::mem::take(w.get_mut());
+        let mut r = FrameReader::new(OneByte(Cursor::new(buf)));
+        r.expect_preamble().unwrap();
+        assert_eq!(r.read().unwrap().as_slice(), b"fragmented payload");
     }
 
     #[test]
@@ -138,9 +390,90 @@ mod tests {
             }
         }
         let huge = vec![0u8; MAX_FRAME + 1];
+        let mut w = FrameWriter::new(NullSink).unwrap();
+        assert!(matches!(w.write(&huge), Err(NetError::FrameTooLarge(_))));
+        assert_eq!(w.seq(), 0, "a rejected frame must not advance the sequence");
         assert!(matches!(
-            write_frame(&mut NullSink, &huge),
+            encode_frame(0, &huge),
             Err(NetError::FrameTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn any_single_bit_flip_past_the_length_is_detected() {
+        // Flip every bit of the CRC and payload of one frame in turn:
+        // each flip must surface as Corrupt on that frame. (Length
+        // bits are excluded: the chaos injector never touches them,
+        // because a wrong length desynchronizes instead of failing
+        // fast — see chaos::FrameAction::Corrupt.)
+        let payload = b"integrity matters";
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(payload).unwrap();
+        let clean = std::mem::take(w.get_mut());
+        let first_flippable = PREAMBLE_LEN + 4; // skip preamble + length
+        for byte in first_flippable..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                let mut r = FrameReader::new(Cursor::new(bad));
+                r.expect_preamble().unwrap();
+                match r.read() {
+                    Err(NetError::Corrupt { seq: 0 }) => {}
+                    other => panic!("flip at byte {byte} bit {bit}: got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_frame_is_detected_as_corrupt() {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.skip(); // frame 0 silently dropped
+        w.write(b"frame one").unwrap();
+        let buf = std::mem::take(w.get_mut());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        assert!(matches!(r.read(), Err(NetError::Corrupt { seq: 0 })));
+    }
+
+    #[test]
+    fn duplicated_frame_is_detected_as_corrupt() {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        let encoded = w.encode_next(b"dup me").unwrap();
+        w.get_mut().extend_from_slice(&encoded);
+        w.get_mut().extend_from_slice(&encoded);
+        let buf = std::mem::take(w.get_mut());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        assert_eq!(r.read().unwrap().as_slice(), b"dup me");
+        assert!(matches!(r.read(), Err(NetError::Corrupt { seq: 1 })));
+    }
+
+    #[test]
+    fn boundary_frame_at_exactly_max_frame_round_trips() {
+        let payload = vec![0x5Au8; MAX_FRAME];
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(&payload).unwrap();
+        let buf = std::mem::take(w.get_mut());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        let got = r.read().unwrap();
+        assert_eq!(got.len(), MAX_FRAME);
+        assert_eq!(got.as_slice(), payload.as_slice());
+    }
+
+    #[test]
+    fn sequence_continues_across_parts() {
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(b"one").unwrap();
+        w.write(b"two").unwrap();
+        let buf = std::mem::take(w.get_mut());
+        let mut r = FrameReader::new(Cursor::new(buf));
+        r.expect_preamble().unwrap();
+        assert_eq!(r.read().unwrap().as_slice(), b"one");
+        let (cursor, seq) = r.into_parts();
+        assert_eq!(seq, 1);
+        let mut r2 = FrameReader::from_parts(cursor, seq);
+        assert_eq!(r2.read().unwrap().as_slice(), b"two");
     }
 }

@@ -24,12 +24,18 @@
 //! and respawns worker processes, which open fresh connections tagged
 //! with the new generation number.
 
+pub mod chaos;
 pub mod conn;
+pub mod crc;
 pub mod frame;
+pub mod policy;
 pub mod proto;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosDirection, ChaosState, ChaosStream, FrameAction};
 pub use conn::WorkerConn;
+pub use frame::{FrameReader, FrameWriter};
+pub use policy::NetPolicy;
 pub use transport::{ChannelLink, ChannelMesh, Closed, Transport};
 
 use imr_mapreduce::EngineError;
@@ -52,6 +58,17 @@ pub enum NetError {
     /// The peer violated the message protocol (bad handshake, stale
     /// generation, out-of-range pair id, remote-side failure message).
     Protocol(String),
+    /// A frame failed its CRC check against the expected sequence
+    /// number — a flipped bit, a dropped frame or a duplicate. The
+    /// connection is unusable and must be torn down into the
+    /// reconnect-with-replay path.
+    Corrupt {
+        /// The sequence number the receiver expected.
+        seq: u64,
+    },
+    /// The peer's stream preamble announced an incompatible wire
+    /// protocol (wrong magic or version).
+    Version(String),
 }
 
 impl fmt::Display for NetError {
@@ -64,6 +81,13 @@ impl fmt::Display for NetError {
             }
             NetError::Codec(e) => write!(f, "codec error: {e}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Corrupt { seq } => {
+                write!(
+                    f,
+                    "frame {seq} failed its integrity check (corrupt, dropped or duplicated frame)"
+                )
+            }
+            NetError::Version(msg) => write!(f, "wire version mismatch: {msg}"),
         }
     }
 }

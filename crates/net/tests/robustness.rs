@@ -1,0 +1,83 @@
+//! Property tests: hostile bytes on the wire never panic the frame
+//! reader or the message decoders — every input yields a typed error
+//! or a valid message, with no unbounded allocation.
+
+use bytes::Bytes;
+use imr_net::frame::{FrameReader, MAX_FRAME, PREAMBLE_LEN};
+use imr_net::proto::{ToCoord, ToWorker};
+use imr_net::NetError;
+use imr_records::Codec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut r = FrameReader::new(std::io::Cursor::new(data));
+        // Preamble check first (the real handshake order), then keep
+        // reading frames until the stream errors out or ends. Both
+        // calls must return, never panic.
+        if r.expect_preamble().is_ok() {
+            for _ in 0..64 {
+                match r.read() {
+                    Ok(payload) => {
+                        // Whatever survived framing feeds the decoders;
+                        // they must also fail typed, never panic.
+                        let mut b = payload.clone();
+                        let _ = ToWorker::decode(&mut b);
+                        let mut b = payload;
+                        let _ = ToCoord::decode(&mut b);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_never_allocate_above_max_frame(len_word in any::<u32>()) {
+        // A frame whose length prefix decodes above MAX_FRAME must be
+        // rejected before the body allocation.
+        let len_bytes = len_word.to_be_bytes();
+        let mut data = Vec::new();
+        data.extend_from_slice(&imr_net::frame::preamble());
+        data.extend_from_slice(&len_bytes);
+        data.extend_from_slice(&[0u8; 4]); // crc
+        let mut r = FrameReader::new(std::io::Cursor::new(data));
+        r.expect_preamble().unwrap();
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        match r.read() {
+            Err(NetError::FrameTooLarge(l)) => prop_assert!(l > MAX_FRAME && l == len),
+            Err(_) => prop_assert!(len <= MAX_FRAME),
+            Ok(payload) => prop_assert!(payload.is_empty() && len == 0),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut b = Bytes::from(data.clone());
+        let _ = ToWorker::decode(&mut b);
+        let mut b = Bytes::from(data);
+        let _ = ToCoord::decode(&mut b);
+    }
+
+    #[test]
+    fn truncating_a_valid_stream_is_a_typed_error(cut in 0usize..64) {
+        use imr_net::frame::FrameWriter;
+        let mut w = FrameWriter::new(Vec::new()).unwrap();
+        w.write(b"0123456789abcdef0123456789abcdef").unwrap();
+        let mut buf = std::mem::take(w.get_mut());
+        let keep = buf.len().saturating_sub(cut);
+        buf.truncate(keep);
+        let mut r = FrameReader::new(std::io::Cursor::new(buf));
+        if keep < PREAMBLE_LEN {
+            prop_assert!(r.expect_preamble().is_err());
+        } else {
+            r.expect_preamble().unwrap();
+            match r.read() {
+                Ok(payload) => prop_assert_eq!(payload.as_slice(), &b"0123456789abcdef0123456789abcdef"[..]),
+                Err(NetError::Io(_)) | Err(NetError::Closed) => {}
+                Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+            }
+        }
+    }
+}

@@ -73,6 +73,21 @@ pub struct Metrics {
     /// Global accumulated-progress termination checks performed under
     /// the accumulative mode.
     pub termination_checks: Counter,
+    /// Frames that failed their wire integrity check (CRC/sequence
+    /// mismatch: flipped bits, drops, duplicates).
+    pub corrupt_frames: Counter,
+    /// Worker reconnect attempts after a torn-down generation
+    /// (reconnect-with-replay respawns).
+    pub reconnect_attempts: Counter,
+    /// Recovery retry budgets exhausted — the supervisor gave up on a
+    /// run after `NetPolicy::retry_budget` no-progress retries.
+    pub retries_exhausted: Counter,
+    /// Faults injected by the deterministic network-chaos layer
+    /// (drops, corruptions, duplicates, resets, stalls).
+    pub chaos_injections: Counter,
+    /// Connection attempts rejected during accept for a bad hello
+    /// (wrong generation/job, out-of-range pair, garbage bytes).
+    pub hellos_rejected: Counter,
 }
 
 impl Metrics {
@@ -100,7 +115,7 @@ impl Metrics {
     /// Every counter in declaration order. Whole-registry operations go
     /// through this list so a newly added counter cannot be forgotten
     /// by one of them.
-    fn counters(&self) -> [&Counter; 18] {
+    fn counters(&self) -> [&Counter; 23] {
         [
             &self.shuffle_remote_bytes,
             &self.shuffle_local_bytes,
@@ -120,6 +135,11 @@ impl Metrics {
             &self.deltas_sent,
             &self.priority_preemptions,
             &self.termination_checks,
+            &self.corrupt_frames,
+            &self.reconnect_attempts,
+            &self.retries_exhausted,
+            &self.chaos_injections,
+            &self.hellos_rejected,
         ]
     }
 
@@ -158,6 +178,11 @@ impl Metrics {
             deltas_sent: self.deltas_sent.get(),
             priority_preemptions: self.priority_preemptions.get(),
             termination_checks: self.termination_checks.get(),
+            corrupt_frames: self.corrupt_frames.get(),
+            reconnect_attempts: self.reconnect_attempts.get(),
+            retries_exhausted: self.retries_exhausted.get(),
+            chaos_injections: self.chaos_injections.get(),
+            hellos_rejected: self.hellos_rejected.get(),
         }
     }
 }
@@ -205,6 +230,16 @@ pub struct MetricsSnapshot {
     pub priority_preemptions: u64,
     /// See [`Metrics::termination_checks`].
     pub termination_checks: u64,
+    /// See [`Metrics::corrupt_frames`].
+    pub corrupt_frames: u64,
+    /// See [`Metrics::reconnect_attempts`].
+    pub reconnect_attempts: u64,
+    /// See [`Metrics::retries_exhausted`].
+    pub retries_exhausted: u64,
+    /// See [`Metrics::chaos_injections`].
+    pub chaos_injections: u64,
+    /// See [`Metrics::hellos_rejected`].
+    pub hellos_rejected: u64,
 }
 
 impl MetricsSnapshot {
@@ -267,6 +302,17 @@ impl MetricsSnapshot {
             termination_checks: self
                 .termination_checks
                 .saturating_sub(earlier.termination_checks),
+            corrupt_frames: self.corrupt_frames.saturating_sub(earlier.corrupt_frames),
+            reconnect_attempts: self
+                .reconnect_attempts
+                .saturating_sub(earlier.reconnect_attempts),
+            retries_exhausted: self
+                .retries_exhausted
+                .saturating_sub(earlier.retries_exhausted),
+            chaos_injections: self
+                .chaos_injections
+                .saturating_sub(earlier.chaos_injections),
+            hellos_rejected: self.hellos_rejected.saturating_sub(earlier.hellos_rejected),
         }
     }
 }

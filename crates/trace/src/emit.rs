@@ -129,11 +129,14 @@ fn data_json(kind: TraceKind) -> String {
         TraceKind::TerminationCheck { progress_bits } => {
             format!("{{\"progress\":{}}}", f64::from_bits(progress_bits))
         }
+        TraceKind::Corrupt { seq } => format!("{{\"seq\":{seq}}}"),
+        TraceKind::Retry { attempt } => format!("{{\"attempt\":{attempt}}}"),
         TraceKind::IterStart
         | TraceKind::IterEnd
         | TraceKind::MapPhase
         | TraceKind::ReducePhase
-        | TraceKind::StallDetected => "{}".to_string(),
+        | TraceKind::StallDetected
+        | TraceKind::RejectedHello => "{}".to_string(),
     }
 }
 

@@ -102,6 +102,21 @@ pub enum TraceKind {
         /// `f64::to_bits` pattern (lossless across the wire codec).
         progress_bits: u64,
     },
+    /// A frame failed its wire integrity check (CRC/sequence mismatch)
+    /// and the connection was torn down for replay.
+    Corrupt {
+        /// The frame sequence number the receiver expected.
+        seq: u64,
+    },
+    /// The supervisor retried a generation after a no-progress
+    /// recovery, charging the `NetPolicy` retry budget.
+    Retry {
+        /// Consecutive no-progress retries so far (1-based).
+        attempt: u64,
+    },
+    /// `accept_workers` rejected a connection for a bad hello (wrong
+    /// generation/job, out-of-range pair, garbage bytes).
+    RejectedHello,
 }
 
 impl TraceKind {
@@ -122,6 +137,9 @@ impl TraceKind {
             TraceKind::Reconnect { .. } => "Reconnect",
             TraceKind::DeltaRound { .. } => "DeltaRound",
             TraceKind::TerminationCheck { .. } => "TerminationCheck",
+            TraceKind::Corrupt { .. } => "Corrupt",
+            TraceKind::Retry { .. } => "Retry",
+            TraceKind::RejectedHello => "RejectedHello",
         }
     }
 
@@ -143,6 +161,9 @@ impl TraceKind {
             TraceKind::Reconnect { .. } => 10,
             TraceKind::DeltaRound { .. } => 11,
             TraceKind::TerminationCheck { .. } => 12,
+            TraceKind::Corrupt { .. } => 13,
+            TraceKind::Retry { .. } => 14,
+            TraceKind::RejectedHello => 15,
         }
     }
 
@@ -158,11 +179,14 @@ impl TraceKind {
             TraceKind::Reconnect { generation } => (generation, 0),
             TraceKind::DeltaRound { deltas } => (deltas, 0),
             TraceKind::TerminationCheck { progress_bits } => (progress_bits, 0),
+            TraceKind::Corrupt { seq } => (seq, 0),
+            TraceKind::Retry { attempt } => (attempt, 0),
             TraceKind::IterStart
             | TraceKind::IterEnd
             | TraceKind::MapPhase
             | TraceKind::ReducePhase
-            | TraceKind::StallDetected => (0, 0),
+            | TraceKind::StallDetected
+            | TraceKind::RejectedHello => (0, 0),
         }
     }
 
@@ -184,6 +208,9 @@ impl TraceKind {
             10 => TraceKind::Reconnect { generation: a },
             11 => TraceKind::DeltaRound { deltas: a },
             12 => TraceKind::TerminationCheck { progress_bits: a },
+            13 => TraceKind::Corrupt { seq: a },
+            14 => TraceKind::Retry { attempt: a },
+            15 => TraceKind::RejectedHello,
             _ => return None,
         })
     }
@@ -303,6 +330,9 @@ mod tests {
             TraceKind::TerminationCheck {
                 progress_bits: 0.25f64.to_bits(),
             },
+            TraceKind::Corrupt { seq: 41 },
+            TraceKind::Retry { attempt: 2 },
+            TraceKind::RejectedHello,
         ]
     }
 

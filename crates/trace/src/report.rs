@@ -74,6 +74,13 @@ pub struct TraceReport {
     pub stalls: u64,
     /// `Reconnect` events observed.
     pub reconnects: u64,
+    /// `Corrupt` (failed wire integrity check) events observed.
+    pub corrupt_frames: u64,
+    /// `Retry` (supervisor no-progress retry) events observed.
+    pub retries: u64,
+    /// `RejectedHello` (bad handshake dropped in accept) events
+    /// observed.
+    pub rejected_hellos: u64,
 }
 
 impl TraceReport {
@@ -99,6 +106,9 @@ impl TraceReport {
                 TraceKind::Migration { .. } => report.migrations += 1,
                 TraceKind::StallDetected => report.stalls += 1,
                 TraceKind::Reconnect { .. } => report.reconnects += 1,
+                TraceKind::Corrupt { .. } => report.corrupt_frames += 1,
+                TraceKind::Retry { .. } => report.retries += 1,
+                TraceKind::RejectedHello => report.rejected_hellos += 1,
                 TraceKind::StateHandoff { .. }
                 | TraceKind::Broadcast { .. }
                 | TraceKind::Checkpoint { .. }

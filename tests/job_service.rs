@@ -4,8 +4,8 @@
 //! coordinator disconnect.
 
 use imr_jobs::{AlgoSpec, EngineSel, JobPhase, JobService, JobSpec, ResultRecord, ServiceConfig};
-use imr_net::frame::{read_frame, write_frame};
 use imr_net::proto::{ToCoord, ToWorker, WorkerSetup};
+use imr_net::{FrameReader, FrameWriter};
 use imr_records::Codec;
 use std::net::TcpListener;
 use std::process::Command;
@@ -238,9 +238,12 @@ fn drained_worker_exits_cleanly_without_outcome() {
         .args([&addr, "0", "1", "9", "halve"])
         .spawn()
         .unwrap();
-    let (mut sock, _) = listener.accept().unwrap();
+    let (sock, _) = listener.accept().unwrap();
+    let mut reader = FrameReader::new(sock.try_clone().unwrap());
+    let mut writer = FrameWriter::new(sock).unwrap();
 
-    let mut hello = read_frame(&mut sock).unwrap();
+    reader.expect_preamble().unwrap();
+    let mut hello = reader.read().unwrap();
     match ToCoord::decode(&mut hello).unwrap() {
         ToCoord::Hello {
             pair,
@@ -251,16 +254,14 @@ fn drained_worker_exits_cleanly_without_outcome() {
         }
         other => panic!("expected Hello, got {other:?}"),
     }
-    write_frame(
-        &mut sock,
-        &ToWorker::Setup(Box::new(dummy_setup())).to_bytes(),
-    )
-    .unwrap();
-    write_frame(&mut sock, &ToWorker::Drain.to_bytes()).unwrap();
+    writer
+        .write(&ToWorker::Setup(Box::new(dummy_setup())).to_bytes())
+        .unwrap();
+    writer.write(&ToWorker::Drain.to_bytes()).unwrap();
 
     // The worker may flush frames (beats, trace) before closing, but a
     // drained worker must never report an outcome.
-    while let Ok(mut frame) = read_frame(&mut sock) {
+    while let Ok(mut frame) = reader.read() {
         if let Ok(msg) = ToCoord::decode(&mut frame) {
             assert!(
                 !matches!(msg, ToCoord::Outcome(_)),
@@ -283,19 +284,21 @@ fn worker_survives_coordinator_disconnect() {
         .args([&addr, "0", "1", "9", "halve"])
         .spawn()
         .unwrap();
-    let (mut sock, _) = listener.accept().unwrap();
+    let (sock, _) = listener.accept().unwrap();
+    let mut reader = FrameReader::new(sock.try_clone().unwrap());
+    let mut writer = FrameWriter::new(sock).unwrap();
 
-    let mut hello = read_frame(&mut sock).unwrap();
+    reader.expect_preamble().unwrap();
+    let mut hello = reader.read().unwrap();
     assert!(matches!(
         ToCoord::decode(&mut hello).unwrap(),
         ToCoord::Hello { .. }
     ));
-    write_frame(
-        &mut sock,
-        &ToWorker::Setup(Box::new(dummy_setup())).to_bytes(),
-    )
-    .unwrap();
-    drop(sock); // Coordinator dies without a word.
+    writer
+        .write(&ToWorker::Setup(Box::new(dummy_setup())).to_bytes())
+        .unwrap();
+    drop(writer); // Coordinator dies without a word.
+    drop(reader);
 
     let status = wait_with_deadline(&mut child, Duration::from_secs(20));
     assert!(status.success(), "disconnected worker exited {status:?}");

@@ -15,6 +15,7 @@
 #   ./verify.sh trace      # tracing suites + trace_timeline smoke-run
 #   ./verify.sh service    # job-service suites, serial, + CLI smoke
 #   ./verify.sh delta      # delta-accumulative suites, serial, under timeout
+#   ./verify.sh chaos      # wire-robustness + network-chaos suites, serial
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -67,7 +68,7 @@ cmd_bench() {
     table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
     fig13 fig14 fig16 fig18 fig20 ablation
     native_scaling native_recovery native_balance native_transport
-    native_delta jobs_throughput
+    native_delta native_chaos jobs_throughput
   )
   local rows=()
   for bin in "${bins[@]}"; do
@@ -177,6 +178,19 @@ cmd_delta() {
   echo "delta: accumulative-mode suites passed"
 }
 
+# The hardened wire protocol end to end (DESIGN.md §12): the net
+# crate's frame/CRC/policy/chaos units and proptest robustness suite,
+# then the seeded network-chaos matrix — every TCP workload must stay
+# bit-identical to its clean run under injected drops, bit flips,
+# duplicates and resets, and budget exhaustion must dead-letter with a
+# typed error. Serial under timeouts: the chaos suite spawns real
+# worker processes and tears their connections down on purpose.
+cmd_chaos() {
+  timeout 600 cargo test -q -p imr-net
+  timeout 900 cargo test -q --release --test chaos -- --test-threads=1
+  echo "chaos: wire-robustness suites passed"
+}
+
 cmd_all() {
   cmd_fmt
   cmd_lint
@@ -187,14 +201,15 @@ cmd_all() {
   cmd_trace
   cmd_service
   cmd_delta
+  cmd_chaos
 }
 
 case "${1:-all}" in
-  fmt | lint | build | test | faults | bench | trace | service | delta | all)
+  fmt | lint | build | test | faults | bench | trace | service | delta | chaos | all)
     "cmd_${1:-all}" "${@:2}"
     ;;
   *)
-    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|all] [--record]" >&2
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|chaos|all] [--record]" >&2
     exit 2
     ;;
 esac
