@@ -9,8 +9,8 @@
 //! symmetric, all labels converge to the component's minimum id.
 
 use imapreduce::{
-    load_partitioned, Accumulative, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob,
-    StateInput,
+    load_partitioned, Accumulative, Emitter, GraphDeltaOp, Incremental, IterConfig, IterEngine,
+    IterOutcome, IterativeJob, PatchEffect, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::EngineError;
@@ -83,6 +83,62 @@ impl Accumulative for ConCompIter {
         } else {
             0.0
         }
+    }
+}
+
+/// Incremental connected components: `⊕ = min` over labels, so the
+/// planner uses the same witness-reset strategy as SSSP. Removing an
+/// edge inside a component resets every key whose label was witnessed
+/// through it (often the whole component — label propagation carries no
+/// path information to localize the damage), while inserting an edge
+/// only propagates improvements and resets nothing.
+impl Incremental for ConCompIter {
+    fn initial_state(&self, key: u32) -> u32 {
+        key
+    }
+
+    fn empty_static(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn patch_static(&self, _key: u32, adj: &mut Vec<u32>, op: &GraphDeltaOp) -> PatchEffect {
+        match *op {
+            GraphDeltaOp::InsertEdge { dst, .. } => {
+                if adj.contains(&dst) {
+                    PatchEffect::Unchanged
+                } else {
+                    adj.push(dst);
+                    // A new edge can only carry smaller labels forward.
+                    PatchEffect::Improving
+                }
+            }
+            GraphDeltaOp::RemoveEdge { dst, .. } => {
+                let before = adj.len();
+                adj.retain(|&v| v != dst);
+                if adj.len() == before {
+                    PatchEffect::Unchanged
+                } else {
+                    PatchEffect::Worsening
+                }
+            }
+            // Unweighted workload: reweight is a documented no-op.
+            GraphDeltaOp::ReweightEdge { .. } => PatchEffect::Unchanged,
+            GraphDeltaOp::InsertNode { .. } | GraphDeltaOp::RemoveNode { .. } => {
+                PatchEffect::Unchanged
+            }
+        }
+    }
+
+    fn targets(&self, adj: &Vec<u32>) -> Vec<u32> {
+        adj.clone()
+    }
+
+    fn invert(&self, _delta: &u32) -> Option<u32> {
+        None
+    }
+
+    fn state_eq(&self, a: &u32, b: &u32) -> bool {
+        a == b
     }
 }
 

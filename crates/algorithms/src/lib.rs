@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod concomp;
+pub mod incremental;
 pub mod jacobi;
 pub mod kmeans;
 pub mod matpower;

@@ -8,8 +8,8 @@
 //! formulation (no dangling redistribution).
 
 use imapreduce::{
-    load_partitioned, Accumulative, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob,
-    StateInput,
+    load_partitioned, Accumulative, Emitter, GraphDeltaOp, Incremental, IterConfig, IterEngine,
+    IterOutcome, IterativeJob, PatchEffect, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::{
@@ -113,6 +113,69 @@ impl Accumulative for PageRankIter {
 
     fn progress(&self, _k: &u32, _v: &f64, d: &f64) -> f64 {
         d.abs()
+    }
+}
+
+/// Incremental PageRank (DESIGN.md §13): `⊕ = +` is a group, so the
+/// planner retracts a changed row's old emissions with their negations
+/// and injects the new ones — no key is ever reseeded except freshly
+/// inserted nodes.
+///
+/// `num_nodes` is a **fixed job parameter** (the id-namespace size used
+/// for the `(1-d)/|V|` prior), not the live node count: a delta that
+/// inserts or removes nodes keeps the same job, so the per-key source
+/// term — and therefore the previous fixpoint — stays valid. Cold
+/// recomputes being compared against an incremental run must use the
+/// same `num_nodes`.
+impl Incremental for PageRankIter {
+    fn initial_state(&self, _key: u32) -> f64 {
+        1.0 / self.num_nodes as f64
+    }
+
+    fn empty_static(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn patch_static(&self, _key: u32, adj: &mut Vec<u32>, op: &GraphDeltaOp) -> PatchEffect {
+        match *op {
+            GraphDeltaOp::InsertEdge { dst, .. } => {
+                if adj.contains(&dst) {
+                    PatchEffect::Unchanged
+                } else {
+                    adj.push(dst);
+                    // Degree changes rescale every surviving share, so
+                    // downstream ranks can move either way.
+                    PatchEffect::Worsening
+                }
+            }
+            GraphDeltaOp::RemoveEdge { dst, .. } => {
+                let before = adj.len();
+                adj.retain(|&v| v != dst);
+                if adj.len() == before {
+                    PatchEffect::Unchanged
+                } else {
+                    PatchEffect::Worsening
+                }
+            }
+            // Unweighted workload: reweight is a documented no-op.
+            GraphDeltaOp::ReweightEdge { .. } => PatchEffect::Unchanged,
+            // Node ops are resolved into edge ops by apply_delta.
+            GraphDeltaOp::InsertNode { .. } | GraphDeltaOp::RemoveNode { .. } => {
+                PatchEffect::Unchanged
+            }
+        }
+    }
+
+    fn targets(&self, adj: &Vec<u32>) -> Vec<u32> {
+        adj.clone()
+    }
+
+    fn invert(&self, delta: &f64) -> Option<f64> {
+        Some(-delta)
+    }
+
+    fn state_eq(&self, a: &f64, b: &f64) -> bool {
+        a == b
     }
 }
 

@@ -6,8 +6,8 @@
 //! outgoing edge weight; every node keeps the minimum it has seen.
 
 use imapreduce::{
-    load_partitioned, Accumulative, Emitter, IterConfig, IterEngine, IterOutcome, IterativeJob,
-    StateInput,
+    load_partitioned, Accumulative, Emitter, GraphDeltaOp, Incremental, IterConfig, IterEngine,
+    IterOutcome, IterativeJob, PatchEffect, StateInput,
 };
 use imr_graph::Graph;
 use imr_mapreduce::{
@@ -105,6 +105,144 @@ impl Accumulative for SsspIter {
 
     fn progress(&self, _k: &u32, v: &f64, d: &f64) -> f64 {
         (v.min(SSSP_BIG) - v.min(*d).min(SSSP_BIG)).max(0.0)
+    }
+}
+
+/// Incremental-capable SSSP: [`SsspIter`] plus the source id, which the
+/// planner needs to reseed keys (`0` at the source, `+∞` elsewhere).
+/// The map/reduce/extract behavior is byte-for-byte [`SsspIter`]'s, so
+/// TCP workers keep serving `SsspIter` while the coordinator plans with
+/// `SsspInc`.
+///
+/// `⊕ = min` is idempotent (no inverse), so a delta that removes or
+/// worsens an edge reseeds the keys whose converged distance was
+/// *witnessed* by an affected emission — plus everything transitively
+/// downstream of them — and lets relaxation rebuild the region from
+/// surviving paths.
+#[derive(Debug, Clone, Copy)]
+pub struct SsspInc {
+    /// Source node (distance 0).
+    pub source: u32,
+}
+
+impl IterativeJob for SsspInc {
+    type K = u32;
+    type S = f64;
+    type T = Adj;
+
+    fn map(
+        &self,
+        k: &u32,
+        state: StateInput<'_, u32, f64>,
+        adj: &Adj,
+        out: &mut Emitter<u32, f64>,
+    ) {
+        SsspIter.map(k, state, adj, out)
+    }
+
+    fn reduce(&self, k: &u32, values: Vec<f64>) -> f64 {
+        SsspIter.reduce(k, values)
+    }
+
+    fn distance(&self, k: &u32, prev: &f64, cur: &f64) -> f64 {
+        SsspIter.distance(k, prev, cur)
+    }
+
+    fn partition(&self, key: &u32, n: usize) -> usize {
+        SsspIter.partition(key, n)
+    }
+}
+
+impl Accumulative for SsspInc {
+    fn identity(&self) -> f64 {
+        SsspIter.identity()
+    }
+
+    fn combine_delta(&self, a: &f64, b: &f64) -> f64 {
+        SsspIter.combine_delta(a, b)
+    }
+
+    fn seed(&self, k: &u32, loaded: &f64) -> (f64, f64) {
+        SsspIter.seed(k, loaded)
+    }
+
+    fn extract(&self, k: &u32, delta: &f64, adj: &Adj, out: &mut Emitter<u32, f64>) {
+        SsspIter.extract(k, delta, adj, out)
+    }
+
+    fn progress(&self, k: &u32, v: &f64, d: &f64) -> f64 {
+        SsspIter.progress(k, v, d)
+    }
+}
+
+impl Incremental for SsspInc {
+    fn initial_state(&self, key: u32) -> f64 {
+        if key == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn empty_static(&self) -> Adj {
+        Vec::new()
+    }
+
+    fn patch_static(&self, _key: u32, adj: &mut Adj, op: &GraphDeltaOp) -> PatchEffect {
+        // Invariant kept across all workloads: at most one edge per
+        // (src, dst). Inserting over an existing edge updates its
+        // weight, like a reweight.
+        fn set_weight(adj: &mut Adj, dst: u32, weight: f32) -> PatchEffect {
+            let mut changed = false;
+            let mut worse = false;
+            for e in adj.iter_mut().filter(|e| e.0 == dst) {
+                if e.1 != weight {
+                    changed = true;
+                    worse |= weight > e.1;
+                    e.1 = weight;
+                }
+            }
+            match (changed, worse) {
+                (false, _) => PatchEffect::Unchanged,
+                (true, false) => PatchEffect::Improving,
+                (true, true) => PatchEffect::Worsening,
+            }
+        }
+        match *op {
+            GraphDeltaOp::InsertEdge { dst, weight, .. } => {
+                if adj.iter().any(|e| e.0 == dst) {
+                    set_weight(adj, dst, weight)
+                } else {
+                    adj.push((dst, weight));
+                    PatchEffect::Improving
+                }
+            }
+            GraphDeltaOp::RemoveEdge { dst, .. } => {
+                let before = adj.len();
+                adj.retain(|e| e.0 != dst);
+                if adj.len() == before {
+                    PatchEffect::Unchanged
+                } else {
+                    PatchEffect::Worsening
+                }
+            }
+            GraphDeltaOp::ReweightEdge { dst, weight, .. } => set_weight(adj, dst, weight),
+            GraphDeltaOp::InsertNode { .. } | GraphDeltaOp::RemoveNode { .. } => {
+                PatchEffect::Unchanged
+            }
+        }
+    }
+
+    fn targets(&self, adj: &Adj) -> Vec<u32> {
+        adj.iter().map(|&(v, _)| v).collect()
+    }
+
+    fn invert(&self, _delta: &f64) -> Option<f64> {
+        None
+    }
+
+    fn state_eq(&self, a: &f64, b: &f64) -> bool {
+        a == b
     }
 }
 

@@ -233,6 +233,13 @@ pub struct IterConfig {
     /// is the mode's unit of supervision — heartbeats, checkpoints and
     /// `max_iterations` all count checks. Must be at least 1.
     pub check_every: usize,
+    /// Incremental re-convergence (i2MapReduce-style, DESIGN.md §13):
+    /// the state parts hold a warm `(key, (value, pending))` plan
+    /// produced by [`plan_incremental`](crate::plan_incremental) from a
+    /// preserved fixpoint plus a [`GraphDelta`](crate::GraphDelta), and
+    /// every engine decodes them directly instead of seeding from
+    /// scratch. Requires `accumulative`.
+    pub incremental: bool,
     /// Unified network policy for the TCP backend: connect/handshake
     /// deadlines, teardown grace, the supervisor's no-progress retry
     /// budget and the worker connect loop's jittered exponential
@@ -272,6 +279,7 @@ impl IterConfig {
             accumulative: false,
             delta_batch: 0,
             check_every: 1,
+            incremental: false,
             net: NetPolicy::default(),
             chaos: None,
         }
@@ -375,6 +383,17 @@ impl IterConfig {
         self
     }
 
+    /// Incremental re-convergence from a preserved fixpoint: the state
+    /// parts carry a warm `(value, pending)` plan (see
+    /// [`plan_incremental`](crate::plan_incremental)) and engines
+    /// decode them instead of seeding. Implies nothing else — combine
+    /// with [`with_accumulative_mode`](IterConfig::with_accumulative_mode),
+    /// which it requires.
+    pub fn with_incremental_mode(mut self) -> Self {
+        self.incremental = true;
+        self
+    }
+
     /// Whether maps effectively run synchronously (explicit flag or
     /// implied by one2all).
     pub fn effective_sync(&self) -> bool {
@@ -396,6 +415,13 @@ impl IterConfig {
     /// Delay faults alone are fine without checkpoints: a delayed pair
     /// still completes.
     pub fn validate(&self, faults: &[FaultEvent]) -> Result<(), EngineError> {
+        if self.incremental && !self.accumulative {
+            return Err(EngineError::Config(
+                "incremental mode requires accumulative mode: warm-start \
+                 plans are (value, pending-delta) stores"
+                    .into(),
+            ));
+        }
         if self.accumulative {
             if self.mapping == Mapping::One2All {
                 return Err(EngineError::Config(
@@ -747,6 +773,21 @@ mod tests {
             at_iteration: 1,
         };
         assert!(is_config_err(base.validate(&[hang]), "watchdog"));
+    }
+
+    #[test]
+    fn incremental_builder_sets_field_and_requires_accumulative() {
+        let c = IterConfig::new("pr", 4, 50)
+            .with_accumulative_mode()
+            .with_incremental_mode()
+            .with_distance_threshold(1e-9);
+        assert!(c.incremental);
+        assert!(c.validate(&[]).is_ok());
+        let d = IterConfig::new("pr", 4, 50);
+        assert!(!d.incremental);
+        // Incremental without accumulative is rejected on every engine.
+        let bare = IterConfig::new("pr", 4, 50).with_incremental_mode();
+        assert!(is_config_err(bare.validate(&[]), "accumulative"));
     }
 
     #[test]

@@ -903,15 +903,29 @@ impl IterativeRunner {
             let sbytes = self.dfs.len(&part_path(static_dir, p))?;
             clock.advance(cost.serde_per_byte * sbytes);
             clock.advance(cost.sort_time(stat.len() as u64, speed));
-            let st: Vec<(J::K, J::S)> = read_part(&self.dfs, state_dir, p, node, &mut clock)?;
             let bytes = self.dfs.len(&part_path(state_dir, p))?;
+            let store = if cfg.incremental {
+                // Warm start: the state part already holds the planned
+                // (key, (value, pending)) entries — decode, don't seed.
+                let st: Vec<(J::K, (J::S, J::S))> =
+                    read_part(&self.dfs, state_dir, p, node, &mut clock)?;
+                assert_eq!(
+                    st.len(),
+                    stat.len(),
+                    "state/static co-partitioning broken at pair {p}"
+                );
+                DeltaStore::restore(st)
+            } else {
+                let st: Vec<(J::K, J::S)> = read_part(&self.dfs, state_dir, p, node, &mut clock)?;
+                assert_eq!(
+                    st.len(),
+                    stat.len(),
+                    "state/static co-partitioning broken at pair {p}"
+                );
+                DeltaStore::seed(job, &st)
+            };
             clock.advance(cost.serde_per_byte * bytes);
-            assert_eq!(
-                st.len(),
-                stat.len(),
-                "state/static co-partitioning broken at pair {p}"
-            );
-            stores.push(DeltaStore::seed(job, &st));
+            stores.push(store);
             static_store.push(stat);
             now.push(clock.now());
         }

@@ -15,8 +15,12 @@ use crate::accum::Accumulative;
 use crate::api::IterativeJob;
 use crate::config::{FailureEvent, FaultEvent, IterConfig};
 use crate::engine::{IterOutcome, IterativeRunner};
+use crate::incremental::{
+    prepare_incremental, FixpointStore, GraphDelta, Incremental, IncrementalOutcome,
+};
 use imr_dfs::Dfs;
 use imr_mapreduce::EngineError;
+use imr_simcluster::TaskClock;
 use imr_trace::TraceHandle;
 
 /// A backend that can run iterative jobs end to end.
@@ -83,6 +87,53 @@ pub trait IterEngine {
         output_dir: &str,
         faults: &[FaultEvent],
     ) -> Result<IterOutcome<J::K, J::S>, EngineError>;
+
+    /// Re-converges `job` from a preserved fixpoint after `delta`
+    /// mutates the graph (i2MapReduce-style; `cfg.incremental` and
+    /// `cfg.accumulative` must both be set).
+    ///
+    /// Loads the latest fixpoint from `fix` and the previous static
+    /// parts from `prev_static_dir`, computes the affected-key plan
+    /// ([`plan_incremental`](crate::plan_incremental)), writes the warm
+    /// `(value, pending)` state to `state_dir` and the patched statics
+    /// to `static_dir`, then runs the accumulative engine on them.
+    /// Because the warm parts are ordinary DFS inputs, the existing
+    /// checkpoint/rollback supervision applies unchanged: a kill
+    /// mid-incremental-run replays to a bit-identical outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn run_incremental<J: Incremental>(
+        &self,
+        job: &J,
+        cfg: &IterConfig,
+        fix: &FixpointStore,
+        prev_static_dir: &str,
+        delta: &GraphDelta,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IncrementalOutcome<J::S>, EngineError> {
+        if !cfg.incremental {
+            return Err(EngineError::Config(
+                "run_incremental requires IterConfig::with_incremental_mode".into(),
+            ));
+        }
+        cfg.validate(faults)?;
+        let mut clock = TaskClock::default();
+        let stats = prepare_incremental(
+            job,
+            self.dfs(),
+            fix,
+            prev_static_dir,
+            delta,
+            cfg.num_tasks,
+            state_dir,
+            static_dir,
+            &mut clock,
+        )?;
+        let outcome = self.run_accumulative(job, cfg, state_dir, static_dir, output_dir, faults)?;
+        Ok(IncrementalOutcome { outcome, stats })
+    }
 
     /// Runs `job` to termination with scripted kills only (the
     /// historical surface; each [`FailureEvent`] is a

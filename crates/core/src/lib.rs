@@ -71,6 +71,7 @@ mod aux;
 mod config;
 mod ctl;
 mod engine;
+mod incremental;
 mod iter_engine;
 mod multiphase;
 mod store;
@@ -83,6 +84,10 @@ pub use config::{
 };
 pub use ctl::RunCtl;
 pub use engine::{carry_forward, distance_sorted, IterOutcome, IterativeRunner};
+pub use incremental::{
+    apply_delta, plan_incremental, prepare_incremental, AppliedDelta, FixpointStore, GraphDelta,
+    GraphDeltaOp, Incremental, IncrementalOutcome, IncrementalPlan, PatchEffect, PatchStats,
+};
 pub use iter_engine::IterEngine;
 pub use multiphase::{run_two_phase, PhaseJob, TwoPhaseConfig, TwoPhaseOutcome};
 pub use store::{load_partitioned, part_len, partition_sorted};

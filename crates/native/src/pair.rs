@@ -47,6 +47,10 @@ pub(crate) struct PairCfg {
     pub delta_batch: usize,
     /// Accumulative mode: rounds between two termination checks.
     pub check_every: usize,
+    /// Incremental mode: epoch-0 state parts are warm
+    /// `(key, (value, pending))` plans to restore, not initial state to
+    /// seed (i2MapReduce-style warm start).
+    pub incremental: bool,
 }
 
 impl PairCfg {
@@ -62,6 +66,7 @@ impl PairCfg {
             accumulative: cfg.accumulative,
             delta_batch: cfg.delta_batch,
             check_every: cfg.check_every,
+            incremental: cfg.incremental,
         }
     }
 }
@@ -194,6 +199,15 @@ pub(crate) trait PairEnv: Transport {
     /// the TCP environment overrides this because its local registry is
     /// a sink.
     fn delta_stats(&mut self, _deltas: u64, _preemptions: u64, _checks: u64) {}
+    /// Verify the epoch-0 warm-start patch part against the
+    /// coordinator's expectation (incremental mode). The thread backend
+    /// shares memory with the coordinator, so nothing can diverge and
+    /// the default is a no-op; the TCP environment overrides this to
+    /// wait for the `Patch` frame, compare length + digest, and echo a
+    /// `PatchStats` frame back.
+    fn patch_verify(&mut self, _raw: &Bytes, _keys: usize) -> Result<(), EnvFail> {
+        Ok(())
+    }
 }
 
 /// The per-iteration loop. `Err` carries real failures (DFS, codec);
@@ -612,6 +626,18 @@ pub(crate) fn delta_loop<J: imapreduce::Accumulative, E: PairEnv>(
     };
     let mut store: DeltaStore<J::K, J::S> = if epoch == 0 {
         match env.read_part(&dirs.state_dir, q) {
+            Ok(raw) if cfg.incremental => {
+                // Warm start: the part holds the planner's
+                // (key, (value, pending)) entries. Verify against the
+                // coordinator's Patch expectation before restoring.
+                let entries = decode_pairs::<J::K, (J::S, J::S)>(raw.clone())?;
+                match env.patch_verify(&raw, entries.len()) {
+                    Ok(()) => {}
+                    Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
+                    Err(EnvFail::Error(e)) => return Err(e),
+                }
+                DeltaStore::restore(entries)
+            }
             Ok(raw) => DeltaStore::seed(job, &decode_pairs::<J::K, J::S>(raw)?),
             Err(EnvFail::Closed) => return Ok(PairOutcome::Aborted),
             Err(EnvFail::Error(e)) => return Err(e),

@@ -46,7 +46,10 @@ use crate::pair::{
 use crate::supervisor::{assert_partitioning, supervise, GenInput, PairRun, RunOutcome};
 use crate::{NativeRunner, HANDOFF_BUFFER};
 use bytes::Bytes;
-use imapreduce::{FaultEvent, IterConfig, IterOutcome, IterativeJob, Mapping, TransportKind};
+use imapreduce::{
+    prepare_incremental, FaultEvent, FixpointStore, GraphDelta, Incremental, IncrementalOutcome,
+    IterConfig, IterOutcome, IterativeJob, Mapping, TransportKind,
+};
 use imr_dfs::{hist_path, snapshot_dir};
 use imr_mapreduce::io::{num_parts, part_path};
 use imr_mapreduce::EngineError;
@@ -137,6 +140,94 @@ impl NativeRunner {
     #[allow(clippy::too_many_arguments)]
     pub fn run_remote<J: IterativeJob>(
         &self,
+        job: &J,
+        spec: &WorkerSpec,
+        cfg: &IterConfig,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
+        self.run_remote_inner(
+            job, spec, cfg, state_dir, static_dir, output_dir, faults, None,
+        )
+    }
+
+    /// Re-converges `job` from a preserved fixpoint after `delta`
+    /// mutates the graph, with every pair in its own OS process (the
+    /// TCP flavor of [`IterEngine::run_incremental`]; `cfg.incremental`
+    /// and `cfg.accumulative` must both be set, plus
+    /// `cfg.with_tcp_transport()`).
+    ///
+    /// The incremental plan is computed in the supervisor
+    /// ([`prepare_incremental`]); workers cannot be trusted to have
+    /// loaded the right warm start blindly, so the coordinator
+    /// announces each warm state part's size and FNV-64 digest in a
+    /// [`ToWorker::Patch`] frame right after setup, and every worker
+    /// echoes what it actually decoded as [`ToCoord::PatchStats`]. A
+    /// mismatch on either side fails the run instead of silently
+    /// converging from the wrong fixpoint. Kills, hangs and chaos
+    /// recover exactly as in [`NativeRunner::run_remote`]: replays from
+    /// a checkpoint skip the patch exchange (the snapshot is already
+    /// post-patch), replays from epoch 0 repeat it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_remote_incremental<J>(
+        &self,
+        job: &J,
+        spec: &WorkerSpec,
+        cfg: &IterConfig,
+        fix: &FixpointStore,
+        prev_static_dir: &str,
+        delta: &GraphDelta,
+        state_dir: &str,
+        static_dir: &str,
+        output_dir: &str,
+        faults: &[FaultEvent],
+    ) -> Result<IncrementalOutcome<J::S>, EngineError>
+    where
+        J: Incremental,
+    {
+        if !cfg.incremental {
+            return Err(EngineError::Config(
+                "run_remote_incremental requires IterConfig::with_incremental_mode".into(),
+            ));
+        }
+        cfg.validate(faults)?;
+        let mut clock = TaskClock::default();
+        let stats = prepare_incremental(
+            job,
+            &self.dfs,
+            fix,
+            prev_static_dir,
+            delta,
+            cfg.num_tasks,
+            state_dir,
+            static_dir,
+            &mut clock,
+        )?;
+        let mut patches = Vec::with_capacity(cfg.num_tasks);
+        for q in 0..cfg.num_tasks {
+            let raw = self
+                .dfs
+                .read(&part_path(state_dir, q), NodeId(0), &mut clock)?;
+            patches.push((raw.len() as u64, patch_digest(&raw)));
+        }
+        let outcome = self.run_remote_inner(
+            job,
+            spec,
+            cfg,
+            state_dir,
+            static_dir,
+            output_dir,
+            faults,
+            Some(patches),
+        )?;
+        Ok(IncrementalOutcome { outcome, stats })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_remote_inner<J: IterativeJob>(
+        &self,
         _job: &J,
         spec: &WorkerSpec,
         cfg: &IterConfig,
@@ -144,6 +235,7 @@ impl NativeRunner {
         static_dir: &str,
         output_dir: &str,
         faults: &[FaultEvent],
+        patches: Option<Vec<(u64, u64)>>,
     ) -> Result<IterOutcome<J::K, J::S>, EngineError> {
         cfg.validate(faults)?;
         if cfg.transport != TransportKind::Tcp {
@@ -198,6 +290,7 @@ impl NativeRunner {
                     generation_no,
                     &plans,
                     chaos_state.as_ref(),
+                    patches.as_deref(),
                     gen,
                 )
             };
@@ -215,6 +308,20 @@ impl NativeRunner {
             &mut run_gen,
         )
     }
+}
+
+/// FNV-1a 64-bit digest of a warm-start state part's encoded bytes.
+/// Both halves of the patch handshake compute it — the coordinator over
+/// the part it planned, the worker over the part it decoded — so any
+/// divergence (truncated read, stale part, routing error) surfaces as a
+/// digest mismatch before the run converges from the wrong bytes.
+fn patch_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Shared coordinator state for one generation.
@@ -315,6 +422,11 @@ struct Coordinator<'a> {
     /// checkpoint sidecar (workers only know their generation-local
     /// entries).
     seed_dist: &'a [Vec<(f64, bool)>],
+    /// Expected `(bytes, digest)` of each pair's warm-start state part
+    /// in an incremental run: announced to workers at epoch 0 and
+    /// checked against their [`ToCoord::PatchStats`] echo. `None`
+    /// outside incremental runs, where any echo is a protocol error.
+    patches: Option<&'a [(u64, u64)]>,
 }
 
 impl Coordinator<'_> {
@@ -392,6 +504,7 @@ fn run_generation(
     generation: u64,
     plans: &[PairPlan],
     chaos_state: Option<&Arc<ChaosState>>,
+    patches: Option<&[(u64, u64)]>,
     gen: GenInput<'_>,
 ) -> Result<(Vec<PairRun>, Option<Intervention>), EngineError> {
     let n = plans.len();
@@ -484,6 +597,7 @@ fn run_generation(
         assignment: gen.assignment,
         trace_offset,
         seed_dist: gen.seed_dist,
+        patches,
     };
 
     // First frame on every connection: the job/generation parameters.
@@ -511,8 +625,22 @@ fn run_generation(
                 accumulative: cfg.accumulative,
                 delta_batch: cfg.delta_batch,
                 check_every: cfg.check_every,
+                incremental: cfg.incremental,
             })),
         );
+    }
+
+    // Warm-start integrity: at epoch 0 of an incremental run each pair
+    // loads a freshly planned `(value, pending)` part, so the
+    // coordinator announces the part's size and digest right after the
+    // setup frame. Replays from a checkpoint (epoch > 0) restore the
+    // snapshot instead and never consume a patch frame.
+    if epoch == 0 {
+        if let Some(patches) = patches {
+            for (q, &(bytes, digest)) in patches.iter().enumerate().take(n) {
+                co.send_to(q, &ToWorker::Patch { bytes, digest });
+            }
+        }
     }
 
     let monitor_enabled = cfg.watchdog.is_some() || cfg.load_balance.is_some();
@@ -682,6 +810,36 @@ fn reader_loop(co: &Coordinator<'_>, q: usize, mut reader: FrameReader<ChaosStre
                 co.runner.metrics.deltas_sent.add(deltas);
                 co.runner.metrics.priority_preemptions.add(preemptions);
                 co.runner.metrics.termination_checks.add(checks);
+            }
+            ToCoord::PatchStats {
+                keys,
+                bytes,
+                digest,
+            } => {
+                // The worker's proof that it restored the announced
+                // warm-start part. A mismatched echo (or an echo outside
+                // an incremental run) means the worker warm-started from
+                // the wrong bytes — fatal, like a failed checkpoint
+                // write: the fixpoint it would converge from is not the
+                // one the planner produced.
+                let expected = co.patches.and_then(|p| p.get(q)).copied();
+                match expected {
+                    Some((eb, ed)) if eb == bytes && ed == digest => {}
+                    _ => {
+                        let mut st = co.state.lock();
+                        if st.outcomes[q].is_none() {
+                            let want = expected.map_or_else(
+                                || "no patch was announced".to_owned(),
+                                |(eb, ed)| format!("announced {eb} bytes, digest {ed:#018x}"),
+                            );
+                            st.outcomes[q] = Some(RunOutcome::Error(EngineError::Worker(format!(
+                                "pair {q}: warm-start patch mismatch: worker loaded {keys} \
+                                 keys, {bytes} bytes, digest {digest:#018x}; {want}"
+                            ))));
+                        }
+                        co.poison_locked(&mut st);
+                    }
+                }
             }
             ToCoord::Credit { src } => {
                 if src < co.n {
@@ -1089,6 +1247,24 @@ impl PairEnv for RemoteEnv {
     fn delta_stats(&mut self, deltas: u64, preemptions: u64, checks: u64) {
         self.conn.send_delta_stats(deltas, preemptions, checks);
     }
+    fn patch_verify(&mut self, raw: &Bytes, keys: usize) -> Result<(), EnvFail> {
+        // Block for the coordinator's patch announcement (sent right
+        // after setup at epoch 0), prove the loaded bytes match it,
+        // then echo what was decoded so the coordinator can
+        // double-check from its side.
+        let (bytes, digest) = self.conn.wait_patch().map_err(|_| EnvFail::Closed)?;
+        let local = patch_digest(raw);
+        if bytes != raw.len() as u64 || digest != local {
+            return Err(EnvFail::Error(EngineError::Worker(format!(
+                "warm-start patch mismatch: coordinator announced {bytes} bytes \
+                 (digest {digest:#018x}), worker loaded {} bytes (digest {local:#018x})",
+                raw.len()
+            ))));
+        }
+        self.conn
+            .send_patch_stats(keys as u64, raw.len() as u64, local);
+        Ok(())
+    }
     fn hang(&mut self) {
         self.conn.block_until_poisoned();
     }
@@ -1185,6 +1361,7 @@ fn serve_inner<J: IterativeJob>(
         accumulative: setup.accumulative,
         delta_batch: setup.delta_batch,
         check_every: setup.check_every,
+        incremental: setup.incremental,
     };
     let dirs = PairDirs {
         state_dir: setup.state_dir.clone(),

@@ -50,6 +50,9 @@ struct ConnState {
     broadcast: Option<Vec<Bytes>>,
     distance: Option<(f64, bool)>,
     part: Option<Result<Bytes, String>>,
+    /// Incremental-mode patch expectation from the coordinator
+    /// (`(bytes, digest)` of our epoch-0 warm-start part).
+    patch: Option<(u64, u64)>,
     poisoned: bool,
     /// The coordinator asked for an orderly shutdown ([`ToWorker::Drain`]).
     /// Implies `poisoned` so every waiter unwinds, but lets the worker
@@ -160,6 +163,7 @@ impl WorkerConn {
                 broadcast: None,
                 distance: None,
                 part: None,
+                patch: None,
                 poisoned: false,
                 drained: false,
             }),
@@ -340,6 +344,22 @@ impl WorkerConn {
             checks,
         });
     }
+
+    /// Block until the coordinator's incremental-mode [`ToWorker::Patch`]
+    /// expectation arrives; returns its `(bytes, digest)`.
+    pub fn wait_patch(&mut self) -> Result<(u64, u64), Closed> {
+        self.wait_until(|s| s.patch.take())
+    }
+
+    /// Echo what we actually restored from the warm-start part so the
+    /// coordinator can verify the plan arrived intact.
+    pub fn send_patch_stats(&mut self, keys: u64, bytes: u64, digest: u64) {
+        let _ = self.write(&ToCoord::PatchStats {
+            keys,
+            bytes,
+            digest,
+        });
+    }
 }
 
 impl Transport for WorkerConn {
@@ -404,6 +424,7 @@ fn reader_loop(mut reader: FrameReader<TcpStream>, shared: Arc<ConnShared>) {
             ToWorker::DistanceTotal { total, any_prev } => state.distance = Some((total, any_prev)),
             ToWorker::PartData { payload } => state.part = Some(Ok(payload)),
             ToWorker::PartErr { message } => state.part = Some(Err(message)),
+            ToWorker::Patch { bytes, digest } => state.patch = Some((bytes, digest)),
             ToWorker::Poison => {
                 state.poisoned = true;
                 // Keep reading so the coordinator's writes never block

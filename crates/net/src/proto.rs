@@ -73,6 +73,11 @@ pub enum ToCoord {
         preemptions: u64,
         checks: u64,
     },
+    /// Incremental-mode patch receipt: the worker decoded its epoch-0
+    /// warm-start part and echoes what it saw (`keys` restored, raw
+    /// `bytes` length and FNV-64 `digest`) so the coordinator can
+    /// verify the plan arrived intact (see [`ToWorker::Patch`]).
+    PatchStats { keys: u64, bytes: u64, digest: u64 },
 }
 
 /// Messages sent from the coordinator to a worker process.
@@ -104,6 +109,13 @@ pub enum ToWorker {
     /// A delta segment produced by pair `src` (barrier-free
     /// accumulative mode; see [`ToCoord::Delta`]).
     Delta { src: usize, payload: Bytes },
+    /// Incremental-mode patch expectation, sent right after `Setup`
+    /// when a generation starts at epoch 0 with `incremental` set: the
+    /// raw `bytes` length and FNV-64 `digest` of the warm-start state
+    /// part the coordinator planned for this pair. The worker compares
+    /// them against what it actually read before restoring its store
+    /// and replies with [`ToCoord::PatchStats`].
+    Patch { bytes: u64, digest: u64 },
 }
 
 /// Terminal worker status carried by [`ToCoord::Outcome`].
@@ -164,6 +176,10 @@ pub struct WorkerSetup {
     pub delta_batch: usize,
     /// Delta rounds between termination checks.
     pub check_every: usize,
+    /// Incremental warm start: epoch-0 state parts hold planned
+    /// `(key, (value, pending))` entries to restore, guarded by a
+    /// [`ToWorker::Patch`] / [`ToCoord::PatchStats`] handshake.
+    pub incremental: bool,
 }
 
 impl Codec for OutcomeKind {
@@ -237,6 +253,7 @@ impl Codec for WorkerSetup {
         self.accumulative.encode(buf);
         self.delta_batch.encode(buf);
         self.check_every.encode(buf);
+        self.incremental.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
         Ok(WorkerSetup {
@@ -260,6 +277,7 @@ impl Codec for WorkerSetup {
             accumulative: bool::decode(buf)?,
             delta_batch: usize::decode(buf)?,
             check_every: usize::decode(buf)?,
+            incremental: bool::decode(buf)?,
         })
     }
     fn encoded_len(&self) -> usize {
@@ -283,6 +301,7 @@ impl Codec for WorkerSetup {
             + self.accumulative.encoded_len()
             + self.delta_batch.encoded_len()
             + self.check_every.encoded_len()
+            + self.incremental.encoded_len()
     }
 }
 
@@ -368,6 +387,16 @@ impl Codec for ToCoord {
                 preemptions.encode(buf);
                 checks.encode(buf);
             }
+            ToCoord::PatchStats {
+                keys,
+                bytes,
+                digest,
+            } => {
+                13u8.encode(buf);
+                keys.encode(buf);
+                bytes.encode(buf);
+                digest.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
@@ -420,6 +449,11 @@ impl Codec for ToCoord {
                 preemptions: u64::decode(buf)?,
                 checks: u64::decode(buf)?,
             },
+            13 => ToCoord::PatchStats {
+                keys: u64::decode(buf)?,
+                bytes: u64::decode(buf)?,
+                digest: u64::decode(buf)?,
+            },
             _ => return Err(CodecError::Corrupt("unknown ToCoord tag")),
         })
     }
@@ -460,6 +494,11 @@ impl Codec for ToCoord {
                 preemptions,
                 checks,
             } => deltas.encoded_len() + preemptions.encoded_len() + checks.encoded_len(),
+            ToCoord::PatchStats {
+                keys,
+                bytes,
+                digest,
+            } => keys.encoded_len() + bytes.encoded_len() + digest.encoded_len(),
         }
     }
 }
@@ -505,6 +544,11 @@ impl Codec for ToWorker {
                 src.encode(buf);
                 payload.encode(buf);
             }
+            ToWorker::Patch { bytes, digest } => {
+                11u8.encode(buf);
+                bytes.encode(buf);
+                digest.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
@@ -537,6 +581,10 @@ impl Codec for ToWorker {
                 src: usize::decode(buf)?,
                 payload: Bytes::decode(buf)?,
             },
+            11 => ToWorker::Patch {
+                bytes: u64::decode(buf)?,
+                digest: u64::decode(buf)?,
+            },
             _ => return Err(CodecError::Corrupt("unknown ToWorker tag")),
         })
     }
@@ -555,6 +603,7 @@ impl Codec for ToWorker {
             ToWorker::Poison => 0,
             ToWorker::Drain => 0,
             ToWorker::Delta { src, payload } => src.encoded_len() + payload.encoded_len(),
+            ToWorker::Patch { bytes, digest } => bytes.encoded_len() + digest.encoded_len(),
         }
     }
 }
@@ -594,6 +643,7 @@ mod tests {
             accumulative: true,
             delta_batch: 16,
             check_every: 3,
+            incremental: true,
         }
     }
 
@@ -650,6 +700,11 @@ mod tests {
             preemptions: 7,
             checks: 1,
         });
+        round_trip(ToCoord::PatchStats {
+            keys: 512,
+            bytes: 8192,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        });
     }
 
     #[test]
@@ -679,6 +734,10 @@ mod tests {
         round_trip(ToWorker::Delta {
             src: 1,
             payload: Bytes::new(),
+        });
+        round_trip(ToWorker::Patch {
+            bytes: 8192,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
         });
     }
 

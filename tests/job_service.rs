@@ -326,6 +326,7 @@ fn dummy_setup() -> WorkerSetup {
         accumulative: false,
         delta_batch: 0,
         check_every: 1,
+        incremental: false,
     }
 }
 

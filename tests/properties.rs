@@ -287,6 +287,122 @@ proptest! {
         prop_assert_eq!(failed.iterations, clean.iterations);
         prop_assert_eq!(&failed.distances, &clean.distances);
     }
+
+    /// Incremental runs compose: an arbitrary sequence of small graph
+    /// deltas (edge inserts/removals/reweights, node inserts) applied
+    /// one warm re-convergence at a time — each chained off the
+    /// previous run's preserved fixpoint — lands on exactly the
+    /// fixpoint one cold run computes on the final mutated graph, and
+    /// the sim and native engines agree bit for bit along the way.
+    #[test]
+    fn incremental_delta_sequences_match_one_cold_run(
+        seed in any::<u64>(),
+        n in 20usize..50,
+        ops in proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>(), 1u32..60), 1..5),
+    ) {
+        use imapreduce::GraphDelta;
+        use imr_algorithms::incremental::{converge_cold, patched_statics, weighted_statics};
+        use imr_algorithms::sssp::SsspInc;
+
+        let g = generate_weighted_graph(n, n as u64 * 3, sssp_degree_dist(), sssp_weight_dist(), seed);
+        let job = SsspInc { source: 0 };
+        let base = weighted_statics(&g);
+
+        // Derive a valid delta sequence from the raw op tuples,
+        // tracking the mutated graph through the same `apply_delta`
+        // the planner uses (weights are halves, exact in f32/f64).
+        let mut statics = base.clone();
+        let mut next_node = n as u32;
+        let mut deltas: Vec<GraphDelta> = Vec::new();
+        for &(kind, x, y, w) in &ops {
+            let keys: Vec<u32> = statics.keys().copied().collect();
+            let u = keys[x as usize % keys.len()];
+            let v = keys[y as usize % keys.len()];
+            let wt = w as f32 * 0.5;
+            let mut delta = GraphDelta::new();
+            match kind {
+                0 => {
+                    delta.insert_edge(u, v, wt);
+                }
+                1 => match statics[&u].first().copied() {
+                    Some((t, _)) => {
+                        delta.remove_edge(u, t);
+                    }
+                    None => {
+                        delta.insert_edge(u, v, wt);
+                    }
+                },
+                2 => match statics[&u].last().copied() {
+                    Some((t, _)) => {
+                        delta.reweight_edge(u, t, wt);
+                    }
+                    None => {
+                        delta.insert_edge(u, v, wt);
+                    }
+                },
+                _ => {
+                    delta.insert_node(next_node).insert_edge(u, next_node, wt);
+                    next_node += 1;
+                }
+            }
+            statics = patched_statics(&job, &statics, &delta).unwrap();
+            deltas.push(delta);
+        }
+
+        let cfg = IterConfig::new("ssspi", 3, 200)
+            .with_accumulative_mode()
+            .with_distance_threshold(1e-9);
+        let sim = chain_incremental(&imr_runner(3), &job, &base, &deltas, &cfg);
+        let nat = chain_incremental(&native_runner(3), &job, &base, &deltas, &cfg);
+        let cold = converge_cold(&imr_runner(3), &job, &statics, &cfg, "/final").unwrap();
+        prop_assert_eq!(&sim.final_state, &cold.final_state);
+        prop_assert_eq!(&nat.final_state, &cold.final_state);
+        prop_assert_eq!(&sim.final_state, &nat.final_state);
+    }
+}
+
+/// Chain `deltas` through warm incremental re-convergences on `runner`,
+/// each step preserving its converged output as the fixpoint the next
+/// step starts from. Returns the last step's outcome.
+fn chain_incremental(
+    runner: &impl imapreduce::IterEngine,
+    job: &imr_algorithms::sssp::SsspInc,
+    base: &std::collections::BTreeMap<u32, imr_algorithms::sssp::Adj>,
+    deltas: &[imapreduce::GraphDelta],
+    cfg: &IterConfig,
+) -> imapreduce::IterOutcome<u32, f64> {
+    use imapreduce::FixpointStore;
+    use imr_algorithms::incremental::{converge_and_preserve, inc_dirs};
+    use imr_simcluster::TaskClock;
+
+    let (cold, mut fix) = converge_and_preserve(runner, job, base, cfg, "/chain").unwrap();
+    let mut prev_static = inc_dirs("/chain").static_;
+    let inc_cfg = cfg.clone().with_incremental_mode();
+    let mut clock = TaskClock::default();
+    let mut last = cold;
+    for (i, delta) in deltas.iter().enumerate() {
+        let d = inc_dirs(&format!("/chain/{i}"));
+        let out = runner
+            .run_incremental(
+                job,
+                &inc_cfg,
+                &fix,
+                &prev_static,
+                delta,
+                &d.inc_state,
+                &d.inc_static,
+                &d.inc_out,
+                &[],
+            )
+            .unwrap();
+        let next = FixpointStore::new(d.fix);
+        next.preserve(runner.dfs(), out.outcome.iterations, &d.inc_out, &mut clock)
+            .unwrap();
+        fix = next;
+        prev_static = d.inc_static;
+        last = out.outcome;
+    }
+    last
 }
 
 /// Every engine rejects the unsupported accumulative combinations with

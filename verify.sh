@@ -16,6 +16,8 @@
 #   ./verify.sh service    # job-service suites, serial, + CLI smoke
 #   ./verify.sh delta      # delta-accumulative suites, serial, under timeout
 #   ./verify.sh chaos      # wire-robustness + network-chaos suites, serial
+#   ./verify.sh incremental  # incremental-computation suites, serial
+#   ./verify.sh drift      # verify.sh subcommands <-> CI jobs bijection
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -68,7 +70,7 @@ cmd_bench() {
     table1 table2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
     fig13 fig14 fig16 fig18 fig20 ablation
     native_scaling native_recovery native_balance native_transport
-    native_delta native_chaos jobs_throughput
+    native_delta native_chaos native_incremental jobs_throughput
   )
   local rows=()
   for bin in "${bins[@]}"; do
@@ -89,6 +91,10 @@ cmd_bench() {
   local n=0
   for json in "$out"/results/*.json; do
     n=$((n + 1))
+    # A bin that emits malformed JSON must fail the run here, loudly —
+    # never survive into a half-written BENCH record below.
+    jq empty "$json" 2> /dev/null \
+      || { echo "bench-smoke: $json is not valid JSON" >&2; exit 1; }
     for key in '"id"' '"title"' '"x_label"' '"y_label"' '"series"' '"notes"'; do
       grep -q "$key" "$json" \
         || { echo "bench-smoke: $json is missing $key" >&2; exit 1; }
@@ -101,6 +107,9 @@ cmd_bench() {
     local stamp rec i
     stamp=$(date +%F)
     rec="BENCH_${stamp}.json"
+    # Assemble into the scratch dir and validate before moving into
+    # place, so a malformed embed can never leave a partial BENCH file
+    # at the repo root.
     {
       echo "{"
       echo "  \"date\": \"$stamp\","
@@ -117,7 +126,10 @@ cmd_bench() {
       echo "  },"
       echo "  \"jobs_throughput\": $(sed 's/^/  /' "$out/results/jobs_throughput.json" | sed '1s/^  //')"
       echo "}"
-    } > "$rec"
+    } > "$out/$rec"
+    jq empty "$out/$rec" 2> /dev/null \
+      || { echo "bench-record: assembled $rec is not valid JSON, refusing to write it" >&2; exit 1; }
+    mv "$out/$rec" "$rec"
     echo "bench-record: wrote $rec"
   fi
 }
@@ -191,6 +203,38 @@ cmd_chaos() {
   echo "chaos: wire-robustness suites passed"
 }
 
+# Incremental iterative computation end to end (DESIGN.md §13): the
+# core delta/planner/fixpoint-store units, the per-algorithm harness
+# fixtures, cross-engine equivalence of warm re-convergence vs cold
+# recompute (sim / channel / TCP, with the kill-mid-incremental replay
+# and the warm-start patch handshake), and the chained-delta
+# composition property. Serial under timeouts: the kill suite spawns
+# real worker threads and processes.
+cmd_incremental() {
+  timeout 600 cargo test -q -p imapreduce incremental -- --test-threads=1
+  timeout 600 cargo test -q -p imr-algorithms incremental -- --test-threads=1
+  timeout 900 cargo test -q --release --test incremental -- --test-threads=1
+  timeout 600 cargo test -q --test properties incremental_ -- --test-threads=1
+  echo "incremental: delta/warm-start suites passed"
+}
+
+# The anti-drift guard: every cmd_* subcommand of this script (except
+# the `all` aggregate) must be invoked by .github/workflows/ci.yml, and
+# every `./verify.sh <sub>` CI invocation must name a real subcommand.
+# Cheap on purpose — no cargo involved — so CI runs it on every push.
+cmd_drift() {
+  local subs jobs
+  subs=$(grep -o '^cmd_[a-z_]*' verify.sh | sed 's/^cmd_//' | grep -v '^all$' | sort -u)
+  jobs=$(grep -o 'run: \./verify\.sh [a-z_]*' .github/workflows/ci.yml | awk '{print $3}' | sort -u)
+  if [ "$subs" != "$jobs" ]; then
+    echo "drift: verify.sh subcommands and CI invocations differ:" >&2
+    diff <(echo "$subs") <(echo "$jobs") >&2 || true
+    echo "drift: left column is verify.sh, right column is ci.yml" >&2
+    exit 1
+  fi
+  echo "drift: verify.sh and ci.yml agree on $(echo "$subs" | wc -l) subcommands"
+}
+
 cmd_all() {
   cmd_fmt
   cmd_lint
@@ -202,14 +246,16 @@ cmd_all() {
   cmd_service
   cmd_delta
   cmd_chaos
+  cmd_incremental
+  cmd_drift
 }
 
 case "${1:-all}" in
-  fmt | lint | build | test | faults | bench | trace | service | delta | chaos | all)
+  fmt | lint | build | test | faults | bench | trace | service | delta | chaos | incremental | drift | all)
     "cmd_${1:-all}" "${@:2}"
     ;;
   *)
-    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|chaos|all] [--record]" >&2
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|chaos|incremental|drift|all] [--record]" >&2
     exit 2
     ;;
 esac
