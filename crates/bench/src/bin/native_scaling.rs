@@ -102,5 +102,34 @@ fn main() {
         &last_metrics.unwrap_or_default(),
     );
 
+    // Telemetry overhead budget: sampling + histograms must stay within
+    // 3% of the uninstrumented wall-clock at 8 pairs (plus 50ms of
+    // scheduling slack so micro-scale CI runs don't flake). Best-of-3
+    // each way, interleaved so host noise hits both arms alike.
+    let cfg = IterConfig::new("pr-overhead", 8, iters);
+    let mut base = f64::INFINITY;
+    let mut instrumented = f64::INFINITY;
+    for _ in 0..3 {
+        let r = runner();
+        let start = Instant::now();
+        pagerank::run_pagerank_imr(&r, &pr_graph, &cfg).expect("baseline overhead run");
+        base = base.min(start.elapsed().as_secs_f64());
+        let r = runner().with_telemetry(Arc::new(imr_telemetry::Telemetry::default()));
+        let start = Instant::now();
+        pagerank::run_pagerank_imr(&r, &pr_graph, &cfg).expect("instrumented overhead run");
+        instrumented = instrumented.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "  telemetry overhead @ 8 threads: base {base:.3} s, instrumented {instrumented:.3} s"
+    );
+    assert!(
+        instrumented <= base * 1.03 + 0.05,
+        "telemetry overhead {instrumented:.3}s breaks the 3% budget over {base:.3}s"
+    );
+    fig.note(format!(
+        "telemetry overhead @ 8 threads: base={base:.3}s instrumented={instrumented:.3}s \
+         (budget: +3% and 50ms slack)"
+    ));
+
     fig.emit(&opts.out_root);
 }

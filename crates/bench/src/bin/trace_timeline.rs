@@ -23,22 +23,26 @@ use imr_bench::{report_metrics, BenchOpts, FigureResult};
 use imr_dfs::Dfs;
 use imr_graph::dataset;
 use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle};
+use imr_telemetry::{chrome_counter_track, Telemetry, TelemetryHandle};
 use imr_trace::{chrome_trace_json, TraceBuffer, TraceHandle, TraceReport};
 use std::sync::Arc;
 
 const TASKS: usize = 4;
 
-/// A sim runner with a fresh trace buffer over a 4-node cluster whose
-/// node 0 runs at half speed.
-fn traced_runner(scale: f64) -> (IterativeRunner, TraceHandle) {
+/// A sim runner with fresh trace and telemetry registries over a
+/// 4-node cluster whose node 0 runs at half speed.
+fn traced_runner(scale: f64) -> (IterativeRunner, TraceHandle, TelemetryHandle) {
     let mut spec = ClusterSpec::local(TASKS).with_sample_scale(scale);
     spec.nodes[0].speed = 0.5;
     let spec = Arc::new(spec);
     let metrics: MetricsHandle = Arc::new(Metrics::default());
     let dfs = Dfs::with_block_size(Arc::clone(&spec), Arc::clone(&metrics), 3, 1 << 20);
     let trace: TraceHandle = Arc::new(TraceBuffer::with_capacity(1 << 16));
-    let runner = IterativeRunner::new(spec, dfs, metrics).with_trace(Arc::clone(&trace));
-    (runner, trace)
+    let telemetry: TelemetryHandle = Arc::new(Telemetry::default());
+    let runner = IterativeRunner::new(spec, dfs, metrics)
+        .with_trace(Arc::clone(&trace))
+        .with_telemetry(Arc::clone(&telemetry));
+    (runner, trace, telemetry)
 }
 
 fn main() {
@@ -68,7 +72,7 @@ fn main() {
     let mut chrome = None;
     let mut overlap_pts = Vec::new();
     for (x, mode, sync) in [(0.0, "sync", true), (1.0, "async", false)] {
-        let (r, trace) = traced_runner(scale);
+        let (r, trace, telemetry) = traced_runner(scale);
         let mut cfg = IterConfig::new("pr-trace", TASKS, iters);
         if sync {
             cfg = cfg.with_sync_maps();
@@ -108,7 +112,26 @@ fn main() {
                 report.async_overlap > 0.0,
                 "asynchronous maps must overlap predecessor reduces"
             );
-            chrome = Some(chrome_trace_json(&events));
+            // Splice the sampled series in as Chrome counter tracks so
+            // the span timeline carries per-worker iteration and queue
+            // depth curves alongside the phases.
+            let samples = telemetry.samples();
+            let track = chrome_counter_track(&samples);
+            assert!(
+                !track.is_empty(),
+                "the async run must produce telemetry samples"
+            );
+            let mut json = chrome_trace_json(&events);
+            json.truncate(json.len() - "]}".len());
+            json.push(',');
+            json.push_str(&track);
+            json.push_str("]}");
+            chrome = Some(json);
+            fig.note(format!(
+                "counter tracks: {} samples across {TASKS} workers spliced into the \
+                 chrome timeline",
+                samples.len()
+            ));
             report_metrics(&mut fig, "iMapReduce (async)", &out.report.metrics);
         }
     }

@@ -159,9 +159,10 @@ mod tests {
     #[test]
     fn tables_render_rows() {
         let fig = experiments::table_datasets("table1", &imr_graph::sssp_datasets(), 0.0005);
-        assert_eq!(fig.notes.len(), 6);
+        assert_eq!(fig.notes.len(), 7);
         assert!(fig.notes[0].contains("DBLP"));
         assert!(fig.notes[5].contains("fault counters"));
+        assert!(fig.notes[6].contains("counters ["));
     }
 
     /// Every figure artifact carries the uniform fault-counter note

@@ -224,6 +224,15 @@ pub fn report_metrics(fig: &mut FigureResult, label: &str, m: &imr_simcluster::M
         m.chaos_injections,
         m.hellos_rejected
     ));
+    // Full registry dump: every counter the schema names, in schema
+    // order — the telemetry drift guard asserts this stays complete.
+    let all = m
+        .named()
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    fig.note(format!("counters [{label}]: {all}"));
 }
 
 #[cfg(test)]
@@ -241,6 +250,23 @@ mod tests {
         assert!(text.contains('A') && text.contains('B'));
         assert!(text.contains("20.000"));
         assert!(text.contains("paper: B"));
+    }
+
+    #[test]
+    fn report_metrics_covers_every_schema_counter() {
+        // Drift guard: adding a counter to `Metrics` (and so to
+        // `COUNTER_NAMES`) without it reaching the bench notes is a
+        // silent observability hole — this test turns it into a red
+        // build instead.
+        let mut f = FigureResult::new("figZ", "T", "x", "y");
+        report_metrics(&mut f, "probe", &imr_simcluster::MetricsSnapshot::default());
+        let text = f.render();
+        for name in imr_simcluster::COUNTER_NAMES {
+            assert!(
+                text.contains(&format!("{name}=")),
+                "counter '{name}' missing from report_metrics output"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run
 use imr_simcluster::{
     ClusterSpec, MetricsHandle, NodeId, RunReport, TaskClock, VDuration, VInstant,
 };
+use imr_telemetry::{Gauge, Phase, TelemetryHandle};
 use imr_trace::{TraceEvent, TraceHandle, TraceKind, COORD};
 use std::sync::Arc;
 
@@ -51,6 +52,7 @@ pub struct IterativeRunner {
     dfs: Dfs,
     metrics: MetricsHandle,
     trace: Option<TraceHandle>,
+    telemetry: Option<TelemetryHandle>,
 }
 
 /// Checkpoint snapshot kept by the master for rollback.
@@ -70,6 +72,7 @@ impl IterativeRunner {
             dfs,
             metrics,
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -86,9 +89,41 @@ impl IterativeRunner {
         self.trace.as_ref()
     }
 
+    /// Attaches a telemetry registry: subsequent runs record phase
+    /// latencies into its histograms and push one sample per pair per
+    /// iteration, stamped with virtual time — so the sampled series is
+    /// bit-identical across runs of the same job.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
+    }
+
     fn record(&self, event: TraceEvent) {
         if let Some(trace) = &self.trace {
             trace.record(event);
+        }
+    }
+
+    fn phase(&self, phase: Phase, nanos: u64) {
+        if let Some(tel) = &self.telemetry {
+            tel.record_phase(phase, nanos);
+        }
+    }
+
+    fn sample(&self, stamp: u64, worker: u32, generation: u32, iteration: u64) {
+        if let Some(tel) = &self.telemetry {
+            tel.sample(
+                stamp,
+                worker,
+                generation,
+                iteration,
+                &self.metrics.snapshot(),
+            );
         }
     }
 
@@ -409,6 +444,18 @@ impl IterativeRunner {
                         .spanning(activation.as_nanos(), map_done[p].as_nanos())
                         .tagged(node.index() as u32, p as u32, iter as u32, generation),
                 );
+                if cfg.effective_sync() {
+                    self.phase(
+                        Phase::BarrierWait,
+                        sync_gate
+                            .as_nanos()
+                            .saturating_sub(state_ready[p].as_nanos()),
+                    );
+                }
+                self.phase(
+                    Phase::Map,
+                    map_done[p].as_nanos().saturating_sub(activation.as_nanos()),
+                );
             }
 
             // ---- Reduce phase ----------------------------------------
@@ -512,6 +559,10 @@ impl IterativeRunner {
                         .spanning(work_start.as_nanos(), clock.now().as_nanos())
                         .tagged(node.index() as u32, q as u32, iter as u32, generation),
                 );
+                self.phase(
+                    Phase::Reduce,
+                    clock.now().as_nanos().saturating_sub(work_start.as_nanos()),
+                );
             }
 
             let iter_done = reduce_done.iter().copied().max().unwrap_or(job_start);
@@ -563,6 +614,8 @@ impl IterativeRunner {
                             .at(at)
                             .tagged(tags.0, tags.1, tags.2, generation),
                     );
+                    self.phase(Phase::Handoff, at - reduce_done[q].as_nanos());
+                    self.sample(at, q as u32, generation, iter as u64);
                 }
                 prev_out = new_states.iter().cloned().map(Some).collect();
                 global_state = next_global;
@@ -597,6 +650,13 @@ impl IterativeRunner {
                             .at(complete.as_nanos())
                             .tagged(tags.0, tags.1, tags.2, generation),
                     );
+                    self.phase(
+                        Phase::Handoff,
+                        complete
+                            .as_nanos()
+                            .saturating_sub(reduce_done[q].as_nanos()),
+                    );
+                    self.sample(complete.as_nanos(), q as u32, generation, iter as u64);
                 }
                 prev_out = state_store.iter().cloned().map(Some).collect();
                 state_store = new_states;
@@ -621,6 +681,7 @@ impl IterativeRunner {
             if !done && cfg.checkpoint_interval > 0 && iter.is_multiple_of(cfg.checkpoint_interval)
             {
                 let dir = imr_dfs::snapshot_dir(output_dir, iter);
+                let ckpt_before = self.metrics.checkpoint_bytes.get();
                 self.write_checkpoint::<J>(
                     &dir,
                     &state_store,
@@ -628,6 +689,11 @@ impl IterativeRunner {
                     one2all,
                     &assignment,
                 )?;
+                let ckpt_written = self.metrics.checkpoint_bytes.get() - ckpt_before;
+                self.phase(
+                    Phase::CheckpointWrite,
+                    cost.disk_time(ckpt_written).as_nanos(),
+                );
                 if let Some(old) = ckpt.dfs_dir.take() {
                     imr_mapreduce::io::delete_dir(&self.dfs, &old);
                 }
@@ -987,6 +1053,15 @@ impl IterativeRunner {
                             .spanning(round_start.as_nanos(), clock.now().as_nanos())
                             .tagged(node.index() as u32, p as u32, check as u32, generation),
                     );
+                    // A delta round's select/apply/send half is the
+                    // accumulative analogue of the map phase.
+                    self.phase(
+                        Phase::Map,
+                        clock
+                            .now()
+                            .as_nanos()
+                            .saturating_sub(round_start.as_nanos()),
+                    );
                     send_done.push(clock.now());
                     outgoing.push(dests);
                     seg_bytes.push(bytes_row);
@@ -1013,12 +1088,21 @@ impl IterativeRunner {
                         }
                     }
                     clock.barrier(arrivals);
+                    let merge_start = clock.now();
                     clock.advance(cost.serde_per_byte * fetched);
                     let mut merged = 0u64;
                     for p in 0..n {
                         merged += stores[q].merge_segment(job, &outgoing[p][q]) as u64;
                     }
                     clock.advance(cost.compute_time(merged, 0, speed));
+                    // The receive/merge half plays the reduce role.
+                    self.phase(
+                        Phase::Reduce,
+                        clock
+                            .now()
+                            .as_nanos()
+                            .saturating_sub(merge_start.as_nanos()),
+                    );
                     now[q] = clock.now();
                 }
             }
@@ -1042,6 +1126,10 @@ impl IterativeRunner {
                         .at(decision.as_nanos())
                         .tagged(tags.0, tags.1, tags.2, generation),
                 );
+                if let Some(tel) = &self.telemetry {
+                    tel.set_gauge(Gauge::PendingDeltaMass, locals[q].to_bits());
+                }
+                self.sample(decision.as_nanos(), q as u32, generation, check as u64);
                 now[q] = decision;
             }
             report.iteration_done.push(decision);
@@ -1063,9 +1151,12 @@ impl IterativeRunner {
                         &mut off_path,
                     )?;
                 }
-                self.metrics
-                    .checkpoint_bytes
-                    .add(self.metrics.dfs_write_bytes.get() - before);
+                let ckpt_written = self.metrics.dfs_write_bytes.get() - before;
+                self.metrics.checkpoint_bytes.add(ckpt_written);
+                self.phase(
+                    Phase::CheckpointWrite,
+                    cost.disk_time(ckpt_written).as_nanos(),
+                );
                 if let Some(old) = last_snapshot.replace(dir) {
                     imr_mapreduce::io::delete_dir(&self.dfs, &old);
                 }

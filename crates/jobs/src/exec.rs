@@ -26,6 +26,7 @@ use imr_graph::{
 use imr_native::{NativeRunner, WorkerSpec};
 use imr_records::{encode_pairs, Codec, CodecResult};
 use imr_simcluster::{ClusterSpec, MetricsHandle, TaskClock};
+use imr_telemetry::TelemetryHandle;
 use imr_trace::TraceHandle;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -117,6 +118,7 @@ pub fn run_job(
     resume: bool,
     ctl: RunCtl,
     trace: TraceHandle,
+    telemetry: TelemetryHandle,
 ) -> Result<ResultRecord, EngineError> {
     let state = catalog::state_dir(&ctx.ns, id);
     let stat = catalog::static_dir(&ctx.ns, id);
@@ -124,17 +126,23 @@ pub fn run_job(
     ensure_input(ctx, spec, &state, &stat)?;
     let cfg = build_cfg(spec, resume, ctx.chaos);
     match spec.algo {
-        AlgoSpec::Halve => dispatch(ctx, id, spec, &Halve, &cfg, ctl, trace, &state, &stat, &out),
+        AlgoSpec::Halve => dispatch(
+            ctx, id, spec, &Halve, &cfg, ctl, trace, telemetry, &state, &stat, &out,
+        ),
         AlgoSpec::Sssp => dispatch(
-            ctx, id, spec, &SsspIter, &cfg, ctl, trace, &state, &stat, &out,
+            ctx, id, spec, &SsspIter, &cfg, ctl, trace, telemetry, &state, &stat, &out,
         ),
         AlgoSpec::PageRank => {
             let job = PageRankIter::new(spec.input.scale as u64);
-            dispatch(ctx, id, spec, &job, &cfg, ctl, trace, &state, &stat, &out)
+            dispatch(
+                ctx, id, spec, &job, &cfg, ctl, trace, telemetry, &state, &stat, &out,
+            )
         }
         AlgoSpec::Kmeans => {
             let job = KmeansIter { combiner: false };
-            dispatch(ctx, id, spec, &job, &cfg, ctl, trace, &state, &stat, &out)
+            dispatch(
+                ctx, id, spec, &job, &cfg, ctl, trace, telemetry, &state, &stat, &out,
+            )
         }
         AlgoSpec::PoisonPill => {
             if spec.engine != EngineSel::Threads {
@@ -150,7 +158,7 @@ pub fn run_job(
             let warm = IterConfig::new(spec.name.clone(), spec.tasks, 1);
             let scratch = format!("{out}-warmup");
             let _ = dispatch(
-                ctx, id, spec, &Halve, &warm, ctl, trace, &state, &stat, &scratch,
+                ctx, id, spec, &Halve, &warm, ctl, trace, telemetry, &state, &stat, &scratch,
             );
             Err(EngineError::Worker("poison pill detonated".into()))
         }
@@ -265,6 +273,7 @@ fn dispatch<J: IterativeJob>(
     cfg: &IterConfig,
     ctl: RunCtl,
     trace: TraceHandle,
+    telemetry: TelemetryHandle,
     state_dir: &str,
     static_dir: &str,
     output_dir: &str,
@@ -275,12 +284,14 @@ fn dispatch<J: IterativeJob>(
                 Arc::clone(&ctx.cluster),
                 ctx.dfs.clone(),
                 ctx.metrics.clone(),
-            );
+            )
+            .with_telemetry(telemetry);
             runner.run_faults(job, cfg, state_dir, static_dir, output_dir, &[])?
         }
         EngineSel::Threads => {
             let runner = NativeRunner::new(ctx.dfs.clone(), ctx.metrics.clone())
                 .with_trace(trace)
+                .with_telemetry(telemetry)
                 .with_ctl(ctl);
             runner.run_faults(job, cfg, state_dir, static_dir, output_dir, &[])?
         }
@@ -291,6 +302,7 @@ fn dispatch<J: IterativeJob>(
             let wspec = WorkerSpec::new(bin, worker_args(spec)).with_job(id);
             let runner = NativeRunner::new(ctx.dfs.clone(), ctx.metrics.clone())
                 .with_trace(trace)
+                .with_telemetry(telemetry)
                 .with_ctl(ctl);
             runner.run_remote(job, &wspec, cfg, state_dir, static_dir, output_dir, &[])?
         }

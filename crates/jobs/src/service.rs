@@ -26,6 +26,9 @@ use imapreduce::{ChaosConfig, EngineError, RunCtl};
 use imr_dfs::Dfs;
 use imr_records::Codec;
 use imr_simcluster::{ClusterSpec, Metrics, MetricsHandle, NodeId, TaskClock};
+use imr_telemetry::{
+    Exposition, Gauge, JobStats, Provider, Telemetry, TelemetryHandle, TelemetryServer,
+};
 use imr_trace::{flight_lines, TraceBuffer, TraceEvent, TraceHandle};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -54,6 +57,9 @@ pub struct ServiceConfig {
     /// Deterministic network-chaos schedule applied to every
     /// TCP-engine job the service runs (`None` = clean wire).
     pub chaos: Option<ChaosConfig>,
+    /// Address the telemetry exposition endpoint binds to (`None` =
+    /// no endpoint). Defaults from `IMR_TELEMETRY_ADDR`.
+    pub telemetry_addr: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +72,9 @@ impl Default for ServiceConfig {
             trace_capacity: 4096,
             flight_tail: 96,
             chaos: None,
+            telemetry_addr: std::env::var("IMR_TELEMETRY_ADDR")
+                .ok()
+                .filter(|a| !a.is_empty()),
         }
     }
 }
@@ -101,6 +110,13 @@ impl ServiceConfig {
         self.chaos = Some(chaos);
         self
     }
+
+    /// Binds the telemetry exposition endpoint to `addr`
+    /// (e.g. `127.0.0.1:9464`; port 0 picks a free port).
+    pub fn with_telemetry_addr(mut self, addr: impl Into<String>) -> Self {
+        self.telemetry_addr = Some(addr.into());
+        self
+    }
 }
 
 /// One row of [`JobService::status`].
@@ -126,6 +142,7 @@ struct JobEntry {
     spec: JobSpec,
     meta: JobMeta,
     trace: TraceHandle,
+    telemetry: TelemetryHandle,
 }
 
 #[derive(Default)]
@@ -155,6 +172,13 @@ pub struct JobService {
     cfg: ServiceConfig,
     state: Mutex<SvcState>,
     killed: AtomicBool,
+    /// Per-job telemetry registries mirrored outside the state lock so
+    /// the exposition server's provider can snapshot them without
+    /// borrowing the service.
+    tel_index: Arc<Mutex<Vec<(JobId, TelemetryHandle)>>>,
+    /// The embedded exposition endpoint; stopped on drop. `None` when
+    /// no address is configured or the bind failed (non-fatal).
+    tel_server: Option<TelemetryServer>,
 }
 
 impl JobService {
@@ -175,6 +199,18 @@ impl JobService {
         metrics: MetricsHandle,
         cfg: ServiceConfig,
     ) -> Self {
+        let tel_index: Arc<Mutex<Vec<(JobId, TelemetryHandle)>>> = Arc::new(Mutex::new(Vec::new()));
+        let tel_server = cfg.telemetry_addr.as_deref().and_then(|addr| {
+            let index = Arc::clone(&tel_index);
+            let provider: Provider = Arc::new(move || Exposition {
+                jobs: index
+                    .lock()
+                    .iter()
+                    .map(|(id, tel)| JobStats::from_telemetry(*id, tel))
+                    .collect(),
+            });
+            TelemetryServer::start(addr, provider).ok()
+        });
         JobService {
             dfs,
             cluster,
@@ -185,6 +221,8 @@ impl JobService {
                 ..SvcState::default()
             }),
             killed: AtomicBool::new(false),
+            tel_index,
+            tel_server,
         }
     }
 
@@ -221,12 +259,15 @@ impl JobService {
                     requeued.push(meta.clone());
                 }
                 st.next_id = st.next_id.max(id + 1);
+                let telemetry: TelemetryHandle = Arc::new(Telemetry::default());
+                svc.tel_index.lock().push((id, Arc::clone(&telemetry)));
                 st.catalog.insert(
                     id,
                     JobEntry {
                         spec,
                         meta,
                         trace: Arc::new(TraceBuffer::with_capacity(svc.cfg.trace_capacity)),
+                        telemetry,
                     },
                 );
             }
@@ -284,12 +325,15 @@ impl JobService {
             let id = st.next_id;
             st.next_id += 1;
             let meta = JobMeta::queued(id);
+            let telemetry: TelemetryHandle = Arc::new(Telemetry::default());
+            self.tel_index.lock().push((id, Arc::clone(&telemetry)));
             st.catalog.insert(
                 id,
                 JobEntry {
                     spec: spec.clone(),
                     meta: meta.clone(),
                     trace: Arc::new(TraceBuffer::with_capacity(self.cfg.trace_capacity)),
+                    telemetry,
                 },
             );
             st.queue.push(id, spec.priority, spec.tasks, false);
@@ -315,13 +359,13 @@ impl JobService {
         let mut handles = Vec::new();
         loop {
             let launches = self.admit();
-            for (adm_id, resume, meta, spec, trace, ctl) in launches {
+            for (adm_id, resume, meta, spec, trace, telemetry, ctl) in launches {
                 self.journal_meta(&meta)?;
                 let ctx = self.exec_ctx();
                 let tx = tx.clone();
                 handles.push(thread::spawn(move || {
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        exec::run_job(&ctx, adm_id, &spec, resume, ctl, trace)
+                        exec::run_job(&ctx, adm_id, &spec, resume, ctl, trace, telemetry)
                     }))
                     .unwrap_or_else(|_| Err(EngineError::Worker("job attempt panicked".into())));
                     let _ = tx.send((adm_id, result));
@@ -428,6 +472,21 @@ impl JobService {
             .collect()
     }
 
+    /// Every job's telemetry registry, id-ordered.
+    pub fn job_telemetry(&self) -> Vec<(u64, TelemetryHandle)> {
+        let st = self.state.lock();
+        st.catalog
+            .iter()
+            .map(|(&id, e)| (id, Arc::clone(&e.telemetry)))
+            .collect()
+    }
+
+    /// Where the embedded telemetry endpoint actually bound, if it is
+    /// serving (resolves port 0 to the picked port).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tel_server.as_ref().map(|s| s.addr())
+    }
+
     fn exec_ctx(&self) -> ExecCtx {
         ExecCtx {
             dfs: self.dfs.clone(),
@@ -443,7 +502,17 @@ impl JobService {
     /// its slots — all under one lock hold, so admission is atomic with
     /// respect to [`JobService::kill`].
     #[allow(clippy::type_complexity)]
-    fn admit(&self) -> Vec<(JobId, bool, JobMeta, JobSpec, TraceHandle, RunCtl)> {
+    fn admit(
+        &self,
+    ) -> Vec<(
+        JobId,
+        bool,
+        JobMeta,
+        JobSpec,
+        TraceHandle,
+        TelemetryHandle,
+        RunCtl,
+    )> {
         let mut st = self.state.lock();
         let mut launches = Vec::new();
         if self.killed.load(Ordering::Acquire) {
@@ -465,10 +534,24 @@ impl JobService {
                 entry.meta.clone(),
                 entry.spec.clone(),
                 Arc::clone(&entry.trace),
+                Arc::clone(&entry.telemetry),
                 ctl,
             ));
         }
+        Self::publish_gauges(&st);
         launches
+    }
+
+    /// Mirrors the service-level admission gauges into every job's
+    /// telemetry registry, so samples taken by any running engine carry
+    /// the fleet's queue depth and slot occupancy at that instant.
+    fn publish_gauges(st: &SvcState) {
+        let queued = st.queue.len() as u64;
+        let inflight = st.slots_used as u64;
+        for entry in st.catalog.values() {
+            entry.telemetry.set_gauge(Gauge::QueueLen, queued);
+            entry.telemetry.set_gauge(Gauge::InflightSlots, inflight);
+        }
     }
 
     fn on_complete(
@@ -518,6 +601,10 @@ impl JobService {
                 }
             }
         };
+        {
+            let st = self.state.lock();
+            Self::publish_gauges(&st);
+        }
         match outcome {
             Outcome::Completed(meta, rec) => {
                 let mut clock = TaskClock::default();
@@ -641,6 +728,37 @@ mod tests {
             "flight artifact attached"
         );
         assert!(s.result(id).unwrap().is_none());
+    }
+
+    #[test]
+    fn telemetry_endpoint_serves_prometheus_text_for_finished_jobs() {
+        use std::io::{Read, Write};
+        let s = JobService::new(
+            ServiceConfig::default()
+                .with_slots(4)
+                .with_telemetry_addr("127.0.0.1:0"),
+        );
+        s.submit(
+            JobSpec::new("halve-tel", AlgoSpec::Halve, EngineSel::Threads, 5)
+                .with_scale(8)
+                .with_max_iters(3)
+                .with_tasks(2),
+        )
+        .unwrap();
+        s.run_until_idle().unwrap();
+        let addr = s.telemetry_addr().expect("endpoint bound");
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200"), "got: {body}");
+        assert!(body.contains("imr_iteration{job=\"1\"} 3"));
+        assert!(body.contains("imr_phase_latency_nanos_count{job=\"1\",phase=\"map\"} 6"));
+        assert!(body.contains("imr_inflight_slots{job=\"1\"} 0"));
+        let tel = s.job_telemetry();
+        assert_eq!(tel.len(), 1);
+        assert_eq!(tel[0].1.samples().len(), 6, "2 pairs x 3 iterations");
     }
 
     #[test]

@@ -115,6 +115,7 @@ use imr_mapreduce::EngineError;
 use imr_net::{ChannelLink, ChannelMesh, Closed, Transport};
 use imr_records::Codec;
 use imr_simcluster::{MetricsHandle, NodeId, TaskClock};
+use imr_telemetry::{Gauge, Phase, TelemetryHandle};
 use imr_trace::{TraceEvent, TraceHandle};
 use monitor::{monitor_loop, BalancePlan, Intervention, ProgressBoard};
 use pair::{delta_loop, pair_loop, EnvFail, PairCfg, PairDirs, PairEnv, PairOutcome, PairPlan};
@@ -164,6 +165,7 @@ pub struct NativeRunner {
     dfs: Dfs,
     metrics: MetricsHandle,
     trace: Option<TraceHandle>,
+    telemetry: Option<TelemetryHandle>,
     ctl: Option<RunCtl>,
 }
 
@@ -174,6 +176,7 @@ impl NativeRunner {
             dfs,
             metrics,
             trace: None,
+            telemetry: None,
             ctl: None,
         }
     }
@@ -198,6 +201,21 @@ impl NativeRunner {
     /// The attached trace ring, if tracing was enabled.
     pub fn trace(&self) -> Option<&TraceHandle> {
         self.trace.as_ref()
+    }
+
+    /// Attaches a telemetry registry: workers record phase latencies
+    /// into its histograms and push one sample per pair per iteration
+    /// (monotonic nanoseconds since the run started). The TCP backend
+    /// streams worker batches to the coordinator, which merges them
+    /// into this registry.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
     }
 
     /// The DFS this runner reads and writes.
@@ -454,6 +472,8 @@ impl NativeRunner {
                                 node: assignment[q].index() as u32,
                                 generation,
                                 trace: self.trace.as_ref(),
+                                telemetry: self.telemetry.as_ref(),
+                                metrics,
                                 seed: &seed_dist[q],
                             };
                             let result = catch_unwind(AssertUnwindSafe(|| {
@@ -594,6 +614,10 @@ struct ThreadEnv<'a> {
     generation: u32,
     /// Shared trace ring, when tracing is enabled.
     trace: Option<&'a TraceHandle>,
+    /// Shared telemetry registry, when telemetry is enabled.
+    telemetry: Option<&'a TelemetryHandle>,
+    /// The authoritative metrics registry (sample counter columns).
+    metrics: &'a MetricsHandle,
     /// This pair's committed distance history from earlier generations,
     /// prepended to the generation-local history in every checkpoint
     /// sidecar so the sidecar covers iterations `1..=it`.
@@ -694,6 +718,34 @@ impl PairEnv for ThreadEnv<'_> {
                 ..event
             });
         }
+    }
+
+    fn phase(&mut self, phase: Phase, nanos: u64) {
+        if let Some(tel) = self.telemetry {
+            tel.record_phase(phase, nanos);
+        }
+    }
+
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        if let Some(tel) = self.telemetry {
+            tel.set_gauge(gauge, value);
+        }
+    }
+
+    fn sample(&mut self, stamp_nanos: u64, iteration: u64) {
+        if let Some(tel) = self.telemetry {
+            tel.sample(
+                stamp_nanos,
+                self.q as u32,
+                self.generation,
+                iteration,
+                &self.metrics.snapshot(),
+            );
+        }
+    }
+
+    fn inbound_backlog(&self) -> u64 {
+        self.link.backlog()
     }
 }
 

@@ -25,6 +25,7 @@ use imr_mapreduce::EngineError;
 use imr_net::{Closed, Transport};
 use imr_records::{decode_pairs, encode_pairs, group_sorted, merge_runs, sort_run};
 use imr_simcluster::MetricsHandle;
+use imr_telemetry::{Gauge, Phase};
 use imr_trace::{TraceEvent, TraceKind};
 use std::time::{Duration, Instant};
 
@@ -181,6 +182,21 @@ pub(crate) trait PairEnv: Transport {
     /// instant); the environment stamps its node and generation tags
     /// before recording, and drops the event when tracing is off.
     fn trace(&mut self, _event: TraceEvent) {}
+    /// Record one phase-latency observation into the telemetry
+    /// histograms (dropped when telemetry is off).
+    fn phase(&mut self, _phase: Phase, _nanos: u64) {}
+    /// Set a telemetry gauge (dropped when telemetry is off).
+    fn gauge(&mut self, _gauge: Gauge, _value: u64) {}
+    /// Push one telemetry sample at the end of `iteration`, stamped
+    /// `stamp_nanos` since the run's `started` instant. The environment
+    /// fills the worker/generation tags and the counter columns from
+    /// its metrics registry (dropped when telemetry is off).
+    fn sample(&mut self, _stamp_nanos: u64, _iteration: u64) {}
+    /// Segments queued on this pair's inbound shuffle/handoff channels,
+    /// awaiting receive. 0 where the transport can't observe depth.
+    fn inbound_backlog(&self) -> u64 {
+        0
+    }
     /// Send one encoded delta segment to `dest` (accumulative mode).
     /// Defaults to the shuffle transport — the two traffic classes
     /// never coexist in one run; the TCP environment overrides this to
@@ -300,8 +316,12 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
         if env.is_poisoned() {
             return Ok(PairOutcome::Aborted);
         }
-        if cfg.sync && env.barrier_wait().is_err() {
-            return Ok(PairOutcome::Aborted);
+        if cfg.sync {
+            let wait_start = Instant::now();
+            if env.barrier_wait().is_err() {
+                return Ok(PairOutcome::Aborted);
+            }
+            env.phase(Phase::BarrierWait, wait_start.elapsed().as_nanos() as u64);
         }
         // Busy time = compute only (map + reduce spans), excluding
         // shuffle blocking — the load signal §3.4.2's balancer keys on.
@@ -359,11 +379,13 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
             })
             .collect();
         busy += map_start.elapsed();
+        let map_end_ns = started.elapsed().as_nanos() as u64;
         env.trace(
             TraceEvent::new(TraceKind::MapPhase)
-                .spanning(iter_start_ns, started.elapsed().as_nanos() as u64)
+                .spanning(iter_start_ns, map_end_ns)
                 .tagged(0, q as u32, it as u32, 0),
         );
+        env.phase(Phase::Map, map_end_ns.saturating_sub(iter_start_ns));
         // Sends sit outside the busy span: a blocked send is
         // back-pressure from a slow consumer, not this pair's load.
         for (dest, seg) in segs.into_iter().enumerate() {
@@ -444,13 +466,16 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
         // The emulated stretch is compute time on the slow node, so it
         // lands inside the reduce span — mirroring the simulation
         // engine, whose cost model stretches the reduce work directly.
+        let reduce_end_ns = started.elapsed().as_nanos() as u64;
         env.trace(
             TraceEvent::new(TraceKind::ReducePhase)
-                .spanning(reduce_start_ns, started.elapsed().as_nanos() as u64)
+                .spanning(reduce_start_ns, reduce_end_ns)
                 .tagged(0, q as u32, it as u32, 0),
         );
+        env.phase(Phase::Reduce, reduce_end_ns.saturating_sub(reduce_start_ns));
 
         // ---- State hand-off back to the map side ---------------------
+        let handoff_start = Instant::now();
         if one2all {
             let payload = encode_pairs(&new_state);
             let payload_len = payload.len() as u64;
@@ -485,6 +510,7 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
                 .tagged(0, q as u32, it as u32, 0),
             );
         }
+        env.phase(Phase::Handoff, handoff_start.elapsed().as_nanos() as u64);
         let end = started.elapsed();
         iter_done.push(end);
         env.trace(
@@ -492,6 +518,8 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
                 .at(end.as_nanos() as u64)
                 .tagged(0, q as u32, it as u32, 0),
         );
+        env.gauge(Gauge::HandoffDepth, env.inbound_backlog());
+        env.sample(end.as_nanos() as u64, it as u64);
         env.beat(it, effective_busy, d, has_prev);
 
         // ---- Termination check (§3.1.2) ------------------------------
@@ -524,9 +552,14 @@ pub(crate) fn pair_loop<J: IterativeJob, E: PairEnv>(
             };
             let payload = encode_pairs(snapshot);
             metrics.checkpoint_bytes.add(payload.len() as u64);
+            let ckpt_start = Instant::now();
             match env.write_checkpoint(it, payload, local_dist) {
                 Ok(()) => {
                     *last_ckpt = it;
+                    env.phase(
+                        Phase::CheckpointWrite,
+                        ckpt_start.elapsed().as_nanos() as u64,
+                    );
                     env.trace(
                         TraceEvent::new(TraceKind::Checkpoint { epoch: it as u64 })
                             .at(started.elapsed().as_nanos() as u64)
@@ -683,11 +716,15 @@ pub(crate) fn delta_loop<J: imapreduce::Accumulative, E: PairEnv>(
             check_preempt += batch.deferred as u64;
             let segs: Vec<Bytes> = dests.iter().map(|dest| encode_pairs(dest)).collect();
             busy += work_start.elapsed();
+            let round_end_ns = started.elapsed().as_nanos() as u64;
             env.trace(
                 TraceEvent::new(TraceKind::DeltaRound { deltas: sent })
-                    .spanning(round_start_ns, started.elapsed().as_nanos() as u64)
+                    .spanning(round_start_ns, round_end_ns)
                     .tagged(0, q as u32, check as u32, 0),
             );
+            // A delta round's select/apply/send half is the
+            // accumulative analogue of the map phase.
+            env.phase(Phase::Map, round_end_ns.saturating_sub(round_start_ns));
             // Sends sit outside the busy span (back-pressure, not load).
             for (dest, seg) in segs.into_iter().enumerate() {
                 metrics.shuffle_local_bytes.add(seg.len() as u64);
@@ -709,7 +746,10 @@ pub(crate) fn delta_loop<J: imapreduce::Accumulative, E: PairEnv>(
                 let pairs: Vec<(J::K, J::S)> = decode_pairs(seg)?;
                 store.merge_segment(job, &pairs);
             }
-            busy += merge_start.elapsed();
+            let merge_elapsed = merge_start.elapsed();
+            busy += merge_elapsed;
+            // The receive/merge half plays the reduce role.
+            env.phase(Phase::Reduce, merge_elapsed.as_nanos() as u64);
         }
 
         // ---- Global accumulated-progress termination check -----------
@@ -744,6 +784,9 @@ pub(crate) fn delta_loop<J: imapreduce::Accumulative, E: PairEnv>(
                 .at(end.as_nanos() as u64)
                 .tagged(0, q as u32, check as u32, 0),
         );
+        env.gauge(Gauge::PendingDeltaMass, local.to_bits());
+        env.gauge(Gauge::HandoffDepth, env.inbound_backlog());
+        env.sample(end.as_nanos() as u64, check as u64);
         env.beat(check, effective_busy, local, true);
         env.delta_stats(check_deltas, check_preempt, 1);
         metrics.termination_checks.add(1);
@@ -758,9 +801,14 @@ pub(crate) fn delta_loop<J: imapreduce::Accumulative, E: PairEnv>(
         if !done && cfg.checkpoint_interval > 0 && check.is_multiple_of(cfg.checkpoint_interval) {
             let payload = store.encode();
             metrics.checkpoint_bytes.add(payload.len() as u64);
+            let ckpt_start = Instant::now();
             match env.write_checkpoint(check, payload, local_dist) {
                 Ok(()) => {
                     *last_ckpt = check;
+                    env.phase(
+                        Phase::CheckpointWrite,
+                        ckpt_start.elapsed().as_nanos() as u64,
+                    );
                     env.trace(
                         TraceEvent::new(TraceKind::Checkpoint {
                             epoch: check as u64,

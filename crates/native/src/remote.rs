@@ -58,7 +58,8 @@ use imr_net::frame::{FrameReader, FrameWriter, HEADER_LEN};
 use imr_net::proto::{OutcomeKind, ToCoord, ToWorker, WireOutcome, WorkerSetup};
 use imr_net::{Closed, FrameAction, NetError, NetPolicy, Transport, WorkerConn};
 use imr_records::Codec;
-use imr_simcluster::{Metrics, MetricsHandle, NodeId, TaskClock};
+use imr_simcluster::{Metrics, MetricsHandle, MetricsSnapshot, NodeId, TaskClock};
+use imr_telemetry::{Gauge, HistSnapshot, Phase, Telemetry, NUM_PHASES};
 use imr_trace::{TraceEvent, TraceKind, COORD};
 use parking_lot::Mutex;
 use std::io::{BufWriter, Write};
@@ -268,6 +269,23 @@ impl NativeRunner {
             .chaos
             .filter(|c| c.is_active())
             .map(|c| ChaosState::new(c.budget));
+
+        // Optional live exposition endpoint: with telemetry attached
+        // and `IMR_TELEMETRY_ADDR` set, serve this run's registry over
+        // HTTP for the duration of the run. A failed bind only costs
+        // the endpoint — telemetry is never fatal.
+        let _tel_server = match (std::env::var("IMR_TELEMETRY_ADDR"), &self.telemetry) {
+            (Ok(addr), Some(tel)) if !addr.is_empty() => {
+                let tel = Arc::clone(tel);
+                let job_id = spec.job;
+                let provider: imr_telemetry::Provider =
+                    Arc::new(move || imr_telemetry::Exposition {
+                        jobs: vec![imr_telemetry::JobStats::from_telemetry(job_id, &tel)],
+                    });
+                imr_telemetry::TelemetryServer::start(&addr, provider).ok()
+            }
+            _ => None,
+        };
 
         let mut generation_no: u64 = 0;
         let mut crash_pending = spec.crash;
@@ -998,6 +1016,26 @@ fn reader_loop(co: &Coordinator<'_>, q: usize, mut reader: FrameReader<ChaosStre
                     }
                 }
             }
+            ToCoord::Telemetry { payload } => {
+                // Merge the worker's sampled series + histogram deltas
+                // into the job registry: rebase worker-relative stamps
+                // onto the coordinator's timeline and overwrite the
+                // counter columns from the authoritative registry (the
+                // worker's local registry is a sink). Dropped silently
+                // when telemetry is off or the batch is malformed —
+                // telemetry loss is never fatal.
+                if let Some(tel) = co.runner.telemetry.as_ref() {
+                    if let Ok((samples, hists)) = imr_telemetry::decode_batch(&payload) {
+                        let counters = co.runner.metrics.snapshot().values();
+                        for mut s in samples {
+                            s.stamp_nanos = s.stamp_nanos.saturating_add(co.trace_offset);
+                            s.counters = counters;
+                            tel.push_sample(s);
+                        }
+                        tel.merge_hists(&hists);
+                    }
+                }
+            }
             ToCoord::Hello { .. } => {} // consumed during accept
         }
     }
@@ -1173,6 +1211,8 @@ impl Drop for ChildGuard {
 /// coordinator connection.
 struct RemoteEnv {
     conn: WorkerConn,
+    /// This worker's pair index (telemetry sample tag).
+    q: u32,
     /// Zero-based trace generation tag (the wire generation is
     /// one-based).
     generation: u32,
@@ -1180,6 +1220,16 @@ struct RemoteEnv {
     /// collects and streams; the coordinator drops the batches when
     /// tracing is off.
     events: Vec<TraceEvent>,
+    /// Local telemetry registry. The worker always records and streams
+    /// batches; the coordinator drops them when telemetry is off. The
+    /// counter columns ship as zeros — the coordinator's registry is
+    /// authoritative and overwrites them on merge.
+    telemetry: Telemetry,
+    /// Samples already shipped to the coordinator.
+    tel_sent: usize,
+    /// Histogram snapshots at the last flush (the next batch carries
+    /// the bucket-wise delta since these).
+    tel_hists: [HistSnapshot; NUM_PHASES],
 }
 
 impl RemoteEnv {
@@ -1193,6 +1243,23 @@ impl RemoteEnv {
             self.events.clear();
             self.conn.send_trace(Bytes::from(batch));
         }
+    }
+
+    /// Ship the samples and histogram increments recorded since the
+    /// last flush (best-effort, same cadence as `flush_trace`).
+    fn flush_telemetry(&mut self) {
+        let samples = self.telemetry.samples();
+        let hists = self.telemetry.hist_snapshots();
+        let new_samples = &samples[self.tel_sent.min(samples.len())..];
+        let deltas: [HistSnapshot; NUM_PHASES] =
+            std::array::from_fn(|i| hists[i].delta(&self.tel_hists[i]));
+        if new_samples.is_empty() && deltas.iter().all(|d| d.count() == 0) {
+            return;
+        }
+        self.tel_sent = samples.len();
+        self.tel_hists = hists;
+        let batch = imr_telemetry::encode_batch(new_samples, &deltas);
+        self.conn.send_telemetry(Bytes::from(batch));
     }
 }
 
@@ -1236,6 +1303,7 @@ impl PairEnv for RemoteEnv {
     }
     fn beat(&mut self, iteration: usize, busy_secs: f64, d: f64, has_prev: bool) {
         self.flush_trace();
+        self.flush_telemetry();
         self.conn.beat(iteration, busy_secs, d, has_prev);
     }
     fn send_delta(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
@@ -1273,6 +1341,23 @@ impl PairEnv for RemoteEnv {
             generation: self.generation,
             ..event
         });
+    }
+    fn phase(&mut self, phase: Phase, nanos: u64) {
+        self.telemetry.record_phase(phase, nanos);
+    }
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        self.telemetry.set_gauge(gauge, value);
+    }
+    fn sample(&mut self, stamp_nanos: u64, iteration: u64) {
+        // Counter columns ship as zeros; the coordinator overwrites
+        // them from its authoritative registry on merge.
+        self.telemetry.sample(
+            stamp_nanos,
+            self.q,
+            self.generation,
+            iteration,
+            &MetricsSnapshot::default(),
+        );
     }
 }
 
@@ -1381,8 +1466,12 @@ fn serve_inner<J: IterativeJob>(
     let started = Instant::now();
     let mut env = RemoteEnv {
         conn,
+        q: pair as u32,
         generation: generation.saturating_sub(1) as u32,
         events: Vec::new(),
+        telemetry: Telemetry::default(),
+        tel_sent: 0,
+        tel_hists: Default::default(),
     };
     let mut local_dist: Vec<(f64, bool)> = Vec::new();
     let mut iter_done: Vec<Duration> = Vec::new();
@@ -1484,6 +1573,7 @@ fn serve_inner<J: IterativeJob>(
         }
     };
     env.flush_trace();
+    env.flush_telemetry();
     env.conn.send_outcome(wire);
     // Dropping the connection flushes and shuts the socket down: the
     // coordinator sees the outcome frame, then EOF.

@@ -78,6 +78,13 @@ pub enum ToCoord {
     /// `bytes` length and FNV-64 `digest`) so the coordinator can
     /// verify the plan arrived intact (see [`ToWorker::Patch`]).
     PatchStats { keys: u64, bytes: u64, digest: u64 },
+    /// A batch of encoded telemetry samples + phase-histogram deltas
+    /// (see `imr_telemetry::encode_batch`), timestamped on the worker's
+    /// clock; the coordinator rebases the stamps onto its own timeline
+    /// and merges the batch into the job's telemetry registry, exactly
+    /// like [`ToCoord::Trace`] batches. Best-effort: dropped when
+    /// telemetry is off or the payload is malformed.
+    Telemetry { payload: Bytes },
 }
 
 /// Messages sent from the coordinator to a worker process.
@@ -397,6 +404,10 @@ impl Codec for ToCoord {
                 bytes.encode(buf);
                 digest.encode(buf);
             }
+            ToCoord::Telemetry { payload } => {
+                14u8.encode(buf);
+                payload.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> CodecResult<Self> {
@@ -454,6 +465,9 @@ impl Codec for ToCoord {
                 bytes: u64::decode(buf)?,
                 digest: u64::decode(buf)?,
             },
+            14 => ToCoord::Telemetry {
+                payload: Bytes::decode(buf)?,
+            },
             _ => return Err(CodecError::Corrupt("unknown ToCoord tag")),
         })
     }
@@ -499,6 +513,7 @@ impl Codec for ToCoord {
                 bytes,
                 digest,
             } => keys.encoded_len() + bytes.encoded_len() + digest.encoded_len(),
+            ToCoord::Telemetry { payload } => payload.encoded_len(),
         }
     }
 }
@@ -704,6 +719,9 @@ mod tests {
             keys: 512,
             bytes: 8192,
             digest: 0xDEAD_BEEF_CAFE_F00D,
+        });
+        round_trip(ToCoord::Telemetry {
+            payload: Bytes::from(vec![3; 248]),
         });
     }
 

@@ -61,6 +61,14 @@ pub struct ChannelLink {
     recvs: Vec<Receiver<Bytes>>,
 }
 
+impl ChannelLink {
+    /// Segments queued on this endpoint's inbound channels, not yet
+    /// received — the live depth of the pair's shuffle/handoff buffers.
+    pub fn backlog(&self) -> u64 {
+        self.recvs.iter().map(|rx| rx.len() as u64).sum()
+    }
+}
+
 impl Transport for ChannelLink {
     fn send(&mut self, dest: usize, seg: Bytes) -> Result<(), Closed> {
         // Blocks while the bounded buffer is full; errs only when the

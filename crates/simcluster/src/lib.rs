@@ -30,7 +30,7 @@ mod timeline;
 
 pub use clock::{Stamped, TaskClock};
 pub use cost::{jitter_u01, CostModel};
-pub use metrics::{Counter, Metrics, MetricsHandle, MetricsSnapshot};
+pub use metrics::{Counter, Metrics, MetricsHandle, MetricsSnapshot, COUNTER_NAMES};
 pub use spec::{ClusterSpec, NodeId, NodeSpec};
 pub use time::{VDuration, VInstant};
 pub use timeline::RunReport;

@@ -190,6 +190,36 @@ impl Metrics {
 /// Cheaply clonable shared handle to a [`Metrics`] registry.
 pub type MetricsHandle = Arc<Metrics>;
 
+/// Counter names in [`Metrics`] declaration order — the one schema
+/// shared by [`MetricsSnapshot::values`], telemetry sampling and
+/// reporting, so a counter added to the struct without a name here (or
+/// vice versa) fails the length checks below at compile/test time.
+pub const COUNTER_NAMES: [&str; 23] = [
+    "shuffle_remote_bytes",
+    "shuffle_local_bytes",
+    "dfs_read_bytes",
+    "dfs_local_read_bytes",
+    "dfs_write_bytes",
+    "state_handoff_bytes",
+    "broadcast_bytes",
+    "checkpoint_bytes",
+    "jobs_launched",
+    "tasks_launched",
+    "migrations",
+    "stalls_detected",
+    "recoveries",
+    "map_input_records",
+    "reduce_input_records",
+    "deltas_sent",
+    "priority_preemptions",
+    "termination_checks",
+    "corrupt_frames",
+    "reconnect_attempts",
+    "retries_exhausted",
+    "chaos_injections",
+    "hellos_rejected",
+];
+
 /// Plain-data copy of the counters at one instant. Fields mirror
 /// [`Metrics`] one-to-one.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +273,45 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Counter values in [`COUNTER_NAMES`] order.
+    pub fn values(&self) -> [u64; 23] {
+        [
+            self.shuffle_remote_bytes,
+            self.shuffle_local_bytes,
+            self.dfs_read_bytes,
+            self.dfs_local_read_bytes,
+            self.dfs_write_bytes,
+            self.state_handoff_bytes,
+            self.broadcast_bytes,
+            self.checkpoint_bytes,
+            self.jobs_launched,
+            self.tasks_launched,
+            self.migrations,
+            self.stalls_detected,
+            self.recoveries,
+            self.map_input_records,
+            self.reduce_input_records,
+            self.deltas_sent,
+            self.priority_preemptions,
+            self.termination_checks,
+            self.corrupt_frames,
+            self.reconnect_attempts,
+            self.retries_exhausted,
+            self.chaos_injections,
+            self.hellos_rejected,
+        ]
+    }
+
+    /// `(name, value)` pairs in [`COUNTER_NAMES`] order.
+    pub fn named(&self) -> [(&'static str, u64); 23] {
+        let values = self.values();
+        let mut out = [("", 0u64); 23];
+        for (slot, (name, value)) in out.iter_mut().zip(COUNTER_NAMES.iter().zip(values)) {
+            *slot = (name, value);
+        }
+        out
+    }
+
     /// Total bytes that crossed the network (see
     /// [`Metrics::total_network_bytes`]).
     pub fn total_network_bytes(&self) -> u64 {
@@ -379,6 +448,31 @@ mod tests {
         // Saturating: a reset between snapshots cannot underflow.
         m.reset_all();
         assert_eq!(m.snapshot().delta(&before), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn names_and_values_cover_every_counter() {
+        let m = Metrics::default();
+        assert_eq!(COUNTER_NAMES.len(), m.counters().len());
+        // Charge each counter a distinct value through the registry and
+        // check values() reads them back in declaration order.
+        for (i, counter) in m.counters().iter().enumerate() {
+            counter.add(i as u64 + 1);
+        }
+        let values = m.snapshot().values();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(
+                *v,
+                i as u64 + 1,
+                "counter {} out of order",
+                COUNTER_NAMES[i]
+            );
+        }
+        let named = m.snapshot().named();
+        for (i, (name, v)) in named.iter().enumerate() {
+            assert_eq!(*name, COUNTER_NAMES[i]);
+            assert_eq!(*v, i as u64 + 1);
+        }
     }
 
     #[test]

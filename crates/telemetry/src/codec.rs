@@ -1,0 +1,181 @@
+//! Wire form of a telemetry batch: the samples recorded since the last
+//! flush plus the five histogram *deltas* over the same window, as flat
+//! big-endian `u64` words (the `imr-trace` event-codec idiom). The
+//! payload travels opaquely inside a `ToCoord::Telemetry` frame; the
+//! coordinator decodes, rebases the stamps onto its own clock and
+//! merges — a malformed batch is dropped, never fatal.
+
+use crate::hist::{HistSnapshot, NUM_BUCKETS};
+use crate::series::{Sample, NUM_COUNTERS, NUM_GAUGES};
+use crate::NUM_PHASES;
+
+/// Words per encoded sample: stamp, packed worker/generation,
+/// iteration, then the counter and gauge columns.
+pub const SAMPLE_WORDS: usize = 3 + NUM_COUNTERS + NUM_GAUGES;
+
+/// Words per encoded histogram: the sum then every bucket count.
+const HIST_WORDS: usize = 1 + NUM_BUCKETS;
+
+fn put(out: &mut Vec<u8>, word: u64) {
+    out.extend_from_slice(&word.to_be_bytes());
+}
+
+/// Encodes `samples` + `hists` into one batch payload.
+pub fn encode_batch(samples: &[Sample], hists: &[HistSnapshot; NUM_PHASES]) -> Vec<u8> {
+    let words = 1 + samples.len() * SAMPLE_WORDS + NUM_PHASES * HIST_WORDS;
+    let mut out = Vec::with_capacity(words * 8);
+    put(&mut out, samples.len() as u64);
+    for s in samples {
+        put(&mut out, s.stamp_nanos);
+        put(&mut out, ((s.worker as u64) << 32) | s.generation as u64);
+        put(&mut out, s.iteration);
+        for c in &s.counters {
+            put(&mut out, *c);
+        }
+        for g in &s.gauges {
+            put(&mut out, *g);
+        }
+    }
+    for h in hists {
+        put(&mut out, h.sum);
+        for c in &h.counts {
+            put(&mut out, *c);
+        }
+    }
+    out
+}
+
+/// Decodes a batch payload back into samples + histogram deltas.
+pub fn decode_batch(
+    bytes: &[u8],
+) -> Result<(Vec<Sample>, [HistSnapshot; NUM_PHASES]), &'static str> {
+    let mut words = WordReader::new(bytes)?;
+    let n = words.next()? as usize;
+    let expect = 1
+        + n.checked_mul(SAMPLE_WORDS)
+            .ok_or("telemetry batch length overflow")?
+        + NUM_PHASES * HIST_WORDS;
+    if words.total != expect {
+        return Err("telemetry batch length mismatch");
+    }
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let stamp_nanos = words.next()?;
+        let packed = words.next()?;
+        let iteration = words.next()?;
+        let mut counters = [0u64; NUM_COUNTERS];
+        for c in &mut counters {
+            *c = words.next()?;
+        }
+        let mut gauges = [0u64; NUM_GAUGES];
+        for g in &mut gauges {
+            *g = words.next()?;
+        }
+        samples.push(Sample {
+            stamp_nanos,
+            worker: (packed >> 32) as u32,
+            generation: packed as u32,
+            iteration,
+            counters,
+            gauges,
+        });
+    }
+    let mut hists: [HistSnapshot; NUM_PHASES] = Default::default();
+    for h in &mut hists {
+        h.sum = words.next()?;
+        for c in &mut h.counts {
+            *c = words.next()?;
+        }
+    }
+    Ok((samples, hists))
+}
+
+struct WordReader<'a> {
+    bytes: &'a [u8],
+    total: usize,
+}
+
+impl<'a> WordReader<'a> {
+    fn new(bytes: &'a [u8]) -> Result<Self, &'static str> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err("telemetry batch not word-aligned");
+        }
+        Ok(WordReader {
+            bytes,
+            total: bytes.len() / 8,
+        })
+    }
+
+    fn next(&mut self) -> Result<u64, &'static str> {
+        if self.bytes.len() < 8 {
+            return Err("telemetry batch truncated");
+        }
+        let (word, rest) = self.bytes.split_at(8);
+        self.bytes = rest;
+        Ok(u64::from_be_bytes(word.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, Phase};
+
+    fn sample(stamp: u64, worker: u32, generation: u32) -> Sample {
+        let mut counters = [0u64; NUM_COUNTERS];
+        counters[0] = stamp * 3;
+        counters[NUM_COUNTERS - 1] = 7;
+        let mut gauges = [0u64; NUM_GAUGES];
+        gauges[2] = 11;
+        Sample {
+            stamp_nanos: stamp,
+            worker,
+            generation,
+            iteration: stamp / 2,
+            counters,
+            gauges,
+        }
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let samples = vec![
+            sample(100, 0, 0),
+            sample(200, 3, 2),
+            sample(300, u32::MAX, 9),
+        ];
+        let h = Histogram::default();
+        h.record(1_000);
+        h.record(1 << 50);
+        let mut hists: [HistSnapshot; NUM_PHASES] = Default::default();
+        hists[Phase::Handoff.index()] = h.snapshot();
+        let bytes = encode_batch(&samples, &hists);
+        assert_eq!(
+            bytes.len(),
+            (1 + 3 * SAMPLE_WORDS + NUM_PHASES * (1 + NUM_BUCKETS)) * 8
+        );
+        let (back_samples, back_hists) = decode_batch(&bytes).unwrap();
+        assert_eq!(back_samples, samples);
+        assert_eq!(back_hists, hists);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let hists: [HistSnapshot; NUM_PHASES] = Default::default();
+        let bytes = encode_batch(&[], &hists);
+        let (samples, back) = decode_batch(&bytes).unwrap();
+        assert!(samples.is_empty());
+        assert_eq!(back, hists);
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected() {
+        let hists: [HistSnapshot; NUM_PHASES] = Default::default();
+        let good = encode_batch(&[sample(1, 0, 0)], &hists);
+        assert!(decode_batch(&good[..good.len() - 8]).is_err());
+        assert!(decode_batch(&good[..7]).is_err());
+        let mut lying = good.clone();
+        lying[..8].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(decode_batch(&lying).is_err());
+    }
+}

@@ -119,6 +119,9 @@ fn cmd_submit(descs: &[String]) -> i32 {
         cfg = cfg.with_worker_bin(bin);
     }
     let svc = JobService::new(cfg);
+    if let Some(addr) = svc.telemetry_addr() {
+        println!("telemetry endpoint: http://{addr}/metrics (scrape with imr-stat)");
+    }
     for (i, desc) in descs.iter().enumerate() {
         let spec = match parse_job(desc, 11 + i as u64) {
             Ok(s) => s,

@@ -1,0 +1,265 @@
+//! Live fleet statistics: poll a telemetry exposition endpoint and
+//! render per-job iteration progress, phase latency quantiles and
+//! queue depths.
+//!
+//! ```text
+//! imr-stat [--addr HOST:PORT] [--once] [--interval SECS]
+//! ```
+//!
+//! The address defaults to `IMR_TELEMETRY_ADDR`, then `127.0.0.1:9464`.
+//! Without `--once` the endpoint is scraped every `--interval` seconds
+//! (default 2) until it stops answering; the exit code is 0 if at
+//! least one scrape succeeded.
+//!
+//! The client speaks plain HTTP/1.1 over a `TcpStream` and parses the
+//! Prometheus text format line-wise — no HTTP or metrics library, by
+//! design: the workspace builds offline.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+struct Opts {
+    addr: String,
+    once: bool,
+    interval: Duration,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: std::env::var("IMR_TELEMETRY_ADDR")
+            .ok()
+            .filter(|a| !a.is_empty())
+            .unwrap_or_else(|| "127.0.0.1:9464".into()),
+        once: false,
+        interval: Duration::from_secs(2),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                opts.addr = args.next().ok_or("--addr needs a HOST:PORT argument")?;
+            }
+            "--once" => opts.once = true,
+            "--interval" => {
+                let secs: u64 = args
+                    .next()
+                    .ok_or("--interval needs a seconds argument")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?;
+                opts.interval = Duration::from_secs(secs.max(1));
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("imr-stat: {e}");
+            eprintln!("usage: imr-stat [--addr HOST:PORT] [--once] [--interval SECS]");
+            std::process::exit(2);
+        }
+    };
+    let mut scraped = 0u64;
+    loop {
+        match scrape(&opts.addr) {
+            Ok(body) => {
+                scraped += 1;
+                render(&opts.addr, &body);
+            }
+            Err(e) if scraped == 0 => {
+                eprintln!("imr-stat: {}: {e}", opts.addr);
+                std::process::exit(1);
+            }
+            Err(_) => {
+                // The fleet finished and took the endpoint down; a
+                // clean end to the watch, not an error.
+                println!(
+                    "imr-stat: {} stopped answering after {scraped} scrapes",
+                    opts.addr
+                );
+                std::process::exit(0);
+            }
+        }
+        if opts.once {
+            std::process::exit(0);
+        }
+        std::thread::sleep(opts.interval);
+    }
+}
+
+/// One HTTP GET of `/metrics`, returning the response body.
+fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    conn.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP header"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("?");
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("endpoint answered {status}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[derive(Default)]
+struct JobRow {
+    iteration: u64,
+    rate: f64,
+    samples: u64,
+    queue_len: u64,
+    inflight: u64,
+    handoff_depth: u64,
+    /// phase name -> (p50 nanos, p99 nanos, observation count).
+    phases: BTreeMap<String, (u64, u64, u64)>,
+}
+
+/// Splits one exposition line into `(family, labels, value)`.
+fn split_metric(line: &str) -> Option<(&str, &str, f64)> {
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (head, val) = line.rsplit_once(' ')?;
+    let value: f64 = val.parse().ok()?;
+    match head.split_once('{') {
+        Some((name, rest)) => Some((name, rest.strip_suffix('}')?, value)),
+        None => Some((head, "", value)),
+    }
+}
+
+/// Pulls `key="..."` out of a label body.
+fn label(labels: &str, key: &str) -> Option<String> {
+    let pat = format!("{key}=\"");
+    let start = labels.find(&pat)? + pat.len();
+    let end = labels[start..].find('"')? + start;
+    Some(labels[start..end].to_string())
+}
+
+fn parse_jobs(body: &str) -> BTreeMap<u64, JobRow> {
+    let mut jobs: BTreeMap<u64, JobRow> = BTreeMap::new();
+    for line in body.lines() {
+        let Some((family, labels, value)) = split_metric(line) else {
+            continue;
+        };
+        let Some(job) = label(labels, "job").and_then(|j| j.parse::<u64>().ok()) else {
+            continue;
+        };
+        let row = jobs.entry(job).or_default();
+        match family {
+            "imr_iteration" => row.iteration = value as u64,
+            "imr_iteration_rate" => row.rate = value,
+            "imr_samples_total" => row.samples = value as u64,
+            "imr_queue_len" => row.queue_len = value as u64,
+            "imr_inflight_slots" => row.inflight = value as u64,
+            "imr_handoff_depth" => row.handoff_depth = value as u64,
+            "imr_phase_p50_nanos" | "imr_phase_p99_nanos" | "imr_phase_latency_nanos_count" => {
+                let Some(phase) = label(labels, "phase") else {
+                    continue;
+                };
+                let slot = row.phases.entry(phase).or_default();
+                match family {
+                    "imr_phase_p50_nanos" => slot.0 = value as u64,
+                    "imr_phase_p99_nanos" => slot.1 = value as u64,
+                    _ => slot.2 = value as u64,
+                }
+            }
+            _ => {}
+        }
+    }
+    jobs
+}
+
+/// Nanoseconds as a short human duration.
+fn fmt_nanos(nanos: u64) -> String {
+    match nanos {
+        0..=9_999 => format!("{nanos}ns"),
+        10_000..=999_999 => format!("{:.1}us", nanos as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", nanos as f64 / 1e6),
+        _ => format!("{:.2}s", nanos as f64 / 1e9),
+    }
+}
+
+fn render(addr: &str, body: &str) {
+    let jobs = parse_jobs(body);
+    println!(
+        "== {}/{} jobs @ {addr} ==",
+        jobs.iter().filter(|(_, r)| r.samples > 0).count(),
+        jobs.len()
+    );
+    println!(
+        "{:>5} {:>6} {:>9} {:>8} {:>6} {:>9}  phase p50/p99 (count)",
+        "job", "iter", "iter/s", "samples", "queue", "inflight"
+    );
+    for (id, row) in &jobs {
+        let mut phases = String::new();
+        for (name, (p50, p99, count)) in &row.phases {
+            if *count == 0 {
+                continue;
+            }
+            if !phases.is_empty() {
+                phases.push_str("  ");
+            }
+            phases.push_str(&format!(
+                "{name} {}/{} ({count})",
+                fmt_nanos(*p50),
+                fmt_nanos(*p99)
+            ));
+        }
+        println!(
+            "{:>5} {:>6} {:>9.2} {:>8} {:>6} {:>9}  {}",
+            id, row.iteration, row.rate, row.samples, row.queue_len, row.inflight, phases
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_lines_parse_into_job_rows() {
+        let body = "\
+# TYPE imr_iteration gauge
+imr_iteration{job=\"1\"} 7
+imr_iteration_rate{job=\"1\"} 3.5
+imr_samples_total{job=\"1\"} 14
+imr_queue_len{job=\"1\"} 2
+imr_inflight_slots{job=\"1\"} 4
+imr_phase_p50_nanos{job=\"1\",phase=\"map\"} 1023
+imr_phase_p99_nanos{job=\"1\",phase=\"map\"} 16383
+imr_phase_latency_nanos_count{job=\"1\",phase=\"map\"} 14
+imr_iteration{job=\"2\"} 1
+";
+        let jobs = parse_jobs(body);
+        assert_eq!(jobs.len(), 2);
+        let one = &jobs[&1];
+        assert_eq!(one.iteration, 7);
+        assert_eq!(one.rate, 3.5);
+        assert_eq!(one.samples, 14);
+        assert_eq!(one.queue_len, 2);
+        assert_eq!(one.inflight, 4);
+        assert_eq!(one.phases["map"], (1023, 16383, 14));
+    }
+
+    #[test]
+    fn durations_render_in_sensible_units() {
+        assert_eq!(fmt_nanos(512), "512ns");
+        assert_eq!(fmt_nanos(20_000), "20.0us");
+        assert_eq!(fmt_nanos(4_194_304), "4.19ms");
+        assert_eq!(fmt_nanos(15_000_000), "15.00ms");
+        assert_eq!(fmt_nanos(2_500_000_000), "2.50s");
+    }
+}

@@ -183,6 +183,16 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().buf.len()
+    }
+
+    /// Whether no message is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// A blocking iterator draining the channel until disconnection.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { rx: self }

@@ -12,11 +12,15 @@
 #   ./verify.sh faults     # fault-injection suites, serial, under timeout
 #   ./verify.sh bench      # smoke-run every experiment binary at tiny size
 #   ./verify.sh bench --record   # …and record BENCH_<date>.json at repo root
+#   ./verify.sh bench --compare BENCH_<date>.json
+#                          # …and diff per-bin wall-clock vs that record,
+#                          # failing past the ±25% band (warn-only in CI)
 #   ./verify.sh trace      # tracing suites + trace_timeline smoke-run
 #   ./verify.sh service    # job-service suites, serial, + CLI smoke
 #   ./verify.sh delta      # delta-accumulative suites, serial, under timeout
 #   ./verify.sh chaos      # wire-robustness + network-chaos suites, serial
 #   ./verify.sh incremental  # incremental-computation suites, serial
+#   ./verify.sh telemetry  # telemetry suites + live exposition smoke
 #   ./verify.sh drift      # verify.sh subcommands <-> CI jobs bijection
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -58,8 +62,28 @@ cmd_faults() {
 # write BENCH_<date>.json at the repo root: per-binary host seconds for
 # the pinned matrix plus the job-service throughput figure, so the perf
 # trajectory the ROADMAP tracks has one committed data point per run.
+# With --compare <BENCH_<date>.json>, diff this run's per-bin seconds
+# against that record and exit nonzero if any bin drifted past ±25% —
+# CI runs the compare step warn-only because shared hosts are noisy,
+# but the deltas land in the log either way.
 cmd_bench() {
-  local record="${1:-}"
+  local record="" compare=""
+  while [ "$#" -gt 0 ]; do
+    case "$1" in
+      --record) record=1; shift ;;
+      --compare)
+        compare="${2:-}"
+        [ -n "$compare" ] \
+          || { echo "bench: --compare needs a BENCH_<date>.json path" >&2; exit 2; }
+        shift 2
+        ;;
+      *) echo "bench: unknown flag $1" >&2; exit 2 ;;
+    esac
+  done
+  if [ -n "$compare" ] && [ ! -f "$compare" ]; then
+    echo "bench-compare: baseline $compare not found" >&2
+    exit 1
+  fi
   cargo build --release --workspace
   local out
   out=$(mktemp -d)
@@ -73,6 +97,7 @@ cmd_bench() {
     native_delta native_chaos native_incremental jobs_throughput
   )
   local rows=()
+  declare -A secs_by
   for bin in "${bins[@]}"; do
     echo "bench-smoke: $bin"
     case "$bin" in
@@ -82,11 +107,13 @@ cmd_bench() {
       native_balance) flags=(--scale 0.02 --iters 12) ;;
       *) flags=(--scale 0.002 --iters 2) ;;
     esac
-    local t0 t1
+    local t0 t1 secs
     t0=$(date +%s%3N)
     timeout 600 "target/release/$bin" "${flags[@]}" --out "$out" > /dev/null
     t1=$(date +%s%3N)
-    rows+=("    \"$bin\": $(awk "BEGIN{printf \"%.3f\", ($t1 - $t0) / 1000}")")
+    secs=$(awk "BEGIN{printf \"%.3f\", ($t1 - $t0) / 1000}")
+    rows+=("    \"$bin\": $secs")
+    secs_by[$bin]=$secs
   done
   local n=0
   for json in "$out"/results/*.json; do
@@ -103,7 +130,7 @@ cmd_bench() {
   [ "$n" -ge "${#bins[@]}" ] \
     || { echo "bench-smoke: expected >=${#bins[@]} artifacts, got $n" >&2; exit 1; }
   echo "bench-smoke: $n artifacts, all keys present"
-  if [ "$record" = "--record" ]; then
+  if [ -n "$record" ]; then
     local stamp rec i
     stamp=$(date +%F)
     rec="BENCH_${stamp}.json"
@@ -131,6 +158,27 @@ cmd_bench() {
       || { echo "bench-record: assembled $rec is not valid JSON, refusing to write it" >&2; exit 1; }
     mv "$out/$rec" "$rec"
     echo "bench-record: wrote $rec"
+  fi
+  if [ -n "$compare" ]; then
+    local fail=0 prior now delta
+    for bin in "${bins[@]}"; do
+      prior=$(jq -r --arg b "$bin" '.host_seconds[$b] // empty' "$compare")
+      if [ -z "$prior" ]; then
+        echo "bench-compare: $bin absent from $compare (new bin?), skipping"
+        continue
+      fi
+      now="${secs_by[$bin]}"
+      delta=$(awk "BEGIN{printf \"%+.1f\", ($now - $prior) * 100 / $prior}")
+      if awk "BEGIN{exit !(($now - $prior) > 0.25 * $prior || ($prior - $now) > 0.25 * $prior)}"; then
+        echo "bench-compare: $bin ${prior}s -> ${now}s (${delta}%)  ** outside the ±25% band **"
+        fail=1
+      else
+        echo "bench-compare: $bin ${prior}s -> ${now}s (${delta}%)"
+      fi
+    done
+    [ "$fail" = 0 ] \
+      || { echo "bench-compare: wall-clock drifted past ±25% vs $compare" >&2; exit 1; }
+    echo "bench-compare: all bins within ±25% of $compare"
   fi
 }
 
@@ -218,6 +266,61 @@ cmd_incremental() {
   echo "incremental: delta/warm-start suites passed"
 }
 
+# The live telemetry pipeline end to end (DESIGN.md §14): the
+# telemetry crate's unit suite, then the cross-engine integration
+# suite (bit-identical sim series, per-phase count agreement across
+# sim/channel/TCP, histogram merge algebra, exactly-one-generation-gap
+# after kill/rollback) — serial, it spawns real worker processes.
+# Then a live exposition smoke: a 20-job jobs_throughput batch runs
+# with the embedded HTTP endpoint enabled while curl scrapes /metrics
+# (the Prometheus text must parse and carry the expected families) and
+# imr-stat renders one snapshot from the same endpoint.
+cmd_telemetry() {
+  cargo test -q -p imr-telemetry
+  timeout 900 cargo test -q --release --test telemetry -- --test-threads=1
+  cargo build --release -p imr-bench --bin jobs_throughput
+  cargo build --release --bin imr-stat
+  local out addr bg ok i fam
+  out=$(mktemp -d)
+  trap 'rm -rf "${out:-}"; trap - RETURN' RETURN
+  addr="127.0.0.1:9642"
+  IMR_TELEMETRY_ADDR="$addr" timeout 600 target/release/jobs_throughput \
+    --scale 0.8333 --iters 2500 --out "$out" > "$out/jobs.log" 2>&1 &
+  bg=$!
+  ok=""
+  for i in $(seq 1 600); do
+    if curl -sf --max-time 2 "http://$addr/metrics" > "$out/metrics.txt" 2> /dev/null \
+      && target/release/imr-stat --addr "$addr" --once > "$out/stat.txt" 2> /dev/null; then
+      ok=1
+      break
+    fi
+    kill -0 "$bg" 2> /dev/null || break
+    sleep 0.05
+  done
+  wait "$bg" \
+    || { echo "telemetry: jobs_throughput failed" >&2; cat "$out/jobs.log" >&2; exit 1; }
+  [ -n "$ok" ] \
+    || { echo "telemetry: no scrape landed while the batch was live" >&2; exit 1; }
+  for fam in imr_samples_total imr_iteration imr_iteration_rate imr_queue_len \
+    imr_inflight_slots imr_phase_latency_nanos_bucket imr_phase_p50_nanos \
+    imr_phase_p99_nanos; do
+    grep -q "^$fam" "$out/metrics.txt" \
+      || { echo "telemetry: scrape is missing the $fam family" >&2; exit 1; }
+  done
+  # Every sample line must parse as Prometheus text format:
+  # name{labels} value, with numeric values.
+  if grep -Ev '^(#|$)' "$out/metrics.txt" \
+    | grep -Evq '^[a-z_][a-z0-9_]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*$'; then
+    echo "telemetry: exposition lines failed Prometheus text-format parse:" >&2
+    grep -Ev '^(#|$)' "$out/metrics.txt" \
+      | grep -Ev '^[a-z_][a-z0-9_]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*$' >&2
+    exit 1
+  fi
+  grep -q 'jobs @' "$out/stat.txt" \
+    || { echo "telemetry: imr-stat rendered no job table" >&2; cat "$out/stat.txt" >&2; exit 1; }
+  echo "telemetry: suites + live exposition smoke passed"
+}
+
 # The anti-drift guard: every cmd_* subcommand of this script (except
 # the `all` aggregate) must be invoked by .github/workflows/ci.yml, and
 # every `./verify.sh <sub>` CI invocation must name a real subcommand.
@@ -247,15 +350,16 @@ cmd_all() {
   cmd_delta
   cmd_chaos
   cmd_incremental
+  cmd_telemetry
   cmd_drift
 }
 
 case "${1:-all}" in
-  fmt | lint | build | test | faults | bench | trace | service | delta | chaos | incremental | drift | all)
+  fmt | lint | build | test | faults | bench | trace | service | delta | chaos | incremental | telemetry | drift | all)
     "cmd_${1:-all}" "${@:2}"
     ;;
   *)
-    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|chaos|incremental|drift|all] [--record]" >&2
+    echo "usage: $0 [fmt|lint|build|test|faults|bench|trace|service|delta|chaos|incremental|telemetry|drift|all] [--record] [--compare FILE]" >&2
     exit 2
     ;;
 esac
